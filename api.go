@@ -1,0 +1,331 @@
+package consensusinside
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"consensusinside/internal/cluster"
+	"consensusinside/internal/msg"
+	"consensusinside/internal/onepaxos"
+	"consensusinside/internal/runtime"
+	"consensusinside/internal/simnet"
+	"consensusinside/internal/topology"
+	"consensusinside/internal/transport"
+)
+
+// Protocol selects an agreement protocol for simulated clusters.
+type Protocol = cluster.Protocol
+
+// Protocols under study: the paper's contribution and its two baselines.
+const (
+	OnePaxos   = cluster.OnePaxos
+	MultiPaxos = cluster.MultiPaxos
+	TwoPC      = cluster.TwoPC
+)
+
+// SimSpec describes a simulated deployment (see cluster.Spec).
+type SimSpec = cluster.Spec
+
+// SimCluster is a runnable simulated deployment.
+type SimCluster = cluster.Cluster
+
+// NewSimCluster builds a simulated many-core deployment. Use the Machine*
+// and Costs* helpers for the paper's configurations.
+func NewSimCluster(spec SimSpec) *SimCluster { return cluster.Build(spec) }
+
+// Machine48 is the paper's 48-core evaluation machine (8 × 6-core AMD
+// Opteron, Section 7.1).
+func Machine48() *topology.Machine { return topology.Opteron48() }
+
+// Machine8 is the paper's 8-core slow-core-experiment machine (4 × 2-core
+// Opteron, Sections 2.2 and 7.6).
+func Machine8() *topology.Machine { return topology.Opteron8() }
+
+// CostsManyCore is the calibrated many-core cost model (Section 3).
+func CostsManyCore() simnet.CostModel { return simnet.ManyCore() }
+
+// CostsLAN is the calibrated LAN cost model (Section 3).
+func CostsLAN() simnet.CostModel { return simnet.LAN() }
+
+// CostsManyCoreSlow is the cost model for the 8-core slow-machine
+// experiments (Sections 2.2 and 7.6).
+func CostsManyCoreSlow() simnet.CostModel { return simnet.ManyCoreSlowMachine() }
+
+// CPUHogSlowdown models the paper's slow-core injection (8 CPU-intensive
+// processes sharing a core); pass it to SimCluster.SlowAt.
+const CPUHogSlowdown = cluster.CPUHogSlowdown
+
+// TransportKind selects how a real (non-simulated) KV cluster
+// communicates.
+type TransportKind int
+
+// Transports for StartKV.
+const (
+	// InProc runs replicas on goroutines connected by lock-free SPSC slot
+	// queues — QC-libtask's design, in Go.
+	InProc TransportKind = iota + 1
+	// TCP runs each replica on a loopback TCP endpoint; the same protocol
+	// code, gob-encoded on the wire (the paper's portability claim).
+	TCP
+)
+
+// KVConfig configures a replicated key-value service.
+type KVConfig struct {
+	// Replicas is the 1Paxos group size (minimum and default 3).
+	Replicas int
+	// Transport selects InProc (default) or TCP.
+	Transport TransportKind
+	// RequestTimeout bounds each Put/Get round trip (default 5s).
+	RequestTimeout time.Duration
+	// AcceptTimeout tunes the protocol's failure detector; the default
+	// suits wall-clock deployments (200ms).
+	AcceptTimeout time.Duration
+}
+
+// KV is a linearizable replicated string map backed by 1Paxos: every
+// operation (reads included, per Section 7.5's strong-consistency mode)
+// is a consensus command applied by every replica in log order.
+type KV struct {
+	cfg     KVConfig
+	bridge  *kvBridge
+	inproc  *runtime.InProcCluster
+	tcp     []*transport.TCPNode
+	replica []*onepaxos.Replica
+
+	closeOnce sync.Once
+}
+
+// StartKV launches a replicated KV service with embedded replicas.
+func StartKV(cfg KVConfig) (*KV, error) {
+	if cfg.Replicas == 0 {
+		cfg.Replicas = 3
+	}
+	if cfg.Replicas < 3 {
+		return nil, errors.New("consensusinside: a 1Paxos group needs at least 3 replicas")
+	}
+	if cfg.Transport == 0 {
+		cfg.Transport = InProc
+	}
+	if cfg.RequestTimeout == 0 {
+		cfg.RequestTimeout = 5 * time.Second
+	}
+	if cfg.AcceptTimeout == 0 {
+		cfg.AcceptTimeout = 200 * time.Millisecond
+	}
+
+	ids := make([]msg.NodeID, cfg.Replicas)
+	for i := range ids {
+		ids[i] = msg.NodeID(i)
+	}
+	clientID := msg.NodeID(cfg.Replicas)
+
+	kv := &KV{cfg: cfg}
+	handlers := make([]runtime.Handler, 0, cfg.Replicas+1)
+	for _, id := range ids {
+		r := onepaxos.New(onepaxos.Config{
+			ID:               id,
+			Replicas:         ids,
+			AcceptTimeout:    cfg.AcceptTimeout,
+			TakeoverBackoff:  cfg.AcceptTimeout / 2,
+			UtilRetryTimeout: cfg.AcceptTimeout,
+		})
+		kv.replica = append(kv.replica, r)
+		handlers = append(handlers, r)
+	}
+	// Clients should suspect a server a little after the servers' own
+	// failure detector would, so takeovers settle before the retry lands.
+	kv.bridge = newKVBridge(clientID, ids, 2*cfg.AcceptTimeout)
+	handlers = append(handlers, kv.bridge)
+
+	switch cfg.Transport {
+	case InProc:
+		kv.inproc = runtime.NewInProcCluster(handlers)
+		kv.bridge.inject = func(m msg.Message) {
+			kv.inproc.Inject(clientID, clientID, m)
+		}
+	case TCP:
+		msg.Register()
+		nodes, err := transport.BuildLocalCluster(handlers)
+		if err != nil {
+			return nil, fmt.Errorf("consensusinside: start tcp cluster: %w", err)
+		}
+		kv.tcp = nodes
+		kv.bridge.inject = func(m msg.Message) {
+			nodes[clientID].Inject(clientID, m)
+		}
+	default:
+		return nil, fmt.Errorf("consensusinside: unknown transport %d", cfg.Transport)
+	}
+	return kv, nil
+}
+
+// Put replicates key=value and waits for commitment.
+func (kv *KV) Put(key, value string) error {
+	_, err := kv.bridge.do(msg.Command{Op: msg.OpPut, Key: key, Val: value}, kv.cfg.RequestTimeout)
+	return err
+}
+
+// Get reads key through consensus (linearizable; Section 7.5's
+// strongly-consistent read path).
+func (kv *KV) Get(key string) (string, error) {
+	return kv.bridge.do(msg.Command{Op: msg.OpGet, Key: key}, kv.cfg.RequestTimeout)
+}
+
+// CrashReplica stops replica id's TCP node, simulating a failed core
+// (TCP transport only). Operations keep succeeding as long as a majority
+// and either the leader or the active acceptor remain.
+func (kv *KV) CrashReplica(id int) error {
+	if kv.tcp == nil {
+		return errors.New("consensusinside: CrashReplica requires the TCP transport")
+	}
+	if id < 0 || id >= len(kv.replica) {
+		return fmt.Errorf("consensusinside: no replica %d", id)
+	}
+	return kv.tcp[id].Close()
+}
+
+// Close shuts the service down.
+func (kv *KV) Close() {
+	kv.closeOnce.Do(func() {
+		if kv.inproc != nil {
+			kv.inproc.Stop()
+		}
+		for _, n := range kv.tcp {
+			n.Close()
+		}
+	})
+}
+
+// --- bridge: blocking API <-> message passing ---
+
+// submitMsg wakes the bridge node to drain its pending queue.
+type submitMsg struct{}
+
+// Kind implements msg.Message.
+func (submitMsg) Kind() string { return "kv_submit" }
+
+type kvOp struct {
+	cmd  msg.Command
+	done chan kvResult
+}
+
+type kvResult struct {
+	value string
+	err   error
+}
+
+// kvBridge is a Handler that converts synchronous Put/Get calls into
+// client requests: external goroutines enqueue operations and poke the
+// node; all protocol interaction happens on the node's own goroutine.
+// Exactly one command is in flight at a time (a closed loop, like the
+// paper's clients), which keeps the replicas' per-client session
+// deduplication exact across retries.
+type kvBridge struct {
+	id      msg.NodeID
+	servers []msg.NodeID
+	retry   time.Duration
+	inject  func(msg.Message)
+
+	mu       sync.Mutex
+	queue    []kvOp
+	seq      uint64
+	inflight *kvOp
+	target   int
+}
+
+var _ runtime.Handler = (*kvBridge)(nil)
+
+func newKVBridge(id msg.NodeID, servers []msg.NodeID, retry time.Duration) *kvBridge {
+	if retry <= 0 {
+		retry = 250 * time.Millisecond
+	}
+	return &kvBridge{
+		id:      id,
+		servers: append([]msg.NodeID(nil), servers...),
+		retry:   retry,
+	}
+}
+
+func (b *kvBridge) do(cmd msg.Command, timeout time.Duration) (string, error) {
+	op := kvOp{cmd: cmd, done: make(chan kvResult, 1)}
+	b.mu.Lock()
+	b.queue = append(b.queue, op)
+	b.mu.Unlock()
+	b.inject(submitMsg{})
+	select {
+	case res := <-op.done:
+		return res.value, res.err
+	case <-time.After(timeout):
+		return "", fmt.Errorf("consensusinside: %s %q timed out after %v", cmd.Op, cmd.Key, timeout)
+	}
+}
+
+// Start implements runtime.Handler.
+func (b *kvBridge) Start(runtime.Context) {}
+
+// Receive implements runtime.Handler.
+func (b *kvBridge) Receive(ctx runtime.Context, from msg.NodeID, m msg.Message) {
+	switch mm := m.(type) {
+	case submitMsg:
+		b.pump(ctx)
+	case msg.ClientReply:
+		b.mu.Lock()
+		op := b.inflight
+		if op == nil || mm.Seq != b.seq {
+			b.mu.Unlock()
+			return // stale reply from a retried request
+		}
+		b.inflight = nil
+		b.mu.Unlock()
+		if mm.OK {
+			op.done <- kvResult{value: mm.Result}
+		} else {
+			op.done <- kvResult{err: errors.New("consensusinside: request rejected")}
+		}
+		b.pump(ctx)
+	}
+}
+
+// Timer implements runtime.Handler: retry with server rotation, the
+// paper's client failover behaviour ("once the clients detect the slow
+// leader, they send their requests to other nodes").
+func (b *kvBridge) Timer(ctx runtime.Context, tag runtime.TimerTag) {
+	b.mu.Lock()
+	op := b.inflight
+	stillThis := op != nil && uint64(tag.Arg) == b.seq
+	if stillThis {
+		b.target = (b.target + 1) % len(b.servers)
+	}
+	seq := b.seq
+	target := b.servers[b.target]
+	cmd := msg.Command{}
+	if stillThis {
+		cmd = op.cmd
+	}
+	b.mu.Unlock()
+	if !stillThis {
+		return
+	}
+	ctx.Send(target, msg.ClientRequest{Client: b.id, Seq: seq, Cmd: cmd})
+	ctx.After(b.retry, runtime.TimerTag{Kind: 900, Arg: int64(seq)})
+}
+
+// pump starts the next queued command if none is in flight.
+func (b *kvBridge) pump(ctx runtime.Context) {
+	b.mu.Lock()
+	if b.inflight != nil || len(b.queue) == 0 {
+		b.mu.Unlock()
+		return
+	}
+	op := b.queue[0]
+	b.queue = b.queue[1:]
+	b.seq++
+	b.inflight = &op
+	seq := b.seq
+	target := b.servers[b.target]
+	b.mu.Unlock()
+	ctx.Send(target, msg.ClientRequest{Client: b.id, Seq: seq, Cmd: op.cmd})
+	ctx.After(b.retry, runtime.TimerTag{Kind: 900, Arg: int64(seq)})
+}

@@ -1,0 +1,162 @@
+package consensusinside
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestKVInProc(t *testing.T) {
+	kv, err := StartKV(KVConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer kv.Close()
+	if err := kv.Put("lang", "go"); err != nil {
+		t.Fatal(err)
+	}
+	got, err := kv.Get("lang")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != "go" {
+		t.Fatalf("Get = %q, want go", got)
+	}
+	if got, err := kv.Get("missing"); err != nil || got != "" {
+		t.Fatalf("missing Get = %q,%v", got, err)
+	}
+}
+
+func TestKVSequentialOps(t *testing.T) {
+	kv, err := StartKV(KVConfig{Replicas: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer kv.Close()
+	for i := 0; i < 50; i++ {
+		key := fmt.Sprintf("k%d", i%5)
+		if err := kv.Put(key, fmt.Sprintf("v%d", i)); err != nil {
+			t.Fatalf("put %d: %v", i, err)
+		}
+	}
+	got, err := kv.Get("k4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != "v49" {
+		t.Fatalf("Get = %q, want v49 (last writer wins)", got)
+	}
+}
+
+func TestKVConcurrentClients(t *testing.T) {
+	kv, err := StartKV(KVConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer kv.Close()
+	var wg sync.WaitGroup
+	errs := make(chan error, 40)
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 10; i++ {
+				if err := kv.Put(fmt.Sprintf("g%d-k%d", g, i), "v"); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	for g := 0; g < 4; g++ {
+		if v, err := kv.Get(fmt.Sprintf("g%d-k9", g)); err != nil || v != "v" {
+			t.Fatalf("g%d: %q %v", g, v, err)
+		}
+	}
+}
+
+func TestKVOverTCP(t *testing.T) {
+	kv, err := StartKV(KVConfig{Transport: TCP, RequestTimeout: 20 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer kv.Close()
+	if err := kv.Put("a", "1"); err != nil {
+		t.Fatal(err)
+	}
+	got, err := kv.Get("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != "1" {
+		t.Fatalf("Get = %q, want 1", got)
+	}
+}
+
+func TestKVSurvivesLeaderCrashOverTCP(t *testing.T) {
+	kv, err := StartKV(KVConfig{
+		Transport:      TCP,
+		RequestTimeout: 30 * time.Second,
+		AcceptTimeout:  150 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer kv.Close()
+	if err := kv.Put("before", "crash"); err != nil {
+		t.Fatal(err)
+	}
+	// Kill the initial leader (replica 0): the bridge rotates to another
+	// replica, which takes over leadership.
+	if err := kv.CrashReplica(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := kv.Put("after", "crash"); err != nil {
+		t.Fatalf("put after leader crash: %v", err)
+	}
+	got, err := kv.Get("before")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != "crash" {
+		t.Fatalf("state lost across failover: %q", got)
+	}
+}
+
+func TestKVConfigValidation(t *testing.T) {
+	if _, err := StartKV(KVConfig{Replicas: 2}); err == nil {
+		t.Fatal("2 replicas must be rejected")
+	}
+	if _, err := StartKV(KVConfig{Transport: TransportKind(99)}); err == nil {
+		t.Fatal("unknown transport must be rejected")
+	}
+}
+
+func TestSimFacade(t *testing.T) {
+	c := NewSimCluster(SimSpec{
+		Protocol: OnePaxos,
+		Machine:  Machine48(),
+		Cost:     CostsManyCore(),
+		Seed:     1,
+		Replicas: 3,
+		Clients:  2,
+	})
+	c.Start()
+	c.RunFor(5 * time.Millisecond)
+	st := c.ClientStats()
+	if st.Completed == 0 {
+		t.Fatal("no commits through the facade")
+	}
+	if Machine8().Cores() != 8 {
+		t.Fatal("Machine8 wrong")
+	}
+	if CostsLAN().Send <= CostsManyCore().Send {
+		t.Fatal("LAN transmission must exceed many-core transmission")
+	}
+}

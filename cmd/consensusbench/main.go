@@ -1,0 +1,182 @@
+// Command consensusbench regenerates the paper's evaluation tables and
+// figures on the simulated many-core machine.
+//
+// Usage:
+//
+//	consensusbench -run all
+//	consensusbench -run fig8
+//	consensusbench -run latency -seed 7
+//	consensusbench -list
+//
+// Experiment ids mirror DESIGN.md's per-experiment index: netchar, fig2,
+// sec2.2, latency, fig8, fig9, fig10, fig11, acceptor-switch, lan,
+// ablation-batching.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"time"
+
+	"consensusinside/internal/experiments"
+)
+
+type experiment struct {
+	id    string
+	about string
+	run   func(w io.Writer, opts experiments.Opts)
+}
+
+var all = []experiment{
+	{
+		id:    "netchar",
+		about: "Section 3: transmission/propagation delay, many-core vs LAN",
+		run: func(w io.Writer, opts experiments.Opts) {
+			experiments.PrintNetCharacteristics(w, experiments.NetCharacteristics(opts))
+		},
+	},
+	{
+		id:    "fig2",
+		about: "Figure 2: Multi-Paxos scalability, LAN vs many-core",
+		run: func(w io.Writer, opts experiments.Opts) {
+			experiments.PrintFig2(w, experiments.Fig2(opts, nil))
+		},
+	},
+	{
+		id:    "sec2.2",
+		about: "Section 2.2: 2PC throughput with a slow coordinator",
+		run: func(w io.Writer, opts experiments.Opts) {
+			r := experiments.Sec22(opts)
+			experiments.PrintSlowCore(w, "Section 2.2 — 2PC, slow coordinator", r)
+			printRecovery(w, r)
+		},
+	},
+	{
+		id:    "latency",
+		about: "Section 7.2: single-client commit latency per protocol",
+		run: func(w io.Writer, opts experiments.Opts) {
+			experiments.PrintLatency(w, experiments.Latency(opts))
+		},
+	},
+	{
+		id:    "fig8",
+		about: "Figure 8: latency vs throughput sweeping 1..45 clients",
+		run: func(w io.Writer, opts experiments.Opts) {
+			experiments.PrintFig8(w, experiments.Fig8(opts, nil))
+		},
+	},
+	{
+		id:    "fig9",
+		about: "Figure 9: Joint deployments, throughput vs replica count",
+		run: func(w io.Writer, opts experiments.Opts) {
+			experiments.PrintFig9(w, experiments.Fig9(opts, nil))
+		},
+	},
+	{
+		id:    "fig10",
+		about: "Figure 10: 2PC-Joint local reads vs 1Paxos",
+		run: func(w io.Writer, opts experiments.Opts) {
+			experiments.PrintFig10(w, experiments.Fig10(opts))
+		},
+	},
+	{
+		id:    "fig11",
+		about: "Figure 11: 1Paxos throughput with a slow leader",
+		run: func(w io.Writer, opts experiments.Opts) {
+			r := experiments.Fig11(opts)
+			experiments.PrintSlowCore(w, "Figure 11 — 1Paxos, slow leader", r)
+			printRecovery(w, r)
+		},
+	},
+	{
+		id:    "acceptor-switch",
+		about: "Section 5.2: crash of the active acceptor, backup promotion",
+		run: func(w io.Writer, opts experiments.Opts) {
+			r := experiments.AcceptorSwitch(opts)
+			experiments.PrintSlowCore(w, "Acceptor switch — 1Paxos, crashed active acceptor", r)
+			printRecovery(w, r)
+		},
+	},
+	{
+		id:    "lan",
+		about: "Section 8: 1Paxos vs Multi-Paxos over an IP network",
+		run: func(w io.Writer, opts experiments.Opts) {
+			experiments.PrintLANComparison(w, experiments.LANComparison(opts))
+		},
+	},
+	{
+		id:    "ablation-batching",
+		about: "DESIGN.md ablation: acceptor learn batching on/off (47 nodes)",
+		run: func(w io.Writer, opts experiments.Opts) {
+			experiments.PrintAblation(w, "Ablation — 1Paxos-Joint learn batching, 47 replicas",
+				experiments.AblationLearnBatching(opts))
+		},
+	},
+	{
+		id:    "mencius",
+		about: "Section 8 extension: Mencius multi-leader load spreading",
+		run: func(w io.Writer, opts experiments.Opts) {
+			funnel, spread := experiments.MenciusLoadSpread(opts)
+			fmt.Fprintf(w, "Mencius, 3 replicas, offered 100k op/s\n")
+			fmt.Fprintf(w, "%-28s %12.0f/s\n", "all traffic at one leader", funnel)
+			fmt.Fprintf(w, "%-28s %12.0f/s\n", "spread across all leaders", spread)
+			if funnel > 0 {
+				fmt.Fprintf(w, "load-spreading gain: %.2fx\n", spread/funnel)
+			}
+		},
+	},
+}
+
+func printRecovery(w io.Writer, r experiments.SlowCoreResult) {
+	rec := experiments.Recovery(r)
+	fmt.Fprintf(w, "steady %.0f op/s | stalled %d buckets (%v) | recovered %.0f op/s\n",
+		rec.BeforeRate, rec.StallBuckets, time.Duration(rec.StallBuckets)*r.BucketWidth, rec.RecoveredRate)
+}
+
+func main() {
+	runID := flag.String("run", "", "experiment id, or 'all'")
+	list := flag.Bool("list", false, "list experiment ids")
+	seed := flag.Int64("seed", 1, "simulation seed")
+	quick := flag.Bool("quick", false, "shorter runs (CI-friendly)")
+	flag.Parse()
+
+	if *list || *runID == "" {
+		ids := make([]string, 0, len(all))
+		for _, e := range all {
+			ids = append(ids, fmt.Sprintf("  %-18s %s", e.id, e.about))
+		}
+		sort.Strings(ids)
+		fmt.Println("experiments:")
+		for _, line := range ids {
+			fmt.Println(line)
+		}
+		if *runID == "" && !*list {
+			os.Exit(2)
+		}
+		return
+	}
+
+	opts := experiments.Opts{Seed: *seed}
+	if *quick {
+		opts.Duration = 20 * time.Millisecond
+		opts.Warmup = 5 * time.Millisecond
+	}
+
+	ran := 0
+	for _, e := range all {
+		if *runID != "all" && e.id != *runID {
+			continue
+		}
+		start := time.Now()
+		e.run(os.Stdout, opts)
+		fmt.Printf("[%s done in %v]\n\n", e.id, time.Since(start).Round(time.Millisecond))
+		ran++
+	}
+	if ran == 0 {
+		fmt.Fprintf(os.Stderr, "unknown experiment %q (use -list)\n", *runID)
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,20 @@
+// Package consensusinside is a Go reproduction of "Consensus Inside"
+// (David, Guerraoui, Yabandeh — Middleware 2014): message-passing
+// agreement among the cores of a many-core machine, and 1Paxos, a
+// non-blocking consensus protocol with a single active acceptor designed
+// for that environment.
+//
+// The package exposes three layers:
+//
+//   - a replicated key-value service (StartKV) backed by 1Paxos over an
+//     in-process QC-libtask-style runtime or real TCP sockets — the
+//     "adopt this" API;
+//   - the deterministic many-core simulator and cluster harness
+//     (NewSimCluster) used to reproduce every figure of the paper's
+//     evaluation; and
+//   - the experiment runners themselves (RunExperiment and the
+//     experiments re-exported through cmd/consensusbench).
+//
+// See DESIGN.md for the system inventory and EXPERIMENTS.md for measured
+// vs published results.
+package consensusinside

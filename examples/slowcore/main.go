@@ -1,0 +1,66 @@
+// slowcore: an ASCII rendering of the paper's Figure 11.
+//
+// Five clients drive a 3-replica 1Paxos group on the simulated 8-core
+// machine. At t=100ms the leader's core is loaded with CPU hogs. The
+// plot shows commits per 10ms bucket: a steady line, a drop to zero for
+// the client-detection + leader-change window, and recovery to the
+// original throughput under the new leader.
+//
+//	go run ./examples/slowcore
+package main
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	consensusinside "consensusinside"
+)
+
+func main() {
+	c := consensusinside.NewSimCluster(consensusinside.SimSpec{
+		Protocol:     consensusinside.OnePaxos,
+		Machine:      consensusinside.Machine8(),
+		Cost:         consensusinside.CostsManyCoreSlow(),
+		Seed:         1,
+		Replicas:     3,
+		Clients:      5,
+		SeriesBucket: 10 * time.Millisecond,
+		RetryTimeout: 20 * time.Millisecond,
+	})
+	c.Start()
+	c.SlowAt(100*time.Millisecond, 0, consensusinside.CPUHogSlowdown)
+	c.RunFor(400 * time.Millisecond)
+
+	buckets := c.SeriesSum()
+	maxB := 1
+	for _, b := range buckets {
+		if b > maxB {
+			maxB = b
+		}
+	}
+	fmt.Println("1Paxos commits per 10ms bucket (leader slowed at t=100ms):")
+	fmt.Println()
+	const width = 50
+	for i, b := range buckets {
+		bar := strings.Repeat("#", b*width/maxB)
+		marker := " "
+		if i == 10 {
+			marker = "<- 8 CPU hogs land on the leader's core"
+		}
+		fmt.Printf("%4dms |%-*s| %4d %s\n", i*10, width, bar, b, marker)
+	}
+
+	// Quantify the recovery.
+	var leaders []int
+	for i, s := range c.Servers {
+		type leaderer interface{ IsLeader() bool }
+		if l, ok := s.(leaderer); ok && l.IsLeader() {
+			leaders = append(leaders, i)
+		}
+	}
+	fmt.Printf("\nleader after recovery: replica %v (was replica 0)\n", leaders)
+	fmt.Println("the gap is the clients' detection timeout plus one PaxosUtility")
+	fmt.Println("LeaderChange round; throughput returns to the pre-fault level,")
+	fmt.Println("exactly the shape of the paper's Figure 11.")
+}

@@ -1,0 +1,184 @@
+// Package basicpaxos implements the single-decree Synod protocol — the
+// consensus kernel of the Paxos family (Section 2.3 of the paper) — as
+// embeddable, transport-free state machines.
+//
+// The package deliberately contains no message handling: Acceptor and
+// Proposer are pure state, driven by whoever owns the wire format. They
+// are reused by internal/paxosutil (the paper's PaxosUtility, which
+// decides AcceptorChange/LeaderChange entries) and are property-tested
+// directly against the Synod safety invariants.
+package basicpaxos
+
+import (
+	"consensusinside/internal/msg"
+)
+
+// NoPN is the sentinel "no proposal number"; real proposal numbers are
+// always greater than zero.
+const NoPN uint64 = 0
+
+// Acceptor is the single-decree acceptor state for one consensus slot:
+// the highest promised proposal number and the last accepted proposal.
+// The zero value is a fresh acceptor.
+type Acceptor[V any] struct {
+	Promised   uint64
+	AcceptedPN uint64
+	Accepted   V
+}
+
+// Prepare handles a phase-1a request. It reports whether the promise was
+// granted; on success the acceptor promises to reject proposals below pn.
+// Either way the caller should convey Promised, AcceptedPN and Accepted
+// back to the proposer (promise or nack).
+func (a *Acceptor[V]) Prepare(pn uint64) bool {
+	if pn <= a.Promised {
+		return false
+	}
+	a.Promised = pn
+	return true
+}
+
+// Accept handles a phase-2a request. The acceptor accepts iff pn is at
+// least the highest promise it has given (equal included: the proposer
+// that holds the promise uses the same number).
+func (a *Acceptor[V]) Accept(pn uint64, v V) bool {
+	if pn < a.Promised {
+		return false
+	}
+	a.Promised = pn
+	a.AcceptedPN = pn
+	a.Accepted = v
+	return true
+}
+
+// HasAccepted reports whether the acceptor has accepted any proposal.
+func (a *Acceptor[V]) HasAccepted() bool { return a.AcceptedPN != NoPN }
+
+// Phase enumerates a proposer's progress through the Synod.
+type Phase int
+
+// Proposer phases.
+const (
+	PhasePrepare Phase = iota + 1
+	PhaseAccept
+	PhaseDecided
+)
+
+// Proposer drives one consensus slot to a decision over a fixed set of
+// acceptors. It is restartable: Restart begins a new round with a higher
+// proposal number after a rejection or timeout.
+type Proposer[V any] struct {
+	me      msg.NodeID
+	quorum  int
+	pn      uint64
+	want    V // the value this proposer advocates if free to choose
+	phase   Phase
+	value   V // the value actually proposed in phase 2
+	bestPN  uint64
+	prom    map[msg.NodeID]bool
+	accs    map[msg.NodeID]bool
+	decided bool
+}
+
+// NewProposer creates a proposer advocating want. quorum is the majority
+// size of the acceptor set (len/2+1). pn must be unique to this proposer
+// across the cluster (see NextPN).
+func NewProposer[V any](me msg.NodeID, quorum int, pn uint64, want V) *Proposer[V] {
+	if quorum < 1 {
+		panic("basicpaxos: quorum must be at least 1")
+	}
+	return &Proposer[V]{
+		me:     me,
+		quorum: quorum,
+		pn:     pn,
+		want:   want,
+		value:  want,
+		phase:  PhasePrepare,
+		prom:   make(map[msg.NodeID]bool),
+		accs:   make(map[msg.NodeID]bool),
+	}
+}
+
+// PN reports the current proposal number.
+func (p *Proposer[V]) PN() uint64 { return p.pn }
+
+// Phase reports the proposer's progress.
+func (p *Proposer[V]) Phase() Phase { return p.phase }
+
+// Value reports the value bound to phase 2 — meaningful once ReadyToAccept.
+func (p *Proposer[V]) Value() V { return p.value }
+
+// Restart begins a new round with proposal number pn (> the old one),
+// forgetting all promises and acceptances but keeping any value adopted
+// from a previous round's promises: once a proposer has observed an
+// accepted value it keeps advocating it, which is what Lemma 2a/2b of the
+// paper's proof require of leaders.
+func (p *Proposer[V]) Restart(pn uint64) {
+	if pn <= p.pn {
+		panic("basicpaxos: Restart requires a higher proposal number")
+	}
+	p.pn = pn
+	p.phase = PhasePrepare
+	p.prom = make(map[msg.NodeID]bool)
+	p.accs = make(map[msg.NodeID]bool)
+}
+
+// OnPromise folds in a phase-1b promise from an acceptor, carrying the
+// acceptor's previously accepted proposal if any (acceptedPN == NoPN for
+// none). It reports true when the quorum is reached and phase 2 may
+// begin; Value then holds the value to send in accept requests.
+func (p *Proposer[V]) OnPromise(from msg.NodeID, pn uint64, acceptedPN uint64, accepted V) bool {
+	if pn != p.pn || p.phase != PhasePrepare {
+		return false
+	}
+	if acceptedPN > p.bestPN {
+		// A value may already be chosen: adopt the highest-numbered one.
+		p.bestPN = acceptedPN
+		p.value = accepted
+	}
+	p.prom[from] = true
+	if len(p.prom) >= p.quorum {
+		p.phase = PhaseAccept
+		return true
+	}
+	return false
+}
+
+// OnAccepted folds in a phase-2b acknowledgement. It reports true when a
+// quorum has accepted and the value is decided.
+func (p *Proposer[V]) OnAccepted(from msg.NodeID, pn uint64) bool {
+	if pn != p.pn || p.phase != PhaseAccept {
+		return false
+	}
+	p.accs[from] = true
+	if len(p.accs) >= p.quorum && !p.decided {
+		p.decided = true
+		p.phase = PhaseDecided
+		return true
+	}
+	return false
+}
+
+// Decided reports whether the slot reached a decision through this
+// proposer.
+func (p *Proposer[V]) Decided() bool { return p.decided }
+
+// AdoptedForeignValue reports whether the proposer is advocating a value
+// adopted from promises rather than its own want.
+func (p *Proposer[V]) AdoptedForeignValue() bool { return p.bestPN != NoPN }
+
+// pnStride spaces proposal numbers so that distinct nodes never collide:
+// pn = round*pnStride + node + 1. It is larger than any machine in the
+// repository (48 cores).
+const pnStride = 64
+
+// NextPN returns the smallest proposal number for node that is strictly
+// greater than after and unique to that node.
+func NextPN(node msg.NodeID, after uint64) uint64 {
+	base := uint64(node) + 1
+	if after < base {
+		return base
+	}
+	steps := (after-base)/pnStride + 1
+	return base + steps*pnStride
+}

@@ -1,0 +1,341 @@
+// Package cluster wires protocols, clients and the many-core simulator
+// into runnable deployments: the paper's base mode (three server replicas
+// on dedicated cores, clients on the remaining cores, Section 7.1) and
+// the Joint mode (every client is also a replica, Section 7.4), with
+// failure-schedule injection for the slow-core experiments.
+package cluster
+
+import (
+	"fmt"
+	"time"
+
+	"consensusinside/internal/metrics"
+	"consensusinside/internal/msg"
+	"consensusinside/internal/multipaxos"
+	"consensusinside/internal/onepaxos"
+	"consensusinside/internal/rsm"
+	"consensusinside/internal/runtime"
+	"consensusinside/internal/simnet"
+	"consensusinside/internal/topology"
+	"consensusinside/internal/twopc"
+	"consensusinside/internal/workload"
+)
+
+// Protocol selects the agreement protocol under test.
+type Protocol int
+
+// Protocols.
+const (
+	OnePaxos Protocol = iota + 1
+	MultiPaxos
+	TwoPC
+)
+
+// String implements fmt.Stringer.
+func (p Protocol) String() string {
+	switch p {
+	case OnePaxos:
+		return "1Paxos"
+	case MultiPaxos:
+		return "Multi-Paxos"
+	case TwoPC:
+		return "2PC"
+	default:
+		return fmt.Sprintf("protocol(%d)", int(p))
+	}
+}
+
+// Server is the common face of a protocol replica.
+type Server interface {
+	runtime.Handler
+	Commits() int64
+}
+
+// Spec describes a deployment.
+type Spec struct {
+	Protocol Protocol
+	Machine  *topology.Machine
+	Cost     simnet.CostModel
+	Seed     int64
+
+	// Replicas is the server-group size (3 in the paper's base mode; the
+	// node count in Joint mode). Clients is ignored in Joint mode, where
+	// every replica node also hosts a client.
+	Replicas int
+	Clients  int
+	Joint    bool
+
+	// Workload shape.
+	ThinkTime         time.Duration
+	RetryTimeout      time.Duration
+	ReadFraction      float64
+	RequestsPerClient int
+	Warmup            time.Duration
+	SeriesBucket      time.Duration
+
+	// Protocol tuning.
+	AcceptTimeout time.Duration // paxos-family failure detection
+	LearnBatching bool          // 1Paxos acceptor-broadcast batching
+	LocalReads    bool          // 2PC joint-mode local reads
+}
+
+// Cluster is a built deployment, ready to run.
+type Cluster struct {
+	Spec      Spec
+	Net       *simnet.Network
+	Servers   []Server
+	ServerIDs []msg.NodeID
+	Clients   []*workload.Client
+	ClientIDs []msg.NodeID
+}
+
+// Build constructs the deployment described by spec. It panics on
+// malformed specs (experiment wiring bugs), never on runtime conditions.
+func Build(spec Spec) *Cluster {
+	if spec.Machine == nil {
+		panic("cluster: spec needs a machine")
+	}
+	if spec.Replicas < 2 {
+		panic("cluster: need at least two replicas")
+	}
+	net := simnet.New(spec.Machine, spec.Cost, spec.Seed)
+	c := &Cluster{Spec: spec, Net: net}
+
+	serverIDs := make([]msg.NodeID, spec.Replicas)
+	for i := range serverIDs {
+		serverIDs[i] = msg.NodeID(i)
+	}
+	c.ServerIDs = serverIDs
+
+	if spec.Joint {
+		// Every node hosts a replica and a client (Section 7.4).
+		for i := 0; i < spec.Replicas; i++ {
+			id := msg.NodeID(i)
+			server := c.newServer(id, serverIDs, true)
+			client := workload.NewClient(workload.Config{
+				ID:           id,
+				Servers:      serverIDs,
+				Requests:     spec.RequestsPerClient,
+				ThinkTime:    spec.ThinkTime,
+				RetryTimeout: spec.RetryTimeout,
+				ReadFraction: spec.ReadFraction,
+				StartDelay:   time.Duration(i) * time.Microsecond,
+				Warmup:       spec.Warmup,
+				SeriesBucket: spec.SeriesBucket,
+			})
+			c.Servers = append(c.Servers, server)
+			c.Clients = append(c.Clients, client)
+			c.ClientIDs = append(c.ClientIDs, id)
+			net.AddNode(&jointHandler{server: server, client: client})
+		}
+		return c
+	}
+
+	for i := 0; i < spec.Replicas; i++ {
+		server := c.newServer(msg.NodeID(i), serverIDs, false)
+		c.Servers = append(c.Servers, server)
+		net.AddNode(server)
+	}
+	for i := 0; i < spec.Clients; i++ {
+		id := msg.NodeID(spec.Replicas + i)
+		client := workload.NewClient(workload.Config{
+			ID:           id,
+			Servers:      serverIDs,
+			Requests:     spec.RequestsPerClient,
+			ThinkTime:    spec.ThinkTime,
+			RetryTimeout: spec.RetryTimeout,
+			ReadFraction: spec.ReadFraction,
+			StartDelay:   time.Duration(i) * time.Microsecond,
+			Warmup:       spec.Warmup,
+			SeriesBucket: spec.SeriesBucket,
+		})
+		c.Clients = append(c.Clients, client)
+		c.ClientIDs = append(c.ClientIDs, id)
+		net.AddNode(client)
+	}
+	return c
+}
+
+func (c *Cluster) newServer(id msg.NodeID, serverIDs []msg.NodeID, joint bool) Server {
+	spec := c.Spec
+	switch spec.Protocol {
+	case OnePaxos:
+		return onepaxos.New(onepaxos.Config{
+			ID:                  id,
+			Replicas:            serverIDs,
+			Applier:             rsm.NewKV(),
+			AcceptTimeout:       spec.AcceptTimeout,
+			ForwardToLeader:     joint,
+			EnableLearnBatching: spec.LearnBatching,
+		})
+	case MultiPaxos:
+		return multipaxos.New(multipaxos.Config{
+			ID:              id,
+			Replicas:        serverIDs,
+			Applier:         rsm.NewKV(),
+			AcceptTimeout:   spec.AcceptTimeout,
+			ForwardToLeader: joint,
+		})
+	case TwoPC:
+		return twopc.New(twopc.Config{
+			ID:         id,
+			Replicas:   serverIDs,
+			Applier:    rsm.NewKV(),
+			LocalReads: spec.LocalReads,
+		})
+	default:
+		panic(fmt.Sprintf("cluster: unknown protocol %d", int(spec.Protocol)))
+	}
+}
+
+// Start launches all nodes.
+func (c *Cluster) Start() { c.Net.Start() }
+
+// RunFor advances virtual time to t.
+func (c *Cluster) RunFor(t time.Duration) { c.Net.RunFor(t) }
+
+// CPUHogSlowdown models the paper's slow-core injection: 8 CPU-intensive
+// processes sharing the core (Sections 2.2, 7.6). The protocol process
+// gets ~1/9 of the cycles, but it gets them in whole scheduler quanta, so
+// the latency visible to the protocol between two of its time slices is
+// two orders of magnitude worse than the 1/9 throughput share suggests.
+// The factor folds both effects into the simulator's linear cost scaling.
+const CPUHogSlowdown = 150.0
+
+// SlowAt schedules core node to slow down by factor at virtual time t
+// (use CPUHogSlowdown for the paper's 8-CPU-hog injection).
+func (c *Cluster) SlowAt(t time.Duration, node msg.NodeID, factor float64) {
+	c.Net.At(t, func() { c.Net.SetSlow(node, factor) })
+}
+
+// CrashAt schedules a crash of node at virtual time t.
+func (c *Cluster) CrashAt(t time.Duration, node msg.NodeID) {
+	c.Net.At(t, func() { c.Net.Crash(node) })
+}
+
+// RecoverAt schedules a recovery of node at virtual time t.
+func (c *Cluster) RecoverAt(t time.Duration, node msg.NodeID) {
+	c.Net.At(t, func() { c.Net.Recover(node) })
+}
+
+// RunStats aggregates client-side measurements.
+type RunStats struct {
+	Completed  int // total completions (including warmup)
+	Measured   int // completions after warmup
+	Throughput float64
+	Latency    metrics.Summary
+	Retries    int
+}
+
+// ClientStats folds all clients' post-warmup measurements; throughput is
+// measured ops over the [warmup, now] window.
+func (c *Cluster) ClientStats() RunStats {
+	var stats RunStats
+	var hist metrics.Histogram
+	for _, cl := range c.Clients {
+		stats.Completed += cl.Completed()
+		stats.Retries += cl.Retries()
+		n, _, _ := cl.MeasuredOps()
+		stats.Measured += n
+		hist.Merge(cl.Latencies())
+	}
+	window := c.Net.Now() - c.Spec.Warmup
+	stats.Throughput = metrics.Throughput(stats.Measured, window)
+	stats.Latency = hist.Summarize()
+	return stats
+}
+
+// SeriesSum sums all clients' completion time series into one bucket
+// vector (Figure 11's proposals-per-10ms plot).
+func (c *Cluster) SeriesSum() []int {
+	var out []int
+	for _, cl := range c.Clients {
+		s := cl.Series()
+		if s == nil {
+			continue
+		}
+		b := s.Buckets()
+		if len(b) > len(out) {
+			grown := make([]int, len(b))
+			copy(grown, out)
+			out = grown
+		}
+		for i, v := range b {
+			out[i] += v
+		}
+	}
+	return out
+}
+
+// ServerCommits reports each server's applied-command count.
+func (c *Cluster) ServerCommits() []int64 {
+	out := make([]int64, len(c.Servers))
+	for i, s := range c.Servers {
+		out[i] = s.Commits()
+	}
+	return out
+}
+
+// CheckConsistency verifies that no two replicas disagree on any log
+// instance — the paper's consistency safety property ("two different
+// learners cannot learn two different values"). It applies to the
+// paxos-family protocols, which expose instance-indexed logs.
+func (c *Cluster) CheckConsistency() error {
+	chosen := make(map[int64]msg.Value)
+	who := make(map[int64]msg.NodeID)
+	for i, s := range c.Servers {
+		var history []rsm.Entry
+		switch r := s.(type) {
+		case *onepaxos.Replica:
+			history = r.Log().History()
+		case *multipaxos.Replica:
+			history = r.Log().History()
+		default:
+			return nil // 2PC has no totally ordered log
+		}
+		for _, e := range history {
+			if prev, ok := chosen[e.Instance]; ok {
+				if prev != e.Value {
+					return fmt.Errorf("instance %d: replica %d learned %+v, replica %d learned %+v",
+						e.Instance, who[e.Instance], prev, c.ServerIDs[i], e.Value)
+				}
+				continue
+			}
+			chosen[e.Instance] = e.Value
+			who[e.Instance] = c.ServerIDs[i]
+		}
+	}
+	return nil
+}
+
+// jointHandler co-locates a replica and a client on one node (Joint mode).
+// Message routing is by type (replies to the client, everything else to
+// the replica); timer routing is by kind (the workload package's kinds
+// are namespaced at 900+).
+type jointHandler struct {
+	server Server
+	client *workload.Client
+}
+
+var _ runtime.Handler = (*jointHandler)(nil)
+
+func (j *jointHandler) Start(ctx runtime.Context) {
+	j.server.Start(ctx)
+	j.client.Start(ctx)
+}
+
+func (j *jointHandler) Receive(ctx runtime.Context, from msg.NodeID, m msg.Message) {
+	if _, ok := m.(msg.ClientReply); ok {
+		j.client.Receive(ctx, from, m)
+		return
+	}
+	j.server.Receive(ctx, from, m)
+}
+
+func (j *jointHandler) Timer(ctx runtime.Context, tag runtime.TimerTag) {
+	if tag.Kind >= workload.TimerSend {
+		j.client.Timer(ctx, tag)
+		return
+	}
+	j.server.Timer(ctx, tag)
+}

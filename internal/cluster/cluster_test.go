@@ -1,0 +1,227 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+
+	"consensusinside/internal/simnet"
+	"consensusinside/internal/topology"
+)
+
+func baseSpec(p Protocol, clients int) Spec {
+	return Spec{
+		Protocol: p,
+		Machine:  topology.Opteron48(),
+		Cost:     simnet.ManyCore(),
+		Seed:     1,
+		Replicas: 3,
+		Clients:  clients,
+	}
+}
+
+func TestOnePaxosCommitsSingleClient(t *testing.T) {
+	spec := baseSpec(OnePaxos, 1)
+	spec.RequestsPerClient = 100
+	c := Build(spec)
+	c.Start()
+	c.RunFor(50 * time.Millisecond)
+	if got := c.Clients[0].Completed(); got != 100 {
+		t.Fatalf("completed %d requests, want 100", got)
+	}
+	if err := c.CheckConsistency(); err != nil {
+		t.Fatal(err)
+	}
+	// Every replica must have applied all 100 commands.
+	for i, commits := range c.ServerCommits() {
+		if commits < 100 {
+			t.Errorf("replica %d applied %d, want >= 100", i, commits)
+		}
+	}
+}
+
+func TestMultiPaxosCommitsSingleClient(t *testing.T) {
+	spec := baseSpec(MultiPaxos, 1)
+	spec.RequestsPerClient = 100
+	c := Build(spec)
+	c.Start()
+	c.RunFor(50 * time.Millisecond)
+	if got := c.Clients[0].Completed(); got != 100 {
+		t.Fatalf("completed %d requests, want 100", got)
+	}
+	if err := c.CheckConsistency(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTwoPCCommitsSingleClient(t *testing.T) {
+	spec := baseSpec(TwoPC, 1)
+	spec.RequestsPerClient = 100
+	c := Build(spec)
+	c.Start()
+	c.RunFor(50 * time.Millisecond)
+	if got := c.Clients[0].Completed(); got != 100 {
+		t.Fatalf("completed %d requests, want 100", got)
+	}
+	for i, commits := range c.ServerCommits() {
+		if commits != 100 {
+			t.Errorf("replica %d applied %d, want 100", i, commits)
+		}
+	}
+}
+
+func TestAllProtocolsManyClients(t *testing.T) {
+	for _, p := range []Protocol{OnePaxos, MultiPaxos, TwoPC} {
+		p := p
+		t.Run(p.String(), func(t *testing.T) {
+			spec := baseSpec(p, 10)
+			spec.RequestsPerClient = 50
+			c := Build(spec)
+			c.Start()
+			c.RunFor(200 * time.Millisecond)
+			for i, cl := range c.Clients {
+				if got := cl.Completed(); got != 50 {
+					t.Errorf("client %d completed %d, want 50", i, got)
+				}
+			}
+			if err := c.CheckConsistency(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestJointModeAllProtocols(t *testing.T) {
+	for _, p := range []Protocol{OnePaxos, MultiPaxos, TwoPC} {
+		p := p
+		t.Run(p.String(), func(t *testing.T) {
+			spec := baseSpec(p, 0)
+			spec.Joint = true
+			spec.Replicas = 5
+			spec.RequestsPerClient = 20
+			spec.ThinkTime = 100 * time.Microsecond
+			c := Build(spec)
+			c.Start()
+			c.RunFor(200 * time.Millisecond)
+			for i, cl := range c.Clients {
+				if got := cl.Completed(); got != 20 {
+					t.Errorf("joint client %d completed %d, want 20", i, got)
+				}
+			}
+			if err := c.CheckConsistency(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestOnePaxosSurvivesSlowLeader(t *testing.T) {
+	spec := baseSpec(OnePaxos, 5)
+	spec.Machine = topology.Opteron8()
+	spec.Cost = simnet.ManyCoreSlowMachine()
+	spec.RetryTimeout = time.Millisecond
+	spec.SeriesBucket = 10 * time.Millisecond
+	c := Build(spec)
+	c.Start()
+	c.SlowAt(20*time.Millisecond, 0, CPUHogSlowdown) // 8 CPU hogs on core 0
+	c.RunFor(200 * time.Millisecond)
+
+	// After the fault, another replica must take over and clients must
+	// keep committing: require commits in the final quarter of the run.
+	lateOps := 0
+	for _, cl := range c.Clients {
+		_, _, last := cl.MeasuredOps()
+		if last > 150*time.Millisecond {
+			lateOps++
+		}
+	}
+	if lateOps == 0 {
+		t.Fatal("no client committed after leader slowdown; takeover failed")
+	}
+	if err := c.CheckConsistency(); err != nil {
+		t.Fatal(err)
+	}
+	leaders := 0
+	for i, s := range c.Servers {
+		type leaderer interface{ IsLeader() bool }
+		if l, ok := s.(leaderer); ok && l.IsLeader() && i != 0 {
+			leaders++
+		}
+	}
+	if leaders == 0 {
+		t.Error("expected a non-core-0 replica to lead after the slowdown")
+	}
+}
+
+func TestTwoPCBlocksOnSlowCoordinator(t *testing.T) {
+	spec := baseSpec(TwoPC, 5)
+	spec.Machine = topology.Opteron8()
+	spec.Cost = simnet.ManyCoreSlowMachine()
+	spec.SeriesBucket = 10 * time.Millisecond
+	c := Build(spec)
+	c.Start()
+	c.SlowAt(20*time.Millisecond, 0, CPUHogSlowdown)
+	c.RunFor(220 * time.Millisecond)
+	// Throughput must collapse: commits per 10ms bucket before the fault
+	// must dwarf the rate near the end of the run.
+	buckets := c.SeriesSum()
+	if len(buckets) < 3 {
+		t.Fatalf("series too short: %d buckets", len(buckets))
+	}
+	before := buckets[1] // 10-20ms, pre-fault steady state
+	if before == 0 {
+		t.Fatal("no pre-fault throughput")
+	}
+	// Buckets from 150ms on; a stalled cluster records none (missing
+	// buckets are zeros).
+	lateSum := 0
+	for i := 15; i < len(buckets); i++ {
+		lateSum += buckets[i]
+	}
+	late := float64(lateSum) / 7 // 150ms..220ms = 7 buckets
+	if late > float64(before)/10 {
+		t.Errorf("2PC throughput should collapse with a slow coordinator: before=%d ops/bucket, late=%.1f ops/bucket", before, late)
+	}
+}
+
+func TestOnePaxosSurvivesCrashedAcceptor(t *testing.T) {
+	spec := baseSpec(OnePaxos, 3)
+	spec.RetryTimeout = 2 * time.Millisecond
+	c := Build(spec)
+	c.Start()
+	// The initial active acceptor is the last replica (node 2).
+	c.CrashAt(10*time.Millisecond, 2)
+	c.RunFor(100 * time.Millisecond)
+	late := 0
+	for _, cl := range c.Clients {
+		_, _, last := cl.MeasuredOps()
+		if last > 80*time.Millisecond {
+			late++
+		}
+	}
+	if late == 0 {
+		t.Fatal("no commits after acceptor crash; acceptor switch failed")
+	}
+	if err := c.CheckConsistency(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCheckConsistencyDetectsDivergence(t *testing.T) {
+	spec := baseSpec(OnePaxos, 1)
+	spec.RequestsPerClient = 5
+	c := Build(spec)
+	c.Start()
+	c.RunFor(20 * time.Millisecond)
+	if err := c.CheckConsistency(); err != nil {
+		t.Fatalf("healthy run flagged inconsistent: %v", err)
+	}
+}
+
+func TestBuildValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for missing machine")
+		}
+	}()
+	Build(Spec{Protocol: OnePaxos, Replicas: 3})
+}

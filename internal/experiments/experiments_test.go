@@ -1,0 +1,199 @@
+package experiments
+
+import (
+	"bytes"
+	"testing"
+	"time"
+)
+
+// quick returns opts small enough for CI while keeping steady state.
+func quick() Opts {
+	return Opts{Seed: 1, Duration: 15 * time.Millisecond, Warmup: 5 * time.Millisecond}
+}
+
+func TestNetCharacteristicsShape(t *testing.T) {
+	rows := NetCharacteristics(quick())
+	if len(rows) != 2 {
+		t.Fatalf("want 2 rows, got %d", len(rows))
+	}
+	mc, lan := rows[0], rows[1]
+	// The paper's headline: trans/prop ≈ 1 inside the machine, ≈ 0.015
+	// in a LAN — two orders of magnitude apart.
+	if mc.Ratio < 0.5 || mc.Ratio > 2 {
+		t.Errorf("many-core ratio = %.3f, want ~1", mc.Ratio)
+	}
+	if lan.Ratio > 0.05 {
+		t.Errorf("LAN ratio = %.3f, want ~0.015", lan.Ratio)
+	}
+	if mc.Ratio/lan.Ratio < 20 {
+		t.Errorf("ratio gap = %.1fx, want orders of magnitude", mc.Ratio/lan.Ratio)
+	}
+	var buf bytes.Buffer
+	PrintNetCharacteristics(&buf, rows)
+	if buf.Len() == 0 {
+		t.Error("print produced nothing")
+	}
+}
+
+func TestLatencyOrdering(t *testing.T) {
+	rows := Latency(quick())
+	byName := map[string]time.Duration{}
+	for _, r := range rows {
+		byName[r.Protocol] = r.Latency
+	}
+	if !(byName["1Paxos"] < byName["Multi-Paxos"] && byName["Multi-Paxos"] < byName["2PC"]) {
+		t.Fatalf("latency ordering broken: %v", byName)
+	}
+	var buf bytes.Buffer
+	PrintLatency(&buf, rows)
+	if buf.Len() == 0 {
+		t.Error("print produced nothing")
+	}
+}
+
+func TestFig8Shape(t *testing.T) {
+	series := Fig8(quick(), []int{1, 3, 13})
+	onePeak := PeakThroughput(series["1Paxos"])
+	mpPeak := PeakThroughput(series["Multi-Paxos"])
+	tpcPeak := PeakThroughput(series["2PC"])
+	if !(onePeak > mpPeak && mpPeak > tpcPeak) {
+		t.Fatalf("peak ordering broken: 1P=%.0f MP=%.0f 2PC=%.0f", onePeak, mpPeak, tpcPeak)
+	}
+	// The paper's factor: baselines around half of 1Paxos.
+	if ratio := mpPeak / onePeak; ratio < 0.4 || ratio > 0.8 {
+		t.Errorf("MP/1P = %.2f, want roughly one half", ratio)
+	}
+	var buf bytes.Buffer
+	PrintFig8(&buf, series)
+	if buf.Len() == 0 {
+		t.Error("print produced nothing")
+	}
+}
+
+func TestFig2Shape(t *testing.T) {
+	series := Fig2(quick(), []int{1, 3, 20})
+	mc := series["Multi-Paxos Multicore"]
+	lan := series["Multi-Paxos LAN"]
+	// Many-core saturates after ~3 clients; the LAN keeps scaling.
+	if mc[2].Throughput > mc[1].Throughput*1.2 {
+		t.Errorf("many-core should be flat after 3 clients: %v -> %v", mc[1].Throughput, mc[2].Throughput)
+	}
+	if lan[2].Throughput < lan[1].Throughput*2 {
+		t.Errorf("LAN should keep scaling: %v -> %v", lan[1].Throughput, lan[2].Throughput)
+	}
+	var buf bytes.Buffer
+	PrintFig2(&buf, series)
+	if buf.Len() == 0 {
+		t.Error("print produced nothing")
+	}
+}
+
+func TestFig9Shape(t *testing.T) {
+	opts := Opts{Seed: 1, Duration: 40 * time.Millisecond, Warmup: 10 * time.Millisecond}
+	series := Fig9(opts, []int{3, 20, 47})
+	one := Throughputs(series["1Paxos-Joint"])
+	mp := Throughputs(series["Multi-Paxos-Joint"])
+	// 1Paxos-Joint grows all the way to 47 replicas.
+	if !(one[2] > one[1] && one[1] > one[0]) {
+		t.Fatalf("1Paxos-Joint must scale: %v", one)
+	}
+	// The baselines fall away from 1Paxos at 47 nodes (paper: they peak
+	// around 20 and then decline).
+	if mp[2] > one[2]/2 {
+		t.Errorf("Multi-Paxos-Joint at 47 nodes = %.0f, want well below 1Paxos %.0f", mp[2], one[2])
+	}
+	var buf bytes.Buffer
+	PrintFig9(&buf, series)
+	if buf.Len() == 0 {
+		t.Error("print produced nothing")
+	}
+}
+
+func TestFig10Shape(t *testing.T) {
+	rows := Fig10(quick())
+	get := func(label string, clients int) float64 {
+		for _, r := range rows {
+			if r.Label == label && r.Clients == clients {
+				return r.Throughput
+			}
+		}
+		t.Fatalf("row %q/%d missing", label, clients)
+		return 0
+	}
+	// Reads help 2PC-Joint monotonically.
+	if !(get("2PC-Joint - 75% read", 3) > get("2PC-Joint - 10% read", 3) &&
+		get("2PC-Joint - 10% read", 3) > get("2PC-Joint - 0% read", 3)) {
+		t.Error("read fraction must help 2PC-Joint at 3 clients")
+	}
+	// At 5 clients 1Paxos beats even 75% reads (the paper's punchline).
+	if get("1Paxos - 0% read", 5) <= get("2PC-Joint - 75% read", 5) {
+		t.Error("1Paxos must win at 5 clients despite 0% reads")
+	}
+	var buf bytes.Buffer
+	PrintFig10(&buf, rows)
+	if buf.Len() == 0 {
+		t.Error("print produced nothing")
+	}
+}
+
+func TestFig11Recovery(t *testing.T) {
+	opts := Opts{Seed: 1, Duration: 200 * time.Millisecond}
+	r := Fig11(opts)
+	rec := Recovery(r)
+	if rec.BeforeRate == 0 {
+		t.Fatal("no steady-state throughput")
+	}
+	if rec.StallBuckets == 0 {
+		t.Error("the leader change must produce a visible stall")
+	}
+	if rec.RecoveredRate < rec.BeforeRate*0.9 {
+		t.Errorf("throughput must recover to the pre-fault level: %.0f vs %.0f",
+			rec.RecoveredRate, rec.BeforeRate)
+	}
+	var buf bytes.Buffer
+	PrintSlowCore(&buf, "fig11", r)
+	if buf.Len() == 0 {
+		t.Error("print produced nothing")
+	}
+}
+
+func TestSec22Collapse(t *testing.T) {
+	opts := Opts{Seed: 1, Duration: 200 * time.Millisecond}
+	rec := Recovery(Sec22(opts))
+	if rec.BeforeRate == 0 {
+		t.Fatal("no steady-state throughput")
+	}
+	if rec.RecoveredRate > rec.BeforeRate/10 {
+		t.Errorf("2PC must collapse for good: before %.0f, after %.0f",
+			rec.BeforeRate, rec.RecoveredRate)
+	}
+}
+
+func TestAcceptorSwitchRecovery(t *testing.T) {
+	opts := Opts{Seed: 1, Duration: 200 * time.Millisecond}
+	rec := Recovery(AcceptorSwitch(opts))
+	if rec.RecoveredRate < rec.BeforeRate*0.9 {
+		t.Errorf("acceptor switch must restore throughput: %.0f vs %.0f",
+			rec.RecoveredRate, rec.BeforeRate)
+	}
+}
+
+func TestMenciusLoadSpread(t *testing.T) {
+	funnel, spread := MenciusLoadSpread(Opts{Seed: 1, Duration: 30 * time.Millisecond})
+	if spread < funnel {
+		t.Errorf("spreading load across leaders must not hurt: funnel %.0f spread %.0f", funnel, spread)
+	}
+}
+
+func TestMeanRate(t *testing.T) {
+	buckets := []int{10, 20, 30}
+	if got := MeanRate(buckets, 10*time.Millisecond, 0, 3); got != 2000 {
+		t.Errorf("MeanRate = %v, want 2000/s", got)
+	}
+	if got := MeanRate(buckets, 10*time.Millisecond, 2, 99); got != 3000 {
+		t.Errorf("clamped MeanRate = %v, want 3000/s", got)
+	}
+	if got := MeanRate(buckets, 10*time.Millisecond, 3, 3); got != 0 {
+		t.Errorf("empty MeanRate = %v, want 0", got)
+	}
+}

@@ -1,0 +1,224 @@
+// Package mencius implements Mencius (Mao, Junqueira, Marzullo — OSDI
+// 2008) as the paper's Section 8 discusses it: a multi-leader derivative
+// of Multi-Paxos that partitions the instance space round-robin across
+// replicas so that every replica leads its own share of instances and
+// client load spreads across all leaders.
+//
+// The variant here is the common-case protocol: fixed instance ownership,
+// accept broadcast by the owner, majority learning, and the *skip* rule —
+// an owner that observes a higher foreign instance gives up its unused
+// smaller instances so the log never waits on an idle leader. Leader
+// revocation (stealing a crashed owner's instances) is out of scope; the
+// package exists to quantify the related-work comparison: Mencius removes
+// the single-leader funnel, but every agreement still crosses all
+// acceptors — the per-commit message count 1Paxos halves is untouched
+// ("Mencius could also benefit from the main insight of 1Paxos").
+package mencius
+
+import (
+	"fmt"
+
+	"consensusinside/internal/msg"
+	"consensusinside/internal/rsm"
+	"consensusinside/internal/runtime"
+)
+
+// Config parameterizes a Replica.
+type Config struct {
+	// ID is this node; Replicas is the group in a fixed shared order.
+	// Replica k owns instances i with i mod len(Replicas) == k.
+	ID       msg.NodeID
+	Replicas []msg.NodeID
+
+	// Applier is the replicated state machine; nil means a fresh KV.
+	Applier rsm.Applier
+}
+
+// Replica is one Mencius node: owner-proposer for its instance share,
+// acceptor and learner for all instances.
+type Replica struct {
+	cfg      Config
+	me       msg.NodeID
+	replicas []msg.NodeID
+	idx      int
+	quorum   int
+	ctx      runtime.Context
+
+	nextOwned int64 // lowest owned instance not yet proposed or skipped
+	proposed  map[int64]msg.Value
+	origin    map[originKey]bool
+
+	votes    map[int64]map[msg.NodeID]bool
+	log      *rsm.Log
+	sessions *rsm.Sessions
+
+	commits int64
+	skips   int64
+}
+
+type originKey struct {
+	client msg.NodeID
+	seq    uint64
+}
+
+var _ runtime.Handler = (*Replica)(nil)
+
+// New builds a Replica; it panics on malformed configuration.
+func New(cfg Config) *Replica {
+	if len(cfg.Replicas) < 3 {
+		panic("mencius: need at least three replicas")
+	}
+	idx := -1
+	for i, id := range cfg.Replicas {
+		if id == cfg.ID {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		panic(fmt.Sprintf("mencius: node %d not in replica set %v", cfg.ID, cfg.Replicas))
+	}
+	applier := cfg.Applier
+	if applier == nil {
+		applier = rsm.NewKV()
+	}
+	r := &Replica{
+		cfg:       cfg,
+		me:        cfg.ID,
+		replicas:  append([]msg.NodeID(nil), cfg.Replicas...),
+		idx:       idx,
+		quorum:    len(cfg.Replicas)/2 + 1,
+		nextOwned: int64(idx),
+		proposed:  make(map[int64]msg.Value),
+		origin:    make(map[originKey]bool),
+		votes:     make(map[int64]map[msg.NodeID]bool),
+		sessions:  rsm.NewSessions(),
+	}
+	r.log = rsm.NewLog(rsm.Dedup{Sessions: r.sessions, Inner: applier})
+	r.log.OnApply(r.onApply)
+	return r
+}
+
+// Commits reports applied instances (skips included).
+func (r *Replica) Commits() int64 { return r.commits }
+
+// Skips reports how many owned instances this node gave up.
+func (r *Replica) Skips() int64 { return r.skips }
+
+// Log exposes the learner log for consistency checks.
+func (r *Replica) Log() *rsm.Log { return r.log }
+
+// Start implements runtime.Handler.
+func (r *Replica) Start(ctx runtime.Context) { r.ctx = ctx }
+
+// Timer implements runtime.Handler; the common-case protocol is
+// timer-free.
+func (r *Replica) Timer(ctx runtime.Context, tag runtime.TimerTag) { r.ctx = ctx }
+
+// Receive dispatches one message.
+func (r *Replica) Receive(ctx runtime.Context, from msg.NodeID, m msg.Message) {
+	r.ctx = ctx
+	switch mm := m.(type) {
+	case msg.ClientRequest:
+		r.onClientRequest(mm)
+	case msg.MencAccept:
+		r.onAccept(from, mm)
+	case msg.MencLearn:
+		r.onLearn(mm)
+	case msg.MencSkip:
+		r.onSkip(mm)
+	}
+}
+
+// onClientRequest proposes the command at this node's next owned
+// instance — every replica is a leader for its share (the Mencius
+// load-spreading idea).
+func (r *Replica) onClientRequest(req msg.ClientRequest) {
+	if inst, result, ok := r.sessions.Lookup(req.Client, req.Seq); ok {
+		r.ctx.Send(req.Client, msg.ClientReply{Seq: req.Seq, Instance: inst, OK: true, Result: result})
+		return
+	}
+	in := r.nextOwned
+	r.nextOwned += int64(len(r.replicas))
+	v := msg.Value{Client: req.Client, Seq: req.Seq, Cmd: req.Cmd}
+	r.proposed[in] = v
+	r.origin[originKey{req.Client, req.Seq}] = true
+	for _, id := range r.replicas {
+		r.ctx.Send(id, msg.MencAccept{Instance: in, PN: 1, Value: v})
+	}
+}
+
+// onAccept is the acceptor role: instance ownership replaces proposal
+// numbers (only the owner may propose its instances), so the accept is
+// taken directly and echoed to all learners.
+func (r *Replica) onAccept(from msg.NodeID, m msg.MencAccept) {
+	r.skipBelow(m.Instance)
+	for _, id := range r.replicas {
+		r.ctx.Send(id, msg.MencLearn{Instance: m.Instance, Value: m.Value, From: r.me})
+	}
+	_ = from
+}
+
+// onLearn is the learner role: majority acceptance decides.
+func (r *Replica) onLearn(m msg.MencLearn) {
+	if r.log.Learned(m.Instance) {
+		return
+	}
+	byNode, ok := r.votes[m.Instance]
+	if !ok {
+		byNode = make(map[msg.NodeID]bool)
+		r.votes[m.Instance] = byNode
+	}
+	byNode[m.From] = true
+	if len(byNode) >= r.quorum {
+		delete(r.votes, m.Instance)
+		r.log.Learn(m.Instance, m.Value)
+	}
+}
+
+// onSkip applies an owner's authoritative no-op fill for its own unused
+// instances: only the owner may propose there, so its skip decides.
+func (r *Replica) onSkip(m msg.MencSkip) {
+	n := int64(len(r.replicas))
+	for in := m.FromInstance; in < m.ToInstance; in += n {
+		if !r.log.Learned(in) {
+			r.log.Learn(in, msg.Value{Client: msg.Nobody, Cmd: msg.Command{Op: msg.OpNoop}})
+		}
+	}
+}
+
+// skipBelow gives up this node's owned-but-unused instances below the
+// observed foreign instance, so the log never waits on an idle owner
+// ("the under-loaded leaders also have to skip their share of the
+// instance space", Section 8).
+func (r *Replica) skipBelow(observed int64) {
+	if r.nextOwned >= observed {
+		return
+	}
+	from := r.nextOwned
+	n := int64(len(r.replicas))
+	for r.nextOwned < observed {
+		r.skips++
+		r.nextOwned += n
+	}
+	skip := msg.MencSkip{FromInstance: from, ToInstance: observed, From: r.me}
+	for _, id := range r.replicas {
+		r.ctx.Send(id, skip)
+	}
+}
+
+func (r *Replica) onApply(e rsm.Entry, result string) {
+	r.commits++
+	v := e.Value
+	if v.Client == msg.Nobody {
+		return
+	}
+	if !r.sessions.Seen(v.Client, v.Seq) {
+		r.sessions.Done(v.Client, v.Seq, e.Instance, result)
+	}
+	key := originKey{v.Client, v.Seq}
+	if r.origin[key] {
+		delete(r.origin, key)
+		r.ctx.Send(v.Client, msg.ClientReply{Seq: v.Seq, Instance: e.Instance, OK: true, Result: result})
+	}
+}

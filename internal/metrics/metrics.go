@@ -1,0 +1,224 @@
+// Package metrics provides the measurement primitives used by the
+// experiment harness: latency histograms with percentile queries, windowed
+// time series (for throughput-over-time plots such as the paper's Figure 11),
+// and simple counters.
+//
+// All types in this package are safe for single-goroutine use; the
+// discrete-event simulator is single-threaded, and the real runtime
+// aggregates per-client instances, so no locking is required on the hot
+// path. Concurrent aggregation helpers take explicit snapshots.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+)
+
+// Histogram records duration samples and answers percentile queries.
+// The zero value is ready to use.
+type Histogram struct {
+	samples []time.Duration
+	sorted  bool
+	sum     time.Duration
+	min     time.Duration
+	max     time.Duration
+}
+
+// Record adds one sample.
+func (h *Histogram) Record(d time.Duration) {
+	if len(h.samples) == 0 || d < h.min {
+		h.min = d
+	}
+	if d > h.max {
+		h.max = d
+	}
+	h.samples = append(h.samples, d)
+	h.sum += d
+	h.sorted = false
+}
+
+// Count reports the number of recorded samples.
+func (h *Histogram) Count() int { return len(h.samples) }
+
+// Mean reports the arithmetic mean of the samples, or 0 with no samples.
+func (h *Histogram) Mean() time.Duration {
+	if len(h.samples) == 0 {
+		return 0
+	}
+	return h.sum / time.Duration(len(h.samples))
+}
+
+// Min reports the smallest sample, or 0 with no samples.
+func (h *Histogram) Min() time.Duration { return h.min }
+
+// Max reports the largest sample, or 0 with no samples.
+func (h *Histogram) Max() time.Duration { return h.max }
+
+// Percentile reports the p-th percentile (0 < p <= 100) using
+// nearest-rank on the sorted samples. It reports 0 with no samples.
+func (h *Histogram) Percentile(p float64) time.Duration {
+	if len(h.samples) == 0 {
+		return 0
+	}
+	if !h.sorted {
+		sort.Slice(h.samples, func(i, j int) bool { return h.samples[i] < h.samples[j] })
+		h.sorted = true
+	}
+	if p <= 0 {
+		return h.samples[0]
+	}
+	rank := int(math.Ceil(p / 100 * float64(len(h.samples))))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > len(h.samples) {
+		rank = len(h.samples)
+	}
+	return h.samples[rank-1]
+}
+
+// Median reports the 50th percentile.
+func (h *Histogram) Median() time.Duration { return h.Percentile(50) }
+
+// Reset discards all samples.
+func (h *Histogram) Reset() {
+	h.samples = h.samples[:0]
+	h.sum, h.min, h.max = 0, 0, 0
+	h.sorted = false
+}
+
+// Merge folds the samples of other into h.
+func (h *Histogram) Merge(other *Histogram) {
+	for _, s := range other.samples {
+		h.Record(s)
+	}
+}
+
+// Summary is an immutable snapshot of a histogram, convenient for tables.
+type Summary struct {
+	Count  int
+	Mean   time.Duration
+	Median time.Duration
+	P95    time.Duration
+	P99    time.Duration
+	Min    time.Duration
+	Max    time.Duration
+}
+
+// Summarize captures the usual percentile spread.
+func (h *Histogram) Summarize() Summary {
+	return Summary{
+		Count:  h.Count(),
+		Mean:   h.Mean(),
+		Median: h.Median(),
+		P95:    h.Percentile(95),
+		P99:    h.Percentile(99),
+		Min:    h.Min(),
+		Max:    h.Max(),
+	}
+}
+
+// String renders the summary on one line, microsecond precision.
+func (s Summary) String() string {
+	return fmt.Sprintf("n=%d mean=%.1fµs p50=%.1fµs p95=%.1fµs p99=%.1fµs min=%.1fµs max=%.1fµs",
+		s.Count, us(s.Mean), us(s.Median), us(s.P95), us(s.P99), us(s.Min), us(s.Max))
+}
+
+func us(d time.Duration) float64 { return float64(d) / float64(time.Microsecond) }
+
+// TimeSeries counts events into fixed-width buckets of (virtual) time,
+// reproducing plots like the paper's Figure 11 (proposals per 10 ms bucket).
+type TimeSeries struct {
+	bucket  time.Duration
+	buckets []int
+}
+
+// NewTimeSeries makes a series with the given bucket width.
+// It panics if the width is not positive; the width is a programming
+// constant, never user input.
+func NewTimeSeries(bucket time.Duration) *TimeSeries {
+	if bucket <= 0 {
+		panic("metrics: bucket width must be positive")
+	}
+	return &TimeSeries{bucket: bucket}
+}
+
+// Record counts one event at time t (measured from the start of the run).
+func (ts *TimeSeries) Record(t time.Duration) {
+	if t < 0 {
+		return
+	}
+	idx := int(t / ts.bucket)
+	for len(ts.buckets) <= idx {
+		ts.buckets = append(ts.buckets, 0)
+	}
+	ts.buckets[idx]++
+}
+
+// BucketWidth reports the configured bucket width.
+func (ts *TimeSeries) BucketWidth() time.Duration { return ts.bucket }
+
+// Buckets returns a copy of the per-bucket counts.
+func (ts *TimeSeries) Buckets() []int {
+	out := make([]int, len(ts.buckets))
+	copy(out, ts.buckets)
+	return out
+}
+
+// Rate converts bucket counts to events/second for each bucket.
+func (ts *TimeSeries) Rate() []float64 {
+	out := make([]float64, len(ts.buckets))
+	perSec := float64(time.Second) / float64(ts.bucket)
+	for i, c := range ts.buckets {
+		out[i] = float64(c) * perSec
+	}
+	return out
+}
+
+// Total reports the sum over all buckets.
+func (ts *TimeSeries) Total() int {
+	total := 0
+	for _, c := range ts.buckets {
+		total += c
+	}
+	return total
+}
+
+// Counter is a labeled monotonic counter set, used for per-node message
+// accounting (e.g. messages sent/received by the leader).
+type Counter struct {
+	counts map[string]int64
+}
+
+// NewCounter returns an empty counter set.
+func NewCounter() *Counter { return &Counter{counts: make(map[string]int64)} }
+
+// Add increments label by delta.
+func (c *Counter) Add(label string, delta int64) { c.counts[label] += delta }
+
+// Inc increments label by one.
+func (c *Counter) Inc(label string) { c.Add(label, 1) }
+
+// Get reports the current value for label (0 if never incremented).
+func (c *Counter) Get(label string) int64 { return c.counts[label] }
+
+// Labels returns the sorted set of labels seen so far.
+func (c *Counter) Labels() []string {
+	out := make([]string, 0, len(c.counts))
+	for k := range c.counts {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Throughput converts an operation count over an elapsed duration into
+// operations per second. It reports 0 for a non-positive elapsed time.
+func Throughput(ops int, elapsed time.Duration) float64 {
+	if elapsed <= 0 {
+		return 0
+	}
+	return float64(ops) / elapsed.Seconds()
+}

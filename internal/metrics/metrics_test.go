@@ -1,0 +1,206 @@
+package metrics
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestHistogramBasics(t *testing.T) {
+	var h Histogram
+	if h.Count() != 0 || h.Mean() != 0 || h.Percentile(50) != 0 {
+		t.Fatalf("zero histogram should report zeros, got count=%d mean=%v p50=%v", h.Count(), h.Mean(), h.Percentile(50))
+	}
+	for _, d := range []time.Duration{30, 10, 20} {
+		h.Record(d * time.Microsecond)
+	}
+	if got := h.Count(); got != 3 {
+		t.Errorf("Count = %d, want 3", got)
+	}
+	if got := h.Mean(); got != 20*time.Microsecond {
+		t.Errorf("Mean = %v, want 20µs", got)
+	}
+	if got := h.Min(); got != 10*time.Microsecond {
+		t.Errorf("Min = %v, want 10µs", got)
+	}
+	if got := h.Max(); got != 30*time.Microsecond {
+		t.Errorf("Max = %v, want 30µs", got)
+	}
+	if got := h.Median(); got != 20*time.Microsecond {
+		t.Errorf("Median = %v, want 20µs", got)
+	}
+}
+
+func TestHistogramPercentileNearestRank(t *testing.T) {
+	var h Histogram
+	for i := 1; i <= 100; i++ {
+		h.Record(time.Duration(i))
+	}
+	tests := []struct {
+		p    float64
+		want time.Duration
+	}{
+		{1, 1}, {50, 50}, {95, 95}, {99, 99}, {100, 100}, {0, 1},
+	}
+	for _, tc := range tests {
+		if got := h.Percentile(tc.p); got != tc.want {
+			t.Errorf("Percentile(%v) = %v, want %v", tc.p, got, tc.want)
+		}
+	}
+}
+
+func TestHistogramPercentileMonotonic(t *testing.T) {
+	f := func(raw []uint16, a, b uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		var h Histogram
+		for _, r := range raw {
+			h.Record(time.Duration(r))
+		}
+		pa := float64(a % 101)
+		pb := float64(b % 101)
+		if pa > pb {
+			pa, pb = pb, pa
+		}
+		return h.Percentile(pa) <= h.Percentile(pb)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHistogramRecordAfterPercentile(t *testing.T) {
+	// Recording after a percentile query must re-sort correctly.
+	var h Histogram
+	h.Record(5)
+	h.Record(1)
+	if got := h.Median(); got != 1 {
+		t.Fatalf("median of {1,5} = %v, want 1", got)
+	}
+	h.Record(0)
+	if got := h.Percentile(1); got != 0 {
+		t.Fatalf("p1 after late insert = %v, want 0", got)
+	}
+}
+
+func TestHistogramMergeAndReset(t *testing.T) {
+	var a, b Histogram
+	a.Record(10)
+	b.Record(20)
+	b.Record(30)
+	a.Merge(&b)
+	if a.Count() != 3 || a.Max() != 30 {
+		t.Fatalf("after merge: count=%d max=%v, want 3/30", a.Count(), a.Max())
+	}
+	a.Reset()
+	if a.Count() != 0 || a.Min() != 0 || a.Max() != 0 {
+		t.Fatalf("after reset: %+v", a.Summarize())
+	}
+}
+
+func TestSummary(t *testing.T) {
+	var h Histogram
+	for i := 1; i <= 10; i++ {
+		h.Record(time.Duration(i) * time.Microsecond)
+	}
+	s := h.Summarize()
+	if s.Count != 10 || s.Median != 5*time.Microsecond || s.P95 != 10*time.Microsecond {
+		t.Fatalf("unexpected summary %+v", s)
+	}
+	if s.String() == "" {
+		t.Fatal("String should render")
+	}
+}
+
+func TestTimeSeries(t *testing.T) {
+	ts := NewTimeSeries(10 * time.Millisecond)
+	ts.Record(0)
+	ts.Record(5 * time.Millisecond)
+	ts.Record(10 * time.Millisecond)
+	ts.Record(25 * time.Millisecond)
+	ts.Record(-time.Millisecond) // ignored
+	got := ts.Buckets()
+	want := []int{2, 1, 1}
+	if len(got) != len(want) {
+		t.Fatalf("buckets = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("buckets = %v, want %v", got, want)
+		}
+	}
+	if ts.Total() != 4 {
+		t.Errorf("Total = %d, want 4", ts.Total())
+	}
+	rate := ts.Rate()
+	if rate[0] != 200 { // 2 events per 10ms bucket = 200/s
+		t.Errorf("Rate[0] = %v, want 200", rate[0])
+	}
+	if ts.BucketWidth() != 10*time.Millisecond {
+		t.Errorf("BucketWidth = %v", ts.BucketWidth())
+	}
+}
+
+func TestTimeSeriesPanicsOnBadWidth(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for zero bucket width")
+		}
+	}()
+	NewTimeSeries(0)
+}
+
+func TestTimeSeriesBucketsIsCopy(t *testing.T) {
+	ts := NewTimeSeries(time.Millisecond)
+	ts.Record(0)
+	b := ts.Buckets()
+	b[0] = 99
+	if ts.Buckets()[0] != 1 {
+		t.Fatal("Buckets must return a copy")
+	}
+}
+
+func TestCounter(t *testing.T) {
+	c := NewCounter()
+	c.Inc("sent")
+	c.Add("sent", 2)
+	c.Inc("recv")
+	if got := c.Get("sent"); got != 3 {
+		t.Errorf("Get(sent) = %d, want 3", got)
+	}
+	if got := c.Get("missing"); got != 0 {
+		t.Errorf("Get(missing) = %d, want 0", got)
+	}
+	labels := c.Labels()
+	if len(labels) != 2 || labels[0] != "recv" || labels[1] != "sent" {
+		t.Errorf("Labels = %v", labels)
+	}
+}
+
+func TestThroughput(t *testing.T) {
+	if got := Throughput(1000, time.Second); got != 1000 {
+		t.Errorf("Throughput = %v, want 1000", got)
+	}
+	if got := Throughput(500, 500*time.Millisecond); got != 1000 {
+		t.Errorf("Throughput = %v, want 1000", got)
+	}
+	if got := Throughput(10, 0); got != 0 {
+		t.Errorf("Throughput over zero time = %v, want 0", got)
+	}
+}
+
+func TestHistogramLargeRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	var h Histogram
+	for i := 0; i < 10000; i++ {
+		h.Record(time.Duration(rng.Intn(1_000_000)))
+	}
+	if h.Percentile(50) > h.Percentile(99) {
+		t.Fatal("p50 > p99")
+	}
+	if h.Min() > h.Percentile(1) || h.Percentile(99) > h.Max() {
+		t.Fatal("percentiles outside [min,max]")
+	}
+}

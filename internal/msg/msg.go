@@ -1,0 +1,379 @@
+// Package msg defines the complete message vocabulary of the agreement
+// protocols in this repository: client traffic, 1Paxos (Appendix A of the
+// paper), PaxosUtility, collapsed Multi-Paxos, the Barrelfish-style 2PC
+// agreement protocol, and the Mencius extension.
+//
+// Messages are plain data. The simulator passes them by value between
+// cores; the TCP transport encodes them with encoding/gob (see Register).
+package msg
+
+import (
+	"encoding/gob"
+	"fmt"
+)
+
+// NodeID identifies a node (a core in the paper's vision) within a
+// cluster. Node ids are dense, starting at 0.
+type NodeID int
+
+// Nobody is the sentinel for "no node" (e.g. no known active acceptor).
+const Nobody NodeID = -1
+
+// Op enumerates state-machine operations.
+type Op int
+
+// State-machine operations. Enums start at one so the zero value is
+// detectably invalid, except OpNoop which is the explicit no-op.
+const (
+	OpNoop Op = iota + 1
+	OpPut
+	OpGet
+)
+
+// String implements fmt.Stringer for diagnostics.
+func (o Op) String() string {
+	switch o {
+	case OpNoop:
+		return "noop"
+	case OpPut:
+		return "put"
+	case OpGet:
+		return "get"
+	default:
+		return fmt.Sprintf("op(%d)", int(o))
+	}
+}
+
+// Command is one state-machine command.
+type Command struct {
+	Op  Op
+	Key string
+	Val string
+}
+
+// Value is the unit the protocols agree on: a client command tagged with
+// its origin, so replicas can route the reply and deduplicate retries.
+type Value struct {
+	Client NodeID
+	Seq    uint64
+	Cmd    Command
+}
+
+// IsZero reports whether v is the zero (absent) value.
+func (v Value) IsZero() bool { return v.Client == 0 && v.Seq == 0 && v.Cmd.Op == 0 }
+
+// Proposal is an (instance, proposal-number, value) triple — the acceptor's
+// short-term memory in Paxos-family protocols.
+type Proposal struct {
+	Instance int64
+	PN       uint64
+	Value    Value
+}
+
+// Message is implemented by every protocol message.
+type Message interface {
+	// Kind returns a short stable name used for per-kind accounting.
+	Kind() string
+}
+
+// ---------------------------------------------------------------------------
+// Client traffic
+// ---------------------------------------------------------------------------
+
+// ClientRequest carries one command from a client to a replica.
+type ClientRequest struct {
+	Client NodeID
+	Seq    uint64
+	Cmd    Command
+}
+
+// ClientReply answers a ClientRequest after the command committed (or
+// redirects the client to the current leader).
+type ClientReply struct {
+	Seq      uint64
+	Instance int64
+	OK       bool
+	Result   string
+	Redirect NodeID // valid when !OK: where the client should retry
+}
+
+func (ClientRequest) Kind() string { return "client_request" }
+func (ClientReply) Kind() string   { return "client_reply" }
+
+// ---------------------------------------------------------------------------
+// 1Paxos (Appendix A)
+// ---------------------------------------------------------------------------
+
+// PrepareRequest asks the active acceptor to adopt the sender as leader.
+// MustBeFresh mirrors the pseudo-code's YouMustBeFresh flag: the sender
+// expects a fresh backup acceptor that has adopted no leader yet, which
+// catches silently-rebooted acceptors. From is the proposer's applied
+// frontier: the acceptor answers with every proposal it has accepted or
+// already applied from that instance on, so a lagging new leader cannot
+// re-propose a fresh value for an instance that was already decided.
+type PrepareRequest struct {
+	PN          uint64
+	MustBeFresh bool
+	From        int64
+}
+
+// PrepareResponse is the acceptor's promise, piggybacking every accepted
+// proposal so the new leader re-proposes them (Lemma 2b).
+type PrepareResponse struct {
+	Acceptor NodeID
+	PN       uint64
+	Accepted []Proposal
+}
+
+// Abandon tells a proposer its proposal number lost to a higher one, or
+// that its freshness expectation was wrong. The pseudo-code's acceptor
+// stays silent on a freshness mismatch and proposers rely on timeouts;
+// sending an explicit nack with the acceptor's actual freshness is a
+// latency optimization that changes no protocol state.
+type Abandon struct {
+	HPN           uint64
+	FreshMismatch bool
+	IamFresh      bool
+}
+
+// AcceptRequest asks the active acceptor to accept value for instance.
+type AcceptRequest struct {
+	Instance int64
+	PN       uint64
+	Value    Value
+}
+
+// Learn carries accepted proposals from the acceptor to the learners.
+// The slice form is the acceptor-side batching described in DESIGN.md:
+// with no backlog the slice holds a single entry.
+type Learn struct {
+	Entries []Proposal
+}
+
+func (PrepareRequest) Kind() string  { return "prepare_request" }
+func (PrepareResponse) Kind() string { return "prepare_response" }
+func (Abandon) Kind() string         { return "abandon" }
+func (AcceptRequest) Kind() string   { return "accept_request" }
+func (Learn) Kind() string           { return "learn" }
+
+// ---------------------------------------------------------------------------
+// PaxosUtility (Section 5.2-5.4)
+// ---------------------------------------------------------------------------
+
+// UtilEntryType distinguishes the two entry kinds of the utility log.
+type UtilEntryType int
+
+// Utility log entry kinds.
+const (
+	EntryLeaderChange UtilEntryType = iota + 1
+	EntryAcceptorChange
+)
+
+// UtilEntry is one PaxosUtility log entry: either "node L is leader,
+// working with acceptor A" or "the active acceptor is now A, carrying the
+// leader's uncommitted proposals".
+//
+// Frontier (AcceptorChange only) is the switching leader's applied
+// frontier: every instance below it was decided at the *previous*
+// acceptor and its learn is already in flight, so a later leader must not
+// fill those instances with no-ops — it waits for the learns instead.
+// Together with Uncommitted (every proposed-but-unlearned value at or
+// above the frontier) this makes the carried state complete.
+type UtilEntry struct {
+	Type        UtilEntryType
+	Leader      NodeID
+	Acceptor    NodeID
+	Uncommitted []Proposal
+	Frontier    int64
+}
+
+// IsZero reports whether the entry is absent.
+func (e UtilEntry) IsZero() bool { return e.Type == 0 }
+
+// UtilPrepare is phase-1a of the utility's Basic Paxos for one log slot.
+type UtilPrepare struct {
+	Slot int64
+	PN   uint64
+}
+
+// UtilPromise is phase-1b: a promise, carrying any previously accepted
+// entry for the slot.
+type UtilPromise struct {
+	Slot       int64
+	PN         uint64
+	AcceptedPN uint64
+	Accepted   UtilEntry
+}
+
+// UtilAccept is phase-2a for one slot.
+type UtilAccept struct {
+	Slot  int64
+	PN    uint64
+	Entry UtilEntry
+}
+
+// UtilAccepted is phase-2b, broadcast to all nodes as learners.
+type UtilAccepted struct {
+	Slot  int64
+	PN    uint64
+	Entry UtilEntry
+	From  NodeID
+}
+
+// UtilNack rejects a utility prepare/accept that lost to a higher number.
+type UtilNack struct {
+	Slot int64
+	PN   uint64
+}
+
+func (UtilPrepare) Kind() string  { return "util_prepare" }
+func (UtilPromise) Kind() string  { return "util_promise" }
+func (UtilAccept) Kind() string   { return "util_accept" }
+func (UtilAccepted) Kind() string { return "util_accepted" }
+func (UtilNack) Kind() string     { return "util_nack" }
+
+// ---------------------------------------------------------------------------
+// Collapsed Multi-Paxos (Section 2.3)
+// ---------------------------------------------------------------------------
+
+// MPPrepare is Multi-Paxos phase 1 for all instances >= FromInstance.
+type MPPrepare struct {
+	PN           uint64
+	FromInstance int64
+}
+
+// MPPromise is the acceptor's reply to MPPrepare with everything it has
+// accepted at or after the requested instance.
+type MPPromise struct {
+	PN       uint64
+	From     NodeID
+	Accepted []Proposal
+}
+
+// MPAccept is Multi-Paxos phase 2 for one instance.
+type MPAccept struct {
+	Instance int64
+	PN       uint64
+	Value    Value
+}
+
+// MPLearn is an acceptor's accept notification, broadcast to learners; a
+// learner learns an instance after MPLearns from a majority of acceptors.
+type MPLearn struct {
+	Instance int64
+	PN       uint64
+	Value    Value
+	From     NodeID
+}
+
+// MPNack rejects a proposal number that lost.
+type MPNack struct {
+	PN uint64
+}
+
+func (MPPrepare) Kind() string { return "mp_prepare" }
+func (MPPromise) Kind() string { return "mp_promise" }
+func (MPAccept) Kind() string  { return "mp_accept" }
+func (MPLearn) Kind() string   { return "mp_learn" }
+func (MPNack) Kind() string    { return "mp_nack" }
+
+// ---------------------------------------------------------------------------
+// 2PC in its Barrelfish agreement form (Section 2.2)
+// ---------------------------------------------------------------------------
+
+// TPCPrepare is the coordinator's phase-1 lock request.
+type TPCPrepare struct {
+	TxID  int64
+	Value Value
+}
+
+// TPCAck acknowledges (or refuses) a prepare.
+type TPCAck struct {
+	TxID int64
+	From NodeID
+	OK   bool
+}
+
+// TPCCommit is the coordinator's phase-2 commit order.
+type TPCCommit struct {
+	TxID  int64
+	Value Value
+}
+
+// TPCCommitAck acknowledges a commit after local execution.
+type TPCCommitAck struct {
+	TxID int64
+	From NodeID
+}
+
+// TPCRollback aborts a transaction whose prepare failed.
+type TPCRollback struct {
+	TxID int64
+}
+
+func (TPCPrepare) Kind() string   { return "2pc_prepare" }
+func (TPCAck) Kind() string       { return "2pc_ack" }
+func (TPCCommit) Kind() string    { return "2pc_commit" }
+func (TPCCommitAck) Kind() string { return "2pc_commit_ack" }
+func (TPCRollback) Kind() string  { return "2pc_rollback" }
+
+// ---------------------------------------------------------------------------
+// Mencius (related-work extension, Section 8)
+// ---------------------------------------------------------------------------
+
+// MencAccept proposes a value for an instance owned by the sending leader.
+type MencAccept struct {
+	Instance int64
+	PN       uint64
+	Value    Value
+}
+
+// MencLearn is the acceptor-side accept notification for Mencius.
+type MencLearn struct {
+	Instance int64
+	Value    Value
+	From     NodeID
+}
+
+// MencSkip lets an idle leader give up its share of the instance space so
+// the log keeps advancing.
+type MencSkip struct {
+	FromInstance int64
+	ToInstance   int64
+	From         NodeID
+}
+
+func (MencAccept) Kind() string { return "menc_accept" }
+func (MencLearn) Kind() string  { return "menc_learn" }
+func (MencSkip) Kind() string   { return "menc_skip" }
+
+// Register registers every concrete message type with encoding/gob so the
+// TCP transport can encode Message interface values. Call it once per
+// process before opening network channels.
+func Register() {
+	gob.Register(ClientRequest{})
+	gob.Register(ClientReply{})
+	gob.Register(PrepareRequest{})
+	gob.Register(PrepareResponse{})
+	gob.Register(Abandon{})
+	gob.Register(AcceptRequest{})
+	gob.Register(Learn{})
+	gob.Register(UtilPrepare{})
+	gob.Register(UtilPromise{})
+	gob.Register(UtilAccept{})
+	gob.Register(UtilAccepted{})
+	gob.Register(UtilNack{})
+	gob.Register(MPPrepare{})
+	gob.Register(MPPromise{})
+	gob.Register(MPAccept{})
+	gob.Register(MPLearn{})
+	gob.Register(MPNack{})
+	gob.Register(TPCPrepare{})
+	gob.Register(TPCAck{})
+	gob.Register(TPCCommit{})
+	gob.Register(TPCCommitAck{})
+	gob.Register(TPCRollback{})
+	gob.Register(MencAccept{})
+	gob.Register(MencLearn{})
+	gob.Register(MencSkip{})
+}

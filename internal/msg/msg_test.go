@@ -1,0 +1,105 @@
+package msg
+
+import (
+	"bytes"
+	"encoding/gob"
+	"testing"
+)
+
+func TestKindsAreUniqueAndStable(t *testing.T) {
+	all := []Message{
+		ClientRequest{}, ClientReply{},
+		PrepareRequest{}, PrepareResponse{}, Abandon{}, AcceptRequest{}, Learn{},
+		UtilPrepare{}, UtilPromise{}, UtilAccept{}, UtilAccepted{}, UtilNack{},
+		MPPrepare{}, MPPromise{}, MPAccept{}, MPLearn{}, MPNack{},
+		TPCPrepare{}, TPCAck{}, TPCCommit{}, TPCCommitAck{}, TPCRollback{},
+		MencAccept{}, MencLearn{}, MencSkip{},
+	}
+	seen := make(map[string]bool, len(all))
+	for _, m := range all {
+		k := m.Kind()
+		if k == "" {
+			t.Errorf("%T has empty kind", m)
+		}
+		if seen[k] {
+			t.Errorf("duplicate kind %q (%T)", k, m)
+		}
+		seen[k] = true
+	}
+}
+
+func TestOpString(t *testing.T) {
+	tests := []struct {
+		op   Op
+		want string
+	}{
+		{OpNoop, "noop"},
+		{OpPut, "put"},
+		{OpGet, "get"},
+		{Op(42), "op(42)"},
+	}
+	for _, tc := range tests {
+		if got := tc.op.String(); got != tc.want {
+			t.Errorf("Op(%d).String() = %q, want %q", int(tc.op), got, tc.want)
+		}
+	}
+}
+
+func TestValueIsZero(t *testing.T) {
+	if !(Value{}).IsZero() {
+		t.Error("zero value must report IsZero")
+	}
+	if (Value{Client: 1, Seq: 1, Cmd: Command{Op: OpPut}}).IsZero() {
+		t.Error("real value must not report IsZero")
+	}
+}
+
+func TestUtilEntryIsZero(t *testing.T) {
+	if !(UtilEntry{}).IsZero() {
+		t.Error("zero entry must report IsZero")
+	}
+	if (UtilEntry{Type: EntryLeaderChange}).IsZero() {
+		t.Error("typed entry must not report IsZero")
+	}
+}
+
+// TestGobRoundTripAllMessages ensures every registered message survives
+// the TCP transport's wire encoding inside an interface-typed envelope.
+func TestGobRoundTripAllMessages(t *testing.T) {
+	Register()
+	Register() // idempotent: re-registration of identical types is fine
+
+	type envelope struct {
+		From NodeID
+		M    Message
+	}
+	cases := []Message{
+		ClientRequest{Client: 3, Seq: 7, Cmd: Command{Op: OpPut, Key: "k", Val: "v"}},
+		ClientReply{Seq: 7, Instance: 4, OK: true, Result: "v", Redirect: Nobody},
+		PrepareRequest{PN: 9, MustBeFresh: true, From: 2},
+		PrepareResponse{Acceptor: 1, PN: 9, Accepted: []Proposal{{Instance: 1, PN: 9, Value: Value{Client: 3, Seq: 7}}}},
+		Abandon{HPN: 11, FreshMismatch: true, IamFresh: true},
+		AcceptRequest{Instance: 5, PN: 9, Value: Value{Client: 3, Seq: 8}},
+		Learn{Entries: []Proposal{{Instance: 5, PN: 9}}},
+		UtilAccepted{Slot: 2, PN: 3, From: 1, Entry: UtilEntry{
+			Type: EntryAcceptorChange, Leader: 0, Acceptor: 1, Frontier: 9,
+			Uncommitted: []Proposal{{Instance: 9, PN: 3}},
+		}},
+		MPPromise{PN: 4, From: 2, Accepted: []Proposal{{Instance: 0, PN: 1}}},
+		TPCPrepare{TxID: 12, Value: Value{Client: 1, Seq: 1}},
+		MencSkip{FromInstance: 0, ToInstance: 9, From: 2},
+	}
+	for _, m := range cases {
+		var buf bytes.Buffer
+		if err := gob.NewEncoder(&buf).Encode(envelope{From: 1, M: m}); err != nil {
+			t.Fatalf("encode %T: %v", m, err)
+		}
+		var out envelope
+		if err := gob.NewDecoder(bytes.NewReader(buf.Bytes())).Decode(&out); err != nil {
+			t.Fatalf("decode %T: %v", m, err)
+		}
+		if out.M.Kind() != m.Kind() {
+			t.Fatalf("round trip changed kind: %q -> %q", m.Kind(), out.M.Kind())
+		}
+	}
+}

@@ -1,0 +1,441 @@
+// Package multipaxos implements collapsed Multi-Paxos (Section 2.3 of the
+// paper), the baseline the paper calls "arguably the most efficient
+// consensus protocol to date": every replica plays proposer, acceptor and
+// learner; a stable leader skips phase 1 after winning it once and drives
+// one accept round per command; learners learn an instance after
+// acceptances from a majority of acceptors.
+//
+// The structural difference from 1Paxos (Figure 3) is that the accept and
+// learn traffic touches *every* acceptor: with three replicas the leader
+// node sends/receives roughly twice the messages per agreement that the
+// 1Paxos leader does, which is exactly the effect the paper's evaluation
+// measures.
+package multipaxos
+
+import (
+	"fmt"
+	"time"
+
+	"consensusinside/internal/basicpaxos"
+	"consensusinside/internal/msg"
+	"consensusinside/internal/rsm"
+	"consensusinside/internal/runtime"
+)
+
+// Timer kinds.
+const (
+	timerAcceptDeadline = 1 // Arg: instance
+	timerRetryPrepare   = 2
+)
+
+// Defaults for Config zero values.
+const (
+	DefaultAcceptTimeout  = 400 * time.Microsecond
+	DefaultPrepareBackoff = 200 * time.Microsecond
+)
+
+// Config parameterizes a Replica.
+type Config struct {
+	// ID is this node; Replicas is the agreement group in a fixed shared
+	// order. Replicas[0] is the initial leader.
+	ID       msg.NodeID
+	Replicas []msg.NodeID
+
+	// Applier is the replicated state machine; nil means a fresh KV.
+	Applier rsm.Applier
+
+	// AcceptTimeout bounds how long the leader waits for an instance to
+	// be learned before retransmitting its accept.
+	AcceptTimeout time.Duration
+
+	// PrepareBackoff delays prepare retries after losing a duel.
+	PrepareBackoff time.Duration
+
+	// ForwardToLeader makes non-leaders forward client requests to the
+	// known leader (the Joint deployment of Section 7.4) instead of
+	// competing for leadership.
+	ForwardToLeader bool
+}
+
+// Replica is one collapsed Multi-Paxos node.
+type Replica struct {
+	cfg      Config
+	me       msg.NodeID
+	replicas []msg.NodeID
+	quorum   int
+	ctx      runtime.Context
+
+	// Proposer state.
+	iAmLeader   bool
+	preparing   bool
+	myPN        uint64
+	maxPNSeen   uint64
+	promises    map[msg.NodeID]bool
+	carried     map[int64]msg.Proposal // highest-pn accepted values from promises
+	nextInst    int64
+	proposed    map[int64]msg.Value
+	outstanding map[int64]bool
+	pending     []msg.ClientRequest
+	origin      map[originKey]bool
+	knownLeader msg.NodeID
+
+	// Acceptor state.
+	hpn uint64
+	ap  map[int64]msg.Proposal
+
+	// Learner state: per-instance acceptance votes, keyed by proposal
+	// number; an instance is learned when one pn gathers a majority.
+	votes    map[int64]map[msg.NodeID]msg.Proposal
+	log      *rsm.Log
+	sessions *rsm.Sessions
+
+	commits   int64
+	takeovers int64
+}
+
+type originKey struct {
+	client msg.NodeID
+	seq    uint64
+}
+
+var _ runtime.Handler = (*Replica)(nil)
+
+// New builds a Replica. It panics on malformed configuration (programming
+// errors in experiment wiring).
+func New(cfg Config) *Replica {
+	if len(cfg.Replicas) < 3 {
+		panic("multipaxos: need at least three replicas")
+	}
+	in := false
+	for _, id := range cfg.Replicas {
+		if id == cfg.ID {
+			in = true
+			break
+		}
+	}
+	if !in {
+		panic(fmt.Sprintf("multipaxos: node %d not in replica set %v", cfg.ID, cfg.Replicas))
+	}
+	if cfg.AcceptTimeout == 0 {
+		cfg.AcceptTimeout = DefaultAcceptTimeout
+	}
+	if cfg.PrepareBackoff == 0 {
+		cfg.PrepareBackoff = DefaultPrepareBackoff
+	}
+	applier := cfg.Applier
+	if applier == nil {
+		applier = rsm.NewKV()
+	}
+	r := &Replica{
+		cfg:         cfg,
+		me:          cfg.ID,
+		replicas:    append([]msg.NodeID(nil), cfg.Replicas...),
+		quorum:      len(cfg.Replicas)/2 + 1,
+		promises:    make(map[msg.NodeID]bool),
+		carried:     make(map[int64]msg.Proposal),
+		proposed:    make(map[int64]msg.Value),
+		outstanding: make(map[int64]bool),
+		origin:      make(map[originKey]bool),
+		knownLeader: cfg.Replicas[0],
+		ap:          make(map[int64]msg.Proposal),
+		votes:       make(map[int64]map[msg.NodeID]msg.Proposal),
+		sessions:    rsm.NewSessions(),
+	}
+	r.log = rsm.NewLog(rsm.Dedup{Sessions: r.sessions, Inner: applier})
+	r.log.OnApply(r.onApply)
+	return r
+}
+
+// IsLeader reports whether this node currently leads.
+func (r *Replica) IsLeader() bool { return r.iAmLeader }
+
+// Commits reports how many instances this node has applied.
+func (r *Replica) Commits() int64 { return r.commits }
+
+// Takeovers reports how many times this node won leadership.
+func (r *Replica) Takeovers() int64 { return r.takeovers }
+
+// Log exposes the learner log for consistency checks in tests.
+func (r *Replica) Log() *rsm.Log { return r.log }
+
+// Start launches phase 1 on the initial leader; Multi-Paxos pays the
+// prepare round once and then leads every subsequent instance
+// (Section 2.3: "After a proposer p takes the leadership position for one
+// instance, it could be more efficient if p assumes this position for the
+// next Paxos instance as well").
+func (r *Replica) Start(ctx runtime.Context) {
+	r.ctx = ctx
+	if r.me == r.replicas[0] {
+		r.startPrepare()
+	}
+}
+
+// Receive dispatches one message.
+func (r *Replica) Receive(ctx runtime.Context, from msg.NodeID, m msg.Message) {
+	r.ctx = ctx
+	switch mm := m.(type) {
+	case msg.ClientRequest:
+		r.onClientRequest(from, mm)
+	case msg.MPPrepare:
+		r.onPrepare(from, mm)
+	case msg.MPPromise:
+		r.onPromise(from, mm)
+	case msg.MPAccept:
+		r.onAccept(from, mm)
+	case msg.MPLearn:
+		r.onLearn(mm)
+	case msg.MPNack:
+		r.onNack(mm)
+	}
+}
+
+// Timer dispatches one timer.
+func (r *Replica) Timer(ctx runtime.Context, tag runtime.TimerTag) {
+	r.ctx = ctx
+	switch tag.Kind {
+	case timerAcceptDeadline:
+		if r.iAmLeader && r.outstanding[tag.Arg] && !r.log.Learned(tag.Arg) {
+			// Retransmit; acceptors re-broadcast learns for duplicates.
+			r.broadcastAccept(tag.Arg)
+		}
+	case timerRetryPrepare:
+		if !r.iAmLeader && len(r.pending) > 0 {
+			r.startPrepare()
+		}
+	}
+}
+
+// --- Client path ---
+
+func (r *Replica) onClientRequest(from msg.NodeID, req msg.ClientRequest) {
+	if inst, result, ok := r.sessions.Lookup(req.Client, req.Seq); ok {
+		r.ctx.Send(req.Client, msg.ClientReply{Seq: req.Seq, Instance: inst, OK: true, Result: result})
+		return
+	}
+	switch {
+	case r.iAmLeader:
+		r.origin[originKey{req.Client, req.Seq}] = true
+		r.proposeValue(msg.Value{Client: req.Client, Seq: req.Seq, Cmd: req.Cmd})
+	case r.cfg.ForwardToLeader && r.knownLeader != r.me && r.knownLeader != msg.Nobody && from != r.knownLeader:
+		r.ctx.Send(r.knownLeader, req)
+	default:
+		r.origin[originKey{req.Client, req.Seq}] = true
+		r.pending = append(r.pending, req)
+		if !r.preparing {
+			r.startPrepare()
+		}
+	}
+}
+
+func (r *Replica) proposeValue(v msg.Value) {
+	in := r.nextInst
+	r.nextInst++
+	r.proposed[in] = v
+	r.broadcastAccept(in)
+}
+
+func (r *Replica) broadcastAccept(in int64) {
+	v, ok := r.proposed[in]
+	if !ok || r.log.Learned(in) {
+		return
+	}
+	r.outstanding[in] = true
+	for _, id := range r.replicas {
+		r.ctx.Send(id, msg.MPAccept{Instance: in, PN: r.myPN, Value: v})
+	}
+	r.ctx.After(r.cfg.AcceptTimeout, runtime.TimerTag{Kind: timerAcceptDeadline, Arg: in})
+}
+
+// --- Phase 1 ---
+
+func (r *Replica) startPrepare() {
+	r.preparing = true
+	r.myPN = r.nextPN()
+	r.promises = make(map[msg.NodeID]bool)
+	r.carried = make(map[int64]msg.Proposal)
+	for _, id := range r.replicas {
+		r.ctx.Send(id, msg.MPPrepare{PN: r.myPN, FromInstance: r.log.NextToApply()})
+	}
+}
+
+func (r *Replica) onPrepare(from msg.NodeID, m msg.MPPrepare) {
+	if m.PN > r.maxPNSeen {
+		r.maxPNSeen = m.PN
+	}
+	if m.PN > r.hpn {
+		r.hpn = m.PN
+		// Answer with live accepted proposals plus the already-applied
+		// suffix: an applied value is decided, and a proposer lagging
+		// behind this acceptor's applied frontier must re-propose it
+		// rather than invent a fresh value for a decided instance.
+		seen := make(map[int64]bool, len(r.ap))
+		tail := make([]msg.Proposal, 0, len(r.ap))
+		for in, p := range r.ap {
+			if in >= m.FromInstance {
+				tail = append(tail, p)
+				seen[in] = true
+			}
+		}
+		for _, e := range r.log.Since(m.FromInstance) {
+			if !seen[e.Instance] {
+				tail = append(tail, msg.Proposal{Instance: e.Instance, PN: m.PN, Value: e.Value})
+			}
+		}
+		r.ctx.Send(from, msg.MPPromise{PN: m.PN, From: r.me, Accepted: tail})
+	} else {
+		r.ctx.Send(from, msg.MPNack{PN: r.hpn})
+	}
+}
+
+func (r *Replica) onPromise(from msg.NodeID, m msg.MPPromise) {
+	if !r.preparing || m.PN != r.myPN {
+		return
+	}
+	for _, p := range m.Accepted {
+		if prev, ok := r.carried[p.Instance]; !ok || p.PN > prev.PN {
+			r.carried[p.Instance] = p
+		}
+	}
+	r.promises[from] = true
+	if len(r.promises) < r.quorum {
+		return
+	}
+	// Leadership won: re-propose carried values, fill gaps, serve queue.
+	r.preparing = false
+	r.iAmLeader = true
+	r.knownLeader = r.me
+	r.takeovers++
+	for in, p := range r.carried {
+		if !r.log.Learned(in) {
+			r.proposed[in] = p.Value
+			if in >= r.nextInst {
+				r.nextInst = in + 1
+			}
+		}
+	}
+	if r.nextInst < r.log.NextToApply() {
+		r.nextInst = r.log.NextToApply()
+	}
+	for in := r.log.NextToApply(); in < r.nextInst; in++ {
+		if _, ok := r.proposed[in]; !ok && !r.log.Learned(in) {
+			r.proposed[in] = msg.Value{Client: msg.Nobody, Cmd: msg.Command{Op: msg.OpNoop}}
+		}
+	}
+	for in := r.log.NextToApply(); in < r.nextInst; in++ {
+		r.broadcastAccept(in)
+	}
+	pending := r.pending
+	r.pending = nil
+	for _, req := range pending {
+		if r.sessions.Seen(req.Client, req.Seq) {
+			continue
+		}
+		r.proposeValue(msg.Value{Client: req.Client, Seq: req.Seq, Cmd: req.Cmd})
+	}
+}
+
+// --- Phase 2 ---
+
+func (r *Replica) onAccept(from msg.NodeID, m msg.MPAccept) {
+	if m.PN > r.maxPNSeen {
+		r.maxPNSeen = m.PN
+	}
+	if m.PN < r.hpn {
+		r.ctx.Send(from, msg.MPNack{PN: r.hpn})
+		return
+	}
+	r.hpn = m.PN
+	for in := range r.ap {
+		if in < r.log.NextToApply() {
+			delete(r.ap, in)
+		}
+	}
+	p := msg.Proposal{Instance: m.Instance, PN: m.PN, Value: m.Value}
+	r.ap[m.Instance] = p
+	// Acceptors broadcast to all learners (Section 2.3: "the acceptors
+	// broadcast the corresponding message to all the learners").
+	for _, id := range r.replicas {
+		r.ctx.Send(id, msg.MPLearn{Instance: m.Instance, PN: m.PN, Value: m.Value, From: r.me})
+	}
+	if from != r.me {
+		r.knownLeader = from
+	}
+}
+
+func (r *Replica) onLearn(m msg.MPLearn) {
+	if r.log.Learned(m.Instance) {
+		return
+	}
+	byNode, ok := r.votes[m.Instance]
+	if !ok {
+		byNode = make(map[msg.NodeID]msg.Proposal)
+		r.votes[m.Instance] = byNode
+	}
+	byNode[m.From] = msg.Proposal{Instance: m.Instance, PN: m.PN, Value: m.Value}
+	count := 0
+	for _, p := range byNode {
+		if p.PN == m.PN {
+			count++
+		}
+	}
+	if count >= r.quorum {
+		delete(r.votes, m.Instance)
+		delete(r.outstanding, m.Instance)
+		r.log.Learn(m.Instance, m.Value)
+	}
+}
+
+func (r *Replica) onNack(m msg.MPNack) {
+	if m.PN > r.maxPNSeen {
+		r.maxPNSeen = m.PN
+	}
+	if r.iAmLeader && m.PN > r.myPN {
+		// A higher-numbered proposer exists: deposed.
+		r.iAmLeader = false
+		return
+	}
+	if r.preparing {
+		// Lost the duel: retry after a jittered backoff.
+		r.preparing = false
+		backoff := r.cfg.PrepareBackoff + time.Duration(r.ctx.Rand().Int63n(int64(r.cfg.PrepareBackoff)))
+		r.ctx.After(backoff, runtime.TimerTag{Kind: timerRetryPrepare})
+	}
+}
+
+// --- Apply path ---
+
+func (r *Replica) onApply(e rsm.Entry, result string) {
+	r.commits++
+	delete(r.proposed, e.Instance)
+	delete(r.outstanding, e.Instance)
+	v := e.Value
+	if v.Client == msg.Nobody {
+		return
+	}
+	if !r.sessions.Seen(v.Client, v.Seq) {
+		r.sessions.Done(v.Client, v.Seq, e.Instance, result)
+	}
+	key := originKey{v.Client, v.Seq}
+	if r.origin[key] {
+		delete(r.origin, key)
+		r.ctx.Send(v.Client, msg.ClientReply{Seq: v.Seq, Instance: e.Instance, OK: true, Result: result})
+	}
+}
+
+func (r *Replica) nextPN() uint64 {
+	base := r.myPN
+	if r.maxPNSeen > base {
+		base = r.maxPNSeen
+	}
+	if r.hpn > base {
+		base = r.hpn
+	}
+	idx := 0
+	for i, id := range r.replicas {
+		if id == r.me {
+			idx = i
+			break
+		}
+	}
+	return basicpaxos.NextPN(msg.NodeID(idx), base)
+}

@@ -1,0 +1,307 @@
+package multipaxos
+
+import (
+	"testing"
+	"time"
+
+	"consensusinside/internal/msg"
+	"consensusinside/internal/runtime"
+	"consensusinside/internal/simnet"
+	"consensusinside/internal/topology"
+)
+
+func replicaIDs(n int) []msg.NodeID {
+	out := make([]msg.NodeID, n)
+	for i := range out {
+		out[i] = msg.NodeID(i)
+	}
+	return out
+}
+
+func TestNewValidation(t *testing.T) {
+	mustPanic := func(name string, fn func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s must panic", name)
+			}
+		}()
+		fn()
+	}
+	mustPanic("two replicas", func() { New(Config{ID: 0, Replicas: replicaIDs(2)}) })
+	mustPanic("non-member", func() { New(Config{ID: 9, Replicas: replicaIDs(3)}) })
+}
+
+func TestLeaderWinsPhaseOneThenProposes(t *testing.T) {
+	r := New(Config{ID: 0, Replicas: replicaIDs(3)})
+	ctx := runtime.NewFakeContext(0, 3)
+	r.Start(ctx)
+	// Phase 1 must go to every acceptor, self included.
+	prepares := 0
+	var pn uint64
+	for _, s := range ctx.TakeSent() {
+		if p, ok := s.M.(msg.MPPrepare); ok {
+			prepares++
+			pn = p.PN
+		}
+	}
+	if prepares != 3 {
+		t.Fatalf("sent %d prepares, want 3", prepares)
+	}
+	// A minority of promises is not enough.
+	r.Receive(ctx, 0, msg.MPPromise{PN: pn, From: 0})
+	if r.IsLeader() {
+		t.Fatal("one promise of three must not elect")
+	}
+	r.Receive(ctx, 1, msg.MPPromise{PN: pn, From: 1})
+	if !r.IsLeader() {
+		t.Fatal("majority of promises must elect")
+	}
+	// A client request broadcasts one accept per replica.
+	ctx.TakeSent()
+	r.Receive(ctx, 7, msg.ClientRequest{Client: 7, Seq: 1, Cmd: msg.Command{Op: msg.OpPut, Key: "k"}})
+	accepts := 0
+	for _, s := range ctx.Sent {
+		if _, ok := s.M.(msg.MPAccept); ok {
+			accepts++
+		}
+	}
+	if accepts != 3 {
+		t.Fatalf("sent %d accepts, want 3 (one per acceptor)", accepts)
+	}
+}
+
+func TestPromiseCarriesAcceptedTail(t *testing.T) {
+	r := New(Config{ID: 1, Replicas: replicaIDs(3)})
+	ctx := runtime.NewFakeContext(1, 3)
+	r.Start(ctx)
+	val := msg.Value{Client: 7, Seq: 1, Cmd: msg.Command{Op: msg.OpPut, Key: "k"}}
+	r.Receive(ctx, 0, msg.MPAccept{Instance: 0, PN: 1, Value: val})
+	ctx.TakeSent()
+	r.Receive(ctx, 2, msg.MPPrepare{PN: 100, FromInstance: 0})
+	prom, ok := ctx.LastSent().M.(msg.MPPromise)
+	if !ok {
+		t.Fatalf("want promise, got %+v", ctx.LastSent().M)
+	}
+	if len(prom.Accepted) != 1 || prom.Accepted[0].Value != val {
+		t.Fatalf("promise must carry the accepted tail, got %+v", prom.Accepted)
+	}
+}
+
+func TestPromiseIncludesAppliedSuffix(t *testing.T) {
+	// Even after the acceptor applied (and pruned) an instance, a lagging
+	// proposer's prepare must still see its value.
+	r := New(Config{ID: 1, Replicas: replicaIDs(3)})
+	ctx := runtime.NewFakeContext(1, 3)
+	r.Start(ctx)
+	val := msg.Value{Client: 7, Seq: 1, Cmd: msg.Command{Op: msg.OpPut, Key: "k"}}
+	// Learn from a majority so instance 0 applies locally.
+	r.Receive(ctx, 0, msg.MPLearn{Instance: 0, PN: 1, Value: val, From: 0})
+	r.Receive(ctx, 2, msg.MPLearn{Instance: 0, PN: 1, Value: val, From: 2})
+	if r.Commits() != 1 {
+		t.Fatalf("Commits = %d, want 1", r.Commits())
+	}
+	// Force pruning via a later accept.
+	r.Receive(ctx, 0, msg.MPAccept{Instance: 1, PN: 1, Value: val})
+	ctx.TakeSent()
+	r.Receive(ctx, 2, msg.MPPrepare{PN: 100, FromInstance: 0})
+	prom := ctx.LastSent().M.(msg.MPPromise)
+	found := false
+	for _, p := range prom.Accepted {
+		if p.Instance == 0 && p.Value == val {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("applied instance missing from promise: %+v", prom.Accepted)
+	}
+}
+
+func TestAcceptorNacksStalePN(t *testing.T) {
+	r := New(Config{ID: 1, Replicas: replicaIDs(3)})
+	ctx := runtime.NewFakeContext(1, 3)
+	r.Start(ctx)
+	r.Receive(ctx, 0, msg.MPPrepare{PN: 50, FromInstance: 0})
+	ctx.TakeSent()
+	r.Receive(ctx, 2, msg.MPPrepare{PN: 10, FromInstance: 0})
+	if _, ok := ctx.LastSent().M.(msg.MPNack); !ok {
+		t.Fatalf("stale prepare must be nacked, got %+v", ctx.LastSent().M)
+	}
+	ctx.TakeSent()
+	r.Receive(ctx, 2, msg.MPAccept{Instance: 0, PN: 10, Value: msg.Value{Client: 1, Seq: 1}})
+	if _, ok := ctx.LastSent().M.(msg.MPNack); !ok {
+		t.Fatalf("stale accept must be nacked, got %+v", ctx.LastSent().M)
+	}
+}
+
+func TestLearnerNeedsMajority(t *testing.T) {
+	r := New(Config{ID: 2, Replicas: replicaIDs(3)})
+	ctx := runtime.NewFakeContext(2, 3)
+	r.Start(ctx)
+	val := msg.Value{Client: 7, Seq: 1, Cmd: msg.Command{Op: msg.OpPut, Key: "k"}}
+	r.Receive(ctx, 0, msg.MPLearn{Instance: 0, PN: 1, Value: val, From: 0})
+	if r.Commits() != 0 {
+		t.Fatal("one acceptor's learn must not commit")
+	}
+	// A learn with a different pn from another acceptor does not count
+	// toward the same majority.
+	r.Receive(ctx, 1, msg.MPLearn{Instance: 0, PN: 2, Value: val, From: 1})
+	if r.Commits() != 0 {
+		t.Fatal("mixed-pn learns must not commit")
+	}
+	r.Receive(ctx, 1, msg.MPLearn{Instance: 0, PN: 1, Value: val, From: 1})
+	if r.Commits() != 1 {
+		t.Fatalf("Commits = %d, want 1 after matching majority", r.Commits())
+	}
+}
+
+func TestNackDeposesLeader(t *testing.T) {
+	r := New(Config{ID: 0, Replicas: replicaIDs(3)})
+	ctx := runtime.NewFakeContext(0, 3)
+	r.Start(ctx)
+	pn := ctx.Sent[0].M.(msg.MPPrepare).PN
+	r.Receive(ctx, 0, msg.MPPromise{PN: pn, From: 0})
+	r.Receive(ctx, 1, msg.MPPromise{PN: pn, From: 1})
+	if !r.IsLeader() {
+		t.Fatal("setup: leader election failed")
+	}
+	r.Receive(ctx, 2, msg.MPNack{PN: pn + 100})
+	if r.IsLeader() {
+		t.Fatal("a higher-pn nack must depose the leader")
+	}
+}
+
+// --- Scenario tests on the simulator ---
+
+type recordingClient struct{ replies []msg.ClientReply }
+
+func (c *recordingClient) Start(runtime.Context) {}
+func (c *recordingClient) Receive(ctx runtime.Context, from msg.NodeID, m msg.Message) {
+	if rep, ok := m.(msg.ClientReply); ok {
+		c.replies = append(c.replies, rep)
+	}
+}
+func (c *recordingClient) Timer(runtime.Context, runtime.TimerTag) {}
+
+type scenario struct {
+	net      *simnet.Network
+	replicas []*Replica
+	client   *recordingClient
+	clientID msg.NodeID
+}
+
+func newScenario(n int, seed int64) *scenario {
+	machine := topology.Uniform(n+1, time.Microsecond)
+	net := simnet.New(machine, simnet.ManyCore(), seed)
+	ids := replicaIDs(n)
+	s := &scenario{net: net}
+	for i := 0; i < n; i++ {
+		r := New(Config{ID: msg.NodeID(i), Replicas: ids})
+		s.replicas = append(s.replicas, r)
+		net.AddNode(r)
+	}
+	s.client = &recordingClient{}
+	s.clientID = net.AddNode(s.client)
+	net.Start()
+	return s
+}
+
+func (s *scenario) send(at time.Duration, to msg.NodeID, seq uint64) {
+	s.net.At(at, func() {
+		s.net.Inject(s.clientID, to, msg.ClientRequest{
+			Client: s.clientID, Seq: seq,
+			Cmd: msg.Command{Op: msg.OpPut, Key: "k", Val: "v"},
+		})
+	})
+}
+
+func (s *scenario) checkAgreement(t *testing.T) {
+	t.Helper()
+	chosen := make(map[int64]msg.Value)
+	for i, r := range s.replicas {
+		for _, e := range r.Log().History() {
+			if prev, ok := chosen[e.Instance]; ok && prev != e.Value {
+				t.Fatalf("replica %d: instance %d %+v vs %+v", i, e.Instance, e.Value, prev)
+			} else if !ok {
+				chosen[e.Instance] = e.Value
+			}
+		}
+	}
+}
+
+func TestScenarioCommit(t *testing.T) {
+	s := newScenario(3, 1)
+	for i := uint64(1); i <= 5; i++ {
+		s.send(time.Duration(i)*100*time.Microsecond, 0, i)
+	}
+	s.net.RunFor(10 * time.Millisecond)
+	if len(s.client.replies) != 5 {
+		t.Fatalf("client got %d replies, want 5", len(s.client.replies))
+	}
+	s.checkAgreement(t)
+}
+
+func TestScenarioProgressWithMinorityCrashed(t *testing.T) {
+	// Multi-Paxos needs only a majority: with replica 1 crashed, commits
+	// must still flow (the non-blocking property 2PC lacks).
+	s := newScenario(3, 2)
+	s.net.Crash(1)
+	for i := uint64(1); i <= 5; i++ {
+		s.send(time.Duration(i)*100*time.Microsecond, 0, i)
+	}
+	s.net.RunFor(20 * time.Millisecond)
+	if len(s.client.replies) != 5 {
+		t.Fatalf("client got %d replies with a minority down, want 5", len(s.client.replies))
+	}
+	s.checkAgreement(t)
+}
+
+func TestScenarioLeaderCrashTakeover(t *testing.T) {
+	s := newScenario(3, 3)
+	s.send(100*time.Microsecond, 0, 1)
+	s.net.At(2*time.Millisecond, func() { s.net.Crash(0) })
+	s.send(3*time.Millisecond, 1, 2)
+	s.net.RunFor(30 * time.Millisecond)
+	if len(s.client.replies) != 2 {
+		t.Fatalf("client got %d replies, want 2", len(s.client.replies))
+	}
+	if !s.replicas[1].IsLeader() {
+		t.Error("replica 1 must lead after the crash")
+	}
+	if s.replicas[1].Takeovers() == 0 {
+		t.Error("takeover counter must advance")
+	}
+	s.checkAgreement(t)
+}
+
+func TestScenarioStallsWithoutMajority(t *testing.T) {
+	s := newScenario(3, 4)
+	s.net.Crash(1)
+	s.net.Crash(2)
+	s.send(100*time.Microsecond, 0, 1)
+	s.net.RunFor(20 * time.Millisecond)
+	if len(s.client.replies) != 0 {
+		t.Fatalf("no commit may happen without a majority; got %d replies", len(s.client.replies))
+	}
+}
+
+func TestScenarioRandomSlowdownSafety(t *testing.T) {
+	for seed := int64(0); seed < 15; seed++ {
+		s := newScenario(5, 200+seed)
+		rng := s.net.Engine().Rand()
+		seq := uint64(0)
+		for i := 0; i < 30; i++ {
+			at := time.Duration(rng.Intn(40_000)) * time.Microsecond
+			if rng.Intn(5) == 0 {
+				node := msg.NodeID(rng.Intn(5))
+				factor := float64(rng.Intn(300) + 50)
+				s.net.At(at, func() { s.net.SetSlow(node, factor) })
+				s.net.At(at+10*time.Millisecond, func() { s.net.SetSlow(node, 1) })
+			} else {
+				seq++
+				s.send(at, msg.NodeID(rng.Intn(5)), seq)
+			}
+		}
+		s.net.RunFor(200 * time.Millisecond)
+		s.checkAgreement(t)
+	}
+}

@@ -1,0 +1,792 @@
+// Package onepaxos implements 1Paxos, the paper's contribution (Sections
+// 4, 5 and Appendix A): a non-blocking agreement protocol with a single
+// active acceptor.
+//
+// The key insight (Section 4.3): acceptor replication in Paxos is mostly
+// for *availability*, not reliability. 1Paxos therefore keeps exactly one
+// active acceptor on the fast path — halving the messages the leader
+// processes per agreement relative to collapsed Multi-Paxos — and restores
+// availability with *backup* acceptors that are promoted through a side
+// consensus (PaxosUtility) only when the active one stops responding.
+//
+// Fast path (failure-free, Figure 3):
+//
+//	client ──request──▶ leader ──accept_request──▶ active acceptor
+//	                                              │ learn (multicast)
+//	          client ◀──reply── leader/learner ◀──┘
+//
+// Fault handling follows Appendix A exactly:
+//   - active acceptor unresponsive → the leader (and only the leader —
+//     "Upon AcceptorFailure: if (!IamLeader) return") commits an
+//     AcceptorChange(A′, uncommittedProposals) entry, then re-adopts the
+//     fresh acceptor with a MustBeFresh prepare;
+//   - leader unresponsive → any proposer commits LeaderChange(P′, A) and
+//     adopts the *same* acceptor, whose prepare_response carries every
+//     accepted proposal (Lemma 2b);
+//   - both unresponsive → no progress until one recovers (Section 5.4);
+//     with three replicas this matches plain Paxos's availability.
+package onepaxos
+
+import (
+	"fmt"
+	"time"
+
+	"consensusinside/internal/basicpaxos"
+	"consensusinside/internal/msg"
+	"consensusinside/internal/paxosutil"
+	"consensusinside/internal/rsm"
+	"consensusinside/internal/runtime"
+)
+
+// Timer kinds used by a Replica. PaxosUtility's reserved kinds are >= 100.
+const (
+	timerAcceptDeadline  = 1 // Arg: instance whose learn is overdue
+	timerRetryTakeover   = 2
+	timerFlushLearns     = 3
+	timerPrepareDeadline = 4 // Arg: the pn the prepare was sent with
+)
+
+// Config parameterizes a Replica.
+type Config struct {
+	// ID is this node; Replicas is the agreement group (servers), in a
+	// fixed order shared by all nodes. Replicas[0] is the initial leader
+	// and the last replica the initial active acceptor — distinct nodes,
+	// per Section 5.4's placement rule, and placed so that the natural
+	// client failover target (the next replica after the leader) is a
+	// pure proposer, keeping leader and acceptor separated after a
+	// takeover too.
+	ID       msg.NodeID
+	Replicas []msg.NodeID
+
+	// Applier is the replicated state machine; nil means a fresh KV.
+	Applier rsm.Applier
+
+	// AcceptTimeout bounds how long the leader waits for a learn before
+	// suspecting the active acceptor (and how long a takeover waits for a
+	// prepare_response). Zero means DefaultAcceptTimeout.
+	AcceptTimeout time.Duration
+
+	// TakeoverBackoff delays a retry after a lost takeover race.
+	// Zero means DefaultTakeoverBackoff.
+	TakeoverBackoff time.Duration
+
+	// ForwardToLeader makes a non-leader replica forward client requests
+	// to the current leader instead of attempting a takeover. This is the
+	// "Joint" deployment of Section 7.4, where every client is a replica
+	// and all commands funnel through the leader.
+	ForwardToLeader bool
+
+	// EnableLearnBatching coalesces the acceptor's learn broadcast to
+	// non-leader learners into one message per destination per flush
+	// (DESIGN.md ablation). The leader's learn — the commit latency path —
+	// is never delayed.
+	EnableLearnBatching bool
+
+	// LearnFlushEvery is the batching flush period (default 25µs).
+	LearnFlushEvery time.Duration
+
+	// UtilRetryTimeout overrides PaxosUtility's retry timeout.
+	UtilRetryTimeout time.Duration
+}
+
+// Defaults for Config zero values.
+const (
+	DefaultAcceptTimeout   = 400 * time.Microsecond
+	DefaultTakeoverBackoff = 200 * time.Microsecond
+	DefaultLearnFlush      = 25 * time.Microsecond
+)
+
+type originKey struct {
+	client msg.NodeID
+	seq    uint64
+}
+
+// Replica is one 1Paxos node, implementing all three roles (proposer,
+// backup/active acceptor, learner) plus the embedded PaxosUtility.
+type Replica struct {
+	cfg      Config
+	me       msg.NodeID
+	replicas []msg.NodeID
+	util     *paxosutil.Util
+	ctx      runtime.Context // valid during a callback
+
+	// Proposer / leader state (Appendix A: IamLeader, Aa, proposed).
+	iAmLeader   bool
+	takingOver  bool
+	switchingAa bool
+	aa          msg.NodeID
+	// aaVirgin is true while this node knows the active acceptor cannot
+	// have accepted any proposal: it was installed fresh by this node's
+	// own AcceptorChange (or is the boot acceptor observed by the boot
+	// leader) and no accept_request has been sent to it yet. A virgin
+	// acceptor may be replaced even before adoption — the safety argument
+	// for restricting AcceptorChange to adopted leaders is precisely that
+	// a non-adopted proposer cannot know the acceptor's accepted
+	// proposals, and for a virgin acceptor that set is empty.
+	aaVirgin    bool
+	knownLeader msg.NodeID
+	myPN        uint64
+	nextInst    int64
+	// noopFloor is the highest applied frontier carried by any observed
+	// AcceptorChange: instances below it were decided at a previous
+	// acceptor, so a new leader must wait for their (in-flight) learns
+	// rather than fill them with no-ops.
+	noopFloor   int64
+	proposed    map[int64]msg.Value
+	outstanding map[int64]bool
+	pending     []msg.ClientRequest
+	origin      map[originKey]bool
+
+	// Acceptor state (Appendix A: hpn, ap, IamFresh).
+	hpn      uint64
+	adopted  msg.NodeID // the proposer holding the current promise
+	ap       map[int64]msg.Proposal
+	iAmFresh bool
+	learnBuf []msg.Proposal
+
+	// Learner state.
+	log      *rsm.Log
+	kv       rsm.Applier
+	sessions *rsm.Sessions
+
+	commits       int64
+	takeovers     int64
+	acceptorSwaps int64
+}
+
+var _ runtime.Handler = (*Replica)(nil)
+
+// New builds a Replica from cfg. It panics on malformed configuration
+// (fewer than three replicas, or ID not in the replica set): these are
+// programming errors in experiment wiring, not runtime conditions.
+func New(cfg Config) *Replica {
+	if len(cfg.Replicas) < 3 {
+		panic("onepaxos: need at least three replicas (leader, acceptor, and a backup)")
+	}
+	in := false
+	for _, id := range cfg.Replicas {
+		if id == cfg.ID {
+			in = true
+			break
+		}
+	}
+	if !in {
+		panic(fmt.Sprintf("onepaxos: node %d not in replica set %v", cfg.ID, cfg.Replicas))
+	}
+	if cfg.AcceptTimeout == 0 {
+		cfg.AcceptTimeout = DefaultAcceptTimeout
+	}
+	if cfg.TakeoverBackoff == 0 {
+		cfg.TakeoverBackoff = DefaultTakeoverBackoff
+	}
+	if cfg.LearnFlushEvery == 0 {
+		cfg.LearnFlushEvery = DefaultLearnFlush
+	}
+	applier := cfg.Applier
+	if applier == nil {
+		applier = rsm.NewKV()
+	}
+	r := &Replica{
+		cfg:         cfg,
+		me:          cfg.ID,
+		replicas:    append([]msg.NodeID(nil), cfg.Replicas...),
+		aa:          cfg.Replicas[len(cfg.Replicas)-1],
+		knownLeader: cfg.Replicas[0],
+		adopted:     msg.Nobody,
+		iAmFresh:    true,
+		proposed:    make(map[int64]msg.Value),
+		outstanding: make(map[int64]bool),
+		origin:      make(map[originKey]bool),
+		ap:          make(map[int64]msg.Proposal),
+		sessions:    rsm.NewSessions(),
+		kv:          applier,
+	}
+	r.util = paxosutil.New(cfg.ID, cfg.Replicas)
+	if cfg.UtilRetryTimeout > 0 {
+		r.util.SetRetryTimeout(cfg.UtilRetryTimeout)
+	}
+	r.util.OnCommit(r.onUtilCommit)
+	r.log = rsm.NewLog(rsm.Dedup{Sessions: r.sessions, Inner: applier})
+	r.log.OnApply(r.onApply)
+	return r
+}
+
+// --- Introspection (used by experiments and tests) ---
+
+// IsLeader reports whether this node currently holds the acceptor's
+// promise (Appendix A's IamLeader).
+func (r *Replica) IsLeader() bool { return r.iAmLeader }
+
+// ActiveAcceptor reports this node's view of the active acceptor.
+func (r *Replica) ActiveAcceptor() msg.NodeID { return r.aa }
+
+// KnownLeader reports this node's view of the current leader.
+func (r *Replica) KnownLeader() msg.NodeID { return r.knownLeader }
+
+// Commits reports how many instances this node has applied.
+func (r *Replica) Commits() int64 { return r.commits }
+
+// Takeovers reports how many successful leadership takeovers this node
+// performed.
+func (r *Replica) Takeovers() int64 { return r.takeovers }
+
+// AcceptorSwaps reports how many AcceptorChange entries this node drove.
+func (r *Replica) AcceptorSwaps() int64 { return r.acceptorSwaps }
+
+// Log exposes the learner's log for consistency checks in tests.
+func (r *Replica) Log() *rsm.Log { return r.log }
+
+// --- Handler implementation ---
+
+// Start bootstraps the static initial configuration: Replicas[0] adopts
+// Replicas[1] as its acceptor. The paper's Appendix B closes its induction
+// with exactly this convention (initial LeaderChange/AcceptorChange by the
+// smallest-id node, with no actual role change).
+func (r *Replica) Start(ctx runtime.Context) {
+	r.ctx = ctx
+	if r.me == r.replicas[0] {
+		r.takingOver = true
+		r.aaVirgin = true // the boot acceptor is fresh by construction
+		r.myPN = r.nextPN()
+		ctx.Send(r.aa, msg.PrepareRequest{PN: r.myPN, MustBeFresh: true, From: r.log.NextToApply()})
+		r.armPrepareDeadline()
+	}
+}
+
+// Receive dispatches one message.
+func (r *Replica) Receive(ctx runtime.Context, from msg.NodeID, m msg.Message) {
+	r.ctx = ctx
+	if r.util.Handle(ctx, from, m) {
+		return
+	}
+	switch mm := m.(type) {
+	case msg.ClientRequest:
+		r.onClientRequest(from, mm)
+	case msg.PrepareRequest:
+		r.onPrepareRequest(from, mm)
+	case msg.PrepareResponse:
+		r.onPrepareResponse(from, mm)
+	case msg.AcceptRequest:
+		r.onAcceptRequest(from, mm)
+	case msg.Learn:
+		r.onLearn(mm)
+	case msg.Abandon:
+		r.onAbandon(from, mm)
+	default:
+		// Unknown messages are dropped; the wire may carry client replies
+		// in joint deployments where this node is also a client.
+	}
+}
+
+// Timer dispatches one timer.
+func (r *Replica) Timer(ctx runtime.Context, tag runtime.TimerTag) {
+	r.ctx = ctx
+	if r.util.HandleTimer(ctx, tag) {
+		return
+	}
+	switch tag.Kind {
+	case timerAcceptDeadline:
+		if r.iAmLeader && r.outstanding[tag.Arg] && !r.log.Learned(tag.Arg) {
+			r.onAcceptorFailure(false)
+		}
+	case timerRetryTakeover:
+		if !r.iAmLeader && len(r.pending) > 0 {
+			r.startTakeover()
+		}
+	case timerFlushLearns:
+		r.flushLearns()
+	case timerPrepareDeadline:
+		r.onPrepareDeadline(uint64(tag.Arg))
+	}
+}
+
+// --- Client path ---
+
+func (r *Replica) onClientRequest(from msg.NodeID, req msg.ClientRequest) {
+	if inst, result, ok := r.sessions.Lookup(req.Client, req.Seq); ok {
+		// Duplicate of a committed command: answer from the session table.
+		r.ctx.Send(req.Client, msg.ClientReply{Seq: req.Seq, Instance: inst, OK: true, Result: result})
+		return
+	}
+	switch {
+	case r.iAmLeader:
+		r.origin[originKey{req.Client, req.Seq}] = true
+		r.proposeValue(msg.Value{Client: req.Client, Seq: req.Seq, Cmd: req.Cmd})
+	case r.cfg.ForwardToLeader && r.knownLeader != r.me && r.knownLeader != msg.Nobody && from != r.knownLeader:
+		// Joint mode: funnel commands through the leader (Section 7.4).
+		r.ctx.Send(r.knownLeader, req)
+	default:
+		// The paper's failover story (Section 7.6): clients redirect to a
+		// non-leader node, which then tries to become leader.
+		r.origin[originKey{req.Client, req.Seq}] = true
+		r.pending = append(r.pending, req)
+		r.startTakeover()
+	}
+}
+
+// proposeValue assigns the next instance and runs the fast path.
+func (r *Replica) proposeValue(v msg.Value) {
+	in := r.nextInst
+	r.nextInst++
+	r.proposed[in] = v
+	r.sendAccept(in)
+}
+
+func (r *Replica) sendAccept(in int64) {
+	v, ok := r.proposed[in]
+	if !ok || r.log.Learned(in) {
+		return
+	}
+	r.outstanding[in] = true
+	r.aaVirgin = false // the acceptor may hold accepted proposals from here on
+	r.ctx.Send(r.aa, msg.AcceptRequest{Instance: in, PN: r.myPN, Value: v})
+	r.ctx.After(r.cfg.AcceptTimeout, runtime.TimerTag{Kind: timerAcceptDeadline, Arg: in})
+}
+
+// --- Acceptor role (Appendix A lines 45-61) ---
+
+func (r *Replica) onPrepareRequest(from msg.NodeID, m msg.PrepareRequest) {
+	if m.PN > r.hpn {
+		if r.iAmFresh != m.MustBeFresh {
+			// Freshness mismatch: a silently-reset acceptor must not serve
+			// a leader that believes it is adopted (and vice versa).
+			r.ctx.Send(from, msg.Abandon{HPN: r.hpn, FreshMismatch: true, IamFresh: r.iAmFresh})
+			return
+		}
+		r.iAmFresh = false
+		r.hpn = m.PN
+		r.adopted = from
+		r.ctx.Send(from, msg.PrepareResponse{Acceptor: r.me, PN: m.PN, Accepted: r.proposalsSince(m.From)})
+	} else {
+		r.ctx.Send(from, msg.Abandon{HPN: r.hpn})
+	}
+}
+
+func (r *Replica) onAcceptRequest(from msg.NodeID, m msg.AcceptRequest) {
+	// Prune accepted proposals below the applied frontier: they are
+	// learner state now (the acceptor is only short-term memory,
+	// Section 4.1).
+	for in := range r.ap {
+		if in < r.log.NextToApply() {
+			delete(r.ap, in)
+		}
+	}
+	if m.PN != r.hpn {
+		r.ctx.Send(from, msg.Abandon{HPN: r.hpn})
+		return
+	}
+	if prev, ok := r.ap[m.Instance]; ok {
+		// Retried accept: re-multicast the learn for the accepted value
+		// (Appendix A line 57-58), covering lost learn messages.
+		r.multicastLearn(prev)
+		return
+	}
+	p := msg.Proposal{Instance: m.Instance, PN: m.PN, Value: m.Value}
+	r.ap[m.Instance] = p
+	r.multicastLearn(p)
+}
+
+// multicastLearn delivers one accepted proposal to all learners. The
+// adopted leader always gets its learn immediately — it is the commit
+// latency path; with batching enabled the remaining learners are served
+// from a periodically flushed buffer.
+func (r *Replica) multicastLearn(p msg.Proposal) {
+	if !r.cfg.EnableLearnBatching {
+		for _, id := range r.replicas {
+			r.ctx.Send(id, msg.Learn{Entries: []msg.Proposal{p}})
+		}
+		return
+	}
+	if r.adopted != msg.Nobody {
+		r.ctx.Send(r.adopted, msg.Learn{Entries: []msg.Proposal{p}})
+	}
+	if len(r.learnBuf) == 0 {
+		r.ctx.After(r.cfg.LearnFlushEvery, runtime.TimerTag{Kind: timerFlushLearns})
+	}
+	r.learnBuf = append(r.learnBuf, p)
+}
+
+func (r *Replica) flushLearns() {
+	if len(r.learnBuf) == 0 {
+		return
+	}
+	batch := msg.Learn{Entries: r.learnBuf}
+	r.learnBuf = nil
+	for _, id := range r.replicas {
+		if id == r.adopted {
+			continue // already served on the fast path
+		}
+		r.ctx.Send(id, batch)
+	}
+}
+
+func (r *Replica) apSlice() []msg.Proposal {
+	out := make([]msg.Proposal, 0, len(r.ap))
+	for _, p := range r.ap {
+		out = append(out, p)
+	}
+	return out
+}
+
+// proposalsSince merges the acceptor's live accepted proposals with the
+// already-applied suffix of its log from the given instance on. The
+// applied values are decided, so returning them as accepted proposals is
+// always safe; without them a proposer lagging behind this node's applied
+// frontier could propose a fresh value for a decided instance.
+func (r *Replica) proposalsSince(from int64) []msg.Proposal {
+	seen := make(map[int64]bool, len(r.ap))
+	out := make([]msg.Proposal, 0, len(r.ap))
+	for _, p := range r.ap {
+		if p.Instance >= from {
+			out = append(out, p)
+			seen[p.Instance] = true
+		}
+	}
+	for _, e := range r.log.Since(from) {
+		if !seen[e.Instance] {
+			out = append(out, msg.Proposal{Instance: e.Instance, PN: r.hpn, Value: e.Value})
+		}
+	}
+	return out
+}
+
+// --- Learner role ---
+
+func (r *Replica) onLearn(m msg.Learn) {
+	for _, p := range m.Entries {
+		delete(r.outstanding, p.Instance)
+		r.log.Learn(p.Instance, p.Value)
+	}
+}
+
+// onApply fires for every instance applied in order.
+func (r *Replica) onApply(e rsm.Entry, result string) {
+	r.commits++
+	delete(r.proposed, e.Instance)
+	delete(r.outstanding, e.Instance)
+	v := e.Value
+	if v.Client == msg.Nobody {
+		return // gap-filling noop
+	}
+	if !r.sessions.Seen(v.Client, v.Seq) {
+		r.sessions.Done(v.Client, v.Seq, e.Instance, result)
+	}
+	key := originKey{v.Client, v.Seq}
+	if r.origin[key] {
+		delete(r.origin, key)
+		r.ctx.Send(v.Client, msg.ClientReply{Seq: v.Seq, Instance: e.Instance, OK: true, Result: result})
+	}
+}
+
+// --- Proposer: becoming leader (Appendix A propose()/prepare_response) ---
+
+func (r *Replica) onPrepareResponse(from msg.NodeID, m msg.PrepareResponse) {
+	if r.iAmLeader || m.Acceptor != r.aa || m.PN != r.myPN {
+		return
+	}
+	r.iAmLeader = true
+	r.takingOver = false
+	r.knownLeader = r.me
+	r.takeovers++
+	r.registerProposals(m.Accepted)
+	r.catchUpInstances()
+	// Re-propose everything uncommitted (getAny prefers registered values,
+	// Lemma 2a/2b), then serve queued client requests.
+	for in := r.log.NextToApply(); in < r.nextInst; in++ {
+		r.sendAccept(in)
+	}
+	pending := r.pending
+	r.pending = nil
+	for _, req := range pending {
+		if r.sessions.Seen(req.Client, req.Seq) {
+			continue
+		}
+		r.proposeValue(msg.Value{Client: req.Client, Seq: req.Seq, Cmd: req.Cmd})
+	}
+}
+
+// registerProposals records carried-over uncommitted proposals so getAny
+// re-proposes them rather than new values (Appendix A registerProposals).
+func (r *Replica) registerProposals(ps []msg.Proposal) {
+	for _, p := range ps {
+		if r.log.Learned(p.Instance) {
+			continue
+		}
+		r.proposed[p.Instance] = p.Value
+		if p.Instance >= r.nextInst {
+			r.nextInst = p.Instance + 1
+		}
+	}
+}
+
+// catchUpInstances fills gaps the new leader is responsible for with
+// no-ops so the log can advance past instances whose values were lost
+// with a failed proposer. Instances below noopFloor are NOT filled: they
+// were decided at a previous acceptor and their learns are in flight
+// (cores are slow, not amnesiac — the paper's fault model).
+func (r *Replica) catchUpInstances() {
+	if r.nextInst < r.log.NextToApply() {
+		r.nextInst = r.log.NextToApply()
+	}
+	for in := r.log.NextToApply(); in < r.nextInst; in++ {
+		if in < r.noopFloor {
+			continue
+		}
+		if _, ok := r.proposed[in]; !ok && !r.log.Learned(in) {
+			r.proposed[in] = msg.Value{Client: msg.Nobody, Cmd: msg.Command{Op: msg.OpNoop}}
+		}
+	}
+}
+
+func (r *Replica) onAbandon(from msg.NodeID, m msg.Abandon) {
+	if m.HPN > r.myPN && r.iAmLeader && from == r.aa {
+		// A higher-numbered proposer adopted our acceptor: deposed.
+		r.iAmLeader = false
+		return
+	}
+	if !r.takingOver {
+		return
+	}
+	// Retry the prepare with a higher number; flip the freshness
+	// expectation if that is what the acceptor objected to.
+	mustBeFresh := false
+	if m.FreshMismatch {
+		mustBeFresh = m.IamFresh
+	}
+	r.myPN = r.nextPNAbove(m.HPN)
+	r.ctx.Send(r.aa, msg.PrepareRequest{PN: r.myPN, MustBeFresh: mustBeFresh, From: r.log.NextToApply()})
+	r.armPrepareDeadline()
+}
+
+// startTakeover runs Appendix A's propose() slow path: commit a
+// LeaderChange through PaxosUtility, then adopt the active acceptor.
+func (r *Replica) startTakeover() {
+	if r.iAmLeader || r.takingOver {
+		return
+	}
+	r.takingOver = true
+	r.myPN = r.nextPN()
+	if r.aa == msg.Nobody {
+		acceptor, _, carried, ok := r.util.LastActiveAcceptor()
+		if !ok {
+			acceptor = r.replicas[1] // static initial assignment
+		}
+		r.aa = acceptor
+		r.registerProposals(carried)
+	}
+	slot := r.util.Frontier()
+	entry := msg.UtilEntry{Type: msg.EntryLeaderChange, Leader: r.me, Acceptor: r.aa}
+	r.util.Propose(r.ctx, slot, entry, func(success bool, chosen msg.UtilEntry) {
+		if !success {
+			// Another entry won the slot; onUtilCommit already updated our
+			// view. Forward to the new leader or retry after a backoff.
+			r.takingOver = false
+			r.aa = msg.Nobody
+			if chosen.Type == msg.EntryLeaderChange && chosen.Leader != r.me {
+				r.forwardPending(chosen.Leader)
+			}
+			if len(r.pending) > 0 {
+				r.ctx.After(r.cfg.TakeoverBackoff, runtime.TimerTag{Kind: timerRetryTakeover})
+			}
+			return
+		}
+		// We are now the Global leader; adopt the acceptor. The acceptor
+		// was adopted by the previous leader, so it must not be fresh —
+		// unless it never received the previous leader's prepare, in
+		// which case the Abandon handler flips the flag and retries.
+		r.ctx.Send(r.aa, msg.PrepareRequest{PN: r.myPN, MustBeFresh: false, From: r.log.NextToApply()})
+		r.armPrepareDeadline()
+	})
+}
+
+func (r *Replica) forwardPending(leader msg.NodeID) {
+	if leader == r.me || leader == msg.Nobody {
+		return
+	}
+	pending := r.pending
+	r.pending = nil
+	for _, req := range pending {
+		delete(r.origin, originKey{req.Client, req.Seq})
+		r.ctx.Send(leader, req)
+	}
+}
+
+// --- Failure detection ---
+
+func (r *Replica) armPrepareDeadline() {
+	r.ctx.After(r.cfg.AcceptTimeout, runtime.TimerTag{Kind: timerPrepareDeadline, Arg: int64(r.myPN)})
+}
+
+// onPrepareDeadline fires when a prepare_request got no response within
+// the timeout. A proposer that was never adopted must NOT replace the
+// acceptor: it does not hold the acceptor's accepted proposals, and a
+// learner may already have learned one of them (this is exactly why the
+// paper restricts AcceptorChange to the leader, Appendix A line 2). It
+// can only retry — if both the leader and the active acceptor are down,
+// 1Paxos stalls until one of them responds (Section 5.4).
+//
+// The single exception is a *virgin* acceptor (see the aaVirgin field):
+// the Global leader that installed it knows its accepted-proposal set is
+// empty and may safely promote another backup. This covers both the boot
+// acceptor dying before the system processed any command and sequential
+// backup-acceptor failures, preserving the paper's availability claim
+// that on three nodes 1Paxos tolerates the failure of any single node.
+func (r *Replica) onPrepareDeadline(pn uint64) {
+	if r.iAmLeader || pn != r.myPN || !r.takingOver {
+		return
+	}
+	if leader, _ := r.globalLeader(); leader == r.me && r.aaVirgin {
+		r.onAcceptorFailure(true)
+		return
+	}
+	r.ctx.Send(r.aa, msg.PrepareRequest{PN: r.myPN, MustBeFresh: r.aaVirgin, From: r.log.NextToApply()})
+	r.armPrepareDeadline()
+}
+
+// globalLeader resolves the paper's "Global leader": the inserter of the
+// last LeaderChange entry, or the static initial leader before any entry
+// exists (the Appendix B initialization convention).
+func (r *Replica) globalLeader() (msg.NodeID, int64) {
+	leader, slot, ok := r.util.LastLeader()
+	if !ok {
+		return r.replicas[0], slot
+	}
+	return leader, slot
+}
+
+// onAcceptorFailure is Appendix A's "Upon AcceptorFailure" handler.
+// virginSwitch marks the one safe non-adopted invocation (see
+// onPrepareDeadline).
+func (r *Replica) onAcceptorFailure(virginSwitch bool) {
+	if r.switchingAa {
+		return
+	}
+	if !r.iAmLeader && !virginSwitch {
+		return
+	}
+	leader, slot := r.globalLeader()
+	if leader != r.me {
+		// Somebody thought I am dead (Appendix A line 4): relinquish.
+		r.aa = msg.Nobody
+		r.iAmLeader = false
+		return
+	}
+	next := r.selectAcceptor()
+	if next == msg.Nobody {
+		return
+	}
+	r.switchingAa = true
+	entry := msg.UtilEntry{
+		Type:        msg.EntryAcceptorChange,
+		Leader:      r.me,
+		Acceptor:    next,
+		Uncommitted: r.uncommittedProposals(),
+		Frontier:    r.log.NextToApply(),
+	}
+	r.util.Propose(r.ctx, slot, entry, func(success bool, chosen msg.UtilEntry) {
+		r.switchingAa = false
+		if !success {
+			// Another entry landed first; our view was refreshed by
+			// onUtilCommit. The accept deadlines still pending will
+			// re-trigger the switch if the acceptor is still silent.
+			return
+		}
+		r.acceptorSwaps++
+		r.aa = next
+		r.iAmLeader = false // must re-adopt the fresh acceptor (line 13)
+		r.takingOver = true
+		r.myPN = r.nextPN()
+		r.ctx.Send(r.aa, msg.PrepareRequest{PN: r.myPN, MustBeFresh: true, From: r.log.NextToApply()})
+		r.armPrepareDeadline()
+	})
+}
+
+// selectAcceptor picks the backup acceptor: the first replica that is
+// neither this node (leader and acceptor stay separated, Section 5.4) nor
+// the currently suspected acceptor.
+func (r *Replica) selectAcceptor() msg.NodeID {
+	for _, id := range r.replicas {
+		if id != r.me && id != r.aa {
+			return id
+		}
+	}
+	return msg.Nobody
+}
+
+// uncommittedProposals collects every proposed-but-unlearned value, which
+// the AcceptorChange entry carries so the next adoption re-proposes them
+// (Section 5.2: "the leader also includes the uncommitted proposed values
+// into the message sent to the PaxosUtility").
+func (r *Replica) uncommittedProposals() []msg.Proposal {
+	out := make([]msg.Proposal, 0, len(r.proposed))
+	for in, v := range r.proposed {
+		if !r.log.Learned(in) {
+			out = append(out, msg.Proposal{Instance: in, PN: r.myPN, Value: v})
+		}
+	}
+	return out
+}
+
+// --- PaxosUtility observation ---
+
+func (r *Replica) onUtilCommit(_ int64, e msg.UtilEntry) {
+	switch e.Type {
+	case msg.EntryLeaderChange:
+		r.knownLeader = e.Leader
+		if e.Leader != r.me {
+			if r.iAmLeader {
+				// Deposed: every leader checks for this announcement
+				// (Section 5.3) and must consider its position
+				// relinquished.
+				r.iAmLeader = false
+			}
+			if e.Acceptor != msg.Nobody {
+				r.aa = e.Acceptor
+			}
+			r.forwardPending(e.Leader)
+		}
+	case msg.EntryAcceptorChange:
+		r.aa = e.Acceptor
+		r.aaVirgin = e.Leader == r.me // fresh backup installed by us
+		r.knownLeader = e.Leader
+		if e.Frontier > r.noopFloor {
+			r.noopFloor = e.Frontier
+		}
+		r.registerProposals(e.Uncommitted)
+		if e.Acceptor == r.me {
+			// We are the promoted fresh backup: reset short-term memory.
+			r.hpn = 0
+			r.adopted = msg.Nobody
+			r.ap = make(map[int64]msg.Proposal)
+			r.iAmFresh = true
+			r.learnBuf = nil
+		}
+		if e.Leader != r.me && r.iAmLeader {
+			r.iAmLeader = false
+		}
+	}
+}
+
+// --- Proposal numbers ---
+
+func (r *Replica) nextPN() uint64 { return r.nextPNAbove(r.myPN) }
+
+func (r *Replica) nextPNAbove(floor uint64) uint64 {
+	base := r.myPN
+	if floor > base {
+		base = floor
+	}
+	if r.hpn > base {
+		base = r.hpn
+	}
+	return basicpaxos.NextPN(msg.NodeID(r.indexOf(r.me)), base)
+}
+
+func (r *Replica) indexOf(id msg.NodeID) int {
+	for i, rid := range r.replicas {
+		if rid == id {
+			return i
+		}
+	}
+	return 0
+}

@@ -1,0 +1,547 @@
+package onepaxos
+
+import (
+	"testing"
+	"time"
+
+	"consensusinside/internal/msg"
+	"consensusinside/internal/runtime"
+	"consensusinside/internal/simnet"
+	"consensusinside/internal/topology"
+)
+
+func replicaIDs(n int) []msg.NodeID {
+	out := make([]msg.NodeID, n)
+	for i := range out {
+		out[i] = msg.NodeID(i)
+	}
+	return out
+}
+
+func newReplica(t *testing.T, id msg.NodeID, n int) (*Replica, *runtime.FakeContext) {
+	t.Helper()
+	r := New(Config{ID: id, Replicas: replicaIDs(n)})
+	ctx := runtime.NewFakeContext(id, n)
+	return r, ctx
+}
+
+// --- Handler-level tests (Appendix A mechanics) ---
+
+func TestNewValidation(t *testing.T) {
+	if got := recoverPanic(func() { New(Config{ID: 0, Replicas: replicaIDs(2)}) }); got == "" {
+		t.Error("two replicas must panic")
+	}
+	if got := recoverPanic(func() { New(Config{ID: 9, Replicas: replicaIDs(3)}) }); got == "" {
+		t.Error("non-member id must panic")
+	}
+}
+
+func recoverPanic(fn func()) (msgText string) {
+	defer func() {
+		if p := recover(); p != nil {
+			msgText = "panicked"
+		}
+	}()
+	fn()
+	return ""
+}
+
+func TestBootLeaderSendsFreshPrepare(t *testing.T) {
+	r, ctx := newReplica(t, 0, 3)
+	r.Start(ctx)
+	sent := ctx.SentTo(2) // the boot acceptor is the last replica
+	if len(sent) != 1 {
+		t.Fatalf("boot leader sent %d messages to acceptor, want 1", len(sent))
+	}
+	pr, ok := sent[0].(msg.PrepareRequest)
+	if !ok || !pr.MustBeFresh {
+		t.Fatalf("boot prepare = %+v, want MustBeFresh", sent[0])
+	}
+	if r.ActiveAcceptor() != 2 {
+		t.Fatalf("boot acceptor = %d, want 2", r.ActiveAcceptor())
+	}
+}
+
+func TestNonLeaderNodesStayQuietAtBoot(t *testing.T) {
+	for _, id := range []msg.NodeID{1, 2} {
+		r, ctx := newReplica(t, id, 3)
+		r.Start(ctx)
+		if len(ctx.Sent) != 0 {
+			t.Errorf("replica %d sent %d messages at boot, want 0", id, len(ctx.Sent))
+		}
+	}
+}
+
+func TestAcceptorFreshnessHandshake(t *testing.T) {
+	// A fresh acceptor must reject a prepare that expects an adopted one.
+	r, ctx := newReplica(t, 2, 3)
+	r.Start(ctx)
+	r.Receive(ctx, 1, msg.PrepareRequest{PN: 10, MustBeFresh: false})
+	ab, ok := ctx.LastSent().M.(msg.Abandon)
+	if !ok || !ab.FreshMismatch || !ab.IamFresh {
+		t.Fatalf("want freshness-mismatch abandon, got %+v", ctx.LastSent().M)
+	}
+	// The matching expectation succeeds and un-freshens the acceptor.
+	ctx.TakeSent()
+	r.Receive(ctx, 1, msg.PrepareRequest{PN: 10, MustBeFresh: true})
+	pr, ok := ctx.LastSent().M.(msg.PrepareResponse)
+	if !ok || pr.PN != 10 || pr.Acceptor != 2 {
+		t.Fatalf("want prepare_response, got %+v", ctx.LastSent().M)
+	}
+	// Now adopted: a later MustBeFresh prepare must be rejected.
+	ctx.TakeSent()
+	r.Receive(ctx, 0, msg.PrepareRequest{PN: 20, MustBeFresh: true})
+	ab, ok = ctx.LastSent().M.(msg.Abandon)
+	if !ok || !ab.FreshMismatch || ab.IamFresh {
+		t.Fatalf("adopted acceptor must reject MustBeFresh, got %+v", ctx.LastSent().M)
+	}
+}
+
+func TestAcceptorRejectsLowerPN(t *testing.T) {
+	r, ctx := newReplica(t, 2, 3)
+	r.Start(ctx)
+	r.Receive(ctx, 0, msg.PrepareRequest{PN: 50, MustBeFresh: true})
+	ctx.TakeSent()
+	r.Receive(ctx, 1, msg.PrepareRequest{PN: 49, MustBeFresh: false})
+	ab, ok := ctx.LastSent().M.(msg.Abandon)
+	if !ok || ab.HPN != 50 || ab.FreshMismatch {
+		t.Fatalf("want plain abandon with hpn=50, got %+v", ctx.LastSent().M)
+	}
+}
+
+func TestAcceptRequestFlow(t *testing.T) {
+	r, ctx := newReplica(t, 2, 3)
+	r.Start(ctx)
+	r.Receive(ctx, 0, msg.PrepareRequest{PN: 10, MustBeFresh: true})
+	ctx.TakeSent()
+
+	val := msg.Value{Client: 9, Seq: 1, Cmd: msg.Command{Op: msg.OpPut, Key: "k", Val: "v"}}
+	r.Receive(ctx, 0, msg.AcceptRequest{Instance: 0, PN: 10, Value: val})
+	// Learn must be multicast to all three learners.
+	learns := 0
+	for _, s := range ctx.Sent {
+		if l, ok := s.M.(msg.Learn); ok {
+			learns++
+			if len(l.Entries) != 1 || l.Entries[0].Value != val {
+				t.Fatalf("learn carries %+v", l.Entries)
+			}
+		}
+	}
+	if learns != 3 {
+		t.Fatalf("learn multicast to %d nodes, want 3", learns)
+	}
+
+	// Wrong pn is abandoned.
+	ctx.TakeSent()
+	r.Receive(ctx, 1, msg.AcceptRequest{Instance: 1, PN: 9, Value: val})
+	if _, ok := ctx.LastSent().M.(msg.Abandon); !ok {
+		t.Fatalf("stale-pn accept must be abandoned, got %+v", ctx.LastSent().M)
+	}
+
+	// A duplicate accept re-multicasts the original learn.
+	ctx.TakeSent()
+	r.Receive(ctx, 0, msg.AcceptRequest{Instance: 0, PN: 10, Value: val})
+	if len(ctx.Sent) != 3 {
+		t.Fatalf("duplicate accept re-sent %d learns, want 3", len(ctx.Sent))
+	}
+}
+
+func TestPrepareResponseCarriesAcceptedProposals(t *testing.T) {
+	// Lemma 2b: the prepare_response must piggyback every accepted
+	// proposal so the next leader re-proposes them.
+	r, ctx := newReplica(t, 2, 3)
+	r.Start(ctx)
+	r.Receive(ctx, 0, msg.PrepareRequest{PN: 10, MustBeFresh: true})
+	val := msg.Value{Client: 9, Seq: 1, Cmd: msg.Command{Op: msg.OpPut, Key: "k"}}
+	r.Receive(ctx, 0, msg.AcceptRequest{Instance: 0, PN: 10, Value: val})
+	ctx.TakeSent()
+
+	r.Receive(ctx, 1, msg.PrepareRequest{PN: 20, MustBeFresh: false})
+	pr, ok := ctx.LastSent().M.(msg.PrepareResponse)
+	if !ok {
+		t.Fatalf("want prepare_response, got %+v", ctx.LastSent().M)
+	}
+	if len(pr.Accepted) != 1 || pr.Accepted[0].Value != val {
+		t.Fatalf("accepted proposals not carried: %+v", pr.Accepted)
+	}
+}
+
+func TestLeaderFastPath(t *testing.T) {
+	r, ctx := newReplica(t, 0, 3)
+	r.Start(ctx)
+	// Adopt: acceptor 2 responds to the boot prepare.
+	pn := ctx.SentTo(2)[0].(msg.PrepareRequest).PN
+	ctx.TakeSent()
+	r.Receive(ctx, 2, msg.PrepareResponse{Acceptor: 2, PN: pn})
+	if !r.IsLeader() {
+		t.Fatal("prepare_response must make the proposer leader")
+	}
+	// A client request becomes a single accept_request to the acceptor.
+	r.Receive(ctx, 5, msg.ClientRequest{Client: 5, Seq: 1, Cmd: msg.Command{Op: msg.OpPut, Key: "a", Val: "1"}})
+	accepts := ctx.SentTo(2)
+	if len(accepts) != 1 {
+		t.Fatalf("leader sent %d messages to acceptor, want 1", len(accepts))
+	}
+	ar, ok := accepts[0].(msg.AcceptRequest)
+	if !ok || ar.Instance != 0 || ar.PN != pn {
+		t.Fatalf("accept = %+v", accepts[0])
+	}
+	// Learning the instance answers the client.
+	ctx.TakeSent()
+	r.Receive(ctx, 2, msg.Learn{Entries: []msg.Proposal{{Instance: 0, PN: pn, Value: ar.Value}}})
+	replies := ctx.SentTo(5)
+	if len(replies) != 1 {
+		t.Fatalf("client got %d replies, want 1", len(replies))
+	}
+	rep := replies[0].(msg.ClientReply)
+	if !rep.OK || rep.Seq != 1 || rep.Instance != 0 {
+		t.Fatalf("reply = %+v", rep)
+	}
+	if r.Commits() != 1 {
+		t.Fatalf("Commits = %d, want 1", r.Commits())
+	}
+}
+
+func TestSessionDedupAnswersRetries(t *testing.T) {
+	r, ctx := newReplica(t, 0, 3)
+	r.Start(ctx)
+	pn := ctx.SentTo(2)[0].(msg.PrepareRequest).PN
+	r.Receive(ctx, 2, msg.PrepareResponse{Acceptor: 2, PN: pn})
+	req := msg.ClientRequest{Client: 5, Seq: 1, Cmd: msg.Command{Op: msg.OpPut, Key: "a", Val: "1"}}
+	r.Receive(ctx, 5, req)
+	ar := ctx.SentTo(2)[1].(msg.AcceptRequest)
+	r.Receive(ctx, 2, msg.Learn{Entries: []msg.Proposal{{Instance: 0, PN: pn, Value: ar.Value}}})
+	ctx.TakeSent()
+
+	// The same request again must be answered from the session table
+	// without a new proposal.
+	r.Receive(ctx, 5, req)
+	if len(ctx.SentTo(2)) != 0 {
+		t.Fatal("duplicate request must not re-propose")
+	}
+	replies := ctx.SentTo(5)
+	if len(replies) != 1 || !replies[0].(msg.ClientReply).OK {
+		t.Fatalf("duplicate request not answered: %+v", replies)
+	}
+}
+
+func TestLearnOutOfOrderHoldsApplication(t *testing.T) {
+	r, ctx := newReplica(t, 1, 3)
+	r.Start(ctx)
+	v1 := msg.Value{Client: 9, Seq: 1, Cmd: msg.Command{Op: msg.OpPut, Key: "k", Val: "a"}}
+	v2 := msg.Value{Client: 9, Seq: 2, Cmd: msg.Command{Op: msg.OpPut, Key: "k", Val: "b"}}
+	r.Receive(ctx, 2, msg.Learn{Entries: []msg.Proposal{{Instance: 1, PN: 5, Value: v2}}})
+	if r.Commits() != 0 {
+		t.Fatal("instance 1 must wait for instance 0")
+	}
+	r.Receive(ctx, 2, msg.Learn{Entries: []msg.Proposal{{Instance: 0, PN: 5, Value: v1}}})
+	if r.Commits() != 2 {
+		t.Fatalf("Commits = %d, want 2 after the gap fills", r.Commits())
+	}
+	history := r.Log().History()
+	if history[0].Value != v1 || history[1].Value != v2 {
+		t.Fatalf("apply order wrong: %+v", history)
+	}
+}
+
+func TestLearnBatchingKeepsLeaderPathImmediate(t *testing.T) {
+	cfg := Config{ID: 2, Replicas: replicaIDs(3), EnableLearnBatching: true}
+	r := New(cfg)
+	ctx := runtime.NewFakeContext(2, 3)
+	r.Start(ctx)
+	r.Receive(ctx, 0, msg.PrepareRequest{PN: 10, MustBeFresh: true})
+	ctx.TakeSent()
+	val := msg.Value{Client: 9, Seq: 1, Cmd: msg.Command{Op: msg.OpPut, Key: "k"}}
+	r.Receive(ctx, 0, msg.AcceptRequest{Instance: 0, PN: 10, Value: val})
+	// Only the adopted leader gets an immediate learn; the rest waits for
+	// the flush timer.
+	if got := len(ctx.SentTo(0)); got != 1 {
+		t.Fatalf("leader got %d immediate learns, want 1", got)
+	}
+	if got := len(ctx.SentTo(1)); got != 0 {
+		t.Fatalf("non-leader learner got %d learns before flush, want 0", got)
+	}
+	// Flush delivers the buffered entries to everyone else.
+	ctx.TakeSent()
+	r.Timer(ctx, runtime.TimerTag{Kind: timerFlushLearns})
+	if got := len(ctx.SentTo(1)); got != 1 {
+		t.Fatalf("non-leader learner got %d learns after flush, want 1", got)
+	}
+	if got := len(ctx.SentTo(0)); got != 0 {
+		t.Fatalf("leader must not get the batch again, got %d", got)
+	}
+}
+
+// --- Scenario tests on the simulator ---
+
+// scenario wires n 1Paxos replicas plus one recording client node.
+type scenario struct {
+	net      *simnet.Network
+	replicas []*Replica
+	client   *recordingClient
+	clientID msg.NodeID
+}
+
+type recordingClient struct {
+	replies []msg.ClientReply
+}
+
+func (c *recordingClient) Start(runtime.Context) {}
+func (c *recordingClient) Receive(ctx runtime.Context, from msg.NodeID, m msg.Message) {
+	if rep, ok := m.(msg.ClientReply); ok {
+		c.replies = append(c.replies, rep)
+	}
+}
+func (c *recordingClient) Timer(runtime.Context, runtime.TimerTag) {}
+
+func newScenario(t *testing.T, n int, seed int64, tweak func(*Config)) *scenario {
+	t.Helper()
+	machine := topology.Uniform(n+1, time.Microsecond)
+	net := simnet.New(machine, simnet.ManyCore(), seed)
+	ids := replicaIDs(n)
+	s := &scenario{net: net}
+	for i := 0; i < n; i++ {
+		cfg := Config{ID: msg.NodeID(i), Replicas: ids}
+		if tweak != nil {
+			tweak(&cfg)
+		}
+		r := New(cfg)
+		s.replicas = append(s.replicas, r)
+		net.AddNode(r)
+	}
+	s.client = &recordingClient{}
+	s.clientID = net.AddNode(s.client)
+	net.Start()
+	return s
+}
+
+// send schedules a client request to the given replica at virtual time at.
+func (s *scenario) send(at time.Duration, to msg.NodeID, seq uint64) {
+	s.net.At(at, func() {
+		s.net.Inject(s.clientID, to, msg.ClientRequest{
+			Client: s.clientID,
+			Seq:    seq,
+			Cmd:    msg.Command{Op: msg.OpPut, Key: "k", Val: "v"},
+		})
+	})
+}
+
+// checkAgreement verifies that no two replicas disagree on any instance.
+func (s *scenario) checkAgreement(t *testing.T) {
+	t.Helper()
+	chosen := make(map[int64]msg.Value)
+	for i, r := range s.replicas {
+		for _, e := range r.Log().History() {
+			if prev, ok := chosen[e.Instance]; ok && prev != e.Value {
+				t.Fatalf("replica %d: instance %d has %+v, another replica has %+v", i, e.Instance, e.Value, prev)
+			} else if !ok {
+				chosen[e.Instance] = e.Value
+			}
+		}
+	}
+}
+
+func TestScenarioFailureFree(t *testing.T) {
+	s := newScenario(t, 3, 1, nil)
+	for i := uint64(1); i <= 5; i++ {
+		s.send(time.Duration(i)*100*time.Microsecond, 0, i)
+	}
+	s.net.RunFor(10 * time.Millisecond)
+	if len(s.client.replies) != 5 {
+		t.Fatalf("client got %d replies, want 5", len(s.client.replies))
+	}
+	if !s.replicas[0].IsLeader() {
+		t.Error("replica 0 must lead in the failure-free run")
+	}
+	if s.replicas[0].ActiveAcceptor() != 2 {
+		t.Errorf("active acceptor = %d, want 2", s.replicas[0].ActiveAcceptor())
+	}
+	if s.replicas[0].Takeovers() != 1 {
+		t.Errorf("boot adoption counts as 1 takeover, got %d", s.replicas[0].Takeovers())
+	}
+	s.checkAgreement(t)
+}
+
+func TestScenarioLeaderCrashTakeover(t *testing.T) {
+	s := newScenario(t, 3, 2, nil)
+	s.send(100*time.Microsecond, 0, 1)
+	s.net.At(2*time.Millisecond, func() { s.net.Crash(0) })
+	// The client redirects to replica 1, which must take over.
+	s.send(3*time.Millisecond, 1, 2)
+	s.net.RunFor(20 * time.Millisecond)
+	if len(s.client.replies) != 2 {
+		t.Fatalf("client got %d replies, want 2", len(s.client.replies))
+	}
+	if !s.replicas[1].IsLeader() {
+		t.Error("replica 1 must lead after the crash")
+	}
+	if s.replicas[1].ActiveAcceptor() != 2 {
+		t.Errorf("takeover must keep the same acceptor, got %d", s.replicas[1].ActiveAcceptor())
+	}
+	s.checkAgreement(t)
+}
+
+func TestScenarioAcceptorCrashCarriesProposals(t *testing.T) {
+	// Crash the acceptor at boot-adoption time, with accepts already in
+	// flight: the AcceptorChange must carry the uncommitted proposals and
+	// every value must still commit exactly once (Lemma 2a).
+	s := newScenario(t, 3, 3, nil)
+	for i := uint64(1); i <= 3; i++ {
+		s.send(time.Duration(i)*10*time.Microsecond, 0, i)
+	}
+	// Crash before any accept_request reaches the acceptor, so all three
+	// proposals must travel through the AcceptorChange entry.
+	s.net.At(14*time.Microsecond, func() { s.net.Crash(2) })
+	s.net.RunFor(30 * time.Millisecond)
+	if len(s.client.replies) != 3 {
+		t.Fatalf("client got %d replies, want 3", len(s.client.replies))
+	}
+	if got := s.replicas[0].AcceptorSwaps(); got != 1 {
+		t.Errorf("AcceptorSwaps = %d, want 1", got)
+	}
+	if aa := s.replicas[0].ActiveAcceptor(); aa != 1 {
+		t.Errorf("new acceptor = %d, want backup 1", aa)
+	}
+	// No duplicate applications: seqs 1..3 exactly once on the leader.
+	seen := make(map[uint64]int)
+	for _, e := range s.replicas[0].Log().History() {
+		if e.Value.Client == s.clientID {
+			seen[e.Value.Seq]++
+		}
+	}
+	for seq, n := range seen {
+		if n != 1 {
+			t.Errorf("seq %d applied %d times", seq, n)
+		}
+	}
+	s.checkAgreement(t)
+}
+
+func TestScenarioBootAcceptorDead(t *testing.T) {
+	// The initial acceptor is dead from the start: the boot leader must
+	// promote a backup via the virgin-acceptor path and still serve.
+	s := newScenario(t, 3, 4, nil)
+	s.net.Crash(2)
+	s.send(100*time.Microsecond, 0, 1)
+	s.net.RunFor(50 * time.Millisecond)
+	if len(s.client.replies) != 1 {
+		t.Fatalf("client got %d replies, want 1", len(s.client.replies))
+	}
+	if aa := s.replicas[0].ActiveAcceptor(); aa != 1 {
+		t.Errorf("acceptor = %d, want backup 1", aa)
+	}
+	s.checkAgreement(t)
+}
+
+func TestScenarioLeaderAndAcceptorDownStallsThenRecovers(t *testing.T) {
+	// Five replicas; leader 0 and acceptor 4 both crash. The paper:
+	// "while both the leader and the active acceptor are not responding,
+	// it is the liveness of the system that is affected, but not its
+	// safety" — no progress until one recovers.
+	s := newScenario(t, 5, 5, nil)
+	s.send(100*time.Microsecond, 0, 1)
+	s.net.At(2*time.Millisecond, func() {
+		s.net.Crash(0)
+		s.net.Crash(4)
+	})
+	s.send(3*time.Millisecond, 1, 2) // replica 1 will try to take over
+	s.net.RunFor(40 * time.Millisecond)
+	if len(s.client.replies) != 1 {
+		t.Fatalf("no commit may happen while leader and acceptor are both down; got %d replies", len(s.client.replies))
+	}
+	// Recover the acceptor: the takeover in flight must now complete.
+	s.net.At(41*time.Millisecond, func() { s.net.Recover(4) })
+	s.net.RunFor(100 * time.Millisecond)
+	if len(s.client.replies) != 2 {
+		t.Fatalf("client got %d replies after recovery, want 2", len(s.client.replies))
+	}
+	if !s.replicas[1].IsLeader() {
+		t.Error("replica 1 must lead after recovery")
+	}
+	s.checkAgreement(t)
+}
+
+func TestScenarioDeposedLeaderRelinquishes(t *testing.T) {
+	// Two replicas race for leadership; the loser must relinquish and the
+	// system must converge on a single leader.
+	s := newScenario(t, 3, 6, nil)
+	s.net.Crash(0) // boot leader never comes up
+	s.send(time.Millisecond, 1, 1)
+	s.net.RunFor(30 * time.Millisecond)
+	if len(s.client.replies) != 1 {
+		t.Fatalf("client got %d replies, want 1", len(s.client.replies))
+	}
+	if !s.replicas[1].IsLeader() {
+		t.Error("replica 1 must lead")
+	}
+	if s.replicas[1].KnownLeader() != 1 {
+		t.Errorf("KnownLeader = %d, want 1", s.replicas[1].KnownLeader())
+	}
+	s.checkAgreement(t)
+}
+
+func TestScenarioForwardingMode(t *testing.T) {
+	// Joint-style forwarding: a request to a non-leader is forwarded to
+	// the leader rather than triggering a takeover.
+	s := newScenario(t, 3, 7, func(c *Config) { c.ForwardToLeader = true })
+	s.send(time.Millisecond, 1, 1) // hits non-leader replica 1
+	s.net.RunFor(20 * time.Millisecond)
+	if len(s.client.replies) != 1 {
+		t.Fatalf("client got %d replies, want 1", len(s.client.replies))
+	}
+	if s.replicas[1].IsLeader() {
+		t.Error("forwarding node must not take over")
+	}
+	if s.replicas[1].Takeovers() != 0 {
+		t.Errorf("Takeovers = %d, want 0", s.replicas[1].Takeovers())
+	}
+	if !s.replicas[0].IsLeader() {
+		t.Error("replica 0 must remain leader")
+	}
+	s.checkAgreement(t)
+}
+
+func TestScenarioRandomFaultScheduleSafety(t *testing.T) {
+	// Safety sweep: random slow-core schedules on a 5-replica cluster,
+	// random request injection at random replicas; afterwards no two
+	// replicas may disagree on any instance (the paper's consistency
+	// property). Faults are slowdowns, matching the paper's fault model:
+	// "The notion of crash used here does not necessarily mean the cores
+	// stopping any activities forever. It simply models slow ones." —
+	// cores are delayed, never amnesiac, and messages are never lost.
+	for seed := int64(0); seed < 25; seed++ {
+		s := newScenario(t, 5, 100+seed, nil)
+		rng := s.net.Engine().Rand()
+		seq := uint64(0)
+		for i := 0; i < 40; i++ {
+			at := time.Duration(rng.Intn(50_000)) * time.Microsecond
+			switch rng.Intn(8) {
+			case 0, 1:
+				node := msg.NodeID(rng.Intn(5))
+				factor := float64(rng.Intn(400) + 50) // deep stall
+				hold := time.Duration(rng.Intn(15_000)) * time.Microsecond
+				s.net.At(at, func() { s.net.SetSlow(node, factor) })
+				s.net.At(at+hold, func() { s.net.SetSlow(node, 1) })
+			default:
+				seq++
+				s.send(at, msg.NodeID(rng.Intn(5)), seq)
+			}
+		}
+		s.net.RunFor(300 * time.Millisecond)
+		s.checkAgreement(t)
+		// Duplicate-suppression: every committed seq at most once per log.
+		for ri, r := range s.replicas {
+			seen := make(map[uint64]int)
+			for _, e := range r.Log().History() {
+				if e.Value.Client == s.clientID {
+					seen[e.Value.Seq]++
+				}
+			}
+			for sq, n := range seen {
+				if n > 1 {
+					t.Fatalf("seed %d replica %d: seq %d applied %d times", seed, ri, sq, n)
+				}
+			}
+		}
+	}
+}

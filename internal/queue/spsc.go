@@ -1,0 +1,107 @@
+// Package queue implements the message queuing layer of QC-libtask
+// (Section 6.1 of the paper) in Go: a bounded lock-free
+// single-producer/single-consumer slot queue, two of which connect every
+// pair of communicating nodes (one per direction).
+//
+// Faithful to the paper: the queue has a small fixed number of slots
+// (seven by default, each sized for a 128-byte message, twice a cache
+// line), the head pointer is moved only by the reader, the tail only by
+// the writer, and no locks are taken on either path. Head and tail live on
+// separate cache lines to avoid false sharing between producer and
+// consumer cores.
+package queue
+
+import (
+	"runtime"
+	"sync/atomic"
+)
+
+// DefaultSlots is the paper's default queue depth (Section 6.1).
+const DefaultSlots = 7
+
+// SlotBytes is the paper's slot size: 128 bytes, twice the cache-line
+// size of the evaluation machine.
+const SlotBytes = 128
+
+// FixedMsg is a fixed-size message payload matching the paper's slot
+// layout, used by the wire-level microbenchmarks.
+type FixedMsg [SlotBytes]byte
+
+// SPSC is a bounded single-producer/single-consumer queue. Exactly one
+// goroutine may enqueue and exactly one may dequeue; this is the invariant
+// that makes the lock-free head/tail scheme of the paper correct.
+//
+// Head and tail are free-running counters: size = tail - head; the queue
+// is full when size == capacity and empty when the counters are equal.
+type SPSC[T any] struct {
+	_    [64]byte // keep head away from whatever precedes the struct
+	head atomic.Uint64
+	_    [56]byte // head and tail on distinct cache lines
+	tail atomic.Uint64
+	_    [56]byte
+	buf  []T
+}
+
+// NewSPSC returns a queue with the given number of slots.
+// It panics if capacity is not positive; the capacity is a configuration
+// constant, never runtime input.
+func NewSPSC[T any](capacity int) *SPSC[T] {
+	if capacity <= 0 {
+		panic("queue: capacity must be positive")
+	}
+	return &SPSC[T]{buf: make([]T, capacity)}
+}
+
+// Cap reports the number of slots.
+func (q *SPSC[T]) Cap() int { return len(q.buf) }
+
+// Len reports the number of queued messages. Because producer and
+// consumer race with this read, the value is a point-in-time snapshot.
+func (q *SPSC[T]) Len() int {
+	return int(q.tail.Load() - q.head.Load())
+}
+
+// TryEnqueue appends v and reports success, or reports false when the
+// queue is full. Only the producer goroutine may call it.
+func (q *SPSC[T]) TryEnqueue(v T) bool {
+	tail := q.tail.Load()
+	if tail-q.head.Load() == uint64(len(q.buf)) {
+		return false
+	}
+	q.buf[tail%uint64(len(q.buf))] = v
+	q.tail.Store(tail + 1)
+	return true
+}
+
+// Enqueue appends v, spinning (with cooperative yields) while the queue
+// is full — the paper's sender behaviour with a bounded slot queue.
+func (q *SPSC[T]) Enqueue(v T) {
+	for !q.TryEnqueue(v) {
+		runtime.Gosched()
+	}
+}
+
+// TryDequeue removes the oldest message and reports success, or reports
+// false when the queue is empty. Only the consumer goroutine may call it.
+func (q *SPSC[T]) TryDequeue() (T, bool) {
+	var zero T
+	head := q.head.Load()
+	if head == q.tail.Load() {
+		return zero, false
+	}
+	v := q.buf[head%uint64(len(q.buf))]
+	q.buf[head%uint64(len(q.buf))] = zero // release references for GC
+	q.head.Store(head + 1)
+	return v, true
+}
+
+// Dequeue removes the oldest message, spinning (with cooperative yields)
+// while the queue is empty.
+func (q *SPSC[T]) Dequeue() T {
+	for {
+		if v, ok := q.TryDequeue(); ok {
+			return v
+		}
+		runtime.Gosched()
+	}
+}

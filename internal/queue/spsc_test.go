@@ -1,0 +1,199 @@
+package queue
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestFIFOSingleThread(t *testing.T) {
+	q := NewSPSC[int](DefaultSlots)
+	for i := 0; i < 5; i++ {
+		if !q.TryEnqueue(i) {
+			t.Fatalf("enqueue %d failed", i)
+		}
+	}
+	for i := 0; i < 5; i++ {
+		v, ok := q.TryDequeue()
+		if !ok || v != i {
+			t.Fatalf("dequeue = (%d,%v), want (%d,true)", v, ok, i)
+		}
+	}
+	if _, ok := q.TryDequeue(); ok {
+		t.Fatal("dequeue from empty queue succeeded")
+	}
+}
+
+func TestFullQueueRejects(t *testing.T) {
+	q := NewSPSC[int](3)
+	for i := 0; i < 3; i++ {
+		if !q.TryEnqueue(i) {
+			t.Fatalf("enqueue %d failed below capacity", i)
+		}
+	}
+	if q.TryEnqueue(99) {
+		t.Fatal("enqueue into full queue succeeded")
+	}
+	if q.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", q.Len())
+	}
+	q.TryDequeue()
+	if !q.TryEnqueue(99) {
+		t.Fatal("enqueue after dequeue failed")
+	}
+}
+
+func TestWrapAround(t *testing.T) {
+	q := NewSPSC[int](DefaultSlots)
+	// Push/pop more than capacity several times over to exercise the ring.
+	next := 0
+	for round := 0; round < 10; round++ {
+		for i := 0; i < DefaultSlots; i++ {
+			q.Enqueue(next + i)
+		}
+		for i := 0; i < DefaultSlots; i++ {
+			if got := q.Dequeue(); got != next+i {
+				t.Fatalf("round %d: got %d, want %d", round, got, next+i)
+			}
+		}
+		next += DefaultSlots
+	}
+}
+
+func TestCapacityValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for non-positive capacity")
+		}
+	}()
+	NewSPSC[int](0)
+}
+
+func TestCapAndLen(t *testing.T) {
+	q := NewSPSC[string](4)
+	if q.Cap() != 4 || q.Len() != 0 {
+		t.Fatalf("cap=%d len=%d, want 4/0", q.Cap(), q.Len())
+	}
+	q.Enqueue("a")
+	q.Enqueue("b")
+	if q.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", q.Len())
+	}
+}
+
+func TestConcurrentTransferPreservesOrder(t *testing.T) {
+	const n = 200000
+	q := NewSPSC[int](DefaultSlots)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < n; i++ {
+			q.Enqueue(i)
+		}
+	}()
+	for i := 0; i < n; i++ {
+		if got := q.Dequeue(); got != i {
+			t.Fatalf("out of order: got %d, want %d", got, i)
+		}
+	}
+	wg.Wait()
+	if q.Len() != 0 {
+		t.Fatalf("queue not drained: %d", q.Len())
+	}
+}
+
+func TestConcurrentFixedMsgTransfer(t *testing.T) {
+	// Exercise the paper's exact slot shape: 128-byte payloads, 7 slots.
+	const n = 20000
+	q := NewSPSC[FixedMsg](DefaultSlots)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		var m FixedMsg
+		for i := 0; i < n; i++ {
+			m[0] = byte(i)
+			m[SlotBytes-1] = byte(i >> 8)
+			q.Enqueue(m)
+		}
+	}()
+	for i := 0; i < n; i++ {
+		m := q.Dequeue()
+		if m[0] != byte(i) || m[SlotBytes-1] != byte(i>>8) {
+			t.Fatalf("payload corrupted at %d", i)
+		}
+	}
+	wg.Wait()
+}
+
+// queueModel is the reference implementation for the property test.
+type queueModel struct {
+	items []int
+	cap   int
+}
+
+func (m *queueModel) enqueue(v int) bool {
+	if len(m.items) == m.cap {
+		return false
+	}
+	m.items = append(m.items, v)
+	return true
+}
+
+func (m *queueModel) dequeue() (int, bool) {
+	if len(m.items) == 0 {
+		return 0, false
+	}
+	v := m.items[0]
+	m.items = m.items[1:]
+	return v, true
+}
+
+func TestQuickAgainstModel(t *testing.T) {
+	// Property: any single-threaded op sequence behaves like a bounded
+	// FIFO model (true/false ops = enqueue/dequeue).
+	f := func(ops []bool, capRaw uint8) bool {
+		capacity := int(capRaw%8) + 1
+		q := NewSPSC[int](capacity)
+		model := &queueModel{cap: capacity}
+		next := 0
+		for _, op := range ops {
+			if op {
+				got := q.TryEnqueue(next)
+				want := model.enqueue(next)
+				if got != want {
+					return false
+				}
+				next++
+			} else {
+				gv, gok := q.TryDequeue()
+				wv, wok := model.dequeue()
+				if gok != wok || (gok && gv != wv) {
+					return false
+				}
+			}
+			if q.Len() != len(model.items) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDequeueReleasesReferences(t *testing.T) {
+	q := NewSPSC[*int](2)
+	v := new(int)
+	q.TryEnqueue(v)
+	q.TryDequeue()
+	// The slot should have been zeroed; enqueue again and verify the old
+	// pointer is not resurrected by a stale slot read.
+	q.TryEnqueue(nil)
+	got, ok := q.TryDequeue()
+	if !ok || got != nil {
+		t.Fatal("slot not cleared after dequeue")
+	}
+}

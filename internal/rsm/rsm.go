@@ -1,0 +1,245 @@
+// Package rsm provides the replicated-state-machine plumbing shared by
+// every agreement protocol in this repository: an instance-indexed learned
+// log with in-order application, a replicated key-value state machine, and
+// client session tracking for exactly-once replies.
+//
+// The paper's learners are "the actual long-term memory of the system"
+// (Section 4.1); Log is that memory, and KV is the application state the
+// examples replicate.
+package rsm
+
+import (
+	"fmt"
+	"sort"
+
+	"consensusinside/internal/msg"
+)
+
+// Applier consumes committed commands in log order and returns the
+// command's result string.
+type Applier interface {
+	Apply(v msg.Value) string
+}
+
+// KV is a replicated string map. It implements Applier.
+// The zero value is not usable; create one with NewKV.
+type KV struct {
+	data map[string]string
+}
+
+// NewKV returns an empty key-value state machine.
+func NewKV() *KV { return &KV{data: make(map[string]string)} }
+
+// Apply executes one committed command.
+func (kv *KV) Apply(v msg.Value) string {
+	switch v.Cmd.Op {
+	case msg.OpPut:
+		kv.data[v.Cmd.Key] = v.Cmd.Val
+		return v.Cmd.Val
+	case msg.OpGet:
+		return kv.data[v.Cmd.Key]
+	default: // noop and unknown ops mutate nothing
+		return ""
+	}
+}
+
+// Get reads a key directly — the "local read" path of relaxed-consistency
+// reads (Section 7.5: "For more relaxed read consistency guarantees,
+// local reads may be performed even with non-blocking protocols").
+func (kv *KV) Get(key string) (string, bool) {
+	v, ok := kv.data[key]
+	return v, ok
+}
+
+// Len reports the number of keys.
+func (kv *KV) Len() int { return len(kv.data) }
+
+// Entry is one learned (instance, value) pair.
+type Entry struct {
+	Instance int64
+	Value    msg.Value
+}
+
+// Log is the learner's memory: learned values by instance number, applied
+// to an Applier strictly in instance order with no gaps.
+type Log struct {
+	learned map[int64]msg.Value
+	applied int64 // next instance to apply
+	applier Applier
+	history []Entry // applied prefix, for audits and consistency checks
+	onApply func(e Entry, result string)
+}
+
+// NewLog builds a log applying into applier (which may be nil for
+// protocols measured without application state).
+func NewLog(applier Applier) *Log {
+	return &Log{
+		learned: make(map[int64]msg.Value),
+		applier: applier,
+	}
+}
+
+// OnApply registers a callback invoked after each in-order application —
+// the hook protocols use to answer clients.
+func (l *Log) OnApply(fn func(e Entry, result string)) { l.onApply = fn }
+
+// Learn records that instance chose value. Learning the same value twice
+// is idempotent; learning a *different* value for an applied or recorded
+// instance indicates a protocol safety violation and panics loudly rather
+// than diverging replicas silently.
+func (l *Log) Learn(instance int64, value msg.Value) {
+	if prev, ok := l.learned[instance]; ok {
+		if prev != value {
+			panic(fmt.Sprintf("rsm: instance %d learned two values: %+v then %+v", instance, prev, value))
+		}
+		return
+	}
+	if instance < l.applied {
+		// Already applied; verify agreement against history.
+		for _, e := range l.history {
+			if e.Instance == instance && e.Value != value {
+				panic(fmt.Sprintf("rsm: applied instance %d re-learned different value", instance))
+			}
+		}
+		return
+	}
+	l.learned[instance] = value
+	l.advance()
+}
+
+func (l *Log) advance() {
+	for {
+		v, ok := l.learned[l.applied]
+		if !ok {
+			return
+		}
+		delete(l.learned, l.applied)
+		e := Entry{Instance: l.applied, Value: v}
+		result := ""
+		if l.applier != nil {
+			result = l.applier.Apply(v)
+		}
+		l.history = append(l.history, e)
+		l.applied++
+		if l.onApply != nil {
+			l.onApply(e, result)
+		}
+	}
+}
+
+// NextToApply reports the lowest unapplied instance (the first gap).
+func (l *Log) NextToApply() int64 { return l.applied }
+
+// Learned reports whether instance has been learned (applied or pending).
+func (l *Log) Learned(instance int64) bool {
+	if instance < l.applied {
+		return true
+	}
+	_, ok := l.learned[instance]
+	return ok
+}
+
+// Applied reports how many instances have been applied.
+func (l *Log) Applied() int { return len(l.history) }
+
+// History returns a copy of the applied prefix, in order.
+func (l *Log) History() []Entry {
+	out := make([]Entry, len(l.history))
+	copy(out, l.history)
+	return out
+}
+
+// Since returns the applied entries with instance >= from, in order.
+// Acceptors use it to answer prepares from lagging proposers: an applied
+// value is decided, so handing it back as an accepted proposal is always
+// safe and prevents the new leader from proposing a conflicting value.
+func (l *Log) Since(from int64) []Entry {
+	start := len(l.history)
+	for i, e := range l.history {
+		if e.Instance >= from {
+			start = i
+			break
+		}
+	}
+	out := make([]Entry, len(l.history)-start)
+	copy(out, l.history[start:])
+	return out
+}
+
+// PendingInstances lists learned-but-unapplied instances in ascending
+// order (waiting on gaps).
+func (l *Log) PendingInstances() []int64 {
+	out := make([]int64, 0, len(l.learned))
+	for i := range l.learned {
+		out = append(out, i)
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a] < out[b] })
+	return out
+}
+
+// Sessions deduplicates client commands for exactly-once replies: each
+// client issues strictly increasing sequence numbers, and a retry of an
+// already-committed command must be answered with the original result
+// rather than re-executed.
+type Sessions struct {
+	last map[msg.NodeID]sessionEntry
+}
+
+type sessionEntry struct {
+	seq      uint64
+	instance int64
+	result   string
+}
+
+// NewSessions returns an empty session table.
+func NewSessions() *Sessions {
+	return &Sessions{last: make(map[msg.NodeID]sessionEntry)}
+}
+
+// Done records the committed result for client's command seq.
+func (s *Sessions) Done(client msg.NodeID, seq uint64, instance int64, result string) {
+	if cur, ok := s.last[client]; ok && cur.seq >= seq {
+		return
+	}
+	s.last[client] = sessionEntry{seq: seq, instance: instance, result: result}
+}
+
+// Lookup reports the stored result for (client, seq) if that exact command
+// already committed.
+func (s *Sessions) Lookup(client msg.NodeID, seq uint64) (instance int64, result string, ok bool) {
+	cur, found := s.last[client]
+	if !found || cur.seq != seq {
+		return 0, "", false
+	}
+	return cur.instance, cur.result, true
+}
+
+// Seen reports whether any command with sequence >= seq committed for the
+// client (i.e. the command is stale or duplicate).
+func (s *Sessions) Seen(client msg.NodeID, seq uint64) bool {
+	cur, ok := s.last[client]
+	return ok && cur.seq >= seq
+}
+
+// Dedup wraps an Applier and suppresses re-execution of commands that
+// already committed under another instance (a client retry racing a
+// leader change). Protocols record completions via Sessions.Done in their
+// apply callbacks; Dedup consults the same table before executing.
+type Dedup struct {
+	Sessions *Sessions
+	Inner    Applier
+}
+
+// Apply implements Applier.
+func (d Dedup) Apply(v msg.Value) string {
+	if v.Client == msg.Nobody {
+		return "" // gap-filling noop
+	}
+	if _, result, ok := d.Sessions.Lookup(v.Client, v.Seq); ok {
+		return result
+	}
+	if d.Sessions.Seen(v.Client, v.Seq) {
+		return ""
+	}
+	return d.Inner.Apply(v)
+}

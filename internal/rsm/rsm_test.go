@@ -1,0 +1,245 @@
+package rsm
+
+import (
+	"testing"
+	"testing/quick"
+
+	"consensusinside/internal/msg"
+)
+
+func val(client msg.NodeID, seq uint64, op msg.Op, key, v string) msg.Value {
+	return msg.Value{Client: client, Seq: seq, Cmd: msg.Command{Op: op, Key: key, Val: v}}
+}
+
+func TestKVApply(t *testing.T) {
+	kv := NewKV()
+	if got := kv.Apply(val(1, 1, msg.OpPut, "a", "1")); got != "1" {
+		t.Errorf("put result = %q, want 1", got)
+	}
+	if got := kv.Apply(val(1, 2, msg.OpGet, "a", "")); got != "1" {
+		t.Errorf("get result = %q, want 1", got)
+	}
+	if got := kv.Apply(val(1, 3, msg.OpGet, "missing", "")); got != "" {
+		t.Errorf("missing get = %q, want empty", got)
+	}
+	if got := kv.Apply(val(1, 4, msg.OpNoop, "", "")); got != "" {
+		t.Errorf("noop = %q, want empty", got)
+	}
+	if v, ok := kv.Get("a"); !ok || v != "1" {
+		t.Errorf("Get(a) = %q,%v", v, ok)
+	}
+	if kv.Len() != 1 {
+		t.Errorf("Len = %d, want 1", kv.Len())
+	}
+}
+
+func TestLogAppliesInOrder(t *testing.T) {
+	kv := NewKV()
+	log := NewLog(kv)
+	var applied []int64
+	log.OnApply(func(e Entry, result string) { applied = append(applied, e.Instance) })
+
+	log.Learn(2, val(1, 3, msg.OpPut, "c", "3"))
+	log.Learn(0, val(1, 1, msg.OpPut, "a", "1"))
+	if len(applied) != 1 || applied[0] != 0 {
+		t.Fatalf("applied %v, want [0] (instance 1 missing)", applied)
+	}
+	if got := log.NextToApply(); got != 1 {
+		t.Fatalf("NextToApply = %d, want 1", got)
+	}
+	if pend := log.PendingInstances(); len(pend) != 1 || pend[0] != 2 {
+		t.Fatalf("PendingInstances = %v, want [2]", pend)
+	}
+	log.Learn(1, val(1, 2, msg.OpPut, "b", "2"))
+	if len(applied) != 3 {
+		t.Fatalf("applied %v, want all three after the gap fills", applied)
+	}
+	if got := log.Applied(); got != 3 {
+		t.Fatalf("Applied = %d, want 3", got)
+	}
+	if v, _ := kv.Get("c"); v != "3" {
+		t.Fatalf("kv[c] = %q", v)
+	}
+}
+
+func TestLogIdempotentLearn(t *testing.T) {
+	log := NewLog(NewKV())
+	v := val(1, 1, msg.OpPut, "a", "1")
+	log.Learn(0, v)
+	log.Learn(0, v) // same value again: fine
+	if log.Applied() != 1 {
+		t.Fatalf("Applied = %d, want 1", log.Applied())
+	}
+	if !log.Learned(0) || log.Learned(1) {
+		t.Fatal("Learned bookkeeping wrong")
+	}
+}
+
+func TestLogPanicsOnConflictingLearn(t *testing.T) {
+	log := NewLog(NewKV())
+	log.Learn(0, val(1, 1, msg.OpPut, "a", "1"))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("conflicting learn must panic (safety violation)")
+		}
+	}()
+	log.Learn(0, val(2, 9, msg.OpPut, "b", "2"))
+}
+
+func TestLogPanicsOnConflictingPendingLearn(t *testing.T) {
+	log := NewLog(NewKV())
+	log.Learn(5, val(1, 1, msg.OpPut, "a", "1")) // pending (gap below)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("conflicting pending learn must panic")
+		}
+	}()
+	log.Learn(5, val(2, 9, msg.OpPut, "b", "2"))
+}
+
+func TestLogSince(t *testing.T) {
+	log := NewLog(NewKV())
+	for i := int64(0); i < 5; i++ {
+		log.Learn(i, val(1, uint64(i+1), msg.OpPut, "k", "v"))
+	}
+	if got := log.Since(3); len(got) != 2 || got[0].Instance != 3 || got[1].Instance != 4 {
+		t.Fatalf("Since(3) = %+v", got)
+	}
+	if got := log.Since(0); len(got) != 5 {
+		t.Fatalf("Since(0) = %d entries, want 5", len(got))
+	}
+	if got := log.Since(10); len(got) != 0 {
+		t.Fatalf("Since(10) = %+v, want empty", got)
+	}
+}
+
+func TestHistoryIsCopy(t *testing.T) {
+	log := NewLog(NewKV())
+	log.Learn(0, val(1, 1, msg.OpPut, "a", "1"))
+	h := log.History()
+	h[0].Value.Cmd.Key = "mutated"
+	if log.History()[0].Value.Cmd.Key != "a" {
+		t.Fatal("History must return a copy")
+	}
+}
+
+func TestSessions(t *testing.T) {
+	s := NewSessions()
+	if s.Seen(1, 1) {
+		t.Fatal("fresh sessions must not have seen anything")
+	}
+	s.Done(1, 1, 10, "r1")
+	if !s.Seen(1, 1) {
+		t.Fatal("Seen(1,1) after Done")
+	}
+	inst, res, ok := s.Lookup(1, 1)
+	if !ok || inst != 10 || res != "r1" {
+		t.Fatalf("Lookup = (%d,%q,%v)", inst, res, ok)
+	}
+	// Lower or different seq doesn't match exactly.
+	if _, _, ok := s.Lookup(1, 2); ok {
+		t.Fatal("Lookup(1,2) must miss")
+	}
+	// A stale Done does not regress the table.
+	s.Done(1, 5, 20, "r5")
+	s.Done(1, 3, 15, "r3")
+	if _, res, ok := s.Lookup(1, 5); !ok || res != "r5" {
+		t.Fatal("stale Done must not overwrite newer state")
+	}
+	if !s.Seen(1, 4) {
+		t.Fatal("Seen must cover all seqs <= latest")
+	}
+}
+
+func TestSessionsQuickMonotonic(t *testing.T) {
+	// Property: after any sequence of Done calls, Seen(c, s) is true iff
+	// s <= the maximum seq recorded for c.
+	f := func(seqs []uint8) bool {
+		s := NewSessions()
+		var maxSeq uint64
+		for _, raw := range seqs {
+			seq := uint64(raw)
+			s.Done(1, seq, int64(seq), "x")
+			if seq > maxSeq {
+				maxSeq = seq
+			}
+		}
+		for probe := uint64(0); probe <= uint64(len(seqs))+260; probe += 13 {
+			want := len(seqs) > 0 && probe <= maxSeq
+			if s.Seen(1, probe) != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDedupApplier(t *testing.T) {
+	sessions := NewSessions()
+	kv := NewKV()
+	d := Dedup{Sessions: sessions, Inner: kv}
+
+	v := val(1, 1, msg.OpPut, "a", "1")
+	if got := d.Apply(v); got != "1" {
+		t.Fatalf("first apply = %q", got)
+	}
+	sessions.Done(1, 1, 0, "1")
+	// Same command again: returns the stored result, no re-execution.
+	kv.Apply(val(9, 9, msg.OpPut, "a", "other")) // mutate underneath
+	if got := d.Apply(v); got != "1" {
+		t.Fatalf("duplicate apply = %q, want stored result", got)
+	}
+	// Older duplicate after newer command: suppressed.
+	sessions.Done(1, 5, 1, "r5")
+	if got := d.Apply(val(1, 2, msg.OpPut, "a", "stale")); got != "" {
+		t.Fatalf("stale apply = %q, want empty", got)
+	}
+	if v2, _ := kv.Get("a"); v2 != "other" {
+		t.Fatalf("stale apply mutated state: %q", v2)
+	}
+	// Noops pass through harmlessly.
+	if got := d.Apply(msg.Value{Client: msg.Nobody, Cmd: msg.Command{Op: msg.OpNoop}}); got != "" {
+		t.Fatalf("noop = %q", got)
+	}
+}
+
+func TestLogQuickRandomOrderApplication(t *testing.T) {
+	// Property: learning instances 0..n-1 in any order applies them all,
+	// in instance order, exactly once.
+	f := func(perm []uint8) bool {
+		n := len(perm)
+		if n == 0 {
+			return true
+		}
+		// Build a permutation of 0..n-1 from the random bytes.
+		order := make([]int64, n)
+		for i := range order {
+			order[i] = int64(i)
+		}
+		for i := n - 1; i > 0; i-- {
+			j := int(perm[i]) % (i + 1)
+			order[i], order[j] = order[j], order[i]
+		}
+		log := NewLog(NewKV())
+		var applied []int64
+		log.OnApply(func(e Entry, _ string) { applied = append(applied, e.Instance) })
+		for _, in := range order {
+			log.Learn(in, val(1, uint64(in+1), msg.OpPut, "k", "v"))
+		}
+		if len(applied) != n {
+			return false
+		}
+		for i, in := range applied {
+			if in != int64(i) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,92 @@
+package runtime
+
+import (
+	"math/rand"
+	"time"
+
+	"consensusinside/internal/msg"
+)
+
+// FakeContext is a recording Context for handler-level unit tests: sends
+// and timers are captured instead of delivered, and the clock is advanced
+// manually. It lives in the production package (like net/http/httptest's
+// relationship to net/http) so every protocol package can drive its
+// handlers deterministically without a network.
+type FakeContext struct {
+	NodeID msg.NodeID
+	Nodes  int
+	Clock  time.Duration
+	Sent   []FakeSend
+	Timers []FakeTimer
+	Rng    *rand.Rand
+}
+
+// FakeSend is one captured Send.
+type FakeSend struct {
+	To msg.NodeID
+	M  msg.Message
+}
+
+// FakeTimer is one captured After.
+type FakeTimer struct {
+	At        time.Duration
+	Tag       TimerTag
+	Cancelled bool
+}
+
+var _ Context = (*FakeContext)(nil)
+
+// NewFakeContext builds a FakeContext for node id in a cluster of n.
+func NewFakeContext(id msg.NodeID, n int) *FakeContext {
+	return &FakeContext{NodeID: id, Nodes: n, Rng: rand.New(rand.NewSource(1))}
+}
+
+// ID implements Context.
+func (f *FakeContext) ID() msg.NodeID { return f.NodeID }
+
+// N implements Context.
+func (f *FakeContext) N() int { return f.Nodes }
+
+// Now implements Context.
+func (f *FakeContext) Now() time.Duration { return f.Clock }
+
+// Rand implements Context.
+func (f *FakeContext) Rand() *rand.Rand { return f.Rng }
+
+// Send implements Context by recording the message.
+func (f *FakeContext) Send(to msg.NodeID, m msg.Message) {
+	f.Sent = append(f.Sent, FakeSend{To: to, M: m})
+}
+
+// After implements Context by recording the timer.
+func (f *FakeContext) After(d time.Duration, tag TimerTag) CancelFunc {
+	idx := len(f.Timers)
+	f.Timers = append(f.Timers, FakeTimer{At: f.Clock + d, Tag: tag})
+	return func() { f.Timers[idx].Cancelled = true }
+}
+
+// TakeSent returns and clears the captured sends.
+func (f *FakeContext) TakeSent() []FakeSend {
+	out := f.Sent
+	f.Sent = nil
+	return out
+}
+
+// SentTo filters captured sends by destination.
+func (f *FakeContext) SentTo(to msg.NodeID) []msg.Message {
+	var out []msg.Message
+	for _, s := range f.Sent {
+		if s.To == to {
+			out = append(out, s.M)
+		}
+	}
+	return out
+}
+
+// LastSent returns the most recent send, or nil.
+func (f *FakeContext) LastSent() *FakeSend {
+	if len(f.Sent) == 0 {
+		return nil
+	}
+	return &f.Sent[len(f.Sent)-1]
+}

@@ -1,0 +1,240 @@
+package runtime
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"consensusinside/internal/msg"
+	"consensusinside/internal/queue"
+)
+
+// InProcOption configures an in-process cluster.
+type InProcOption func(*inprocConfig)
+
+type inprocConfig struct {
+	queueCap int
+	seed     int64
+}
+
+// WithQueueCapacity sets the per-pair SPSC queue depth. The paper uses 7
+// slots; the in-process default is larger (1024) because, unlike the
+// paper's C runtime, a Go handler blocked on a full queue holds its
+// goroutine, and deep pipelines between protocol roles are cheap in memory.
+func WithQueueCapacity(n int) InProcOption {
+	return func(c *inprocConfig) { c.queueCap = n }
+}
+
+// WithSeed seeds the per-node random sources.
+func WithSeed(seed int64) InProcOption {
+	return func(c *inprocConfig) { c.seed = seed }
+}
+
+// InProcCluster runs n Handlers on goroutines connected by per-pair SPSC
+// queues — QC-libtask's topology (Figure 6 of the paper): two directed
+// queues between every pair of nodes, head moved by the reader, tail by
+// the writer, plus a wake-up signal so idle nodes park instead of
+// spinning ("preventing threads from spinning unnecessarily when waiting
+// for messages", Section 8).
+type InProcCluster struct {
+	nodes []*inprocNode
+	start time.Time
+	stop  chan struct{}
+	wg    sync.WaitGroup
+}
+
+type envelope struct {
+	from msg.NodeID
+	m    msg.Message
+}
+
+type inprocNode struct {
+	cluster *InProcCluster
+	id      msg.NodeID
+	handler Handler
+	// in[i] is the queue carrying messages from node i to this node.
+	in      []*queue.SPSC[envelope]
+	wake    chan struct{}
+	timerCh chan TimerTag
+	rng     *rand.Rand
+
+	mu      sync.Mutex // guards selfBox
+	selfBox []envelope // self-sends: no pair queue exists for from==to
+}
+
+// NewInProcCluster builds and starts a cluster running the given handlers.
+// Handler i becomes node i. Stop must be called to release the goroutines.
+func NewInProcCluster(handlers []Handler, opts ...InProcOption) *InProcCluster {
+	cfg := inprocConfig{queueCap: 1024, seed: 1}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	n := len(handlers)
+	c := &InProcCluster{
+		start: time.Now(),
+		stop:  make(chan struct{}),
+	}
+	c.nodes = make([]*inprocNode, n)
+	for i := range c.nodes {
+		c.nodes[i] = &inprocNode{
+			cluster: c,
+			id:      msg.NodeID(i),
+			handler: handlers[i],
+			in:      make([]*queue.SPSC[envelope], n),
+			wake:    make(chan struct{}, 1),
+			timerCh: make(chan TimerTag, 64),
+			rng:     rand.New(rand.NewSource(cfg.seed + int64(i))),
+		}
+	}
+	for i, node := range c.nodes {
+		for j := range node.in {
+			if j != i {
+				node.in[j] = queue.NewSPSC[envelope](cfg.queueCap)
+			}
+		}
+	}
+	for _, node := range c.nodes {
+		c.wg.Add(1)
+		go node.run()
+	}
+	return c
+}
+
+// N reports the cluster size.
+func (c *InProcCluster) N() int { return len(c.nodes) }
+
+// Inject delivers a message to node to as if sent by node from. It is the
+// entry point for external drivers (tests, examples) that are not
+// themselves nodes. The from id must not belong to a running node unless
+// that node itself is the caller, to preserve the SPSC invariant; external
+// drivers should use ids >= N or the reserved msg.Nobody.
+func (c *InProcCluster) Inject(from, to msg.NodeID, m msg.Message) {
+	if int(to) < 0 || int(to) >= len(c.nodes) {
+		panic(fmt.Sprintf("runtime: inject to unknown node %d", to))
+	}
+	dst := c.nodes[to]
+	dst.mu.Lock()
+	dst.selfBox = append(dst.selfBox, envelope{from: from, m: m})
+	dst.mu.Unlock()
+	dst.notify()
+}
+
+// Stop shuts down all node goroutines and waits for them to exit.
+func (c *InProcCluster) Stop() {
+	close(c.stop)
+	c.wg.Wait()
+}
+
+func (c *InProcCluster) send(from, to msg.NodeID, m msg.Message) {
+	if int(to) < 0 || int(to) >= len(c.nodes) {
+		panic(fmt.Sprintf("runtime: send to unknown node %d", to))
+	}
+	dst := c.nodes[to]
+	if from == to {
+		// Self-sends do not cross the node boundary (collapsed roles); the
+		// pair queue from==to does not exist, so loop through the mailbox.
+		dst.mu.Lock()
+		dst.selfBox = append(dst.selfBox, envelope{from: from, m: m})
+		dst.mu.Unlock()
+		dst.notify()
+		return
+	}
+	dst.in[from].Enqueue(envelope{from: from, m: m})
+	dst.notify()
+}
+
+func (n *inprocNode) notify() {
+	select {
+	case n.wake <- struct{}{}:
+	default:
+	}
+}
+
+func (n *inprocNode) drainSelf(ctx Context) bool {
+	progress := false
+	for {
+		n.mu.Lock()
+		if len(n.selfBox) == 0 {
+			n.mu.Unlock()
+			return progress
+		}
+		env := n.selfBox[0]
+		n.selfBox = n.selfBox[1:]
+		n.mu.Unlock()
+		n.handler.Receive(ctx, env.from, env.m)
+		progress = true
+	}
+}
+
+func (n *inprocNode) run() {
+	defer n.cluster.wg.Done()
+	ctx := &inprocContext{node: n}
+	n.handler.Start(ctx)
+	for {
+		progress := false
+		// Drain the per-peer queues round-robin, one message per queue per
+		// sweep, matching QC-libtask's scheduler fairness.
+		for i, q := range n.in {
+			if q == nil {
+				continue
+			}
+			if env, ok := q.TryDequeue(); ok {
+				n.handler.Receive(ctx, msg.NodeID(i), env.m)
+				progress = true
+			}
+		}
+		if n.drainSelf(ctx) {
+			progress = true
+		}
+		// Deliver expired timers without blocking.
+	timers:
+		for {
+			select {
+			case tag := <-n.timerCh:
+				n.handler.Timer(ctx, tag)
+				progress = true
+			default:
+				break timers
+			}
+		}
+		if progress {
+			continue
+		}
+		select {
+		case <-n.wake:
+		case tag := <-n.timerCh:
+			n.handler.Timer(ctx, tag)
+		case <-n.cluster.stop:
+			return
+		}
+	}
+}
+
+type inprocContext struct {
+	node *inprocNode
+}
+
+var _ Context = (*inprocContext)(nil)
+
+func (c *inprocContext) ID() msg.NodeID     { return c.node.id }
+func (c *inprocContext) N() int             { return len(c.node.cluster.nodes) }
+func (c *inprocContext) Now() time.Duration { return time.Since(c.node.cluster.start) }
+func (c *inprocContext) Rand() *rand.Rand   { return c.node.rng }
+
+func (c *inprocContext) Send(to msg.NodeID, m msg.Message) {
+	c.node.cluster.send(c.node.id, to, m)
+}
+
+func (c *inprocContext) After(d time.Duration, tag TimerTag) CancelFunc {
+	node := c.node
+	stop := node.cluster.stop
+	t := time.AfterFunc(d, func() {
+		select {
+		case node.timerCh <- tag:
+			node.notify()
+		case <-stop:
+		}
+	})
+	return func() { t.Stop() }
+}

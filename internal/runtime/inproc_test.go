@@ -1,0 +1,180 @@
+package runtime
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"consensusinside/internal/msg"
+)
+
+type echoMsg struct{ N int }
+
+func (echoMsg) Kind() string { return "echo" }
+
+func TestInProcDelivery(t *testing.T) {
+	var got atomic.Int64
+	done := make(chan struct{}, 1)
+	const total = 100
+	receiver := HandlerFunc{
+		OnReceive: func(ctx Context, from msg.NodeID, m msg.Message) {
+			if got.Add(1) == total {
+				done <- struct{}{}
+			}
+		},
+	}
+	sender := HandlerFunc{
+		OnStart: func(ctx Context) {
+			for i := 0; i < total; i++ {
+				ctx.Send(1, echoMsg{N: i})
+			}
+		},
+	}
+	c := NewInProcCluster([]Handler{sender, receiver})
+	defer c.Stop()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatalf("timed out; received %d of %d", got.Load(), total)
+	}
+}
+
+func TestInProcPairwiseFIFO(t *testing.T) {
+	type rec struct {
+		from msg.NodeID
+		n    int
+	}
+	recCh := make(chan rec, 4000)
+	receiver := HandlerFunc{
+		OnReceive: func(ctx Context, from msg.NodeID, m msg.Message) {
+			recCh <- rec{from: from, n: m.(echoMsg).N}
+		},
+	}
+	mkSender := func() Handler {
+		return HandlerFunc{
+			OnStart: func(ctx Context) {
+				for i := 0; i < 1000; i++ {
+					ctx.Send(2, echoMsg{N: i})
+				}
+			},
+		}
+	}
+	c := NewInProcCluster([]Handler{mkSender(), mkSender(), receiver})
+	defer c.Stop()
+
+	lastByFrom := map[msg.NodeID]int{0: -1, 1: -1}
+	for i := 0; i < 2000; i++ {
+		select {
+		case r := <-recCh:
+			if r.n != lastByFrom[r.from]+1 {
+				t.Fatalf("from %d: got %d after %d (per-pair FIFO violated)", r.from, r.n, lastByFrom[r.from])
+			}
+			lastByFrom[r.from] = r.n
+		case <-time.After(5 * time.Second):
+			t.Fatalf("timed out after %d messages", i)
+		}
+	}
+}
+
+func TestInProcSelfSend(t *testing.T) {
+	done := make(chan msg.NodeID, 1)
+	h := HandlerFunc{
+		OnStart: func(ctx Context) { ctx.Send(ctx.ID(), echoMsg{}) },
+		OnReceive: func(ctx Context, from msg.NodeID, m msg.Message) {
+			done <- from
+		},
+	}
+	c := NewInProcCluster([]Handler{h})
+	defer c.Stop()
+	select {
+	case from := <-done:
+		if from != 0 {
+			t.Fatalf("self send reported from %d", from)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("self send never delivered")
+	}
+}
+
+func TestInProcTimers(t *testing.T) {
+	fired := make(chan TimerTag, 2)
+	h := HandlerFunc{
+		OnStart: func(ctx Context) {
+			cancel := ctx.After(time.Millisecond, TimerTag{Kind: 1, Arg: 42})
+			_ = cancel
+			c2 := ctx.After(100*time.Millisecond, TimerTag{Kind: 2})
+			c2() // cancelled: must never fire
+		},
+		OnTimer: func(ctx Context, tag TimerTag) { fired <- tag },
+	}
+	c := NewInProcCluster([]Handler{h})
+	defer c.Stop()
+	select {
+	case tag := <-fired:
+		if tag.Kind != 1 || tag.Arg != 42 {
+			t.Fatalf("wrong tag %+v", tag)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("timer never fired")
+	}
+	select {
+	case tag := <-fired:
+		t.Fatalf("cancelled timer fired: %+v", tag)
+	case <-time.After(200 * time.Millisecond):
+	}
+}
+
+func TestInProcInject(t *testing.T) {
+	got := make(chan msg.Message, 1)
+	h := HandlerFunc{
+		OnReceive: func(ctx Context, from msg.NodeID, m msg.Message) { got <- m },
+	}
+	c := NewInProcCluster([]Handler{h})
+	defer c.Stop()
+	c.Inject(msg.Nobody, 0, echoMsg{N: 7})
+	select {
+	case m := <-got:
+		if m.(echoMsg).N != 7 {
+			t.Fatalf("wrong payload %+v", m)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("injected message never delivered")
+	}
+}
+
+func TestInProcStopIsClean(t *testing.T) {
+	h := HandlerFunc{
+		OnStart: func(ctx Context) {
+			ctx.After(time.Hour, TimerTag{Kind: 1}) // pending at stop
+		},
+	}
+	c := NewInProcCluster([]Handler{h, h})
+	c.Stop() // must return promptly with a pending timer
+	if c.N() != 2 {
+		t.Fatalf("N = %d, want 2", c.N())
+	}
+}
+
+func TestFakeContext(t *testing.T) {
+	f := NewFakeContext(3, 5)
+	if f.ID() != 3 || f.N() != 5 {
+		t.Fatalf("identity wrong: %d/%d", f.ID(), f.N())
+	}
+	f.Send(1, echoMsg{N: 1})
+	f.Send(2, echoMsg{N: 2})
+	f.Send(1, echoMsg{N: 3})
+	if got := len(f.SentTo(1)); got != 2 {
+		t.Fatalf("SentTo(1) = %d messages, want 2", got)
+	}
+	if f.LastSent().To != 1 {
+		t.Fatal("LastSent wrong")
+	}
+	cancel := f.After(time.Second, TimerTag{Kind: 9})
+	cancel()
+	if !f.Timers[0].Cancelled {
+		t.Fatal("cancel not recorded")
+	}
+	if len(f.TakeSent()) != 3 || len(f.Sent) != 0 {
+		t.Fatal("TakeSent must drain")
+	}
+}

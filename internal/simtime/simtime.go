@@ -1,0 +1,145 @@
+// Package simtime is a deterministic discrete-event simulation engine.
+//
+// The engine keeps a virtual clock and a priority queue of events ordered
+// by (time, insertion sequence). Ties in time are broken by insertion
+// order, so a simulation with a fixed seed replays identically — the
+// property every protocol safety test in this repository relies on.
+package simtime
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// Engine is a single-threaded discrete-event scheduler.
+// Create one with NewEngine; the zero value is not usable.
+type Engine struct {
+	now    time.Duration
+	events eventHeap
+	seq    uint64
+	rng    *rand.Rand
+	ran    uint64
+}
+
+// NewEngine returns an engine with its virtual clock at zero and a
+// deterministic random source derived from seed.
+func NewEngine(seed int64) *Engine {
+	return &Engine{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Now reports the current virtual time.
+func (e *Engine) Now() time.Duration { return e.now }
+
+// Rand exposes the engine's deterministic random source.
+func (e *Engine) Rand() *rand.Rand { return e.rng }
+
+// Pending reports the number of events waiting to run.
+func (e *Engine) Pending() int { return e.events.Len() }
+
+// Processed reports how many events have run so far.
+func (e *Engine) Processed() uint64 { return e.ran }
+
+// Timer is a handle to a scheduled event; Cancel prevents a pending event
+// from running. Cancelling an already-run timer is a no-op.
+type Timer struct{ ev *event }
+
+// Cancel marks the event so that it is skipped when popped.
+func (t *Timer) Cancel() {
+	if t != nil && t.ev != nil {
+		t.ev.fn = nil
+	}
+}
+
+// Schedule queues fn to run at virtual time at. Scheduling in the past
+// (before Now) is a programming error and panics: the simulator has no
+// meaningful semantics for retroactive events.
+func (e *Engine) Schedule(at time.Duration, fn func()) *Timer {
+	if at < e.now {
+		panic(fmt.Sprintf("simtime: scheduling at %v before now %v", at, e.now))
+	}
+	ev := &event{at: at, seq: e.seq, fn: fn}
+	e.seq++
+	heap.Push(&e.events, ev)
+	return &Timer{ev: ev}
+}
+
+// After queues fn to run d from now. A negative d runs at the current time.
+func (e *Engine) After(d time.Duration, fn func()) *Timer {
+	if d < 0 {
+		d = 0
+	}
+	return e.Schedule(e.now+d, fn)
+}
+
+// Step runs the single earliest pending event, advancing the clock to its
+// time. It reports whether an event ran (cancelled events are skipped
+// without reporting).
+func (e *Engine) Step() bool {
+	for e.events.Len() > 0 {
+		ev := heap.Pop(&e.events).(*event)
+		e.now = ev.at
+		if ev.fn == nil {
+			continue // cancelled
+		}
+		fn := ev.fn
+		ev.fn = nil
+		fn()
+		e.ran++
+		return true
+	}
+	return false
+}
+
+// RunUntil processes events until the next event would be after t (or no
+// events remain), then sets the clock to t.
+func (e *Engine) RunUntil(t time.Duration) {
+	for e.events.Len() > 0 && e.events[0].at <= t {
+		e.Step()
+	}
+	if t > e.now {
+		e.now = t
+	}
+}
+
+// Run processes events until none remain. maxEvents bounds the run as a
+// guard against livelock in protocol bugs; Run returns false if the bound
+// was hit with events still pending.
+func (e *Engine) Run(maxEvents uint64) bool {
+	for n := uint64(0); e.events.Len() > 0; n++ {
+		if n >= maxEvents {
+			return false
+		}
+		e.Step()
+	}
+	return true
+}
+
+type event struct {
+	at  time.Duration
+	seq uint64
+	fn  func()
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+
+func (h *eventHeap) Push(x any) { *h = append(*h, x.(*event)) }
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return ev
+}

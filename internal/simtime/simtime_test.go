@@ -1,0 +1,216 @@
+package simtime
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestEventsRunInTimeOrder(t *testing.T) {
+	e := NewEngine(1)
+	var got []int
+	e.Schedule(30, func() { got = append(got, 3) })
+	e.Schedule(10, func() { got = append(got, 1) })
+	e.Schedule(20, func() { got = append(got, 2) })
+	if !e.Run(100) {
+		t.Fatal("Run hit event bound")
+	}
+	want := []int{1, 2, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order %v, want %v", got, want)
+		}
+	}
+	if e.Now() != 30 {
+		t.Fatalf("Now = %v, want 30", e.Now())
+	}
+}
+
+func TestTiesBreakByInsertionOrder(t *testing.T) {
+	e := NewEngine(1)
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.Schedule(5, func() { got = append(got, i) })
+	}
+	e.Run(100)
+	for i := 0; i < 10; i++ {
+		if got[i] != i {
+			t.Fatalf("tie order %v not FIFO", got)
+		}
+	}
+}
+
+func TestAfterIsRelative(t *testing.T) {
+	e := NewEngine(1)
+	var at time.Duration
+	e.Schedule(100, func() {
+		e.After(50, func() { at = e.Now() })
+	})
+	e.Run(100)
+	if at != 150 {
+		t.Fatalf("After fired at %v, want 150", at)
+	}
+}
+
+func TestNegativeAfterRunsNow(t *testing.T) {
+	e := NewEngine(1)
+	ran := false
+	e.Schedule(10, func() {
+		e.After(-5, func() { ran = true })
+	})
+	e.Run(100)
+	if !ran {
+		t.Fatal("negative After never ran")
+	}
+}
+
+func TestSchedulingInPastPanics(t *testing.T) {
+	e := NewEngine(1)
+	e.Schedule(10, func() {})
+	e.Run(10)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic scheduling before now")
+		}
+	}()
+	e.Schedule(5, func() {})
+}
+
+func TestCancel(t *testing.T) {
+	e := NewEngine(1)
+	ran := false
+	timer := e.Schedule(10, func() { ran = true })
+	timer.Cancel()
+	e.Run(100)
+	if ran {
+		t.Fatal("cancelled event ran")
+	}
+	// Cancelling twice or after run is a no-op.
+	timer.Cancel()
+	var nilTimer *Timer
+	nilTimer.Cancel()
+}
+
+func TestRunUntilStopsAtBoundary(t *testing.T) {
+	e := NewEngine(1)
+	var ran []time.Duration
+	for _, at := range []time.Duration{10, 20, 30, 40} {
+		at := at
+		e.Schedule(at, func() { ran = append(ran, at) })
+	}
+	e.RunUntil(25)
+	if len(ran) != 2 {
+		t.Fatalf("ran %v, want events at 10,20 only", ran)
+	}
+	if e.Now() != 25 {
+		t.Fatalf("Now = %v, want 25", e.Now())
+	}
+	e.RunUntil(100)
+	if len(ran) != 4 {
+		t.Fatalf("ran %v, want all 4", ran)
+	}
+}
+
+func TestRunBoundReportsLivelock(t *testing.T) {
+	e := NewEngine(1)
+	var reschedule func()
+	reschedule = func() { e.After(1, reschedule) }
+	e.After(1, reschedule)
+	if e.Run(100) {
+		t.Fatal("Run should report hitting the bound")
+	}
+}
+
+func TestStepSkipsCancelled(t *testing.T) {
+	e := NewEngine(1)
+	a := e.Schedule(1, func() {})
+	ran := false
+	e.Schedule(2, func() { ran = true })
+	a.Cancel()
+	if !e.Step() {
+		t.Fatal("Step should run the second event")
+	}
+	if !ran {
+		t.Fatal("second event did not run")
+	}
+	if e.Processed() != 1 {
+		t.Fatalf("Processed = %d, want 1", e.Processed())
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	trace := func(seed int64) []time.Duration {
+		e := NewEngine(seed)
+		var out []time.Duration
+		var step func()
+		n := 0
+		step = func() {
+			out = append(out, e.Now())
+			n++
+			if n < 50 {
+				e.After(time.Duration(e.Rand().Intn(100)+1), step)
+			}
+		}
+		e.After(0, step)
+		e.Run(1000)
+		return out
+	}
+	a, b := trace(7), trace(7)
+	if len(a) != len(b) {
+		t.Fatalf("trace lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("traces diverge at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+	c := trace(8)
+	same := len(a) == len(c)
+	if same {
+		for i := range a {
+			if a[i] != c[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical traces; RNG not wired in")
+	}
+}
+
+func TestPendingAndProcessed(t *testing.T) {
+	e := NewEngine(1)
+	e.Schedule(1, func() {})
+	e.Schedule(2, func() {})
+	if e.Pending() != 2 {
+		t.Fatalf("Pending = %d, want 2", e.Pending())
+	}
+	e.Run(10)
+	if e.Pending() != 0 || e.Processed() != 2 {
+		t.Fatalf("after run: pending=%d processed=%d", e.Pending(), e.Processed())
+	}
+}
+
+func TestHeapOrderProperty(t *testing.T) {
+	// Property: for any set of times, execution order is the sorted order.
+	f := func(times []uint16) bool {
+		e := NewEngine(1)
+		var got []time.Duration
+		for _, at := range times {
+			at := time.Duration(at)
+			e.Schedule(at, func() { got = append(got, at) })
+		}
+		e.Run(uint64(len(times) + 1))
+		for i := 1; i < len(got); i++ {
+			if got[i-1] > got[i] {
+				return false
+			}
+		}
+		return len(got) == len(times)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

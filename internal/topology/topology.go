@@ -1,0 +1,173 @@
+// Package topology models the physical machines of the paper as
+// core-to-core propagation-delay matrices.
+//
+// The paper's Figure 1 observation: cores sharing a last-level cache (LLC)
+// communicate much faster than cores on different sockets, which must cross
+// the interconnect. The evaluation uses two machines:
+//
+//   - a 48-core machine, eight 2.1 GHz Six-Core AMD Opteron sockets
+//     (Sections 7.1-7.5), and
+//   - an 8-core machine, four 2.4 GHz Dual-Core AMD Opteron sockets
+//     (Sections 2.2 and 7.6, the slow-core experiments).
+//
+// A Machine maps a pair of cores to the propagation delay between them and
+// exposes socket/LLC structure for placement decisions. A separate LAN
+// profile models the paper's local-area comparison (Section 3): the same
+// code paths, two orders of magnitude different trans/prop ratio.
+package topology
+
+import (
+	"fmt"
+	"time"
+)
+
+// CoreID identifies a core (a simulated node) within a machine.
+type CoreID int
+
+// Machine describes the communication geometry of one machine.
+type Machine struct {
+	name           string
+	coresPerSocket int
+	sockets        int
+	// sameLLC is the propagation delay between two cores sharing an LLC.
+	sameLLC time.Duration
+	// crossSocket is the propagation delay across the interconnect between
+	// two adjacent sockets.
+	crossSocket time.Duration
+	// hopPenalty is added per additional interconnect hop between
+	// non-adjacent sockets (HyperTransport-style partial mesh).
+	hopPenalty time.Duration
+}
+
+// Opteron48 models the paper's primary evaluation machine: eight six-core
+// sockets, 48 cores. The propagation constants are calibrated so the
+// *average* propagation delay over the placement used by the paper matches
+// the measured 0.55 µs of Section 3 (cores 0 and 1 share an LLC).
+func Opteron48() *Machine {
+	return &Machine{
+		name:           "8x6 AMD Opteron (48 cores)",
+		coresPerSocket: 6,
+		sockets:        8,
+		sameLLC:        550 * time.Nanosecond,
+		crossSocket:    950 * time.Nanosecond,
+		hopPenalty:     150 * time.Nanosecond,
+	}
+}
+
+// Opteron8 models the slow-core experiment machine: four dual-core sockets,
+// 8 cores (Sections 2.2 and 7.6).
+func Opteron8() *Machine {
+	return &Machine{
+		name:           "4x2 AMD Opteron (8 cores)",
+		coresPerSocket: 2,
+		sockets:        4,
+		sameLLC:        600 * time.Nanosecond,
+		crossSocket:    1000 * time.Nanosecond,
+		hopPenalty:     150 * time.Nanosecond,
+	}
+}
+
+// Uniform builds a flat machine with n cores and the same propagation delay
+// between every pair. It is used for LAN profiles and for unit tests that
+// want delay-independent behaviour.
+func Uniform(n int, prop time.Duration) *Machine {
+	return &Machine{
+		name:           fmt.Sprintf("uniform-%d", n),
+		coresPerSocket: n,
+		sockets:        1,
+		sameLLC:        prop,
+		crossSocket:    prop,
+		hopPenalty:     0,
+	}
+}
+
+// Name reports a human-readable machine description.
+func (m *Machine) Name() string { return m.name }
+
+// Cores reports the total number of cores.
+func (m *Machine) Cores() int { return m.coresPerSocket * m.sockets }
+
+// Socket reports which socket a core belongs to.
+// It panics on an out-of-range core; core ids come from the harness, not
+// from user input.
+func (m *Machine) Socket(c CoreID) int {
+	m.check(c)
+	return int(c) / m.coresPerSocket
+}
+
+// SameLLC reports whether two cores share a last-level cache.
+func (m *Machine) SameLLC(a, b CoreID) bool { return m.Socket(a) == m.Socket(b) }
+
+// Propagation reports the propagation delay for a message from core a to
+// core b. The delay is symmetric. A core "sending to itself" (collapsed
+// roles exchanging data within one node) costs nothing: the paper counts
+// only messages that cross the node boundary.
+func (m *Machine) Propagation(a, b CoreID) time.Duration {
+	m.check(a)
+	m.check(b)
+	if a == b {
+		return 0
+	}
+	sa, sb := m.Socket(a), m.Socket(b)
+	if sa == sb {
+		return m.sameLLC
+	}
+	hops := socketHops(sa, sb, m.sockets)
+	return m.crossSocket + time.Duration(hops-1)*m.hopPenalty
+}
+
+// socketHops models a HyperTransport-like ring of sockets: the hop count is
+// the shortest ring distance between the two sockets (>= 1 for distinct
+// sockets).
+func socketHops(a, b, sockets int) int {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	if ring := sockets - d; ring < d {
+		d = ring
+	}
+	if d < 1 {
+		d = 1
+	}
+	return d
+}
+
+// MaxPropagation reports the largest pairwise propagation delay, useful for
+// choosing failure-detection timeouts.
+func (m *Machine) MaxPropagation() time.Duration {
+	maxD := time.Duration(0)
+	n := m.Cores()
+	for a := 0; a < n; a++ {
+		for b := a + 1; b < n; b++ {
+			if d := m.Propagation(CoreID(a), CoreID(b)); d > maxD {
+				maxD = d
+			}
+		}
+	}
+	return maxD
+}
+
+// MeanPropagation reports the mean pairwise propagation delay over distinct
+// pairs.
+func (m *Machine) MeanPropagation() time.Duration {
+	var sum time.Duration
+	n := m.Cores()
+	pairs := 0
+	for a := 0; a < n; a++ {
+		for b := a + 1; b < n; b++ {
+			sum += m.Propagation(CoreID(a), CoreID(b))
+			pairs++
+		}
+	}
+	if pairs == 0 {
+		return 0
+	}
+	return sum / time.Duration(pairs)
+}
+
+func (m *Machine) check(c CoreID) {
+	if int(c) < 0 || int(c) >= m.Cores() {
+		panic(fmt.Sprintf("topology: core %d out of range [0,%d)", c, m.Cores()))
+	}
+}

@@ -1,0 +1,163 @@
+package topology
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestMachineShapes(t *testing.T) {
+	tests := []struct {
+		name  string
+		m     *Machine
+		cores int
+	}{
+		{"opteron48", Opteron48(), 48},
+		{"opteron8", Opteron8(), 8},
+		{"uniform5", Uniform(5, time.Microsecond), 5},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := tc.m.Cores(); got != tc.cores {
+				t.Fatalf("Cores = %d, want %d", got, tc.cores)
+			}
+			if tc.m.Name() == "" {
+				t.Fatal("machine must have a name")
+			}
+		})
+	}
+}
+
+func TestSelfPropagationIsZero(t *testing.T) {
+	m := Opteron48()
+	for c := 0; c < m.Cores(); c++ {
+		if d := m.Propagation(CoreID(c), CoreID(c)); d != 0 {
+			t.Fatalf("Propagation(%d,%d) = %v, want 0", c, c, d)
+		}
+	}
+}
+
+func TestPropagationSymmetry(t *testing.T) {
+	m := Opteron48()
+	f := func(a, b uint8) bool {
+		ca := CoreID(int(a) % m.Cores())
+		cb := CoreID(int(b) % m.Cores())
+		return m.Propagation(ca, cb) == m.Propagation(cb, ca)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSameLLCFasterThanCrossSocket(t *testing.T) {
+	m := Opteron48()
+	// Cores 0 and 1 share socket 0; cores 0 and 6 are on different sockets
+	// (paper Figure 1: C0-C1 fast, C0-C3 slow on their 4-core sketch).
+	same := m.Propagation(0, 1)
+	cross := m.Propagation(0, 6)
+	if same >= cross {
+		t.Fatalf("same-LLC %v should be < cross-socket %v", same, cross)
+	}
+	if !m.SameLLC(0, 1) {
+		t.Error("cores 0,1 should share an LLC")
+	}
+	if m.SameLLC(0, 6) {
+		t.Error("cores 0,6 should not share an LLC")
+	}
+}
+
+func TestSocketAssignment(t *testing.T) {
+	m := Opteron48()
+	if got := m.Socket(0); got != 0 {
+		t.Errorf("Socket(0) = %d", got)
+	}
+	if got := m.Socket(5); got != 0 {
+		t.Errorf("Socket(5) = %d", got)
+	}
+	if got := m.Socket(6); got != 1 {
+		t.Errorf("Socket(6) = %d", got)
+	}
+	if got := m.Socket(47); got != 7 {
+		t.Errorf("Socket(47) = %d", got)
+	}
+}
+
+func TestHopPenaltyGrowsWithRingDistance(t *testing.T) {
+	m := Opteron48()
+	adjacent := m.Propagation(0, 6) // socket 0 -> 1
+	far := m.Propagation(0, 4*6)    // socket 0 -> 4 (maximal ring distance on 8)
+	if far <= adjacent {
+		t.Fatalf("far sockets %v should cost more than adjacent %v", far, adjacent)
+	}
+}
+
+func TestRingWrapsAround(t *testing.T) {
+	m := Opteron48()
+	// Socket 0 and socket 7 are ring-adjacent.
+	if d07, d01 := m.Propagation(0, 7*6), m.Propagation(0, 6); d07 != d01 {
+		t.Fatalf("ring wrap: socket0->socket7 = %v, socket0->socket1 = %v; want equal", d07, d01)
+	}
+}
+
+func TestUniformMachineFlat(t *testing.T) {
+	m := Uniform(10, 135*time.Microsecond)
+	for a := 0; a < 10; a++ {
+		for b := 0; b < 10; b++ {
+			want := 135 * time.Microsecond
+			if a == b {
+				want = 0
+			}
+			if d := m.Propagation(CoreID(a), CoreID(b)); d != want {
+				t.Fatalf("Propagation(%d,%d) = %v, want %v", a, b, d, want)
+			}
+		}
+	}
+}
+
+func TestMeanAndMaxPropagation(t *testing.T) {
+	m := Opteron48()
+	mean, maxD := m.MeanPropagation(), m.MaxPropagation()
+	if mean <= 0 || maxD <= 0 {
+		t.Fatalf("mean=%v max=%v must be positive", mean, maxD)
+	}
+	if mean > maxD {
+		t.Fatalf("mean %v > max %v", mean, maxD)
+	}
+	// The paper's Section 3 measures ~0.55µs propagation for neighbours;
+	// our calibration keeps nearest-neighbour at exactly that.
+	if got := m.Propagation(0, 1); got != 550*time.Nanosecond {
+		t.Fatalf("neighbour propagation = %v, want 550ns", got)
+	}
+}
+
+func TestOutOfRangePanics(t *testing.T) {
+	m := Opteron8()
+	for _, bad := range []CoreID{-1, 8, 100} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Propagation with core %d should panic", bad)
+				}
+			}()
+			m.Propagation(0, bad)
+		}()
+	}
+}
+
+func TestSocketHops(t *testing.T) {
+	tests := []struct {
+		a, b, sockets, want int
+	}{
+		{0, 1, 8, 1},
+		{0, 4, 8, 4},
+		{0, 7, 8, 1},
+		{2, 6, 8, 4},
+		{1, 1, 8, 1}, // clamped minimum
+		{0, 3, 4, 1}, // wrap on 4-socket ring
+	}
+	for _, tc := range tests {
+		if got := socketHops(tc.a, tc.b, tc.sockets); got != tc.want {
+			t.Errorf("socketHops(%d,%d,%d) = %d, want %d", tc.a, tc.b, tc.sockets, got, tc.want)
+		}
+	}
+}

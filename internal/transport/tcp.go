@@ -1,0 +1,326 @@
+// Package transport runs protocol Handlers over real network sockets —
+// the paper's portability claim for QC-libtask: "Since we have
+// implemented standard interfaces provided by the library, the
+// implemented protocols in our framework can be easily ported to a
+// network system with no change" (Section 6.2).
+//
+// Messages are gob-encoded; call msg.Register once per process. Links are
+// assumed reliable and ordered (TCP), matching the paper's model ("in an
+// IP setting the communication links are unreliable, this is currently
+// not a problem on many-cores" — and TCP restores the same guarantee).
+package transport
+
+import (
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"math/rand"
+	"net"
+	"sync"
+	"time"
+
+	"consensusinside/internal/msg"
+	"consensusinside/internal/runtime"
+)
+
+// wireMsg is the on-the-wire envelope.
+type wireMsg struct {
+	From msg.NodeID
+	M    msg.Message
+}
+
+// hello opens every connection, identifying the dialer.
+type hello struct {
+	From msg.NodeID
+}
+
+// TCPNode hosts one Handler on a TCP endpoint. All handler callbacks run
+// on a single goroutine, preserving the actor model.
+type TCPNode struct {
+	id      msg.NodeID
+	n       int
+	handler runtime.Handler
+	addrs   map[msg.NodeID]string
+
+	ln      net.Listener
+	inbox   chan wireMsg
+	timerCh chan runtime.TimerTag
+	stop    chan struct{}
+	wg      sync.WaitGroup
+	start   time.Time
+	rng     *rand.Rand
+
+	mu      sync.Mutex // guards conns and inbound against concurrent dial/close
+	conns   map[msg.NodeID]*peerConn
+	inbound []net.Conn
+
+	closeOnce sync.Once
+}
+
+type peerConn struct {
+	c   net.Conn
+	enc *gob.Encoder
+}
+
+// NewTCPNode builds a node for handler with the given peer address map
+// (which must include this node's own listen address).
+func NewTCPNode(id msg.NodeID, handler runtime.Handler, addrs map[msg.NodeID]string) (*TCPNode, error) {
+	self, ok := addrs[id]
+	if !ok {
+		return nil, fmt.Errorf("transport: node %d missing from address map", id)
+	}
+	ln, err := net.Listen("tcp", self)
+	if err != nil {
+		return nil, fmt.Errorf("transport: listen %s: %w", self, err)
+	}
+	peers := make(map[msg.NodeID]string, len(addrs))
+	for k, v := range addrs {
+		peers[k] = v
+	}
+	return &TCPNode{
+		id:      id,
+		n:       len(addrs),
+		handler: handler,
+		addrs:   peers,
+		ln:      ln,
+		inbox:   make(chan wireMsg, 1024),
+		timerCh: make(chan runtime.TimerTag, 64),
+		stop:    make(chan struct{}),
+		conns:   make(map[msg.NodeID]*peerConn),
+		rng:     rand.New(rand.NewSource(int64(id) + 1)),
+	}, nil
+}
+
+// NewLocalTCPNode listens on an ephemeral loopback port; the final
+// address is available via Addr. Use BuildLocalCluster to wire a whole
+// in-process cluster.
+func NewLocalTCPNode(id msg.NodeID, handler runtime.Handler) (*TCPNode, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, fmt.Errorf("transport: listen loopback: %w", err)
+	}
+	return &TCPNode{
+		id:      id,
+		handler: handler,
+		ln:      ln,
+		inbox:   make(chan wireMsg, 1024),
+		timerCh: make(chan runtime.TimerTag, 64),
+		stop:    make(chan struct{}),
+		conns:   make(map[msg.NodeID]*peerConn),
+		rng:     rand.New(rand.NewSource(int64(id) + 1)),
+	}, nil
+}
+
+// Addr reports the node's listen address.
+func (t *TCPNode) Addr() string { return t.ln.Addr().String() }
+
+// Inject delivers m to this node's handler as if sent by from — the
+// entry point for external drivers (bridging synchronous APIs onto the
+// node's single-goroutine actor loop).
+func (t *TCPNode) Inject(from msg.NodeID, m msg.Message) {
+	select {
+	case t.inbox <- wireMsg{From: from, M: m}:
+	case <-t.stop:
+	}
+}
+
+// SetPeers installs the cluster address map (required before Start when
+// built with NewLocalTCPNode).
+func (t *TCPNode) SetPeers(addrs map[msg.NodeID]string) {
+	peers := make(map[msg.NodeID]string, len(addrs))
+	for k, v := range addrs {
+		peers[k] = v
+	}
+	t.addrs = peers
+	t.n = len(addrs)
+}
+
+// Start launches the accept loop and the handler goroutine.
+func (t *TCPNode) Start() error {
+	if t.addrs == nil {
+		return errors.New("transport: no peer addresses configured")
+	}
+	t.start = time.Now()
+	t.wg.Add(2)
+	go t.acceptLoop()
+	go t.mainLoop()
+	return nil
+}
+
+// Close shuts the node down and waits for its goroutines.
+func (t *TCPNode) Close() error {
+	t.closeOnce.Do(func() {
+		close(t.stop)
+		t.ln.Close()
+		t.mu.Lock()
+		for _, pc := range t.conns {
+			pc.c.Close()
+		}
+		for _, c := range t.inbound {
+			c.Close()
+		}
+		t.mu.Unlock()
+	})
+	t.wg.Wait()
+	return nil
+}
+
+func (t *TCPNode) acceptLoop() {
+	defer t.wg.Done()
+	for {
+		conn, err := t.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		t.mu.Lock()
+		t.inbound = append(t.inbound, conn)
+		t.mu.Unlock()
+		t.wg.Add(1)
+		go t.readLoop(conn)
+	}
+}
+
+func (t *TCPNode) readLoop(conn net.Conn) {
+	defer t.wg.Done()
+	defer conn.Close()
+	dec := gob.NewDecoder(conn)
+	var h hello
+	if err := dec.Decode(&h); err != nil {
+		return
+	}
+	for {
+		var wm wireMsg
+		if err := dec.Decode(&wm); err != nil {
+			return
+		}
+		select {
+		case t.inbox <- wm:
+		case <-t.stop:
+			return
+		}
+	}
+}
+
+func (t *TCPNode) mainLoop() {
+	defer t.wg.Done()
+	ctx := &tcpContext{node: t}
+	t.handler.Start(ctx)
+	for {
+		select {
+		case wm := <-t.inbox:
+			t.handler.Receive(ctx, wm.From, wm.M)
+		case tag := <-t.timerCh:
+			t.handler.Timer(ctx, tag)
+		case <-t.stop:
+			return
+		}
+	}
+}
+
+// send dials lazily and writes the envelope. Errors are treated as a
+// slow/unreachable peer: the message is dropped and the connection reset,
+// exactly the non-blocking assumption the protocols are designed for.
+func (t *TCPNode) send(to msg.NodeID, m msg.Message) {
+	if to == t.id {
+		select {
+		case t.inbox <- wireMsg{From: t.id, M: m}:
+		case <-t.stop:
+		}
+		return
+	}
+	pc, err := t.conn(to)
+	if err != nil {
+		return
+	}
+	if err := pc.enc.Encode(wireMsg{From: t.id, M: m}); err != nil {
+		t.dropConn(to, pc)
+	}
+}
+
+func (t *TCPNode) conn(to msg.NodeID) (*peerConn, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if pc, ok := t.conns[to]; ok {
+		return pc, nil
+	}
+	addr, ok := t.addrs[to]
+	if !ok {
+		return nil, fmt.Errorf("transport: unknown peer %d", to)
+	}
+	c, err := net.DialTimeout("tcp", addr, time.Second)
+	if err != nil {
+		return nil, fmt.Errorf("transport: dial %d: %w", to, err)
+	}
+	enc := gob.NewEncoder(c)
+	if err := enc.Encode(hello{From: t.id}); err != nil {
+		c.Close()
+		return nil, fmt.Errorf("transport: hello to %d: %w", to, err)
+	}
+	pc := &peerConn{c: c, enc: enc}
+	t.conns[to] = pc
+	return pc, nil
+}
+
+func (t *TCPNode) dropConn(to msg.NodeID, pc *peerConn) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if cur, ok := t.conns[to]; ok && cur == pc {
+		pc.c.Close()
+		delete(t.conns, to)
+	}
+}
+
+type tcpContext struct {
+	node *TCPNode
+}
+
+var _ runtime.Context = (*tcpContext)(nil)
+
+func (c *tcpContext) ID() msg.NodeID     { return c.node.id }
+func (c *tcpContext) N() int             { return c.node.n }
+func (c *tcpContext) Now() time.Duration { return time.Since(c.node.start) }
+func (c *tcpContext) Rand() *rand.Rand   { return c.node.rng }
+
+func (c *tcpContext) Send(to msg.NodeID, m msg.Message) {
+	c.node.send(to, m)
+}
+
+func (c *tcpContext) After(d time.Duration, tag runtime.TimerTag) runtime.CancelFunc {
+	node := c.node
+	timer := time.AfterFunc(d, func() {
+		select {
+		case node.timerCh <- tag:
+		case <-node.stop:
+		}
+	})
+	return func() { timer.Stop() }
+}
+
+// BuildLocalCluster creates one TCPNode per handler on loopback ports,
+// wires the shared address map, and starts them. The caller must Close
+// every returned node.
+func BuildLocalCluster(handlers []runtime.Handler) ([]*TCPNode, error) {
+	nodes := make([]*TCPNode, 0, len(handlers))
+	addrs := make(map[msg.NodeID]string, len(handlers))
+	for i, h := range handlers {
+		node, err := NewLocalTCPNode(msg.NodeID(i), h)
+		if err != nil {
+			for _, n := range nodes {
+				n.Close()
+			}
+			return nil, err
+		}
+		nodes = append(nodes, node)
+		addrs[msg.NodeID(i)] = node.Addr()
+	}
+	for _, node := range nodes {
+		node.SetPeers(addrs)
+		if err := node.Start(); err != nil {
+			for _, n := range nodes {
+				n.Close()
+			}
+			return nil, err
+		}
+	}
+	return nodes, nil
+}

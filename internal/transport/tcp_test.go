@@ -1,0 +1,158 @@
+package transport
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"consensusinside/internal/msg"
+	"consensusinside/internal/onepaxos"
+	"consensusinside/internal/runtime"
+)
+
+func TestMain(m *testing.M) {
+	msg.Register()
+	m.Run()
+}
+
+type collected struct {
+	mu      sync.Mutex
+	replies []msg.ClientReply
+	done    chan struct{}
+	want    int
+}
+
+func (c *collected) add(rep msg.ClientReply) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.replies = append(c.replies, rep)
+	if len(c.replies) == c.want {
+		close(c.done)
+	}
+}
+
+func TestEchoOverTCP(t *testing.T) {
+	got := make(chan msg.Message, 1)
+	echo := runtime.HandlerFunc{
+		OnReceive: func(ctx runtime.Context, from msg.NodeID, m msg.Message) {
+			if _, ok := m.(msg.ClientRequest); ok {
+				ctx.Send(from, msg.ClientReply{Seq: 1, OK: true, Result: "echo"})
+			}
+		},
+	}
+	sink := runtime.HandlerFunc{
+		OnStart: func(ctx runtime.Context) {
+			ctx.Send(0, msg.ClientRequest{Client: 1, Seq: 1, Cmd: msg.Command{Op: msg.OpNoop}})
+		},
+		OnReceive: func(ctx runtime.Context, from msg.NodeID, m msg.Message) {
+			got <- m
+		},
+	}
+	nodes, err := BuildLocalCluster([]runtime.Handler{echo, sink})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		for _, n := range nodes {
+			n.Close()
+		}
+	}()
+	select {
+	case m := <-got:
+		rep, ok := m.(msg.ClientReply)
+		if !ok || rep.Result != "echo" {
+			t.Fatalf("got %+v", m)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("echo round trip timed out")
+	}
+}
+
+func TestTimersOverTCP(t *testing.T) {
+	fired := make(chan runtime.TimerTag, 1)
+	h := runtime.HandlerFunc{
+		OnStart: func(ctx runtime.Context) {
+			ctx.After(5*time.Millisecond, runtime.TimerTag{Kind: 3, Arg: 7})
+		},
+		OnTimer: func(ctx runtime.Context, tag runtime.TimerTag) { fired <- tag },
+	}
+	nodes, err := BuildLocalCluster([]runtime.Handler{h})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nodes[0].Close()
+	select {
+	case tag := <-fired:
+		if tag.Kind != 3 || tag.Arg != 7 {
+			t.Fatalf("tag = %+v", tag)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("timer never fired")
+	}
+}
+
+// TestOnePaxosOverTCP runs the full 1Paxos protocol, unchanged, over real
+// TCP sockets — the paper's Section 6.2 portability claim.
+func TestOnePaxosOverTCP(t *testing.T) {
+	ids := []msg.NodeID{0, 1, 2}
+	mk := func(id msg.NodeID) runtime.Handler {
+		return onepaxos.New(onepaxos.Config{
+			ID:       id,
+			Replicas: ids,
+			// Wall-clock timeouts: far looser than the simulated ones.
+			AcceptTimeout:    500 * time.Millisecond,
+			TakeoverBackoff:  200 * time.Millisecond,
+			UtilRetryTimeout: 500 * time.Millisecond,
+		})
+	}
+	col := &collected{done: make(chan struct{}), want: 5}
+	client := runtime.HandlerFunc{
+		OnStart: func(ctx runtime.Context) {
+			for i := uint64(1); i <= 5; i++ {
+				ctx.Send(0, msg.ClientRequest{
+					Client: 3, Seq: i,
+					Cmd: msg.Command{Op: msg.OpPut, Key: "k", Val: "v"},
+				})
+			}
+		},
+		OnReceive: func(ctx runtime.Context, from msg.NodeID, m msg.Message) {
+			if rep, ok := m.(msg.ClientReply); ok && rep.OK {
+				col.add(rep)
+			}
+		},
+	}
+	nodes, err := BuildLocalCluster([]runtime.Handler{mk(0), mk(1), mk(2), client})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		for _, n := range nodes {
+			n.Close()
+		}
+	}()
+	select {
+	case <-col.done:
+	case <-time.After(30 * time.Second):
+		col.mu.Lock()
+		n := len(col.replies)
+		col.mu.Unlock()
+		t.Fatalf("timed out with %d/5 commits over TCP", n)
+	}
+}
+
+func TestAddressValidation(t *testing.T) {
+	if _, err := NewTCPNode(5, runtime.HandlerFunc{}, map[msg.NodeID]string{0: "127.0.0.1:0"}); err == nil {
+		t.Fatal("missing self address must error")
+	}
+	n, err := NewLocalTCPNode(0, runtime.HandlerFunc{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer n.Close()
+	if err := n.Start(); err == nil {
+		t.Fatal("Start without peers must error")
+	}
+	if n.Addr() == "" {
+		t.Fatal("Addr must report the bound address")
+	}
+}

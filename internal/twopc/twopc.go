@@ -1,0 +1,359 @@
+// Package twopc implements the two-phase-commit *agreement* protocol in
+// the sense the paper (following Barrelfish) uses it — a blocking
+// primary-backup replication scheme, not a durable transaction commit
+// (Section 2.2 and footnote 1).
+//
+// The coordinator locks every replica's copy of the datum, then commits:
+//
+//	phase 1: coordinator ──prepare──▶ all replicas, each locks + acks
+//	phase 2: coordinator ──commit──▶ all replicas, each applies + unlocks
+//	         coordinator replies after every commit_ack
+//
+// Because the coordinator needs responses from *all* replicas, a single
+// slow node stalls every update — the behaviour Sections 2.2 and 7.6
+// demonstrate and 1Paxos is designed to avoid. There is deliberately no
+// failover logic: 2PC is the blocking baseline.
+//
+// The Joint deployment (every client is a replica, Section 7.5) adds the
+// local-read optimization: a replica answers reads from its own copy when
+// the key is not locked — "a client can locally service the read requests
+// if it is not received in the gap between two phases of 2PC".
+package twopc
+
+import (
+	"fmt"
+
+	"consensusinside/internal/msg"
+	"consensusinside/internal/rsm"
+	"consensusinside/internal/runtime"
+)
+
+// Config parameterizes a Replica.
+type Config struct {
+	// ID is this node; Replicas is the replication group in a fixed
+	// shared order. Replicas[0] is the coordinator, permanently: the
+	// protocol is blocking by design and has no election.
+	ID       msg.NodeID
+	Replicas []msg.NodeID
+
+	// Applier is the replicated state machine; nil means a fresh KV.
+	Applier rsm.Applier
+
+	// LocalReads enables the Joint-mode read optimization.
+	LocalReads bool
+}
+
+// Replica is one 2PC node (coordinator or participant).
+type Replica struct {
+	cfg      Config
+	me       msg.NodeID
+	replicas []msg.NodeID
+	coord    msg.NodeID
+	ctx      runtime.Context
+
+	// Coordinator state.
+	nextTx int64
+	txs    map[int64]*tx
+
+	// Participant state (the coordinator is also a participant for its
+	// own local copy).
+	locks    map[string]int64 // key -> transaction holding the lock
+	prepared map[int64]msg.Value
+	waiting  map[string][]pendingPrepare // prepares blocked on a lock
+
+	kv       *rsm.KV
+	applier  rsm.Applier
+	sessions *rsm.Sessions
+	history  []msg.Value // local apply order, for tests
+
+	commits    int64
+	localReads int64
+}
+
+type tx struct {
+	id         int64
+	value      msg.Value
+	acks       map[msg.NodeID]bool
+	commitAcks map[msg.NodeID]bool
+	committed  bool
+}
+
+type pendingPrepare struct {
+	from msg.NodeID
+	m    msg.TPCPrepare
+}
+
+var _ runtime.Handler = (*Replica)(nil)
+
+// New builds a Replica. It panics on malformed configuration.
+func New(cfg Config) *Replica {
+	if len(cfg.Replicas) < 2 {
+		panic("twopc: need at least two replicas")
+	}
+	in := false
+	for _, id := range cfg.Replicas {
+		if id == cfg.ID {
+			in = true
+			break
+		}
+	}
+	if !in {
+		panic(fmt.Sprintf("twopc: node %d not in replica set %v", cfg.ID, cfg.Replicas))
+	}
+	var kv *rsm.KV
+	applier := cfg.Applier
+	if applier == nil {
+		k := rsm.NewKV()
+		kv = k
+		applier = k
+	} else if k, ok := applier.(*rsm.KV); ok {
+		kv = k
+	}
+	return &Replica{
+		cfg:      cfg,
+		me:       cfg.ID,
+		replicas: append([]msg.NodeID(nil), cfg.Replicas...),
+		coord:    cfg.Replicas[0],
+		txs:      make(map[int64]*tx),
+		locks:    make(map[string]int64),
+		prepared: make(map[int64]msg.Value),
+		waiting:  make(map[string][]pendingPrepare),
+		kv:       kv,
+		applier:  applier,
+		sessions: rsm.NewSessions(),
+	}
+}
+
+// Coordinator reports the fixed coordinator node.
+func (r *Replica) Coordinator() msg.NodeID { return r.coord }
+
+// Commits reports how many transactions this node has applied locally.
+func (r *Replica) Commits() int64 { return r.commits }
+
+// LocalReads reports how many reads were served from the local copy.
+func (r *Replica) LocalReads() int64 { return r.localReads }
+
+// History returns a copy of the local apply order.
+func (r *Replica) History() []msg.Value {
+	out := make([]msg.Value, len(r.history))
+	copy(out, r.history)
+	return out
+}
+
+// Start implements runtime.Handler; 2PC needs no bootstrap round.
+func (r *Replica) Start(ctx runtime.Context) { r.ctx = ctx }
+
+// Timer implements runtime.Handler; 2PC sets no timers (it blocks, by
+// design).
+func (r *Replica) Timer(ctx runtime.Context, tag runtime.TimerTag) { r.ctx = ctx }
+
+// Receive dispatches one message.
+func (r *Replica) Receive(ctx runtime.Context, from msg.NodeID, m msg.Message) {
+	r.ctx = ctx
+	switch mm := m.(type) {
+	case msg.ClientRequest:
+		r.onClientRequest(from, mm)
+	case msg.TPCPrepare:
+		r.onPrepare(from, mm)
+	case msg.TPCAck:
+		r.onAck(mm)
+	case msg.TPCCommit:
+		r.onCommit(from, mm)
+	case msg.TPCCommitAck:
+		r.onCommitAck(mm)
+	case msg.TPCRollback:
+		r.onRollback(mm)
+	}
+}
+
+// --- Client path ---
+
+func (r *Replica) onClientRequest(from msg.NodeID, req msg.ClientRequest) {
+	if inst, result, ok := r.sessions.Lookup(req.Client, req.Seq); ok {
+		r.ctx.Send(req.Client, msg.ClientReply{Seq: req.Seq, Instance: inst, OK: true, Result: result})
+		return
+	}
+	// Joint-mode local read: serve from the local copy unless the key is
+	// in the gap between the two phases (locked).
+	if r.cfg.LocalReads && req.Cmd.Op == msg.OpGet && r.kv != nil {
+		if _, locked := r.locks[req.Cmd.Key]; !locked {
+			val, _ := r.kv.Get(req.Cmd.Key)
+			r.localReads++
+			r.ctx.Send(req.Client, msg.ClientReply{Seq: req.Seq, OK: true, Result: val})
+			return
+		}
+	}
+	if r.me != r.coord {
+		// Participants funnel updates through the coordinator.
+		r.ctx.Send(r.coord, req)
+		return
+	}
+	r.beginTx(msg.Value{Client: req.Client, Seq: req.Seq, Cmd: req.Cmd})
+}
+
+// --- Coordinator ---
+
+func (r *Replica) beginTx(v msg.Value) {
+	id := r.nextTx
+	r.nextTx++
+	t := &tx{
+		id:         id,
+		value:      v,
+		acks:       make(map[msg.NodeID]bool),
+		commitAcks: make(map[msg.NodeID]bool),
+	}
+	r.txs[id] = t
+	// Phase 1: lock everywhere, including our own copy.
+	for _, id2 := range r.replicas {
+		if id2 == r.me {
+			continue
+		}
+		r.ctx.Send(id2, msg.TPCPrepare{TxID: id, Value: v})
+	}
+	r.localPrepare(t)
+}
+
+// localPrepare runs the participant prepare on the coordinator's own copy.
+func (r *Replica) localPrepare(t *tx) {
+	key := t.value.Cmd.Key
+	if holder, locked := r.locks[key]; locked && holder != t.id {
+		r.waiting[key] = append(r.waiting[key], pendingPrepare{
+			from: r.me,
+			m:    msg.TPCPrepare{TxID: t.id, Value: t.value},
+		})
+		return
+	}
+	r.locks[key] = t.id
+	r.prepared[t.id] = t.value
+	r.onAck(msg.TPCAck{TxID: t.id, From: r.me, OK: true})
+}
+
+func (r *Replica) onAck(m msg.TPCAck) {
+	t, ok := r.txs[m.TxID]
+	if !ok || t.committed {
+		return
+	}
+	if !m.OK {
+		// A replica refused (its copy is locked by another coordinator —
+		// impossible with a single fixed coordinator, but handled for
+		// completeness): roll back.
+		for _, id := range r.replicas {
+			if id != r.me {
+				r.ctx.Send(id, msg.TPCRollback{TxID: t.id})
+			}
+		}
+		r.releaseLock(t.id, t.value.Cmd.Key)
+		delete(r.txs, t.id)
+		delete(r.prepared, t.id)
+		r.ctx.Send(t.value.Client, msg.ClientReply{Seq: t.value.Seq, OK: false, Redirect: r.coord})
+		return
+	}
+	t.acks[m.From] = true
+	if len(t.acks) < len(r.replicas) {
+		return // blocking: *all* replicas must ack (Section 2.2)
+	}
+	// Phase 2: commit everywhere. The agreement is reached once every
+	// replica has acked the prepare (this is 2PC in its agreement form,
+	// not durable transaction commit), so the client is answered as soon
+	// as the commit orders are out; the commit acks that follow only
+	// retire the transaction record and release coordination state.
+	t.committed = true
+	for _, id := range r.replicas {
+		if id == r.me {
+			continue
+		}
+		r.ctx.Send(id, msg.TPCCommit{TxID: t.id, Value: t.value})
+	}
+	r.applyCommit(t.id, t.value)
+	t.commitAcks[r.me] = true
+	_, result, _ := r.sessions.Lookup(t.value.Client, t.value.Seq)
+	r.ctx.Send(t.value.Client, msg.ClientReply{Seq: t.value.Seq, Instance: t.id, OK: true, Result: result})
+	r.finishTx(t)
+}
+
+func (r *Replica) onCommitAck(m msg.TPCCommitAck) {
+	t, ok := r.txs[m.TxID]
+	if !ok || !t.committed {
+		return
+	}
+	t.commitAcks[m.From] = true
+	r.finishTx(t)
+}
+
+// finishTx retires the transaction once every replica confirmed the
+// commit (the coordinator still processes every commit ack — the paper's
+// message count per 2PC agreement includes them).
+func (r *Replica) finishTx(t *tx) {
+	if len(t.commitAcks) == len(r.replicas) {
+		delete(r.txs, t.id)
+	}
+}
+
+// --- Participant ---
+
+func (r *Replica) onPrepare(from msg.NodeID, m msg.TPCPrepare) {
+	key := m.Value.Cmd.Key
+	if holder, locked := r.locks[key]; locked && holder != m.TxID {
+		// Blocked: ack only once the lock is released, stalling the
+		// transaction exactly as the paper's blocking analysis describes.
+		r.waiting[key] = append(r.waiting[key], pendingPrepare{from: from, m: m})
+		return
+	}
+	r.locks[key] = m.TxID
+	r.prepared[m.TxID] = m.Value
+	r.ctx.Send(from, msg.TPCAck{TxID: m.TxID, From: r.me, OK: true})
+}
+
+func (r *Replica) onCommit(from msg.NodeID, m msg.TPCCommit) {
+	r.applyCommit(m.TxID, m.Value)
+	r.ctx.Send(from, msg.TPCCommitAck{TxID: m.TxID, From: r.me})
+}
+
+func (r *Replica) onRollback(m msg.TPCRollback) {
+	v, ok := r.prepared[m.TxID]
+	if !ok {
+		return
+	}
+	delete(r.prepared, m.TxID)
+	r.releaseLock(m.TxID, v.Cmd.Key)
+}
+
+// applyCommit executes the command and releases the key lock on this
+// node's copy.
+func (r *Replica) applyCommit(txID int64, v msg.Value) {
+	delete(r.prepared, txID)
+	if !r.sessions.Seen(v.Client, v.Seq) {
+		result := r.applier.Apply(v)
+		r.sessions.Done(v.Client, v.Seq, txID, result)
+		r.history = append(r.history, v)
+		r.commits++
+	}
+	r.releaseLock(txID, v.Cmd.Key)
+}
+
+// releaseLock frees the key and serves the next waiting prepare, if any.
+func (r *Replica) releaseLock(txID int64, key string) {
+	if holder, locked := r.locks[key]; !locked || holder != txID {
+		return
+	}
+	delete(r.locks, key)
+	queue := r.waiting[key]
+	if len(queue) == 0 {
+		delete(r.waiting, key)
+		return
+	}
+	next := queue[0]
+	if len(queue) == 1 {
+		delete(r.waiting, key)
+	} else {
+		r.waiting[key] = queue[1:]
+	}
+	if next.from == r.me {
+		// The coordinator's own deferred local prepare.
+		if t, ok := r.txs[next.m.TxID]; ok && !t.committed {
+			r.localPrepare(t)
+		}
+		return
+	}
+	r.onPrepare(next.from, next.m)
+}

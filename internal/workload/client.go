@@ -1,0 +1,229 @@
+// Package workload implements the paper's client processes (Section 7.1):
+// closed-loop clients that send one request, wait for the commit ACK, then
+// send the next — optionally after a think time (Section 7.4 uses 2 ms) —
+// plus the measurement plumbing for latency, throughput and
+// throughput-over-time series.
+//
+// Clients detect a slow or dead server by reply timeout and rotate to the
+// next server (Section 7.6: "Once the clients detect the slow leader,
+// they send their requests to other nodes").
+package workload
+
+import (
+	"fmt"
+	"time"
+
+	"consensusinside/internal/metrics"
+	"consensusinside/internal/msg"
+	"consensusinside/internal/runtime"
+)
+
+// Timer kinds. These are namespaced high so a composite (joint) node can
+// route them unambiguously next to a replica's kinds.
+const (
+	TimerSend  = 900 // think time elapsed: send the next request
+	TimerRetry = 901 // Arg: the request seq the retry guards
+)
+
+// Defaults for Config zero values.
+const (
+	DefaultRetryTimeout = 2 * time.Millisecond
+)
+
+// Config parameterizes a Client.
+type Config struct {
+	// ID is the client's node id; Servers is the rotation order of
+	// replicas, first entry preferred (the paper sends to Core 0).
+	ID      msg.NodeID
+	Servers []msg.NodeID
+
+	// Requests caps how many commands the client issues (0 = unlimited;
+	// the paper's clients send 100 each, experiments here usually run for
+	// a fixed virtual time instead).
+	Requests int
+
+	// ThinkTime is the pause between receiving a reply and sending the
+	// next request (Section 7.4 uses 2 ms; 0 = tight loop).
+	ThinkTime time.Duration
+
+	// RetryTimeout bounds the wait for a reply before rotating servers
+	// and resending. Zero means DefaultRetryTimeout.
+	RetryTimeout time.Duration
+
+	// ReadFraction in [0,1] is the share of OpGet commands (Section 7.5's
+	// read workloads); the rest are OpPut.
+	ReadFraction float64
+
+	// Key fixes the key this client operates on; empty derives a
+	// per-client key (distinct clients then never contend on 2PC locks).
+	Key string
+
+	// StartDelay staggers client start (the paper's load manager starts
+	// clients with a message; a small stagger avoids a synchronized
+	// thundering herd at t=0).
+	StartDelay time.Duration
+
+	// Warmup excludes operations completing before this time from the
+	// recorded statistics, so saturation numbers reflect steady state.
+	Warmup time.Duration
+
+	// SeriesBucket, when non-zero, records completions into a time series
+	// with this bucket width (Figure 11 uses 10 ms buckets).
+	SeriesBucket time.Duration
+}
+
+// Client is a closed-loop workload generator node.
+type Client struct {
+	cfg    Config
+	target int
+	seq    uint64
+	sentAt time.Duration
+
+	inFlight  bool
+	curOp     msg.Op // op of the in-flight command, stable across resends
+	completed int
+	retries   int
+
+	hist   metrics.Histogram
+	series *metrics.TimeSeries
+
+	firstDone time.Duration
+	lastDone  time.Duration
+	measured  int
+}
+
+var _ runtime.Handler = (*Client)(nil)
+
+// NewClient builds a client from cfg. It panics if no servers are given.
+func NewClient(cfg Config) *Client {
+	if len(cfg.Servers) == 0 {
+		panic("workload: client needs at least one server")
+	}
+	if cfg.RetryTimeout == 0 {
+		cfg.RetryTimeout = DefaultRetryTimeout
+	}
+	if cfg.Key == "" {
+		cfg.Key = fmt.Sprintf("c%d", cfg.ID)
+	}
+	c := &Client{cfg: cfg}
+	if cfg.SeriesBucket > 0 {
+		c.series = metrics.NewTimeSeries(cfg.SeriesBucket)
+	}
+	return c
+}
+
+// Completed reports how many commands committed.
+func (c *Client) Completed() int { return c.completed }
+
+// Retries reports how many times the client re-sent after a timeout.
+func (c *Client) Retries() int { return c.retries }
+
+// Latencies exposes the recorded latency histogram (post-warmup ops).
+func (c *Client) Latencies() *metrics.Histogram { return &c.hist }
+
+// Series exposes the completion time series (nil unless configured).
+func (c *Client) Series() *metrics.TimeSeries { return c.series }
+
+// MeasuredOps reports post-warmup completions, and the time of the first
+// and last of them — the window for throughput computation.
+func (c *Client) MeasuredOps() (n int, first, last time.Duration) {
+	return c.measured, c.firstDone, c.lastDone
+}
+
+// Start implements runtime.Handler.
+func (c *Client) Start(ctx runtime.Context) {
+	ctx.After(c.cfg.StartDelay, runtime.TimerTag{Kind: TimerSend})
+}
+
+// Receive implements runtime.Handler: only commit ACKs are expected.
+func (c *Client) Receive(ctx runtime.Context, from msg.NodeID, m msg.Message) {
+	reply, ok := m.(msg.ClientReply)
+	if !ok {
+		return
+	}
+	if reply.Seq != c.seq || !c.inFlight {
+		return // stale reply for an already-answered (retried) request
+	}
+	if !reply.OK {
+		// Redirect: retry immediately at the suggested server.
+		if reply.Redirect != msg.Nobody {
+			c.retarget(reply.Redirect)
+		}
+		c.resend(ctx)
+		return
+	}
+	c.inFlight = false
+	now := ctx.Now()
+	c.completed++
+	if now >= c.cfg.Warmup {
+		c.hist.Record(now - c.sentAt)
+		c.measured++
+		if c.firstDone == 0 {
+			c.firstDone = now
+		}
+		c.lastDone = now
+	}
+	if c.series != nil {
+		c.series.Record(now)
+	}
+	if c.cfg.Requests > 0 && c.completed >= c.cfg.Requests {
+		return // done
+	}
+	if c.cfg.ThinkTime > 0 {
+		ctx.After(c.cfg.ThinkTime, runtime.TimerTag{Kind: TimerSend})
+	} else {
+		c.sendNext(ctx)
+	}
+}
+
+// Timer implements runtime.Handler.
+func (c *Client) Timer(ctx runtime.Context, tag runtime.TimerTag) {
+	switch tag.Kind {
+	case TimerSend:
+		c.sendNext(ctx)
+	case TimerRetry:
+		if c.inFlight && uint64(tag.Arg) == c.seq {
+			// No reply in time: suspect the server, rotate, resend the
+			// same command (the session layer deduplicates).
+			c.retries++
+			c.target = (c.target + 1) % len(c.cfg.Servers)
+			c.resend(ctx)
+		}
+	}
+}
+
+func (c *Client) sendNext(ctx runtime.Context) {
+	if c.inFlight {
+		return
+	}
+	if c.cfg.Requests > 0 && c.completed >= c.cfg.Requests {
+		return // done; a late think-timer must not overshoot the cap
+	}
+	c.seq++
+	c.inFlight = true
+	c.curOp = msg.OpPut
+	if c.cfg.ReadFraction > 0 && ctx.Rand().Float64() < c.cfg.ReadFraction {
+		c.curOp = msg.OpGet
+	}
+	c.resend(ctx)
+}
+
+func (c *Client) resend(ctx runtime.Context) {
+	c.sentAt = ctx.Now()
+	req := msg.ClientRequest{
+		Client: c.cfg.ID,
+		Seq:    c.seq,
+		Cmd:    msg.Command{Op: c.curOp, Key: c.cfg.Key, Val: "v"},
+	}
+	ctx.Send(c.cfg.Servers[c.target], req)
+	ctx.After(c.cfg.RetryTimeout, runtime.TimerTag{Kind: TimerRetry, Arg: int64(c.seq)})
+}
+
+func (c *Client) retarget(server msg.NodeID) {
+	for i, s := range c.cfg.Servers {
+		if s == server {
+			c.target = i
+			return
+		}
+	}
+}

@@ -1,0 +1,228 @@
+package workload
+
+import (
+	"testing"
+	"time"
+
+	"consensusinside/internal/msg"
+	"consensusinside/internal/runtime"
+)
+
+func newClient(tweak func(*Config)) (*Client, *runtime.FakeContext) {
+	cfg := Config{ID: 10, Servers: []msg.NodeID{0, 1, 2}}
+	if tweak != nil {
+		tweak(&cfg)
+	}
+	return NewClient(cfg), runtime.NewFakeContext(10, 4)
+}
+
+func lastRequest(t *testing.T, ctx *runtime.FakeContext) (msg.NodeID, msg.ClientRequest) {
+	t.Helper()
+	s := ctx.LastSent()
+	if s == nil {
+		t.Fatal("no message sent")
+	}
+	req, ok := s.M.(msg.ClientRequest)
+	if !ok {
+		t.Fatalf("last sent is %T, want ClientRequest", s.M)
+	}
+	return s.To, req
+}
+
+func TestClientValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("client without servers must panic")
+		}
+	}()
+	NewClient(Config{ID: 1})
+}
+
+func TestClientClosedLoop(t *testing.T) {
+	c, ctx := newClient(nil)
+	c.Start(ctx)
+	c.Timer(ctx, runtime.TimerTag{Kind: TimerSend})
+	to, req := lastRequest(t, ctx)
+	if to != 0 {
+		t.Fatalf("first request to %d, want preferred server 0", to)
+	}
+	if req.Seq != 1 || req.Client != 10 {
+		t.Fatalf("request = %+v", req)
+	}
+	// No second request while one is in flight.
+	n := len(ctx.Sent)
+	c.Timer(ctx, runtime.TimerTag{Kind: TimerSend})
+	if len(ctx.Sent) != n {
+		t.Fatal("client must not pipeline in a closed loop")
+	}
+	// The reply triggers the next request (no think time).
+	ctx.Clock = 50 * time.Microsecond
+	c.Receive(ctx, 0, msg.ClientReply{Seq: 1, OK: true, Result: "r"})
+	_, req2 := lastRequest(t, ctx)
+	if req2.Seq != 2 {
+		t.Fatalf("next seq = %d, want 2", req2.Seq)
+	}
+	if c.Completed() != 1 {
+		t.Fatalf("Completed = %d, want 1", c.Completed())
+	}
+	if c.Latencies().Count() != 1 {
+		t.Fatal("latency sample missing")
+	}
+}
+
+func TestClientThinkTime(t *testing.T) {
+	c, ctx := newClient(func(cfg *Config) { cfg.ThinkTime = 2 * time.Millisecond })
+	c.Start(ctx)
+	c.Timer(ctx, runtime.TimerTag{Kind: TimerSend})
+	n := len(ctx.Sent)
+	c.Receive(ctx, 0, msg.ClientReply{Seq: 1, OK: true})
+	if len(ctx.Sent) != n {
+		t.Fatal("with think time, the next request must wait for the timer")
+	}
+	// A think timer must be armed at +2ms.
+	found := false
+	for _, tm := range ctx.Timers {
+		if tm.Tag.Kind == TimerSend && tm.At == ctx.Clock+2*time.Millisecond {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("think timer not armed: %+v", ctx.Timers)
+	}
+}
+
+func TestClientRetryRotatesServers(t *testing.T) {
+	c, ctx := newClient(nil)
+	c.Start(ctx)
+	c.Timer(ctx, runtime.TimerTag{Kind: TimerSend})
+	_, req := lastRequest(t, ctx)
+	// Timeout: same seq, next server.
+	c.Timer(ctx, runtime.TimerTag{Kind: TimerRetry, Arg: int64(req.Seq)})
+	to, req2 := lastRequest(t, ctx)
+	if to != 1 {
+		t.Fatalf("retry went to %d, want next server 1", to)
+	}
+	if req2.Seq != req.Seq {
+		t.Fatalf("retry changed seq: %d vs %d", req2.Seq, req.Seq)
+	}
+	if req2.Cmd != req.Cmd {
+		t.Fatalf("retry changed command: %+v vs %+v", req2.Cmd, req.Cmd)
+	}
+	if c.Retries() != 1 {
+		t.Fatalf("Retries = %d, want 1", c.Retries())
+	}
+	// A stale retry timer (older seq) is ignored.
+	n := len(ctx.Sent)
+	c.Timer(ctx, runtime.TimerTag{Kind: TimerRetry, Arg: int64(req.Seq - 1)})
+	if len(ctx.Sent) != n {
+		t.Fatal("stale retry fired a resend")
+	}
+}
+
+func TestClientIgnoresStaleReplies(t *testing.T) {
+	c, ctx := newClient(nil)
+	c.Start(ctx)
+	c.Timer(ctx, runtime.TimerTag{Kind: TimerSend})
+	c.Receive(ctx, 0, msg.ClientReply{Seq: 99, OK: true}) // wrong seq
+	if c.Completed() != 0 {
+		t.Fatal("stale reply counted")
+	}
+	c.Receive(ctx, 0, msg.ClientReply{Seq: 1, OK: true})
+	if c.Completed() != 1 {
+		t.Fatal("real reply not counted")
+	}
+	// Duplicate reply for the same seq is ignored.
+	c.Receive(ctx, 0, msg.ClientReply{Seq: 1, OK: true})
+	if c.Completed() != 1 {
+		t.Fatal("duplicate reply double-counted")
+	}
+}
+
+func TestClientRedirect(t *testing.T) {
+	c, ctx := newClient(nil)
+	c.Start(ctx)
+	c.Timer(ctx, runtime.TimerTag{Kind: TimerSend})
+	c.Receive(ctx, 0, msg.ClientReply{Seq: 1, OK: false, Redirect: 2})
+	to, req := lastRequest(t, ctx)
+	if to != 2 || req.Seq != 1 {
+		t.Fatalf("redirect resend to %d seq %d, want server 2 seq 1", to, req.Seq)
+	}
+}
+
+func TestClientRequestCap(t *testing.T) {
+	c, ctx := newClient(func(cfg *Config) { cfg.Requests = 2 })
+	c.Start(ctx)
+	c.Timer(ctx, runtime.TimerTag{Kind: TimerSend})
+	c.Receive(ctx, 0, msg.ClientReply{Seq: 1, OK: true})
+	c.Receive(ctx, 0, msg.ClientReply{Seq: 2, OK: true})
+	n := len(ctx.Sent)
+	c.Timer(ctx, runtime.TimerTag{Kind: TimerSend})
+	if len(ctx.Sent) != n {
+		t.Fatal("client must stop at the request cap")
+	}
+	if c.Completed() != 2 {
+		t.Fatalf("Completed = %d, want 2", c.Completed())
+	}
+}
+
+func TestClientWarmupExclusion(t *testing.T) {
+	c, ctx := newClient(func(cfg *Config) { cfg.Warmup = time.Second })
+	c.Start(ctx)
+	c.Timer(ctx, runtime.TimerTag{Kind: TimerSend})
+	ctx.Clock = 500 * time.Millisecond
+	c.Receive(ctx, 0, msg.ClientReply{Seq: 1, OK: true})
+	if n, _, _ := c.MeasuredOps(); n != 0 {
+		t.Fatalf("pre-warmup op measured: %d", n)
+	}
+	ctx.Clock = 1500 * time.Millisecond
+	c.Receive(ctx, 0, msg.ClientReply{Seq: 2, OK: true})
+	n, first, last := c.MeasuredOps()
+	if n != 1 || first != 1500*time.Millisecond || last != first {
+		t.Fatalf("MeasuredOps = (%d,%v,%v)", n, first, last)
+	}
+	if c.Completed() != 2 {
+		t.Fatalf("Completed counts everything: %d, want 2", c.Completed())
+	}
+}
+
+func TestClientReadFraction(t *testing.T) {
+	c, ctx := newClient(func(cfg *Config) { cfg.ReadFraction = 1.0 })
+	c.Start(ctx)
+	c.Timer(ctx, runtime.TimerTag{Kind: TimerSend})
+	_, req := lastRequest(t, ctx)
+	if req.Cmd.Op != msg.OpGet {
+		t.Fatalf("op = %v, want get with ReadFraction=1", req.Cmd.Op)
+	}
+	c2, ctx2 := newClient(nil)
+	c2.Start(ctx2)
+	c2.Timer(ctx2, runtime.TimerTag{Kind: TimerSend})
+	_, req2 := lastRequest(t, ctx2)
+	if req2.Cmd.Op != msg.OpPut {
+		t.Fatalf("op = %v, want put with ReadFraction=0", req2.Cmd.Op)
+	}
+}
+
+func TestClientSeriesRecording(t *testing.T) {
+	c, ctx := newClient(func(cfg *Config) { cfg.SeriesBucket = 10 * time.Millisecond })
+	c.Start(ctx)
+	c.Timer(ctx, runtime.TimerTag{Kind: TimerSend})
+	ctx.Clock = 25 * time.Millisecond
+	c.Receive(ctx, 0, msg.ClientReply{Seq: 1, OK: true})
+	s := c.Series()
+	if s == nil {
+		t.Fatal("series not configured")
+	}
+	if got := s.Buckets(); len(got) != 3 || got[2] != 1 {
+		t.Fatalf("buckets = %v", got)
+	}
+}
+
+func TestClientPerClientKey(t *testing.T) {
+	c, ctx := newClient(nil)
+	c.Start(ctx)
+	c.Timer(ctx, runtime.TimerTag{Kind: TimerSend})
+	_, req := lastRequest(t, ctx)
+	if req.Cmd.Key != "c10" {
+		t.Fatalf("key = %q, want per-client default c10", req.Cmd.Key)
+	}
+}
