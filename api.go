@@ -8,22 +8,32 @@ import (
 
 	"consensusinside/internal/cluster"
 	"consensusinside/internal/msg"
-	"consensusinside/internal/onepaxos"
+	"consensusinside/internal/protocol"
+	_ "consensusinside/internal/protocol/all" // register every engine
+	"consensusinside/internal/rsm"
 	"consensusinside/internal/runtime"
 	"consensusinside/internal/simnet"
 	"consensusinside/internal/topology"
 	"consensusinside/internal/transport"
 )
 
-// Protocol selects an agreement protocol for simulated clusters.
+// Protocol selects an agreement protocol, for simulated clusters and for
+// StartKV alike.
 type Protocol = cluster.Protocol
 
-// Protocols under study: the paper's contribution and its two baselines.
+// Protocols under study: the paper's contribution, its two baselines, and
+// the two related-work extensions (Section 8).
 const (
 	OnePaxos   = cluster.OnePaxos
 	MultiPaxos = cluster.MultiPaxos
 	TwoPC      = cluster.TwoPC
+	Mencius    = cluster.Mencius
+	BasicPaxos = cluster.BasicPaxos
 )
+
+// Protocols lists every registered protocol in ascending order, for
+// sweeping the full protocol × runtime matrix.
+func Protocols() []Protocol { return protocol.IDs() }
 
 // SimSpec describes a simulated deployment (see cluster.Spec).
 type SimSpec = cluster.Spec
@@ -32,8 +42,9 @@ type SimSpec = cluster.Spec
 type SimCluster = cluster.Cluster
 
 // NewSimCluster builds a simulated many-core deployment. Use the Machine*
-// and Costs* helpers for the paper's configurations.
-func NewSimCluster(spec SimSpec) *SimCluster { return cluster.Build(spec) }
+// and Costs* helpers for the paper's configurations. It returns an error
+// on malformed specs (nil machine, unknown protocol, too-small group).
+func NewSimCluster(spec SimSpec) (*SimCluster, error) { return cluster.Build(spec) }
 
 // Machine48 is the paper's 48-core evaluation machine (8 × 6-core AMD
 // Opteron, Section 7.1).
@@ -71,12 +82,24 @@ const (
 	TCP
 )
 
+// DefaultPipeline is the bridge's default window of in-flight commands.
+// Concurrent Put/Get callers beyond this depth queue behind the window.
+const DefaultPipeline = 16
+
 // KVConfig configures a replicated key-value service.
 type KVConfig struct {
-	// Replicas is the 1Paxos group size (minimum and default 3).
+	// Protocol selects the agreement engine (default OnePaxos). Any
+	// registered protocol runs over either transport.
+	Protocol Protocol
+	// Replicas is the agreement group size (minimum and default 3;
+	// 2PC accepts 2).
 	Replicas int
 	// Transport selects InProc (default) or TCP.
 	Transport TransportKind
+	// Pipeline is the maximum number of commands the service keeps in
+	// flight at once (default DefaultPipeline; 1 restores the paper's
+	// closed loop). Commands beyond the window queue in order.
+	Pipeline int
 	// RequestTimeout bounds each Put/Get round trip (default 5s).
 	RequestTimeout time.Duration
 	// AcceptTimeout tunes the protocol's failure detector; the default
@@ -84,29 +107,52 @@ type KVConfig struct {
 	AcceptTimeout time.Duration
 }
 
-// KV is a linearizable replicated string map backed by 1Paxos: every
-// operation (reads included, per Section 7.5's strong-consistency mode)
-// is a consensus command applied by every replica in log order.
+// KV is a linearizable replicated string map: every operation (reads
+// included, per Section 7.5's strong-consistency mode) is a consensus
+// command applied by every replica in log order, under whichever
+// registered protocol the config selects.
 type KV struct {
 	cfg     KVConfig
 	bridge  *kvBridge
 	inproc  *runtime.InProcCluster
 	tcp     []*transport.TCPNode
-	replica []*onepaxos.Replica
+	engines []protocol.Engine
 
 	closeOnce sync.Once
 }
 
 // StartKV launches a replicated KV service with embedded replicas.
 func StartKV(cfg KVConfig) (*KV, error) {
+	if cfg.Protocol == 0 {
+		cfg.Protocol = OnePaxos
+	}
+	info, ok := protocol.Lookup(cfg.Protocol)
+	if !ok {
+		return nil, fmt.Errorf("consensusinside: unknown protocol %d", int(cfg.Protocol))
+	}
 	if cfg.Replicas == 0 {
 		cfg.Replicas = 3
 	}
-	if cfg.Replicas < 3 {
-		return nil, errors.New("consensusinside: a 1Paxos group needs at least 3 replicas")
+	if cfg.Replicas < info.MinReplicas {
+		return nil, fmt.Errorf("consensusinside: a %s group needs at least %d replicas",
+			info.Name, info.MinReplicas)
 	}
 	if cfg.Transport == 0 {
 		cfg.Transport = InProc
+	}
+	if cfg.Pipeline == 0 {
+		cfg.Pipeline = DefaultPipeline
+	}
+	if cfg.Pipeline < 1 {
+		cfg.Pipeline = 1
+	}
+	if cfg.Pipeline > rsm.DefaultSessionWindow {
+		// The replicas' session tables dedupe per-(client, seq) across a
+		// window; a pipeline deeper than that window could let a pruned
+		// entry masquerade as a committed one and drop an acknowledged
+		// command.
+		return nil, fmt.Errorf("consensusinside: Pipeline %d exceeds the replicas' session window %d",
+			cfg.Pipeline, rsm.DefaultSessionWindow)
 	}
 	if cfg.RequestTimeout == 0 {
 		cfg.RequestTimeout = 5 * time.Second
@@ -124,19 +170,22 @@ func StartKV(cfg KVConfig) (*KV, error) {
 	kv := &KV{cfg: cfg}
 	handlers := make([]runtime.Handler, 0, cfg.Replicas+1)
 	for _, id := range ids {
-		r := onepaxos.New(onepaxos.Config{
+		eng, err := protocol.Build(cfg.Protocol, protocol.Config{
 			ID:               id,
 			Replicas:         ids,
 			AcceptTimeout:    cfg.AcceptTimeout,
 			TakeoverBackoff:  cfg.AcceptTimeout / 2,
 			UtilRetryTimeout: cfg.AcceptTimeout,
 		})
-		kv.replica = append(kv.replica, r)
-		handlers = append(handlers, r)
+		if err != nil {
+			return nil, fmt.Errorf("consensusinside: build replica %d: %w", id, err)
+		}
+		kv.engines = append(kv.engines, eng)
+		handlers = append(handlers, eng)
 	}
 	// Clients should suspect a server a little after the servers' own
 	// failure detector would, so takeovers settle before the retry lands.
-	kv.bridge = newKVBridge(clientID, ids, 2*cfg.AcceptTimeout)
+	kv.bridge = newKVBridge(clientID, ids, 2*cfg.AcceptTimeout, cfg.Pipeline)
 	handlers = append(handlers, kv.bridge)
 
 	switch cfg.Transport {
@@ -173,14 +222,23 @@ func (kv *KV) Get(key string) (string, error) {
 	return kv.bridge.do(msg.Command{Op: msg.OpGet, Key: key}, kv.cfg.RequestTimeout)
 }
 
+// MaxInFlight reports the deepest the command pipeline ever got — 1 under
+// a closed loop, up to KVConfig.Pipeline with concurrent callers.
+func (kv *KV) MaxInFlight() int {
+	kv.bridge.mu.Lock()
+	defer kv.bridge.mu.Unlock()
+	return kv.bridge.maxInflight
+}
+
 // CrashReplica stops replica id's TCP node, simulating a failed core
-// (TCP transport only). Operations keep succeeding as long as a majority
-// and either the leader or the active acceptor remain.
+// (TCP transport only). Operations keep succeeding as long as the
+// protocol's availability condition holds (for 1Paxos: a majority plus
+// either the leader or the active acceptor).
 func (kv *KV) CrashReplica(id int) error {
 	if kv.tcp == nil {
 		return errors.New("consensusinside: CrashReplica requires the TCP transport")
 	}
-	if id < 0 || id >= len(kv.replica) {
+	if id < 0 || id >= len(kv.engines) {
 		return fmt.Errorf("consensusinside: no replica %d", id)
 	}
 	return kv.tcp[id].Close()
@@ -209,6 +267,9 @@ func (submitMsg) Kind() string { return "kv_submit" }
 type kvOp struct {
 	cmd  msg.Command
 	done chan kvResult
+	// cancel stops the pending retry timer; only touched on the bridge
+	// node's own goroutine (pump/Timer/Receive callbacks).
+	cancel runtime.CancelFunc
 }
 
 type kvResult struct {
@@ -219,32 +280,41 @@ type kvResult struct {
 // kvBridge is a Handler that converts synchronous Put/Get calls into
 // client requests: external goroutines enqueue operations and poke the
 // node; all protocol interaction happens on the node's own goroutine.
-// Exactly one command is in flight at a time (a closed loop, like the
-// paper's clients), which keeps the replicas' per-client session
-// deduplication exact across retries.
+//
+// Up to window commands are in flight at once (a pipelined client, each
+// command with its own sequence number and retry timer); the replicas'
+// windowed per-(client, seq) session tracking keeps retries exactly-once
+// even when pipelined commands commit out of order.
 type kvBridge struct {
 	id      msg.NodeID
 	servers []msg.NodeID
 	retry   time.Duration
+	window  int
 	inject  func(msg.Message)
 
-	mu       sync.Mutex
-	queue    []kvOp
-	seq      uint64
-	inflight *kvOp
-	target   int
+	mu          sync.Mutex
+	queue       []kvOp
+	seq         uint64
+	inflight    map[uint64]*kvOp
+	maxInflight int
+	target      int
 }
 
 var _ runtime.Handler = (*kvBridge)(nil)
 
-func newKVBridge(id msg.NodeID, servers []msg.NodeID, retry time.Duration) *kvBridge {
+func newKVBridge(id msg.NodeID, servers []msg.NodeID, retry time.Duration, window int) *kvBridge {
 	if retry <= 0 {
 		retry = 250 * time.Millisecond
 	}
+	if window < 1 {
+		window = 1
+	}
 	return &kvBridge{
-		id:      id,
-		servers: append([]msg.NodeID(nil), servers...),
-		retry:   retry,
+		id:       id,
+		servers:  append([]msg.NodeID(nil), servers...),
+		retry:    retry,
+		window:   window,
+		inflight: make(map[uint64]*kvOp),
 	}
 }
 
@@ -254,10 +324,12 @@ func (b *kvBridge) do(cmd msg.Command, timeout time.Duration) (string, error) {
 	b.queue = append(b.queue, op)
 	b.mu.Unlock()
 	b.inject(submitMsg{})
+	timer := time.NewTimer(timeout)
+	defer timer.Stop()
 	select {
 	case res := <-op.done:
 		return res.value, res.err
-	case <-time.After(timeout):
+	case <-timer.C:
 		return "", fmt.Errorf("consensusinside: %s %q timed out after %v", cmd.Op, cmd.Key, timeout)
 	}
 }
@@ -272,13 +344,16 @@ func (b *kvBridge) Receive(ctx runtime.Context, from msg.NodeID, m msg.Message) 
 		b.pump(ctx)
 	case msg.ClientReply:
 		b.mu.Lock()
-		op := b.inflight
-		if op == nil || mm.Seq != b.seq {
+		op, ok := b.inflight[mm.Seq]
+		if !ok {
 			b.mu.Unlock()
 			return // stale reply from a retried request
 		}
-		b.inflight = nil
+		delete(b.inflight, mm.Seq)
 		b.mu.Unlock()
+		if op.cancel != nil {
+			op.cancel()
+		}
 		if mm.OK {
 			op.done <- kvResult{value: mm.Result}
 		} else {
@@ -292,40 +367,59 @@ func (b *kvBridge) Receive(ctx runtime.Context, from msg.NodeID, m msg.Message) 
 // paper's client failover behaviour ("once the clients detect the slow
 // leader, they send their requests to other nodes").
 func (b *kvBridge) Timer(ctx runtime.Context, tag runtime.TimerTag) {
+	seq := uint64(tag.Arg)
 	b.mu.Lock()
-	op := b.inflight
-	stillThis := op != nil && uint64(tag.Arg) == b.seq
-	if stillThis {
+	op, ok := b.inflight[seq]
+	if ok {
 		b.target = (b.target + 1) % len(b.servers)
 	}
-	seq := b.seq
 	target := b.servers[b.target]
-	cmd := msg.Command{}
-	if stillThis {
-		cmd = op.cmd
-	}
 	b.mu.Unlock()
-	if !stillThis {
+	if !ok {
 		return
 	}
-	ctx.Send(target, msg.ClientRequest{Client: b.id, Seq: seq, Cmd: cmd})
-	ctx.After(b.retry, runtime.TimerTag{Kind: 900, Arg: int64(seq)})
+	b.sendOp(ctx, seq, op, target)
 }
 
-// pump starts the next queued command if none is in flight.
-func (b *kvBridge) pump(ctx runtime.Context) {
+// sendOp transmits op's command under seq to target and arms its retry
+// timer, attaching the cancel handle to the op while it is still the
+// in-flight owner of the seq.
+func (b *kvBridge) sendOp(ctx runtime.Context, seq uint64, op *kvOp, target msg.NodeID) {
 	b.mu.Lock()
-	if b.inflight != nil || len(b.queue) == 0 {
-		b.mu.Unlock()
-		return
+	ack := seq // lowest outstanding seq: lets replicas discard older results
+	for s := range b.inflight {
+		if s < ack {
+			ack = s
+		}
 	}
-	op := b.queue[0]
-	b.queue = b.queue[1:]
-	b.seq++
-	b.inflight = &op
-	seq := b.seq
-	target := b.servers[b.target]
 	b.mu.Unlock()
-	ctx.Send(target, msg.ClientRequest{Client: b.id, Seq: seq, Cmd: op.cmd})
-	ctx.After(b.retry, runtime.TimerTag{Kind: 900, Arg: int64(seq)})
+	ctx.Send(target, msg.ClientRequest{Client: b.id, Seq: seq, Cmd: op.cmd, Ack: ack})
+	cancel := ctx.After(b.retry, runtime.TimerTag{Kind: 900, Arg: int64(seq)})
+	b.mu.Lock()
+	if cur, still := b.inflight[seq]; still && cur == op {
+		cur.cancel = cancel
+	}
+	b.mu.Unlock()
+}
+
+// pump starts queued commands until the pipeline window is full.
+func (b *kvBridge) pump(ctx runtime.Context) {
+	for {
+		b.mu.Lock()
+		if len(b.inflight) >= b.window || len(b.queue) == 0 {
+			b.mu.Unlock()
+			return
+		}
+		op := b.queue[0]
+		b.queue = b.queue[1:]
+		b.seq++
+		seq := b.seq
+		b.inflight[seq] = &op
+		if len(b.inflight) > b.maxInflight {
+			b.maxInflight = len(b.inflight)
+		}
+		target := b.servers[b.target]
+		b.mu.Unlock()
+		b.sendOp(ctx, seq, &op, target)
+	}
 }

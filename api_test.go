@@ -136,10 +136,16 @@ func TestKVConfigValidation(t *testing.T) {
 	if _, err := StartKV(KVConfig{Transport: TransportKind(99)}); err == nil {
 		t.Fatal("unknown transport must be rejected")
 	}
+	if _, err := StartKV(KVConfig{Protocol: Protocol(99)}); err == nil {
+		t.Fatal("unknown protocol must be rejected")
+	}
+	if _, err := StartKV(KVConfig{Pipeline: 1 << 20}); err == nil {
+		t.Fatal("a pipeline deeper than the session window must be rejected")
+	}
 }
 
 func TestSimFacade(t *testing.T) {
-	c := NewSimCluster(SimSpec{
+	c, err := NewSimCluster(SimSpec{
 		Protocol: OnePaxos,
 		Machine:  Machine48(),
 		Cost:     CostsManyCore(),
@@ -147,6 +153,9 @@ func TestSimFacade(t *testing.T) {
 		Replicas: 3,
 		Clients:  2,
 	})
+	if err != nil {
+		t.Fatal(err)
+	}
 	c.Start()
 	c.RunFor(5 * time.Millisecond)
 	st := c.ClientStats()

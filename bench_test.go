@@ -246,3 +246,68 @@ func BenchmarkKVInProcPut(b *testing.B) {
 		}
 	}
 }
+
+// benchKVConcurrentPut drives the InProc KV with 16 concurrent callers
+// through a bridge window of the given depth. Window 1 is the paper's
+// closed loop (one command in flight regardless of caller count);
+// window >= 8 pipelines the callers' commands through consensus.
+func benchKVConcurrentPut(b *testing.B, pipeline int) {
+	kv, err := StartKV(KVConfig{Pipeline: pipeline})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer kv.Close()
+	const workers = 16
+	ops := make(chan int)
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			failed := false
+			for range ops {
+				if failed {
+					continue // drain so the feeder never blocks
+				}
+				if err := kv.Put("bench", "v"); err != nil {
+					errs <- err
+					failed = true
+				}
+			}
+		}()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ops <- i
+	}
+	close(ops)
+	wg.Wait()
+	b.StopTimer()
+	select {
+	case err := <-errs:
+		b.Fatal(err)
+	default:
+	}
+	b.ReportMetric(float64(kv.MaxInFlight()), "max-inflight")
+}
+
+// BenchmarkKVInProcPutClosedLoop is the pipelining baseline: 16 callers
+// serialized behind a single-command window.
+func BenchmarkKVInProcPutClosedLoop(b *testing.B) { benchKVConcurrentPut(b, 1) }
+
+// BenchmarkKVInProcPutPipelined keeps a window of 16 commands in flight —
+// compare ns/op against BenchmarkKVInProcPutClosedLoop for the client
+// pipelining gain on the identical consensus path.
+func BenchmarkKVInProcPutPipelined(b *testing.B) { benchKVConcurrentPut(b, 16) }
+
+// BenchmarkAblationPipelining measures the simulated client-window
+// ablation: 1Paxos, one client, closed loop vs window 8.
+func BenchmarkAblationPipelining(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := experiments.AblationPipelining(benchOpts(i))
+		for _, r := range rows {
+			b.ReportMetric(r.Throughput, metricName(r.Config, "-ops"))
+		}
+	}
+}

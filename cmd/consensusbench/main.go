@@ -6,14 +6,20 @@
 //	consensusbench -run all
 //	consensusbench -run fig8
 //	consensusbench -run latency -seed 7
+//	consensusbench -run all -json BENCH_results.json
 //	consensusbench -list
 //
 // Experiment ids mirror DESIGN.md's per-experiment index: netchar, fig2,
 // sec2.2, latency, fig8, fig9, fig10, fig11, acceptor-switch, lan,
-// ablation-batching.
+// ablation-batching, ablation-pipelining, mencius.
+//
+// With -json the run also writes a machine-readable BENCH_*.json file:
+// one object per executed experiment with its headline metrics, so
+// successive commits can be compared without parsing the tables.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -27,113 +33,202 @@ import (
 type experiment struct {
 	id    string
 	about string
-	run   func(w io.Writer, opts experiments.Opts)
+	run   func(w io.Writer, opts experiments.Opts) map[string]float64
 }
 
 var all = []experiment{
 	{
 		id:    "netchar",
 		about: "Section 3: transmission/propagation delay, many-core vs LAN",
-		run: func(w io.Writer, opts experiments.Opts) {
-			experiments.PrintNetCharacteristics(w, experiments.NetCharacteristics(opts))
+		run: func(w io.Writer, opts experiments.Opts) map[string]float64 {
+			rows := experiments.NetCharacteristics(opts)
+			experiments.PrintNetCharacteristics(w, rows)
+			m := map[string]float64{}
+			for _, r := range rows {
+				m[r.Setting+"_trans_prop_ratio"] = r.Ratio
+			}
+			return m
 		},
 	},
 	{
 		id:    "fig2",
 		about: "Figure 2: Multi-Paxos scalability, LAN vs many-core",
-		run: func(w io.Writer, opts experiments.Opts) {
-			experiments.PrintFig2(w, experiments.Fig2(opts, nil))
+		run: func(w io.Writer, opts experiments.Opts) map[string]float64 {
+			series := experiments.Fig2(opts, nil)
+			experiments.PrintFig2(w, series)
+			m := map[string]float64{}
+			for name, pts := range series {
+				peak := 0.0
+				for _, p := range pts {
+					if p.Throughput > peak {
+						peak = p.Throughput
+					}
+				}
+				m[name+"_peak_ops"] = peak
+			}
+			return m
 		},
 	},
 	{
 		id:    "sec2.2",
 		about: "Section 2.2: 2PC throughput with a slow coordinator",
-		run: func(w io.Writer, opts experiments.Opts) {
+		run: func(w io.Writer, opts experiments.Opts) map[string]float64 {
 			r := experiments.Sec22(opts)
 			experiments.PrintSlowCore(w, "Section 2.2 — 2PC, slow coordinator", r)
-			printRecovery(w, r)
+			return printRecovery(w, r)
 		},
 	},
 	{
 		id:    "latency",
-		about: "Section 7.2: single-client commit latency per protocol",
-		run: func(w io.Writer, opts experiments.Opts) {
-			experiments.PrintLatency(w, experiments.Latency(opts))
+		about: "Section 7.2: single-client commit latency, all engines",
+		run: func(w io.Writer, opts experiments.Opts) map[string]float64 {
+			rows := experiments.Latency(opts)
+			experiments.PrintLatency(w, rows)
+			m := map[string]float64{}
+			for _, r := range rows {
+				m[r.Protocol+"_latency_us"] = float64(r.Latency) / 1e3
+				m[r.Protocol+"_ops"] = r.Throughput
+			}
+			return m
 		},
 	},
 	{
 		id:    "fig8",
 		about: "Figure 8: latency vs throughput sweeping 1..45 clients",
-		run: func(w io.Writer, opts experiments.Opts) {
-			experiments.PrintFig8(w, experiments.Fig8(opts, nil))
+		run: func(w io.Writer, opts experiments.Opts) map[string]float64 {
+			series := experiments.Fig8(opts, nil)
+			experiments.PrintFig8(w, series)
+			m := map[string]float64{}
+			for name, pts := range series {
+				m[name+"_peak_ops"] = experiments.PeakThroughput(pts)
+			}
+			return m
 		},
 	},
 	{
 		id:    "fig9",
 		about: "Figure 9: Joint deployments, throughput vs replica count",
-		run: func(w io.Writer, opts experiments.Opts) {
-			experiments.PrintFig9(w, experiments.Fig9(opts, nil))
+		run: func(w io.Writer, opts experiments.Opts) map[string]float64 {
+			series := experiments.Fig9(opts, nil)
+			experiments.PrintFig9(w, series)
+			m := map[string]float64{}
+			for name, pts := range series {
+				if len(pts) > 0 {
+					m[name+"_max_replicas_ops"] = pts[len(pts)-1].Throughput
+				}
+			}
+			return m
 		},
 	},
 	{
 		id:    "fig10",
 		about: "Figure 10: 2PC-Joint local reads vs 1Paxos",
-		run: func(w io.Writer, opts experiments.Opts) {
-			experiments.PrintFig10(w, experiments.Fig10(opts))
+		run: func(w io.Writer, opts experiments.Opts) map[string]float64 {
+			rows := experiments.Fig10(opts)
+			experiments.PrintFig10(w, rows)
+			m := map[string]float64{}
+			for _, r := range rows {
+				m[fmt.Sprintf("%s_%dc_ops", r.Label, r.Clients)] = r.Throughput
+			}
+			return m
 		},
 	},
 	{
 		id:    "fig11",
 		about: "Figure 11: 1Paxos throughput with a slow leader",
-		run: func(w io.Writer, opts experiments.Opts) {
+		run: func(w io.Writer, opts experiments.Opts) map[string]float64 {
 			r := experiments.Fig11(opts)
 			experiments.PrintSlowCore(w, "Figure 11 — 1Paxos, slow leader", r)
-			printRecovery(w, r)
+			return printRecovery(w, r)
 		},
 	},
 	{
 		id:    "acceptor-switch",
 		about: "Section 5.2: crash of the active acceptor, backup promotion",
-		run: func(w io.Writer, opts experiments.Opts) {
+		run: func(w io.Writer, opts experiments.Opts) map[string]float64 {
 			r := experiments.AcceptorSwitch(opts)
 			experiments.PrintSlowCore(w, "Acceptor switch — 1Paxos, crashed active acceptor", r)
-			printRecovery(w, r)
+			return printRecovery(w, r)
 		},
 	},
 	{
 		id:    "lan",
 		about: "Section 8: 1Paxos vs Multi-Paxos over an IP network",
-		run: func(w io.Writer, opts experiments.Opts) {
-			experiments.PrintLANComparison(w, experiments.LANComparison(opts))
+		run: func(w io.Writer, opts experiments.Opts) map[string]float64 {
+			rows := experiments.LANComparison(opts)
+			experiments.PrintLANComparison(w, rows)
+			m := map[string]float64{}
+			for _, r := range rows {
+				m[r.Protocol+"_ops"] = r.Throughput
+			}
+			if len(rows) == 2 && rows[0].Throughput > 0 {
+				m["onepaxos_over_multipaxos"] = rows[1].Throughput / rows[0].Throughput
+			}
+			return m
 		},
 	},
 	{
 		id:    "ablation-batching",
 		about: "DESIGN.md ablation: acceptor learn batching on/off (47 nodes)",
-		run: func(w io.Writer, opts experiments.Opts) {
-			experiments.PrintAblation(w, "Ablation — 1Paxos-Joint learn batching, 47 replicas",
-				experiments.AblationLearnBatching(opts))
+		run: func(w io.Writer, opts experiments.Opts) map[string]float64 {
+			rows := experiments.AblationLearnBatching(opts)
+			experiments.PrintAblation(w, "Ablation — 1Paxos-Joint learn batching, 47 replicas", rows)
+			return ablationMetrics(rows)
+		},
+	},
+	{
+		id:    "ablation-pipelining",
+		about: "client pipeline ablation: closed loop vs window 8 (1Paxos)",
+		run: func(w io.Writer, opts experiments.Opts) map[string]float64 {
+			rows := experiments.AblationPipelining(opts)
+			experiments.PrintAblation(w, "Ablation — client pipelining, 1 client, 3 replicas", rows)
+			return ablationMetrics(rows)
 		},
 	},
 	{
 		id:    "mencius",
 		about: "Section 8 extension: Mencius multi-leader load spreading",
-		run: func(w io.Writer, opts experiments.Opts) {
+		run: func(w io.Writer, opts experiments.Opts) map[string]float64 {
 			funnel, spread := experiments.MenciusLoadSpread(opts)
 			fmt.Fprintf(w, "Mencius, 3 replicas, offered 100k op/s\n")
 			fmt.Fprintf(w, "%-28s %12.0f/s\n", "all traffic at one leader", funnel)
 			fmt.Fprintf(w, "%-28s %12.0f/s\n", "spread across all leaders", spread)
+			m := map[string]float64{"funnel_ops": funnel, "spread_ops": spread}
 			if funnel > 0 {
 				fmt.Fprintf(w, "load-spreading gain: %.2fx\n", spread/funnel)
+				m["spread_gain"] = spread / funnel
 			}
+			return m
 		},
 	},
 }
 
-func printRecovery(w io.Writer, r experiments.SlowCoreResult) {
+func ablationMetrics(rows []experiments.AblationRow) map[string]float64 {
+	m := map[string]float64{}
+	for _, r := range rows {
+		m[r.Config+"_ops"] = r.Throughput
+		m[r.Config+"_latency_us"] = float64(r.Latency) / 1e3
+	}
+	return m
+}
+
+func printRecovery(w io.Writer, r experiments.SlowCoreResult) map[string]float64 {
 	rec := experiments.Recovery(r)
 	fmt.Fprintf(w, "steady %.0f op/s | stalled %d buckets (%v) | recovered %.0f op/s\n",
 		rec.BeforeRate, rec.StallBuckets, time.Duration(rec.StallBuckets)*r.BucketWidth, rec.RecoveredRate)
+	return map[string]float64{
+		"steady_ops":    rec.BeforeRate,
+		"stall_ms":      float64(rec.StallBuckets) * float64(r.BucketWidth/time.Millisecond),
+		"recovered_ops": rec.RecoveredRate,
+	}
+}
+
+// benchReport is the -json output shape.
+type benchReport struct {
+	Seed        int64                         `json:"seed"`
+	Quick       bool                          `json:"quick"`
+	DurationSec float64                       `json:"wall_clock_sec"`
+	Experiments map[string]map[string]float64 `json:"experiments"`
 }
 
 func main() {
@@ -141,12 +236,13 @@ func main() {
 	list := flag.Bool("list", false, "list experiment ids")
 	seed := flag.Int64("seed", 1, "simulation seed")
 	quick := flag.Bool("quick", false, "shorter runs (CI-friendly)")
+	jsonPath := flag.String("json", "", "write machine-readable results to this BENCH_*.json file")
 	flag.Parse()
 
 	if *list || *runID == "" {
 		ids := make([]string, 0, len(all))
 		for _, e := range all {
-			ids = append(ids, fmt.Sprintf("  %-18s %s", e.id, e.about))
+			ids = append(ids, fmt.Sprintf("  %-20s %s", e.id, e.about))
 		}
 		sort.Strings(ids)
 		fmt.Println("experiments:")
@@ -165,18 +261,35 @@ func main() {
 		opts.Warmup = 5 * time.Millisecond
 	}
 
+	report := benchReport{Seed: *seed, Quick: *quick, Experiments: map[string]map[string]float64{}}
+	wallStart := time.Now()
 	ran := 0
 	for _, e := range all {
 		if *runID != "all" && e.id != *runID {
 			continue
 		}
 		start := time.Now()
-		e.run(os.Stdout, opts)
+		metrics := e.run(os.Stdout, opts)
 		fmt.Printf("[%s done in %v]\n\n", e.id, time.Since(start).Round(time.Millisecond))
+		report.Experiments[e.id] = metrics
 		ran++
 	}
 	if ran == 0 {
 		fmt.Fprintf(os.Stderr, "unknown experiment %q (use -list)\n", *runID)
 		os.Exit(2)
+	}
+	if *jsonPath != "" {
+		report.DurationSec = time.Since(wallStart).Seconds()
+		data, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "encode results: %v\n", err)
+			os.Exit(1)
+		}
+		data = append(data, '\n')
+		if err := os.WriteFile(*jsonPath, data, 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "write %s: %v\n", *jsonPath, err)
+			os.Exit(1)
+		}
+		fmt.Printf("results written to %s\n", *jsonPath)
 	}
 }

@@ -6,14 +6,22 @@
 //
 // The package exposes three layers:
 //
-//   - a replicated key-value service (StartKV) backed by 1Paxos over an
-//     in-process QC-libtask-style runtime or real TCP sockets — the
+//   - a replicated key-value service (StartKV) running any registered
+//     agreement engine — 1Paxos, Multi-Paxos, 2PC, Mencius, or the
+//     single-decree BasicPaxos baseline (KVConfig.Protocol) — over an
+//     in-process QC-libtask-style runtime or real TCP sockets, with a
+//     pipelined window of in-flight commands (KVConfig.Pipeline) — the
 //     "adopt this" API;
 //   - the deterministic many-core simulator and cluster harness
 //     (NewSimCluster) used to reproduce every figure of the paper's
-//     evaluation; and
-//   - the experiment runners themselves (RunExperiment and the
-//     experiments re-exported through cmd/consensusbench).
+//     evaluation, sweeping the same engines and client window; and
+//   - the experiment runners themselves (the experiments re-exported
+//     through cmd/consensusbench, which can emit BENCH_*.json).
+//
+// Protocols are written once against the message-passing contract
+// (internal/runtime.Handler) and registered in internal/protocol; every
+// deployment surface builds them through that registry, which is the
+// paper's portability claim turned into an interface.
 //
 // See DESIGN.md for the system inventory and EXPERIMENTS.md for measured
 // vs published results.

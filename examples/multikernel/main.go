@@ -14,13 +14,14 @@ package main
 
 import (
 	"fmt"
+	"log"
 	"time"
 
 	consensusinside "consensusinside"
 )
 
 func run(p consensusinside.Protocol) (before, after float64) {
-	c := consensusinside.NewSimCluster(consensusinside.SimSpec{
+	c, err := consensusinside.NewSimCluster(consensusinside.SimSpec{
 		Protocol:     p,
 		Machine:      consensusinside.Machine8(),
 		Cost:         consensusinside.CostsManyCoreSlow(),
@@ -30,6 +31,9 @@ func run(p consensusinside.Protocol) (before, after float64) {
 		SeriesBucket: 10 * time.Millisecond,
 		RetryTimeout: 20 * time.Millisecond,
 	})
+	if err != nil {
+		log.Fatalf("build cluster: %v", err)
+	}
 	c.Start()
 	c.SlowAt(100*time.Millisecond, 0, consensusinside.CPUHogSlowdown)
 	c.RunFor(400 * time.Millisecond)

@@ -1,8 +1,11 @@
-// Quickstart: a linearizable replicated map backed by 1Paxos.
+// Quickstart: a linearizable replicated map, protocol of your choice.
 //
 // Three replicas run in-process, connected by lock-free SPSC slot queues
 // (the paper's QC-libtask design); every Put and Get is a consensus
-// command applied by all replicas in log order.
+// command applied by all replicas in log order. The same KV runs over
+// any registered agreement engine — the KVConfig.Protocol knob — and
+// over TCP by setting Transport; this demo drives the paper's 1Paxos
+// first, then replays a write under every other engine.
 //
 //	go run ./examples/quickstart
 package main
@@ -15,7 +18,10 @@ import (
 )
 
 func main() {
-	kv, err := consensusinside.StartKV(consensusinside.KVConfig{Replicas: 3})
+	kv, err := consensusinside.StartKV(consensusinside.KVConfig{
+		Protocol: consensusinside.OnePaxos,
+		Replicas: 3,
+	})
 	if err != nil {
 		log.Fatalf("start replicated KV: %v", err)
 	}
@@ -41,6 +47,26 @@ func main() {
 			log.Fatalf("get %q: %v", k, err)
 		}
 		fmt.Printf("  get %-8s = %q (linearizable read through consensus)\n", k, v)
+	}
+
+	fmt.Println("\nsame service, every other registered engine:")
+	for _, p := range consensusinside.Protocols() {
+		if p == consensusinside.OnePaxos {
+			continue
+		}
+		alt, err := consensusinside.StartKV(consensusinside.KVConfig{Protocol: p})
+		if err != nil {
+			log.Fatalf("start %v: %v", p, err)
+		}
+		if err := alt.Put("engine", p.String()); err != nil {
+			log.Fatalf("%v put: %v", p, err)
+		}
+		v, err := alt.Get("engine")
+		alt.Close()
+		if err != nil {
+			log.Fatalf("%v get: %v", p, err)
+		}
+		fmt.Printf("  %-12s put/get round trip ok (%q)\n", p, v)
 	}
 	fmt.Println("done")
 }

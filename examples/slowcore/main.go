@@ -11,6 +11,7 @@ package main
 
 import (
 	"fmt"
+	"log"
 	"strings"
 	"time"
 
@@ -18,7 +19,7 @@ import (
 )
 
 func main() {
-	c := consensusinside.NewSimCluster(consensusinside.SimSpec{
+	c, err := consensusinside.NewSimCluster(consensusinside.SimSpec{
 		Protocol:     consensusinside.OnePaxos,
 		Machine:      consensusinside.Machine8(),
 		Cost:         consensusinside.CostsManyCoreSlow(),
@@ -28,6 +29,9 @@ func main() {
 		SeriesBucket: 10 * time.Millisecond,
 		RetryTimeout: 20 * time.Millisecond,
 	})
+	if err != nil {
+		log.Fatalf("build cluster: %v", err)
+	}
 	c.Start()
 	c.SlowAt(100*time.Millisecond, 0, consensusinside.CPUHogSlowdown)
 	c.RunFor(400 * time.Millisecond)

@@ -1,0 +1,3 @@
+module consensusinside
+
+go 1.24

@@ -1,0 +1,19 @@
+package basicpaxos
+
+import "consensusinside/internal/protocol"
+
+func init() {
+	protocol.Register(protocol.BasicPaxos, protocol.Info{
+		Name:        "BasicPaxos",
+		MinReplicas: 3,
+		New: func(cfg protocol.Config) protocol.Engine {
+			return NewReplica(ReplicaConfig{
+				ID:           cfg.ID,
+				Replicas:     cfg.Replicas,
+				Applier:      cfg.Applier,
+				RoundTimeout: cfg.AcceptTimeout,
+				DuelBackoff:  cfg.TakeoverBackoff,
+			})
+		},
+	})
+}

@@ -1,0 +1,360 @@
+package basicpaxos
+
+import (
+	"fmt"
+	"time"
+
+	"consensusinside/internal/msg"
+	"consensusinside/internal/rsm"
+	"consensusinside/internal/runtime"
+)
+
+// This file turns the transport-free Synod state machines into a runnable
+// baseline engine: every replica is proposer, acceptor and learner for a
+// shared instance-indexed log, and every client command pays a full
+// two-phase round (prepare + accept) with no stable leader. It is the
+// floor of the protocol family — the paper's 1Paxos and collapsed
+// Multi-Paxos both exist to amortize exactly the phase-1 work this
+// baseline repeats per instance — and exists so experiments can quantify
+// that gap on the same harness.
+
+// Timer kinds used by a Replica (cluster joint mode routes kinds >= 900
+// to the co-located client, so protocol kinds stay small).
+const (
+	timerRound   = 1 // Arg: instance whose round is overdue
+	timerRestart = 2 // Arg: instance to restart after a lost duel
+)
+
+// Defaults for ReplicaConfig zero values.
+const (
+	DefaultRoundTimeout = 400 * time.Microsecond
+	DefaultDuelBackoff  = 200 * time.Microsecond
+)
+
+// ReplicaConfig parameterizes a Replica.
+type ReplicaConfig struct {
+	// ID is this node; Replicas is the agreement group in a fixed shared
+	// order.
+	ID       msg.NodeID
+	Replicas []msg.NodeID
+
+	// Applier is the replicated state machine; nil means a fresh KV.
+	Applier rsm.Applier
+
+	// RoundTimeout bounds one prepare+accept round before the proposer
+	// restarts with a higher number. Zero means DefaultRoundTimeout.
+	RoundTimeout time.Duration
+
+	// DuelBackoff delays the restart after an explicit nack (a lost duel
+	// with a concurrent proposer); a random share of the same amount is
+	// added to break symmetric duels. Zero means DefaultDuelBackoff.
+	DuelBackoff time.Duration
+}
+
+type originKey struct {
+	client msg.NodeID
+	seq    uint64
+}
+
+// drive is one instance this node is actively proposing at.
+type drive struct {
+	prop    *Proposer[msg.Value]
+	want    msg.Value // the client command this drive exists to commit
+	backoff bool      // a restart is already scheduled
+	cancel  runtime.CancelFunc
+}
+
+// Replica is one Basic Paxos node: proposer for the commands its clients
+// send it, acceptor and learner for every instance.
+type Replica struct {
+	cfg      ReplicaConfig
+	me       msg.NodeID
+	replicas []msg.NodeID
+	quorum   int
+	ctx      runtime.Context
+
+	nextInst int64
+	maxPN    uint64
+	drives   map[int64]*drive
+	origin   map[originKey]bool
+
+	acc   map[int64]*Acceptor[msg.Value]
+	votes map[int64]map[msg.NodeID]uint64 // learner: instance -> voter -> pn
+
+	log      *rsm.Log
+	sessions *rsm.Sessions
+	commits  int64
+	restarts int64
+}
+
+var _ runtime.Handler = (*Replica)(nil)
+
+// NewReplica builds a Replica; it panics on malformed configuration.
+func NewReplica(cfg ReplicaConfig) *Replica {
+	if len(cfg.Replicas) < 3 {
+		panic("basicpaxos: need at least three replicas")
+	}
+	in := false
+	for _, id := range cfg.Replicas {
+		if id == cfg.ID {
+			in = true
+			break
+		}
+	}
+	if !in {
+		panic(fmt.Sprintf("basicpaxos: node %d not in replica set %v", cfg.ID, cfg.Replicas))
+	}
+	if cfg.RoundTimeout == 0 {
+		cfg.RoundTimeout = DefaultRoundTimeout
+	}
+	if cfg.DuelBackoff == 0 {
+		cfg.DuelBackoff = DefaultDuelBackoff
+	}
+	applier := cfg.Applier
+	if applier == nil {
+		applier = rsm.NewKV()
+	}
+	r := &Replica{
+		cfg:      cfg,
+		me:       cfg.ID,
+		replicas: append([]msg.NodeID(nil), cfg.Replicas...),
+		quorum:   len(cfg.Replicas)/2 + 1,
+		drives:   make(map[int64]*drive),
+		origin:   make(map[originKey]bool),
+		acc:      make(map[int64]*Acceptor[msg.Value]),
+		votes:    make(map[int64]map[msg.NodeID]uint64),
+		sessions: rsm.NewSessions(),
+	}
+	r.log = rsm.NewLog(rsm.Dedup{Sessions: r.sessions, Inner: applier})
+	r.log.OnApply(r.onApply)
+	return r
+}
+
+// Commits reports applied instances.
+func (r *Replica) Commits() int64 { return r.commits }
+
+// Restarts reports how many rounds were restarted with a higher number
+// (timeouts plus lost duels) — the baseline's contention cost.
+func (r *Replica) Restarts() int64 { return r.restarts }
+
+// Log exposes the learner log for consistency checks.
+func (r *Replica) Log() *rsm.Log { return r.log }
+
+// Start implements runtime.Handler.
+func (r *Replica) Start(ctx runtime.Context) { r.ctx = ctx }
+
+// Receive dispatches one message.
+func (r *Replica) Receive(ctx runtime.Context, from msg.NodeID, m msg.Message) {
+	r.ctx = ctx
+	switch mm := m.(type) {
+	case msg.ClientRequest:
+		r.onClientRequest(mm)
+	case msg.BPPrepare:
+		r.onPrepare(from, mm)
+	case msg.BPPromise:
+		r.onPromise(from, mm)
+	case msg.BPAccept:
+		r.onAccept(from, mm)
+	case msg.BPAccepted:
+		r.onAccepted(mm)
+	case msg.BPNack:
+		r.onNack(mm)
+	}
+}
+
+// Timer implements runtime.Handler.
+func (r *Replica) Timer(ctx runtime.Context, tag runtime.TimerTag) {
+	r.ctx = ctx
+	switch tag.Kind {
+	case timerRound:
+		in := tag.Arg
+		d, ok := r.drives[in]
+		if !ok || d.backoff || d.prop.Decided() || r.log.Learned(in) {
+			// d.backoff: a randomized duel restart is already queued;
+			// restarting here too would defeat the desynchronization.
+			return
+		}
+		r.restart(in, d)
+	case timerRestart:
+		in := tag.Arg
+		d, ok := r.drives[in]
+		if !ok || !d.backoff {
+			return
+		}
+		d.backoff = false
+		r.restart(in, d)
+	}
+}
+
+// --- Proposer ---
+
+func (r *Replica) onClientRequest(req msg.ClientRequest) {
+	r.sessions.ClientAck(req.Client, req.Ack)
+	if inst, result, ok := r.sessions.Lookup(req.Client, req.Seq); ok {
+		r.ctx.Send(req.Client, msg.ClientReply{Seq: req.Seq, Instance: inst, OK: true, Result: result})
+		return
+	}
+	key := originKey{req.Client, req.Seq}
+	if r.origin[key] {
+		return // a retry of a command already in flight here
+	}
+	r.origin[key] = true
+	r.propose(msg.Value{Client: req.Client, Seq: req.Seq, Cmd: req.Cmd, Ack: req.Ack})
+}
+
+// propose starts a full Synod round for v at the next free instance.
+func (r *Replica) propose(v msg.Value) {
+	in := r.nextInst
+	if next := r.log.NextToApply(); next > in {
+		in = next
+	}
+	for r.log.Learned(in) || r.drives[in] != nil {
+		in++
+	}
+	r.nextInst = in + 1
+	pn := NextPN(r.me, r.maxPN)
+	r.maxPN = pn
+	d := &drive{prop: NewProposer(r.me, r.quorum, pn, v), want: v}
+	r.drives[in] = d
+	r.sendPrepare(in, d)
+}
+
+func (r *Replica) sendPrepare(in int64, d *drive) {
+	for _, id := range r.replicas {
+		r.ctx.Send(id, msg.BPPrepare{Instance: in, PN: d.prop.PN()})
+	}
+	if d.cancel != nil {
+		d.cancel()
+	}
+	d.cancel = r.ctx.After(r.cfg.RoundTimeout, runtime.TimerTag{Kind: timerRound, Arg: in})
+}
+
+// restart begins a fresh round with a higher proposal number, keeping any
+// adopted value (Lemma 2a/2b: a proposer that observed an accepted value
+// keeps advocating it).
+func (r *Replica) restart(in int64, d *drive) {
+	r.restarts++
+	pn := NextPN(r.me, r.maxPN)
+	r.maxPN = pn
+	d.prop.Restart(pn)
+	r.sendPrepare(in, d)
+}
+
+func (r *Replica) onPromise(from msg.NodeID, m msg.BPPromise) {
+	d, ok := r.drives[m.Instance]
+	if !ok || d.prop.Decided() {
+		return
+	}
+	if d.prop.OnPromise(from, m.PN, m.AcceptedPN, m.Accepted) {
+		for _, id := range r.replicas {
+			r.ctx.Send(id, msg.BPAccept{Instance: m.Instance, PN: m.PN, Value: d.prop.Value()})
+		}
+	}
+}
+
+func (r *Replica) onNack(m msg.BPNack) {
+	if m.PN > r.maxPN {
+		r.maxPN = m.PN
+	}
+	d, ok := r.drives[m.Instance]
+	if !ok || d.prop.Decided() || d.backoff || r.log.Learned(m.Instance) {
+		return
+	}
+	// Lost a duel: back off a randomized amount so symmetric duellists
+	// desynchronize instead of trading nacks forever.
+	d.backoff = true
+	wait := r.cfg.DuelBackoff + time.Duration(r.ctx.Rand().Int63n(int64(r.cfg.DuelBackoff)))
+	r.ctx.After(wait, runtime.TimerTag{Kind: timerRestart, Arg: m.Instance})
+}
+
+// --- Acceptor ---
+
+func (r *Replica) acceptorFor(in int64) *Acceptor[msg.Value] {
+	a, ok := r.acc[in]
+	if !ok {
+		a = &Acceptor[msg.Value]{}
+		r.acc[in] = a
+	}
+	return a
+}
+
+func (r *Replica) onPrepare(from msg.NodeID, m msg.BPPrepare) {
+	if m.PN > r.maxPN {
+		r.maxPN = m.PN
+	}
+	a := r.acceptorFor(m.Instance)
+	if a.Prepare(m.PN) {
+		r.ctx.Send(from, msg.BPPromise{
+			Instance:   m.Instance,
+			PN:         m.PN,
+			From:       r.me,
+			AcceptedPN: a.AcceptedPN,
+			Accepted:   a.Accepted,
+		})
+		return
+	}
+	r.ctx.Send(from, msg.BPNack{Instance: m.Instance, PN: a.Promised})
+}
+
+func (r *Replica) onAccept(from msg.NodeID, m msg.BPAccept) {
+	a := r.acceptorFor(m.Instance)
+	if !a.Accept(m.PN, m.Value) {
+		r.ctx.Send(from, msg.BPNack{Instance: m.Instance, PN: a.Promised})
+		return
+	}
+	for _, id := range r.replicas {
+		r.ctx.Send(id, msg.BPAccepted{Instance: m.Instance, PN: m.PN, Value: m.Value, From: r.me})
+	}
+}
+
+// --- Learner ---
+
+func (r *Replica) onAccepted(m msg.BPAccepted) {
+	if r.log.Learned(m.Instance) {
+		return
+	}
+	byNode, ok := r.votes[m.Instance]
+	if !ok {
+		byNode = make(map[msg.NodeID]uint64)
+		r.votes[m.Instance] = byNode
+	}
+	byNode[m.From] = m.PN
+	n := 0
+	for _, pn := range byNode {
+		if pn == m.PN {
+			n++
+		}
+	}
+	if n >= r.quorum {
+		delete(r.votes, m.Instance)
+		r.log.Learn(m.Instance, m.Value)
+	}
+}
+
+func (r *Replica) onApply(e rsm.Entry, result string) {
+	r.commits++
+	delete(r.votes, e.Instance)
+	d := r.drives[e.Instance]
+	delete(r.drives, e.Instance)
+	if d != nil && d.cancel != nil {
+		d.cancel()
+	}
+	v := e.Value
+	if v.Client != msg.Nobody {
+		if !r.sessions.Seen(v.Client, v.Seq) {
+			r.sessions.Done(v.Client, v.Seq, e.Instance, result)
+		}
+		key := originKey{v.Client, v.Seq}
+		if r.origin[key] {
+			delete(r.origin, key)
+			r.ctx.Send(v.Client, msg.ClientReply{Seq: v.Seq, Instance: e.Instance, OK: true, Result: result})
+		}
+	}
+	// If this drive's instance went to a foreign value (an adopted
+	// proposal or a lost duel), the command it was carrying still needs a
+	// slot: re-propose it at a fresh instance unless it committed
+	// elsewhere meanwhile.
+	if d != nil && d.want != v && d.want.Client != msg.Nobody && !r.sessions.Seen(d.want.Client, d.want.Seq) {
+		r.propose(d.want)
+	}
+}

@@ -1,12 +1,18 @@
 // Package basicpaxos implements the single-decree Synod protocol — the
-// consensus kernel of the Paxos family (Section 2.3 of the paper) — as
-// embeddable, transport-free state machines.
+// consensus kernel of the Paxos family (Section 2.3 of the paper) — at
+// two layers.
 //
-// The package deliberately contains no message handling: Acceptor and
-// Proposer are pure state, driven by whoever owns the wire format. They
-// are reused by internal/paxosutil (the paper's PaxosUtility, which
-// decides AcceptorChange/LeaderChange entries) and are property-tested
-// directly against the Synod safety invariants.
+// The Acceptor and Proposer types in this file are embeddable,
+// transport-free state machines with no message handling: pure state,
+// driven by whoever owns the wire format. They are reused by
+// internal/paxosutil (the paper's PaxosUtility, which decides
+// AcceptorChange/LeaderChange entries) and are property-tested directly
+// against the Synod safety invariants.
+//
+// Replica (replica.go) builds on them: a runnable runtime.Handler
+// engine that runs a full Synod round per log instance over msg.BP*
+// wire messages — the protocol family's baseline, registered with the
+// protocol registry as protocol.BasicPaxos.
 package basicpaxos
 
 import (

@@ -3,6 +3,10 @@
 // on dedicated cores, clients on the remaining cores, Section 7.1) and
 // the Joint mode (every client is also a replica, Section 7.4), with
 // failure-schedule injection for the slow-core experiments.
+//
+// Protocols are constructed through the internal/protocol registry, so
+// any registered engine runs on this harness unchanged; importing this
+// package registers all of them.
 package cluster
 
 import (
@@ -11,45 +15,32 @@ import (
 
 	"consensusinside/internal/metrics"
 	"consensusinside/internal/msg"
-	"consensusinside/internal/multipaxos"
-	"consensusinside/internal/onepaxos"
+	"consensusinside/internal/protocol"
+	_ "consensusinside/internal/protocol/all" // register every engine
 	"consensusinside/internal/rsm"
 	"consensusinside/internal/runtime"
 	"consensusinside/internal/simnet"
 	"consensusinside/internal/topology"
-	"consensusinside/internal/twopc"
 	"consensusinside/internal/workload"
 )
 
 // Protocol selects the agreement protocol under test.
-type Protocol int
+type Protocol = protocol.ID
 
 // Protocols.
 const (
-	OnePaxos Protocol = iota + 1
-	MultiPaxos
-	TwoPC
+	OnePaxos   = protocol.OnePaxos
+	MultiPaxos = protocol.MultiPaxos
+	TwoPC      = protocol.TwoPC
+	Mencius    = protocol.Mencius
+	BasicPaxos = protocol.BasicPaxos
 )
 
-// String implements fmt.Stringer.
-func (p Protocol) String() string {
-	switch p {
-	case OnePaxos:
-		return "1Paxos"
-	case MultiPaxos:
-		return "Multi-Paxos"
-	case TwoPC:
-		return "2PC"
-	default:
-		return fmt.Sprintf("protocol(%d)", int(p))
-	}
-}
+// Protocols lists every registered protocol, for experiment sweeps.
+func Protocols() []Protocol { return protocol.IDs() }
 
 // Server is the common face of a protocol replica.
-type Server interface {
-	runtime.Handler
-	Commits() int64
-}
+type Server = protocol.Engine
 
 // Spec describes a deployment.
 type Spec struct {
@@ -73,6 +64,10 @@ type Spec struct {
 	Warmup            time.Duration
 	SeriesBucket      time.Duration
 
+	// Window is each client's pipeline depth: how many commands it keeps
+	// in flight at once. 0 or 1 is the paper's closed loop.
+	Window int
+
 	// Protocol tuning.
 	AcceptTimeout time.Duration // paxos-family failure detection
 	LearnBatching bool          // 1Paxos acceptor-broadcast batching
@@ -89,14 +84,29 @@ type Cluster struct {
 	ClientIDs []msg.NodeID
 }
 
-// Build constructs the deployment described by spec. It panics on
-// malformed specs (experiment wiring bugs), never on runtime conditions.
-func Build(spec Spec) *Cluster {
+// Build constructs the deployment described by spec. It returns an error
+// on malformed specs (nil machine, too-small groups, unknown protocols);
+// use MustBuild where a malformed spec is a programming error.
+func Build(spec Spec) (*Cluster, error) {
 	if spec.Machine == nil {
-		panic("cluster: spec needs a machine")
+		return nil, fmt.Errorf("cluster: spec needs a machine")
 	}
 	if spec.Replicas < 2 {
-		panic("cluster: need at least two replicas")
+		return nil, fmt.Errorf("cluster: need at least two replicas, got %d", spec.Replicas)
+	}
+	info, ok := protocol.Lookup(spec.Protocol)
+	if !ok {
+		return nil, fmt.Errorf("cluster: unknown protocol %d", int(spec.Protocol))
+	}
+	if spec.Replicas < info.MinReplicas {
+		return nil, fmt.Errorf("cluster: %s needs at least %d replicas, got %d",
+			info.Name, info.MinReplicas, spec.Replicas)
+	}
+	if spec.Window > rsm.DefaultSessionWindow {
+		// Deeper pipelines than the replicas' session window would break
+		// the exactly-once guarantee (see rsm.Sessions).
+		return nil, fmt.Errorf("cluster: client window %d exceeds the session window %d",
+			spec.Window, rsm.DefaultSessionWindow)
 	}
 	net := simnet.New(spec.Machine, spec.Cost, spec.Seed)
 	c := &Cluster{Spec: spec, Net: net}
@@ -111,81 +121,74 @@ func Build(spec Spec) *Cluster {
 		// Every node hosts a replica and a client (Section 7.4).
 		for i := 0; i < spec.Replicas; i++ {
 			id := msg.NodeID(i)
-			server := c.newServer(id, serverIDs, true)
-			client := workload.NewClient(workload.Config{
-				ID:           id,
-				Servers:      serverIDs,
-				Requests:     spec.RequestsPerClient,
-				ThinkTime:    spec.ThinkTime,
-				RetryTimeout: spec.RetryTimeout,
-				ReadFraction: spec.ReadFraction,
-				StartDelay:   time.Duration(i) * time.Microsecond,
-				Warmup:       spec.Warmup,
-				SeriesBucket: spec.SeriesBucket,
-			})
+			server, err := c.newServer(id, serverIDs, true)
+			if err != nil {
+				return nil, err
+			}
+			client := workload.NewClient(c.clientConfig(id, serverIDs, i))
 			c.Servers = append(c.Servers, server)
 			c.Clients = append(c.Clients, client)
 			c.ClientIDs = append(c.ClientIDs, id)
 			net.AddNode(&jointHandler{server: server, client: client})
 		}
-		return c
+		return c, nil
 	}
 
 	for i := 0; i < spec.Replicas; i++ {
-		server := c.newServer(msg.NodeID(i), serverIDs, false)
+		server, err := c.newServer(msg.NodeID(i), serverIDs, false)
+		if err != nil {
+			return nil, err
+		}
 		c.Servers = append(c.Servers, server)
 		net.AddNode(server)
 	}
 	for i := 0; i < spec.Clients; i++ {
 		id := msg.NodeID(spec.Replicas + i)
-		client := workload.NewClient(workload.Config{
-			ID:           id,
-			Servers:      serverIDs,
-			Requests:     spec.RequestsPerClient,
-			ThinkTime:    spec.ThinkTime,
-			RetryTimeout: spec.RetryTimeout,
-			ReadFraction: spec.ReadFraction,
-			StartDelay:   time.Duration(i) * time.Microsecond,
-			Warmup:       spec.Warmup,
-			SeriesBucket: spec.SeriesBucket,
-		})
+		client := workload.NewClient(c.clientConfig(id, serverIDs, i))
 		c.Clients = append(c.Clients, client)
 		c.ClientIDs = append(c.ClientIDs, id)
 		net.AddNode(client)
 	}
+	return c, nil
+}
+
+// MustBuild is Build for specs that are wired by code, not input: it
+// panics on error.
+func MustBuild(spec Spec) *Cluster {
+	c, err := Build(spec)
+	if err != nil {
+		panic(err)
+	}
 	return c
 }
 
-func (c *Cluster) newServer(id msg.NodeID, serverIDs []msg.NodeID, joint bool) Server {
+func (c *Cluster) clientConfig(id msg.NodeID, serverIDs []msg.NodeID, i int) workload.Config {
 	spec := c.Spec
-	switch spec.Protocol {
-	case OnePaxos:
-		return onepaxos.New(onepaxos.Config{
-			ID:                  id,
-			Replicas:            serverIDs,
-			Applier:             rsm.NewKV(),
-			AcceptTimeout:       spec.AcceptTimeout,
-			ForwardToLeader:     joint,
-			EnableLearnBatching: spec.LearnBatching,
-		})
-	case MultiPaxos:
-		return multipaxos.New(multipaxos.Config{
-			ID:              id,
-			Replicas:        serverIDs,
-			Applier:         rsm.NewKV(),
-			AcceptTimeout:   spec.AcceptTimeout,
-			ForwardToLeader: joint,
-		})
-	case TwoPC:
-		return twopc.New(twopc.Config{
-			ID:         id,
-			Replicas:   serverIDs,
-			Applier:    rsm.NewKV(),
-			LocalReads: spec.LocalReads,
-		})
-	default:
-		panic(fmt.Sprintf("cluster: unknown protocol %d", int(spec.Protocol)))
+	return workload.Config{
+		ID:           id,
+		Servers:      serverIDs,
+		Requests:     spec.RequestsPerClient,
+		ThinkTime:    spec.ThinkTime,
+		RetryTimeout: spec.RetryTimeout,
+		ReadFraction: spec.ReadFraction,
+		Window:       spec.Window,
+		StartDelay:   time.Duration(i) * time.Microsecond,
+		Warmup:       spec.Warmup,
+		SeriesBucket: spec.SeriesBucket,
 	}
+}
+
+func (c *Cluster) newServer(id msg.NodeID, serverIDs []msg.NodeID, joint bool) (Server, error) {
+	spec := c.Spec
+	return protocol.Build(spec.Protocol, protocol.Config{
+		ID:              id,
+		Replicas:        serverIDs,
+		Applier:         rsm.NewKV(),
+		AcceptTimeout:   spec.AcceptTimeout,
+		ForwardToLeader: joint,
+		LearnBatching:   spec.LearnBatching,
+		LocalReads:      spec.LocalReads,
+	})
 }
 
 // Start launches all nodes.
@@ -198,9 +201,12 @@ func (c *Cluster) RunFor(t time.Duration) { c.Net.RunFor(t) }
 // processes sharing the core (Sections 2.2, 7.6). The protocol process
 // gets ~1/9 of the cycles, but it gets them in whole scheduler quanta, so
 // the latency visible to the protocol between two of its time slices is
-// two orders of magnitude worse than the 1/9 throughput share suggests.
-// The factor folds both effects into the simulator's linear cost scaling.
-const CPUHogSlowdown = 150.0
+// two orders of magnitude worse than the 1/9 throughput share suggests —
+// 9 × ~100 ≈ 900. The factor folds both effects into the simulator's
+// linear cost scaling, pushing the slowed core's per-message service time
+// into the tens of milliseconds the paper observes, well past any client
+// detection timeout.
+const CPUHogSlowdown = 900.0
 
 // SlowAt schedules core node to slow down by factor at virtual time t
 // (use CPUHogSlowdown for the paper's 8-CPU-hog injection).
@@ -278,22 +284,18 @@ func (c *Cluster) ServerCommits() []int64 {
 
 // CheckConsistency verifies that no two replicas disagree on any log
 // instance — the paper's consistency safety property ("two different
-// learners cannot learn two different values"). It applies to the
-// paxos-family protocols, which expose instance-indexed logs.
+// learners cannot learn two different values"). It applies to every
+// engine exposing an instance-indexed log (protocol.LogExposer); engines
+// without a total order (2PC) are vacuously consistent here.
 func (c *Cluster) CheckConsistency() error {
 	chosen := make(map[int64]msg.Value)
 	who := make(map[int64]msg.NodeID)
 	for i, s := range c.Servers {
-		var history []rsm.Entry
-		switch r := s.(type) {
-		case *onepaxos.Replica:
-			history = r.Log().History()
-		case *multipaxos.Replica:
-			history = r.Log().History()
-		default:
-			return nil // 2PC has no totally ordered log
+		exp, ok := s.(protocol.LogExposer)
+		if !ok {
+			return nil
 		}
-		for _, e := range history {
+		for _, e := range exp.Log().History() {
 			if prev, ok := chosen[e.Instance]; ok {
 				if prev != e.Value {
 					return fmt.Errorf("instance %d: replica %d learned %+v, replica %d learned %+v",

@@ -22,7 +22,7 @@ func baseSpec(p Protocol, clients int) Spec {
 func TestOnePaxosCommitsSingleClient(t *testing.T) {
 	spec := baseSpec(OnePaxos, 1)
 	spec.RequestsPerClient = 100
-	c := Build(spec)
+	c := MustBuild(spec)
 	c.Start()
 	c.RunFor(50 * time.Millisecond)
 	if got := c.Clients[0].Completed(); got != 100 {
@@ -42,7 +42,7 @@ func TestOnePaxosCommitsSingleClient(t *testing.T) {
 func TestMultiPaxosCommitsSingleClient(t *testing.T) {
 	spec := baseSpec(MultiPaxos, 1)
 	spec.RequestsPerClient = 100
-	c := Build(spec)
+	c := MustBuild(spec)
 	c.Start()
 	c.RunFor(50 * time.Millisecond)
 	if got := c.Clients[0].Completed(); got != 100 {
@@ -56,7 +56,7 @@ func TestMultiPaxosCommitsSingleClient(t *testing.T) {
 func TestTwoPCCommitsSingleClient(t *testing.T) {
 	spec := baseSpec(TwoPC, 1)
 	spec.RequestsPerClient = 100
-	c := Build(spec)
+	c := MustBuild(spec)
 	c.Start()
 	c.RunFor(50 * time.Millisecond)
 	if got := c.Clients[0].Completed(); got != 100 {
@@ -75,7 +75,7 @@ func TestAllProtocolsManyClients(t *testing.T) {
 		t.Run(p.String(), func(t *testing.T) {
 			spec := baseSpec(p, 10)
 			spec.RequestsPerClient = 50
-			c := Build(spec)
+			c := MustBuild(spec)
 			c.Start()
 			c.RunFor(200 * time.Millisecond)
 			for i, cl := range c.Clients {
@@ -99,7 +99,7 @@ func TestJointModeAllProtocols(t *testing.T) {
 			spec.Replicas = 5
 			spec.RequestsPerClient = 20
 			spec.ThinkTime = 100 * time.Microsecond
-			c := Build(spec)
+			c := MustBuild(spec)
 			c.Start()
 			c.RunFor(200 * time.Millisecond)
 			for i, cl := range c.Clients {
@@ -120,7 +120,7 @@ func TestOnePaxosSurvivesSlowLeader(t *testing.T) {
 	spec.Cost = simnet.ManyCoreSlowMachine()
 	spec.RetryTimeout = time.Millisecond
 	spec.SeriesBucket = 10 * time.Millisecond
-	c := Build(spec)
+	c := MustBuild(spec)
 	c.Start()
 	c.SlowAt(20*time.Millisecond, 0, CPUHogSlowdown) // 8 CPU hogs on core 0
 	c.RunFor(200 * time.Millisecond)
@@ -157,7 +157,7 @@ func TestTwoPCBlocksOnSlowCoordinator(t *testing.T) {
 	spec.Machine = topology.Opteron8()
 	spec.Cost = simnet.ManyCoreSlowMachine()
 	spec.SeriesBucket = 10 * time.Millisecond
-	c := Build(spec)
+	c := MustBuild(spec)
 	c.Start()
 	c.SlowAt(20*time.Millisecond, 0, CPUHogSlowdown)
 	c.RunFor(220 * time.Millisecond)
@@ -186,7 +186,7 @@ func TestTwoPCBlocksOnSlowCoordinator(t *testing.T) {
 func TestOnePaxosSurvivesCrashedAcceptor(t *testing.T) {
 	spec := baseSpec(OnePaxos, 3)
 	spec.RetryTimeout = 2 * time.Millisecond
-	c := Build(spec)
+	c := MustBuild(spec)
 	c.Start()
 	// The initial active acceptor is the last replica (node 2).
 	c.CrashAt(10*time.Millisecond, 2)
@@ -209,7 +209,7 @@ func TestOnePaxosSurvivesCrashedAcceptor(t *testing.T) {
 func TestCheckConsistencyDetectsDivergence(t *testing.T) {
 	spec := baseSpec(OnePaxos, 1)
 	spec.RequestsPerClient = 5
-	c := Build(spec)
+	c := MustBuild(spec)
 	c.Start()
 	c.RunFor(20 * time.Millisecond)
 	if err := c.CheckConsistency(); err != nil {
@@ -218,10 +218,112 @@ func TestCheckConsistencyDetectsDivergence(t *testing.T) {
 }
 
 func TestBuildValidation(t *testing.T) {
+	if _, err := Build(Spec{Protocol: OnePaxos, Replicas: 3}); err == nil {
+		t.Error("missing machine must be rejected")
+	}
+	if _, err := Build(Spec{Protocol: Protocol(99), Machine: topology.Opteron48(), Replicas: 3}); err == nil {
+		t.Error("unknown protocol must be rejected")
+	}
+	if _, err := Build(Spec{Protocol: OnePaxos, Machine: topology.Opteron48(), Replicas: 1}); err == nil {
+		t.Error("single replica must be rejected")
+	}
+	if _, err := Build(Spec{Protocol: Mencius, Machine: topology.Opteron48(), Replicas: 2}); err == nil {
+		t.Error("a 2-replica Mencius group must be rejected")
+	}
+	if _, err := Build(Spec{Protocol: OnePaxos, Machine: topology.Opteron48(), Replicas: 3, Window: 1 << 20}); err == nil {
+		t.Error("a window deeper than the session table must be rejected")
+	}
 	defer func() {
 		if recover() == nil {
-			t.Fatal("expected panic for missing machine")
+			t.Fatal("MustBuild must panic on a malformed spec")
 		}
 	}()
-	Build(Spec{Protocol: OnePaxos, Replicas: 3})
+	MustBuild(Spec{Protocol: OnePaxos, Replicas: 3})
+}
+
+func TestMenciusCommitsSingleClient(t *testing.T) {
+	spec := baseSpec(Mencius, 1)
+	spec.RequestsPerClient = 100
+	c := MustBuild(spec)
+	c.Start()
+	c.RunFor(50 * time.Millisecond)
+	if got := c.Clients[0].Completed(); got != 100 {
+		t.Fatalf("completed %d requests, want 100", got)
+	}
+	if err := c.CheckConsistency(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBasicPaxosCommitsSingleClient(t *testing.T) {
+	spec := baseSpec(BasicPaxos, 1)
+	spec.RequestsPerClient = 100
+	c := MustBuild(spec)
+	c.Start()
+	c.RunFor(100 * time.Millisecond)
+	if got := c.Clients[0].Completed(); got != 100 {
+		t.Fatalf("completed %d requests, want 100", got)
+	}
+	if err := c.CheckConsistency(); err != nil {
+		t.Fatal(err)
+	}
+	for i, commits := range c.ServerCommits() {
+		if commits < 100 {
+			t.Errorf("replica %d applied %d, want >= 100", i, commits)
+		}
+	}
+}
+
+// TestNewProtocolsManyClients drives the two new engines with contending
+// clients: Mencius spreads nothing here (all clients target replica 0)
+// but must stay consistent; BasicPaxos duels across instances and must
+// still commit everything exactly once.
+func TestNewProtocolsManyClients(t *testing.T) {
+	for _, p := range []Protocol{Mencius, BasicPaxos} {
+		t.Run(p.String(), func(t *testing.T) {
+			spec := baseSpec(p, 5)
+			spec.RequestsPerClient = 20
+			spec.RetryTimeout = 5 * time.Millisecond
+			c := MustBuild(spec)
+			c.Start()
+			c.RunFor(300 * time.Millisecond)
+			for i, cl := range c.Clients {
+				if got := cl.Completed(); got != 20 {
+					t.Errorf("client %d completed %d, want 20", i, got)
+				}
+			}
+			if err := c.CheckConsistency(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestPipelinedWindowCommits runs every paxos-family engine with a
+// pipelined client window and checks exactly-once completion plus
+// cross-replica consistency — the dedup-across-a-window property the
+// windowed session table provides.
+func TestPipelinedWindowCommits(t *testing.T) {
+	for _, p := range []Protocol{OnePaxos, MultiPaxos, Mencius, BasicPaxos} {
+		t.Run(p.String(), func(t *testing.T) {
+			spec := baseSpec(p, 2)
+			spec.RequestsPerClient = 60
+			spec.Window = 8
+			spec.RetryTimeout = 5 * time.Millisecond
+			c := MustBuild(spec)
+			c.Start()
+			c.RunFor(300 * time.Millisecond)
+			for i, cl := range c.Clients {
+				if got := cl.Completed(); got != 60 {
+					t.Errorf("client %d completed %d, want 60", i, got)
+				}
+				if cl.MaxInFlight() < 2 {
+					t.Errorf("client %d never pipelined: max in flight %d", i, cl.MaxInFlight())
+				}
+			}
+			if err := c.CheckConsistency(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
 }

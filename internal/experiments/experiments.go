@@ -128,12 +128,15 @@ type LatencyRow struct {
 
 // Latency runs the Section 7.2 experiment: one client, three replicas,
 // average commit latency per protocol. The paper measures 16 µs for
-// 1Paxos, 19.6 µs for Multi-Paxos and 21.4 µs for 2PC.
+// 1Paxos, 19.6 µs for Multi-Paxos and 21.4 µs for 2PC. The sweep covers
+// every registered engine, so the related-work extensions (Mencius,
+// single-decree BasicPaxos) land in the same table as the paper's three.
 func Latency(opts Opts) []LatencyRow {
 	opts = opts.withDefaults(40*time.Millisecond, 5*time.Millisecond)
-	out := make([]LatencyRow, 0, len(protocols))
-	for _, p := range protocols {
-		c := cluster.Build(cluster.Spec{
+	all := cluster.Protocols()
+	out := make([]LatencyRow, 0, len(all))
+	for _, p := range all {
+		c := cluster.MustBuild(cluster.Spec{
 			Protocol: p,
 			Machine:  topology.Opteron48(),
 			Cost:     simnet.ManyCore(),
@@ -187,7 +190,7 @@ func Fig8(opts Opts, clientCounts []int) map[string][]Fig8Point {
 	out := make(map[string][]Fig8Point, len(protocols))
 	for _, p := range protocols {
 		for _, n := range clientCounts {
-			c := cluster.Build(cluster.Spec{
+			c := cluster.MustBuild(cluster.Spec{
 				Protocol: p,
 				Machine:  topology.Opteron48(),
 				Cost:     simnet.ManyCore(),
@@ -256,7 +259,7 @@ func Fig2(opts Opts, clientCounts []int) map[string][]Fig2Point {
 	out := make(map[string][]Fig2Point, 2)
 	run := func(label string, machine func(n int) *topology.Machine, cost simnet.CostModel, counts []int) {
 		for _, n := range counts {
-			c := cluster.Build(cluster.Spec{
+			c := cluster.MustBuild(cluster.Spec{
 				Protocol: cluster.MultiPaxos,
 				Machine:  machine(n + 3),
 				Cost:     cost,
@@ -324,7 +327,7 @@ func Fig9(opts Opts, sizes []int) map[string][]Fig9Point {
 	out := make(map[string][]Fig9Point, len(protocols))
 	for _, p := range protocols {
 		for _, n := range sizes {
-			c := cluster.Build(cluster.Spec{
+			c := cluster.MustBuild(cluster.Spec{
 				Protocol:     p,
 				Machine:      topology.Opteron48(),
 				Cost:         simnet.ManyCore(),
@@ -381,7 +384,7 @@ func Fig10(opts Opts) []Fig10Row {
 	opts = opts.withDefaults(60*time.Millisecond, 10*time.Millisecond)
 	var out []Fig10Row
 	for _, clients := range []int{3, 5} {
-		onep := cluster.Build(cluster.Spec{
+		onep := cluster.MustBuild(cluster.Spec{
 			Protocol:  cluster.OnePaxos,
 			Machine:   topology.Opteron48(),
 			Cost:      simnet.ManyCore(),
@@ -399,7 +402,7 @@ func Fig10(opts Opts) []Fig10Row {
 			Throughput: onep.ClientStats().Throughput,
 		})
 		for _, read := range []float64{0, 0.10, 0.75} {
-			c := cluster.Build(cluster.Spec{
+			c := cluster.MustBuild(cluster.Spec{
 				Protocol:     cluster.TwoPC,
 				Machine:      topology.Opteron48(),
 				Cost:         simnet.ManyCore(),
@@ -461,7 +464,7 @@ func slowCore(opts Opts, p cluster.Protocol) SlowCoreResult {
 	opts = opts.withDefaults(400*time.Millisecond, 0)
 	faultAt := opts.Duration / 4
 	run := func(inject bool) []int {
-		c := cluster.Build(cluster.Spec{
+		c := cluster.MustBuild(cluster.Spec{
 			Protocol:     p,
 			Machine:      topology.Opteron8(),
 			Cost:         simnet.ManyCoreSlowMachine(),
@@ -471,7 +474,11 @@ func slowCore(opts Opts, p cluster.Protocol) SlowCoreResult {
 			SeriesBucket: 10 * time.Millisecond, // the paper's x-axis unit
 			// Clients suspect a slow server only after a conservative
 			// timeout; this detection delay is what makes the Figure 11
-			// zero-throughput window visible.
+			// zero-throughput window visible. It must exceed healthy
+			// commit latency by orders of magnitude yet sit below the
+			// slowed leader's per-op service latency, or clients would
+			// keep limping along at the slow leader instead of failing
+			// over.
 			RetryTimeout: 20 * time.Millisecond,
 		})
 		c.Start()
@@ -571,7 +578,7 @@ func LANComparison(opts Opts) []LANRow {
 	opts = opts.withDefaults(2*time.Second, 200*time.Millisecond)
 	var out []LANRow
 	for _, p := range []cluster.Protocol{cluster.MultiPaxos, cluster.OnePaxos} {
-		c := cluster.Build(cluster.Spec{
+		c := cluster.MustBuild(cluster.Spec{
 			Protocol:      p,
 			Machine:       topology.Uniform(48, simnet.LANPropagation),
 			Cost:          simnet.LAN(),
@@ -618,7 +625,7 @@ func AblationLearnBatching(opts Opts) []AblationRow {
 	opts = opts.withDefaults(100*time.Millisecond, 20*time.Millisecond)
 	var out []AblationRow
 	for _, batching := range []bool{false, true} {
-		c := cluster.Build(cluster.Spec{
+		c := cluster.MustBuild(cluster.Spec{
 			Protocol:      cluster.OnePaxos,
 			Machine:       topology.Opteron48(),
 			Cost:          simnet.ManyCore(),
@@ -636,6 +643,38 @@ func AblationLearnBatching(opts Opts) []AblationRow {
 		label := "unbatched learns"
 		if batching {
 			label = "batched learns"
+		}
+		out = append(out, AblationRow{Config: label, Throughput: st.Throughput, Latency: st.Latency.Mean})
+	}
+	return out
+}
+
+// AblationPipelining measures the client pipeline: 1Paxos, 3 replicas,
+// one client, closed loop vs a window of 8 outstanding commands. A
+// closed-loop client is round-trip-bound (one commit latency per
+// command); the window overlaps that wait across in-flight commands and
+// pushes a single client core toward server saturation.
+func AblationPipelining(opts Opts) []AblationRow {
+	opts = opts.withDefaults(60*time.Millisecond, 10*time.Millisecond)
+	var out []AblationRow
+	for _, window := range []int{1, 8} {
+		c := cluster.MustBuild(cluster.Spec{
+			Protocol:     cluster.OnePaxos,
+			Machine:      topology.Opteron48(),
+			Cost:         simnet.ManyCore(),
+			Seed:         opts.Seed,
+			Replicas:     3,
+			Clients:      1,
+			Window:       window,
+			Warmup:       opts.Warmup,
+			RetryTimeout: 50 * time.Millisecond,
+		})
+		c.Start()
+		c.RunFor(opts.Warmup + opts.Duration)
+		st := c.ClientStats()
+		label := "closed loop"
+		if window > 1 {
+			label = fmt.Sprintf("window %d", window)
 		}
 		out = append(out, AblationRow{Config: label, Throughput: st.Throughput, Latency: st.Latency.Mean})
 	}
@@ -661,7 +700,7 @@ func AcceptorSwitch(opts Opts) SlowCoreResult {
 	opts = opts.withDefaults(400*time.Millisecond, 0)
 	faultAt := opts.Duration / 4
 	run := func(inject bool) []int {
-		c := cluster.Build(cluster.Spec{
+		c := cluster.MustBuild(cluster.Spec{
 			Protocol:     cluster.OnePaxos,
 			Machine:      topology.Opteron8(),
 			Cost:         simnet.ManyCoreSlowMachine(),

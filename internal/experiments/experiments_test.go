@@ -185,6 +185,21 @@ func TestMenciusLoadSpread(t *testing.T) {
 	}
 }
 
+func TestAblationPipeliningGain(t *testing.T) {
+	rows := AblationPipelining(Opts{Seed: 1})
+	if len(rows) != 2 {
+		t.Fatalf("want 2 rows, got %d", len(rows))
+	}
+	closed, window := rows[0], rows[1]
+	if closed.Throughput <= 0 {
+		t.Fatal("closed loop produced no throughput")
+	}
+	if window.Throughput < closed.Throughput*1.5 {
+		t.Errorf("window-8 pipeline must clearly beat the closed loop: %.0f vs %.0f op/s",
+			window.Throughput, closed.Throughput)
+	}
+}
+
 func TestMeanRate(t *testing.T) {
 	buckets := []int{10, 20, 30}
 	if got := MeanRate(buckets, 10*time.Millisecond, 0, 3); got != 2000 {

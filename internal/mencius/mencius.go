@@ -134,13 +134,17 @@ func (r *Replica) Receive(ctx runtime.Context, from msg.NodeID, m msg.Message) {
 // instance — every replica is a leader for its share (the Mencius
 // load-spreading idea).
 func (r *Replica) onClientRequest(req msg.ClientRequest) {
+	r.sessions.ClientAck(req.Client, req.Ack)
 	if inst, result, ok := r.sessions.Lookup(req.Client, req.Seq); ok {
 		r.ctx.Send(req.Client, msg.ClientReply{Seq: req.Seq, Instance: inst, OK: true, Result: result})
 		return
 	}
+	if r.origin[originKey{req.Client, req.Seq}] {
+		return // a retry of a command already proposed here
+	}
 	in := r.nextOwned
 	r.nextOwned += int64(len(r.replicas))
-	v := msg.Value{Client: req.Client, Seq: req.Seq, Cmd: req.Cmd}
+	v := msg.Value{Client: req.Client, Seq: req.Seq, Cmd: req.Cmd, Ack: req.Ack}
 	r.proposed[in] = v
 	r.origin[originKey{req.Client, req.Seq}] = true
 	for _, id := range r.replicas {

@@ -53,10 +53,18 @@ type Command struct {
 
 // Value is the unit the protocols agree on: a client command tagged with
 // its origin, so replicas can route the reply and deduplicate retries.
+//
+// Ack replicates the client's acknowledgement floor (see
+// ClientRequest.Ack) through the log itself, so every learner — not
+// just replicas the client contacted directly — can retire stored
+// session results the client no longer needs. It rides along with the
+// command and never differs between learns of one instance (the value
+// is fixed at accept time).
 type Value struct {
 	Client NodeID
 	Seq    uint64
 	Cmd    Command
+	Ack    uint64
 }
 
 // IsZero reports whether v is the zero (absent) value.
@@ -81,10 +89,16 @@ type Message interface {
 // ---------------------------------------------------------------------------
 
 // ClientRequest carries one command from a client to a replica.
+//
+// Ack is the client's lowest still-outstanding sequence number: every
+// seq below it has been answered, so replicas may discard those stored
+// results. Zero means "no acknowledgement information" and replicas
+// fall back to window-based retention.
 type ClientRequest struct {
 	Client NodeID
 	Seq    uint64
 	Cmd    Command
+	Ack    uint64
 }
 
 // ClientReply answers a ClientRequest after the command committed (or
@@ -347,6 +361,55 @@ func (MencAccept) Kind() string { return "menc_accept" }
 func (MencLearn) Kind() string  { return "menc_learn" }
 func (MencSkip) Kind() string   { return "menc_skip" }
 
+// ---------------------------------------------------------------------------
+// Basic Paxos baseline (Section 2.3's Synod, one full round per instance)
+// ---------------------------------------------------------------------------
+
+// BPPrepare is phase-1a for one log instance.
+type BPPrepare struct {
+	Instance int64
+	PN       uint64
+}
+
+// BPPromise is phase-1b: a promise for the instance, carrying the
+// acceptor's previously accepted proposal if any (AcceptedPN zero means
+// none).
+type BPPromise struct {
+	Instance   int64
+	PN         uint64
+	From       NodeID
+	AcceptedPN uint64
+	Accepted   Value
+}
+
+// BPAccept is phase-2a for one instance.
+type BPAccept struct {
+	Instance int64
+	PN       uint64
+	Value    Value
+}
+
+// BPAccepted is phase-2b, broadcast to all replicas as learners; an
+// instance is decided once a majority accepts the same proposal number.
+type BPAccepted struct {
+	Instance int64
+	PN       uint64
+	Value    Value
+	From     NodeID
+}
+
+// BPNack rejects a prepare or accept that lost to a higher number.
+type BPNack struct {
+	Instance int64
+	PN       uint64 // the acceptor's promised number
+}
+
+func (BPPrepare) Kind() string  { return "bp_prepare" }
+func (BPPromise) Kind() string  { return "bp_promise" }
+func (BPAccept) Kind() string   { return "bp_accept" }
+func (BPAccepted) Kind() string { return "bp_accepted" }
+func (BPNack) Kind() string     { return "bp_nack" }
+
 // Register registers every concrete message type with encoding/gob so the
 // TCP transport can encode Message interface values. Call it once per
 // process before opening network channels.
@@ -376,4 +439,9 @@ func Register() {
 	gob.Register(MencAccept{})
 	gob.Register(MencLearn{})
 	gob.Register(MencSkip{})
+	gob.Register(BPPrepare{})
+	gob.Register(BPPromise{})
+	gob.Register(BPAccept{})
+	gob.Register(BPAccepted{})
+	gob.Register(BPNack{})
 }

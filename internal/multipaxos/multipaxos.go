@@ -208,14 +208,18 @@ func (r *Replica) Timer(ctx runtime.Context, tag runtime.TimerTag) {
 // --- Client path ---
 
 func (r *Replica) onClientRequest(from msg.NodeID, req msg.ClientRequest) {
+	r.sessions.ClientAck(req.Client, req.Ack)
 	if inst, result, ok := r.sessions.Lookup(req.Client, req.Seq); ok {
 		r.ctx.Send(req.Client, msg.ClientReply{Seq: req.Seq, Instance: inst, OK: true, Result: result})
 		return
 	}
+	if r.origin[originKey{req.Client, req.Seq}] {
+		return // a retry of a command already proposed or queued here
+	}
 	switch {
 	case r.iAmLeader:
 		r.origin[originKey{req.Client, req.Seq}] = true
-		r.proposeValue(msg.Value{Client: req.Client, Seq: req.Seq, Cmd: req.Cmd})
+		r.proposeValue(msg.Value{Client: req.Client, Seq: req.Seq, Cmd: req.Cmd, Ack: req.Ack})
 	case r.cfg.ForwardToLeader && r.knownLeader != r.me && r.knownLeader != msg.Nobody && from != r.knownLeader:
 		r.ctx.Send(r.knownLeader, req)
 	default:
@@ -330,7 +334,7 @@ func (r *Replica) onPromise(from msg.NodeID, m msg.MPPromise) {
 		if r.sessions.Seen(req.Client, req.Seq) {
 			continue
 		}
-		r.proposeValue(msg.Value{Client: req.Client, Seq: req.Seq, Cmd: req.Cmd})
+		r.proposeValue(msg.Value{Client: req.Client, Seq: req.Seq, Cmd: req.Cmd, Ack: req.Ack})
 	}
 }
 

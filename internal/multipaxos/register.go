@@ -1,0 +1,20 @@
+package multipaxos
+
+import "consensusinside/internal/protocol"
+
+func init() {
+	protocol.Register(protocol.MultiPaxos, protocol.Info{
+		Name:        "Multi-Paxos",
+		MinReplicas: 3,
+		New: func(cfg protocol.Config) protocol.Engine {
+			return New(Config{
+				ID:              cfg.ID,
+				Replicas:        cfg.Replicas,
+				Applier:         cfg.Applier,
+				AcceptTimeout:   cfg.AcceptTimeout,
+				PrepareBackoff:  cfg.TakeoverBackoff,
+				ForwardToLeader: cfg.ForwardToLeader,
+			})
+		},
+	})
+}

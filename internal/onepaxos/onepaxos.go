@@ -134,8 +134,14 @@ type Replica struct {
 	noopFloor   int64
 	proposed    map[int64]msg.Value
 	outstanding map[int64]bool
-	pending     []msg.ClientRequest
-	origin      map[originKey]bool
+	// acceptTimers holds the pending accept-deadline cancel per
+	// outstanding instance, so the failure-detector timer is retired as
+	// soon as the learn arrives instead of expiring hundreds of
+	// milliseconds later (real runtimes pay goroutine churn for every
+	// expiry on the hot path).
+	acceptTimers map[int64]runtime.CancelFunc
+	pending      []msg.ClientRequest
+	origin       map[originKey]bool
 
 	// Acceptor state (Appendix A: hpn, ap, IamFresh).
 	hpn      uint64
@@ -187,19 +193,20 @@ func New(cfg Config) *Replica {
 		applier = rsm.NewKV()
 	}
 	r := &Replica{
-		cfg:         cfg,
-		me:          cfg.ID,
-		replicas:    append([]msg.NodeID(nil), cfg.Replicas...),
-		aa:          cfg.Replicas[len(cfg.Replicas)-1],
-		knownLeader: cfg.Replicas[0],
-		adopted:     msg.Nobody,
-		iAmFresh:    true,
-		proposed:    make(map[int64]msg.Value),
-		outstanding: make(map[int64]bool),
-		origin:      make(map[originKey]bool),
-		ap:          make(map[int64]msg.Proposal),
-		sessions:    rsm.NewSessions(),
-		kv:          applier,
+		cfg:          cfg,
+		me:           cfg.ID,
+		replicas:     append([]msg.NodeID(nil), cfg.Replicas...),
+		aa:           cfg.Replicas[len(cfg.Replicas)-1],
+		knownLeader:  cfg.Replicas[0],
+		adopted:      msg.Nobody,
+		iAmFresh:     true,
+		proposed:     make(map[int64]msg.Value),
+		outstanding:  make(map[int64]bool),
+		acceptTimers: make(map[int64]runtime.CancelFunc),
+		origin:       make(map[originKey]bool),
+		ap:           make(map[int64]msg.Proposal),
+		sessions:     rsm.NewSessions(),
+		kv:           applier,
 	}
 	r.util = paxosutil.New(cfg.ID, cfg.Replicas)
 	if cfg.UtilRetryTimeout > 0 {
@@ -286,6 +293,7 @@ func (r *Replica) Timer(ctx runtime.Context, tag runtime.TimerTag) {
 	}
 	switch tag.Kind {
 	case timerAcceptDeadline:
+		delete(r.acceptTimers, tag.Arg)
 		if r.iAmLeader && r.outstanding[tag.Arg] && !r.log.Learned(tag.Arg) {
 			r.onAcceptorFailure(false)
 		}
@@ -303,15 +311,19 @@ func (r *Replica) Timer(ctx runtime.Context, tag runtime.TimerTag) {
 // --- Client path ---
 
 func (r *Replica) onClientRequest(from msg.NodeID, req msg.ClientRequest) {
+	r.sessions.ClientAck(req.Client, req.Ack)
 	if inst, result, ok := r.sessions.Lookup(req.Client, req.Seq); ok {
 		// Duplicate of a committed command: answer from the session table.
 		r.ctx.Send(req.Client, msg.ClientReply{Seq: req.Seq, Instance: inst, OK: true, Result: result})
 		return
 	}
+	if r.origin[originKey{req.Client, req.Seq}] {
+		return // a retry of a command already proposed or queued here
+	}
 	switch {
 	case r.iAmLeader:
 		r.origin[originKey{req.Client, req.Seq}] = true
-		r.proposeValue(msg.Value{Client: req.Client, Seq: req.Seq, Cmd: req.Cmd})
+		r.proposeValue(msg.Value{Client: req.Client, Seq: req.Seq, Cmd: req.Cmd, Ack: req.Ack})
 	case r.cfg.ForwardToLeader && r.knownLeader != r.me && r.knownLeader != msg.Nobody && from != r.knownLeader:
 		// Joint mode: funnel commands through the leader (Section 7.4).
 		r.ctx.Send(r.knownLeader, req)
@@ -340,7 +352,10 @@ func (r *Replica) sendAccept(in int64) {
 	r.outstanding[in] = true
 	r.aaVirgin = false // the acceptor may hold accepted proposals from here on
 	r.ctx.Send(r.aa, msg.AcceptRequest{Instance: in, PN: r.myPN, Value: v})
-	r.ctx.After(r.cfg.AcceptTimeout, runtime.TimerTag{Kind: timerAcceptDeadline, Arg: in})
+	if cancel, ok := r.acceptTimers[in]; ok {
+		cancel()
+	}
+	r.acceptTimers[in] = r.ctx.After(r.cfg.AcceptTimeout, runtime.TimerTag{Kind: timerAcceptDeadline, Arg: in})
 }
 
 // --- Acceptor role (Appendix A lines 45-61) ---
@@ -455,6 +470,10 @@ func (r *Replica) proposalsSince(from int64) []msg.Proposal {
 func (r *Replica) onLearn(m msg.Learn) {
 	for _, p := range m.Entries {
 		delete(r.outstanding, p.Instance)
+		if cancel, ok := r.acceptTimers[p.Instance]; ok {
+			cancel()
+			delete(r.acceptTimers, p.Instance)
+		}
 		r.log.Learn(p.Instance, p.Value)
 	}
 }
@@ -501,7 +520,7 @@ func (r *Replica) onPrepareResponse(from msg.NodeID, m msg.PrepareResponse) {
 		if r.sessions.Seen(req.Client, req.Seq) {
 			continue
 		}
-		r.proposeValue(msg.Value{Client: req.Client, Seq: req.Seq, Cmd: req.Cmd})
+		r.proposeValue(msg.Value{Client: req.Client, Seq: req.Seq, Cmd: req.Cmd, Ack: req.Ack})
 	}
 }
 
@@ -524,9 +543,19 @@ func (r *Replica) registerProposals(ps []msg.Proposal) {
 // with a failed proposer. Instances below noopFloor are NOT filled: they
 // were decided at a previous acceptor and their learns are in flight
 // (cores are slow, not amnesiac — the paper's fault model).
+//
+// It also advances nextInst past every instance this node knows to be
+// decided or reserved — the applied frontier, learned-but-unapplied
+// instances, and noopFloor — so fresh client commands are never
+// proposed at an instance a previous acceptor already decided (a fresh
+// backup acceptor has no memory of those and would accept a second
+// value).
 func (r *Replica) catchUpInstances() {
-	if r.nextInst < r.log.NextToApply() {
-		r.nextInst = r.log.NextToApply()
+	if r.nextInst < r.noopFloor {
+		r.nextInst = r.noopFloor
+	}
+	if f := r.log.LearnedFrontier(); r.nextInst < f {
+		r.nextInst = f
 	}
 	for in := r.log.NextToApply(); in < r.nextInst; in++ {
 		if in < r.noopFloor {
@@ -676,12 +705,18 @@ func (r *Replica) onAcceptorFailure(virginSwitch bool) {
 		return
 	}
 	r.switchingAa = true
+	// The carried frontier covers the applied prefix AND every
+	// learned-but-unapplied instance: those are decided at the old
+	// acceptor with their learns in flight to every learner, so a later
+	// leader must wait for them, not re-propose there. Gaps below the
+	// frontier that are merely proposed-but-unlearned travel in
+	// Uncommitted and are re-proposed with their original value.
 	entry := msg.UtilEntry{
 		Type:        msg.EntryAcceptorChange,
 		Leader:      r.me,
 		Acceptor:    next,
 		Uncommitted: r.uncommittedProposals(),
-		Frontier:    r.log.NextToApply(),
+		Frontier:    r.log.LearnedFrontier(),
 	}
 	r.util.Propose(r.ctx, slot, entry, func(success bool, chosen msg.UtilEntry) {
 		r.switchingAa = false
@@ -734,6 +769,12 @@ func (r *Replica) onUtilCommit(_ int64, e msg.UtilEntry) {
 	case msg.EntryLeaderChange:
 		r.knownLeader = e.Leader
 		if e.Leader != r.me {
+			// Another proposer adopts the acceptor and will send it
+			// accept_requests; it can no longer be presumed fresh. Without
+			// this, a boot leader that never proposed could much later
+			// "virgin-switch" an acceptor that meanwhile accepted
+			// proposals under other leaders — discarding them.
+			r.aaVirgin = false
 			if r.iAmLeader {
 				// Deposed: every leader checks for this announcement
 				// (Section 5.3) and must consider its position
@@ -751,6 +792,11 @@ func (r *Replica) onUtilCommit(_ int64, e msg.UtilEntry) {
 		r.knownLeader = e.Leader
 		if e.Frontier > r.noopFloor {
 			r.noopFloor = e.Frontier
+		}
+		if r.nextInst < r.noopFloor {
+			// Instances below the frontier were decided at the previous
+			// acceptor; never hand them to fresh proposals.
+			r.nextInst = r.noopFloor
 		}
 		r.registerProposals(e.Uncommitted)
 		if e.Acceptor == r.me {

@@ -1,0 +1,22 @@
+package onepaxos
+
+import "consensusinside/internal/protocol"
+
+func init() {
+	protocol.Register(protocol.OnePaxos, protocol.Info{
+		Name:        "1Paxos",
+		MinReplicas: 3,
+		New: func(cfg protocol.Config) protocol.Engine {
+			return New(Config{
+				ID:                  cfg.ID,
+				Replicas:            cfg.Replicas,
+				Applier:             cfg.Applier,
+				AcceptTimeout:       cfg.AcceptTimeout,
+				TakeoverBackoff:     cfg.TakeoverBackoff,
+				UtilRetryTimeout:    cfg.UtilRetryTimeout,
+				ForwardToLeader:     cfg.ForwardToLeader,
+				EnableLearnBatching: cfg.LearnBatching,
+			})
+		},
+	})
+}

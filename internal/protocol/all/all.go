@@ -1,0 +1,14 @@
+// Package all registers every agreement protocol in the repository with
+// the protocol registry. Import it for side effects wherever engines are
+// built by ID:
+//
+//	import _ "consensusinside/internal/protocol/all"
+package all
+
+import (
+	_ "consensusinside/internal/basicpaxos"
+	_ "consensusinside/internal/mencius"
+	_ "consensusinside/internal/multipaxos"
+	_ "consensusinside/internal/onepaxos"
+	_ "consensusinside/internal/twopc"
+)

@@ -1,0 +1,164 @@
+// Package protocol is the seam between deployments and agreement
+// protocols: a protocol is written once against the message-passing
+// contract (runtime.Handler) and registered here; the simulator harness
+// (internal/cluster), the in-process runtime and the TCP transport all
+// construct engines through this registry without naming any protocol
+// package. This is the paper's portability claim turned into an
+// interface: any protocol × any runtime.
+package protocol
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"consensusinside/internal/msg"
+	"consensusinside/internal/rsm"
+	"consensusinside/internal/runtime"
+)
+
+// ID selects an agreement protocol.
+type ID int
+
+// Registered protocols: the paper's contribution (1Paxos), its two
+// baselines, and the two related-work extensions (Section 8).
+const (
+	OnePaxos ID = iota + 1
+	MultiPaxos
+	TwoPC
+	Mencius
+	BasicPaxos
+)
+
+// String implements fmt.Stringer. Registered protocols print their
+// registered name; unregistered values print a diagnostic placeholder
+// (the engine packages own the names — no second copy lives here).
+func (p ID) String() string {
+	if info, ok := Lookup(p); ok {
+		return info.Name
+	}
+	return fmt.Sprintf("protocol(%d)", int(p))
+}
+
+// Config is the protocol-independent construction contract. Engines take
+// the knobs they understand and ignore the rest; zero values mean the
+// engine's own defaults.
+type Config struct {
+	// ID is this node; Replicas is the agreement group in a fixed order
+	// shared by all nodes.
+	ID       msg.NodeID
+	Replicas []msg.NodeID
+
+	// Applier is the replicated state machine; nil means a fresh KV.
+	Applier rsm.Applier
+
+	// AcceptTimeout tunes the failure detector of timeout-driven engines
+	// (how long to wait for an accept/learn before suspecting a peer).
+	AcceptTimeout time.Duration
+
+	// TakeoverBackoff delays a retry after a lost takeover/prepare duel.
+	TakeoverBackoff time.Duration
+
+	// UtilRetryTimeout overrides the side-consensus retry timeout of
+	// engines that embed one (1Paxos's PaxosUtility).
+	UtilRetryTimeout time.Duration
+
+	// ForwardToLeader makes non-leader replicas forward client requests
+	// to the current leader (the Joint deployment of Section 7.4) instead
+	// of competing for leadership.
+	ForwardToLeader bool
+
+	// LearnBatching coalesces learner broadcasts where the engine
+	// supports it (1Paxos acceptor-side batching, DESIGN.md ablation).
+	LearnBatching bool
+
+	// LocalReads serves reads from the local replica where the engine
+	// supports it (2PC joint-mode local reads, Section 7.5).
+	LocalReads bool
+}
+
+// Engine is the face a running protocol replica shows to a deployment:
+// the message-passing contract plus the applied-command counter every
+// experiment reads.
+type Engine interface {
+	runtime.Handler
+	Commits() int64
+}
+
+// LogExposer is implemented by engines with an instance-indexed learner
+// log (the paxos family); deployments use it for cross-replica
+// consistency checks. Engines without a total order (2PC) do not
+// implement it.
+type LogExposer interface {
+	Log() *rsm.Log
+}
+
+// Info describes one registered protocol.
+type Info struct {
+	// Name is the display name ("1Paxos").
+	Name string
+	// MinReplicas is the smallest legal agreement group.
+	MinReplicas int
+	// New constructs a replica engine for one node.
+	New func(Config) Engine
+}
+
+var registry = map[ID]Info{}
+
+// Register installs a protocol under id. It is called from the engine
+// packages' init functions (import consensusinside/internal/protocol/all
+// to register every engine) and panics on duplicates — a wiring bug.
+func Register(id ID, info Info) {
+	if _, dup := registry[id]; dup {
+		panic(fmt.Sprintf("protocol: duplicate registration of %d (%s)", int(id), info.Name))
+	}
+	if info.New == nil {
+		panic(fmt.Sprintf("protocol: registration of %s lacks a constructor", info.Name))
+	}
+	if info.MinReplicas < 2 {
+		info.MinReplicas = 2
+	}
+	registry[id] = info
+}
+
+// Lookup reports the registration for id.
+func Lookup(id ID) (Info, bool) {
+	info, ok := registry[id]
+	return info, ok
+}
+
+// IDs lists every registered protocol in ascending order.
+func IDs() []ID {
+	out := make([]ID, 0, len(registry))
+	for id := range registry {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Build validates cfg against id's registration and constructs an
+// engine. It returns an error for unknown protocols and malformed
+// groups, so deployments can surface wiring mistakes instead of
+// panicking.
+func Build(id ID, cfg Config) (Engine, error) {
+	info, ok := registry[id]
+	if !ok {
+		return nil, fmt.Errorf("protocol: unknown protocol %d (missing registration import?)", int(id))
+	}
+	if len(cfg.Replicas) < info.MinReplicas {
+		return nil, fmt.Errorf("protocol: %s needs at least %d replicas, got %d",
+			info.Name, info.MinReplicas, len(cfg.Replicas))
+	}
+	member := false
+	for _, r := range cfg.Replicas {
+		if r == cfg.ID {
+			member = true
+			break
+		}
+	}
+	if !member {
+		return nil, fmt.Errorf("protocol: node %d not in %s replica set %v", cfg.ID, info.Name, cfg.Replicas)
+	}
+	return info.New(cfg), nil
+}

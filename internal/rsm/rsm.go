@@ -130,6 +130,20 @@ func (l *Log) advance() {
 // NextToApply reports the lowest unapplied instance (the first gap).
 func (l *Log) NextToApply() int64 { return l.applied }
 
+// LearnedFrontier reports the lowest instance above every applied and
+// learned-but-unapplied instance: everything below it is decided (or a
+// pending gap a proposer already owns), so fresh proposals must start
+// at or above it.
+func (l *Log) LearnedFrontier() int64 {
+	f := l.applied
+	for in := range l.learned {
+		if in >= f {
+			f = in + 1
+		}
+	}
+	return f
+}
+
 // Learned reports whether instance has been learned (applied or pending).
 func (l *Log) Learned(instance int64) bool {
 	if instance < l.applied {
@@ -177,48 +191,157 @@ func (l *Log) PendingInstances() []int64 {
 	return out
 }
 
+// DefaultSessionWindow is how many committed results a session retains
+// per client below its contiguous frontier, for replaying replies to
+// late retries. It should comfortably exceed any client's pipeline
+// depth so a live retry can still be answered with its original result.
+const DefaultSessionWindow = 1024
+
 // Sessions deduplicates client commands for exactly-once replies: each
 // client issues strictly increasing sequence numbers, and a retry of an
 // already-committed command must be answered with the original result
 // rather than re-executed.
+//
+// Pipelined clients keep a window of commands in flight, and retries can
+// commit out of order relative to newer sequence numbers, so the table
+// tracks per-(client, seq) results individually. The floor is the
+// client's contiguous commit frontier — every seq at or below it has
+// actually committed, never merely aged out — so "seq <= floor" is an
+// exact committed-ness test even when one old command stays outstanding
+// while arbitrarily many newer ones commit. Results far below the floor
+// are pruned to bound memory; a retry of one of those is suppressed
+// without its stored result (it committed, but the result is forgotten).
 type Sessions struct {
-	last map[msg.NodeID]sessionEntry
+	window  uint64
+	clients map[msg.NodeID]*clientSession
+}
+
+type clientSession struct {
+	entries map[uint64]sessionEntry
+	maxSeq  uint64
+	floor   uint64 // contiguous commit frontier: all seqs <= floor committed
+	pruned  uint64 // highest seq whose stored result was discarded
+	ack     uint64 // client's lowest outstanding seq (0 = unknown)
 }
 
 type sessionEntry struct {
-	seq      uint64
 	instance int64
 	result   string
 }
 
-// NewSessions returns an empty session table.
-func NewSessions() *Sessions {
-	return &Sessions{last: make(map[msg.NodeID]sessionEntry)}
+// NewSessions returns an empty session table with the default window.
+func NewSessions() *Sessions { return NewSessionsWindow(DefaultSessionWindow) }
+
+// NewSessionsWindow returns an empty session table retaining up to window
+// committed commands per client.
+func NewSessionsWindow(window int) *Sessions {
+	if window < 1 {
+		window = 1
+	}
+	return &Sessions{window: uint64(window), clients: make(map[msg.NodeID]*clientSession)}
 }
 
-// Done records the committed result for client's command seq.
+// Done records the committed result for client's command seq, advances
+// the contiguous commit frontier, and prunes results far below it.
 func (s *Sessions) Done(client msg.NodeID, seq uint64, instance int64, result string) {
-	if cur, ok := s.last[client]; ok && cur.seq >= seq {
+	cs, ok := s.clients[client]
+	if !ok {
+		cs = &clientSession{entries: make(map[uint64]sessionEntry)}
+		s.clients[client] = cs
+	}
+	if seq > 0 && seq <= cs.pruned {
+		return // already committed and its result discarded
+	}
+	if _, dup := cs.entries[seq]; dup {
+		return // first commit wins; a re-commit elsewhere is a duplicate
+	}
+	cs.entries[seq] = sessionEntry{instance: instance, result: result}
+	if seq > cs.maxSeq {
+		cs.maxSeq = seq
+	}
+	// Advance the frontier only over contiguously committed seqs: a
+	// gap (an old command still outstanding) pins the floor, no matter
+	// how many newer seqs commit, so Seen never lies about it.
+	for {
+		if _, ok := cs.entries[cs.floor+1]; !ok {
+			break
+		}
+		cs.floor++
+	}
+	cs.prune(s.window)
+}
+
+// ClientAck records the client's lowest still-outstanding seq, carried
+// on its requests: results below it were delivered and can be
+// discarded; results at or above it are retained for reply replay no
+// matter how old, closing the window-retention race where a slow retry
+// of a committed command would otherwise find its result pruned.
+func (s *Sessions) ClientAck(client msg.NodeID, ack uint64) {
+	if ack == 0 {
 		return
 	}
-	s.last[client] = sessionEntry{seq: seq, instance: instance, result: result}
+	cs, ok := s.clients[client]
+	if !ok {
+		return
+	}
+	if ack > cs.ack {
+		cs.ack = ack
+		cs.prune(s.window)
+	}
+}
+
+// prune discards stored results the client can no longer ask for:
+// everything the client acknowledged when known, otherwise everything
+// older than the retention window — but never above the contiguous
+// frontier (entries there are what keeps Seen exact). All bounds are
+// monotone, so pruning is amortized O(1) per commit.
+func (cs *clientSession) prune(window uint64) {
+	var cut uint64
+	if cs.ack > 0 {
+		cut = cs.ack - 1
+	} else if cs.maxSeq > window {
+		cut = cs.maxSeq - window
+	}
+	if cut > cs.floor {
+		cut = cs.floor
+	}
+	for old := cs.pruned + 1; old <= cut; old++ {
+		delete(cs.entries, old)
+	}
+	if cut > cs.pruned {
+		cs.pruned = cut
+	}
 }
 
 // Lookup reports the stored result for (client, seq) if that exact command
-// already committed.
+// already committed and is still within the retention window.
 func (s *Sessions) Lookup(client msg.NodeID, seq uint64) (instance int64, result string, ok bool) {
-	cur, found := s.last[client]
-	if !found || cur.seq != seq {
+	cs, found := s.clients[client]
+	if !found {
 		return 0, "", false
 	}
-	return cur.instance, cur.result, true
+	e, ok := cs.entries[seq]
+	if !ok {
+		return 0, "", false
+	}
+	return e.instance, e.result, true
 }
 
-// Seen reports whether any command with sequence >= seq committed for the
-// client (i.e. the command is stale or duplicate).
+// Seen reports whether client's command seq is known to have committed:
+// either its result is still retained, or it is at or below the
+// contiguous commit frontier (committed, result possibly discarded).
 func (s *Sessions) Seen(client msg.NodeID, seq uint64) bool {
-	cur, ok := s.last[client]
-	return ok && cur.seq >= seq
+	cs, ok := s.clients[client]
+	if !ok {
+		return false
+	}
+	if seq > 0 && seq <= cs.floor {
+		// The frontier only covers contiguously committed seqs, so this
+		// is exact; real seqs start at 1.
+		return true
+	}
+	_, ok = cs.entries[seq]
+	return ok
 }
 
 // Dedup wraps an Applier and suppresses re-execution of commands that
@@ -235,6 +358,10 @@ func (d Dedup) Apply(v msg.Value) string {
 	if v.Client == msg.Nobody {
 		return "" // gap-filling noop
 	}
+	// The committed value replicates the client's ack floor to every
+	// learner; recording it here keeps session retention aligned on
+	// replicas the client never contacted directly.
+	d.Sessions.ClientAck(v.Client, v.Ack)
 	if _, result, ok := d.Sessions.Lookup(v.Client, v.Seq); ok {
 		return result
 	}

@@ -140,33 +140,118 @@ func TestSessions(t *testing.T) {
 	if _, _, ok := s.Lookup(1, 2); ok {
 		t.Fatal("Lookup(1,2) must miss")
 	}
-	// A stale Done does not regress the table.
+	// Out-of-order commits (a pipelined window) are all retained exactly.
 	s.Done(1, 5, 20, "r5")
 	s.Done(1, 3, 15, "r3")
 	if _, res, ok := s.Lookup(1, 5); !ok || res != "r5" {
-		t.Fatal("stale Done must not overwrite newer state")
+		t.Fatal("Lookup(1,5) lost")
 	}
-	if !s.Seen(1, 4) {
-		t.Fatal("Seen must cover all seqs <= latest")
+	if _, res, ok := s.Lookup(1, 3); !ok || res != "r3" {
+		t.Fatal("out-of-order Done must be retained, not dropped as stale")
+	}
+	// An uncommitted seq between committed ones is NOT seen: with a
+	// pipelined client it may still commit later.
+	if s.Seen(1, 4) {
+		t.Fatal("Seen(1,4) must be false: seq 4 never committed")
+	}
+	// First commit wins over a duplicate re-commit.
+	s.Done(1, 3, 99, "other")
+	if inst, res, _ := s.Lookup(1, 3); inst != 15 || res != "r3" {
+		t.Fatalf("duplicate Done overwrote original: (%d, %q)", inst, res)
 	}
 }
 
-func TestSessionsQuickMonotonic(t *testing.T) {
-	// Property: after any sequence of Done calls, Seen(c, s) is true iff
-	// s <= the maximum seq recorded for c.
+func TestSessionsWindowPruning(t *testing.T) {
+	s := NewSessionsWindow(4)
+	for seq := uint64(1); seq <= 10; seq++ {
+		s.Done(1, seq, int64(seq), "r")
+	}
+	// Only the newest window survives exact lookup...
+	if _, _, ok := s.Lookup(1, 10); !ok {
+		t.Fatal("newest entry lost")
+	}
+	if _, _, ok := s.Lookup(1, 7); !ok {
+		t.Fatal("in-window entry lost")
+	}
+	if _, _, ok := s.Lookup(1, 2); ok {
+		t.Fatal("pruned entry still resolvable")
+	}
+	// ...but pruned seqs remain Seen (committed-and-forgotten).
+	for seq := uint64(1); seq <= 10; seq++ {
+		if !s.Seen(1, seq) {
+			t.Fatalf("Seen(1,%d) = false after commit", seq)
+		}
+	}
+	if s.Seen(1, 11) {
+		t.Fatal("future seq must not be seen")
+	}
+}
+
+func TestSessionsStuckSeqNotFalselySeen(t *testing.T) {
+	// The window bounds retained results, not the seq span: one old
+	// command still outstanding must never be reported committed no
+	// matter how many newer seqs commit past it.
+	s := NewSessionsWindow(4)
+	for seq := uint64(2); seq <= 50; seq++ {
+		s.Done(1, seq, int64(seq), "r")
+	}
+	if s.Seen(1, 1) {
+		t.Fatal("outstanding seq 1 falsely reported committed")
+	}
+	// Its eventual commit stores the result and unblocks the frontier.
+	s.Done(1, 1, 100, "late")
+	if !s.Seen(1, 1) {
+		t.Fatal("seq 1 must be seen after committing")
+	}
+	if !s.Seen(1, 30) {
+		t.Fatal("frontier must cover the contiguous prefix")
+	}
+	if s.Seen(1, 51) {
+		t.Fatal("uncommitted future seq reported committed")
+	}
+}
+
+func TestSessionsAckRetention(t *testing.T) {
+	// A committed command whose reply never reached the client keeps its
+	// stored result for as long as the client reports it outstanding —
+	// regardless of how many newer seqs commit past the window.
+	s := NewSessionsWindow(4)
+	s.Done(1, 1, 10, "keep")
+	for seq := uint64(2); seq <= 100; seq++ {
+		s.ClientAck(1, 1) // client still waiting on seq 1
+		s.Done(1, seq, int64(seq), "r")
+	}
+	if _, res, ok := s.Lookup(1, 1); !ok || res != "keep" {
+		t.Fatalf("unacked result lost: (%q, %v)", res, ok)
+	}
+	// Once the client acknowledges past it, it may be discarded...
+	s.ClientAck(1, 90)
+	if _, _, ok := s.Lookup(1, 1); ok {
+		t.Fatal("acked result not discarded")
+	}
+	// ...but it remains known-committed.
+	if !s.Seen(1, 1) {
+		t.Fatal("acked seq must stay seen")
+	}
+	// Results at or above the ack stay resolvable.
+	if _, res, ok := s.Lookup(1, 95); !ok || res != "r" {
+		t.Fatalf("in-ack-range result lost: (%q, %v)", res, ok)
+	}
+}
+
+func TestSessionsQuickExactness(t *testing.T) {
+	// Property: with no pruning in range (window 1024 >> uint8 seqs),
+	// Seen(c, s) is true iff s was actually recorded with Done.
 	f := func(seqs []uint8) bool {
 		s := NewSessions()
-		var maxSeq uint64
+		done := make(map[uint64]bool)
 		for _, raw := range seqs {
 			seq := uint64(raw)
 			s.Done(1, seq, int64(seq), "x")
-			if seq > maxSeq {
-				maxSeq = seq
-			}
+			done[seq] = true
 		}
-		for probe := uint64(0); probe <= uint64(len(seqs))+260; probe += 13 {
-			want := len(seqs) > 0 && probe <= maxSeq
-			if s.Seen(1, probe) != want {
+		for probe := uint64(0); probe <= 260; probe++ {
+			if s.Seen(1, probe) != done[probe] {
 				return false
 			}
 		}
@@ -192,13 +277,20 @@ func TestDedupApplier(t *testing.T) {
 	if got := d.Apply(v); got != "1" {
 		t.Fatalf("duplicate apply = %q, want stored result", got)
 	}
-	// Older duplicate after newer command: suppressed.
+	// An older seq that never committed is NOT a duplicate under a
+	// pipelined window: it executes normally.
 	sessions.Done(1, 5, 1, "r5")
-	if got := d.Apply(val(1, 2, msg.OpPut, "a", "stale")); got != "" {
-		t.Fatalf("stale apply = %q, want empty", got)
+	if got := d.Apply(val(1, 2, msg.OpPut, "a", "late")); got != "late" {
+		t.Fatalf("late pipelined apply = %q, want executed", got)
 	}
-	if v2, _ := kv.Get("a"); v2 != "other" {
-		t.Fatalf("stale apply mutated state: %q", v2)
+	// But a seq below the contiguous frontier whose result was pruned is
+	// known-committed: suppressed.
+	small := Dedup{Sessions: NewSessionsWindow(2), Inner: kv}
+	for seq := uint64(1); seq <= 10; seq++ {
+		small.Sessions.Done(1, seq, int64(seq), "r")
+	}
+	if got := small.Apply(val(1, 7, msg.OpPut, "a", "forgotten")); got != "" {
+		t.Fatalf("pruned-seq apply = %q, want suppressed", got)
 	}
 	// Noops pass through harmlessly.
 	if got := d.Apply(msg.Value{Client: msg.Nobody, Cmd: msg.Command{Op: msg.OpNoop}}); got != "" {

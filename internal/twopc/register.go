@@ -1,0 +1,18 @@
+package twopc
+
+import "consensusinside/internal/protocol"
+
+func init() {
+	protocol.Register(protocol.TwoPC, protocol.Info{
+		Name:        "2PC",
+		MinReplicas: 2,
+		New: func(cfg protocol.Config) protocol.Engine {
+			return New(Config{
+				ID:         cfg.ID,
+				Replicas:   cfg.Replicas,
+				Applier:    cfg.Applier,
+				LocalReads: cfg.LocalReads,
+			})
+		},
+	})
+}

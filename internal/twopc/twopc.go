@@ -169,6 +169,7 @@ func (r *Replica) Receive(ctx runtime.Context, from msg.NodeID, m msg.Message) {
 // --- Client path ---
 
 func (r *Replica) onClientRequest(from msg.NodeID, req msg.ClientRequest) {
+	r.sessions.ClientAck(req.Client, req.Ack)
 	if inst, result, ok := r.sessions.Lookup(req.Client, req.Seq); ok {
 		r.ctx.Send(req.Client, msg.ClientReply{Seq: req.Seq, Instance: inst, OK: true, Result: result})
 		return
@@ -188,7 +189,7 @@ func (r *Replica) onClientRequest(from msg.NodeID, req msg.ClientRequest) {
 		r.ctx.Send(r.coord, req)
 		return
 	}
-	r.beginTx(msg.Value{Client: req.Client, Seq: req.Seq, Cmd: req.Cmd})
+	r.beginTx(msg.Value{Client: req.Client, Seq: req.Seq, Cmd: req.Cmd, Ack: req.Ack})
 }
 
 // --- Coordinator ---
@@ -321,6 +322,7 @@ func (r *Replica) onRollback(m msg.TPCRollback) {
 // applyCommit executes the command and releases the key lock on this
 // node's copy.
 func (r *Replica) applyCommit(txID int64, v msg.Value) {
+	r.sessions.ClientAck(v.Client, v.Ack)
 	delete(r.prepared, txID)
 	if !r.sessions.Seen(v.Client, v.Seq) {
 		result := r.applier.Apply(v)

@@ -4,6 +4,11 @@
 // plus the measurement plumbing for latency, throughput and
 // throughput-over-time series.
 //
+// Beyond the paper's closed loop, a client can run a pipelined window of
+// N outstanding commands (Config.Window): sequence numbers stay strictly
+// increasing, every in-flight command carries its own retry timer, and
+// the replicas' windowed session tracking keeps replies exactly-once.
+//
 // Clients detect a slow or dead server by reply timeout and rotate to the
 // next server (Section 7.6: "Once the clients detect the slow leader,
 // they send their requests to other nodes").
@@ -21,7 +26,7 @@ import (
 // Timer kinds. These are namespaced high so a composite (joint) node can
 // route them unambiguously next to a replica's kinds.
 const (
-	TimerSend  = 900 // think time elapsed: send the next request
+	TimerSend  = 900 // think time elapsed: fill the window
 	TimerRetry = 901 // Arg: the request seq the retry guards
 )
 
@@ -41,6 +46,10 @@ type Config struct {
 	// the paper's clients send 100 each, experiments here usually run for
 	// a fixed virtual time instead).
 	Requests int
+
+	// Window is the pipeline depth: how many commands may be in flight at
+	// once. 0 or 1 is the paper's closed loop.
+	Window int
 
 	// ThinkTime is the pause between receiving a reply and sending the
 	// next request (Section 7.4 uses 2 ms; 0 = tight loop).
@@ -72,17 +81,25 @@ type Config struct {
 	SeriesBucket time.Duration
 }
 
-// Client is a closed-loop workload generator node.
+// flight is one in-flight command.
+type flight struct {
+	op     msg.Op // stable across resends
+	sentAt time.Duration
+	cancel runtime.CancelFunc // pending retry timer for this seq
+}
+
+// Client is a workload generator node: a closed loop by default, a
+// pipelined window when Config.Window > 1.
 type Client struct {
 	cfg    Config
+	window int
 	target int
-	seq    uint64
-	sentAt time.Duration
+	seq    uint64 // last issued sequence number; doubles as issued count
 
-	inFlight  bool
-	curOp     msg.Op // op of the in-flight command, stable across resends
-	completed int
-	retries   int
+	inflight    map[uint64]*flight
+	maxInflight int
+	completed   int
+	retries     int
 
 	hist   metrics.Histogram
 	series *metrics.TimeSeries
@@ -105,7 +122,11 @@ func NewClient(cfg Config) *Client {
 	if cfg.Key == "" {
 		cfg.Key = fmt.Sprintf("c%d", cfg.ID)
 	}
-	c := &Client{cfg: cfg}
+	window := cfg.Window
+	if window < 1 {
+		window = 1
+	}
+	c := &Client{cfg: cfg, window: window, inflight: make(map[uint64]*flight)}
 	if cfg.SeriesBucket > 0 {
 		c.series = metrics.NewTimeSeries(cfg.SeriesBucket)
 	}
@@ -117,6 +138,13 @@ func (c *Client) Completed() int { return c.completed }
 
 // Retries reports how many times the client re-sent after a timeout.
 func (c *Client) Retries() int { return c.retries }
+
+// InFlight reports the current number of outstanding commands.
+func (c *Client) InFlight() int { return len(c.inflight) }
+
+// MaxInFlight reports the deepest the pipeline ever got — 1 for a closed
+// loop, up to Config.Window when pipelining.
+func (c *Client) MaxInFlight() int { return c.maxInflight }
 
 // Latencies exposes the recorded latency histogram (post-warmup ops).
 func (c *Client) Latencies() *metrics.Histogram { return &c.hist }
@@ -141,7 +169,8 @@ func (c *Client) Receive(ctx runtime.Context, from msg.NodeID, m msg.Message) {
 	if !ok {
 		return
 	}
-	if reply.Seq != c.seq || !c.inFlight {
+	f, ok := c.inflight[reply.Seq]
+	if !ok {
 		return // stale reply for an already-answered (retried) request
 	}
 	if !reply.OK {
@@ -149,14 +178,17 @@ func (c *Client) Receive(ctx runtime.Context, from msg.NodeID, m msg.Message) {
 		if reply.Redirect != msg.Nobody {
 			c.retarget(reply.Redirect)
 		}
-		c.resend(ctx)
+		c.resend(ctx, reply.Seq, f)
 		return
 	}
-	c.inFlight = false
+	delete(c.inflight, reply.Seq)
+	if f.cancel != nil {
+		f.cancel() // retire the pending retry timer with the command
+	}
 	now := ctx.Now()
 	c.completed++
 	if now >= c.cfg.Warmup {
-		c.hist.Record(now - c.sentAt)
+		c.hist.Record(now - f.sentAt)
 		c.measured++
 		if c.firstDone == 0 {
 			c.firstDone = now
@@ -172,7 +204,7 @@ func (c *Client) Receive(ctx runtime.Context, from msg.NodeID, m msg.Message) {
 	if c.cfg.ThinkTime > 0 {
 		ctx.After(c.cfg.ThinkTime, runtime.TimerTag{Kind: TimerSend})
 	} else {
-		c.sendNext(ctx)
+		c.fill(ctx)
 	}
 }
 
@@ -180,43 +212,69 @@ func (c *Client) Receive(ctx runtime.Context, from msg.NodeID, m msg.Message) {
 func (c *Client) Timer(ctx runtime.Context, tag runtime.TimerTag) {
 	switch tag.Kind {
 	case TimerSend:
-		c.sendNext(ctx)
+		c.fill(ctx)
 	case TimerRetry:
-		if c.inFlight && uint64(tag.Arg) == c.seq {
+		seq := uint64(tag.Arg)
+		if f, ok := c.inflight[seq]; ok {
 			// No reply in time: suspect the server, rotate, resend the
 			// same command (the session layer deduplicates).
 			c.retries++
 			c.target = (c.target + 1) % len(c.cfg.Servers)
-			c.resend(ctx)
+			c.resend(ctx, seq, f)
 		}
 	}
 }
 
-func (c *Client) sendNext(ctx runtime.Context) {
-	if c.inFlight {
-		return
+// fill issues new commands until the window is full or the request cap
+// is reached. With a think time configured, each invocation issues at
+// most one command — pacing stays per command even when several
+// completions have freed window slots — and re-arms a think tick while
+// slots remain free, so a pipelined window still ramps up to its depth
+// at one command per pause.
+func (c *Client) fill(ctx runtime.Context) {
+	sent := 0
+	for len(c.inflight) < c.window {
+		if c.cfg.ThinkTime > 0 && sent >= 1 {
+			ctx.After(c.cfg.ThinkTime, runtime.TimerTag{Kind: TimerSend})
+			return
+		}
+		if c.cfg.Requests > 0 && int(c.seq) >= c.cfg.Requests {
+			return // every command issued; late timers must not overshoot
+		}
+		c.seq++
+		op := msg.OpPut
+		if c.cfg.ReadFraction > 0 && ctx.Rand().Float64() < c.cfg.ReadFraction {
+			op = msg.OpGet
+		}
+		f := &flight{op: op}
+		c.inflight[c.seq] = f
+		if len(c.inflight) > c.maxInflight {
+			c.maxInflight = len(c.inflight)
+		}
+		c.resend(ctx, c.seq, f)
+		sent++
 	}
-	if c.cfg.Requests > 0 && c.completed >= c.cfg.Requests {
-		return // done; a late think-timer must not overshoot the cap
-	}
-	c.seq++
-	c.inFlight = true
-	c.curOp = msg.OpPut
-	if c.cfg.ReadFraction > 0 && ctx.Rand().Float64() < c.cfg.ReadFraction {
-		c.curOp = msg.OpGet
-	}
-	c.resend(ctx)
 }
 
-func (c *Client) resend(ctx runtime.Context) {
-	c.sentAt = ctx.Now()
+func (c *Client) resend(ctx runtime.Context, seq uint64, f *flight) {
+	f.sentAt = ctx.Now()
+	ack := seq // lowest outstanding seq: lets replicas discard older results
+	for s := range c.inflight {
+		if s < ack {
+			ack = s
+		}
+	}
 	req := msg.ClientRequest{
 		Client: c.cfg.ID,
-		Seq:    c.seq,
-		Cmd:    msg.Command{Op: c.curOp, Key: c.cfg.Key, Val: "v"},
+		Seq:    seq,
+		Cmd:    msg.Command{Op: f.op, Key: c.cfg.Key, Val: "v"},
+		Ack:    ack,
 	}
 	ctx.Send(c.cfg.Servers[c.target], req)
-	ctx.After(c.cfg.RetryTimeout, runtime.TimerTag{Kind: TimerRetry, Arg: int64(c.seq)})
+	if f.cancel != nil {
+		f.cancel()
+	}
+	f.cancel = ctx.After(c.cfg.RetryTimeout, runtime.TimerTag{Kind: TimerRetry, Arg: int64(seq)})
 }
 
 func (c *Client) retarget(server msg.NodeID) {

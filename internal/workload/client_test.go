@@ -226,3 +226,114 @@ func TestClientPerClientKey(t *testing.T) {
 		t.Fatalf("key = %q, want per-client default c10", req.Cmd.Key)
 	}
 }
+
+func TestClientPipelinedWindow(t *testing.T) {
+	c, ctx := newClient(func(cfg *Config) { cfg.Window = 4; cfg.Requests = 10 })
+	c.Start(ctx)
+	c.Timer(ctx, runtime.TimerTag{Kind: TimerSend})
+	// One TimerSend fills the whole window.
+	if got := c.InFlight(); got != 4 {
+		t.Fatalf("in flight = %d, want 4", got)
+	}
+	seen := map[uint64]bool{}
+	for _, s := range ctx.Sent {
+		req, ok := s.M.(msg.ClientRequest)
+		if !ok {
+			t.Fatalf("sent %T", s.M)
+		}
+		if seen[req.Seq] {
+			t.Fatalf("seq %d sent twice", req.Seq)
+		}
+		seen[req.Seq] = true
+	}
+	// Completing one op refills one slot.
+	c.Receive(ctx, 0, msg.ClientReply{Seq: 2, OK: true})
+	if got := c.InFlight(); got != 4 {
+		t.Fatalf("after refill in flight = %d, want 4", got)
+	}
+	if c.Completed() != 1 {
+		t.Fatalf("Completed = %d", c.Completed())
+	}
+	// Out-of-order replies are fine: each seq retires independently.
+	c.Receive(ctx, 0, msg.ClientReply{Seq: 5, OK: true})
+	c.Receive(ctx, 0, msg.ClientReply{Seq: 1, OK: true})
+	if c.Completed() != 3 {
+		t.Fatalf("Completed = %d, want 3", c.Completed())
+	}
+	if c.MaxInFlight() != 4 {
+		t.Fatalf("MaxInFlight = %d, want 4", c.MaxInFlight())
+	}
+}
+
+func TestClientPipelinedRetryIsPerSeq(t *testing.T) {
+	c, ctx := newClient(func(cfg *Config) { cfg.Window = 3 })
+	c.Start(ctx)
+	c.Timer(ctx, runtime.TimerTag{Kind: TimerSend})
+	if c.InFlight() != 3 {
+		t.Fatalf("in flight = %d", c.InFlight())
+	}
+	n := len(ctx.Sent)
+	// Retry timer for seq 2 resends only seq 2, rotated to the next server.
+	c.Timer(ctx, runtime.TimerTag{Kind: TimerRetry, Arg: 2})
+	if len(ctx.Sent) != n+1 {
+		t.Fatalf("retry sent %d messages, want 1", len(ctx.Sent)-n)
+	}
+	to, req := lastRequest(t, ctx)
+	if req.Seq != 2 || to != 1 {
+		t.Fatalf("retry = seq %d to %d, want seq 2 to server 1", req.Seq, to)
+	}
+	if c.Retries() != 1 {
+		t.Fatalf("Retries = %d", c.Retries())
+	}
+	// A retry for an already-completed seq is a no-op.
+	c.Receive(ctx, 1, msg.ClientReply{Seq: 2, OK: true})
+	n = len(ctx.Sent)
+	c.Timer(ctx, runtime.TimerTag{Kind: TimerRetry, Arg: 2})
+	// (the completion refilled the window with seq 4, so only compare retries)
+	if c.Retries() != 1 {
+		t.Fatalf("stale retry must not count: %d", c.Retries())
+	}
+	_ = n
+	// Window cap respected throughout.
+	if c.MaxInFlight() > 3 {
+		t.Fatalf("window exceeded: %d", c.MaxInFlight())
+	}
+}
+
+func TestClientWindowWithThinkTimeRampsUp(t *testing.T) {
+	c, ctx := newClient(func(cfg *Config) {
+		cfg.Window = 4
+		cfg.ThinkTime = time.Millisecond
+	})
+	c.Start(ctx)
+	// Each think tick issues exactly one command and re-arms while the
+	// window has free slots, so the pipeline ramps to full depth.
+	for i := 0; i < 4; i++ {
+		if got := c.InFlight(); got != i {
+			t.Fatalf("tick %d: in flight = %d, want %d", i, got, i)
+		}
+		c.Timer(ctx, runtime.TimerTag{Kind: TimerSend})
+	}
+	if got := c.InFlight(); got != 4 {
+		t.Fatalf("window never filled under think time: in flight = %d", got)
+	}
+	// A stray extra tick with a full window issues nothing.
+	n := len(ctx.Sent)
+	c.Timer(ctx, runtime.TimerTag{Kind: TimerSend})
+	if len(ctx.Sent) != n {
+		t.Fatal("full window must not issue more commands")
+	}
+	// A completion paces its replacement through a think tick, keeping
+	// depth at the window.
+	c.Receive(ctx, 0, msg.ClientReply{Seq: 1, OK: true})
+	if got := c.InFlight(); got != 3 {
+		t.Fatalf("after completion in flight = %d, want 3", got)
+	}
+	c.Timer(ctx, runtime.TimerTag{Kind: TimerSend})
+	if got := c.InFlight(); got != 4 {
+		t.Fatalf("replacement not issued: in flight = %d", got)
+	}
+	if c.MaxInFlight() != 4 {
+		t.Fatalf("MaxInFlight = %d, want 4", c.MaxInFlight())
+	}
+}
