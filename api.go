@@ -12,6 +12,7 @@ import (
 	_ "consensusinside/internal/protocol/all" // register every engine
 	"consensusinside/internal/rsm"
 	"consensusinside/internal/runtime"
+	"consensusinside/internal/shard"
 	"consensusinside/internal/simnet"
 	"consensusinside/internal/topology"
 	"consensusinside/internal/transport"
@@ -86,19 +87,28 @@ const (
 // Concurrent Put/Get callers beyond this depth queue behind the window.
 const DefaultPipeline = 16
 
+// MaxShards bounds KVConfig.Shards (the sequence-tag width; see
+// internal/shard).
+const MaxShards = shard.MaxShards
+
 // KVConfig configures a replicated key-value service.
 type KVConfig struct {
 	// Protocol selects the agreement engine (default OnePaxos). Any
 	// registered protocol runs over either transport.
 	Protocol Protocol
-	// Replicas is the agreement group size (minimum and default 3;
-	// 2PC accepts 2).
+	// Replicas is the agreement group size — per shard (minimum and
+	// default 3; 2PC accepts 2).
 	Replicas int
+	// Shards partitions the keyspace across that many independent
+	// agreement groups of Replicas replicas each (default 1 — the
+	// paper's single group). Each key hash-routes to one group; disjoint
+	// keys in different groups commit in parallel with no coordination.
+	Shards int
 	// Transport selects InProc (default) or TCP.
 	Transport TransportKind
 	// Pipeline is the maximum number of commands the service keeps in
-	// flight at once (default DefaultPipeline; 1 restores the paper's
-	// closed loop). Commands beyond the window queue in order.
+	// flight at once per shard (default DefaultPipeline; 1 restores the
+	// paper's closed loop). Commands beyond the window queue in order.
 	Pipeline int
 	// RequestTimeout bounds each Put/Get round trip (default 5s).
 	RequestTimeout time.Duration
@@ -109,19 +119,42 @@ type KVConfig struct {
 
 // KV is a linearizable replicated string map: every operation (reads
 // included, per Section 7.5's strong-consistency mode) is a consensus
-// command applied by every replica in log order, under whichever
-// registered protocol the config selects.
+// command applied by every replica of its key's group in log order,
+// under whichever registered protocol the config selects. With
+// KVConfig.Shards > 1 the keyspace is hash-partitioned across that many
+// independent agreement groups behind the same Put/Get facade;
+// linearizability is per key (each key lives in exactly one group's
+// log), which is the guarantee an unsharded KV gives too.
 type KV struct {
-	cfg     KVConfig
-	bridge  *kvBridge
-	inproc  *runtime.InProcCluster
-	tcp     []*transport.TCPNode
-	engines []protocol.Engine
+	cfg    KVConfig
+	shards []*kvShard
 
 	closeOnce sync.Once
 }
 
-// StartKV launches a replicated KV service with embedded replicas.
+// kvShard is one agreement group: its engines, its runtime, and the
+// bridge that turns blocking Put/Get calls into that group's client
+// traffic.
+type kvShard struct {
+	bridge  *kvBridge
+	inproc  *runtime.InProcCluster
+	tcp     []*transport.TCPNode
+	engines []protocol.Engine
+}
+
+func (s *kvShard) close() {
+	if s.inproc != nil {
+		s.inproc.Stop()
+	}
+	for _, n := range s.tcp {
+		n.Close()
+	}
+}
+
+// StartKV launches a replicated KV service with embedded replicas:
+// KVConfig.Shards independent agreement groups (one by default), each
+// with its own runtime, log and sessions, behind a single Put/Get
+// facade that hash-routes every key to its group.
 func StartKV(cfg KVConfig) (*KV, error) {
 	if cfg.Protocol == 0 {
 		cfg.Protocol = OnePaxos
@@ -136,6 +169,16 @@ func StartKV(cfg KVConfig) (*KV, error) {
 	if cfg.Replicas < info.MinReplicas {
 		return nil, fmt.Errorf("consensusinside: a %s group needs at least %d replicas",
 			info.Name, info.MinReplicas)
+	}
+	if cfg.Shards < 0 {
+		return nil, fmt.Errorf("consensusinside: negative shard count %d", cfg.Shards)
+	}
+	if cfg.Shards == 0 {
+		cfg.Shards = 1
+	}
+	if cfg.Shards > MaxShards {
+		return nil, fmt.Errorf("consensusinside: %d shards exceeds the maximum %d",
+			cfg.Shards, MaxShards)
 	}
 	if cfg.Transport == 0 {
 		cfg.Transport = InProc
@@ -161,13 +204,30 @@ func StartKV(cfg KVConfig) (*KV, error) {
 		cfg.AcceptTimeout = 200 * time.Millisecond
 	}
 
+	kv := &KV{cfg: cfg}
+	for s := 0; s < cfg.Shards; s++ {
+		sh, err := startKVShard(cfg, s)
+		if err != nil {
+			kv.Close()
+			return nil, err
+		}
+		kv.shards = append(kv.shards, sh)
+	}
+	return kv, nil
+}
+
+// startKVShard builds one agreement group on its own runtime. Every
+// group's node ids run 0..Replicas-1 with the bridge at Replicas —
+// groups never exchange messages, so their id spaces are independent;
+// the bridge's sequence numbers carry the shard tag instead.
+func startKVShard(cfg KVConfig, shardIdx int) (*kvShard, error) {
 	ids := make([]msg.NodeID, cfg.Replicas)
 	for i := range ids {
 		ids[i] = msg.NodeID(i)
 	}
 	clientID := msg.NodeID(cfg.Replicas)
 
-	kv := &KV{cfg: cfg}
+	sh := &kvShard{}
 	handlers := make([]runtime.Handler, 0, cfg.Replicas+1)
 	for _, id := range ids {
 		eng, err := protocol.Build(cfg.Protocol, protocol.Config{
@@ -178,80 +238,103 @@ func StartKV(cfg KVConfig) (*KV, error) {
 			UtilRetryTimeout: cfg.AcceptTimeout,
 		})
 		if err != nil {
-			return nil, fmt.Errorf("consensusinside: build replica %d: %w", id, err)
+			return nil, fmt.Errorf("consensusinside: build shard %d replica %d: %w", shardIdx, id, err)
 		}
-		kv.engines = append(kv.engines, eng)
+		sh.engines = append(sh.engines, eng)
 		handlers = append(handlers, eng)
 	}
 	// Clients should suspect a server a little after the servers' own
 	// failure detector would, so takeovers settle before the retry lands.
-	kv.bridge = newKVBridge(clientID, ids, 2*cfg.AcceptTimeout, cfg.Pipeline)
-	handlers = append(handlers, kv.bridge)
+	sh.bridge = newKVBridge(clientID, ids, 2*cfg.AcceptTimeout, cfg.Pipeline, shardIdx)
+	handlers = append(handlers, sh.bridge)
 
 	switch cfg.Transport {
 	case InProc:
-		kv.inproc = runtime.NewInProcCluster(handlers)
-		kv.bridge.inject = func(m msg.Message) {
-			kv.inproc.Inject(clientID, clientID, m)
+		sh.inproc = runtime.NewInProcCluster(handlers)
+		sh.bridge.inject = func(m msg.Message) {
+			sh.inproc.Inject(clientID, clientID, m)
 		}
 	case TCP:
 		msg.Register()
 		nodes, err := transport.BuildLocalCluster(handlers)
 		if err != nil {
-			return nil, fmt.Errorf("consensusinside: start tcp cluster: %w", err)
+			return nil, fmt.Errorf("consensusinside: start shard %d tcp cluster: %w", shardIdx, err)
 		}
-		kv.tcp = nodes
-		kv.bridge.inject = func(m msg.Message) {
+		sh.tcp = nodes
+		sh.bridge.inject = func(m msg.Message) {
 			nodes[clientID].Inject(clientID, m)
 		}
 	default:
 		return nil, fmt.Errorf("consensusinside: unknown transport %d", cfg.Transport)
 	}
-	return kv, nil
+	return sh, nil
 }
 
-// Put replicates key=value and waits for commitment.
+// shardFor routes a key to its agreement group — the stable hash
+// routing every layer shares (internal/shard.ForKey).
+func (kv *KV) shardFor(key string) *kvShard {
+	return kv.shards[shard.ForKey(key, len(kv.shards))]
+}
+
+// Put replicates key=value in the key's group and waits for commitment.
 func (kv *KV) Put(key, value string) error {
-	_, err := kv.bridge.do(msg.Command{Op: msg.OpPut, Key: key, Val: value}, kv.cfg.RequestTimeout)
+	_, err := kv.shardFor(key).bridge.do(msg.Command{Op: msg.OpPut, Key: key, Val: value}, kv.cfg.RequestTimeout)
 	return err
 }
 
-// Get reads key through consensus (linearizable; Section 7.5's
-// strongly-consistent read path).
+// Get reads key through consensus in the key's group (linearizable;
+// Section 7.5's strongly-consistent read path).
 func (kv *KV) Get(key string) (string, error) {
-	return kv.bridge.do(msg.Command{Op: msg.OpGet, Key: key}, kv.cfg.RequestTimeout)
+	return kv.shardFor(key).bridge.do(msg.Command{Op: msg.OpGet, Key: key}, kv.cfg.RequestTimeout)
 }
 
-// MaxInFlight reports the deepest the command pipeline ever got — 1 under
-// a closed loop, up to KVConfig.Pipeline with concurrent callers.
+// Shards reports how many independent agreement groups serve the
+// keyspace.
+func (kv *KV) Shards() int { return len(kv.shards) }
+
+// ShardFor reports which group serves key — the stable hash routing
+// every layer shares (internal/shard.ForKey). Useful for pinning
+// benchmark keys to groups and for reasoning about fault domains.
+func (kv *KV) ShardFor(key string) int { return shard.ForKey(key, len(kv.shards)) }
+
+// MaxInFlight reports the deepest any shard's command pipeline ever got
+// — 1 under a closed loop, up to KVConfig.Pipeline with concurrent
+// callers.
 func (kv *KV) MaxInFlight() int {
-	kv.bridge.mu.Lock()
-	defer kv.bridge.mu.Unlock()
-	return kv.bridge.maxInflight
+	max := 0
+	for _, sh := range kv.shards {
+		sh.bridge.mu.Lock()
+		if sh.bridge.maxInflight > max {
+			max = sh.bridge.maxInflight
+		}
+		sh.bridge.mu.Unlock()
+	}
+	return max
 }
 
-// CrashReplica stops replica id's TCP node, simulating a failed core
-// (TCP transport only). Operations keep succeeding as long as the
+// CrashReplica stops a replica's TCP node, simulating a failed core
+// (TCP transport only). Replicas are indexed globally, group by group:
+// id = shard*Replicas + replica-within-group, so 0 is the first shard's
+// boot leader. Operations on that shard keep succeeding as long as the
 // protocol's availability condition holds (for 1Paxos: a majority plus
-// either the leader or the active acceptor).
+// either the leader or the active acceptor); other shards are
+// untouched.
 func (kv *KV) CrashReplica(id int) error {
-	if kv.tcp == nil {
-		return errors.New("consensusinside: CrashReplica requires the TCP transport")
-	}
-	if id < 0 || id >= len(kv.engines) {
+	if id < 0 || id >= len(kv.shards)*kv.cfg.Replicas {
 		return fmt.Errorf("consensusinside: no replica %d", id)
 	}
-	return kv.tcp[id].Close()
+	sh := kv.shards[id/kv.cfg.Replicas]
+	if sh.tcp == nil {
+		return errors.New("consensusinside: CrashReplica requires the TCP transport")
+	}
+	return sh.tcp[id%kv.cfg.Replicas].Close()
 }
 
 // Close shuts the service down.
 func (kv *KV) Close() {
 	kv.closeOnce.Do(func() {
-		if kv.inproc != nil {
-			kv.inproc.Stop()
-		}
-		for _, n := range kv.tcp {
-			n.Close()
+		for _, sh := range kv.shards {
+			sh.close()
 		}
 	})
 }
@@ -285,11 +368,17 @@ type kvResult struct {
 // command with its own sequence number and retry timer); the replicas'
 // windowed per-(client, seq) session tracking keeps retries exactly-once
 // even when pipelined commands commit out of order.
+//
+// In a sharded service each shard has its own bridge; its sequence
+// numbers carry the shard index in the high bits (shard.TagSeq), so no
+// (client, seq) pair can ever alias across groups and the groups'
+// session tables each see a dense per-lane sequence space.
 type kvBridge struct {
 	id      msg.NodeID
 	servers []msg.NodeID
 	retry   time.Duration
 	window  int
+	seqBase uint64 // shard tag: every seq is seqBase + local count
 	inject  func(msg.Message)
 
 	mu          sync.Mutex
@@ -302,18 +391,21 @@ type kvBridge struct {
 
 var _ runtime.Handler = (*kvBridge)(nil)
 
-func newKVBridge(id msg.NodeID, servers []msg.NodeID, retry time.Duration, window int) *kvBridge {
+func newKVBridge(id msg.NodeID, servers []msg.NodeID, retry time.Duration, window int, shardIdx int) *kvBridge {
 	if retry <= 0 {
 		retry = 250 * time.Millisecond
 	}
 	if window < 1 {
 		window = 1
 	}
+	base := shard.TagSeq(shardIdx, 0)
 	return &kvBridge{
 		id:       id,
 		servers:  append([]msg.NodeID(nil), servers...),
 		retry:    retry,
 		window:   window,
+		seqBase:  base,
+		seq:      base,
 		inflight: make(map[uint64]*kvOp),
 	}
 }

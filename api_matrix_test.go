@@ -40,17 +40,18 @@ func matrixWorkload() []matrixOp {
 	return ops
 }
 
-// runMatrix executes the workload against one (protocol, transport)
-// cell and returns every observed result in order.
-func runMatrix(t *testing.T, p Protocol, tr TransportKind) []string {
+// runMatrix executes the workload against one (protocol, transport,
+// shards) cell and returns every observed result in order.
+func runMatrix(t *testing.T, p Protocol, tr TransportKind, shards int) []string {
 	t.Helper()
 	kv, err := StartKV(KVConfig{
 		Protocol:       p,
 		Transport:      tr,
+		Shards:         shards,
 		RequestTimeout: 30 * time.Second,
 	})
 	if err != nil {
-		t.Fatalf("StartKV(%v, transport %d): %v", p, tr, err)
+		t.Fatalf("StartKV(%v, transport %d, %d shards): %v", p, tr, shards, err)
 	}
 	defer kv.Close()
 	var results []string
@@ -94,8 +95,8 @@ func TestKVProtocolTransportMatrix(t *testing.T) {
 	for _, p := range Protocols() {
 		p := p
 		t.Run(p.String(), func(t *testing.T) {
-			inproc := runMatrix(t, p, InProc)
-			tcp := runMatrix(t, p, TCP)
+			inproc := runMatrix(t, p, InProc, 1)
+			tcp := runMatrix(t, p, TCP, 1)
 			if len(inproc) != len(want) || len(tcp) != len(want) {
 				t.Fatalf("result lengths diverge: inproc %d, tcp %d, want %d",
 					len(inproc), len(tcp), len(want))
@@ -164,10 +165,11 @@ func TestKVPipelinedConcurrentClients(t *testing.T) {
 					done: make(chan kvResult, 1),
 				})
 			}
-			kv.bridge.mu.Lock()
-			kv.bridge.queue = append(kv.bridge.queue, burst...)
-			kv.bridge.mu.Unlock()
-			kv.bridge.inject(submitMsg{})
+			bridge := kv.shards[0].bridge
+			bridge.mu.Lock()
+			bridge.queue = append(bridge.queue, burst...)
+			bridge.mu.Unlock()
+			bridge.inject(submitMsg{})
 			for i, op := range burst {
 				res := <-op.done
 				if res.err != nil {

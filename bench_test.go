@@ -12,6 +12,7 @@ package consensusinside
 // paper's published values.
 
 import (
+	"fmt"
 	"runtime"
 	"strings"
 	"sync"
@@ -308,6 +309,41 @@ func BenchmarkAblationPipelining(b *testing.B) {
 		rows := experiments.AblationPipelining(benchOpts(i))
 		for _, r := range rows {
 			b.ReportMetric(r.Throughput, metricName(r.Config, "-ops"))
+		}
+	}
+}
+
+// BenchmarkShardScalingSim measures the simulated shard sweep: 12
+// replica cores split into 1x12, 2x6 and 4x3 independent groups, 24
+// clients on disjoint per-shard keys. Aggregate virtual-time throughput
+// should grow near-linearly with the group count.
+func BenchmarkShardScalingSim(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := experiments.ShardScaling(benchOpts(i), nil)
+		for _, r := range rows {
+			b.ReportMetric(r.Throughput, fmt.Sprintf("shards%d-ops", r.Shards))
+		}
+		if rows[0].Throughput > 0 {
+			b.ReportMetric(rows[len(rows)-1].Throughput/rows[0].Throughput, "speedup-4v1")
+		}
+	}
+}
+
+// BenchmarkKVShardSweepInProc measures the real-runtime shard sweep on
+// the in-process transport (wall clock): the same 12-core replica
+// budget as one group vs four. This is the headline sharding number;
+// cmd/consensusbench -run shard-sweep records it to BENCH_*.json.
+func BenchmarkKVShardSweepInProc(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		pts, err := ShardSweep(ShardSweepOptions{ShardCounts: []int{1, 4}, Ops: 4000})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, p := range pts {
+			b.ReportMetric(p.Throughput, fmt.Sprintf("shards%d-ops", p.Shards))
+		}
+		if pts[0].Throughput > 0 {
+			b.ReportMetric(pts[1].Throughput/pts[0].Throughput, "speedup-4v1")
 		}
 	}
 }

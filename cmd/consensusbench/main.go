@@ -11,7 +11,8 @@
 //
 // Experiment ids mirror DESIGN.md's per-experiment index: netchar, fig2,
 // sec2.2, latency, fig8, fig9, fig10, fig11, acceptor-switch, lan,
-// ablation-batching, ablation-pipelining, mencius.
+// ablation-batching, ablation-pipelining, shard-sweep, shard-sim,
+// mencius.
 //
 // With -json the run also writes a machine-readable BENCH_*.json file:
 // one object per executed experiment with its headline metrics, so
@@ -27,6 +28,7 @@ import (
 	"sort"
 	"time"
 
+	"consensusinside"
 	"consensusinside/internal/experiments"
 )
 
@@ -186,6 +188,62 @@ var all = []experiment{
 		},
 	},
 	{
+		id:    "shard-sweep",
+		about: "shard scaling on the real runtimes: 12 replica cores as 1/2/4 groups, InProc + TCP",
+		run: func(w io.Writer, opts experiments.Opts) map[string]float64 {
+			m := map[string]float64{}
+			for _, tr := range []struct {
+				name string
+				kind consensusinside.TransportKind
+			}{
+				{"inproc", consensusinside.InProc},
+				{"tcp", consensusinside.TCP},
+			} {
+				sweep := consensusinside.ShardSweepOptions{Transport: tr.kind, CoreBudget: 12}
+				if opts.Quick {
+					sweep.Ops = 3000
+				}
+				pts, err := consensusinside.ShardSweep(sweep)
+				if err != nil {
+					fmt.Fprintf(w, "shard sweep over %s failed: %v\n", tr.name, err)
+					continue
+				}
+				fmt.Fprintf(w, "Shard sweep — 1Paxos over %s, %d replica cores total, disjoint keys\n",
+					tr.name, sweep.CoreBudget)
+				fmt.Fprintf(w, "%-16s %8s %14s\n", "groups", "ops", "throughput")
+				for _, p := range pts {
+					fmt.Fprintf(w, "%2d x %-2d replicas %8d %12.0f/s\n",
+						p.Shards, p.Replicas, p.Ops, p.Throughput)
+					m[fmt.Sprintf("%s_shards%d_ops", tr.name, p.Shards)] = p.Throughput
+				}
+				if len(pts) > 1 && pts[0].Throughput > 0 {
+					last := pts[len(pts)-1]
+					gain := last.Throughput / pts[0].Throughput
+					fmt.Fprintf(w, "aggregate gain at %d groups: %.2fx\n", last.Shards, gain)
+					m[fmt.Sprintf("%s_speedup_%dv1", tr.name, last.Shards)] = gain
+				}
+			}
+			return m
+		},
+	},
+	{
+		id:    "shard-sim",
+		about: "simulated shard scaling: 12 replica cores as 1x12 / 2x6 / 4x3 groups",
+		run: func(w io.Writer, opts experiments.Opts) map[string]float64 {
+			rows := experiments.ShardScaling(opts, nil)
+			experiments.PrintShardScaling(w, rows)
+			m := map[string]float64{}
+			for _, r := range rows {
+				m[fmt.Sprintf("shards%d_ops", r.Shards)] = r.Throughput
+			}
+			if len(rows) > 1 && rows[0].Throughput > 0 {
+				last := rows[len(rows)-1]
+				m[fmt.Sprintf("speedup_%dv1", last.Shards)] = last.Throughput / rows[0].Throughput
+			}
+			return m
+		},
+	},
+	{
 		id:    "mencius",
 		about: "Section 8 extension: Mencius multi-leader load spreading",
 		run: func(w io.Writer, opts experiments.Opts) map[string]float64 {
@@ -255,7 +313,7 @@ func main() {
 		return
 	}
 
-	opts := experiments.Opts{Seed: *seed}
+	opts := experiments.Opts{Seed: *seed, Quick: *quick}
 	if *quick {
 		opts.Duration = 20 * time.Millisecond
 		opts.Warmup = 5 * time.Millisecond

@@ -10,19 +10,27 @@
 //     agreement engine — 1Paxos, Multi-Paxos, 2PC, Mencius, or the
 //     single-decree BasicPaxos baseline (KVConfig.Protocol) — over an
 //     in-process QC-libtask-style runtime or real TCP sockets, with a
-//     pipelined window of in-flight commands (KVConfig.Pipeline) — the
+//     pipelined window of in-flight commands (KVConfig.Pipeline) and
+//     optional keyspace sharding across independent consensus groups
+//     (KVConfig.Shards; each key hash-routes to one group's log) — the
 //     "adopt this" API;
 //   - the deterministic many-core simulator and cluster harness
 //     (NewSimCluster) used to reproduce every figure of the paper's
-//     evaluation, sweeping the same engines and client window; and
+//     evaluation, sweeping the same engines, client window and shard
+//     count (SimSpec.Shards); and
 //   - the experiment runners themselves (the experiments re-exported
-//     through cmd/consensusbench, which can emit BENCH_*.json).
+//     through cmd/consensusbench, which can emit BENCH_*.json; the
+//     wall-clock shard sweep is exported here as ShardSweep).
 //
 // Protocols are written once against the message-passing contract
 // (internal/runtime.Handler) and registered in internal/protocol; every
 // deployment surface builds them through that registry, which is the
-// paper's portability claim turned into an interface.
+// paper's portability claim turned into an interface. The shard layer
+// (internal/shard) composes with all of it: routing, core-to-group
+// assignment and sequence tagging are the only shared facts, so any
+// engine runs sharded over any runtime.
 //
-// See DESIGN.md for the system inventory and EXPERIMENTS.md for measured
-// vs published results.
+// See DESIGN.md for the architecture tour, docs/BENCHMARKS.md for the
+// benchmark runbook, and EXPERIMENTS.md for measured vs published
+// results.
 package consensusinside

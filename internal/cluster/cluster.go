@@ -1,7 +1,9 @@
 // Package cluster wires protocols, clients and the many-core simulator
 // into runnable deployments: the paper's base mode (three server replicas
-// on dedicated cores, clients on the remaining cores, Section 7.1) and
-// the Joint mode (every client is also a replica, Section 7.4), with
+// on dedicated cores, clients on the remaining cores, Section 7.1), the
+// Joint mode (every client is also a replica, Section 7.4), and sharded
+// deployments (Spec.Shards) that partition the keyspace across several
+// independent agreement groups on disjoint core ranges — with
 // failure-schedule injection for the slow-core experiments.
 //
 // Protocols are constructed through the internal/protocol registry, so
@@ -19,6 +21,7 @@ import (
 	_ "consensusinside/internal/protocol/all" // register every engine
 	"consensusinside/internal/rsm"
 	"consensusinside/internal/runtime"
+	"consensusinside/internal/shard"
 	"consensusinside/internal/simnet"
 	"consensusinside/internal/topology"
 	"consensusinside/internal/workload"
@@ -56,6 +59,14 @@ type Spec struct {
 	Clients  int
 	Joint    bool
 
+	// Shards partitions the keyspace across that many independent
+	// agreement groups of Replicas cores each, on disjoint core ranges
+	// (internal/shard owns the key routing and core-to-group
+	// assignment). Each client keeps a pipelined window per group on
+	// disjoint keys. 0 or 1 is the paper's single-group deployment;
+	// Joint mode supports only one group.
+	Shards int
+
 	// Workload shape.
 	ThinkTime         time.Duration
 	RetryTimeout      time.Duration
@@ -78,8 +89,9 @@ type Spec struct {
 type Cluster struct {
 	Spec      Spec
 	Net       *simnet.Network
-	Servers   []Server
+	Servers   []Server // all replicas, group by group
 	ServerIDs []msg.NodeID
+	Groups    [][]msg.NodeID // per-shard replica sets (one entry when unsharded)
 	Clients   []*workload.Client
 	ClientIDs []msg.NodeID
 }
@@ -108,24 +120,47 @@ func Build(spec Spec) (*Cluster, error) {
 		return nil, fmt.Errorf("cluster: client window %d exceeds the session window %d",
 			spec.Window, rsm.DefaultSessionWindow)
 	}
+	if spec.Shards < 0 {
+		return nil, fmt.Errorf("cluster: negative shard count %d", spec.Shards)
+	}
+	if spec.Shards == 0 {
+		spec.Shards = 1
+	}
+	if spec.Shards > shard.MaxShards {
+		return nil, fmt.Errorf("cluster: %d shards exceeds the maximum %d (sequence-tag width)",
+			spec.Shards, shard.MaxShards)
+	}
+	if spec.Joint && spec.Shards > 1 {
+		return nil, fmt.Errorf("cluster: Joint mode supports a single group, got %d shards", spec.Shards)
+	}
+	// Core-to-group assignment must fit the machine: every group gets
+	// Replicas dedicated cores, clients get the rest.
+	need := spec.Shards*spec.Replicas + spec.Clients
+	if spec.Joint {
+		need = spec.Replicas
+	}
+	if need > spec.Machine.Cores() {
+		return nil, fmt.Errorf("cluster: %d shards x %d replicas + %d clients needs %d cores, machine %q has %d",
+			spec.Shards, spec.Replicas, spec.Clients, need, spec.Machine.Name(), spec.Machine.Cores())
+	}
 	net := simnet.New(spec.Machine, spec.Cost, spec.Seed)
 	c := &Cluster{Spec: spec, Net: net}
 
-	serverIDs := make([]msg.NodeID, spec.Replicas)
-	for i := range serverIDs {
-		serverIDs[i] = msg.NodeID(i)
+	c.Groups = shard.Groups(0, spec.Shards, spec.Replicas)
+	for _, g := range c.Groups {
+		c.ServerIDs = append(c.ServerIDs, g...)
 	}
-	c.ServerIDs = serverIDs
 
 	if spec.Joint {
 		// Every node hosts a replica and a client (Section 7.4).
+		serverIDs := c.Groups[0]
 		for i := 0; i < spec.Replicas; i++ {
 			id := msg.NodeID(i)
 			server, err := c.newServer(id, serverIDs, true)
 			if err != nil {
 				return nil, err
 			}
-			client := workload.NewClient(c.clientConfig(id, serverIDs, i))
+			client := workload.NewClient(c.clientConfig(id, i))
 			c.Servers = append(c.Servers, server)
 			c.Clients = append(c.Clients, client)
 			c.ClientIDs = append(c.ClientIDs, id)
@@ -134,17 +169,19 @@ func Build(spec Spec) (*Cluster, error) {
 		return c, nil
 	}
 
-	for i := 0; i < spec.Replicas; i++ {
-		server, err := c.newServer(msg.NodeID(i), serverIDs, false)
-		if err != nil {
-			return nil, err
+	for _, group := range c.Groups {
+		for _, id := range group {
+			server, err := c.newServer(id, group, false)
+			if err != nil {
+				return nil, err
+			}
+			c.Servers = append(c.Servers, server)
+			net.AddNode(server)
 		}
-		c.Servers = append(c.Servers, server)
-		net.AddNode(server)
 	}
 	for i := 0; i < spec.Clients; i++ {
-		id := msg.NodeID(spec.Replicas + i)
-		client := workload.NewClient(c.clientConfig(id, serverIDs, i))
+		id := msg.NodeID(spec.Shards*spec.Replicas + i)
+		client := workload.NewClient(c.clientConfig(id, i))
 		c.Clients = append(c.Clients, client)
 		c.ClientIDs = append(c.ClientIDs, id)
 		net.AddNode(client)
@@ -162,11 +199,14 @@ func MustBuild(spec Spec) *Cluster {
 	return c
 }
 
-func (c *Cluster) clientConfig(id msg.NodeID, serverIDs []msg.NodeID, i int) workload.Config {
+// clientConfig derives client i's workload config. Single-group
+// deployments keep the paper's shape (one server list, one key);
+// sharded ones hand the client every group so it runs one pipelined
+// lane per shard on disjoint keys.
+func (c *Cluster) clientConfig(id msg.NodeID, i int) workload.Config {
 	spec := c.Spec
-	return workload.Config{
+	cfg := workload.Config{
 		ID:           id,
-		Servers:      serverIDs,
 		Requests:     spec.RequestsPerClient,
 		ThinkTime:    spec.ThinkTime,
 		RetryTimeout: spec.RetryTimeout,
@@ -176,6 +216,12 @@ func (c *Cluster) clientConfig(id msg.NodeID, serverIDs []msg.NodeID, i int) wor
 		Warmup:       spec.Warmup,
 		SeriesBucket: spec.SeriesBucket,
 	}
+	if len(c.Groups) > 1 {
+		cfg.Groups = c.Groups
+	} else {
+		cfg.Servers = c.Groups[0]
+	}
+	return cfg
 }
 
 func (c *Cluster) newServer(id msg.NodeID, serverIDs []msg.NodeID, joint bool) (Server, error) {
@@ -273,7 +319,8 @@ func (c *Cluster) SeriesSum() []int {
 	return out
 }
 
-// ServerCommits reports each server's applied-command count.
+// ServerCommits reports each server's applied-command count, in
+// ServerIDs order (group by group when sharded).
 func (c *Cluster) ServerCommits() []int64 {
 	out := make([]int64, len(c.Servers))
 	for i, s := range c.Servers {
@@ -282,29 +329,44 @@ func (c *Cluster) ServerCommits() []int64 {
 	return out
 }
 
-// CheckConsistency verifies that no two replicas disagree on any log
-// instance — the paper's consistency safety property ("two different
-// learners cannot learn two different values"). It applies to every
-// engine exposing an instance-indexed log (protocol.LogExposer); engines
-// without a total order (2PC) are vacuously consistent here.
-func (c *Cluster) CheckConsistency() error {
-	chosen := make(map[int64]msg.Value)
-	who := make(map[int64]msg.NodeID)
+// GroupCommits sums each group's applied-command counts — the
+// per-shard share of the aggregate work.
+func (c *Cluster) GroupCommits() []int64 {
+	out := make([]int64, len(c.Groups))
 	for i, s := range c.Servers {
-		exp, ok := s.(protocol.LogExposer)
-		if !ok {
-			return nil
-		}
-		for _, e := range exp.Log().History() {
-			if prev, ok := chosen[e.Instance]; ok {
-				if prev != e.Value {
-					return fmt.Errorf("instance %d: replica %d learned %+v, replica %d learned %+v",
-						e.Instance, who[e.Instance], prev, c.ServerIDs[i], e.Value)
-				}
-				continue
+		out[i/c.Spec.Replicas] += s.Commits()
+	}
+	return out
+}
+
+// CheckConsistency verifies that no two replicas of the same group
+// disagree on any log instance — the paper's consistency safety
+// property ("two different learners cannot learn two different
+// values"). Each shard's group has its own log with its own instance
+// numbering, so the check runs group by group. It applies to every
+// engine exposing an instance-indexed log (protocol.LogExposer);
+// engines without a total order (2PC) are vacuously consistent here.
+func (c *Cluster) CheckConsistency() error {
+	for g, group := range c.Groups {
+		chosen := make(map[int64]msg.Value)
+		who := make(map[int64]msg.NodeID)
+		for i, id := range group {
+			s := c.Servers[g*c.Spec.Replicas+i]
+			exp, ok := s.(protocol.LogExposer)
+			if !ok {
+				return nil
 			}
-			chosen[e.Instance] = e.Value
-			who[e.Instance] = c.ServerIDs[i]
+			for _, e := range exp.Log().History() {
+				if prev, ok := chosen[e.Instance]; ok {
+					if prev != e.Value {
+						return fmt.Errorf("group %d instance %d: replica %d learned %+v, replica %d learned %+v",
+							g, e.Instance, who[e.Instance], prev, id, e.Value)
+					}
+					continue
+				}
+				chosen[e.Instance] = e.Value
+				who[e.Instance] = id
+			}
 		}
 	}
 	return nil

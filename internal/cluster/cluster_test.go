@@ -4,6 +4,9 @@ import (
 	"testing"
 	"time"
 
+	"consensusinside/internal/msg"
+	"consensusinside/internal/rsm"
+	"consensusinside/internal/shard"
 	"consensusinside/internal/simnet"
 	"consensusinside/internal/topology"
 )
@@ -319,6 +322,141 @@ func TestPipelinedWindowCommits(t *testing.T) {
 				}
 				if cl.MaxInFlight() < 2 {
 					t.Errorf("client %d never pipelined: max in flight %d", i, cl.MaxInFlight())
+				}
+			}
+			if err := c.CheckConsistency(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestShardsValidation is the Spec.Shards validation table: every way a
+// core-to-group assignment can be malformed must surface as a Build
+// error, not a panic deep in the wiring.
+func TestShardsValidation(t *testing.T) {
+	base := func() Spec {
+		s := baseSpec(OnePaxos, 2)
+		return s
+	}
+	cases := []struct {
+		name  string
+		tweak func(*Spec)
+	}{
+		{"negative shards", func(s *Spec) { s.Shards = -1 }},
+		{"too many shards for the tag width", func(s *Spec) { s.Shards = shard.MaxShards + 1 }},
+		{"joint mode with shards", func(s *Spec) { s.Shards = 2; s.Joint = true }},
+		{"groups overflow the machine", func(s *Spec) { s.Shards = 16 }}, // 16x3 + 2 > 48
+		{"groups plus clients overflow the machine", func(s *Spec) { s.Shards = 4; s.Clients = 40 }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			spec := base()
+			tc.tweak(&spec)
+			if _, err := Build(spec); err == nil {
+				t.Fatalf("Build accepted %+v", spec)
+			}
+		})
+	}
+	// The boundary fits exactly: 4 groups x 3 replicas + 36 clients = 48.
+	spec := base()
+	spec.Shards = 4
+	spec.Clients = 36
+	if _, err := Build(spec); err != nil {
+		t.Fatalf("exact-fit spec rejected: %v", err)
+	}
+}
+
+// TestShardedBuildLayout checks the core-to-group assignment: disjoint
+// dense per-group id ranges, clients above them, every client running
+// one lane per group.
+func TestShardedBuildLayout(t *testing.T) {
+	spec := baseSpec(OnePaxos, 3)
+	spec.Shards = 4
+	c := MustBuild(spec)
+	if len(c.Groups) != 4 || len(c.Servers) != 12 {
+		t.Fatalf("got %d groups, %d servers", len(c.Groups), len(c.Servers))
+	}
+	want := msg.NodeID(0)
+	for g, group := range c.Groups {
+		for _, id := range group {
+			if id != want {
+				t.Fatalf("group %d holds id %d, want %d", g, id, want)
+			}
+			want++
+		}
+	}
+	for i, id := range c.ClientIDs {
+		if id != msg.NodeID(12+i) {
+			t.Fatalf("client %d has id %d, want %d", i, id, 12+i)
+		}
+	}
+	for i, cl := range c.Clients {
+		if cl.Lanes() != 4 {
+			t.Fatalf("client %d runs %d lanes, want 4", i, cl.Lanes())
+		}
+	}
+}
+
+// TestShardedCommits runs a 2-group deployment end to end: every client
+// command must commit exactly once, both groups must do real work on
+// disjoint keys, and each group's log must stay internally consistent.
+func TestShardedCommits(t *testing.T) {
+	spec := baseSpec(OnePaxos, 4)
+	spec.Shards = 2
+	spec.RequestsPerClient = 40
+	spec.Window = 2
+	c := MustBuild(spec)
+	c.Start()
+	c.RunFor(100 * time.Millisecond)
+	for i, cl := range c.Clients {
+		if got := cl.Completed(); got != 40 {
+			t.Errorf("client %d completed %d, want 40", i, got)
+		}
+	}
+	if err := c.CheckConsistency(); err != nil {
+		t.Fatal(err)
+	}
+	for g, commits := range c.GroupCommits() {
+		if commits == 0 {
+			t.Errorf("group %d applied nothing — keyspace not partitioned", g)
+		}
+	}
+	// The routing invariant end to end: every applied command's key must
+	// belong to the group that applied it.
+	for g, group := range c.Groups {
+		exp, ok := c.Servers[g*spec.Replicas].(interface{ Log() *rsm.Log })
+		if !ok {
+			t.Fatalf("group %d replica %v exposes no log", g, group)
+		}
+		for _, e := range exp.Log().History() {
+			if e.Value.Cmd.Key == "" {
+				continue // gap-filling noop
+			}
+			if got := shard.ForKey(e.Value.Cmd.Key, spec.Shards); got != g {
+				t.Fatalf("key %q applied by group %d but routes to %d", e.Value.Cmd.Key, g, got)
+			}
+		}
+	}
+}
+
+// TestShardedAllProtocols smoke-tests every registered engine at
+// Shards=2: the shard layer must be protocol-agnostic.
+func TestShardedAllProtocols(t *testing.T) {
+	for _, p := range Protocols() {
+		p := p
+		t.Run(p.String(), func(t *testing.T) {
+			spec := baseSpec(p, 2)
+			spec.Shards = 2
+			spec.Replicas = 3
+			spec.RequestsPerClient = 20
+			spec.RetryTimeout = 5 * time.Millisecond
+			c := MustBuild(spec)
+			c.Start()
+			c.RunFor(300 * time.Millisecond)
+			for i, cl := range c.Clients {
+				if got := cl.Completed(); got != 20 {
+					t.Errorf("client %d completed %d, want 20", i, got)
 				}
 			}
 			if err := c.CheckConsistency(); err != nil {

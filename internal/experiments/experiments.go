@@ -26,6 +26,7 @@ type Opts struct {
 	Seed     int64
 	Duration time.Duration // measured run length (after warmup)
 	Warmup   time.Duration
+	Quick    bool // trade fidelity for runtime (CI); real-time experiments shrink their op counts
 }
 
 func (o Opts) withDefaults(dur, warm time.Duration) Opts {
@@ -687,6 +688,88 @@ func PrintAblation(w io.Writer, title string, rows []AblationRow) {
 	fmt.Fprintf(w, "%-20s %14s %12s\n", "config", "throughput", "latency")
 	for _, r := range rows {
 		fmt.Fprintf(w, "%-20s %12.0f/s %12v\n", r.Config, r.Throughput, r.Latency.Round(time.Microsecond))
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Shard scaling (simulated): a fixed replica-core budget split into
+// 1, 2, 4 independent groups
+// ---------------------------------------------------------------------------
+
+// ShardRow is one sharding configuration of the simulated sweep.
+type ShardRow struct {
+	Shards     int // independent agreement groups
+	Replicas   int // replicas per group (budget / shards)
+	Throughput float64
+	Latency    time.Duration
+	GroupOps   []int64 // per-group applied-command counts
+}
+
+// ShardScalingBudget is the replica-core budget of the simulated shard
+// sweep: 12 cores, so the sweep covers 1x12, 2x6 and 4x3 groups on the
+// 48-core machine with identical client cores.
+const ShardScalingBudget = 12
+
+// ShardScaling sweeps the shard count on the simulated 48-core machine
+// with the replica-core budget held fixed: the same 12 server cores run
+// one 12-replica group, two 6-replica groups, or four 3-replica groups,
+// driven by the same 24 client cores on disjoint per-shard keys (one
+// pipelined lane per group). Aggregate throughput grows with the group
+// count for the same two reasons the real-runtime sweep shows: smaller
+// groups pay fewer learn messages per commit, and each group's leader
+// serializes only its own shard of the keyspace.
+func ShardScaling(opts Opts, shardCounts []int) []ShardRow {
+	opts = opts.withDefaults(60*time.Millisecond, 10*time.Millisecond)
+	if len(shardCounts) == 0 {
+		shardCounts = []int{1, 2, 4}
+	}
+	out := make([]ShardRow, 0, len(shardCounts))
+	for _, shards := range shardCounts {
+		if shards < 1 || ShardScalingBudget%shards != 0 {
+			// Like MustBuild: sweeps are wired by code, and an uneven
+			// split would silently compare unequal core budgets.
+			panic(fmt.Sprintf("experiments: shard count %d does not divide the %d-core budget",
+				shards, ShardScalingBudget))
+		}
+		c := cluster.MustBuild(cluster.Spec{
+			Protocol:     cluster.OnePaxos,
+			Machine:      topology.Opteron48(),
+			Cost:         simnet.ManyCore(),
+			Seed:         opts.Seed,
+			Replicas:     ShardScalingBudget / shards,
+			Shards:       shards,
+			Clients:      24,
+			Window:       4,
+			Warmup:       opts.Warmup,
+			RetryTimeout: 50 * time.Millisecond,
+		})
+		c.Start()
+		c.RunFor(opts.Warmup + opts.Duration)
+		st := c.ClientStats()
+		out = append(out, ShardRow{
+			Shards:     shards,
+			Replicas:   ShardScalingBudget / shards,
+			Throughput: st.Throughput,
+			Latency:    st.Latency.Mean,
+			GroupOps:   c.GroupCommits(),
+		})
+	}
+	return out
+}
+
+// PrintShardScaling renders the simulated shard sweep.
+func PrintShardScaling(w io.Writer, rows []ShardRow) {
+	fmt.Fprintf(w, "Shard scaling — 1Paxos, %d replica cores total, 24 clients, disjoint keys\n",
+		ShardScalingBudget)
+	fmt.Fprintf(w, "%-16s %14s %12s\n", "groups", "throughput", "latency")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%2d x %-2d replicas %12.0f/s %12v\n",
+			r.Shards, r.Replicas, r.Throughput, r.Latency.Round(time.Microsecond))
+	}
+	if len(rows) > 1 && rows[0].Throughput > 0 {
+		last := rows[len(rows)-1]
+		fmt.Fprintf(w, "aggregate gain at %d groups: %.2fx\n",
+			last.Shards, last.Throughput/rows[0].Throughput)
 	}
 }
 

@@ -212,3 +212,35 @@ func TestMeanRate(t *testing.T) {
 		t.Errorf("empty MeanRate = %v, want 0", got)
 	}
 }
+
+func TestShardScalingShape(t *testing.T) {
+	rows := ShardScaling(quick(), nil)
+	if len(rows) != 3 {
+		t.Fatalf("got %d rows, want 3", len(rows))
+	}
+	// Splitting the same 12 replica cores into more groups must grow
+	// aggregate throughput monotonically, and clearly at 4 groups.
+	tp := []float64{rows[0].Throughput, rows[1].Throughput, rows[2].Throughput}
+	if !(tp[2] > tp[1] && tp[1] > tp[0]) {
+		t.Fatalf("shard scaling not monotone: %v", tp)
+	}
+	if tp[2] < 1.5*tp[0] {
+		t.Errorf("4 groups = %.0f, want >= 1.5x one group's %.0f", tp[2], tp[0])
+	}
+	// Every group must have done real work (the keyspace is partitioned).
+	for _, r := range rows {
+		if len(r.GroupOps) != r.Shards {
+			t.Fatalf("row %dx%d reports %d groups", r.Shards, r.Replicas, len(r.GroupOps))
+		}
+		for g, ops := range r.GroupOps {
+			if ops == 0 {
+				t.Errorf("%d-shard run: group %d applied nothing", r.Shards, g)
+			}
+		}
+	}
+	var buf bytes.Buffer
+	PrintShardScaling(&buf, rows)
+	if buf.Len() == 0 {
+		t.Error("print produced nothing")
+	}
+}

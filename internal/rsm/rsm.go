@@ -13,6 +13,7 @@ import (
 	"sort"
 
 	"consensusinside/internal/msg"
+	"consensusinside/internal/shard"
 )
 
 // Applier consumes committed commands in log order and returns the
@@ -211,11 +212,28 @@ const DefaultSessionWindow = 1024
 // while arbitrarily many newer ones commit. Results far below the floor
 // are pruned to bound memory; a retry of one of those is suppressed
 // without its stored result (it committed, but the result is forgotten).
+//
+// A client of a sharded deployment runs one pipelined window per shard
+// and tags each window's sequence numbers with the shard index in the
+// high bits (shard.TagSeq). The table keys its state by (client, tag),
+// so every lane gets its own contiguous frontier and retention window
+// over its own dense local sequence space — the frontier arithmetic
+// stays exact, and lanes can never alias. Untagged traffic has tag
+// zero, so single-group deployments are unchanged.
 type Sessions struct {
 	window  uint64
-	clients map[msg.NodeID]*clientSession
+	clients map[laneKey]*clientSession
 }
 
+// laneKey identifies one client lane: the client node plus the shard
+// tag its sequence numbers carry (zero for unsharded traffic).
+type laneKey struct {
+	client msg.NodeID
+	base   uint64
+}
+
+// clientSession is the per-lane state; every sequence number in it is
+// lane-local (shard tag stripped), dense, and starts at 1.
 type clientSession struct {
 	entries map[uint64]sessionEntry
 	maxSeq  uint64
@@ -238,17 +256,29 @@ func NewSessionsWindow(window int) *Sessions {
 	if window < 1 {
 		window = 1
 	}
-	return &Sessions{window: uint64(window), clients: make(map[msg.NodeID]*clientSession)}
+	return &Sessions{window: uint64(window), clients: make(map[laneKey]*clientSession)}
+}
+
+// lane resolves the session state for the lane that seq belongs to,
+// creating it when create is set. All internal bookkeeping runs on the
+// lane-local sequence number (the tag stripped), which is dense and
+// starts at 1 — the shape the frontier arithmetic requires.
+func (s *Sessions) lane(client msg.NodeID, seq uint64, create bool) (*clientSession, uint64) {
+	base := shard.SeqBase(seq)
+	key := laneKey{client: client, base: base}
+	cs, ok := s.clients[key]
+	if !ok && create {
+		cs = &clientSession{entries: make(map[uint64]sessionEntry)}
+		s.clients[key] = cs
+	}
+	return cs, seq - base
 }
 
 // Done records the committed result for client's command seq, advances
-// the contiguous commit frontier, and prunes results far below it.
+// the contiguous commit frontier of seq's lane, and prunes results far
+// below it.
 func (s *Sessions) Done(client msg.NodeID, seq uint64, instance int64, result string) {
-	cs, ok := s.clients[client]
-	if !ok {
-		cs = &clientSession{entries: make(map[uint64]sessionEntry)}
-		s.clients[client] = cs
-	}
+	cs, seq := s.lane(client, seq, true)
 	if seq > 0 && seq <= cs.pruned {
 		return // already committed and its result discarded
 	}
@@ -271,17 +301,18 @@ func (s *Sessions) Done(client msg.NodeID, seq uint64, instance int64, result st
 	cs.prune(s.window)
 }
 
-// ClientAck records the client's lowest still-outstanding seq, carried
-// on its requests: results below it were delivered and can be
-// discarded; results at or above it are retained for reply replay no
-// matter how old, closing the window-retention race where a slow retry
-// of a committed command would otherwise find its result pruned.
+// ClientAck records the client's lowest still-outstanding seq within
+// one lane, carried on its requests: results below it were delivered
+// and can be discarded; results at or above it are retained for reply
+// replay no matter how old, closing the window-retention race where a
+// slow retry of a committed command would otherwise find its result
+// pruned. The ack only ever prunes the lane its tag names.
 func (s *Sessions) ClientAck(client msg.NodeID, ack uint64) {
 	if ack == 0 {
 		return
 	}
-	cs, ok := s.clients[client]
-	if !ok {
+	cs, ack := s.lane(client, ack, false)
+	if cs == nil || ack == 0 {
 		return
 	}
 	if ack > cs.ack {
@@ -316,8 +347,8 @@ func (cs *clientSession) prune(window uint64) {
 // Lookup reports the stored result for (client, seq) if that exact command
 // already committed and is still within the retention window.
 func (s *Sessions) Lookup(client msg.NodeID, seq uint64) (instance int64, result string, ok bool) {
-	cs, found := s.clients[client]
-	if !found {
+	cs, seq := s.lane(client, seq, false)
+	if cs == nil {
 		return 0, "", false
 	}
 	e, ok := cs.entries[seq]
@@ -328,11 +359,11 @@ func (s *Sessions) Lookup(client msg.NodeID, seq uint64) (instance int64, result
 }
 
 // Seen reports whether client's command seq is known to have committed:
-// either its result is still retained, or it is at or below the
+// either its result is still retained, or it is at or below its lane's
 // contiguous commit frontier (committed, result possibly discarded).
 func (s *Sessions) Seen(client msg.NodeID, seq uint64) bool {
-	cs, ok := s.clients[client]
-	if !ok {
+	cs, seq := s.lane(client, seq, false)
+	if cs == nil {
 		return false
 	}
 	if seq > 0 && seq <= cs.floor {
@@ -340,7 +371,7 @@ func (s *Sessions) Seen(client msg.NodeID, seq uint64) bool {
 		// is exact; real seqs start at 1.
 		return true
 	}
-	_, ok = cs.entries[seq]
+	_, ok := cs.entries[seq]
 	return ok
 }
 

@@ -5,6 +5,7 @@ import (
 	"testing/quick"
 
 	"consensusinside/internal/msg"
+	"consensusinside/internal/shard"
 )
 
 func val(client msg.NodeID, seq uint64, op msg.Op, key, v string) msg.Value {
@@ -333,5 +334,75 @@ func TestLogQuickRandomOrderApplication(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
 		t.Error(err)
+	}
+}
+
+func TestSessionsShardLanes(t *testing.T) {
+	// A sharded client tags each lane's seqs with the shard index in the
+	// high bits; every lane must get its own contiguous frontier and
+	// retention window, with no aliasing between lanes.
+	s := NewSessionsWindow(4)
+	lane0 := func(seq uint64) uint64 { return shard.TagSeq(0, seq) }
+	lane1 := func(seq uint64) uint64 { return shard.TagSeq(1, seq) }
+
+	s.Done(1, lane0(1), 10, "l0-1")
+	s.Done(1, lane1(1), 10, "l1-1")
+	if _, res, ok := s.Lookup(1, lane0(1)); !ok || res != "l0-1" {
+		t.Fatalf("lane 0 result = (%q, %v)", res, ok)
+	}
+	if _, res, ok := s.Lookup(1, lane1(1)); !ok || res != "l1-1" {
+		t.Fatalf("lane 1 result = (%q, %v)", res, ok)
+	}
+
+	// Lane 1 commits far ahead; lane 0's frontier must not move, and
+	// lane 0's stored results must not be pruned by lane 1 traffic.
+	for seq := uint64(2); seq <= 40; seq++ {
+		s.Done(1, lane1(seq), int64(seq), "r")
+	}
+	if _, res, ok := s.Lookup(1, lane0(1)); !ok || res != "l0-1" {
+		t.Fatal("lane 1 traffic pruned lane 0's result")
+	}
+	if s.Seen(1, lane0(2)) {
+		t.Fatal("lane 0 seq 2 never committed but reported seen")
+	}
+	if !s.Seen(1, lane1(20)) {
+		t.Fatal("lane 1 frontier must cover its contiguous prefix")
+	}
+
+	// Each lane prunes on its own window: lane 1's early results are
+	// forgotten (but stay seen), lane 0's single result survives.
+	if _, _, ok := s.Lookup(1, lane1(2)); ok {
+		t.Fatal("lane 1 seq 2 should have been pruned by its window")
+	}
+	if !s.Seen(1, lane1(2)) {
+		t.Fatal("pruned lane 1 seq must remain seen")
+	}
+
+	// Acks are lane-scoped: acknowledging lane 1 must not discard lane
+	// 0's retained result.
+	s.ClientAck(1, lane1(40))
+	if _, _, ok := s.Lookup(1, lane0(1)); !ok {
+		t.Fatal("lane 1 ack discarded lane 0's result")
+	}
+}
+
+func TestSessionsShardLanesDedup(t *testing.T) {
+	// Dedup must suppress a tagged retry exactly like an untagged one.
+	kv := NewKV()
+	sessions := NewSessions()
+	d := Dedup{Sessions: sessions, Inner: kv}
+	v := msg.Value{Client: 7, Seq: shard.TagSeq(3, 1),
+		Cmd: msg.Command{Op: msg.OpPut, Key: "k", Val: "v1"}}
+	if got := d.Apply(v); got != "v1" {
+		t.Fatalf("first apply = %q", got)
+	}
+	sessions.Done(7, v.Seq, 1, "v1")
+	retry := v
+	retry.Cmd.Val = "v2" // a conflicting re-execution would write v2
+	if got := d.Apply(retry); got != "v1" {
+		t.Fatalf("retry result = %q, want replayed %q", got, "v1")
+	}
+	if val, _ := kv.Get("k"); val != "v1" {
+		t.Fatalf("retry re-executed: k = %q", val)
 	}
 }

@@ -1,0 +1,172 @@
+package shard
+
+import (
+	"fmt"
+	"testing"
+
+	"consensusinside/internal/msg"
+)
+
+// TestForKeyStable is the routing invariant the whole shard layer rests
+// on: the same key routes to the same group, call after call, and the
+// result is always in range.
+func TestForKeyStable(t *testing.T) {
+	for _, shards := range []int{1, 2, 3, 4, 7, 16} {
+		for i := 0; i < 200; i++ {
+			key := fmt.Sprintf("key-%d", i)
+			first := ForKey(key, shards)
+			if first < 0 || first >= shards {
+				t.Fatalf("ForKey(%q, %d) = %d out of range", key, shards, first)
+			}
+			for rep := 0; rep < 3; rep++ {
+				if got := ForKey(key, shards); got != first {
+					t.Fatalf("ForKey(%q, %d) unstable: %d then %d", key, shards, first, got)
+				}
+			}
+		}
+	}
+}
+
+// TestForKeySingleShard pins the degenerate configurations to shard 0.
+func TestForKeySingleShard(t *testing.T) {
+	for _, shards := range []int{-1, 0, 1} {
+		if got := ForKey("anything", shards); got != 0 {
+			t.Fatalf("ForKey with %d shards = %d, want 0", shards, got)
+		}
+	}
+}
+
+// TestForKeySpread checks the hash actually partitions: over a few
+// hundred distinct keys every one of 4 shards must receive a
+// non-trivial share.
+func TestForKeySpread(t *testing.T) {
+	const shards, keys = 4, 400
+	counts := make([]int, shards)
+	for i := 0; i < keys; i++ {
+		counts[ForKey(fmt.Sprintf("spread-%d", i), shards)]++
+	}
+	for s, n := range counts {
+		if n < keys/shards/2 {
+			t.Errorf("shard %d received %d of %d keys — not a partition", s, n, keys)
+		}
+	}
+}
+
+// TestKeyFor checks the generated keys land on the requested shard and
+// are deterministic.
+func TestKeyFor(t *testing.T) {
+	for _, shards := range []int{1, 2, 4, 8} {
+		for s := 0; s < shards; s++ {
+			k := KeyFor("client-7", s, shards)
+			if got := ForKey(k, shards); got != s {
+				t.Fatalf("KeyFor(%d of %d) = %q routes to %d", s, shards, k, got)
+			}
+			if again := KeyFor("client-7", s, shards); again != k {
+				t.Fatalf("KeyFor not deterministic: %q then %q", k, again)
+			}
+		}
+	}
+}
+
+// TestKeyForDistinctPrefixes checks two clients' derived keys never
+// collide even when pinned to the same shard.
+func TestKeyForDistinctPrefixes(t *testing.T) {
+	seen := map[string]string{}
+	for c := 0; c < 20; c++ {
+		prefix := fmt.Sprintf("c%d", c)
+		for s := 0; s < 4; s++ {
+			k := KeyFor(prefix, s, 4)
+			if prev, dup := seen[k]; dup {
+				t.Fatalf("key %q generated for both %s and %s/shard %d", k, prev, prefix, s)
+			}
+			seen[k] = prefix
+		}
+	}
+}
+
+// TestKeyForPanicsOutOfRange demands a loud failure on a wiring bug.
+func TestKeyForPanicsOutOfRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("KeyFor(5, 4) did not panic")
+		}
+	}()
+	KeyFor("x", 5, 4)
+}
+
+// TestSeqTagging round-trips lane-local sequence numbers through the
+// tag: base and shard recover exactly, order within a lane is
+// preserved, and lanes never alias.
+func TestSeqTagging(t *testing.T) {
+	for _, sh := range []int{0, 1, 5, MaxShards} {
+		var prev uint64
+		for _, local := range []uint64{1, 2, 3, 1000, 1 << 40} {
+			tagged := TagSeq(sh, local)
+			if SeqShard(tagged) != sh {
+				t.Fatalf("SeqShard(TagSeq(%d, %d)) = %d", sh, local, SeqShard(tagged))
+			}
+			if SeqBase(tagged) != uint64(sh)<<SeqTagShift {
+				t.Fatalf("SeqBase wrong for shard %d", sh)
+			}
+			if tagged-SeqBase(tagged) != local {
+				t.Fatalf("local seq does not survive the tag: %d", local)
+			}
+			if tagged <= prev {
+				t.Fatalf("tagged seqs not increasing within lane %d", sh)
+			}
+			if int64(tagged) < 0 {
+				t.Fatalf("tagged seq overflows int64 (shard %d)", sh)
+			}
+			prev = tagged
+		}
+	}
+	if TagSeq(1, 1) == TagSeq(0, 1) {
+		t.Fatal("lanes alias: same tagged seq for shard 0 and shard 1")
+	}
+}
+
+// TestTagSeqPanics pins the overflow guards.
+func TestTagSeqPanics(t *testing.T) {
+	for _, tc := range []struct {
+		shard int
+		seq   uint64
+	}{
+		{MaxShards + 1, 1},
+		{-1, 1},
+		{0, 1 << SeqTagShift},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("TagSeq(%d, %d) did not panic", tc.shard, tc.seq)
+				}
+			}()
+			TagSeq(tc.shard, tc.seq)
+		}()
+	}
+}
+
+// TestGroups checks the core-to-group assignment: dense, disjoint,
+// contiguous per group, in AddNode order.
+func TestGroups(t *testing.T) {
+	groups := Groups(msg.NodeID(0), 4, 3)
+	if len(groups) != 4 {
+		t.Fatalf("got %d groups, want 4", len(groups))
+	}
+	want := msg.NodeID(0)
+	for g, ids := range groups {
+		if len(ids) != 3 {
+			t.Fatalf("group %d has %d replicas, want 3", g, len(ids))
+		}
+		for _, id := range ids {
+			if id != want {
+				t.Fatalf("group %d: id %d, want %d (dense assignment)", g, id, want)
+			}
+			want++
+		}
+	}
+	offset := Groups(msg.NodeID(10), 2, 2)
+	if offset[0][0] != 10 || offset[1][1] != 13 {
+		t.Fatalf("offset assignment wrong: %v", offset)
+	}
+}

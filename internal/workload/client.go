@@ -9,9 +9,16 @@
 // increasing, every in-flight command carries its own retry timer, and
 // the replicas' windowed session tracking keeps replies exactly-once.
 //
+// In a sharded deployment (Config.Groups) the client runs one lane per
+// consensus group: an independent pipelined window targeting that
+// group's replicas with a key the shard router maps back to the group,
+// and sequence numbers tagged with the shard index (shard.TagSeq) so
+// each group's session tables see a dense per-lane sequence space and
+// dedupe stays exact.
+//
 // Clients detect a slow or dead server by reply timeout and rotate to the
-// next server (Section 7.6: "Once the clients detect the slow leader,
-// they send their requests to other nodes").
+// next server of the command's group (Section 7.6: "Once the clients
+// detect the slow leader, they send their requests to other nodes").
 package workload
 
 import (
@@ -21,13 +28,14 @@ import (
 	"consensusinside/internal/metrics"
 	"consensusinside/internal/msg"
 	"consensusinside/internal/runtime"
+	"consensusinside/internal/shard"
 )
 
 // Timer kinds. These are namespaced high so a composite (joint) node can
 // route them unambiguously next to a replica's kinds.
 const (
 	TimerSend  = 900 // think time elapsed: fill the window
-	TimerRetry = 901 // Arg: the request seq the retry guards
+	TimerRetry = 901 // Arg: the (tagged) request seq the retry guards
 )
 
 // Defaults for Config zero values.
@@ -42,13 +50,21 @@ type Config struct {
 	ID      msg.NodeID
 	Servers []msg.NodeID
 
-	// Requests caps how many commands the client issues (0 = unlimited;
-	// the paper's clients send 100 each, experiments here usually run for
-	// a fixed virtual time instead).
+	// Groups partitions the deployment into independent per-shard
+	// agreement groups. When set it replaces Servers: lane i keeps its
+	// own pipelined window of Window commands against Groups[i], using a
+	// per-lane key that internal/shard routes back to group i and
+	// sequence numbers tagged with i. Unset means a single group of
+	// Servers — the paper's deployment, byte-for-byte.
+	Groups [][]msg.NodeID
+
+	// Requests caps how many commands the client issues across all lanes
+	// (0 = unlimited; the paper's clients send 100 each, experiments here
+	// usually run for a fixed virtual time instead).
 	Requests int
 
-	// Window is the pipeline depth: how many commands may be in flight at
-	// once. 0 or 1 is the paper's closed loop.
+	// Window is the pipeline depth per lane: how many commands may be in
+	// flight at once toward one group. 0 or 1 is the paper's closed loop.
 	Window int
 
 	// ThinkTime is the pause between receiving a reply and sending the
@@ -65,6 +81,8 @@ type Config struct {
 
 	// Key fixes the key this client operates on; empty derives a
 	// per-client key (distinct clients then never contend on 2PC locks).
+	// With Groups set it becomes the per-lane key prefix instead: each
+	// lane derives a key from it that routes to the lane's shard.
 	Key string
 
 	// StartDelay staggers client start (the paper's load manager starts
@@ -81,22 +99,37 @@ type Config struct {
 	SeriesBucket time.Duration
 }
 
+// lane is the client's per-group state: one shard's servers, the key
+// that routes to it, the rotation cursor, and a lane-local sequence
+// counter whose tagged values brand every command of this lane.
+type lane struct {
+	shard    int
+	servers  []msg.NodeID
+	key      string
+	target   int
+	seq      uint64 // lane-local issued count; tagged via shard.TagSeq
+	inflight int    // outstanding commands in this lane
+}
+
 // flight is one in-flight command.
 type flight struct {
+	lane   *lane
 	op     msg.Op // stable across resends
 	sentAt time.Duration
 	cancel runtime.CancelFunc // pending retry timer for this seq
 }
 
 // Client is a workload generator node: a closed loop by default, a
-// pipelined window when Config.Window > 1.
+// pipelined window per group when Config.Window > 1 or Config.Groups is
+// set.
 type Client struct {
 	cfg    Config
-	window int
-	target int
-	seq    uint64 // last issued sequence number; doubles as issued count
+	window int // per-lane depth
+	lanes  []*lane
+	next   int // lane round-robin cursor for paced issue
+	issued int // total commands issued across lanes
 
-	inflight    map[uint64]*flight
+	inflight    map[uint64]*flight // keyed by tagged seq
 	maxInflight int
 	completed   int
 	retries     int
@@ -111,11 +144,9 @@ type Client struct {
 
 var _ runtime.Handler = (*Client)(nil)
 
-// NewClient builds a client from cfg. It panics if no servers are given.
+// NewClient builds a client from cfg. It panics if no servers are given
+// (or, with Groups, if any group is empty).
 func NewClient(cfg Config) *Client {
-	if len(cfg.Servers) == 0 {
-		panic("workload: client needs at least one server")
-	}
 	if cfg.RetryTimeout == 0 {
 		cfg.RetryTimeout = DefaultRetryTimeout
 	}
@@ -127,24 +158,54 @@ func NewClient(cfg Config) *Client {
 		window = 1
 	}
 	c := &Client{cfg: cfg, window: window, inflight: make(map[uint64]*flight)}
+	if len(cfg.Groups) > 0 {
+		for g, servers := range cfg.Groups {
+			if len(servers) == 0 {
+				panic(fmt.Sprintf("workload: group %d of client %d is empty", g, cfg.ID))
+			}
+			c.lanes = append(c.lanes, &lane{
+				shard:   g,
+				servers: append([]msg.NodeID(nil), servers...),
+				key:     shard.KeyFor(cfg.Key, g, len(cfg.Groups)),
+			})
+		}
+	} else {
+		if len(cfg.Servers) == 0 {
+			panic("workload: client needs at least one server")
+		}
+		c.lanes = []*lane{{
+			shard:   0,
+			servers: append([]msg.NodeID(nil), cfg.Servers...),
+			key:     cfg.Key,
+		}}
+	}
 	if cfg.SeriesBucket > 0 {
 		c.series = metrics.NewTimeSeries(cfg.SeriesBucket)
 	}
 	return c
 }
 
-// Completed reports how many commands committed.
+// Completed reports how many commands committed (all lanes).
 func (c *Client) Completed() int { return c.completed }
 
 // Retries reports how many times the client re-sent after a timeout.
 func (c *Client) Retries() int { return c.retries }
 
-// InFlight reports the current number of outstanding commands.
+// InFlight reports the current number of outstanding commands across
+// all lanes.
 func (c *Client) InFlight() int { return len(c.inflight) }
 
-// MaxInFlight reports the deepest the pipeline ever got — 1 for a closed
-// loop, up to Config.Window when pipelining.
+// MaxInFlight reports the deepest the pipeline ever got across all
+// lanes together — 1 for a closed loop, up to Window × len(Groups) when
+// pipelining against a sharded deployment.
 func (c *Client) MaxInFlight() int { return c.maxInflight }
+
+// Lanes reports how many independent per-group windows the client runs.
+func (c *Client) Lanes() int { return len(c.lanes) }
+
+// LaneKey reports the key lane i operates on — by construction a key
+// the shard router assigns to group i.
+func (c *Client) LaneKey(i int) string { return c.lanes[i].key }
 
 // Latencies exposes the recorded latency histogram (post-warmup ops).
 func (c *Client) Latencies() *metrics.Histogram { return &c.hist }
@@ -176,12 +237,13 @@ func (c *Client) Receive(ctx runtime.Context, from msg.NodeID, m msg.Message) {
 	if !reply.OK {
 		// Redirect: retry immediately at the suggested server.
 		if reply.Redirect != msg.Nobody {
-			c.retarget(reply.Redirect)
+			f.lane.retarget(reply.Redirect)
 		}
 		c.resend(ctx, reply.Seq, f)
 		return
 	}
 	delete(c.inflight, reply.Seq)
+	f.lane.inflight--
 	if f.cancel != nil {
 		f.cancel() // retire the pending retry timer with the command
 	}
@@ -216,71 +278,96 @@ func (c *Client) Timer(ctx runtime.Context, tag runtime.TimerTag) {
 	case TimerRetry:
 		seq := uint64(tag.Arg)
 		if f, ok := c.inflight[seq]; ok {
-			// No reply in time: suspect the server, rotate, resend the
-			// same command (the session layer deduplicates).
+			// No reply in time: suspect the server, rotate within the
+			// command's own group, resend the same command (the session
+			// layer deduplicates).
 			c.retries++
-			c.target = (c.target + 1) % len(c.cfg.Servers)
+			f.lane.target = (f.lane.target + 1) % len(f.lane.servers)
 			c.resend(ctx, seq, f)
 		}
 	}
 }
 
-// fill issues new commands until the window is full or the request cap
-// is reached. With a think time configured, each invocation issues at
-// most one command — pacing stays per command even when several
-// completions have freed window slots — and re-arms a think tick while
-// slots remain free, so a pipelined window still ramps up to its depth
-// at one command per pause.
+// fill issues new commands until every lane's window is full or the
+// request cap is reached, visiting lanes round-robin so a sharded
+// client loads its groups evenly. With a think time configured, each
+// invocation issues at most one command — pacing stays per command even
+// when several completions have freed window slots — and re-arms a
+// think tick while slots remain free, so a pipelined window still ramps
+// up to its depth at one command per pause.
 func (c *Client) fill(ctx runtime.Context) {
 	sent := 0
-	for len(c.inflight) < c.window {
+	for {
+		idx := -1
+		for i := 0; i < len(c.lanes); i++ {
+			j := (c.next + i) % len(c.lanes)
+			if c.lanes[j].inflight < c.window {
+				idx = j
+				break
+			}
+		}
+		if idx < 0 {
+			return // every lane's window is full
+		}
 		if c.cfg.ThinkTime > 0 && sent >= 1 {
 			ctx.After(c.cfg.ThinkTime, runtime.TimerTag{Kind: TimerSend})
 			return
 		}
-		if c.cfg.Requests > 0 && int(c.seq) >= c.cfg.Requests {
+		if c.cfg.Requests > 0 && c.issued >= c.cfg.Requests {
 			return // every command issued; late timers must not overshoot
 		}
-		c.seq++
+		ln := c.lanes[idx]
+		c.next = (idx + 1) % len(c.lanes)
+		c.issued++
+		ln.seq++
+		seq := shard.TagSeq(ln.shard, ln.seq)
 		op := msg.OpPut
 		if c.cfg.ReadFraction > 0 && ctx.Rand().Float64() < c.cfg.ReadFraction {
 			op = msg.OpGet
 		}
-		f := &flight{op: op}
-		c.inflight[c.seq] = f
+		f := &flight{lane: ln, op: op}
+		c.inflight[seq] = f
+		ln.inflight++
 		if len(c.inflight) > c.maxInflight {
 			c.maxInflight = len(c.inflight)
 		}
-		c.resend(ctx, c.seq, f)
+		c.resend(ctx, seq, f)
 		sent++
 	}
 }
 
+// resend transmits f's command under its tagged seq to the lane's
+// current target and re-arms the per-seq retry timer. The request
+// carries the lane's acknowledgement floor — the lowest outstanding
+// tagged seq within the same lane — so the group's replicas can retire
+// stored session results this lane no longer needs.
 func (c *Client) resend(ctx runtime.Context, seq uint64, f *flight) {
 	f.sentAt = ctx.Now()
-	ack := seq // lowest outstanding seq: lets replicas discard older results
-	for s := range c.inflight {
-		if s < ack {
+	ack := seq
+	for s, other := range c.inflight {
+		if other.lane == f.lane && s < ack {
 			ack = s
 		}
 	}
 	req := msg.ClientRequest{
 		Client: c.cfg.ID,
 		Seq:    seq,
-		Cmd:    msg.Command{Op: f.op, Key: c.cfg.Key, Val: "v"},
+		Cmd:    msg.Command{Op: f.op, Key: f.lane.key, Val: "v"},
 		Ack:    ack,
 	}
-	ctx.Send(c.cfg.Servers[c.target], req)
+	ctx.Send(f.lane.servers[f.lane.target], req)
 	if f.cancel != nil {
 		f.cancel()
 	}
 	f.cancel = ctx.After(c.cfg.RetryTimeout, runtime.TimerTag{Kind: TimerRetry, Arg: int64(seq)})
 }
 
-func (c *Client) retarget(server msg.NodeID) {
-	for i, s := range c.cfg.Servers {
+// retarget points the lane at server if it is one of the lane's
+// replicas (a redirect naming a node outside the group is ignored).
+func (ln *lane) retarget(server msg.NodeID) {
+	for i, s := range ln.servers {
 		if s == server {
-			c.target = i
+			ln.target = i
 			return
 		}
 	}

@@ -6,6 +6,7 @@ import (
 
 	"consensusinside/internal/msg"
 	"consensusinside/internal/runtime"
+	"consensusinside/internal/shard"
 )
 
 func newClient(tweak func(*Config)) (*Client, *runtime.FakeContext) {
@@ -336,4 +337,130 @@ func TestClientWindowWithThinkTimeRampsUp(t *testing.T) {
 	if c.MaxInFlight() != 4 {
 		t.Fatalf("MaxInFlight = %d, want 4", c.MaxInFlight())
 	}
+}
+
+// shardedClient builds a client over two 3-replica groups with a
+// per-lane window of 2.
+func shardedClient(tweak func(*Config)) (*Client, *runtime.FakeContext) {
+	cfg := Config{
+		ID: 10,
+		Groups: [][]msg.NodeID{
+			{0, 1, 2},
+			{3, 4, 5},
+		},
+		Window: 2,
+	}
+	if tweak != nil {
+		tweak(&cfg)
+	}
+	return NewClient(cfg), runtime.NewFakeContext(10, 7)
+}
+
+func TestClientShardLanesFillAllGroups(t *testing.T) {
+	c, ctx := shardedClient(nil)
+	c.Start(ctx)
+	c.Timer(ctx, runtime.TimerTag{Kind: TimerSend})
+	if got := c.InFlight(); got != 4 {
+		t.Fatalf("in flight %d, want 2 lanes x window 2 = 4", got)
+	}
+	// Both groups must have received traffic, each lane on its own key
+	// and with seqs tagged by its shard index.
+	perGroup := map[int]int{}
+	for _, s := range ctx.TakeSent() {
+		req, ok := s.M.(msg.ClientRequest)
+		if !ok {
+			t.Fatalf("sent %T, want ClientRequest", s.M)
+		}
+		g := int(s.To) / 3
+		perGroup[g]++
+		if tag := shard.SeqShard(req.Seq); tag != g {
+			t.Errorf("request to group %d tagged for shard %d", g, tag)
+		}
+		if want := c.LaneKey(g); req.Cmd.Key != want {
+			t.Errorf("group %d request on key %q, want lane key %q", g, req.Cmd.Key, want)
+		}
+		if shard.ForKey(req.Cmd.Key, c.Lanes()) != g {
+			t.Errorf("lane key %q does not route back to group %d", req.Cmd.Key, g)
+		}
+	}
+	if perGroup[0] != 2 || perGroup[1] != 2 {
+		t.Fatalf("lane fill uneven: %v, want 2 per group", perGroup)
+	}
+}
+
+func TestClientShardLaneRetryStaysInGroup(t *testing.T) {
+	c, ctx := shardedClient(nil)
+	c.Start(ctx)
+	c.Timer(ctx, runtime.TimerTag{Kind: TimerSend})
+	// Time out one command of lane 1 repeatedly: every resend must stay
+	// inside group 1's replica set {3,4,5}.
+	seq := shard.TagSeq(1, 1)
+	for i := 0; i < 5; i++ {
+		ctx.Sent = nil
+		c.Timer(ctx, runtime.TimerTag{Kind: TimerRetry, Arg: int64(seq)})
+		to, req := lastRequest(t, ctx)
+		if to < 3 || to > 5 {
+			t.Fatalf("retry %d went to node %d, outside group 1", i, to)
+		}
+		if req.Seq != seq {
+			t.Fatalf("retry changed seq: %d", req.Seq)
+		}
+	}
+	if c.Retries() != 5 {
+		t.Fatalf("retries = %d, want 5", c.Retries())
+	}
+}
+
+func TestClientShardLaneCompletionRefills(t *testing.T) {
+	c, ctx := shardedClient(nil)
+	c.Start(ctx)
+	c.Timer(ctx, runtime.TimerTag{Kind: TimerSend})
+	ctx.Sent = nil
+	// Complete lane 0's first command; the freed slot must be refilled
+	// with a new lane-0 command while lane 1 stays at its window.
+	c.Receive(ctx, 0, msg.ClientReply{Seq: shard.TagSeq(0, 1), OK: true})
+	if c.Completed() != 1 {
+		t.Fatalf("completed = %d", c.Completed())
+	}
+	_, req := lastRequest(t, ctx)
+	if shard.SeqShard(req.Seq) != 0 || req.Seq != shard.TagSeq(0, 3) {
+		t.Fatalf("refill seq = %d, want lane 0 seq 3", req.Seq)
+	}
+	if c.InFlight() != 4 {
+		t.Fatalf("in flight %d after refill, want 4", c.InFlight())
+	}
+}
+
+func TestClientShardLaneAckIsPerLane(t *testing.T) {
+	c, ctx := shardedClient(nil)
+	c.Start(ctx)
+	c.Timer(ctx, runtime.TimerTag{Kind: TimerSend})
+	// Complete lane 1's first command, then retry its second: the
+	// carried ack must be lane 1's own floor, not lane 0's.
+	c.Receive(ctx, 3, msg.ClientReply{Seq: shard.TagSeq(1, 1), OK: true})
+	ctx.Sent = nil
+	c.Timer(ctx, runtime.TimerTag{Kind: TimerRetry, Arg: int64(shard.TagSeq(1, 2))})
+	_, req := lastRequest(t, ctx)
+	if req.Ack != shard.TagSeq(1, 2) {
+		t.Fatalf("lane 1 ack = %d, want its own lowest outstanding %d",
+			req.Ack, shard.TagSeq(1, 2))
+	}
+}
+
+func TestClientShardLaneRequestCapIsGlobal(t *testing.T) {
+	c, ctx := shardedClient(func(cfg *Config) { cfg.Requests = 3 })
+	c.Start(ctx)
+	c.Timer(ctx, runtime.TimerTag{Kind: TimerSend})
+	if got := c.InFlight(); got != 3 {
+		t.Fatalf("issued %d, want the global cap 3", got)
+	}
+}
+
+func TestClientShardLaneEmptyGroupPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("client with an empty group must panic")
+		}
+	}()
+	NewClient(Config{ID: 1, Groups: [][]msg.NodeID{{0, 1, 2}, {}}})
 }

@@ -1,0 +1,64 @@
+#!/usr/bin/env bash
+# docscheck — the CI docs gate, runnable locally too:
+#
+#   ./scripts/docscheck.sh
+#
+# Fails when gofmt would change anything, when go vet complains, when
+# any library package (the root, internal/*) is missing a package
+# comment, when any command/example main is missing a header comment,
+# or when a doc file that other docs link to is absent. The point is
+# that the docs pass of PR 2 cannot silently rot.
+set -u
+cd "$(dirname "$0")/.."
+
+fail=0
+
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+    echo "docscheck: gofmt -l reports unformatted files:" >&2
+    echo "$unformatted" >&2
+    fail=1
+fi
+
+if ! go vet ./...; then
+    fail=1
+fi
+
+# Every library package must carry a "// Package <name> ..." comment in
+# some non-test file; every main package must open with a header
+# comment in at least one file.
+for pkg in $(go list ./...); do
+    dir=$(go list -f '{{.Dir}}' "$pkg")
+    name=$(go list -f '{{.Name}}' "$pkg")
+    ok=0
+    for f in "$dir"/*.go; do
+        case "$f" in *_test.go) continue ;; esac
+        [ -e "$f" ] || continue
+        if [ "$name" = main ]; then
+            case "$(head -1 "$f")" in "//"*) ok=1 ;; esac
+        elif grep -q "^// Package $name " "$f"; then
+            ok=1
+        fi
+    done
+    if [ "$ok" -eq 0 ]; then
+        if [ "$name" = main ]; then
+            echo "docscheck: $pkg has no header comment on any file" >&2
+        else
+            echo "docscheck: $pkg has no '// Package $name ...' comment" >&2
+        fi
+        fail=1
+    fi
+done
+
+# Documentation files the code and other docs point at.
+for doc in README.md DESIGN.md EXPERIMENTS.md docs/BENCHMARKS.md; do
+    if [ ! -s "$doc" ]; then
+        echo "docscheck: $doc is missing or empty" >&2
+        fail=1
+    fi
+done
+
+if [ "$fail" -ne 0 ]; then
+    exit 1
+fi
+echo "docscheck: ok"

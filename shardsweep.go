@@ -1,0 +1,160 @@
+package consensusinside
+
+// The shard-count sweep: the repo's first scaling experiment that runs
+// on the real runtimes (wall clock) rather than the simulator. It holds
+// the replica-core budget fixed and splits it into more, smaller
+// groups — the core question sharding answers: given N cores to spend
+// on replication, is one big group or many small ones faster?
+//
+// Two effects compound in favour of many small groups:
+//
+//   - fewer messages per commit: a group of R replicas pays O(R) learn
+//     traffic per command (Figure 9's cost story), so 4 groups of 3 do
+//     far less total work than 1 group of 12 for the same op count;
+//   - independent serialization points: each group orders only its own
+//     keys, so disjoint-key commands in different groups never wait on
+//     one leader, and on a multi-core host the groups run in parallel.
+//
+// cmd/consensusbench exposes this as the shard-sweep experiment;
+// docs/BENCHMARKS.md is the runbook.
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"consensusinside/internal/shard"
+)
+
+// ShardSweepOptions parameterizes ShardSweep. Zero values select the
+// defaults noted on each field.
+type ShardSweepOptions struct {
+	// Transport selects the runtime under test (default InProc).
+	Transport TransportKind
+	// CoreBudget is the total number of replica cores, split evenly
+	// across the groups of each configuration (default 12).
+	CoreBudget int
+	// ShardCounts are the group counts to sweep (default 1, 2, 4); each
+	// must divide CoreBudget.
+	ShardCounts []int
+	// Ops is the total number of committed Puts measured per
+	// configuration, spread evenly across shards on disjoint keys
+	// (default 6000).
+	Ops int
+	// Workers is the number of concurrent callers per shard (default 8).
+	Workers int
+	// Pipeline is the per-shard bridge window (default DefaultPipeline).
+	Pipeline int
+}
+
+func (o ShardSweepOptions) withDefaults() ShardSweepOptions {
+	if o.Transport == 0 {
+		o.Transport = InProc
+	}
+	if o.CoreBudget == 0 {
+		o.CoreBudget = 12
+	}
+	if len(o.ShardCounts) == 0 {
+		o.ShardCounts = []int{1, 2, 4}
+	}
+	if o.Ops == 0 {
+		o.Ops = 6000
+	}
+	if o.Workers == 0 {
+		o.Workers = 8
+	}
+	if o.Pipeline == 0 {
+		o.Pipeline = DefaultPipeline
+	}
+	return o
+}
+
+// ShardSweepPoint is one sharding configuration's aggregate result.
+type ShardSweepPoint struct {
+	Shards     int     // independent agreement groups
+	Replicas   int     // replicas per group (CoreBudget / Shards)
+	Ops        int     // committed commands measured
+	Throughput float64 // aggregate committed ops per wall-clock second
+}
+
+// ShardSweep measures aggregate disjoint-key Put throughput while
+// splitting a fixed replica-core budget into 1, 2, 4, ... independent
+// consensus groups. Every configuration commits the same total number
+// of commands; keys are pinned per shard (shard.KeyFor) so groups never
+// contend. The returned points are in ShardCounts order.
+func ShardSweep(opts ShardSweepOptions) ([]ShardSweepPoint, error) {
+	opts = opts.withDefaults()
+	out := make([]ShardSweepPoint, 0, len(opts.ShardCounts))
+	for _, shards := range opts.ShardCounts {
+		if shards < 1 || opts.CoreBudget%shards != 0 {
+			return nil, fmt.Errorf("consensusinside: shard count %d does not divide the %d-core budget",
+				shards, opts.CoreBudget)
+		}
+		pt, err := shardSweepOne(opts, shards)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, pt)
+	}
+	return out, nil
+}
+
+func shardSweepOne(opts ShardSweepOptions, shards int) (ShardSweepPoint, error) {
+	kv, err := StartKV(KVConfig{
+		Replicas:       opts.CoreBudget / shards,
+		Shards:         shards,
+		Transport:      opts.Transport,
+		Pipeline:       opts.Pipeline,
+		RequestTimeout: 60 * time.Second,
+	})
+	if err != nil {
+		return ShardSweepPoint{}, err
+	}
+	defer kv.Close()
+
+	// Warm every group (leader paths, connections) outside the window.
+	for s := 0; s < shards; s++ {
+		if err := kv.Put(shard.KeyFor("warm", s, shards), "v"); err != nil {
+			return ShardSweepPoint{}, fmt.Errorf("consensusinside: warmup shard %d: %w", s, err)
+		}
+	}
+
+	perWorker := opts.Ops / (shards * opts.Workers)
+	if perWorker < 1 {
+		perWorker = 1
+	}
+	total := perWorker * shards * opts.Workers
+	errs := make(chan error, shards*opts.Workers)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for s := 0; s < shards; s++ {
+		for w := 0; w < opts.Workers; w++ {
+			wg.Add(1)
+			go func(s, w int) {
+				defer wg.Done()
+				for i := 0; i < perWorker; i++ {
+					// A distinct key per op, pinned to this worker's
+					// shard: disjoint across workers and groups.
+					key := shard.KeyFor(fmt.Sprintf("s%d-w%d-%d", s, w, i), s, shards)
+					if err := kv.Put(key, "v"); err != nil {
+						errs <- fmt.Errorf("consensusinside: shard %d worker %d: %w", s, w, err)
+						return
+					}
+				}
+			}(s, w)
+		}
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	select {
+	case err := <-errs:
+		return ShardSweepPoint{}, err
+	default:
+	}
+	return ShardSweepPoint{
+		Shards:     shards,
+		Replicas:   opts.CoreBudget / shards,
+		Ops:        total,
+		Throughput: float64(total) / elapsed.Seconds(),
+	}, nil
+}
