@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"consensusinside/internal/cluster"
+	"consensusinside/internal/metrics"
 	"consensusinside/internal/msg"
 	"consensusinside/internal/protocol"
 	_ "consensusinside/internal/protocol/all" // register every engine
@@ -110,6 +111,18 @@ type KVConfig struct {
 	// flight at once per shard (default DefaultPipeline; 1 restores the
 	// paper's closed loop). Commands beyond the window queue in order.
 	Pipeline int
+	// BatchSize is the largest number of queued commands the service
+	// coalesces into one consensus instance per shard (default 1 — the
+	// paper's one-command-per-instance behavior). Batches are drawn from
+	// the outstanding pipeline window, so BatchSize must not exceed
+	// Pipeline (validated like Shards).
+	BatchSize int
+	// BatchDelay, when positive, holds a partial batch back up to this
+	// long waiting for more commands before proposing it — the
+	// group-commit latency/occupancy trade. Zero proposes partial
+	// batches immediately; replicas answer a batch in one message, so
+	// freed window slots refill as full batches under load either way.
+	BatchDelay time.Duration
 	// RequestTimeout bounds each Put/Get round trip (default 5s).
 	RequestTimeout time.Duration
 	// AcceptTimeout tunes the protocol's failure detector; the default
@@ -197,6 +210,22 @@ func StartKV(cfg KVConfig) (*KV, error) {
 		return nil, fmt.Errorf("consensusinside: Pipeline %d exceeds the replicas' session window %d",
 			cfg.Pipeline, rsm.DefaultSessionWindow)
 	}
+	if cfg.BatchSize < 0 {
+		return nil, fmt.Errorf("consensusinside: negative batch size %d", cfg.BatchSize)
+	}
+	if cfg.BatchSize == 0 {
+		cfg.BatchSize = 1
+	}
+	if cfg.BatchSize > cfg.Pipeline {
+		// A batch is drawn from the in-flight window; a cap beyond it
+		// could never fill and almost certainly means the caller forgot
+		// to widen Pipeline.
+		return nil, fmt.Errorf("consensusinside: BatchSize %d exceeds the Pipeline window %d",
+			cfg.BatchSize, cfg.Pipeline)
+	}
+	if cfg.BatchDelay < 0 {
+		return nil, fmt.Errorf("consensusinside: negative batch delay %v", cfg.BatchDelay)
+	}
 	if cfg.RequestTimeout == 0 {
 		cfg.RequestTimeout = 5 * time.Second
 	}
@@ -245,7 +274,8 @@ func startKVShard(cfg KVConfig, shardIdx int) (*kvShard, error) {
 	}
 	// Clients should suspect a server a little after the servers' own
 	// failure detector would, so takeovers settle before the retry lands.
-	sh.bridge = newKVBridge(clientID, ids, 2*cfg.AcceptTimeout, cfg.Pipeline, shardIdx)
+	sh.bridge = newKVBridge(clientID, ids, 2*cfg.AcceptTimeout, cfg.Pipeline, shardIdx,
+		cfg.BatchSize, cfg.BatchDelay)
 	handlers = append(handlers, sh.bridge)
 
 	switch cfg.Transport {
@@ -312,6 +342,20 @@ func (kv *KV) MaxInFlight() int {
 	return max
 }
 
+// BatchStats reports the service's proposed-batch occupancy counters,
+// folded across shards: how many batches (consensus instances carrying
+// client commands) the bridges proposed and how full they ran. With
+// BatchSize 1 every batch holds exactly one command.
+func (kv *KV) BatchStats() metrics.BatchOccupancy {
+	var occ metrics.BatchOccupancy
+	for _, sh := range kv.shards {
+		sh.bridge.mu.Lock()
+		occ.Merge(&sh.bridge.occ)
+		sh.bridge.mu.Unlock()
+	}
+	return occ
+}
+
 // CrashReplica stops a replica's TCP node, simulating a failed core
 // (TCP transport only). Replicas are indexed globally, group by group:
 // id = shard*Replicas + replica-within-group, so 0 is the first shard's
@@ -360,6 +404,13 @@ type kvResult struct {
 	err   error
 }
 
+// Bridge timer kinds (the workload package's client kinds live at 900+
+// too; the bridge is never co-located with one, so reuse is safe).
+const (
+	kvTimerRetry = 900 // Arg: the tagged seq the retry guards
+	kvTimerFlush = 901 // a held-back partial batch is due
+)
+
 // kvBridge is a Handler that converts synchronous Put/Get calls into
 // client requests: external goroutines enqueue operations and poke the
 // node; all protocol interaction happens on the node's own goroutine.
@@ -367,7 +418,10 @@ type kvResult struct {
 // Up to window commands are in flight at once (a pipelined client, each
 // command with its own sequence number and retry timer); the replicas'
 // windowed per-(client, seq) session tracking keeps retries exactly-once
-// even when pipelined commands commit out of order.
+// even when pipelined commands commit out of order. The batcher sits
+// between the queue and the window: each pump moves up to batch queued
+// commands into the window as ONE request — one consensus instance —
+// and delay optionally holds a partial batch back for stragglers.
 //
 // In a sharded service each shard has its own bridge; its sequence
 // numbers carry the shard index in the high bits (shard.TagSeq), so no
@@ -378,6 +432,8 @@ type kvBridge struct {
 	servers []msg.NodeID
 	retry   time.Duration
 	window  int
+	batch   int
+	delay   time.Duration
 	seqBase uint64 // shard tag: every seq is seqBase + local count
 	inject  func(msg.Message)
 
@@ -387,16 +443,24 @@ type kvBridge struct {
 	inflight    map[uint64]*kvOp
 	maxInflight int
 	target      int
+	delayArmed  bool // a flush timer guards a held-back partial batch
+	occ         metrics.BatchOccupancy
 }
 
 var _ runtime.Handler = (*kvBridge)(nil)
 
-func newKVBridge(id msg.NodeID, servers []msg.NodeID, retry time.Duration, window int, shardIdx int) *kvBridge {
+func newKVBridge(id msg.NodeID, servers []msg.NodeID, retry time.Duration, window, shardIdx, batch int, delay time.Duration) *kvBridge {
 	if retry <= 0 {
 		retry = 250 * time.Millisecond
 	}
 	if window < 1 {
 		window = 1
+	}
+	if batch < 1 {
+		batch = 1
+	}
+	if batch > window {
+		batch = window
 	}
 	base := shard.TagSeq(shardIdx, 0)
 	return &kvBridge{
@@ -404,6 +468,8 @@ func newKVBridge(id msg.NodeID, servers []msg.NodeID, retry time.Duration, windo
 		servers:  append([]msg.NodeID(nil), servers...),
 		retry:    retry,
 		window:   window,
+		batch:    batch,
+		delay:    delay,
 		seqBase:  base,
 		seq:      base,
 		inflight: make(map[uint64]*kvOp),
@@ -429,48 +495,75 @@ func (b *kvBridge) do(cmd msg.Command, timeout time.Duration) (string, error) {
 // Start implements runtime.Handler.
 func (b *kvBridge) Start(runtime.Context) {}
 
-// Receive implements runtime.Handler.
+// Receive implements runtime.Handler. A batched reply retires every
+// answered command before the pump runs, so the freed window slots are
+// refilled by one full batch instead of one command at a time.
 func (b *kvBridge) Receive(ctx runtime.Context, from msg.NodeID, m msg.Message) {
 	switch mm := m.(type) {
 	case submitMsg:
-		b.pump(ctx)
+		b.pump(ctx, false)
 	case msg.ClientReply:
-		b.mu.Lock()
-		op, ok := b.inflight[mm.Seq]
-		if !ok {
-			b.mu.Unlock()
-			return // stale reply from a retried request
+		b.finish(mm)
+		b.pump(ctx, false)
+	case msg.ClientReplyBatch:
+		for _, reply := range mm.Replies {
+			b.finish(reply)
 		}
-		delete(b.inflight, mm.Seq)
-		b.mu.Unlock()
-		if op.cancel != nil {
-			op.cancel()
-		}
-		if mm.OK {
-			op.done <- kvResult{value: mm.Result}
-		} else {
-			op.done <- kvResult{err: errors.New("consensusinside: request rejected")}
-		}
-		b.pump(ctx)
+		b.pump(ctx, false)
 	}
 }
 
-// Timer implements runtime.Handler: retry with server rotation, the
-// paper's client failover behaviour ("once the clients detect the slow
-// leader, they send their requests to other nodes").
-func (b *kvBridge) Timer(ctx runtime.Context, tag runtime.TimerTag) {
-	seq := uint64(tag.Arg)
+// finish retires one command's reply, delivering the result to the
+// blocked caller.
+func (b *kvBridge) finish(reply msg.ClientReply) {
 	b.mu.Lock()
-	op, ok := b.inflight[seq]
-	if ok {
-		b.target = (b.target + 1) % len(b.servers)
-	}
-	target := b.servers[b.target]
-	b.mu.Unlock()
+	op, ok := b.inflight[reply.Seq]
 	if !ok {
-		return
+		b.mu.Unlock()
+		return // stale reply from a retried request
 	}
-	b.sendOp(ctx, seq, op, target)
+	delete(b.inflight, reply.Seq)
+	b.mu.Unlock()
+	if op.cancel != nil {
+		op.cancel()
+	}
+	if reply.OK {
+		op.done <- kvResult{value: reply.Result}
+	} else {
+		op.done <- kvResult{err: errors.New("consensusinside: request rejected")}
+	}
+}
+
+// Timer implements runtime.Handler: per-seq retry with server rotation
+// (the paper's client failover behaviour — "once the clients detect the
+// slow leader, they send their requests to other nodes"), plus the
+// batch flush deadline.
+func (b *kvBridge) Timer(ctx runtime.Context, tag runtime.TimerTag) {
+	switch tag.Kind {
+	case kvTimerRetry:
+		seq := uint64(tag.Arg)
+		b.mu.Lock()
+		op, ok := b.inflight[seq]
+		if ok {
+			b.target = (b.target + 1) % len(b.servers)
+		}
+		target := b.servers[b.target]
+		b.mu.Unlock()
+		if !ok {
+			return
+		}
+		// The resend keeps the command's original seq — it rejoins the
+		// batch machinery as a batch of one, and the replicas' session
+		// dedupe reconciles it with any still-live copy of the batch it
+		// first travelled in.
+		b.sendOp(ctx, seq, op, target)
+	case kvTimerFlush:
+		// The held-back partial batch is due: propose what is queued.
+		b.mu.Lock()
+		b.delayArmed = false
+		b.mu.Unlock()
+		b.pump(ctx, true)
+	}
 }
 
 // sendOp transmits op's command under seq to target and arms its retry
@@ -478,15 +571,10 @@ func (b *kvBridge) Timer(ctx runtime.Context, tag runtime.TimerTag) {
 // in-flight owner of the seq.
 func (b *kvBridge) sendOp(ctx runtime.Context, seq uint64, op *kvOp, target msg.NodeID) {
 	b.mu.Lock()
-	ack := seq // lowest outstanding seq: lets replicas discard older results
-	for s := range b.inflight {
-		if s < ack {
-			ack = s
-		}
-	}
+	ack := b.ackFloorLocked(seq)
 	b.mu.Unlock()
 	ctx.Send(target, msg.ClientRequest{Client: b.id, Seq: seq, Cmd: op.cmd, Ack: ack})
-	cancel := ctx.After(b.retry, runtime.TimerTag{Kind: 900, Arg: int64(seq)})
+	cancel := ctx.After(b.retry, runtime.TimerTag{Kind: kvTimerRetry, Arg: int64(seq)})
 	b.mu.Lock()
 	if cur, still := b.inflight[seq]; still && cur == op {
 		cur.cancel = cancel
@@ -494,24 +582,90 @@ func (b *kvBridge) sendOp(ctx runtime.Context, seq uint64, op *kvOp, target msg.
 	b.mu.Unlock()
 }
 
-// pump starts queued commands until the pipeline window is full.
-func (b *kvBridge) pump(ctx runtime.Context) {
+// ackFloorLocked reports the lowest outstanding seq (at most from),
+// which requests carry so replicas can discard older stored results.
+func (b *kvBridge) ackFloorLocked(from uint64) uint64 {
+	ack := from
+	for s := range b.inflight {
+		if s < ack {
+			ack = s
+		}
+	}
+	return ack
+}
+
+// pump moves queued commands into the pipeline window, up to batch of
+// them per request — one consensus instance each. With a positive
+// delay, a batch that cannot fill (too few queued commands or free
+// slots) is held back until the flush timer forces it out.
+func (b *kvBridge) pump(ctx runtime.Context, force bool) {
 	for {
 		b.mu.Lock()
-		if len(b.inflight) >= b.window || len(b.queue) == 0 {
+		free := b.window - len(b.inflight)
+		if free <= 0 || len(b.queue) == 0 {
 			b.mu.Unlock()
 			return
 		}
-		op := b.queue[0]
-		b.queue = b.queue[1:]
-		b.seq++
-		seq := b.seq
-		b.inflight[seq] = &op
+		n := free
+		if n > b.batch {
+			n = b.batch
+		}
+		if n > len(b.queue) {
+			n = len(b.queue)
+		}
+		if n < b.batch && len(b.queue) >= b.batch {
+			// A full batch is queued but the window lacks the slots:
+			// wait for completions instead of fragmenting instances.
+			// Replies arrive batched, so the slots free together and the
+			// very next pump proposes a full batch — without this hold,
+			// one single-command instance begets one freed slot begets
+			// the next single, and the batcher never recovers from a
+			// single-command cold start.
+			b.mu.Unlock()
+			return
+		}
+		if b.delay > 0 && !force && n < b.batch {
+			// The queue itself is short of a batch: hold it back for
+			// stragglers, at most delay.
+			armed := b.delayArmed
+			b.delayArmed = true
+			b.mu.Unlock()
+			if !armed {
+				ctx.After(b.delay, runtime.TimerTag{Kind: kvTimerFlush})
+			}
+			return
+		}
+		ops := make([]*kvOp, n)
+		entries := make([]msg.BatchEntry, n)
+		for i := 0; i < n; i++ {
+			op := b.queue[i]
+			b.seq++
+			p := new(kvOp)
+			*p = op
+			b.inflight[b.seq] = p
+			ops[i] = p
+			entries[i] = msg.BatchEntry{Seq: b.seq, Cmd: op.cmd}
+		}
+		b.queue = b.queue[n:]
 		if len(b.inflight) > b.maxInflight {
 			b.maxInflight = len(b.inflight)
 		}
 		target := b.servers[b.target]
+		ack := b.ackFloorLocked(entries[0].Seq)
+		b.occ.Record(n)
 		b.mu.Unlock()
-		b.sendOp(ctx, seq, &op, target)
+
+		ctx.Send(target, msg.NewRequest(b.id, ack, entries))
+		cancels := make([]runtime.CancelFunc, n)
+		for i := range ops {
+			cancels[i] = ctx.After(b.retry, runtime.TimerTag{Kind: kvTimerRetry, Arg: int64(entries[i].Seq)})
+		}
+		b.mu.Lock()
+		for i, op := range ops {
+			if cur, still := b.inflight[entries[i].Seq]; still && cur == op {
+				cur.cancel = cancels[i]
+			}
+		}
+		b.mu.Unlock()
 	}
 }

@@ -41,17 +41,18 @@ func matrixWorkload() []matrixOp {
 }
 
 // runMatrix executes the workload against one (protocol, transport,
-// shards) cell and returns every observed result in order.
-func runMatrix(t *testing.T, p Protocol, tr TransportKind, shards int) []string {
+// shards, batch) cell and returns every observed result in order.
+func runMatrix(t *testing.T, p Protocol, tr TransportKind, shards, batch int) []string {
 	t.Helper()
 	kv, err := StartKV(KVConfig{
 		Protocol:       p,
 		Transport:      tr,
 		Shards:         shards,
+		BatchSize:      batch,
 		RequestTimeout: 30 * time.Second,
 	})
 	if err != nil {
-		t.Fatalf("StartKV(%v, transport %d, %d shards): %v", p, tr, shards, err)
+		t.Fatalf("StartKV(%v, transport %d, %d shards, batch %d): %v", p, tr, shards, batch, err)
 	}
 	defer kv.Close()
 	var results []string
@@ -87,29 +88,32 @@ func oracle() []string {
 	return results
 }
 
-// TestKVProtocolTransportMatrix runs every registered protocol over both
-// transports and demands identical results per protocol across
+// TestKVProtocolTransportMatrix runs every registered protocol over
+// both transports — with command batching off (the paper's behavior)
+// and on — and demands identical results per protocol across
 // transports, and agreement with the sequential oracle.
 func TestKVProtocolTransportMatrix(t *testing.T) {
 	want := oracle()
 	for _, p := range Protocols() {
-		p := p
-		t.Run(p.String(), func(t *testing.T) {
-			inproc := runMatrix(t, p, InProc, 1)
-			tcp := runMatrix(t, p, TCP, 1)
-			if len(inproc) != len(want) || len(tcp) != len(want) {
-				t.Fatalf("result lengths diverge: inproc %d, tcp %d, want %d",
-					len(inproc), len(tcp), len(want))
-			}
-			for i := range want {
-				if inproc[i] != want[i] {
-					t.Errorf("op %d over InProc: got %q, want %q", i, inproc[i], want[i])
+		for _, batch := range []int{1, 4} {
+			p, batch := p, batch
+			t.Run(fmt.Sprintf("%v/batch%d", p, batch), func(t *testing.T) {
+				inproc := runMatrix(t, p, InProc, 1, batch)
+				tcp := runMatrix(t, p, TCP, 1, batch)
+				if len(inproc) != len(want) || len(tcp) != len(want) {
+					t.Fatalf("result lengths diverge: inproc %d, tcp %d, want %d",
+						len(inproc), len(tcp), len(want))
 				}
-				if tcp[i] != inproc[i] {
-					t.Errorf("op %d: TCP result %q != InProc result %q", i, tcp[i], inproc[i])
+				for i := range want {
+					if inproc[i] != want[i] {
+						t.Errorf("op %d over InProc: got %q, want %q", i, inproc[i], want[i])
+					}
+					if tcp[i] != inproc[i] {
+						t.Errorf("op %d: TCP result %q != InProc result %q", i, tcp[i], inproc[i])
+					}
 				}
-			}
-		})
+			})
+		}
 	}
 }
 
@@ -123,6 +127,7 @@ func TestKVPipelinedConcurrentClients(t *testing.T) {
 			kv, err := StartKV(KVConfig{
 				Protocol:       p,
 				Pipeline:       8,
+				BatchSize:      4,
 				RequestTimeout: 30 * time.Second,
 			})
 			if err != nil {
@@ -179,6 +184,31 @@ func TestKVPipelinedConcurrentClients(t *testing.T) {
 			if kv.MaxInFlight() < 2 {
 				t.Errorf("bridge never pipelined: max in flight %d", kv.MaxInFlight())
 			}
+			// The pre-queued burst of 8 is drained by one pump through a
+			// batch cap of 4: multi-command instances must have formed.
+			occ := kv.BatchStats()
+			if occ.Commands() <= occ.Batches() {
+				t.Errorf("batcher never coalesced: %d commands in %d instances",
+					occ.Commands(), occ.Batches())
+			}
 		})
 	}
+}
+
+// TestKVBatchValidation pins the BatchSize/BatchDelay error cases.
+func TestKVBatchValidation(t *testing.T) {
+	if _, err := StartKV(KVConfig{BatchSize: -1}); err == nil {
+		t.Error("negative batch size accepted")
+	}
+	if _, err := StartKV(KVConfig{Pipeline: 8, BatchSize: 9}); err == nil {
+		t.Error("batch size beyond the pipeline window accepted")
+	}
+	if _, err := StartKV(KVConfig{BatchDelay: -time.Second}); err == nil {
+		t.Error("negative batch delay accepted")
+	}
+	kv, err := StartKV(KVConfig{Pipeline: 8, BatchSize: 8, BatchDelay: time.Millisecond})
+	if err != nil {
+		t.Fatalf("legal batching config rejected: %v", err)
+	}
+	kv.Close()
 }

@@ -13,31 +13,33 @@ import (
 )
 
 // TestKVShardedMatrix runs the deterministic mixed workload at
-// Shards = 2 on every registered protocol over both transports: the
-// results must match each other and the sequential oracle, exactly as
-// the unsharded matrix demands. A routing bug (the same key reaching
-// two groups on different transports, or on different calls) would
-// surface as a divergent read.
+// Shards = 2 on every registered protocol over both transports — with
+// command batching off and on — the results must match each other and
+// the sequential oracle, exactly as the unsharded matrix demands. A
+// routing bug (the same key reaching two groups on different
+// transports, or on different calls) would surface as a divergent read.
 func TestKVShardedMatrix(t *testing.T) {
 	want := oracle()
 	for _, p := range Protocols() {
-		p := p
-		t.Run(p.String(), func(t *testing.T) {
-			inproc := runMatrix(t, p, InProc, 2)
-			tcp := runMatrix(t, p, TCP, 2)
-			if len(inproc) != len(want) || len(tcp) != len(want) {
-				t.Fatalf("result lengths diverge: inproc %d, tcp %d, want %d",
-					len(inproc), len(tcp), len(want))
-			}
-			for i := range want {
-				if inproc[i] != want[i] {
-					t.Errorf("op %d over InProc: got %q, want %q", i, inproc[i], want[i])
+		for _, batch := range []int{1, 4} {
+			p, batch := p, batch
+			t.Run(fmt.Sprintf("%v/batch%d", p, batch), func(t *testing.T) {
+				inproc := runMatrix(t, p, InProc, 2, batch)
+				tcp := runMatrix(t, p, TCP, 2, batch)
+				if len(inproc) != len(want) || len(tcp) != len(want) {
+					t.Fatalf("result lengths diverge: inproc %d, tcp %d, want %d",
+						len(inproc), len(tcp), len(want))
 				}
-				if tcp[i] != inproc[i] {
-					t.Errorf("op %d: TCP result %q != InProc result %q", i, tcp[i], inproc[i])
+				for i := range want {
+					if inproc[i] != want[i] {
+						t.Errorf("op %d over InProc: got %q, want %q", i, inproc[i], want[i])
+					}
+					if tcp[i] != inproc[i] {
+						t.Errorf("op %d: TCP result %q != InProc result %q", i, tcp[i], inproc[i])
+					}
 				}
-			}
-		})
+			})
+		}
 	}
 }
 

@@ -313,6 +313,38 @@ func BenchmarkAblationPipelining(b *testing.B) {
 	}
 }
 
+// BenchmarkAblationCommandBatching measures the simulated command-batch
+// ablation: 1Paxos, one client, window 16, batch 1 vs 8 vs 16.
+func BenchmarkAblationCommandBatching(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := experiments.AblationCommandBatching(benchOpts(i))
+		for _, r := range rows {
+			b.ReportMetric(r.Throughput, metricName(r.Config, "-ops"))
+		}
+	}
+}
+
+// BenchmarkKVBatchSweepInProc measures command batching end to end on
+// the real in-process runtime (wall clock): the same ops through the
+// same window, packed 1 vs 8 commands per consensus instance. This is
+// the headline batching number; cmd/consensusbench -run batch-sweep
+// records it to BENCH_*.json.
+func BenchmarkKVBatchSweepInProc(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		pts, err := BatchSweep(BatchSweepOptions{BatchSizes: []int{1, 8}, Ops: 8000})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, p := range pts {
+			b.ReportMetric(p.Throughput, fmt.Sprintf("batch%d-ops", p.Batch))
+			b.ReportMetric(p.CommandsPerInst, fmt.Sprintf("batch%d-cmds-per-inst", p.Batch))
+		}
+		if pts[0].Throughput > 0 {
+			b.ReportMetric(pts[1].Throughput/pts[0].Throughput, "speedup-8v1")
+		}
+	}
+}
+
 // BenchmarkShardScalingSim measures the simulated shard sweep: 12
 // replica cores split into 1x12, 2x6 and 4x3 independent groups, 24
 // clients on disjoint per-shard keys. Aggregate virtual-time throughput

@@ -11,8 +11,8 @@
 //
 // Experiment ids mirror DESIGN.md's per-experiment index: netchar, fig2,
 // sec2.2, latency, fig8, fig9, fig10, fig11, acceptor-switch, lan,
-// ablation-batching, ablation-pipelining, shard-sweep, shard-sim,
-// mencius.
+// ablation-batching, ablation-pipelining, ablation-cmdbatch,
+// batch-sweep, shard-sweep, shard-sim, mencius.
 //
 // With -json the run also writes a machine-readable BENCH_*.json file:
 // one object per executed experiment with its headline metrics, so
@@ -185,6 +185,58 @@ var all = []experiment{
 			rows := experiments.AblationPipelining(opts)
 			experiments.PrintAblation(w, "Ablation — client pipelining, 1 client, 3 replicas", rows)
 			return ablationMetrics(rows)
+		},
+	},
+	{
+		id:    "ablation-cmdbatch",
+		about: "command batching ablation: batch 1/8/16 at window 16 (1Paxos, simulated)",
+		run: func(w io.Writer, opts experiments.Opts) map[string]float64 {
+			rows := experiments.AblationCommandBatching(opts)
+			experiments.PrintAblation(w, "Ablation — command batching, window 16, 1 client, 3 replicas", rows)
+			return ablationMetrics(rows)
+		},
+	},
+	{
+		id:    "batch-sweep",
+		about: "command batching on the real runtimes: batch 1 vs 8 at window 16, InProc + TCP",
+		run: func(w io.Writer, opts experiments.Opts) map[string]float64 {
+			m := map[string]float64{}
+			for _, tr := range []struct {
+				name string
+				kind consensusinside.TransportKind
+			}{
+				{"inproc", consensusinside.InProc},
+				{"tcp", consensusinside.TCP},
+			} {
+				sweep := consensusinside.BatchSweepOptions{Transport: tr.kind, BatchSizes: []int{1, 8, 16}}
+				if opts.Quick {
+					sweep.Ops = 3000
+					sweep.BatchSizes = []int{1, 8}
+				}
+				pts, err := consensusinside.BatchSweep(sweep)
+				if err != nil {
+					fmt.Fprintf(w, "batch sweep over %s failed: %v\n", tr.name, err)
+					continue
+				}
+				fmt.Fprintf(w, "Batch sweep — 1Paxos over %s, window %d, same ops per configuration\n",
+					tr.name, consensusinside.DefaultPipeline)
+				fmt.Fprintf(w, "%-8s %8s %14s %12s %12s\n", "batch", "ops", "throughput", "instances", "cmds/inst")
+				for _, p := range pts {
+					fmt.Fprintf(w, "%-8d %8d %12.0f/s %12d %12.2f\n",
+						p.Batch, p.Ops, p.Throughput, p.Batches, p.CommandsPerInst)
+					m[fmt.Sprintf("%s_batch%d_ops", tr.name, p.Batch)] = p.Throughput
+					m[fmt.Sprintf("%s_batch%d_instances", tr.name, p.Batch)] = float64(p.Batches)
+					m[fmt.Sprintf("%s_batch%d_cmds_per_instance", tr.name, p.Batch)] = p.CommandsPerInst
+				}
+				if len(pts) > 1 && pts[0].Throughput > 0 {
+					for _, p := range pts[1:] {
+						gain := p.Throughput / pts[0].Throughput
+						fmt.Fprintf(w, "gain at batch %d: %.2fx\n", p.Batch, gain)
+						m[fmt.Sprintf("%s_speedup_%dv1", tr.name, p.Batch)] = gain
+					}
+				}
+			}
+			return m
 		},
 	},
 	{

@@ -10,17 +10,19 @@
 //     agreement engine — 1Paxos, Multi-Paxos, 2PC, Mencius, or the
 //     single-decree BasicPaxos baseline (KVConfig.Protocol) — over an
 //     in-process QC-libtask-style runtime or real TCP sockets, with a
-//     pipelined window of in-flight commands (KVConfig.Pipeline) and
-//     optional keyspace sharding across independent consensus groups
-//     (KVConfig.Shards; each key hash-routes to one group's log) — the
-//     "adopt this" API;
+//     pipelined window of in-flight commands (KVConfig.Pipeline),
+//     command batching that packs several of them into one consensus
+//     instance (KVConfig.BatchSize/BatchDelay), and optional keyspace
+//     sharding across independent consensus groups (KVConfig.Shards;
+//     each key hash-routes to one group's log) — the "adopt this" API;
 //   - the deterministic many-core simulator and cluster harness
 //     (NewSimCluster) used to reproduce every figure of the paper's
-//     evaluation, sweeping the same engines, client window and shard
-//     count (SimSpec.Shards); and
+//     evaluation, sweeping the same engines, client window, batch cap
+//     and shard count (SimSpec.Shards/BatchSize); and
 //   - the experiment runners themselves (the experiments re-exported
 //     through cmd/consensusbench, which can emit BENCH_*.json; the
-//     wall-clock shard sweep is exported here as ShardSweep).
+//     wall-clock shard and batch sweeps are exported here as ShardSweep
+//     and BatchSweep).
 //
 // Protocols are written once against the message-passing contract
 // (internal/runtime.Handler) and registered in internal/protocol; every

@@ -189,17 +189,22 @@ func (r *Replica) Timer(ctx runtime.Context, tag runtime.TimerTag) {
 // --- Proposer ---
 
 func (r *Replica) onClientRequest(req msg.ClientRequest) {
-	r.sessions.ClientAck(req.Client, req.Ack)
-	if inst, result, ok := r.sessions.Lookup(req.Client, req.Seq); ok {
-		r.ctx.Send(req.Client, msg.ClientReply{Seq: req.Seq, Instance: inst, OK: true, Result: result})
+	// Committed entries (single command or batch alike) are answered
+	// from the session table; what remains still needs agreement.
+	fresh := r.sessions.Screen(req, func(rep msg.ClientReply) { r.ctx.Send(req.Client, rep) })
+	entries := fresh[:0]
+	for _, be := range fresh {
+		if !r.origin[originKey{req.Client, be.Seq}] {
+			entries = append(entries, be) // not a retry of one in flight here
+		}
+	}
+	if len(entries) == 0 {
 		return
 	}
-	key := originKey{req.Client, req.Seq}
-	if r.origin[key] {
-		return // a retry of a command already in flight here
+	for _, be := range entries {
+		r.origin[originKey{req.Client, be.Seq}] = true
 	}
-	r.origin[key] = true
-	r.propose(msg.Value{Client: req.Client, Seq: req.Seq, Cmd: req.Cmd, Ack: req.Ack})
+	r.propose(msg.NewValue(req.Client, req.Ack, entries))
 }
 
 // propose starts a full Synod round for v at the next free instance.
@@ -331,7 +336,7 @@ func (r *Replica) onAccepted(m msg.BPAccepted) {
 	}
 }
 
-func (r *Replica) onApply(e rsm.Entry, result string) {
+func (r *Replica) onApply(e rsm.Entry, results []string) {
 	r.commits++
 	delete(r.votes, e.Instance)
 	d := r.drives[e.Instance]
@@ -341,20 +346,31 @@ func (r *Replica) onApply(e rsm.Entry, result string) {
 	}
 	v := e.Value
 	if v.Client != msg.Nobody {
-		if !r.sessions.Seen(v.Client, v.Seq) {
-			r.sessions.Done(v.Client, v.Seq, e.Instance, result)
+		var replies []msg.ClientReply
+		for i, n := 0, v.Len(); i < n; i++ {
+			be := v.EntryAt(i)
+			result := results[i]
+			if !r.sessions.Seen(v.Client, be.Seq) {
+				r.sessions.Done(v.Client, be.Seq, e.Instance, result)
+			}
+			key := originKey{v.Client, be.Seq}
+			if r.origin[key] {
+				delete(r.origin, key)
+				replies = append(replies, msg.ClientReply{Seq: be.Seq, Instance: e.Instance, OK: true, Result: result})
+			}
 		}
-		key := originKey{v.Client, v.Seq}
-		if r.origin[key] {
-			delete(r.origin, key)
-			r.ctx.Send(v.Client, msg.ClientReply{Seq: v.Seq, Instance: e.Instance, OK: true, Result: result})
+		// One message answers the whole batch, so the client can retire
+		// it in one step and refill its window with a full batch.
+		if m := msg.WrapReplies(replies); m != nil {
+			r.ctx.Send(v.Client, m)
 		}
 	}
 	// If this drive's instance went to a foreign value (an adopted
-	// proposal or a lost duel), the command it was carrying still needs a
-	// slot: re-propose it at a fresh instance unless it committed
-	// elsewhere meanwhile.
-	if d != nil && d.want != v && d.want.Client != msg.Nobody && !r.sessions.Seen(d.want.Client, d.want.Seq) {
-		r.propose(d.want)
+	// proposal or a lost duel), the commands it was carrying still need a
+	// slot: re-propose the not-yet-committed ones at a fresh instance.
+	if d != nil && !d.want.Equal(v) && d.want.Client != msg.Nobody {
+		if keep := r.sessions.Unseen(d.want.Client, d.want.Entries()); len(keep) > 0 {
+			r.propose(msg.NewValue(d.want.Client, d.want.Ack, keep))
+		}
 	}
 }

@@ -79,6 +79,17 @@ type Spec struct {
 	// in flight at once. 0 or 1 is the paper's closed loop.
 	Window int
 
+	// BatchSize is each client's per-lane command batch: up to that many
+	// outstanding commands ride one consensus instance (0 or 1 is the
+	// paper's one-command-per-instance behavior). Validated like Shards:
+	// it must not exceed the pipeline window it draws from.
+	BatchSize int
+
+	// BatchDelay, when positive, holds a client's partial batch back up
+	// to this long waiting for more window slots before issuing it (see
+	// workload.Config.BatchDelay).
+	BatchDelay time.Duration
+
 	// Protocol tuning.
 	AcceptTimeout time.Duration // paxos-family failure detection
 	LearnBatching bool          // 1Paxos acceptor-broadcast batching
@@ -119,6 +130,23 @@ func Build(spec Spec) (*Cluster, error) {
 		// the exactly-once guarantee (see rsm.Sessions).
 		return nil, fmt.Errorf("cluster: client window %d exceeds the session window %d",
 			spec.Window, rsm.DefaultSessionWindow)
+	}
+	if spec.BatchSize < 0 {
+		return nil, fmt.Errorf("cluster: negative batch size %d", spec.BatchSize)
+	}
+	window := spec.Window
+	if window < 1 {
+		window = 1
+	}
+	if spec.BatchSize > window {
+		// A batch is drawn from the outstanding pipeline window; a cap
+		// beyond it could never fill and almost certainly means the spec
+		// author forgot to widen the window.
+		return nil, fmt.Errorf("cluster: batch size %d exceeds the client window %d",
+			spec.BatchSize, window)
+	}
+	if spec.BatchDelay < 0 {
+		return nil, fmt.Errorf("cluster: negative batch delay %v", spec.BatchDelay)
 	}
 	if spec.Shards < 0 {
 		return nil, fmt.Errorf("cluster: negative shard count %d", spec.Shards)
@@ -212,6 +240,8 @@ func (c *Cluster) clientConfig(id msg.NodeID, i int) workload.Config {
 		RetryTimeout: spec.RetryTimeout,
 		ReadFraction: spec.ReadFraction,
 		Window:       spec.Window,
+		BatchSize:    spec.BatchSize,
+		BatchDelay:   spec.BatchDelay,
 		StartDelay:   time.Duration(i) * time.Microsecond,
 		Warmup:       spec.Warmup,
 		SeriesBucket: spec.SeriesBucket,
@@ -297,6 +327,16 @@ func (c *Cluster) ClientStats() RunStats {
 	return stats
 }
 
+// BatchStats folds all clients' proposed-batch occupancy counters —
+// how many batches went out and how full they ran.
+func (c *Cluster) BatchStats() metrics.BatchOccupancy {
+	var occ metrics.BatchOccupancy
+	for _, cl := range c.Clients {
+		occ.Merge(cl.BatchStats())
+	}
+	return occ
+}
+
 // SeriesSum sums all clients' completion time series into one bucket
 // vector (Figure 11's proposals-per-10ms plot).
 func (c *Cluster) SeriesSum() []int {
@@ -358,7 +398,7 @@ func (c *Cluster) CheckConsistency() error {
 			}
 			for _, e := range exp.Log().History() {
 				if prev, ok := chosen[e.Instance]; ok {
-					if prev != e.Value {
+					if !prev.Equal(e.Value) {
 						return fmt.Errorf("group %d instance %d: replica %d learned %+v, replica %d learned %+v",
 							g, e.Instance, who[e.Instance], prev, id, e.Value)
 					}
@@ -389,11 +429,12 @@ func (j *jointHandler) Start(ctx runtime.Context) {
 }
 
 func (j *jointHandler) Receive(ctx runtime.Context, from msg.NodeID, m msg.Message) {
-	if _, ok := m.(msg.ClientReply); ok {
+	switch m.(type) {
+	case msg.ClientReply, msg.ClientReplyBatch:
 		j.client.Receive(ctx, from, m)
-		return
+	default:
+		j.server.Receive(ctx, from, m)
 	}
-	j.server.Receive(ctx, from, m)
 }
 
 func (j *jointHandler) Timer(ctx runtime.Context, tag runtime.TimerTag) {

@@ -367,6 +367,71 @@ func TestShardsValidation(t *testing.T) {
 	}
 }
 
+// TestBatchValidation is the Spec.BatchSize/BatchDelay validation
+// table, mirroring the Shards one.
+func TestBatchValidation(t *testing.T) {
+	cases := []struct {
+		name  string
+		tweak func(*Spec)
+	}{
+		{"negative batch size", func(s *Spec) { s.BatchSize = -1 }},
+		{"batch beyond the window", func(s *Spec) { s.Window = 8; s.BatchSize = 9 }},
+		{"batch beyond the default closed loop", func(s *Spec) { s.BatchSize = 2 }},
+		{"negative batch delay", func(s *Spec) { s.Window = 8; s.BatchSize = 4; s.BatchDelay = -time.Millisecond }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			spec := baseSpec(OnePaxos, 2)
+			tc.tweak(&spec)
+			if _, err := Build(spec); err == nil {
+				t.Fatalf("Build accepted %+v", spec)
+			}
+		})
+	}
+	spec := baseSpec(OnePaxos, 2)
+	spec.Window = 8
+	spec.BatchSize = 8
+	spec.BatchDelay = 5 * time.Microsecond
+	if _, err := Build(spec); err != nil {
+		t.Fatalf("legal batching spec rejected: %v", err)
+	}
+}
+
+// TestBatchedWindowCommits drives every log-ordered protocol with a
+// pipelined, batched client on the simulator: all commands must commit
+// exactly once, replicas must stay consistent, and multi-command
+// instances must actually form.
+func TestBatchedWindowCommits(t *testing.T) {
+	for _, p := range []Protocol{OnePaxos, MultiPaxos, Mencius, BasicPaxos, TwoPC} {
+		t.Run(p.String(), func(t *testing.T) {
+			spec := baseSpec(p, 2)
+			spec.RequestsPerClient = 60
+			spec.Window = 8
+			spec.BatchSize = 4
+			spec.RetryTimeout = 5 * time.Millisecond
+			c := MustBuild(spec)
+			c.Start()
+			c.RunFor(300 * time.Millisecond)
+			for i, cl := range c.Clients {
+				if got := cl.Completed(); got != 60 {
+					t.Errorf("client %d completed %d, want 60", i, got)
+				}
+			}
+			occ := c.BatchStats()
+			if occ.Commands() != int64(60*len(c.Clients)) {
+				t.Errorf("occupancy counted %d commands, want %d", occ.Commands(), 60*len(c.Clients))
+			}
+			if occ.Commands() <= occ.Batches() {
+				t.Errorf("batcher never coalesced: %d commands in %d batches",
+					occ.Commands(), occ.Batches())
+			}
+			if err := c.CheckConsistency(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
 // TestShardedBuildLayout checks the core-to-group assignment: disjoint
 // dense per-group id ranges, clients above them, every client running
 // one lane per group.

@@ -682,6 +682,42 @@ func AblationPipelining(opts Opts) []AblationRow {
 	return out
 }
 
+// AblationCommandBatching measures proposer-side command batching on
+// the simulator: 1Paxos, 3 replicas, one client with a window of 16
+// outstanding commands, batch cap 1 vs 8 vs 16. Batch 1 is the
+// pre-batching system (every command burns one agreement instance);
+// larger caps amortize the per-instance message cost across the window.
+// A small BatchDelay lets partial batches wait for the window's
+// batched completions, which arrive together.
+func AblationCommandBatching(opts Opts) []AblationRow {
+	opts = opts.withDefaults(60*time.Millisecond, 10*time.Millisecond)
+	var out []AblationRow
+	for _, batch := range []int{1, 8, 16} {
+		c := cluster.MustBuild(cluster.Spec{
+			Protocol:     cluster.OnePaxos,
+			Machine:      topology.Opteron48(),
+			Cost:         simnet.ManyCore(),
+			Seed:         opts.Seed,
+			Replicas:     3,
+			Clients:      1,
+			Window:       16,
+			BatchSize:    batch,
+			BatchDelay:   5 * time.Microsecond,
+			Warmup:       opts.Warmup,
+			RetryTimeout: 50 * time.Millisecond,
+		})
+		c.Start()
+		c.RunFor(opts.Warmup + opts.Duration)
+		st := c.ClientStats()
+		label := "batch 1 (off)"
+		if batch > 1 {
+			label = fmt.Sprintf("batch %d", batch)
+		}
+		out = append(out, AblationRow{Config: label, Throughput: st.Throughput, Latency: st.Latency.Mean})
+	}
+	return out
+}
+
 // PrintAblation renders ablation rows.
 func PrintAblation(w io.Writer, title string, rows []AblationRow) {
 	fmt.Fprintf(w, "%s\n", title)

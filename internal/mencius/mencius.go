@@ -134,19 +134,25 @@ func (r *Replica) Receive(ctx runtime.Context, from msg.NodeID, m msg.Message) {
 // instance — every replica is a leader for its share (the Mencius
 // load-spreading idea).
 func (r *Replica) onClientRequest(req msg.ClientRequest) {
-	r.sessions.ClientAck(req.Client, req.Ack)
-	if inst, result, ok := r.sessions.Lookup(req.Client, req.Seq); ok {
-		r.ctx.Send(req.Client, msg.ClientReply{Seq: req.Seq, Instance: inst, OK: true, Result: result})
-		return
+	// Committed entries (single command or batch alike) are answered
+	// from the session table; what remains still needs agreement.
+	fresh := r.sessions.Screen(req, func(rep msg.ClientReply) { r.ctx.Send(req.Client, rep) })
+	entries := fresh[:0]
+	for _, be := range fresh {
+		if !r.origin[originKey{req.Client, be.Seq}] {
+			entries = append(entries, be) // not a retry of one proposed here
+		}
 	}
-	if r.origin[originKey{req.Client, req.Seq}] {
-		return // a retry of a command already proposed here
+	if len(entries) == 0 {
+		return
 	}
 	in := r.nextOwned
 	r.nextOwned += int64(len(r.replicas))
-	v := msg.Value{Client: req.Client, Seq: req.Seq, Cmd: req.Cmd, Ack: req.Ack}
+	v := msg.NewValue(req.Client, req.Ack, entries)
 	r.proposed[in] = v
-	r.origin[originKey{req.Client, req.Seq}] = true
+	for _, be := range entries {
+		r.origin[originKey{req.Client, be.Seq}] = true
+	}
 	for _, id := range r.replicas {
 		r.ctx.Send(id, msg.MencAccept{Instance: in, PN: 1, Value: v})
 	}
@@ -211,18 +217,28 @@ func (r *Replica) skipBelow(observed int64) {
 	}
 }
 
-func (r *Replica) onApply(e rsm.Entry, result string) {
+func (r *Replica) onApply(e rsm.Entry, results []string) {
 	r.commits++
 	v := e.Value
 	if v.Client == msg.Nobody {
 		return
 	}
-	if !r.sessions.Seen(v.Client, v.Seq) {
-		r.sessions.Done(v.Client, v.Seq, e.Instance, result)
+	var replies []msg.ClientReply
+	for i, n := 0, v.Len(); i < n; i++ {
+		be := v.EntryAt(i)
+		result := results[i]
+		if !r.sessions.Seen(v.Client, be.Seq) {
+			r.sessions.Done(v.Client, be.Seq, e.Instance, result)
+		}
+		key := originKey{v.Client, be.Seq}
+		if r.origin[key] {
+			delete(r.origin, key)
+			replies = append(replies, msg.ClientReply{Seq: be.Seq, Instance: e.Instance, OK: true, Result: result})
+		}
 	}
-	key := originKey{v.Client, v.Seq}
-	if r.origin[key] {
-		delete(r.origin, key)
-		r.ctx.Send(v.Client, msg.ClientReply{Seq: v.Seq, Instance: e.Instance, OK: true, Result: result})
+	// One message answers the whole batch, so the client can retire it
+	// in one step and refill its window with a full batch.
+	if m := msg.WrapReplies(replies); m != nil {
+		r.ctx.Send(v.Client, m)
 	}
 }

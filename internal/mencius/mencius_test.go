@@ -65,7 +65,7 @@ func (s *scenario) checkAgreement(t *testing.T) {
 	chosen := make(map[int64]msg.Value)
 	for i, r := range s.replicas {
 		for _, e := range r.Log().History() {
-			if prev, ok := chosen[e.Instance]; ok && prev != e.Value {
+			if prev, ok := chosen[e.Instance]; ok && !prev.Equal(e.Value) {
 				t.Fatalf("replica %d: instance %d %+v vs %+v", i, e.Instance, e.Value, prev)
 			} else if !ok {
 				chosen[e.Instance] = e.Value

@@ -186,6 +186,76 @@ func (ts *TimeSeries) Total() int {
 	return total
 }
 
+// BatchOccupancyBuckets are the upper bounds (inclusive) of the
+// commands-per-batch histogram; the last bucket is open-ended. The
+// bounds are powers of two because batch sizes are: a batcher fills up
+// to BatchSize from its pipeline window, so occupancy clusters at 1,
+// the window remainder, and the configured cap.
+var BatchOccupancyBuckets = []int{1, 2, 4, 8, 16, 32}
+
+// BatchOccupancy tracks how full proposed batches run: how many batches
+// were proposed, how many commands they carried in total, and a
+// commands-per-batch histogram over BatchOccupancyBuckets. Client-side
+// batchers (the KV bridge, workload clients) record one sample per
+// proposed batch; the zero value is ready to use.
+type BatchOccupancy struct {
+	batches  int64
+	commands int64
+	buckets  [7]int64 // len(BatchOccupancyBuckets) + 1 overflow bucket
+}
+
+// Record counts one proposed batch of n commands.
+func (b *BatchOccupancy) Record(n int) {
+	if n < 1 {
+		return
+	}
+	b.batches++
+	b.commands += int64(n)
+	for i, bound := range BatchOccupancyBuckets {
+		if n <= bound {
+			b.buckets[i]++
+			return
+		}
+	}
+	b.buckets[len(BatchOccupancyBuckets)]++
+}
+
+// Batches reports how many batches were proposed.
+func (b *BatchOccupancy) Batches() int64 { return b.batches }
+
+// Commands reports the total commands across all batches.
+func (b *BatchOccupancy) Commands() int64 { return b.commands }
+
+// Mean reports the average commands per batch (0 with no batches).
+func (b *BatchOccupancy) Mean() float64 {
+	if b.batches == 0 {
+		return 0
+	}
+	return float64(b.commands) / float64(b.batches)
+}
+
+// Bucket reports the histogram count for bucket i of Labels order.
+func (b *BatchOccupancy) Bucket(i int) int64 { return b.buckets[i] }
+
+// BucketLabels names the histogram buckets ("<=1", "<=2", ..., ">32"),
+// aligned with Bucket indices.
+func (b *BatchOccupancy) BucketLabels() []string {
+	out := make([]string, 0, len(b.buckets))
+	for _, bound := range BatchOccupancyBuckets {
+		out = append(out, fmt.Sprintf("<=%d", bound))
+	}
+	return append(out, fmt.Sprintf(">%d", BatchOccupancyBuckets[len(BatchOccupancyBuckets)-1]))
+}
+
+// Merge folds other's counts into b.
+func (b *BatchOccupancy) Merge(other *BatchOccupancy) {
+	b.batches += other.batches
+	b.commands += other.commands
+	for i := range b.buckets {
+		b.buckets[i] += other.buckets[i]
+	}
+}
+
 // Counter is a labeled monotonic counter set, used for per-node message
 // accounting (e.g. messages sent/received by the leader).
 type Counter struct {

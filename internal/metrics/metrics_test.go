@@ -204,3 +204,37 @@ func TestHistogramLargeRandom(t *testing.T) {
 		t.Fatal("percentiles outside [min,max]")
 	}
 }
+
+func TestBatchOccupancy(t *testing.T) {
+	var b BatchOccupancy
+	if b.Batches() != 0 || b.Commands() != 0 || b.Mean() != 0 {
+		t.Fatal("zero occupancy must report zeros")
+	}
+	b.Record(0) // nonsense sample: ignored
+	for _, n := range []int{1, 1, 2, 4, 8, 8, 33} {
+		b.Record(n)
+	}
+	if b.Batches() != 7 || b.Commands() != 57 {
+		t.Fatalf("batches=%d commands=%d, want 7/57", b.Batches(), b.Commands())
+	}
+	if got := b.Mean(); got < 8.1 || got > 8.2 {
+		t.Fatalf("Mean = %v, want 57/7", got)
+	}
+	labels := b.BucketLabels()
+	want := map[string]int64{"<=1": 2, "<=2": 1, "<=4": 1, "<=8": 2, "<=16": 0, "<=32": 0, ">32": 1}
+	for i, label := range labels {
+		if b.Bucket(i) != want[label] {
+			t.Errorf("bucket %s = %d, want %d", label, b.Bucket(i), want[label])
+		}
+	}
+
+	var sum BatchOccupancy
+	sum.Record(16)
+	sum.Merge(&b)
+	if sum.Batches() != 8 || sum.Commands() != 73 {
+		t.Fatalf("merged batches=%d commands=%d", sum.Batches(), sum.Commands())
+	}
+	if sum.Bucket(4) != 1 { // the 16 landed in <=16
+		t.Fatalf("merged <=16 bucket = %d", sum.Bucket(4))
+	}
+}

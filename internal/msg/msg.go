@@ -51,8 +51,27 @@ type Command struct {
 	Val string
 }
 
-// Value is the unit the protocols agree on: a client command tagged with
-// its origin, so replicas can route the reply and deduplicate retries.
+// BatchEntry is one command of a batched value or request: the
+// lane-local sequence number that identifies it and the command itself.
+// The client is carried once, on the enclosing Value or ClientRequest —
+// a batch always comes from a single client lane.
+type BatchEntry struct {
+	Seq uint64
+	Cmd Command
+}
+
+// Value is the unit the protocols agree on: one client command — or an
+// ordered batch of commands from the same client lane — tagged with its
+// origin, so replicas can route the replies and deduplicate retries.
+//
+// When Batch is non-empty it supersedes Cmd: the value carries
+// len(Batch) commands in order, Seq equals Batch[0].Seq (so the batch
+// has a stable identity wherever a single sequence number is needed),
+// and Cmd is left zero. Engines never look inside: a batched value
+// flows through accept/learn messages exactly like a single command,
+// and one consensus instance decides the whole batch. The rsm layer
+// splits it again at apply time (Value.Split), recording a per-command
+// session result for every entry.
 //
 // Ack replicates the client's acknowledgement floor (see
 // ClientRequest.Ack) through the log itself, so every learner — not
@@ -65,10 +84,89 @@ type Value struct {
 	Seq    uint64
 	Cmd    Command
 	Ack    uint64
+	Batch  []BatchEntry
 }
 
 // IsZero reports whether v is the zero (absent) value.
-func (v Value) IsZero() bool { return v.Client == 0 && v.Seq == 0 && v.Cmd.Op == 0 }
+func (v Value) IsZero() bool {
+	return v.Client == 0 && v.Seq == 0 && v.Cmd.Op == 0 && len(v.Batch) == 0
+}
+
+// Len reports how many commands the value carries: len(Batch) for a
+// batched value, 1 otherwise.
+func (v Value) Len() int {
+	if len(v.Batch) > 0 {
+		return len(v.Batch)
+	}
+	return 1
+}
+
+// Entries returns the per-command view of the value: the batch itself,
+// or a single entry synthesized from Seq/Cmd. Callers must not mutate
+// the returned slice. Hot paths iterating with Len/EntryAt avoid the
+// single-command case's slice allocation.
+func (v Value) Entries() []BatchEntry {
+	if len(v.Batch) > 0 {
+		return v.Batch
+	}
+	return []BatchEntry{{Seq: v.Seq, Cmd: v.Cmd}}
+}
+
+// EntryAt returns command i of the value (see Len) without allocating.
+func (v Value) EntryAt(i int) BatchEntry {
+	if len(v.Batch) > 0 {
+		return v.Batch[i]
+	}
+	return BatchEntry{Seq: v.Seq, Cmd: v.Cmd}
+}
+
+// Split expands the value into one single-command Value per entry, each
+// carrying the shared Client and Ack. A non-batched value splits into
+// itself. The rsm layer applies these sub-values in order, which is
+// what "the instance decides the whole batch atomically" means: the
+// entries occupy one log instance and nothing interleaves between them.
+func (v Value) Split() []Value {
+	if len(v.Batch) == 0 {
+		return []Value{v}
+	}
+	out := make([]Value, len(v.Batch))
+	for i, be := range v.Batch {
+		out[i] = Value{Client: v.Client, Seq: be.Seq, Cmd: be.Cmd, Ack: v.Ack}
+	}
+	return out
+}
+
+// Equal reports whether two values carry the same decision. Value holds
+// a slice, so it is not ==-comparable; every layer that checks log
+// agreement (rsm.Log.Learn, cluster.CheckConsistency, proposer
+// re-propose logic) compares through this instead.
+func (v Value) Equal(o Value) bool {
+	if v.Client != o.Client || v.Seq != o.Seq || v.Cmd != o.Cmd || v.Ack != o.Ack ||
+		len(v.Batch) != len(o.Batch) {
+		return false
+	}
+	for i := range v.Batch {
+		if v.Batch[i] != o.Batch[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// NewValue builds the agreement value for a client's entries: a plain
+// single-command value for one entry, a batched value otherwise. The
+// entries slice is not copied; callers hand over ownership. It panics
+// on an empty entry list — batches exist only around commands.
+func NewValue(client NodeID, ack uint64, entries []BatchEntry) Value {
+	switch len(entries) {
+	case 0:
+		panic("msg: NewValue with no entries")
+	case 1:
+		return Value{Client: client, Seq: entries[0].Seq, Cmd: entries[0].Cmd, Ack: ack}
+	default:
+		return Value{Client: client, Seq: entries[0].Seq, Ack: ack, Batch: entries}
+	}
+}
 
 // Proposal is an (instance, proposal-number, value) triple — the acceptor's
 // short-term memory in Paxos-family protocols.
@@ -76,6 +174,12 @@ type Proposal struct {
 	Instance int64
 	PN       uint64
 	Value    Value
+}
+
+// Equal compares proposals structurally (Value holds a slice, so
+// proposals are not ==-comparable).
+func (p Proposal) Equal(o Proposal) bool {
+	return p.Instance == o.Instance && p.PN == o.PN && p.Value.Equal(o.Value)
 }
 
 // Message is implemented by every protocol message.
@@ -88,7 +192,11 @@ type Message interface {
 // Client traffic
 // ---------------------------------------------------------------------------
 
-// ClientRequest carries one command from a client to a replica.
+// ClientRequest carries one command — or an ordered batch of commands
+// from the same client lane — from a client to a replica. The batching
+// convention mirrors Value: a non-empty Batch supersedes Cmd, and Seq
+// equals Batch[0].Seq so retry/origin bookkeeping that predates
+// batching keeps a stable handle on the request.
 //
 // Ack is the client's lowest still-outstanding sequence number: every
 // seq below it has been answered, so replicas may discard those stored
@@ -99,6 +207,30 @@ type ClientRequest struct {
 	Seq    uint64
 	Cmd    Command
 	Ack    uint64
+	Batch  []BatchEntry
+}
+
+// Entries returns the per-command view of the request (see
+// Value.Entries). Callers must not mutate the returned slice.
+func (r ClientRequest) Entries() []BatchEntry {
+	if len(r.Batch) > 0 {
+		return r.Batch
+	}
+	return []BatchEntry{{Seq: r.Seq, Cmd: r.Cmd}}
+}
+
+// NewRequest builds a client request for a client's entries, single or
+// batched, mirroring NewValue. The entries slice is not copied; it
+// panics on an empty entry list.
+func NewRequest(client NodeID, ack uint64, entries []BatchEntry) ClientRequest {
+	switch len(entries) {
+	case 0:
+		panic("msg: NewRequest with no entries")
+	case 1:
+		return ClientRequest{Client: client, Seq: entries[0].Seq, Cmd: entries[0].Cmd, Ack: ack}
+	default:
+		return ClientRequest{Client: client, Seq: entries[0].Seq, Ack: ack, Batch: entries}
+	}
 }
 
 // ClientReply answers a ClientRequest after the command committed (or
@@ -111,8 +243,36 @@ type ClientReply struct {
 	Redirect NodeID // valid when !OK: where the client should retry
 }
 
-func (ClientRequest) Kind() string { return "client_request" }
-func (ClientReply) Kind() string   { return "client_reply" }
+// ClientReplyBatch answers several commands of one client in a single
+// message — the reply-path half of command batching. A batched value
+// commits all its commands at once; answering them one message at a
+// time would wake the client once per command and refill its pipeline
+// window one slot at a time, collapsing the proposer-side batcher back
+// to single-command batches. Delivering the replies together lets the
+// client retire the whole batch in one step and issue a full batch in
+// its place.
+type ClientReplyBatch struct {
+	Replies []ClientReply
+}
+
+func (ClientRequest) Kind() string    { return "client_request" }
+func (ClientReply) Kind() string      { return "client_reply" }
+func (ClientReplyBatch) Kind() string { return "client_reply_batch" }
+
+// WrapReplies packs one client's replies into a single message: the
+// bare reply when there is exactly one (the pre-batching wire format,
+// byte for byte), a ClientReplyBatch otherwise. It returns nil for an
+// empty list — nothing to send.
+func WrapReplies(replies []ClientReply) Message {
+	switch len(replies) {
+	case 0:
+		return nil
+	case 1:
+		return replies[0]
+	default:
+		return ClientReplyBatch{Replies: replies}
+	}
+}
 
 // ---------------------------------------------------------------------------
 // 1Paxos (Appendix A)
@@ -416,6 +576,7 @@ func (BPNack) Kind() string     { return "bp_nack" }
 func Register() {
 	gob.Register(ClientRequest{})
 	gob.Register(ClientReply{})
+	gob.Register(ClientReplyBatch{})
 	gob.Register(PrepareRequest{})
 	gob.Register(PrepareResponse{})
 	gob.Register(Abandon{})

@@ -52,6 +52,68 @@ func TestValueIsZero(t *testing.T) {
 	if (Value{Client: 1, Seq: 1, Cmd: Command{Op: OpPut}}).IsZero() {
 		t.Error("real value must not report IsZero")
 	}
+	if (Value{Batch: []BatchEntry{{Seq: 1}}}).IsZero() {
+		t.Error("batched value must not report IsZero")
+	}
+}
+
+func TestValueBatchViews(t *testing.T) {
+	single := Value{Client: 3, Seq: 7, Cmd: Command{Op: OpPut, Key: "k", Val: "v"}, Ack: 5}
+	if single.Len() != 1 {
+		t.Fatalf("single Len = %d", single.Len())
+	}
+	if es := single.Entries(); len(es) != 1 || es[0].Seq != 7 || es[0].Cmd != single.Cmd {
+		t.Fatalf("single Entries = %+v", es)
+	}
+	if subs := single.Split(); len(subs) != 1 || !subs[0].Equal(single) {
+		t.Fatalf("single Split = %+v", subs)
+	}
+
+	entries := []BatchEntry{
+		{Seq: 7, Cmd: Command{Op: OpPut, Key: "a", Val: "1"}},
+		{Seq: 8, Cmd: Command{Op: OpGet, Key: "b"}},
+		{Seq: 9, Cmd: Command{Op: OpPut, Key: "c", Val: "3"}},
+	}
+	batched := NewValue(3, 5, entries)
+	if batched.Seq != 7 || batched.Len() != 3 || len(batched.Batch) != 3 {
+		t.Fatalf("batched = %+v", batched)
+	}
+	subs := batched.Split()
+	if len(subs) != 3 {
+		t.Fatalf("Split = %d sub-values", len(subs))
+	}
+	for i, sub := range subs {
+		want := Value{Client: 3, Seq: entries[i].Seq, Cmd: entries[i].Cmd, Ack: 5}
+		if !sub.Equal(want) {
+			t.Errorf("Split[%d] = %+v, want %+v", i, sub, want)
+		}
+	}
+
+	if one := NewValue(3, 5, entries[:1]); len(one.Batch) != 0 || one.Cmd != entries[0].Cmd {
+		t.Errorf("NewValue with one entry must stay unbatched: %+v", one)
+	}
+	if req := NewRequest(3, 5, entries); req.Seq != 7 || len(req.Batch) != 3 {
+		t.Errorf("NewRequest = %+v", req)
+	}
+	if es := NewRequest(3, 5, entries[:1]).Entries(); len(es) != 1 || es[0] != entries[0] {
+		t.Errorf("single request Entries = %+v", es)
+	}
+}
+
+func TestValueEqual(t *testing.T) {
+	entries := []BatchEntry{{Seq: 1, Cmd: Command{Op: OpPut, Key: "k"}}, {Seq: 2, Cmd: Command{Op: OpGet, Key: "k"}}}
+	a := NewValue(1, 0, entries)
+	b := NewValue(1, 0, append([]BatchEntry(nil), entries...))
+	if !a.Equal(b) {
+		t.Error("identical batches must compare equal")
+	}
+	c := NewValue(1, 0, []BatchEntry{entries[0], {Seq: 3, Cmd: Command{Op: OpGet, Key: "k"}}})
+	if a.Equal(c) {
+		t.Error("different batches must not compare equal")
+	}
+	if a.Equal(Value{Client: 1, Seq: 1, Cmd: entries[0].Cmd}) {
+		t.Error("batched vs single must not compare equal")
+	}
 }
 
 func TestUtilEntryIsZero(t *testing.T) {
@@ -101,5 +163,55 @@ func TestGobRoundTripAllMessages(t *testing.T) {
 		if out.M.Kind() != m.Kind() {
 			t.Fatalf("round trip changed kind: %q -> %q", m.Kind(), out.M.Kind())
 		}
+	}
+}
+
+// TestGobRoundTripBatched pins the batched wire format: a batched
+// request and a batched agreement value must survive the TCP encoding
+// with every entry intact and in order.
+func TestGobRoundTripBatched(t *testing.T) {
+	Register()
+	entries := []BatchEntry{
+		{Seq: 11, Cmd: Command{Op: OpPut, Key: "a", Val: "1"}},
+		{Seq: 12, Cmd: Command{Op: OpGet, Key: "b"}},
+		{Seq: 13, Cmd: Command{Op: OpPut, Key: "c", Val: "3"}},
+	}
+	val := NewValue(4, 10, entries)
+
+	type envelope struct {
+		From NodeID
+		M    Message
+	}
+	roundTrip := func(m Message) Message {
+		t.Helper()
+		var buf bytes.Buffer
+		if err := gob.NewEncoder(&buf).Encode(envelope{From: 1, M: m}); err != nil {
+			t.Fatalf("encode %T: %v", m, err)
+		}
+		var out envelope
+		if err := gob.NewDecoder(bytes.NewReader(buf.Bytes())).Decode(&out); err != nil {
+			t.Fatalf("decode %T: %v", m, err)
+		}
+		return out.M
+	}
+
+	req := roundTrip(NewRequest(4, 10, entries)).(ClientRequest)
+	if req.Client != 4 || req.Seq != 11 || req.Ack != 10 || len(req.Batch) != 3 {
+		t.Fatalf("request round trip = %+v", req)
+	}
+	for i, be := range req.Entries() {
+		if be != entries[i] {
+			t.Fatalf("request entry %d = %+v, want %+v", i, be, entries[i])
+		}
+	}
+
+	acc := roundTrip(AcceptRequest{Instance: 5, PN: 9, Value: val}).(AcceptRequest)
+	if !acc.Value.Equal(val) {
+		t.Fatalf("accept round trip changed value: %+v", acc.Value)
+	}
+
+	learn := roundTrip(Learn{Entries: []Proposal{{Instance: 5, PN: 9, Value: val}}}).(Learn)
+	if len(learn.Entries) != 1 || !learn.Entries[0].Value.Equal(val) {
+		t.Fatalf("learn round trip changed value: %+v", learn.Entries)
 	}
 }

@@ -208,23 +208,31 @@ func (r *Replica) Timer(ctx runtime.Context, tag runtime.TimerTag) {
 // --- Client path ---
 
 func (r *Replica) onClientRequest(from msg.NodeID, req msg.ClientRequest) {
-	r.sessions.ClientAck(req.Client, req.Ack)
-	if inst, result, ok := r.sessions.Lookup(req.Client, req.Seq); ok {
-		r.ctx.Send(req.Client, msg.ClientReply{Seq: req.Seq, Instance: inst, OK: true, Result: result})
-		return
+	// Committed entries (single command or batch alike) are answered
+	// from the session table; what remains still needs agreement.
+	fresh := r.sessions.Screen(req, func(rep msg.ClientReply) { r.ctx.Send(req.Client, rep) })
+	entries := fresh[:0]
+	for _, be := range fresh {
+		if !r.origin[originKey{req.Client, be.Seq}] {
+			entries = append(entries, be) // not a retry of one proposed or queued here
+		}
 	}
-	if r.origin[originKey{req.Client, req.Seq}] {
-		return // a retry of a command already proposed or queued here
+	if len(entries) == 0 {
+		return
 	}
 	switch {
 	case r.iAmLeader:
-		r.origin[originKey{req.Client, req.Seq}] = true
-		r.proposeValue(msg.Value{Client: req.Client, Seq: req.Seq, Cmd: req.Cmd, Ack: req.Ack})
+		for _, be := range entries {
+			r.origin[originKey{req.Client, be.Seq}] = true
+		}
+		r.proposeValue(msg.NewValue(req.Client, req.Ack, entries))
 	case r.cfg.ForwardToLeader && r.knownLeader != r.me && r.knownLeader != msg.Nobody && from != r.knownLeader:
 		r.ctx.Send(r.knownLeader, req)
 	default:
-		r.origin[originKey{req.Client, req.Seq}] = true
-		r.pending = append(r.pending, req)
+		for _, be := range entries {
+			r.origin[originKey{req.Client, be.Seq}] = true
+		}
+		r.pending = append(r.pending, msg.NewRequest(req.Client, req.Ack, entries))
 		if !r.preparing {
 			r.startPrepare()
 		}
@@ -331,10 +339,11 @@ func (r *Replica) onPromise(from msg.NodeID, m msg.MPPromise) {
 	pending := r.pending
 	r.pending = nil
 	for _, req := range pending {
-		if r.sessions.Seen(req.Client, req.Seq) {
+		keep := r.sessions.Unseen(req.Client, req.Entries())
+		if len(keep) == 0 {
 			continue
 		}
-		r.proposeValue(msg.Value{Client: req.Client, Seq: req.Seq, Cmd: req.Cmd, Ack: req.Ack})
+		r.proposeValue(msg.NewValue(req.Client, req.Ack, keep))
 	}
 }
 
@@ -408,7 +417,7 @@ func (r *Replica) onNack(m msg.MPNack) {
 
 // --- Apply path ---
 
-func (r *Replica) onApply(e rsm.Entry, result string) {
+func (r *Replica) onApply(e rsm.Entry, results []string) {
 	r.commits++
 	delete(r.proposed, e.Instance)
 	delete(r.outstanding, e.Instance)
@@ -416,13 +425,23 @@ func (r *Replica) onApply(e rsm.Entry, result string) {
 	if v.Client == msg.Nobody {
 		return
 	}
-	if !r.sessions.Seen(v.Client, v.Seq) {
-		r.sessions.Done(v.Client, v.Seq, e.Instance, result)
+	var replies []msg.ClientReply
+	for i, n := 0, v.Len(); i < n; i++ {
+		be := v.EntryAt(i)
+		result := results[i]
+		if !r.sessions.Seen(v.Client, be.Seq) {
+			r.sessions.Done(v.Client, be.Seq, e.Instance, result)
+		}
+		key := originKey{v.Client, be.Seq}
+		if r.origin[key] {
+			delete(r.origin, key)
+			replies = append(replies, msg.ClientReply{Seq: be.Seq, Instance: e.Instance, OK: true, Result: result})
+		}
 	}
-	key := originKey{v.Client, v.Seq}
-	if r.origin[key] {
-		delete(r.origin, key)
-		r.ctx.Send(v.Client, msg.ClientReply{Seq: v.Seq, Instance: e.Instance, OK: true, Result: result})
+	// One message answers the whole batch, so the client can retire it
+	// in one step and refill its window with a full batch.
+	if m := msg.WrapReplies(replies); m != nil {
+		r.ctx.Send(v.Client, m)
 	}
 }
 

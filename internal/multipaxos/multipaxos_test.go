@@ -82,7 +82,7 @@ func TestPromiseCarriesAcceptedTail(t *testing.T) {
 	if !ok {
 		t.Fatalf("want promise, got %+v", ctx.LastSent().M)
 	}
-	if len(prom.Accepted) != 1 || prom.Accepted[0].Value != val {
+	if len(prom.Accepted) != 1 || !prom.Accepted[0].Value.Equal(val) {
 		t.Fatalf("promise must carry the accepted tail, got %+v", prom.Accepted)
 	}
 }
@@ -107,7 +107,7 @@ func TestPromiseIncludesAppliedSuffix(t *testing.T) {
 	prom := ctx.LastSent().M.(msg.MPPromise)
 	found := false
 	for _, p := range prom.Accepted {
-		if p.Instance == 0 && p.Value == val {
+		if p.Instance == 0 && p.Value.Equal(val) {
 			found = true
 		}
 	}
@@ -219,7 +219,7 @@ func (s *scenario) checkAgreement(t *testing.T) {
 	chosen := make(map[int64]msg.Value)
 	for i, r := range s.replicas {
 		for _, e := range r.Log().History() {
-			if prev, ok := chosen[e.Instance]; ok && prev != e.Value {
+			if prev, ok := chosen[e.Instance]; ok && !prev.Equal(e.Value) {
 				t.Fatalf("replica %d: instance %d %+v vs %+v", i, e.Instance, e.Value, prev)
 			} else if !ok {
 				chosen[e.Instance] = e.Value

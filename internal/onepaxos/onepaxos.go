@@ -311,27 +311,34 @@ func (r *Replica) Timer(ctx runtime.Context, tag runtime.TimerTag) {
 // --- Client path ---
 
 func (r *Replica) onClientRequest(from msg.NodeID, req msg.ClientRequest) {
-	r.sessions.ClientAck(req.Client, req.Ack)
-	if inst, result, ok := r.sessions.Lookup(req.Client, req.Seq); ok {
-		// Duplicate of a committed command: answer from the session table.
-		r.ctx.Send(req.Client, msg.ClientReply{Seq: req.Seq, Instance: inst, OK: true, Result: result})
-		return
+	// Committed entries (single command or batch alike) are answered
+	// from the session table; what remains still needs agreement.
+	fresh := r.sessions.Screen(req, func(rep msg.ClientReply) { r.ctx.Send(req.Client, rep) })
+	entries := fresh[:0]
+	for _, be := range fresh {
+		if !r.origin[originKey{req.Client, be.Seq}] {
+			entries = append(entries, be) // not a retry of one proposed or queued here
+		}
 	}
-	if r.origin[originKey{req.Client, req.Seq}] {
-		return // a retry of a command already proposed or queued here
+	if len(entries) == 0 {
+		return
 	}
 	switch {
 	case r.iAmLeader:
-		r.origin[originKey{req.Client, req.Seq}] = true
-		r.proposeValue(msg.Value{Client: req.Client, Seq: req.Seq, Cmd: req.Cmd, Ack: req.Ack})
+		for _, be := range entries {
+			r.origin[originKey{req.Client, be.Seq}] = true
+		}
+		r.proposeValue(msg.NewValue(req.Client, req.Ack, entries))
 	case r.cfg.ForwardToLeader && r.knownLeader != r.me && r.knownLeader != msg.Nobody && from != r.knownLeader:
 		// Joint mode: funnel commands through the leader (Section 7.4).
 		r.ctx.Send(r.knownLeader, req)
 	default:
 		// The paper's failover story (Section 7.6): clients redirect to a
 		// non-leader node, which then tries to become leader.
-		r.origin[originKey{req.Client, req.Seq}] = true
-		r.pending = append(r.pending, req)
+		for _, be := range entries {
+			r.origin[originKey{req.Client, be.Seq}] = true
+		}
+		r.pending = append(r.pending, msg.NewRequest(req.Client, req.Ack, entries))
 		r.startTakeover()
 	}
 }
@@ -478,8 +485,9 @@ func (r *Replica) onLearn(m msg.Learn) {
 	}
 }
 
-// onApply fires for every instance applied in order.
-func (r *Replica) onApply(e rsm.Entry, result string) {
+// onApply fires for every instance applied in order; a batched value
+// yields one session record and one reply per command.
+func (r *Replica) onApply(e rsm.Entry, results []string) {
 	r.commits++
 	delete(r.proposed, e.Instance)
 	delete(r.outstanding, e.Instance)
@@ -487,13 +495,23 @@ func (r *Replica) onApply(e rsm.Entry, result string) {
 	if v.Client == msg.Nobody {
 		return // gap-filling noop
 	}
-	if !r.sessions.Seen(v.Client, v.Seq) {
-		r.sessions.Done(v.Client, v.Seq, e.Instance, result)
+	var replies []msg.ClientReply
+	for i, n := 0, v.Len(); i < n; i++ {
+		be := v.EntryAt(i)
+		result := results[i]
+		if !r.sessions.Seen(v.Client, be.Seq) {
+			r.sessions.Done(v.Client, be.Seq, e.Instance, result)
+		}
+		key := originKey{v.Client, be.Seq}
+		if r.origin[key] {
+			delete(r.origin, key)
+			replies = append(replies, msg.ClientReply{Seq: be.Seq, Instance: e.Instance, OK: true, Result: result})
+		}
 	}
-	key := originKey{v.Client, v.Seq}
-	if r.origin[key] {
-		delete(r.origin, key)
-		r.ctx.Send(v.Client, msg.ClientReply{Seq: v.Seq, Instance: e.Instance, OK: true, Result: result})
+	// One message answers the whole batch, so the client can retire it
+	// in one step and refill its window with a full batch.
+	if m := msg.WrapReplies(replies); m != nil {
+		r.ctx.Send(v.Client, m)
 	}
 }
 
@@ -517,10 +535,11 @@ func (r *Replica) onPrepareResponse(from msg.NodeID, m msg.PrepareResponse) {
 	pending := r.pending
 	r.pending = nil
 	for _, req := range pending {
-		if r.sessions.Seen(req.Client, req.Seq) {
+		keep := r.sessions.Unseen(req.Client, req.Entries())
+		if len(keep) == 0 {
 			continue
 		}
-		r.proposeValue(msg.Value{Client: req.Client, Seq: req.Seq, Cmd: req.Cmd, Ack: req.Ack})
+		r.proposeValue(msg.NewValue(req.Client, req.Ack, keep))
 	}
 }
 
@@ -635,7 +654,9 @@ func (r *Replica) forwardPending(leader msg.NodeID) {
 	pending := r.pending
 	r.pending = nil
 	for _, req := range pending {
-		delete(r.origin, originKey{req.Client, req.Seq})
+		for _, be := range req.Entries() {
+			delete(r.origin, originKey{req.Client, be.Seq})
+		}
 		r.ctx.Send(leader, req)
 	}
 }

@@ -122,7 +122,7 @@ func TestAcceptRequestFlow(t *testing.T) {
 	for _, s := range ctx.Sent {
 		if l, ok := s.M.(msg.Learn); ok {
 			learns++
-			if len(l.Entries) != 1 || l.Entries[0].Value != val {
+			if len(l.Entries) != 1 || !l.Entries[0].Value.Equal(val) {
 				t.Fatalf("learn carries %+v", l.Entries)
 			}
 		}
@@ -161,7 +161,7 @@ func TestPrepareResponseCarriesAcceptedProposals(t *testing.T) {
 	if !ok {
 		t.Fatalf("want prepare_response, got %+v", ctx.LastSent().M)
 	}
-	if len(pr.Accepted) != 1 || pr.Accepted[0].Value != val {
+	if len(pr.Accepted) != 1 || !pr.Accepted[0].Value.Equal(val) {
 		t.Fatalf("accepted proposals not carried: %+v", pr.Accepted)
 	}
 }
@@ -239,7 +239,7 @@ func TestLearnOutOfOrderHoldsApplication(t *testing.T) {
 		t.Fatalf("Commits = %d, want 2 after the gap fills", r.Commits())
 	}
 	history := r.Log().History()
-	if history[0].Value != v1 || history[1].Value != v2 {
+	if !history[0].Value.Equal(v1) || !history[1].Value.Equal(v2) {
 		t.Fatalf("apply order wrong: %+v", history)
 	}
 }
@@ -332,7 +332,7 @@ func (s *scenario) checkAgreement(t *testing.T) {
 	chosen := make(map[int64]msg.Value)
 	for i, r := range s.replicas {
 		for _, e := range r.Log().History() {
-			if prev, ok := chosen[e.Instance]; ok && prev != e.Value {
+			if prev, ok := chosen[e.Instance]; ok && !prev.Equal(e.Value) {
 				t.Fatalf("replica %d: instance %d has %+v, another replica has %+v", i, e.Instance, e.Value, prev)
 			} else if !ok {
 				chosen[e.Instance] = e.Value

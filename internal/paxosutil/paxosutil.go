@@ -344,7 +344,7 @@ func entryEqual(a, b msg.UtilEntry) bool {
 		return false
 	}
 	for i := range a.Uncommitted {
-		if a.Uncommitted[i] != b.Uncommitted[i] {
+		if !a.Uncommitted[i].Equal(b.Uncommitted[i]) {
 			return false
 		}
 	}

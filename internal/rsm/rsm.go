@@ -17,7 +17,11 @@ import (
 )
 
 // Applier consumes committed commands in log order and returns the
-// command's result string.
+// command's result string. An Applier always sees single-command
+// values: batched values are split (msg.Value.Split) by whoever drives
+// the application — Log for the instance-ordered protocols, the 2PC
+// engine for its transaction commits — so state machines and dedupe
+// wrappers stay per-command.
 type Applier interface {
 	Apply(v msg.Value) string
 }
@@ -68,7 +72,13 @@ type Log struct {
 	applied int64 // next instance to apply
 	applier Applier
 	history []Entry // applied prefix, for audits and consistency checks
-	onApply func(e Entry, result string)
+	onApply func(e Entry, results []string)
+
+	// Scratch buffers for the dominant single-command case, so applying
+	// an unbatched instance allocates nothing (see OnApply's contract:
+	// results is only valid for the duration of the callback).
+	oneSub [1]msg.Value
+	oneRes [1]string
 }
 
 // NewLog builds a log applying into applier (which may be nil for
@@ -81,8 +91,11 @@ func NewLog(applier Applier) *Log {
 }
 
 // OnApply registers a callback invoked after each in-order application —
-// the hook protocols use to answer clients.
-func (l *Log) OnApply(fn func(e Entry, result string)) { l.onApply = fn }
+// the hook protocols use to answer clients. results holds one entry per
+// command of the instance's value, in batch order (a single-command
+// value yields one result). The slice is only valid for the duration of
+// the callback: the log reuses its backing storage across instances.
+func (l *Log) OnApply(fn func(e Entry, results []string)) { l.onApply = fn }
 
 // Learn records that instance chose value. Learning the same value twice
 // is idempotent; learning a *different* value for an applied or recorded
@@ -90,7 +103,7 @@ func (l *Log) OnApply(fn func(e Entry, result string)) { l.onApply = fn }
 // than diverging replicas silently.
 func (l *Log) Learn(instance int64, value msg.Value) {
 	if prev, ok := l.learned[instance]; ok {
-		if prev != value {
+		if !prev.Equal(value) {
 			panic(fmt.Sprintf("rsm: instance %d learned two values: %+v then %+v", instance, prev, value))
 		}
 		return
@@ -98,7 +111,7 @@ func (l *Log) Learn(instance int64, value msg.Value) {
 	if instance < l.applied {
 		// Already applied; verify agreement against history.
 		for _, e := range l.history {
-			if e.Instance == instance && e.Value != value {
+			if e.Instance == instance && !e.Value.Equal(value) {
 				panic(fmt.Sprintf("rsm: applied instance %d re-learned different value", instance))
 			}
 		}
@@ -116,14 +129,31 @@ func (l *Log) advance() {
 		}
 		delete(l.learned, l.applied)
 		e := Entry{Instance: l.applied, Value: v}
-		result := ""
+		// A batched value applies atomically: all its commands run here,
+		// back to back, before the instance counter moves — nothing from
+		// another instance can interleave, and each command still gets
+		// its own result and (via the engine's OnApply hook) its own
+		// session record. The single-command case reuses the log's
+		// scratch buffers instead of allocating per instance.
+		var subs []msg.Value
+		var results []string
+		if len(v.Batch) == 0 {
+			l.oneSub[0] = v
+			l.oneRes[0] = ""
+			subs, results = l.oneSub[:], l.oneRes[:]
+		} else {
+			subs = v.Split()
+			results = make([]string, len(subs))
+		}
 		if l.applier != nil {
-			result = l.applier.Apply(v)
+			for i, sub := range subs {
+				results[i] = l.applier.Apply(sub)
+			}
 		}
 		l.history = append(l.history, e)
 		l.applied++
 		if l.onApply != nil {
-			l.onApply(e, result)
+			l.onApply(e, results)
 		}
 	}
 }
@@ -373,6 +403,38 @@ func (s *Sessions) Seen(client msg.NodeID, seq uint64) bool {
 	}
 	_, ok := cs.entries[seq]
 	return ok
+}
+
+// Screen filters an incoming client request against the session table:
+// it records the request's acknowledgement floor, answers every entry
+// that already committed (and still has a stored result) through reply,
+// and returns the entries that still need agreement, in order. Engines
+// call it first thing in their client-request path; a nil return means
+// the whole request was served from the table.
+func (s *Sessions) Screen(req msg.ClientRequest, reply func(msg.ClientReply)) []msg.BatchEntry {
+	s.ClientAck(req.Client, req.Ack)
+	var fresh []msg.BatchEntry
+	for _, be := range req.Entries() {
+		if inst, result, ok := s.Lookup(req.Client, be.Seq); ok {
+			reply(msg.ClientReply{Seq: be.Seq, Instance: inst, OK: true, Result: result})
+			continue
+		}
+		fresh = append(fresh, be)
+	}
+	return fresh
+}
+
+// Unseen returns the entries not known to have committed, in order —
+// the per-command form of the "skip if Seen" check engines run before
+// re-proposing a queued or carried-over command.
+func (s *Sessions) Unseen(client msg.NodeID, entries []msg.BatchEntry) []msg.BatchEntry {
+	out := entries[:0:0]
+	for _, be := range entries {
+		if !s.Seen(client, be.Seq) {
+			out = append(out, be)
+		}
+	}
+	return out
 }
 
 // Dedup wraps an Applier and suppresses re-execution of commands that

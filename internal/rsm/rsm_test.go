@@ -38,7 +38,7 @@ func TestLogAppliesInOrder(t *testing.T) {
 	kv := NewKV()
 	log := NewLog(kv)
 	var applied []int64
-	log.OnApply(func(e Entry, result string) { applied = append(applied, e.Instance) })
+	log.OnApply(func(e Entry, results []string) { applied = append(applied, e.Instance) })
 
 	log.Learn(2, val(1, 3, msg.OpPut, "c", "3"))
 	log.Learn(0, val(1, 1, msg.OpPut, "a", "1"))
@@ -318,7 +318,7 @@ func TestLogQuickRandomOrderApplication(t *testing.T) {
 		}
 		log := NewLog(NewKV())
 		var applied []int64
-		log.OnApply(func(e Entry, _ string) { applied = append(applied, e.Instance) })
+		log.OnApply(func(e Entry, _ []string) { applied = append(applied, e.Instance) })
 		for _, in := range order {
 			log.Learn(in, val(1, uint64(in+1), msg.OpPut, "k", "v"))
 		}
@@ -383,6 +383,163 @@ func TestSessionsShardLanes(t *testing.T) {
 	s.ClientAck(1, lane1(40))
 	if _, _, ok := s.Lookup(1, lane0(1)); !ok {
 		t.Fatal("lane 1 ack discarded lane 0's result")
+	}
+}
+
+func TestLogAppliesBatchAtomically(t *testing.T) {
+	// One instance carrying a batch applies every command back to back,
+	// in batch order, with one result per command — and a command that
+	// already committed under an earlier instance is suppressed
+	// per-command, not per-batch.
+	sessions := NewSessions()
+	kv := NewKV()
+	log := NewLog(Dedup{Sessions: sessions, Inner: kv})
+	var got [][]string
+	log.OnApply(func(e Entry, results []string) {
+		got = append(got, append([]string(nil), results...))
+		for i, sub := range e.Value.Split() {
+			if sub.Client != msg.Nobody && !sessions.Seen(sub.Client, sub.Seq) {
+				sessions.Done(sub.Client, sub.Seq, e.Instance, results[i])
+			}
+		}
+	})
+
+	// Seq 2 commits alone first (a retried single racing its batch).
+	log.Learn(0, val(1, 2, msg.OpPut, "a", "first"))
+	batch := msg.NewValue(1, 0, []msg.BatchEntry{
+		{Seq: 1, Cmd: msg.Command{Op: msg.OpPut, Key: "b", Val: "1"}},
+		{Seq: 2, Cmd: msg.Command{Op: msg.OpPut, Key: "a", Val: "dup"}},
+		{Seq: 3, Cmd: msg.Command{Op: msg.OpGet, Key: "b"}},
+	})
+	log.Learn(1, batch)
+
+	if len(got) != 2 {
+		t.Fatalf("applied %d instances, want 2", len(got))
+	}
+	if len(got[0]) != 1 || got[0][0] != "first" {
+		t.Fatalf("single results = %v", got[0])
+	}
+	// Batch results: fresh put, replayed stored result, get of the fresh put.
+	if want := []string{"1", "first", "1"}; len(got[1]) != 3 ||
+		got[1][0] != want[0] || got[1][1] != want[1] || got[1][2] != want[2] {
+		t.Fatalf("batch results = %v, want %v", got[1], want)
+	}
+	if v, _ := kv.Get("a"); v != "first" {
+		t.Fatalf("duplicate batch entry re-executed: a = %q", v)
+	}
+	if v, _ := kv.Get("b"); v != "1" {
+		t.Fatalf("batch entry not applied: b = %q", v)
+	}
+	for seq := uint64(1); seq <= 3; seq++ {
+		if !sessions.Seen(1, seq) {
+			t.Fatalf("Seen(1,%d) = false after batch commit", seq)
+		}
+	}
+}
+
+func TestSessionsScreen(t *testing.T) {
+	s := NewSessions()
+	s.Done(1, 2, 10, "r2")
+	var replies []msg.ClientReply
+	req := msg.NewRequest(1, 1, []msg.BatchEntry{
+		{Seq: 1, Cmd: msg.Command{Op: msg.OpPut, Key: "a"}},
+		{Seq: 2, Cmd: msg.Command{Op: msg.OpPut, Key: "b"}},
+		{Seq: 3, Cmd: msg.Command{Op: msg.OpPut, Key: "c"}},
+	})
+	fresh := s.Screen(req, func(rep msg.ClientReply) { replies = append(replies, rep) })
+	if len(replies) != 1 || replies[0].Seq != 2 || replies[0].Result != "r2" || replies[0].Instance != 10 {
+		t.Fatalf("replies = %+v", replies)
+	}
+	if len(fresh) != 2 || fresh[0].Seq != 1 || fresh[1].Seq != 3 {
+		t.Fatalf("fresh = %+v", fresh)
+	}
+	// A fully-served request screens to nothing.
+	s.Done(1, 1, 11, "r1")
+	s.Done(1, 3, 12, "r3")
+	replies = nil
+	if fresh := s.Screen(req, func(rep msg.ClientReply) { replies = append(replies, rep) }); fresh != nil {
+		t.Fatalf("fully-committed request returned fresh entries %+v", fresh)
+	}
+	if len(replies) != 3 {
+		t.Fatalf("fully-committed request answered %d entries, want 3", len(replies))
+	}
+}
+
+func TestSessionsUnseen(t *testing.T) {
+	s := NewSessions()
+	s.Done(1, 1, 1, "r")
+	s.Done(1, 3, 2, "r")
+	entries := []msg.BatchEntry{{Seq: 1}, {Seq: 2}, {Seq: 3}, {Seq: 4}}
+	keep := s.Unseen(1, entries)
+	if len(keep) != 2 || keep[0].Seq != 2 || keep[1].Seq != 4 {
+		t.Fatalf("Unseen = %+v", keep)
+	}
+	// The input slice is never mutated (callers may still own it).
+	if entries[0].Seq != 1 || entries[1].Seq != 2 {
+		t.Fatal("Unseen mutated its input")
+	}
+}
+
+func TestSessionsBatchOutOfOrderAcrossLanesKeepsFloorsContiguous(t *testing.T) {
+	// A sharded pipelined client sends one batch per lane; batches from
+	// different lanes (and a retried batch within one lane) can commit
+	// in any relative order. Each lane's contiguous commit frontier must
+	// stay exact: it advances only over its own committed prefix, and
+	// after the late batch lands, pruned entries are still reported
+	// committed through the floor. This is run end to end through
+	// Log + Dedup, the way every engine drives the session table.
+	sessions := NewSessionsWindow(2) // tiny window: force floor-based answers
+	log := NewLog(Dedup{Sessions: sessions, Inner: NewKV()})
+	log.OnApply(func(e Entry, results []string) {
+		for i, sub := range e.Value.Split() {
+			if sub.Client != msg.Nobody && !sessions.Seen(sub.Client, sub.Seq) {
+				sessions.Done(sub.Client, sub.Seq, e.Instance, results[i])
+			}
+		}
+	})
+	lane := func(l int, seq uint64) uint64 { return shard.TagSeq(l, seq) }
+	batch := func(l int, seqs ...uint64) msg.Value {
+		entries := make([]msg.BatchEntry, len(seqs))
+		for i, q := range seqs {
+			entries[i] = msg.BatchEntry{Seq: lane(l, q), Cmd: msg.Command{Op: msg.OpPut, Key: "k", Val: "v"}}
+		}
+		return msg.NewValue(1, 0, entries)
+	}
+
+	// Lane 0's second batch (seqs 5-8) commits before its first (1-4);
+	// lane 1's batch (1-4) lands in between.
+	log.Learn(0, batch(0, 5, 6, 7, 8))
+	log.Learn(1, batch(1, 1, 2, 3, 4))
+
+	// Lane 0's floor is pinned at 0: nothing below 5 has committed.
+	for seq := uint64(1); seq <= 4; seq++ {
+		if sessions.Seen(1, lane(0, seq)) {
+			t.Fatalf("lane 0 seq %d reported committed before its batch landed", seq)
+		}
+	}
+	for seq := uint64(5); seq <= 8; seq++ {
+		if !sessions.Seen(1, lane(0, seq)) {
+			t.Fatalf("lane 0 seq %d lost", seq)
+		}
+	}
+	// Lane 1's floor covers its own prefix, unaffected by lane 0's gap.
+	for seq := uint64(1); seq <= 4; seq++ {
+		if !sessions.Seen(1, lane(1, seq)) {
+			t.Fatalf("lane 1 seq %d not covered by its own floor", seq)
+		}
+	}
+
+	// The late lane-0 batch fills the gap: the floor must now run
+	// contiguously to 8 even though the window (2) retains almost
+	// nothing — every seq answers as committed via the floor alone.
+	log.Learn(2, batch(0, 1, 2, 3, 4))
+	for seq := uint64(1); seq <= 8; seq++ {
+		if !sessions.Seen(1, lane(0, seq)) {
+			t.Fatalf("lane 0 seq %d not covered after the gap filled", seq)
+		}
+	}
+	if sessions.Seen(1, lane(0, 9)) || sessions.Seen(1, lane(1, 5)) {
+		t.Fatal("floor overshot a lane's committed prefix")
 	}
 }
 

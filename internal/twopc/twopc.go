@@ -169,18 +169,35 @@ func (r *Replica) Receive(ctx runtime.Context, from msg.NodeID, m msg.Message) {
 // --- Client path ---
 
 func (r *Replica) onClientRequest(from msg.NodeID, req msg.ClientRequest) {
-	r.sessions.ClientAck(req.Client, req.Ack)
-	if inst, result, ok := r.sessions.Lookup(req.Client, req.Seq); ok {
-		r.ctx.Send(req.Client, msg.ClientReply{Seq: req.Seq, Instance: inst, OK: true, Result: result})
+	// Committed entries (single command or batch alike) are answered
+	// from the session table; what remains still needs a transaction.
+	fresh := r.sessions.Screen(req, func(rep msg.ClientReply) { r.ctx.Send(req.Client, rep) })
+	if len(fresh) == 0 {
 		return
 	}
-	// Joint-mode local read: serve from the local copy unless the key is
-	// in the gap between the two phases (locked).
-	if r.cfg.LocalReads && req.Cmd.Op == msg.OpGet && r.kv != nil {
-		if _, locked := r.locks[req.Cmd.Key]; !locked {
-			val, _ := r.kv.Get(req.Cmd.Key)
-			r.localReads++
-			r.ctx.Send(req.Client, msg.ClientReply{Seq: req.Seq, OK: true, Result: val})
+	// Joint-mode local read: serve from the local copy unless a key is
+	// in the gap between the two phases (locked). A batch is served
+	// locally only when every remaining entry qualifies — mixing local
+	// reads into a batch with updates would reorder them around the
+	// transaction.
+	if r.cfg.LocalReads && r.kv != nil {
+		local := true
+		for _, be := range fresh {
+			if be.Cmd.Op != msg.OpGet {
+				local = false
+				break
+			}
+			if _, locked := r.locks[be.Cmd.Key]; locked {
+				local = false
+				break
+			}
+		}
+		if local {
+			for _, be := range fresh {
+				val, _ := r.kv.Get(be.Cmd.Key)
+				r.localReads++
+				r.ctx.Send(req.Client, msg.ClientReply{Seq: be.Seq, OK: true, Result: val})
+			}
 			return
 		}
 	}
@@ -189,7 +206,7 @@ func (r *Replica) onClientRequest(from msg.NodeID, req msg.ClientRequest) {
 		r.ctx.Send(r.coord, req)
 		return
 	}
-	r.beginTx(msg.Value{Client: req.Client, Seq: req.Seq, Cmd: req.Cmd, Ack: req.Ack})
+	r.beginTx(msg.NewValue(req.Client, req.Ack, fresh))
 }
 
 // --- Coordinator ---
@@ -214,17 +231,54 @@ func (r *Replica) beginTx(v msg.Value) {
 	r.localPrepare(t)
 }
 
+// txKeys returns the distinct keys v's commands touch, in first-use
+// order — the lock set of the transaction. A batch locks every key it
+// writes or reads; a single command locks one.
+func txKeys(v msg.Value) []string {
+	entries := v.Entries()
+	out := make([]string, 0, len(entries))
+	seen := make(map[string]bool, len(entries))
+	for _, be := range entries {
+		if !seen[be.Cmd.Key] {
+			seen[be.Cmd.Key] = true
+			out = append(out, be.Cmd.Key)
+		}
+	}
+	return out
+}
+
+// blockedOn reports the first of v's keys held by a different
+// transaction, if any. Lock acquisition is all-or-nothing: a prepare
+// that cannot take its whole lock set takes nothing and queues on the
+// blocking key, so no transaction ever holds one key while waiting on
+// another — multi-key batches cannot deadlock.
+func (r *Replica) blockedOn(txID int64, v msg.Value) (string, bool) {
+	for _, key := range txKeys(v) {
+		if holder, locked := r.locks[key]; locked && holder != txID {
+			return key, true
+		}
+	}
+	return "", false
+}
+
+// lockAll takes v's whole lock set for txID (call only after blockedOn
+// reported clear).
+func (r *Replica) lockAll(txID int64, v msg.Value) {
+	for _, key := range txKeys(v) {
+		r.locks[key] = txID
+	}
+}
+
 // localPrepare runs the participant prepare on the coordinator's own copy.
 func (r *Replica) localPrepare(t *tx) {
-	key := t.value.Cmd.Key
-	if holder, locked := r.locks[key]; locked && holder != t.id {
+	if key, blocked := r.blockedOn(t.id, t.value); blocked {
 		r.waiting[key] = append(r.waiting[key], pendingPrepare{
 			from: r.me,
 			m:    msg.TPCPrepare{TxID: t.id, Value: t.value},
 		})
 		return
 	}
-	r.locks[key] = t.id
+	r.lockAll(t.id, t.value)
 	r.prepared[t.id] = t.value
 	r.onAck(msg.TPCAck{TxID: t.id, From: r.me, OK: true})
 }
@@ -243,10 +297,14 @@ func (r *Replica) onAck(m msg.TPCAck) {
 				r.ctx.Send(id, msg.TPCRollback{TxID: t.id})
 			}
 		}
-		r.releaseLock(t.id, t.value.Cmd.Key)
+		r.releaseLocks(t.id, t.value)
 		delete(r.txs, t.id)
 		delete(r.prepared, t.id)
-		r.ctx.Send(t.value.Client, msg.ClientReply{Seq: t.value.Seq, OK: false, Redirect: r.coord})
+		var replies []msg.ClientReply
+		for _, be := range t.value.Entries() {
+			replies = append(replies, msg.ClientReply{Seq: be.Seq, OK: false, Redirect: r.coord})
+		}
+		r.ctx.Send(t.value.Client, msg.WrapReplies(replies))
 		return
 	}
 	t.acks[m.From] = true
@@ -267,8 +325,14 @@ func (r *Replica) onAck(m msg.TPCAck) {
 	}
 	r.applyCommit(t.id, t.value)
 	t.commitAcks[r.me] = true
-	_, result, _ := r.sessions.Lookup(t.value.Client, t.value.Seq)
-	r.ctx.Send(t.value.Client, msg.ClientReply{Seq: t.value.Seq, Instance: t.id, OK: true, Result: result})
+	var replies []msg.ClientReply
+	for _, be := range t.value.Entries() {
+		_, result, _ := r.sessions.Lookup(t.value.Client, be.Seq)
+		replies = append(replies, msg.ClientReply{Seq: be.Seq, Instance: t.id, OK: true, Result: result})
+	}
+	// One message answers the whole transaction, so the client can
+	// retire the batch in one step and refill its window with a full one.
+	r.ctx.Send(t.value.Client, msg.WrapReplies(replies))
 	r.finishTx(t)
 }
 
@@ -293,14 +357,13 @@ func (r *Replica) finishTx(t *tx) {
 // --- Participant ---
 
 func (r *Replica) onPrepare(from msg.NodeID, m msg.TPCPrepare) {
-	key := m.Value.Cmd.Key
-	if holder, locked := r.locks[key]; locked && holder != m.TxID {
+	if key, blocked := r.blockedOn(m.TxID, m.Value); blocked {
 		// Blocked: ack only once the lock is released, stalling the
 		// transaction exactly as the paper's blocking analysis describes.
 		r.waiting[key] = append(r.waiting[key], pendingPrepare{from: from, m: m})
 		return
 	}
-	r.locks[key] = m.TxID
+	r.lockAll(m.TxID, m.Value)
 	r.prepared[m.TxID] = m.Value
 	r.ctx.Send(from, msg.TPCAck{TxID: m.TxID, From: r.me, OK: true})
 }
@@ -316,46 +379,67 @@ func (r *Replica) onRollback(m msg.TPCRollback) {
 		return
 	}
 	delete(r.prepared, m.TxID)
-	r.releaseLock(m.TxID, v.Cmd.Key)
+	r.releaseLocks(m.TxID, v)
 }
 
-// applyCommit executes the command and releases the key lock on this
-// node's copy.
+// applyCommit executes the transaction's commands in batch order —
+// atomically, in the sense that the whole lock set is held across all
+// of them — and releases the locks on this node's copy. Each command
+// dedupes and records its session result individually, so an entry that
+// already committed through an earlier retry is not re-executed.
 func (r *Replica) applyCommit(txID int64, v msg.Value) {
 	r.sessions.ClientAck(v.Client, v.Ack)
 	delete(r.prepared, txID)
-	if !r.sessions.Seen(v.Client, v.Seq) {
-		result := r.applier.Apply(v)
-		r.sessions.Done(v.Client, v.Seq, txID, result)
-		r.history = append(r.history, v)
-		r.commits++
+	for _, sub := range v.Split() {
+		if !r.sessions.Seen(sub.Client, sub.Seq) {
+			result := r.applier.Apply(sub)
+			r.sessions.Done(sub.Client, sub.Seq, txID, result)
+			r.history = append(r.history, sub)
+			r.commits++
+		}
 	}
-	r.releaseLock(txID, v.Cmd.Key)
+	r.releaseLocks(txID, v)
 }
 
-// releaseLock frees the key and serves the next waiting prepare, if any.
-func (r *Replica) releaseLock(txID int64, key string) {
-	if holder, locked := r.locks[key]; !locked || holder != txID {
-		return
-	}
-	delete(r.locks, key)
-	queue := r.waiting[key]
-	if len(queue) == 0 {
-		delete(r.waiting, key)
-		return
-	}
-	next := queue[0]
-	if len(queue) == 1 {
-		delete(r.waiting, key)
-	} else {
-		r.waiting[key] = queue[1:]
-	}
-	if next.from == r.me {
-		// The coordinator's own deferred local prepare.
-		if t, ok := r.txs[next.m.TxID]; ok && !t.committed {
-			r.localPrepare(t)
+// releaseLocks frees v's whole lock set and serves waiting prepares.
+func (r *Replica) releaseLocks(txID int64, v msg.Value) {
+	for _, key := range txKeys(v) {
+		if holder, locked := r.locks[key]; !locked || holder != txID {
+			continue
 		}
-		return
+		delete(r.locks, key)
+		r.drainWaiters(key)
 	}
-	r.onPrepare(next.from, next.m)
+}
+
+// drainWaiters retries prepares queued on key until one takes the key's
+// lock or the queue empties. A retried prepare is all-or-nothing: if it
+// blocks on a *different* key of its set it re-queues there and takes
+// nothing, so key stays free and the next waiter gets its turn — queued
+// work can never strand behind an unlocked key.
+func (r *Replica) drainWaiters(key string) {
+	for {
+		queue := r.waiting[key]
+		if len(queue) == 0 {
+			delete(r.waiting, key)
+			return
+		}
+		next := queue[0]
+		if len(queue) == 1 {
+			delete(r.waiting, key)
+		} else {
+			r.waiting[key] = queue[1:]
+		}
+		if next.from == r.me {
+			// The coordinator's own deferred local prepare.
+			if t, ok := r.txs[next.m.TxID]; ok && !t.committed {
+				r.localPrepare(t)
+			}
+		} else {
+			r.onPrepare(next.from, next.m)
+		}
+		if _, locked := r.locks[key]; locked {
+			return // the retried prepare holds key now; its release resumes the queue
+		}
+	}
 }

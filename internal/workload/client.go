@@ -8,6 +8,10 @@
 // N outstanding commands (Config.Window): sequence numbers stay strictly
 // increasing, every in-flight command carries its own retry timer, and
 // the replicas' windowed session tracking keeps replies exactly-once.
+// On top of the window, Config.BatchSize coalesces up to that many
+// outstanding commands into one batched request — one consensus
+// instance decides them all — with Config.BatchDelay optionally holding
+// partial batches back for stragglers (the group-commit trade).
 //
 // In a sharded deployment (Config.Groups) the client runs one lane per
 // consensus group: an independent pipelined window targeting that
@@ -34,8 +38,9 @@ import (
 // Timer kinds. These are namespaced high so a composite (joint) node can
 // route them unambiguously next to a replica's kinds.
 const (
-	TimerSend  = 900 // think time elapsed: fill the window
-	TimerRetry = 901 // Arg: the (tagged) request seq the retry guards
+	TimerSend       = 900 // think time elapsed: fill the window
+	TimerRetry      = 901 // Arg: the (tagged) request seq the retry guards
+	TimerBatchFlush = 902 // Arg: the lane index whose partial batch is due
 )
 
 // Defaults for Config zero values.
@@ -66,6 +71,23 @@ type Config struct {
 	// Window is the pipeline depth per lane: how many commands may be in
 	// flight at once toward one group. 0 or 1 is the paper's closed loop.
 	Window int
+
+	// BatchSize is the largest number of commands the client coalesces
+	// into one request — one consensus instance — per lane (0 or 1 is
+	// the paper's one-command-per-instance behavior). Batches are drawn
+	// from the lane's free window slots, so the effective cap is
+	// min(BatchSize, Window). With a think time configured, pacing stays
+	// per command and batches never form.
+	BatchSize int
+
+	// BatchDelay, when positive, holds a partial batch back for up to
+	// this long waiting for more window slots to free, instead of
+	// issuing it immediately — the group-commit latency/occupancy
+	// trade. Zero issues partial batches at once, which stays efficient
+	// because replicas answer a batch with one ClientReplyBatch: the
+	// whole batch's slots free together, so the refill is a full batch
+	// again.
+	BatchDelay time.Duration
 
 	// ThinkTime is the pause between receiving a reply and sending the
 	// next request (Section 7.4 uses 2 ms; 0 = tight loop).
@@ -109,6 +131,7 @@ type lane struct {
 	target   int
 	seq      uint64 // lane-local issued count; tagged via shard.TagSeq
 	inflight int    // outstanding commands in this lane
+	deferred bool   // a partial batch is holding for the flush timer
 }
 
 // flight is one in-flight command.
@@ -125,6 +148,7 @@ type flight struct {
 type Client struct {
 	cfg    Config
 	window int // per-lane depth
+	batch  int // per-lane batch cap, clamped to the window
 	lanes  []*lane
 	next   int // lane round-robin cursor for paced issue
 	issued int // total commands issued across lanes
@@ -133,6 +157,7 @@ type Client struct {
 	maxInflight int
 	completed   int
 	retries     int
+	batchOcc    metrics.BatchOccupancy
 
 	hist   metrics.Histogram
 	series *metrics.TimeSeries
@@ -157,7 +182,14 @@ func NewClient(cfg Config) *Client {
 	if window < 1 {
 		window = 1
 	}
-	c := &Client{cfg: cfg, window: window, inflight: make(map[uint64]*flight)}
+	batch := cfg.BatchSize
+	if batch < 1 {
+		batch = 1
+	}
+	if batch > window {
+		batch = window // a batch is drawn from the lane's window slots
+	}
+	c := &Client{cfg: cfg, window: window, batch: batch, inflight: make(map[uint64]*flight)}
 	if len(cfg.Groups) > 0 {
 		for g, servers := range cfg.Groups {
 			if len(servers) == 0 {
@@ -207,6 +239,10 @@ func (c *Client) Lanes() int { return len(c.lanes) }
 // the shard router assigns to group i.
 func (c *Client) LaneKey(i int) string { return c.lanes[i].key }
 
+// BatchStats exposes the proposed-batch occupancy counters: how many
+// batches this client issued and how full they ran.
+func (c *Client) BatchStats() *metrics.BatchOccupancy { return &c.batchOcc }
+
 // Latencies exposes the recorded latency histogram (post-warmup ops).
 func (c *Client) Latencies() *metrics.Histogram { return &c.hist }
 
@@ -224,15 +260,36 @@ func (c *Client) Start(ctx runtime.Context) {
 	ctx.After(c.cfg.StartDelay, runtime.TimerTag{Kind: TimerSend})
 }
 
-// Receive implements runtime.Handler: only commit ACKs are expected.
+// Receive implements runtime.Handler: only commit ACKs — single or
+// batched — are expected. A batched reply retires every answered
+// command before the window is refilled, so the freed slots refill as
+// one batch instead of one slot at a time.
 func (c *Client) Receive(ctx runtime.Context, from msg.NodeID, m msg.Message) {
-	reply, ok := m.(msg.ClientReply)
-	if !ok {
-		return
+	switch mm := m.(type) {
+	case msg.ClientReply:
+		if c.onReply(ctx, mm) {
+			c.fill(ctx)
+		}
+	case msg.ClientReplyBatch:
+		refill := false
+		for _, reply := range mm.Replies {
+			if c.onReply(ctx, reply) {
+				refill = true
+			}
+		}
+		if refill {
+			c.fill(ctx)
+		}
 	}
+}
+
+// onReply retires one command's reply and reports whether a freed
+// window slot awaits an immediate refill (redirects, stale replies,
+// paced completions and the request cap all report false).
+func (c *Client) onReply(ctx runtime.Context, reply msg.ClientReply) bool {
 	f, ok := c.inflight[reply.Seq]
 	if !ok {
-		return // stale reply for an already-answered (retried) request
+		return false // stale reply for an already-answered (retried) request
 	}
 	if !reply.OK {
 		// Redirect: retry immediately at the suggested server.
@@ -240,7 +297,7 @@ func (c *Client) Receive(ctx runtime.Context, from msg.NodeID, m msg.Message) {
 			f.lane.retarget(reply.Redirect)
 		}
 		c.resend(ctx, reply.Seq, f)
-		return
+		return false
 	}
 	delete(c.inflight, reply.Seq)
 	f.lane.inflight--
@@ -261,13 +318,15 @@ func (c *Client) Receive(ctx runtime.Context, from msg.NodeID, m msg.Message) {
 		c.series.Record(now)
 	}
 	if c.cfg.Requests > 0 && c.completed >= c.cfg.Requests {
-		return // done
+		return false // done
 	}
 	if c.cfg.ThinkTime > 0 {
+		// Pacing stays per command: each completion begets one paced
+		// replacement through its own think tick.
 		ctx.After(c.cfg.ThinkTime, runtime.TimerTag{Kind: TimerSend})
-	} else {
-		c.fill(ctx)
+		return false
 	}
+	return true
 }
 
 // Timer implements runtime.Handler.
@@ -280,34 +339,81 @@ func (c *Client) Timer(ctx runtime.Context, tag runtime.TimerTag) {
 		if f, ok := c.inflight[seq]; ok {
 			// No reply in time: suspect the server, rotate within the
 			// command's own group, resend the same command (the session
-			// layer deduplicates).
+			// layer deduplicates). The resend keeps the original seq —
+			// whether the command first went out alone or inside a
+			// batch — so a late commit of the original batch and the
+			// retry can never double-execute.
 			c.retries++
 			f.lane.target = (f.lane.target + 1) % len(f.lane.servers)
 			c.resend(ctx, seq, f)
 		}
+	case TimerBatchFlush:
+		// The lane's held-back partial batch is due: issue whatever the
+		// window allows right now, full or not.
+		ln := c.lanes[tag.Arg]
+		if !ln.deferred {
+			return // a full batch already went out in the meantime
+		}
+		ln.deferred = false
+		n := c.batchFor(ln)
+		if n > 0 {
+			c.issueBatch(ctx, ln, n)
+		}
 	}
 }
 
-// fill issues new commands until every lane's window is full or the
-// request cap is reached, visiting lanes round-robin so a sharded
-// client loads its groups evenly. With a think time configured, each
-// invocation issues at most one command — pacing stays per command even
-// when several completions have freed window slots — and re-arms a
-// think tick while slots remain free, so a pipelined window still ramps
-// up to its depth at one command per pause.
+// batchFor reports how many commands the lane could issue right now:
+// its free window slots, capped by the batch size and the request cap.
+func (c *Client) batchFor(ln *lane) int {
+	n := c.window - ln.inflight
+	if n > c.batch {
+		n = c.batch
+	}
+	if c.cfg.Requests > 0 {
+		if left := c.cfg.Requests - c.issued; n > left {
+			n = left
+		}
+	}
+	return n
+}
+
+// fullBatch reports the largest batch still possible this run: the
+// configured cap, shrunk by an exhausted request budget. BatchDelay
+// only ever waits for batches below this — waiting cannot grow a
+// budget-limited tail batch.
+func (c *Client) fullBatch() int {
+	full := c.batch
+	if c.cfg.Requests > 0 {
+		if left := c.cfg.Requests - c.issued; left < full {
+			full = left
+		}
+	}
+	return full
+}
+
+// fill issues new commands until every lane's window is full (or
+// holding a partial batch for its flush timer) or the request cap is
+// reached, visiting lanes round-robin so a sharded client loads its
+// groups evenly. Each visit issues up to BatchSize commands as one
+// batched request — one consensus instance. With a think time
+// configured, each invocation issues at most one command — pacing stays
+// per command even when several completions have freed window slots —
+// and re-arms a think tick while slots remain free, so a pipelined
+// window still ramps up to its depth at one command per pause.
 func (c *Client) fill(ctx runtime.Context) {
 	sent := 0
+	var held map[*lane]bool // lanes holding for their flush timer this pass
 	for {
 		idx := -1
 		for i := 0; i < len(c.lanes); i++ {
 			j := (c.next + i) % len(c.lanes)
-			if c.lanes[j].inflight < c.window {
+			if ln := c.lanes[j]; ln.inflight < c.window && !held[ln] {
 				idx = j
 				break
 			}
 		}
 		if idx < 0 {
-			return // every lane's window is full
+			return // every lane is full or waiting on its flush timer
 		}
 		if c.cfg.ThinkTime > 0 && sent >= 1 {
 			ctx.After(c.cfg.ThinkTime, runtime.TimerTag{Kind: TimerSend})
@@ -317,7 +423,40 @@ func (c *Client) fill(ctx runtime.Context) {
 			return // every command issued; late timers must not overshoot
 		}
 		ln := c.lanes[idx]
+		n := c.batchFor(ln)
+		if c.cfg.ThinkTime > 0 {
+			// A paced lane never bursts and never defers: batching (and
+			// its delay) stays off under think time, one command per tick.
+			n = 1
+		} else if c.cfg.BatchDelay > 0 && n < c.fullBatch() {
+			// Free slots, not the request budget, are what is short of a
+			// full batch: hold the lane back up to BatchDelay for more
+			// completions, instead of burning an instance on a partial
+			// batch. (A budget-limited tail batch can never grow — no
+			// amount of waiting raises it — so it goes out immediately.)
+			if !ln.deferred {
+				ln.deferred = true
+				ctx.After(c.cfg.BatchDelay, runtime.TimerTag{Kind: TimerBatchFlush, Arg: int64(idx)})
+			}
+			if held == nil {
+				held = make(map[*lane]bool, len(c.lanes))
+			}
+			held[ln] = true
+			continue
+		}
 		c.next = (idx + 1) % len(c.lanes)
+		c.issueBatch(ctx, ln, n)
+		sent += n
+	}
+}
+
+// issueBatch assigns the lane's next n tagged sequence numbers and
+// sends them as one request.
+func (c *Client) issueBatch(ctx runtime.Context, ln *lane, n int) {
+	ln.deferred = false
+	entries := make([]msg.BatchEntry, n)
+	flights := make([]*flight, n)
+	for i := 0; i < n; i++ {
 		c.issued++
 		ln.seq++
 		seq := shard.TagSeq(ln.shard, ln.seq)
@@ -328,32 +467,51 @@ func (c *Client) fill(ctx runtime.Context) {
 		f := &flight{lane: ln, op: op}
 		c.inflight[seq] = f
 		ln.inflight++
-		if len(c.inflight) > c.maxInflight {
-			c.maxInflight = len(c.inflight)
+		entries[i] = msg.BatchEntry{Seq: seq, Cmd: msg.Command{Op: op, Key: ln.key, Val: "v"}}
+		flights[i] = f
+	}
+	if len(c.inflight) > c.maxInflight {
+		c.maxInflight = len(c.inflight)
+	}
+	now := ctx.Now()
+	req := msg.NewRequest(c.cfg.ID, c.laneAck(ln), entries)
+	ctx.Send(ln.servers[ln.target], req)
+	c.batchOcc.Record(n)
+	for i, f := range flights {
+		f.sentAt = now
+		if f.cancel != nil {
+			f.cancel()
 		}
-		c.resend(ctx, seq, f)
-		sent++
+		f.cancel = ctx.After(c.cfg.RetryTimeout, runtime.TimerTag{Kind: TimerRetry, Arg: int64(entries[i].Seq)})
 	}
 }
 
-// resend transmits f's command under its tagged seq to the lane's
-// current target and re-arms the per-seq retry timer. The request
-// carries the lane's acknowledgement floor — the lowest outstanding
-// tagged seq within the same lane — so the group's replicas can retire
-// stored session results this lane no longer needs.
-func (c *Client) resend(ctx runtime.Context, seq uint64, f *flight) {
-	f.sentAt = ctx.Now()
-	ack := seq
+// laneAck reports the lane's acknowledgement floor — the lowest
+// outstanding tagged seq within the lane — which every request carries
+// so the group's replicas can retire stored session results this lane
+// no longer needs.
+func (c *Client) laneAck(ln *lane) uint64 {
+	ack := shard.TagSeq(ln.shard, ln.seq)
 	for s, other := range c.inflight {
-		if other.lane == f.lane && s < ack {
+		if other.lane == ln && s < ack {
 			ack = s
 		}
 	}
+	return ack
+}
+
+// resend transmits f's command under its tagged seq to the lane's
+// current target and re-arms the per-seq retry timer. A retried command
+// always travels under its original sequence number — it rejoins the
+// batch machinery as a batch of one, and the replicas' session dedupe
+// reconciles it with any still-live copy of the batch it left.
+func (c *Client) resend(ctx runtime.Context, seq uint64, f *flight) {
+	f.sentAt = ctx.Now()
 	req := msg.ClientRequest{
 		Client: c.cfg.ID,
 		Seq:    seq,
 		Cmd:    msg.Command{Op: f.op, Key: f.lane.key, Val: "v"},
-		Ack:    ack,
+		Ack:    c.laneAck(f.lane),
 	}
 	ctx.Send(f.lane.servers[f.lane.target], req)
 	if f.cancel != nil {

@@ -464,3 +464,245 @@ func TestClientShardLaneEmptyGroupPanics(t *testing.T) {
 	}()
 	NewClient(Config{ID: 1, Groups: [][]msg.NodeID{{0, 1, 2}, {}}})
 }
+
+// batchedClient builds a single-group client with a window of 8 and a
+// batch cap of 4.
+func batchedClient(tweak func(*Config)) (*Client, *runtime.FakeContext) {
+	cfg := Config{ID: 10, Servers: []msg.NodeID{0, 1, 2}, Window: 8, BatchSize: 4}
+	if tweak != nil {
+		tweak(&cfg)
+	}
+	return NewClient(cfg), runtime.NewFakeContext(10, 4)
+}
+
+func TestClientBatchedWindowFill(t *testing.T) {
+	c, ctx := batchedClient(nil)
+	c.Start(ctx)
+	c.Timer(ctx, runtime.TimerTag{Kind: TimerSend})
+	// One fill issues the whole window as two full batches.
+	if got := c.InFlight(); got != 8 {
+		t.Fatalf("in flight = %d, want 8", got)
+	}
+	sent := ctx.TakeSent()
+	if len(sent) != 2 {
+		t.Fatalf("sent %d requests, want 2 batches", len(sent))
+	}
+	seen := map[uint64]bool{}
+	next := uint64(1)
+	for i, s := range sent {
+		req, ok := s.M.(msg.ClientRequest)
+		if !ok {
+			t.Fatalf("sent %T, want ClientRequest", s.M)
+		}
+		entries := req.Entries()
+		if len(entries) != 4 {
+			t.Fatalf("batch %d carries %d entries, want 4", i, len(entries))
+		}
+		if req.Seq != entries[0].Seq {
+			t.Fatalf("batch %d Seq %d != first entry %d", i, req.Seq, entries[0].Seq)
+		}
+		for _, be := range entries {
+			if seen[be.Seq] {
+				t.Fatalf("seq %d issued twice", be.Seq)
+			}
+			seen[be.Seq] = true
+			if be.Seq != next {
+				t.Fatalf("batch seqs not dense: got %d, want %d", be.Seq, next)
+			}
+			next++
+		}
+	}
+	if occ := c.BatchStats(); occ.Batches() != 2 || occ.Commands() != 8 {
+		t.Fatalf("occupancy = %d batches / %d commands, want 2/8", occ.Batches(), occ.Commands())
+	}
+	// Every in-flight command still owns a retry timer.
+	armed := 0
+	for _, tm := range ctx.Timers {
+		if tm.Tag.Kind == TimerRetry && !tm.Cancelled {
+			armed++
+		}
+	}
+	if armed != 8 {
+		t.Fatalf("%d retry timers armed, want 8 (one per command)", armed)
+	}
+}
+
+func TestClientBatchedReplyRefillsAsBatch(t *testing.T) {
+	c, ctx := batchedClient(nil)
+	c.Start(ctx)
+	c.Timer(ctx, runtime.TimerTag{Kind: TimerSend})
+	ctx.Sent = nil
+	// The replica answers the first batch in one message: the freed
+	// slots must refill as ONE full batch, not four singles.
+	var replies []msg.ClientReply
+	for seq := uint64(1); seq <= 4; seq++ {
+		replies = append(replies, msg.ClientReply{Seq: seq, OK: true, Result: "r"})
+	}
+	c.Receive(ctx, 0, msg.ClientReplyBatch{Replies: replies})
+	if c.Completed() != 4 {
+		t.Fatalf("completed = %d, want 4", c.Completed())
+	}
+	sent := ctx.TakeSent()
+	if len(sent) != 1 {
+		t.Fatalf("refill sent %d requests, want one batch", len(sent))
+	}
+	req := sent[0].M.(msg.ClientRequest)
+	if entries := req.Entries(); len(entries) != 4 || entries[0].Seq != 9 {
+		t.Fatalf("refill batch = %+v, want seqs 9..12", entries)
+	}
+	if got := c.InFlight(); got != 8 {
+		t.Fatalf("in flight after refill = %d, want 8", got)
+	}
+}
+
+// TestClientBatchedRetryKeepsSeq is the per-seq retry audit under
+// batching: a command that times out after travelling inside a batch is
+// resent under its ORIGINAL sequence number — it rejoins the batch
+// machinery as a batch of one, no fresh seq is burned, and the
+// eventual commits of both copies retire it exactly once.
+func TestClientBatchedRetryKeepsSeq(t *testing.T) {
+	c, ctx := batchedClient(nil)
+	c.Start(ctx)
+	c.Timer(ctx, runtime.TimerTag{Kind: TimerSend})
+	first := ctx.TakeSent()[0].M.(msg.ClientRequest)
+	if len(first.Entries()) != 4 {
+		t.Fatalf("first batch = %+v", first)
+	}
+	issuedBefore := c.issued
+
+	// Seq 2's retry timer fires: the resend must carry seq 2 and its
+	// original command, rotated to the next server, without issuing any
+	// new sequence number or touching the other in-flight commands.
+	c.Timer(ctx, runtime.TimerTag{Kind: TimerRetry, Arg: 2})
+	sent := ctx.TakeSent()
+	if len(sent) != 1 {
+		t.Fatalf("retry sent %d messages, want 1", len(sent))
+	}
+	retry := sent[0].M.(msg.ClientRequest)
+	if sent[0].To != 1 {
+		t.Fatalf("retry went to %d, want next server 1", sent[0].To)
+	}
+	if retry.Seq != 2 || len(retry.Batch) != 0 {
+		t.Fatalf("retry = %+v, want bare seq 2", retry)
+	}
+	if retry.Cmd != first.Entries()[1].Cmd {
+		t.Fatalf("retry changed command: %+v vs %+v", retry.Cmd, first.Entries()[1].Cmd)
+	}
+	if c.issued != issuedBefore {
+		t.Fatalf("retry issued new seqs: %d -> %d", issuedBefore, c.issued)
+	}
+	if c.Retries() != 1 {
+		t.Fatalf("Retries = %d, want 1", c.Retries())
+	}
+	if got := c.InFlight(); got != 8 {
+		t.Fatalf("in flight = %d, want unchanged 8", got)
+	}
+
+	// The original batch commits: every seq — including the retried one
+	// — completes exactly once.
+	var replies []msg.ClientReply
+	for seq := uint64(1); seq <= 4; seq++ {
+		replies = append(replies, msg.ClientReply{Seq: seq, OK: true})
+	}
+	c.Receive(ctx, 0, msg.ClientReplyBatch{Replies: replies})
+	if c.Completed() != 4 {
+		t.Fatalf("completed = %d, want 4", c.Completed())
+	}
+	// The retry's own late answer is stale: ignored, no double count.
+	c.Receive(ctx, 1, msg.ClientReply{Seq: 2, OK: true})
+	if c.Completed() != 4 {
+		t.Fatalf("stale retry reply double-counted: completed = %d", c.Completed())
+	}
+}
+
+func TestClientBatchDelayHoldsPartialBatch(t *testing.T) {
+	c, ctx := batchedClient(func(cfg *Config) {
+		cfg.Window = 4
+		cfg.BatchDelay = time.Millisecond
+	})
+	c.Start(ctx)
+	c.Timer(ctx, runtime.TimerTag{Kind: TimerSend})
+	if got := c.InFlight(); got != 4 {
+		t.Fatalf("in flight = %d, want a full first batch", got)
+	}
+	ctx.Sent = nil
+	// A single completion frees one slot — short of a full batch, the
+	// lane must hold and arm a flush timer rather than burn an
+	// instance on one command.
+	c.Receive(ctx, 0, msg.ClientReply{Seq: 1, OK: true})
+	if len(ctx.Sent) != 0 {
+		t.Fatalf("partial batch issued despite BatchDelay: %+v", ctx.Sent)
+	}
+	var flush *runtime.FakeTimer
+	for i := range ctx.Timers {
+		if ctx.Timers[i].Tag.Kind == TimerBatchFlush && !ctx.Timers[i].Cancelled {
+			flush = &ctx.Timers[i]
+		}
+	}
+	if flush == nil {
+		t.Fatal("no flush timer armed for the held batch")
+	}
+	if flush.At != ctx.Clock+time.Millisecond {
+		t.Fatalf("flush timer at %v, want +1ms", flush.At)
+	}
+	// The deadline passes: the partial batch goes out as-is.
+	c.Timer(ctx, flush.Tag)
+	sent := ctx.TakeSent()
+	if len(sent) != 1 {
+		t.Fatalf("flush sent %d requests, want 1", len(sent))
+	}
+	if req := sent[0].M.(msg.ClientRequest); len(req.Entries()) != 1 || req.Seq != 5 {
+		t.Fatalf("flushed batch = %+v, want single seq 5", req)
+	}
+	if got := c.InFlight(); got != 4 {
+		t.Fatalf("in flight = %d, want refilled 4", got)
+	}
+}
+
+func TestClientThinkTimePacingBypassesBatchDelay(t *testing.T) {
+	// Under think time, pacing is per command: the BatchDelay defer must
+	// not swallow the paced single into a flush-timer burst.
+	c, ctx := batchedClient(func(cfg *Config) {
+		cfg.ThinkTime = 2 * time.Millisecond
+		cfg.BatchDelay = time.Millisecond
+	})
+	c.Start(ctx)
+	c.Timer(ctx, runtime.TimerTag{Kind: TimerSend})
+	sent := ctx.TakeSent()
+	if len(sent) != 1 {
+		t.Fatalf("paced tick sent %d requests, want exactly 1", len(sent))
+	}
+	if req := sent[0].M.(msg.ClientRequest); len(req.Batch) != 0 {
+		t.Fatalf("paced command went out batched: %+v", req)
+	}
+	for _, tm := range ctx.Timers {
+		if tm.Tag.Kind == TimerBatchFlush {
+			t.Fatal("paced lane armed a batch flush timer")
+		}
+	}
+}
+
+func TestClientBudgetLimitedTailBatchSkipsDelay(t *testing.T) {
+	// The run's last batch is capped by the request budget, not by free
+	// window slots: waiting can never grow it, so it must go out
+	// immediately despite BatchDelay.
+	c, ctx := batchedClient(func(cfg *Config) {
+		cfg.Requests = 6
+		cfg.BatchDelay = time.Millisecond
+	})
+	c.Start(ctx)
+	c.Timer(ctx, runtime.TimerTag{Kind: TimerSend})
+	sent := ctx.TakeSent()
+	if len(sent) != 2 {
+		t.Fatalf("sent %d requests, want a full batch plus the tail", len(sent))
+	}
+	if req := sent[0].M.(msg.ClientRequest); len(req.Entries()) != 4 {
+		t.Fatalf("first batch = %d entries, want 4", len(req.Entries()))
+	}
+	if req := sent[1].M.(msg.ClientRequest); len(req.Entries()) != 2 {
+		t.Fatalf("tail batch = %d entries, want the remaining 2 without waiting", len(req.Entries()))
+	}
+	if got := c.InFlight(); got != 6 {
+		t.Fatalf("in flight = %d, want the whole budget issued", got)
+	}
+}
