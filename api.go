@@ -84,6 +84,40 @@ const (
 	TCP
 )
 
+// String implements fmt.Stringer for sweep tables.
+func (t TransportKind) String() string {
+	switch t {
+	case InProc:
+		return "inproc"
+	case TCP:
+		return "tcp"
+	default:
+		return fmt.Sprintf("transport(%d)", int(t))
+	}
+}
+
+// CodecKind selects how a TCP-transport deployment encodes messages on
+// the wire. The InProc transport passes messages in memory and ignores
+// it.
+type CodecKind int
+
+// Codecs for StartKV (and cluster.Spec). The values are defined by
+// conversion from the internal enum, so the public knob can never
+// silently diverge from what the transport runs.
+const (
+	// CodecWire is the hand-rolled binary codec (the default):
+	// length-prefixed frames, one-byte type tags, varint integers,
+	// explicit per-type encoders, pooled buffers, coalesced writes.
+	CodecWire = CodecKind(msg.CodecWire)
+	// CodecGob is the reflection-driven encoding/gob path the repository
+	// started with — kept selectable as the codec-sweep ablation
+	// baseline (see docs/BENCHMARKS.md).
+	CodecGob = CodecKind(msg.CodecGob)
+)
+
+// String implements fmt.Stringer for sweep tables.
+func (c CodecKind) String() string { return msg.Codec(c).String() }
+
 // DefaultPipeline is the bridge's default window of in-flight commands.
 // Concurrent Put/Get callers beyond this depth queue behind the window.
 const DefaultPipeline = 16
@@ -107,6 +141,10 @@ type KVConfig struct {
 	Shards int
 	// Transport selects InProc (default) or TCP.
 	Transport TransportKind
+	// Codec selects the TCP wire encoding: CodecWire (default, the
+	// hand-rolled binary codec) or CodecGob (the encoding/gob ablation
+	// baseline). Ignored by the InProc transport, which never encodes.
+	Codec CodecKind
 	// Pipeline is the maximum number of commands the service keeps in
 	// flight at once per shard (default DefaultPipeline; 1 restores the
 	// paper's closed loop). Commands beyond the window queue in order.
@@ -195,6 +233,12 @@ func StartKV(cfg KVConfig) (*KV, error) {
 	}
 	if cfg.Transport == 0 {
 		cfg.Transport = InProc
+	}
+	if cfg.Codec == 0 {
+		cfg.Codec = CodecWire
+	}
+	if cfg.Codec != CodecWire && cfg.Codec != CodecGob {
+		return nil, fmt.Errorf("consensusinside: unknown codec %d", int(cfg.Codec))
 	}
 	if cfg.Pipeline == 0 {
 		cfg.Pipeline = DefaultPipeline
@@ -285,8 +329,7 @@ func startKVShard(cfg KVConfig, shardIdx int) (*kvShard, error) {
 			sh.inproc.Inject(clientID, clientID, m)
 		}
 	case TCP:
-		msg.Register()
-		nodes, err := transport.BuildLocalCluster(handlers)
+		nodes, err := transport.BuildLocalClusterCodec(handlers, msg.Codec(cfg.Codec))
 		if err != nil {
 			return nil, fmt.Errorf("consensusinside: start shard %d tcp cluster: %w", shardIdx, err)
 		}
@@ -340,6 +383,20 @@ func (kv *KV) MaxInFlight() int {
 		sh.bridge.mu.Unlock()
 	}
 	return max
+}
+
+// WireStats reports the service's wire-level counters folded across
+// every replica and bridge endpoint of every shard: bytes on the wire,
+// frames per flush (the write-coalescing win), reconnects and drops.
+// All zeros under the InProc transport, which never touches a socket.
+func (kv *KV) WireStats() metrics.WireStats {
+	var stats metrics.WireStats
+	for _, sh := range kv.shards {
+		for _, n := range sh.tcp {
+			stats.Merge(n.Stats())
+		}
+	}
+	return stats
 }
 
 // BatchStats reports the service's proposed-batch occupancy counters,

@@ -44,15 +44,22 @@ func matrixWorkload() []matrixOp {
 // shards, batch) cell and returns every observed result in order.
 func runMatrix(t *testing.T, p Protocol, tr TransportKind, shards, batch int) []string {
 	t.Helper()
-	kv, err := StartKV(KVConfig{
+	return runMatrixCfg(t, KVConfig{
 		Protocol:       p,
 		Transport:      tr,
 		Shards:         shards,
 		BatchSize:      batch,
 		RequestTimeout: 30 * time.Second,
 	})
+}
+
+// runMatrixCfg executes the workload against an arbitrary KVConfig cell
+// (the codec tests vary knobs runMatrix does not expose).
+func runMatrixCfg(t *testing.T, cfg KVConfig) []string {
+	t.Helper()
+	kv, err := StartKV(cfg)
 	if err != nil {
-		t.Fatalf("StartKV(%v, transport %d, %d shards, batch %d): %v", p, tr, shards, batch, err)
+		t.Fatalf("StartKV(%+v): %v", cfg, err)
 	}
 	defer kv.Close()
 	var results []string

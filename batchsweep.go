@@ -99,6 +99,42 @@ func BatchSweep(opts BatchSweepOptions) ([]BatchSweepPoint, error) {
 	return out, nil
 }
 
+// runPutLoad drives committed Puts through kv from workers concurrent
+// callers (ops total, rounded down to a whole number per worker) and
+// reports how many committed and how long the measured window took.
+// Shared by the batch and codec sweeps so their cells stay comparable
+// (the shard sweep keeps its own loop: its keys must pin to shards).
+func runPutLoad(kv *KV, ops, workers int) (total int, elapsed time.Duration, err error) {
+	perWorker := ops / workers
+	if perWorker < 1 {
+		perWorker = 1
+	}
+	total = perWorker * workers
+	errs := make(chan error, workers)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				if err := kv.Put(fmt.Sprintf("w%d-%d", w, i), "v"); err != nil {
+					errs <- fmt.Errorf("consensusinside: worker %d: %w", w, err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	elapsed = time.Since(start)
+	select {
+	case err = <-errs:
+		return 0, 0, err
+	default:
+	}
+	return total, elapsed, nil
+}
+
 func batchSweepOne(opts BatchSweepOptions, batch int) (BatchSweepPoint, error) {
 	kv, err := StartKV(KVConfig{
 		Replicas:       opts.Replicas,
@@ -118,32 +154,9 @@ func batchSweepOne(opts BatchSweepOptions, batch int) (BatchSweepPoint, error) {
 	}
 	warmed := kv.BatchStats()
 
-	perWorker := opts.Ops / opts.Workers
-	if perWorker < 1 {
-		perWorker = 1
-	}
-	total := perWorker * opts.Workers
-	errs := make(chan error, opts.Workers)
-	var wg sync.WaitGroup
-	start := time.Now()
-	for w := 0; w < opts.Workers; w++ {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			for i := 0; i < perWorker; i++ {
-				if err := kv.Put(fmt.Sprintf("w%d-%d", w, i), "v"); err != nil {
-					errs <- fmt.Errorf("consensusinside: worker %d: %w", w, err)
-					return
-				}
-			}
-		}(w)
-	}
-	wg.Wait()
-	elapsed := time.Since(start)
-	select {
-	case err := <-errs:
+	total, elapsed, err := runPutLoad(kv, opts.Ops, opts.Workers)
+	if err != nil {
 		return BatchSweepPoint{}, err
-	default:
 	}
 	occ := kv.BatchStats()
 	batches := occ.Batches() - warmed.Batches()

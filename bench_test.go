@@ -12,15 +12,24 @@ package consensusinside
 // paper's published values.
 
 import (
+	"bytes"
+	"encoding/gob"
 	"fmt"
+	"io"
+	"net"
 	"runtime"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
 	"consensusinside/internal/experiments"
+	"consensusinside/internal/msg"
 	"consensusinside/internal/queue"
+	irt "consensusinside/internal/runtime"
+	"consensusinside/internal/transport"
+	"consensusinside/internal/wire"
 )
 
 // metricName makes an experiment label safe as a testing.B metric unit
@@ -231,6 +240,244 @@ func BenchmarkRealQueuePingPong(b *testing.B) {
 	wg.Wait()
 	b.ReportMetric(float64(runtime.GOMAXPROCS(0)), "gomaxprocs")
 }
+
+// --- Wire-codec microbenchmarks (wall clock; run with -benchmem so
+// allocation regressions on the send path stay visible) ---
+
+// benchWireMsg is the codec benchmark workload: an accept for a batch-8
+// value — the message the TCP hot path carries most under PR 3's
+// batch-8 headline configuration.
+func benchWireMsg() msg.Message {
+	entries := make([]msg.BatchEntry, 8)
+	for i := range entries {
+		entries[i] = msg.BatchEntry{
+			Seq: uint64(100 + i),
+			Cmd: msg.Command{Op: msg.OpPut, Key: fmt.Sprintf("bench-key-%d", i), Val: "bench-value"},
+		}
+	}
+	return msg.AcceptRequest{
+		Instance: 42,
+		PN:       7,
+		Value:    msg.NewValue(3, 99, entries),
+	}
+}
+
+// BenchmarkCodecEncodeWire measures the wire codec's send-path encode
+// through the pooled-buffer discipline the transport uses. The
+// acceptance bar is allocs/op: steady state must be ~zero, >= 5x below
+// BenchmarkCodecEncodeGob.
+func BenchmarkCodecEncodeWire(b *testing.B) {
+	m := benchWireMsg()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		buf := wire.GetBuf()
+		bb := wire.BeginFrame(*buf)
+		bb, err := msg.AppendEnvelope(bb, 1, m)
+		if err == nil {
+			bb, err = wire.EndFrame(bb)
+		}
+		if err != nil {
+			b.Fatal(err)
+		}
+		*buf = bb[:0]
+		wire.PutBuf(buf)
+	}
+}
+
+// BenchmarkCodecEncodeGob is the encoding/gob baseline for the same
+// message on a warmed stream (type info already sent), the steady state
+// of the pre-wire transport.
+func BenchmarkCodecEncodeGob(b *testing.B) {
+	msg.Register()
+	m := benchWireMsg()
+	enc := gob.NewEncoder(io.Discard)
+	type envelope struct {
+		From msg.NodeID
+		M    msg.Message
+	}
+	if err := enc.Encode(envelope{From: 1, M: m}); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := enc.Encode(envelope{From: 1, M: m}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCodecDecodeWire measures the receive-path decode of one
+// wire-encoded envelope payload.
+func BenchmarkCodecDecodeWire(b *testing.B) {
+	payload, err := msg.AppendEnvelope(nil, 1, benchWireMsg())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := msg.DecodeEnvelope(payload); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCodecDecodeGob decodes the same message from a warmed gob
+// stream (pre-encoded outside the timer).
+func BenchmarkCodecDecodeGob(b *testing.B) {
+	msg.Register()
+	m := benchWireMsg()
+	type envelope struct {
+		From msg.NodeID
+		M    msg.Message
+	}
+	var buf bytes.Buffer
+	enc := gob.NewEncoder(&buf)
+	for i := 0; i < b.N+1; i++ {
+		if err := enc.Encode(envelope{From: 1, M: m}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	dec := gob.NewDecoder(&buf)
+	var warm envelope
+	if err := dec.Decode(&warm); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var e envelope
+		if err := dec.Decode(&e); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// benchTCPSendPath pushes b.N batch-8 accepts through a real TCPNode
+// pair — encode, coalesced flush, socket, decode, delivery — and waits
+// for the last delivery. allocs/op is the whole transport round,
+// sender and receiver; compare the Wire and Gob variants.
+func benchTCPSendPath(b *testing.B, codec msg.Codec) {
+	var got atomic.Int64
+	sink := irt.HandlerFunc{
+		OnReceive: func(ctx irt.Context, from msg.NodeID, m msg.Message) {
+			got.Add(1)
+		},
+	}
+	fwd := irt.HandlerFunc{
+		OnReceive: func(ctx irt.Context, from msg.NodeID, m msg.Message) {
+			ctx.Send(1, m)
+		},
+	}
+	nodes, err := transport.BuildLocalClusterCodec([]irt.Handler{fwd, sink}, codec)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer func() {
+		for _, n := range nodes {
+			n.Close()
+		}
+	}()
+	m := benchWireMsg()
+	// Warm the connection and codec state.
+	nodes[0].Inject(0, m)
+	for got.Load() < 1 {
+		runtime.Gosched()
+	}
+	got.Store(0)
+	// Self-clocked window: never run further ahead of the receiver than
+	// the transport's own queues can absorb, so nothing ever drops and
+	// the measured loop includes the whole pipeline's steady state.
+	const window = 256
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for int64(i)-got.Load() > window {
+			runtime.Gosched()
+		}
+		nodes[0].Inject(0, m)
+	}
+	for got.Load() < int64(b.N) {
+		runtime.Gosched()
+	}
+	b.StopTimer()
+	stats := nodes[0].Stats()
+	if stats.Dropped > 0 {
+		b.Fatalf("%d sends dropped", stats.Dropped)
+	}
+	b.ReportMetric(stats.FramesPerFlush(), "frames/flush")
+}
+
+// BenchmarkTCPSendPathWire measures the transport round trip under the
+// default hand-rolled codec.
+func BenchmarkTCPSendPathWire(b *testing.B) { benchTCPSendPath(b, msg.CodecWire) }
+
+// BenchmarkTCPSendPathGob measures the same round trip under the gob
+// ablation codec.
+func BenchmarkTCPSendPathGob(b *testing.B) { benchTCPSendPath(b, msg.CodecGob) }
+
+// benchTCPSenderOnly isolates the send path: a TCPNode streams batch-8
+// accepts at a raw byte-discarding sink, so allocs/op covers exactly
+// encode + frame + coalesced flush with no receiver in the profile —
+// the acceptance measurement for the send-path allocation budget.
+func benchTCPSenderOnly(b *testing.B, codec msg.Codec) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go io.Copy(io.Discard, c)
+		}
+	}()
+	fwd := irt.HandlerFunc{
+		OnReceive: func(ctx irt.Context, from msg.NodeID, m msg.Message) {
+			ctx.Send(1, m)
+		},
+	}
+	node, err := transport.NewTCPNode(0, fwd, map[msg.NodeID]string{
+		0: "127.0.0.1:0",
+		1: ln.Addr().String(),
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer node.Close()
+	node.SetCodec(codec)
+	if err := node.Start(); err != nil {
+		b.Fatal(err)
+	}
+	m := benchWireMsg()
+	node.Inject(0, m) // warm the connection and codec state
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// Pace against the writer so the bounded send queue never
+		// overflows into drops (which would skip encodes and undercount).
+		for int64(i)-node.Stats().FramesOut > 3000 {
+			runtime.Gosched()
+		}
+		node.Inject(0, m)
+	}
+	b.StopTimer()
+	if d := node.Stats().Dropped; d > 0 {
+		b.Fatalf("%d sends dropped", d)
+	}
+}
+
+// BenchmarkTCPSenderOnlyWire measures the isolated send path under the
+// default hand-rolled codec.
+func BenchmarkTCPSenderOnlyWire(b *testing.B) { benchTCPSenderOnly(b, msg.CodecWire) }
+
+// BenchmarkTCPSenderOnlyGob measures the isolated send path under the
+// gob ablation codec.
+func BenchmarkTCPSenderOnlyGob(b *testing.B) { benchTCPSenderOnly(b, msg.CodecGob) }
 
 // BenchmarkKVInProcPut measures the end-to-end replicated-KV write path
 // on the in-process runtime (3 replicas, full 1Paxos round per op).

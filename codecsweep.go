@@ -1,0 +1,174 @@
+package consensusinside
+
+// The codec sweep: the wire-format ablation for the TCP hot path. It
+// drives the same pipelined Put load through the same consensus stack
+// while toggling only how messages become bytes — the hand-rolled
+// binary codec (CodecWire: explicit per-type encoders, pooled buffers,
+// coalesced writer flushes) against the reflection-driven encoding/gob
+// baseline (CodecGob) the repository started with — at batch 1 and
+// batch 8, over both transports. The InProc rows never encode anything
+// and act as the control: they pin down how much of the InProc/TCP gap
+// is wire cost rather than consensus cost.
+//
+// cmd/consensusbench exposes this as the codec-sweep experiment and
+// records it to BENCH_codec_sweep.json; docs/BENCHMARKS.md is the
+// runbook. The acceptance anchor for the wire codec is PR 3's recorded
+// TCP batch-8 cell (PR3TCPBatch8Baseline).
+
+import (
+	"fmt"
+	"time"
+
+	"consensusinside/internal/metrics"
+)
+
+// PR3TCPBatch8Baseline is the tcp_batch8_ops cell of BENCH_all.json as
+// recorded by PR 3 (gob codec, one write syscall per message) — the
+// fixed baseline the wire codec's acceptance target (>= 1.5x) is
+// measured against in BENCH_codec_sweep.json.
+const PR3TCPBatch8Baseline = 65868.47812080657
+
+// CodecSweepOptions parameterizes CodecSweep. Zero values select the
+// defaults noted on each field.
+type CodecSweepOptions struct {
+	// Transports to sweep (default InProc then TCP).
+	Transports []TransportKind
+	// Codecs to sweep (default CodecGob then CodecWire, so the ablation
+	// baseline prints first).
+	Codecs []CodecKind
+	// Replicas is the agreement-group size (default 3).
+	Replicas int
+	// Pipeline is the bridge window every configuration shares (default
+	// DefaultPipeline = 16).
+	Pipeline int
+	// BatchSizes are the commands-per-instance caps to sweep (default
+	// 1, 8 — the paper's behavior and PR 3's headline cell).
+	BatchSizes []int
+	// Ops is the number of committed Puts measured per configuration
+	// (default 24000, matching the batch sweep so cells are comparable
+	// across BENCH_*.json files).
+	Ops int
+	// Workers is the number of concurrent callers (default 4x the
+	// pipeline window).
+	Workers int
+}
+
+func (o CodecSweepOptions) withDefaults() CodecSweepOptions {
+	if len(o.Transports) == 0 {
+		o.Transports = []TransportKind{InProc, TCP}
+	}
+	if len(o.Codecs) == 0 {
+		o.Codecs = []CodecKind{CodecGob, CodecWire}
+	}
+	if o.Replicas == 0 {
+		o.Replicas = 3
+	}
+	if o.Pipeline == 0 {
+		o.Pipeline = DefaultPipeline
+	}
+	if len(o.BatchSizes) == 0 {
+		o.BatchSizes = []int{1, 8}
+	}
+	if o.Ops == 0 {
+		o.Ops = 24000
+	}
+	if o.Workers == 0 {
+		o.Workers = 4 * o.Pipeline
+	}
+	return o
+}
+
+// CodecSweepPoint is one (transport, codec, batch) configuration's
+// result. Wire holds the wire-level counter deltas over the measured
+// window (all zero for InProc, which never touches a socket).
+type CodecSweepPoint struct {
+	Transport       TransportKind
+	Codec           CodecKind
+	Batch           int
+	Ops             int
+	Throughput      float64 // committed ops per wall-clock second
+	Batches         int64   // consensus instances proposed
+	CommandsPerInst float64 // mean batch occupancy achieved
+	Wire            metrics.WireStats
+}
+
+// BytesPerOp reports how many wire bytes one committed command cost
+// (both directions, cluster-wide — replication included), or 0 for a
+// transport that never encodes.
+func (p CodecSweepPoint) BytesPerOp() float64 {
+	if p.Ops == 0 {
+		return 0
+	}
+	return float64(p.Wire.BytesOut+p.Wire.BytesIn) / float64(p.Ops)
+}
+
+// CodecSweep measures Put throughput for every (transport, codec,
+// batch) combination in opts, in that nesting order. Every
+// configuration commits the same number of commands from the same
+// worker pool; only the transport's encoding changes between codec
+// rows.
+func CodecSweep(opts CodecSweepOptions) ([]CodecSweepPoint, error) {
+	opts = opts.withDefaults()
+	var out []CodecSweepPoint
+	for _, tr := range opts.Transports {
+		for _, codec := range opts.Codecs {
+			for _, batch := range opts.BatchSizes {
+				if batch < 1 || batch > opts.Pipeline {
+					return nil, fmt.Errorf("consensusinside: batch size %d outside the %d-deep pipeline window",
+						batch, opts.Pipeline)
+				}
+				pt, err := codecSweepOne(opts, tr, codec, batch)
+				if err != nil {
+					return nil, err
+				}
+				out = append(out, pt)
+			}
+		}
+	}
+	return out, nil
+}
+
+func codecSweepOne(opts CodecSweepOptions, tr TransportKind, codec CodecKind, batch int) (CodecSweepPoint, error) {
+	kv, err := StartKV(KVConfig{
+		Replicas:       opts.Replicas,
+		Transport:      tr,
+		Codec:          codec,
+		Pipeline:       opts.Pipeline,
+		BatchSize:      batch,
+		RequestTimeout: 60 * time.Second,
+	})
+	if err != nil {
+		return CodecSweepPoint{}, err
+	}
+	defer kv.Close()
+
+	// Warm the leader path, connections and codec state outside the
+	// measured window, then snapshot the counters the window starts from.
+	if err := kv.Put("warm", "v"); err != nil {
+		return CodecSweepPoint{}, fmt.Errorf("consensusinside: warmup: %w", err)
+	}
+	warmedOcc := kv.BatchStats()
+	warmedWire := kv.WireStats()
+
+	total, elapsed, err := runPutLoad(kv, opts.Ops, opts.Workers)
+	if err != nil {
+		return CodecSweepPoint{}, err
+	}
+
+	occ := kv.BatchStats()
+	batches := occ.Batches() - warmedOcc.Batches()
+	mean := 0.0
+	if batches > 0 {
+		mean = float64(occ.Commands()-warmedOcc.Commands()) / float64(batches)
+	}
+	return CodecSweepPoint{
+		Transport:       tr,
+		Codec:           codec,
+		Batch:           batch,
+		Ops:             total,
+		Throughput:      float64(total) / elapsed.Seconds(),
+		Batches:         batches,
+		CommandsPerInst: mean,
+		Wire:            kv.WireStats().Sub(warmedWire),
+	}, nil
+}

@@ -35,7 +35,7 @@ func main() {
 		log.Fatalf("start: %v", err)
 	}
 	defer kv.Close()
-	fmt.Printf("%d groups x 3 replicas on loopback TCP, 1Paxos, gob-encoded messages\n", kv.Shards())
+	fmt.Printf("%d groups x 3 replicas on loopback TCP, 1Paxos, wire-codec messages\n", kv.Shards())
 
 	var wg sync.WaitGroup
 	for w := 0; w < 3; w++ {

@@ -94,6 +94,14 @@ type Spec struct {
 	AcceptTimeout time.Duration // paxos-family failure detection
 	LearnBatching bool          // 1Paxos acceptor-broadcast batching
 	LocalReads    bool          // 2PC joint-mode local reads
+
+	// Codec names the wire encoding for the spec, mirroring
+	// KVConfig.Codec (msg.CodecWire by default; msg.CodecGob is the
+	// ablation baseline). Build validates it and nothing more: the
+	// simulator passes messages by value and never encodes, so the
+	// field's only current effect is failing fast on a codec a real
+	// TCP deployment of the same shape would reject.
+	Codec msg.Codec
 }
 
 // Cluster is a built deployment, ready to run.
@@ -147,6 +155,12 @@ func Build(spec Spec) (*Cluster, error) {
 	}
 	if spec.BatchDelay < 0 {
 		return nil, fmt.Errorf("cluster: negative batch delay %v", spec.BatchDelay)
+	}
+	if spec.Codec == 0 {
+		spec.Codec = msg.CodecWire
+	}
+	if spec.Codec != msg.CodecWire && spec.Codec != msg.CodecGob {
+		return nil, fmt.Errorf("cluster: unknown codec %d", int(spec.Codec))
 	}
 	if spec.Shards < 0 {
 		return nil, fmt.Errorf("cluster: negative shard count %d", spec.Shards)

@@ -236,6 +236,14 @@ func TestBuildValidation(t *testing.T) {
 	if _, err := Build(Spec{Protocol: OnePaxos, Machine: topology.Opteron48(), Replicas: 3, Window: 1 << 20}); err == nil {
 		t.Error("a window deeper than the session table must be rejected")
 	}
+	if _, err := Build(Spec{Protocol: OnePaxos, Machine: topology.Opteron48(), Replicas: 3, Codec: msg.Codec(99)}); err == nil {
+		t.Error("unknown codec must be rejected")
+	}
+	for _, codec := range []msg.Codec{0, msg.CodecWire, msg.CodecGob} {
+		if _, err := Build(Spec{Protocol: OnePaxos, Machine: topology.Opteron48(), Replicas: 3, Clients: 1, Codec: codec}); err != nil {
+			t.Errorf("codec %v rejected: %v", codec, err)
+		}
+	}
 	defer func() {
 		if recover() == nil {
 			t.Fatal("MustBuild must panic on a malformed spec")

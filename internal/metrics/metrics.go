@@ -256,6 +256,60 @@ func (b *BatchOccupancy) Merge(other *BatchOccupancy) {
 	}
 }
 
+// WireStats is a snapshot of a TCP transport endpoint's wire-level
+// counters: what actually crossed the sockets, how well the writer
+// coalesced frames into flushes, and how the connection pool behaved.
+// The transport keeps the live counts in atomics and materializes this
+// struct on demand; Merge folds per-node snapshots into cluster totals.
+type WireStats struct {
+	BytesOut   int64 // bytes written to peer sockets (frames + handshakes)
+	BytesIn    int64 // bytes read from peer sockets
+	FramesOut  int64 // messages encoded and written
+	FramesIn   int64 // messages decoded and delivered
+	Flushes    int64 // socket write calls (bufio flush-throughs included) — FramesOut/Flushes is the coalescing win
+	Dials      int64 // outbound connections established
+	Reconnects int64 // dials that replaced a previously-dropped connection
+	Dropped    int64 // messages dropped (dead peer, full send queue)
+}
+
+// Merge folds other's counts into s.
+func (s *WireStats) Merge(other WireStats) {
+	s.BytesOut += other.BytesOut
+	s.BytesIn += other.BytesIn
+	s.FramesOut += other.FramesOut
+	s.FramesIn += other.FramesIn
+	s.Flushes += other.Flushes
+	s.Dials += other.Dials
+	s.Reconnects += other.Reconnects
+	s.Dropped += other.Dropped
+}
+
+// Sub returns the counter deltas since an earlier snapshot — the usual
+// way to scope wire accounting to a measured window.
+func (s WireStats) Sub(earlier WireStats) WireStats {
+	return WireStats{
+		BytesOut:   s.BytesOut - earlier.BytesOut,
+		BytesIn:    s.BytesIn - earlier.BytesIn,
+		FramesOut:  s.FramesOut - earlier.FramesOut,
+		FramesIn:   s.FramesIn - earlier.FramesIn,
+		Flushes:    s.Flushes - earlier.Flushes,
+		Dials:      s.Dials - earlier.Dials,
+		Reconnects: s.Reconnects - earlier.Reconnects,
+		Dropped:    s.Dropped - earlier.Dropped,
+	}
+}
+
+// FramesPerFlush reports the send-side coalescing ratio (0 with no
+// flushes): how many messages shared one socket write on average —
+// bufio flush-throughs for oversized batches count individually, so
+// the ratio reflects real syscall savings, not just flush points.
+func (s WireStats) FramesPerFlush() float64 {
+	if s.Flushes == 0 {
+		return 0
+	}
+	return float64(s.FramesOut) / float64(s.Flushes)
+}
+
 // Counter is a labeled monotonic counter set, used for per-node message
 // accounting (e.g. messages sent/received by the leader).
 type Counter struct {

@@ -4,12 +4,18 @@
 // agreement protocol, and the Mencius extension.
 //
 // Messages are plain data. The simulator passes them by value between
-// cores; the TCP transport encodes them with encoding/gob (see Register).
+// cores; the TCP transport encodes them with the hand-rolled wire codec
+// (codec.go — explicit MarshalWire/UnmarshalWire on every type plus the
+// wireTypes registry), or with encoding/gob when the gob ablation codec
+// is selected (see Register). Both codecs live here, next to the types
+// they encode: adding a message type means extending both lists, and
+// the codec tests fail if they drift apart.
 package msg
 
 import (
 	"encoding/gob"
 	"fmt"
+	"sync"
 )
 
 // NodeID identifies a node (a core in the paper's vision) within a
@@ -570,39 +576,62 @@ func (BPAccept) Kind() string   { return "bp_accept" }
 func (BPAccepted) Kind() string { return "bp_accepted" }
 func (BPNack) Kind() string     { return "bp_nack" }
 
-// Register registers every concrete message type with encoding/gob so the
-// TCP transport can encode Message interface values. Call it once per
-// process before opening network channels.
+// registerOnce makes Register idempotent: the gob registry is global
+// process state, and every layer that opens a gob-coded channel (each
+// KV shard, every test package) wants to be able to call Register
+// defensively without coordinating who went first.
+var registerOnce sync.Once
+
+// Register registers every concrete message type with encoding/gob so
+// the TCP transport's gob ablation codec can encode Message interface
+// values. Safe to call any number of times from any goroutine; the
+// default wire codec does not need it (its registry is wireTypes in
+// codec.go).
 func Register() {
-	gob.Register(ClientRequest{})
-	gob.Register(ClientReply{})
-	gob.Register(ClientReplyBatch{})
-	gob.Register(PrepareRequest{})
-	gob.Register(PrepareResponse{})
-	gob.Register(Abandon{})
-	gob.Register(AcceptRequest{})
-	gob.Register(Learn{})
-	gob.Register(UtilPrepare{})
-	gob.Register(UtilPromise{})
-	gob.Register(UtilAccept{})
-	gob.Register(UtilAccepted{})
-	gob.Register(UtilNack{})
-	gob.Register(MPPrepare{})
-	gob.Register(MPPromise{})
-	gob.Register(MPAccept{})
-	gob.Register(MPLearn{})
-	gob.Register(MPNack{})
-	gob.Register(TPCPrepare{})
-	gob.Register(TPCAck{})
-	gob.Register(TPCCommit{})
-	gob.Register(TPCCommitAck{})
-	gob.Register(TPCRollback{})
-	gob.Register(MencAccept{})
-	gob.Register(MencLearn{})
-	gob.Register(MencSkip{})
-	gob.Register(BPPrepare{})
-	gob.Register(BPPromise{})
-	gob.Register(BPAccept{})
-	gob.Register(BPAccepted{})
-	gob.Register(BPNack{})
+	registerOnce.Do(registerGob)
+}
+
+// gobTypes is the gob codec's type list — one entry per concrete
+// message type, mirroring the wire codec's wireTypes registry in
+// codec.go. The codec tests assert the two stay the same size and that
+// every entry here has a wire tag, so adding a message type to one
+// list but not the other turns the build red.
+var gobTypes = []Message{
+	ClientRequest{},
+	ClientReply{},
+	ClientReplyBatch{},
+	PrepareRequest{},
+	PrepareResponse{},
+	Abandon{},
+	AcceptRequest{},
+	Learn{},
+	UtilPrepare{},
+	UtilPromise{},
+	UtilAccept{},
+	UtilAccepted{},
+	UtilNack{},
+	MPPrepare{},
+	MPPromise{},
+	MPAccept{},
+	MPLearn{},
+	MPNack{},
+	TPCPrepare{},
+	TPCAck{},
+	TPCCommit{},
+	TPCCommitAck{},
+	TPCRollback{},
+	MencAccept{},
+	MencLearn{},
+	MencSkip{},
+	BPPrepare{},
+	BPPromise{},
+	BPAccept{},
+	BPAccepted{},
+	BPNack{},
+}
+
+func registerGob() {
+	for _, m := range gobTypes {
+		gob.Register(m)
+	}
 }

@@ -1,6 +1,7 @@
 package transport
 
 import (
+	"net"
 	"sync"
 	"testing"
 	"time"
@@ -31,41 +32,176 @@ func (c *collected) add(rep msg.ClientReply) {
 	}
 }
 
+// TestEchoOverTCP runs the request/reply round trip under both codecs:
+// the hand-rolled wire codec (the default) and the gob ablation path.
 func TestEchoOverTCP(t *testing.T) {
-	got := make(chan msg.Message, 1)
-	echo := runtime.HandlerFunc{
-		OnReceive: func(ctx runtime.Context, from msg.NodeID, m msg.Message) {
-			if _, ok := m.(msg.ClientRequest); ok {
-				ctx.Send(from, msg.ClientReply{Seq: 1, OK: true, Result: "echo"})
+	for _, codec := range []msg.Codec{msg.CodecWire, msg.CodecGob} {
+		codec := codec
+		t.Run(codec.String(), func(t *testing.T) {
+			got := make(chan msg.Message, 1)
+			echo := runtime.HandlerFunc{
+				OnReceive: func(ctx runtime.Context, from msg.NodeID, m msg.Message) {
+					if _, ok := m.(msg.ClientRequest); ok {
+						ctx.Send(from, msg.ClientReply{Seq: 1, OK: true, Result: "echo"})
+					}
+				},
 			}
-		},
+			sink := runtime.HandlerFunc{
+				OnStart: func(ctx runtime.Context) {
+					ctx.Send(0, msg.ClientRequest{Client: 1, Seq: 1, Cmd: msg.Command{Op: msg.OpNoop}})
+				},
+				OnReceive: func(ctx runtime.Context, from msg.NodeID, m msg.Message) {
+					got <- m
+				},
+			}
+			nodes, err := BuildLocalClusterCodec([]runtime.Handler{echo, sink}, codec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer func() {
+				for _, n := range nodes {
+					n.Close()
+				}
+			}()
+			select {
+			case m := <-got:
+				rep, ok := m.(msg.ClientReply)
+				if !ok || rep.Result != "echo" {
+					t.Fatalf("got %+v", m)
+				}
+			case <-time.After(10 * time.Second):
+				t.Fatal("echo round trip timed out")
+			}
+			// The round trip must be visible in the wire counters on
+			// both ends.
+			snd, rcv := nodes[1].Stats(), nodes[0].Stats()
+			if snd.FramesOut < 1 || snd.Flushes < 1 || snd.BytesOut == 0 || snd.Dials != 1 {
+				t.Errorf("sender stats missing traffic: %+v", snd)
+			}
+			if rcv.FramesIn < 1 || rcv.BytesIn == 0 {
+				t.Errorf("receiver stats missing traffic: %+v", rcv)
+			}
+			if snd.Reconnects != 0 || snd.Dropped != 0 {
+				t.Errorf("clean run counted failures: %+v", snd)
+			}
+		})
 	}
-	sink := runtime.HandlerFunc{
-		OnStart: func(ctx runtime.Context) {
-			ctx.Send(0, msg.ClientRequest{Client: 1, Seq: 1, Cmd: msg.Command{Op: msg.OpNoop}})
-		},
-		OnReceive: func(ctx runtime.Context, from msg.NodeID, m msg.Message) {
-			got <- m
-		},
-	}
-	nodes, err := BuildLocalCluster([]runtime.Handler{echo, sink})
+}
+
+// TestReconnectCounted pins the write-deadline satellite's observable
+// half: when a peer resets the connection, the sender's writer drops it
+// (instead of blocking an actor forever, as the pre-writer-loop code
+// could) and the next send redials — counted in Stats().Reconnects.
+func TestReconnectCounted(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
 	}
+	defer ln.Close()
+	// The peer accepts and immediately resets every connection.
+	go func() {
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			c.Close()
+		}
+	}()
+	fwd := runtime.HandlerFunc{
+		OnReceive: func(ctx runtime.Context, from msg.NodeID, m msg.Message) {
+			ctx.Send(1, m)
+		},
+	}
+	node, err := NewTCPNode(0, fwd, map[msg.NodeID]string{0: "127.0.0.1:0", 1: ln.Addr().String()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer node.Close()
+	if err := node.Start(); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		node.Inject(0, msg.ClientReply{Seq: 1})
+		if node.Stats().Reconnects >= 1 {
+			return // a dropped connection was redialed and counted
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("no reconnect counted after repeated peer resets: %+v", node.Stats())
+}
+
+// TestSlowPeerDropsNotBlocks pins the non-blocking send guarantee: with
+// a peer that never reads and a tiny write timeout, a flood of sends
+// must complete promptly (queue drops + a dropped connection), never
+// wedge the sender.
+func TestSlowPeerDropsNotBlocks(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	hold := make(chan net.Conn, 4)
+	go func() {
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			hold <- c // accept but never read: the kernel buffers fill and stay full
+		}
+	}()
 	defer func() {
-		for _, n := range nodes {
-			n.Close()
+		for {
+			select {
+			case c := <-hold:
+				c.Close()
+			default:
+				return
+			}
+		}
+	}()
+	oldTimeout := writeTimeout
+	writeTimeout = 100 * time.Millisecond
+	defer func() { writeTimeout = oldTimeout }()
+
+	fwd := runtime.HandlerFunc{
+		OnReceive: func(ctx runtime.Context, from msg.NodeID, m msg.Message) {
+			ctx.Send(1, m)
+		},
+	}
+	node, err := NewTCPNode(0, fwd, map[msg.NodeID]string{0: "127.0.0.1:0", 1: ln.Addr().String()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer node.Close()
+	if err := node.Start(); err != nil {
+		t.Fatal(err)
+	}
+	// A payload big enough that the kernel buffers cannot absorb the
+	// whole flood: the writer must hit the deadline and drop the conn.
+	big := msg.ClientReply{Seq: 1, Result: string(make([]byte, 32<<10))}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 2000; i++ {
+			node.Inject(0, big)
 		}
 	}()
 	select {
-	case m := <-got:
-		rep, ok := m.(msg.ClientReply)
-		if !ok || rep.Result != "echo" {
-			t.Fatalf("got %+v", m)
-		}
-	case <-time.After(10 * time.Second):
-		t.Fatal("echo round trip timed out")
+	case <-done:
+	case <-time.After(15 * time.Second):
+		t.Fatal("sender wedged behind a stalled peer")
 	}
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if node.Stats().Dropped > 0 {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("stalled peer never surfaced as drops: %+v", node.Stats())
 }
 
 func TestTimersOverTCP(t *testing.T) {

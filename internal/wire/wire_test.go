@@ -1,0 +1,184 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"math"
+	"testing"
+)
+
+func TestPrimitiveRoundTrips(t *testing.T) {
+	var b []byte
+	b = AppendUvarint(b, 0)
+	b = AppendUvarint(b, math.MaxUint64)
+	b = AppendVarint(b, 0)
+	b = AppendVarint(b, -1)
+	b = AppendVarint(b, math.MaxInt64)
+	b = AppendVarint(b, math.MinInt64)
+	b = AppendString(b, "")
+	b = AppendString(b, "hello, wire")
+	b = AppendBool(b, true)
+	b = AppendBool(b, false)
+
+	d := NewDecoder(b)
+	if got := d.Uvarint(); got != 0 {
+		t.Errorf("uvarint 0 = %d", got)
+	}
+	if got := d.Uvarint(); got != math.MaxUint64 {
+		t.Errorf("uvarint max = %d", got)
+	}
+	if got := d.Varint(); got != 0 {
+		t.Errorf("varint 0 = %d", got)
+	}
+	if got := d.Varint(); got != -1 {
+		t.Errorf("varint -1 = %d", got)
+	}
+	if got := d.Varint(); got != math.MaxInt64 {
+		t.Errorf("varint maxint = %d", got)
+	}
+	if got := d.Varint(); got != math.MinInt64 {
+		t.Errorf("varint minint = %d", got)
+	}
+	if got := d.String(); got != "" {
+		t.Errorf("empty string = %q", got)
+	}
+	if got := d.String(); got != "hello, wire" {
+		t.Errorf("string = %q", got)
+	}
+	if got := d.Bool(); !got {
+		t.Error("bool true = false")
+	}
+	if got := d.Bool(); got {
+		t.Error("bool false = true")
+	}
+	if err := d.Err(); err != nil {
+		t.Fatalf("clean decode errored: %v", err)
+	}
+	if d.Remaining() != 0 {
+		t.Fatalf("%d bytes left over", d.Remaining())
+	}
+}
+
+func TestDecoderStickyError(t *testing.T) {
+	d := NewDecoder([]byte{0x80}) // truncated uvarint
+	if d.Uvarint() != 0 || d.Err() == nil {
+		t.Fatal("truncated uvarint decoded")
+	}
+	// Every later read must keep returning zero values and the error.
+	if d.String() != "" || d.Byte() != 0 || !errors.Is(d.Err(), ErrTruncated) {
+		t.Fatalf("error not sticky: %v", d.Err())
+	}
+}
+
+func TestStringLengthGuard(t *testing.T) {
+	b := AppendUvarint(nil, 1<<40) // claims a terabyte string
+	d := NewDecoder(b)
+	if d.String() != "" || !errors.Is(d.Err(), ErrBadCount) {
+		t.Fatalf("absurd string length accepted: %v", d.Err())
+	}
+}
+
+func TestSliceLenGuard(t *testing.T) {
+	b := AppendUvarint(nil, 1000)
+	b = append(b, make([]byte, 10)...)
+	d := NewDecoder(b)
+	if d.SliceLen() != 0 || !errors.Is(d.Err(), ErrBadCount) {
+		t.Fatalf("slice count beyond input accepted: %v", d.Err())
+	}
+
+	d = NewDecoder(AppendUvarint(make([]byte, 0, 16), 3))
+	d.data = append(d.data, 1, 2, 3)
+	if n := d.SliceLen(); n != 3 || d.Err() != nil {
+		t.Fatalf("legal count rejected: n=%d err=%v", n, d.Err())
+	}
+}
+
+func TestFrameRoundTrip(t *testing.T) {
+	payload := []byte("tagged payload bytes")
+	b := BeginFrame(nil)
+	b = append(b, payload...)
+	b, err := EndFrame(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scratch := GetBuf()
+	defer PutBuf(scratch)
+	got, err := ReadFrame(bytes.NewReader(b), scratch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatalf("payload = %q, want %q", got, payload)
+	}
+	// Two frames back to back through one scratch buffer.
+	var stream bytes.Buffer
+	stream.Write(b)
+	stream.Write(b)
+	r := bytes.NewReader(stream.Bytes())
+	for i := 0; i < 2; i++ {
+		if got, err := ReadFrame(r, scratch); err != nil || !bytes.Equal(got, payload) {
+			t.Fatalf("frame %d: %q, %v", i, got, err)
+		}
+	}
+}
+
+func TestFrameErrors(t *testing.T) {
+	if _, err := EndFrame(BeginFrame(nil)); !errors.Is(err, ErrEmptyFrame) {
+		t.Errorf("empty frame sealed: %v", err)
+	}
+	scratch := GetBuf()
+	defer PutBuf(scratch)
+	// Oversized length prefix.
+	huge := []byte{0xff, 0xff, 0xff, 0xff}
+	if _, err := ReadFrame(bytes.NewReader(huge), scratch); !errors.Is(err, ErrFrameTooBig) {
+		t.Errorf("oversized frame accepted: %v", err)
+	}
+	// Zero length prefix.
+	if _, err := ReadFrame(bytes.NewReader([]byte{0, 0, 0, 0}), scratch); !errors.Is(err, ErrEmptyFrame) {
+		t.Errorf("empty frame read: %v", err)
+	}
+	// Truncated header and truncated payload.
+	if _, err := ReadFrame(bytes.NewReader([]byte{5, 0}), scratch); err == nil {
+		t.Error("truncated header read")
+	}
+	if _, err := ReadFrame(bytes.NewReader([]byte{5, 0, 0, 0, 'x'}), scratch); !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Errorf("truncated payload read: %v", err)
+	}
+}
+
+func TestBufPoolDropsOversized(t *testing.T) {
+	big := make([]byte, 0, maxPooledBuf*2)
+	PutBuf(&big) // must not panic, must not pin
+	p := GetBuf()
+	defer PutBuf(p)
+	if len(*p) != 0 {
+		t.Fatalf("pooled buffer not reset: len %d", len(*p))
+	}
+}
+
+// FuzzFrame feeds arbitrary byte streams to the frame reader: it must
+// never panic, never hand back more than MaxFrame bytes, and must
+// return exactly the bytes a well-formed frame carried.
+func FuzzFrame(f *testing.F) {
+	good := BeginFrame(nil)
+	good = append(good, 0x01, 0x02, 0x03)
+	good, _ = EndFrame(good)
+	f.Add(good)
+	f.Add([]byte{0, 0, 0, 0})
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 1, 2, 3})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		scratch := GetBuf()
+		defer PutBuf(scratch)
+		r := bytes.NewReader(data)
+		for {
+			payload, err := ReadFrame(r, scratch)
+			if err != nil {
+				return
+			}
+			if len(payload) == 0 || len(payload) > MaxFrame {
+				t.Fatalf("frame reader returned %d bytes", len(payload))
+			}
+		}
+	})
+}
