@@ -161,12 +161,29 @@ type KVConfig struct {
 	// batches immediately; replicas answer a batch in one message, so
 	// freed window slots refill as full batches under load either way.
 	BatchDelay time.Duration
+	// SnapshotInterval makes every replica capture a snapshot of its
+	// durable state (state-machine image, session frontiers, applied
+	// frontier) every this many applied instances and compact its log
+	// behind it, keeping memory bounded under sustained load (default 0
+	// = off, the paper's unbounded log). Snapshots also serve replica
+	// recovery: see RestartReplica. Validated like Shards/BatchSize.
+	SnapshotInterval int
+	// SnapshotChunkSize is the payload size of one snapshot transfer
+	// chunk during catch-up (default 64 KiB; capped well under the
+	// transport's frame limit).
+	SnapshotChunkSize int
 	// RequestTimeout bounds each Put/Get round trip (default 5s).
 	RequestTimeout time.Duration
 	// AcceptTimeout tunes the protocol's failure detector; the default
 	// suits wall-clock deployments (200ms).
 	AcceptTimeout time.Duration
 }
+
+// MaxSnapshotChunk bounds KVConfig.SnapshotChunkSize: chunks must stay
+// comfortably under the transport's 16 MiB frame guard. Defined by
+// conversion from the cluster package's bound so the two knobs can
+// never silently diverge.
+const MaxSnapshotChunk = cluster.MaxSnapshotChunk
 
 // KV is a linearizable replicated string map: every operation (reads
 // included, per Section 7.5's strong-consistency mode) is a consensus
@@ -183,21 +200,35 @@ type KV struct {
 	closeOnce sync.Once
 }
 
-// kvShard is one agreement group: its engines, its runtime, and the
-// bridge that turns blocking Put/Get calls into that group's client
-// traffic.
+// kvShard is one agreement group: its engines, its runtime, the bridge
+// that turns blocking Put/Get calls into that group's client traffic,
+// and everything RestartReplica needs to boot a fresh replica back into
+// the group (the engine builder and, over TCP, the fixed address map).
 type kvShard struct {
-	bridge  *kvBridge
-	inproc  *runtime.InProcCluster
+	bridge *kvBridge
+	inproc *runtime.InProcCluster
+
+	build func(id msg.NodeID, recover bool) (protocol.Engine, error)
+	addrs map[msg.NodeID]string // TCP listen addresses, stable across restarts
+	codec msg.Codec
+
+	// mu guards the per-replica slots RestartReplica swaps out while
+	// stats readers (SnapshotStats, WireStats) iterate them from other
+	// goroutines.
+	mu      sync.Mutex
 	tcp     []*transport.TCPNode
 	engines []protocol.Engine
+	crashed []bool
 }
 
 func (s *kvShard) close() {
 	if s.inproc != nil {
 		s.inproc.Stop()
 	}
-	for _, n := range s.tcp {
+	s.mu.Lock()
+	nodes := append([]*transport.TCPNode(nil), s.tcp...)
+	s.mu.Unlock()
+	for _, n := range nodes {
 		n.Close()
 	}
 }
@@ -270,6 +301,16 @@ func StartKV(cfg KVConfig) (*KV, error) {
 	if cfg.BatchDelay < 0 {
 		return nil, fmt.Errorf("consensusinside: negative batch delay %v", cfg.BatchDelay)
 	}
+	if cfg.SnapshotInterval < 0 {
+		return nil, fmt.Errorf("consensusinside: negative snapshot interval %d", cfg.SnapshotInterval)
+	}
+	if cfg.SnapshotChunkSize < 0 {
+		return nil, fmt.Errorf("consensusinside: negative snapshot chunk size %d", cfg.SnapshotChunkSize)
+	}
+	if cfg.SnapshotChunkSize > MaxSnapshotChunk {
+		return nil, fmt.Errorf("consensusinside: snapshot chunk size %d exceeds the maximum %d",
+			cfg.SnapshotChunkSize, MaxSnapshotChunk)
+	}
 	if cfg.RequestTimeout == 0 {
 		cfg.RequestTimeout = 5 * time.Second
 	}
@@ -300,16 +341,23 @@ func startKVShard(cfg KVConfig, shardIdx int) (*kvShard, error) {
 	}
 	clientID := msg.NodeID(cfg.Replicas)
 
-	sh := &kvShard{}
+	sh := &kvShard{crashed: make([]bool, cfg.Replicas), codec: msg.Codec(cfg.Codec)}
+	sh.build = func(id msg.NodeID, recover bool) (protocol.Engine, error) {
+		return protocol.Build(cfg.Protocol, protocol.Config{
+			ID:                id,
+			Replicas:          ids,
+			AcceptTimeout:     cfg.AcceptTimeout,
+			TakeoverBackoff:   cfg.AcceptTimeout / 2,
+			UtilRetryTimeout:  cfg.AcceptTimeout,
+			SnapshotInterval:  cfg.SnapshotInterval,
+			SnapshotChunkSize: cfg.SnapshotChunkSize,
+			TxRetryTimeout:    cfg.AcceptTimeout,
+			Recover:           recover,
+		})
+	}
 	handlers := make([]runtime.Handler, 0, cfg.Replicas+1)
 	for _, id := range ids {
-		eng, err := protocol.Build(cfg.Protocol, protocol.Config{
-			ID:               id,
-			Replicas:         ids,
-			AcceptTimeout:    cfg.AcceptTimeout,
-			TakeoverBackoff:  cfg.AcceptTimeout / 2,
-			UtilRetryTimeout: cfg.AcceptTimeout,
-		})
+		eng, err := sh.build(id, false)
 		if err != nil {
 			return nil, fmt.Errorf("consensusinside: build shard %d replica %d: %w", shardIdx, id, err)
 		}
@@ -334,6 +382,10 @@ func startKVShard(cfg KVConfig, shardIdx int) (*kvShard, error) {
 			return nil, fmt.Errorf("consensusinside: start shard %d tcp cluster: %w", shardIdx, err)
 		}
 		sh.tcp = nodes
+		sh.addrs = make(map[msg.NodeID]string, len(nodes))
+		for i, n := range nodes {
+			sh.addrs[msg.NodeID(i)] = n.Addr()
+		}
 		sh.bridge.inject = func(m msg.Message) {
 			nodes[clientID].Inject(clientID, m)
 		}
@@ -392,9 +444,11 @@ func (kv *KV) MaxInFlight() int {
 func (kv *KV) WireStats() metrics.WireStats {
 	var stats metrics.WireStats
 	for _, sh := range kv.shards {
+		sh.mu.Lock()
 		for _, n := range sh.tcp {
 			stats.Merge(n.Stats())
 		}
+		sh.mu.Unlock()
 	}
 	return stats
 }
@@ -413,22 +467,112 @@ func (kv *KV) BatchStats() metrics.BatchOccupancy {
 	return occ
 }
 
-// CrashReplica stops a replica's TCP node, simulating a failed core
-// (TCP transport only). Replicas are indexed globally, group by group:
+// CrashReplica stops a replica's node, simulating a failed core, on
+// either transport. Replicas are indexed globally, group by group:
 // id = shard*Replicas + replica-within-group, so 0 is the first shard's
 // boot leader. Operations on that shard keep succeeding as long as the
 // protocol's availability condition holds (for 1Paxos: a majority plus
-// either the leader or the active acceptor); other shards are
-// untouched.
+// either the leader or the active acceptor; 2PC blocks until the
+// replica returns); other shards are untouched.
+//
+// Errors are pinned: an id outside [0, Shards*Replicas) and a replica
+// that is already crashed both fail — crashing is not idempotent, so a
+// test harness that double-faults the same core hears about it. A
+// crashed replica's state is gone for good; RestartReplica boots a
+// fresh one that rejoins by catch-up.
 func (kv *KV) CrashReplica(id int) error {
+	sh, idx, err := kv.replicaAt(id)
+	if err != nil {
+		return err
+	}
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if sh.crashed[idx] {
+		return fmt.Errorf("consensusinside: replica %d is already crashed", id)
+	}
+	if sh.inproc != nil {
+		if err := sh.inproc.StopNode(msg.NodeID(idx)); err != nil {
+			return err
+		}
+	} else {
+		if err := sh.tcp[idx].Close(); err != nil {
+			return err
+		}
+	}
+	sh.crashed[idx] = true
+	return nil
+}
+
+// RestartReplica boots a fresh replica in place of a crashed one — the
+// missing counterpart of CrashReplica. The new replica starts empty, in
+// recovery mode: it streams a snapshot (state image + session
+// frontiers) and the retained log suffix from a live peer
+// (internal/snapshot), rejoins agreement, and only then serves
+// traffic. Over TCP it re-listens on the crashed replica's address, so
+// peers reconnect lazily on their next send. It fails for an id outside
+// the replica range and for a replica that is not crashed.
+func (kv *KV) RestartReplica(id int) error {
+	sh, idx, err := kv.replicaAt(id)
+	if err != nil {
+		return err
+	}
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if !sh.crashed[idx] {
+		return fmt.Errorf("consensusinside: replica %d is not crashed", id)
+	}
+	eng, err := sh.build(msg.NodeID(idx), true)
+	if err != nil {
+		return fmt.Errorf("consensusinside: rebuild replica %d: %w", id, err)
+	}
+	if sh.inproc != nil {
+		if err := sh.inproc.RestartNode(msg.NodeID(idx), eng); err != nil {
+			return err
+		}
+	} else {
+		node, err := transport.NewTCPNode(msg.NodeID(idx), eng, sh.addrs)
+		if err != nil {
+			return fmt.Errorf("consensusinside: relisten replica %d: %w", id, err)
+		}
+		node.SetCodec(sh.codec)
+		if err := node.Start(); err != nil {
+			node.Close()
+			return fmt.Errorf("consensusinside: restart replica %d: %w", id, err)
+		}
+		sh.tcp[idx] = node
+	}
+	sh.engines[idx] = eng
+	sh.crashed[idx] = false
+	return nil
+}
+
+// replicaAt resolves a global replica id to its shard and in-group
+// index.
+func (kv *KV) replicaAt(id int) (*kvShard, int, error) {
 	if id < 0 || id >= len(kv.shards)*kv.cfg.Replicas {
-		return fmt.Errorf("consensusinside: no replica %d", id)
+		return nil, 0, fmt.Errorf("consensusinside: no replica %d", id)
 	}
-	sh := kv.shards[id/kv.cfg.Replicas]
-	if sh.tcp == nil {
-		return errors.New("consensusinside: CrashReplica requires the TCP transport")
+	return kv.shards[id/kv.cfg.Replicas], id % kv.cfg.Replicas, nil
+}
+
+// SnapshotStats reports the service's recovery-subsystem counters
+// folded across every replica of every shard: snapshots captured and
+// their encoded bytes, log entries truncated by compaction, catch-ups
+// served (with chunk and entry counts), and restores performed by
+// recovered replicas. All zeros with SnapshotInterval off and no
+// restarts.
+func (kv *KV) SnapshotStats() metrics.SnapshotStats {
+	var stats metrics.SnapshotStats
+	for _, sh := range kv.shards {
+		sh.mu.Lock()
+		for _, eng := range sh.engines {
+			if s, ok := eng.(protocol.SnapshotStatser); ok {
+				stats.Merge(s.SnapshotStats())
+			}
+		}
+		sh.mu.Unlock()
 	}
-	return sh.tcp[id%kv.cfg.Replicas].Close()
+	return stats
 }
 
 // Close shuts the service down.

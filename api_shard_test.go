@@ -88,6 +88,20 @@ func TestKVShardsValidation(t *testing.T) {
 	}
 }
 
+// TestKVSnapshotValidation pins the snapshot knobs' error cases,
+// mirroring the Shards table.
+func TestKVSnapshotValidation(t *testing.T) {
+	if _, err := StartKV(KVConfig{SnapshotInterval: -1}); err == nil {
+		t.Error("negative snapshot interval accepted")
+	}
+	if _, err := StartKV(KVConfig{SnapshotChunkSize: -1}); err == nil {
+		t.Error("negative snapshot chunk size accepted")
+	}
+	if _, err := StartKV(KVConfig{SnapshotChunkSize: MaxSnapshotChunk + 1}); err == nil {
+		t.Error("oversized snapshot chunk accepted")
+	}
+}
+
 // TestKVShardedCrashIsolation crashes the whole first group over TCP:
 // keys of other groups must keep committing (per-shard fault domains),
 // and the global replica indexing must address the right group.

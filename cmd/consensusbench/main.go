@@ -294,6 +294,40 @@ var all = []experiment{
 		},
 	},
 	{
+		id:    "recovery-sweep",
+		about: "crash→restart→rejoin: throughput dip and time-to-rejoin, all engines, both transports, 2 shards",
+		run: func(w io.Writer, opts experiments.Opts) map[string]float64 {
+			sweep := consensusinside.RecoverySweepOptions{}
+			if opts.Quick {
+				sweep.Phase = 150 * time.Millisecond
+			}
+			pts, err := consensusinside.RecoverySweep(sweep)
+			if err != nil {
+				fmt.Fprintf(w, "recovery sweep failed: %v\n", err)
+				return map[string]float64{}
+			}
+			m := map[string]float64{}
+			fmt.Fprintf(w, "Recovery sweep — replica 1 of shard 0 crashed and restarted mid-load, %d shards\n", 2)
+			fmt.Fprintf(w, "%-12s %-8s %12s %12s %12s %10s %10s %10s\n",
+				"protocol", "runtime", "steady", "crashed", "recovered", "dip", "rejoin_ms", "restores")
+			for _, p := range pts {
+				key := fmt.Sprintf("%v_%v", p.Protocol, p.Transport)
+				fmt.Fprintf(w, "%-12v %-8v %10.0f/s %10.0f/s %10.0f/s %9.0f%% %10.1f %10d\n",
+					p.Protocol, p.Transport, p.SteadyOps, p.CrashedOps, p.RecoveredOps,
+					100*p.DipFraction(), float64(p.Rejoin)/1e6, p.Snap.Restores)
+				m[key+"_steady_ops"] = p.SteadyOps
+				m[key+"_crashed_ops"] = p.CrashedOps
+				m[key+"_recovered_ops"] = p.RecoveredOps
+				m[key+"_dip_fraction"] = p.DipFraction()
+				m[key+"_rejoin_ms"] = float64(p.Rejoin) / 1e6
+				m[key+"_snapshots"] = float64(p.Snap.Snapshots)
+				m[key+"_entries_truncated"] = float64(p.Snap.EntriesTruncated)
+				m[key+"_restores"] = float64(p.Snap.Restores)
+			}
+			return m
+		},
+	},
+	{
 		id:    "shard-sweep",
 		about: "shard scaling on the real runtimes: 12 replica cores as 1/2/4 groups, InProc + TCP",
 		run: func(w io.Writer, opts experiments.Opts) map[string]float64 {

@@ -14,15 +14,19 @@
 //     command batching that packs several of them into one consensus
 //     instance (KVConfig.BatchSize/BatchDelay), and optional keyspace
 //     sharding across independent consensus groups (KVConfig.Shards;
-//     each key hash-routes to one group's log) — the "adopt this" API;
+//     each key hash-routes to one group's log) — the "adopt this" API.
+//     Replicas can crash and rejoin: CrashReplica / RestartReplica on
+//     either transport, with recovery (and bounded replica memory,
+//     KVConfig.SnapshotInterval) provided by internal/snapshot's
+//     durable-state snapshots, log compaction and catch-up protocol;
 //   - the deterministic many-core simulator and cluster harness
 //     (NewSimCluster) used to reproduce every figure of the paper's
 //     evaluation, sweeping the same engines, client window, batch cap
 //     and shard count (SimSpec.Shards/BatchSize); and
 //   - the experiment runners themselves (the experiments re-exported
 //     through cmd/consensusbench, which can emit BENCH_*.json; the
-//     wall-clock shard and batch sweeps are exported here as ShardSweep
-//     and BatchSweep).
+//     wall-clock shard, batch, codec and recovery sweeps are exported
+//     here as ShardSweep, BatchSweep, CodecSweep and RecoverySweep).
 //
 // Protocols are written once against the message-passing contract
 // (internal/runtime.Handler) and registered in internal/protocol; every

@@ -8,11 +8,14 @@ func init() {
 		MinReplicas: 3,
 		New: func(cfg protocol.Config) protocol.Engine {
 			return NewReplica(ReplicaConfig{
-				ID:           cfg.ID,
-				Replicas:     cfg.Replicas,
-				Applier:      cfg.Applier,
-				RoundTimeout: cfg.AcceptTimeout,
-				DuelBackoff:  cfg.TakeoverBackoff,
+				ID:                cfg.ID,
+				Replicas:          cfg.Replicas,
+				Applier:           cfg.Applier,
+				RoundTimeout:      cfg.AcceptTimeout,
+				DuelBackoff:       cfg.TakeoverBackoff,
+				SnapshotInterval:  cfg.SnapshotInterval,
+				SnapshotChunkSize: cfg.SnapshotChunkSize,
+				Recover:           cfg.Recover,
 			})
 		},
 	})

@@ -4,9 +4,11 @@ import (
 	"fmt"
 	"time"
 
+	"consensusinside/internal/metrics"
 	"consensusinside/internal/msg"
 	"consensusinside/internal/rsm"
 	"consensusinside/internal/runtime"
+	"consensusinside/internal/snapshot"
 )
 
 // This file turns the transport-free Synod state machines into a runnable
@@ -49,6 +51,19 @@ type ReplicaConfig struct {
 	// with a concurrent proposer); a random share of the same amount is
 	// added to break symmetric duels. Zero means DefaultDuelBackoff.
 	DuelBackoff time.Duration
+
+	// SnapshotInterval captures a durable-state snapshot every this many
+	// applied instances and compacts the log behind it (0 = off). See
+	// internal/snapshot.
+	SnapshotInterval int
+
+	// SnapshotChunkSize is the snapshot transfer chunk size (0 = the
+	// snapshot package default).
+	SnapshotChunkSize int
+
+	// Recover makes the replica stream a snapshot and log suffix from a
+	// live peer before serving clients — the restarted-replica mode.
+	Recover bool
 }
 
 type originKey struct {
@@ -83,6 +98,7 @@ type Replica struct {
 
 	log      *rsm.Log
 	sessions *rsm.Sessions
+	snap     *snapshot.Manager
 	commits  int64
 	restarts int64
 }
@@ -127,6 +143,30 @@ func NewReplica(cfg ReplicaConfig) *Replica {
 	}
 	r.log = rsm.NewLog(rsm.Dedup{Sessions: r.sessions, Inner: applier})
 	r.log.OnApply(r.onApply)
+	r.snap = snapshot.New(snapshot.Config{
+		ID:           cfg.ID,
+		Replicas:     cfg.Replicas,
+		Interval:     int64(cfg.SnapshotInterval),
+		ChunkSize:    cfg.SnapshotChunkSize,
+		Recover:      cfg.Recover,
+		RetryTimeout: 2 * cfg.RoundTimeout,
+	}, r.log, r.sessions, applier)
+	r.snap.OnRestore(func(last int64) {
+		// Fresh proposals must start above the restored frontier.
+		if r.nextInst < last+1 {
+			r.nextInst = last + 1
+		}
+	})
+	r.snap.OnSnapshot(func(int64) {
+		// Per-instance acceptor records below the compaction floor are
+		// decided history; drop them with the log entries so the
+		// baseline's memory is bounded by the same knob.
+		for in := range r.acc {
+			if in < r.log.Floor() {
+				delete(r.acc, in)
+			}
+		}
+	})
 	return r
 }
 
@@ -140,12 +180,26 @@ func (r *Replica) Restarts() int64 { return r.restarts }
 // Log exposes the learner log for consistency checks.
 func (r *Replica) Log() *rsm.Log { return r.log }
 
+// SnapshotStats reports the replica's recovery-subsystem counters.
+func (r *Replica) SnapshotStats() metrics.SnapshotStats { return r.snap.Stats() }
+
+// Recovered reports whether this replica has finished recovering (see
+// snapshot.Manager.Recovered); trivially true unless built in Recover
+// mode. Safe from any goroutine.
+func (r *Replica) Recovered() bool { return r.snap.Recovered() }
+
 // Start implements runtime.Handler.
-func (r *Replica) Start(ctx runtime.Context) { r.ctx = ctx }
+func (r *Replica) Start(ctx runtime.Context) {
+	r.ctx = ctx
+	r.snap.Start(ctx)
+}
 
 // Receive dispatches one message.
 func (r *Replica) Receive(ctx runtime.Context, from msg.NodeID, m msg.Message) {
 	r.ctx = ctx
+	if r.snap.Handle(ctx, from, m) {
+		return
+	}
 	switch mm := m.(type) {
 	case msg.ClientRequest:
 		r.onClientRequest(mm)
@@ -165,6 +219,9 @@ func (r *Replica) Receive(ctx runtime.Context, from msg.NodeID, m msg.Message) {
 // Timer implements runtime.Handler.
 func (r *Replica) Timer(ctx runtime.Context, tag runtime.TimerTag) {
 	r.ctx = ctx
+	if r.snap.HandleTimer(ctx, tag) {
+		return
+	}
 	switch tag.Kind {
 	case timerRound:
 		in := tag.Arg
@@ -189,6 +246,9 @@ func (r *Replica) Timer(ctx runtime.Context, tag runtime.TimerTag) {
 // --- Proposer ---
 
 func (r *Replica) onClientRequest(req msg.ClientRequest) {
+	if r.snap.CatchingUp() {
+		return // recovering: must not propose against a stale frontier
+	}
 	// Committed entries (single command or batch alike) are answered
 	// from the session table; what remains still needs agreement.
 	fresh := r.sessions.Screen(req, func(rep msg.ClientReply) { r.ctx.Send(req.Client, rep) })
@@ -287,6 +347,17 @@ func (r *Replica) onPrepare(from msg.NodeID, m msg.BPPrepare) {
 	if m.PN > r.maxPN {
 		r.maxPN = m.PN
 	}
+	if m.Instance < r.log.NextToApply() {
+		// Decided and applied here — and the per-instance acceptor
+		// record may already be pruned by compaction, so running the
+		// Synod machinery would present a fresh acceptor and let a
+		// lagging proposer re-decide the instance. Stream the decided
+		// value instead and nack the round; the proposer adopts it
+		// through its log, not through a promise.
+		r.snap.Serve(r.ctx, from, m.Instance)
+		r.ctx.Send(from, msg.BPNack{Instance: m.Instance, PN: m.PN})
+		return
+	}
 	a := r.acceptorFor(m.Instance)
 	if a.Prepare(m.PN) {
 		r.ctx.Send(from, msg.BPPromise{
@@ -302,6 +373,13 @@ func (r *Replica) onPrepare(from msg.NodeID, m msg.BPPrepare) {
 }
 
 func (r *Replica) onAccept(from msg.NodeID, m msg.BPAccept) {
+	if m.Instance < r.log.NextToApply() {
+		// See onPrepare: never re-open a decided, possibly-pruned
+		// instance.
+		r.snap.Serve(r.ctx, from, m.Instance)
+		r.ctx.Send(from, msg.BPNack{Instance: m.Instance, PN: m.PN})
+		return
+	}
 	a := r.acceptorFor(m.Instance)
 	if !a.Accept(m.PN, m.Value) {
 		r.ctx.Send(from, msg.BPNack{Instance: m.Instance, PN: a.Promised})
@@ -344,6 +422,7 @@ func (r *Replica) onApply(e rsm.Entry, results []string) {
 	if d != nil && d.cancel != nil {
 		d.cancel()
 	}
+	defer r.snap.AfterApply()
 	v := e.Value
 	if v.Client != msg.Nobody {
 		var replies []msg.ClientReply

@@ -42,6 +42,11 @@ const (
 // Protocols lists every registered protocol, for experiment sweeps.
 func Protocols() []Protocol { return protocol.IDs() }
 
+// MaxSnapshotChunk bounds Spec.SnapshotChunkSize, mirroring the public
+// KVConfig bound: chunks must stay comfortably under the TCP
+// transport's 16 MiB frame guard.
+const MaxSnapshotChunk = 4 << 20
+
 // Server is the common face of a protocol replica.
 type Server = protocol.Engine
 
@@ -94,6 +99,18 @@ type Spec struct {
 	AcceptTimeout time.Duration // paxos-family failure detection
 	LearnBatching bool          // 1Paxos acceptor-broadcast batching
 	LocalReads    bool          // 2PC joint-mode local reads
+
+	// SnapshotInterval makes every replica capture a durable-state
+	// snapshot every this many applied instances and compact its log
+	// behind it (internal/snapshot), bounding a long simulated run's
+	// memory. 0 — the default — is the paper's unbounded-log behavior.
+	// Validated like Shards/BatchSize.
+	SnapshotInterval int
+
+	// SnapshotChunkSize is the snapshot transfer chunk size (0 = the
+	// snapshot package default); validated against the transport frame
+	// budget a real deployment of the same shape would enforce.
+	SnapshotChunkSize int
 
 	// Codec names the wire encoding for the spec, mirroring
 	// KVConfig.Codec (msg.CodecWire by default; msg.CodecGob is the
@@ -155,6 +172,16 @@ func Build(spec Spec) (*Cluster, error) {
 	}
 	if spec.BatchDelay < 0 {
 		return nil, fmt.Errorf("cluster: negative batch delay %v", spec.BatchDelay)
+	}
+	if spec.SnapshotInterval < 0 {
+		return nil, fmt.Errorf("cluster: negative snapshot interval %d", spec.SnapshotInterval)
+	}
+	if spec.SnapshotChunkSize < 0 {
+		return nil, fmt.Errorf("cluster: negative snapshot chunk size %d", spec.SnapshotChunkSize)
+	}
+	if spec.SnapshotChunkSize > MaxSnapshotChunk {
+		return nil, fmt.Errorf("cluster: snapshot chunk size %d exceeds the maximum %d",
+			spec.SnapshotChunkSize, MaxSnapshotChunk)
 	}
 	if spec.Codec == 0 {
 		spec.Codec = msg.CodecWire
@@ -271,13 +298,15 @@ func (c *Cluster) clientConfig(id msg.NodeID, i int) workload.Config {
 func (c *Cluster) newServer(id msg.NodeID, serverIDs []msg.NodeID, joint bool) (Server, error) {
 	spec := c.Spec
 	return protocol.Build(spec.Protocol, protocol.Config{
-		ID:              id,
-		Replicas:        serverIDs,
-		Applier:         rsm.NewKV(),
-		AcceptTimeout:   spec.AcceptTimeout,
-		ForwardToLeader: joint,
-		LearnBatching:   spec.LearnBatching,
-		LocalReads:      spec.LocalReads,
+		ID:                id,
+		Replicas:          serverIDs,
+		Applier:           rsm.NewKV(),
+		AcceptTimeout:     spec.AcceptTimeout,
+		ForwardToLeader:   joint,
+		LearnBatching:     spec.LearnBatching,
+		LocalReads:        spec.LocalReads,
+		SnapshotInterval:  spec.SnapshotInterval,
+		SnapshotChunkSize: spec.SnapshotChunkSize,
 	})
 }
 

@@ -17,10 +17,13 @@ package mencius
 
 import (
 	"fmt"
+	"time"
 
+	"consensusinside/internal/metrics"
 	"consensusinside/internal/msg"
 	"consensusinside/internal/rsm"
 	"consensusinside/internal/runtime"
+	"consensusinside/internal/snapshot"
 )
 
 // Config parameterizes a Replica.
@@ -32,6 +35,23 @@ type Config struct {
 
 	// Applier is the replicated state machine; nil means a fresh KV.
 	Applier rsm.Applier
+
+	// AcceptTimeout paces the recovery subsystem's catch-up retries
+	// (the common-case protocol itself is timer-free).
+	AcceptTimeout time.Duration
+
+	// SnapshotInterval captures a durable-state snapshot every this many
+	// applied instances and compacts the log behind it (0 = off). See
+	// internal/snapshot.
+	SnapshotInterval int
+
+	// SnapshotChunkSize is the snapshot transfer chunk size (0 = the
+	// snapshot package default).
+	SnapshotChunkSize int
+
+	// Recover makes the replica stream a snapshot and log suffix from a
+	// live peer before serving clients — the restarted-replica mode.
+	Recover bool
 }
 
 // Replica is one Mencius node: owner-proposer for its instance share,
@@ -51,6 +71,7 @@ type Replica struct {
 	votes    map[int64]map[msg.NodeID]bool
 	log      *rsm.Log
 	sessions *rsm.Sessions
+	snap     *snapshot.Manager
 
 	commits int64
 	skips   int64
@@ -96,6 +117,27 @@ func New(cfg Config) *Replica {
 	}
 	r.log = rsm.NewLog(rsm.Dedup{Sessions: r.sessions, Inner: applier})
 	r.log.OnApply(r.onApply)
+	r.snap = snapshot.New(snapshot.Config{
+		ID:           cfg.ID,
+		Replicas:     cfg.Replicas,
+		Interval:     int64(cfg.SnapshotInterval),
+		ChunkSize:    cfg.SnapshotChunkSize,
+		Recover:      cfg.Recover,
+		RetryTimeout: 2 * cfg.AcceptTimeout,
+	}, r.log, r.sessions, applier)
+	r.snap.OnRestore(func(last int64) {
+		// Ownership must resume above the restored frontier: re-proposing
+		// an owned instance the group decided while this replica was gone
+		// would decide it twice (ownership replaces proposal numbers).
+		n := int64(len(r.replicas))
+		next := last + 1
+		if rem := ((int64(r.idx)-next)%n + n) % n; rem > 0 {
+			next += rem
+		}
+		if next > r.nextOwned {
+			r.nextOwned = next
+		}
+	})
 	return r
 }
 
@@ -108,16 +150,41 @@ func (r *Replica) Skips() int64 { return r.skips }
 // Log exposes the learner log for consistency checks.
 func (r *Replica) Log() *rsm.Log { return r.log }
 
+// SnapshotStats reports the replica's recovery-subsystem counters.
+func (r *Replica) SnapshotStats() metrics.SnapshotStats { return r.snap.Stats() }
+
+// Recovered reports whether this replica has finished recovering (see
+// snapshot.Manager.Recovered); trivially true unless built in Recover
+// mode. Safe from any goroutine.
+func (r *Replica) Recovered() bool { return r.snap.Recovered() }
+
 // Start implements runtime.Handler.
-func (r *Replica) Start(ctx runtime.Context) { r.ctx = ctx }
+func (r *Replica) Start(ctx runtime.Context) {
+	r.ctx = ctx
+	r.snap.Start(ctx)
+}
 
 // Timer implements runtime.Handler; the common-case protocol is
-// timer-free.
-func (r *Replica) Timer(ctx runtime.Context, tag runtime.TimerTag) { r.ctx = ctx }
+// timer-free, so only the recovery subsystem's timers land here.
+func (r *Replica) Timer(ctx runtime.Context, tag runtime.TimerTag) {
+	r.ctx = ctx
+	r.snap.HandleTimer(ctx, tag)
+}
 
 // Receive dispatches one message.
 func (r *Replica) Receive(ctx runtime.Context, from msg.NodeID, m msg.Message) {
 	r.ctx = ctx
+	if r.snap.Handle(ctx, from, m) {
+		if _, ok := m.(msg.CatchupEntries); ok {
+			// Catch-up showed us decided instances past our ownership
+			// cursor. Anything of ours below the learned frontier can
+			// only be filled by us — the group's applies are stalled on
+			// exactly those instances while we were gone — so give them
+			// up now rather than waiting for a fresh foreign accept.
+			r.skipBelow(r.log.LearnedFrontier())
+		}
+		return
+	}
 	switch mm := m.(type) {
 	case msg.ClientRequest:
 		r.onClientRequest(mm)
@@ -134,6 +201,9 @@ func (r *Replica) Receive(ctx runtime.Context, from msg.NodeID, m msg.Message) {
 // instance — every replica is a leader for its share (the Mencius
 // load-spreading idea).
 func (r *Replica) onClientRequest(req msg.ClientRequest) {
+	if r.snap.CatchingUp() {
+		return // recovering: must not propose owned instances yet
+	}
 	// Committed entries (single command or batch alike) are answered
 	// from the session table; what remains still needs agreement.
 	fresh := r.sessions.Screen(req, func(rep msg.ClientReply) { r.ctx.Send(req.Client, rep) })
@@ -219,6 +289,7 @@ func (r *Replica) skipBelow(observed int64) {
 
 func (r *Replica) onApply(e rsm.Entry, results []string) {
 	r.commits++
+	defer r.snap.AfterApply() // skip noops advance the snapshot cadence too
 	v := e.Value
 	if v.Client == msg.Nobody {
 		return

@@ -8,9 +8,13 @@ func init() {
 		MinReplicas: 3,
 		New: func(cfg protocol.Config) protocol.Engine {
 			return New(Config{
-				ID:       cfg.ID,
-				Replicas: cfg.Replicas,
-				Applier:  cfg.Applier,
+				ID:                cfg.ID,
+				Replicas:          cfg.Replicas,
+				Applier:           cfg.Applier,
+				AcceptTimeout:     cfg.AcceptTimeout,
+				SnapshotInterval:  cfg.SnapshotInterval,
+				SnapshotChunkSize: cfg.SnapshotChunkSize,
+				Recover:           cfg.Recover,
 			})
 		},
 	})

@@ -310,6 +310,34 @@ func (s WireStats) FramesPerFlush() float64 {
 	return float64(s.FramesOut) / float64(s.Flushes)
 }
 
+// SnapshotStats is a snapshot of one replica's recovery-subsystem
+// counters (internal/snapshot): how often it captured and compacted,
+// how much catch-up traffic it served, and whether it ever restored
+// itself from a peer's snapshot. KV.SnapshotStats folds the per-replica
+// counts into service totals.
+type SnapshotStats struct {
+	Snapshots         int64 // snapshots captured (periodic and on-demand)
+	SnapshotBytes     int64 // encoded bytes across captured snapshots
+	EntriesTruncated  int64 // applied log entries dropped by compaction
+	CatchupsServed    int64 // catch-up requests answered for peers
+	ChunksSent        int64 // snapshot chunks sent while serving
+	EntriesStreamed   int64 // decided entries streamed while serving
+	CatchupsRequested int64 // catch-up requests sent while recovering
+	Restores          int64 // peer snapshots decoded and installed locally
+}
+
+// Merge folds other's counts into s.
+func (s *SnapshotStats) Merge(other SnapshotStats) {
+	s.Snapshots += other.Snapshots
+	s.SnapshotBytes += other.SnapshotBytes
+	s.EntriesTruncated += other.EntriesTruncated
+	s.CatchupsServed += other.CatchupsServed
+	s.ChunksSent += other.ChunksSent
+	s.EntriesStreamed += other.EntriesStreamed
+	s.CatchupsRequested += other.CatchupsRequested
+	s.Restores += other.Restores
+}
+
 // Counter is a labeled monotonic counter set, used for per-node message
 // accounting (e.g. messages sent/received by the leader).
 type Counter struct {

@@ -79,6 +79,9 @@ const (
 	tagBPAccept
 	tagBPAccepted
 	tagBPNack
+	tagCatchupRequest
+	tagSnapshotChunk
+	tagCatchupEntries
 )
 
 // HelloTag is the reserved frame tag for the transport's connection
@@ -123,6 +126,9 @@ var wireTypes = []struct {
 	{tagBPAccept, func(d *wire.Decoder) Message { var m BPAccept; m.UnmarshalWire(d); return m }},
 	{tagBPAccepted, func(d *wire.Decoder) Message { var m BPAccepted; m.UnmarshalWire(d); return m }},
 	{tagBPNack, func(d *wire.Decoder) Message { var m BPNack; m.UnmarshalWire(d); return m }},
+	{tagCatchupRequest, func(d *wire.Decoder) Message { var m CatchupRequest; m.UnmarshalWire(d); return m }},
+	{tagSnapshotChunk, func(d *wire.Decoder) Message { var m SnapshotChunk; m.UnmarshalWire(d); return m }},
+	{tagCatchupEntries, func(d *wire.Decoder) Message { var m CatchupEntries; m.UnmarshalWire(d); return m }},
 }
 
 // wireDec indexes wireTypes by tag for the decode hot path.
@@ -206,6 +212,12 @@ func wireTagOf(m Message) (byte, bool) {
 		return tagBPAccepted, true
 	case BPNack:
 		return tagBPNack, true
+	case CatchupRequest:
+		return tagCatchupRequest, true
+	case SnapshotChunk:
+		return tagSnapshotChunk, true
+	case CatchupEntries:
+		return tagCatchupEntries, true
 	default:
 		return 0, false
 	}
@@ -470,7 +482,8 @@ func (m *PrepareRequest) UnmarshalWire(d *wire.Decoder) {
 func (m PrepareResponse) MarshalWire(b []byte) []byte {
 	b = wire.AppendVarint(b, int64(m.Acceptor))
 	b = wire.AppendUvarint(b, m.PN)
-	return appendProposals(b, m.Accepted)
+	b = appendProposals(b, m.Accepted)
+	return wire.AppendVarint(b, m.Floor)
 }
 
 // UnmarshalWire decodes the MarshalWire body; errors stick to d.
@@ -478,6 +491,7 @@ func (m *PrepareResponse) UnmarshalWire(d *wire.Decoder) {
 	m.Acceptor = NodeID(d.Varint())
 	m.PN = d.Uvarint()
 	m.Accepted = decodeProposals(d)
+	m.Floor = d.Varint()
 }
 
 // MarshalWire appends the message body (no tag); see AppendEnvelope.
@@ -612,7 +626,8 @@ func (m *MPPrepare) UnmarshalWire(d *wire.Decoder) {
 func (m MPPromise) MarshalWire(b []byte) []byte {
 	b = wire.AppendUvarint(b, m.PN)
 	b = wire.AppendVarint(b, int64(m.From))
-	return appendProposals(b, m.Accepted)
+	b = appendProposals(b, m.Accepted)
+	return wire.AppendVarint(b, m.Floor)
 }
 
 // UnmarshalWire decodes the MarshalWire body; errors stick to d.
@@ -620,6 +635,7 @@ func (m *MPPromise) UnmarshalWire(d *wire.Decoder) {
 	m.PN = d.Uvarint()
 	m.From = NodeID(d.Varint())
 	m.Accepted = decodeProposals(d)
+	m.Floor = d.Varint()
 }
 
 // MarshalWire appends the message body (no tag); see AppendEnvelope.
@@ -846,4 +862,58 @@ func (m BPNack) MarshalWire(b []byte) []byte {
 func (m *BPNack) UnmarshalWire(d *wire.Decoder) {
 	m.Instance = d.Varint()
 	m.PN = d.Uvarint()
+}
+
+// ---------------------------------------------------------------------------
+// Snapshot catch-up
+// ---------------------------------------------------------------------------
+
+// MarshalWire appends the message body (no tag); see AppendEnvelope.
+func (m CatchupRequest) MarshalWire(b []byte) []byte {
+	return wire.AppendVarint(b, m.From)
+}
+
+// UnmarshalWire decodes the MarshalWire body; errors stick to d.
+func (m *CatchupRequest) UnmarshalWire(d *wire.Decoder) {
+	m.From = d.Varint()
+}
+
+// MarshalWire appends the message body (no tag); see AppendEnvelope.
+func (m SnapshotChunk) MarshalWire(b []byte) []byte {
+	b = wire.AppendVarint(b, m.Seq)
+	b = wire.AppendBool(b, m.Last)
+	return wire.AppendBytes(b, m.Data)
+}
+
+// UnmarshalWire decodes the MarshalWire body; errors stick to d.
+func (m *SnapshotChunk) UnmarshalWire(d *wire.Decoder) {
+	m.Seq = d.Varint()
+	m.Last = d.Bool()
+	m.Data = d.Bytes()
+}
+
+// MarshalWire appends the message body (no tag); see AppendEnvelope.
+func (m CatchupEntries) MarshalWire(b []byte) []byte {
+	b = wire.AppendUvarint(b, uint64(len(m.Entries)))
+	for _, e := range m.Entries {
+		b = wire.AppendVarint(b, e.Instance)
+		b = appendValue(b, e.Value)
+	}
+	return wire.AppendBool(b, m.Done)
+}
+
+// UnmarshalWire decodes the MarshalWire body; errors stick to d.
+func (m *CatchupEntries) UnmarshalWire(d *wire.Decoder) {
+	n := d.SliceLen()
+	if n > 0 {
+		m.Entries = make([]Decided, 0, min(n, decodeSliceCap))
+		for i := 0; i < n; i++ {
+			m.Entries = append(m.Entries, Decided{Instance: d.Varint(), Value: decodeValue(d)})
+			if d.Err() != nil {
+				m.Entries = nil
+				break
+			}
+		}
+	}
+	m.Done = d.Bool()
 }

@@ -54,7 +54,7 @@ func wireSamples() []Message {
 		PrepareRequest{},
 		PrepareRequest{PN: 9, MustBeFresh: true, From: 77},
 		PrepareResponse{},
-		PrepareResponse{Acceptor: 1, PN: 3, Accepted: props},
+		PrepareResponse{Acceptor: 1, PN: 3, Accepted: props, Floor: 1 << 30},
 		Abandon{HPN: 8, FreshMismatch: true, IamFresh: true},
 		AcceptRequest{},
 		AcceptRequest{Instance: 12, PN: 4, Value: batched},
@@ -70,7 +70,7 @@ func wireSamples() []Message {
 		UtilNack{Slot: 4, PN: 9},
 		// Multi-Paxos.
 		MPPrepare{PN: 2, FromInstance: -1},
-		MPPromise{PN: 2, From: 1, Accepted: props},
+		MPPromise{PN: 2, From: 1, Accepted: props, Floor: -1},
 		MPAccept{Instance: 3, PN: 2, Value: val},
 		MPLearn{Instance: 3, PN: 2, Value: batched, From: 2},
 		MPNack{PN: math.MaxUint64},
@@ -90,6 +90,15 @@ func wireSamples() []Message {
 		BPAccept{Instance: 1, PN: 2, Value: val},
 		BPAccepted{Instance: 1, PN: 2, Value: val, From: 2},
 		BPNack{Instance: -1, PN: 3},
+		// Snapshot catch-up.
+		CatchupRequest{},
+		CatchupRequest{From: 1 << 33},
+		SnapshotChunk{},
+		SnapshotChunk{Seq: 3, Last: true, Data: []byte(bigString[:4096])},
+		SnapshotChunk{Data: []byte{}}, // empty, not nil
+		CatchupEntries{},
+		CatchupEntries{Done: true},
+		CatchupEntries{Entries: []Decided{{Instance: -1, Value: Value{}}, {Instance: 7, Value: batched}}, Done: true},
 	}
 }
 

@@ -299,10 +299,18 @@ type PrepareRequest struct {
 
 // PrepareResponse is the acceptor's promise, piggybacking every accepted
 // proposal so the new leader re-proposes them (Lemma 2b).
+//
+// Floor is the acceptor's log-compaction floor (internal/snapshot):
+// every instance below it was decided but its value now lives only in a
+// snapshot, so the accepted list cannot cover it. A leader whose
+// applied frontier lies below Floor must treat those instances like an
+// AcceptorChange frontier — wait for the catch-up transfer the acceptor
+// pushes alongside this response, never fill them with no-ops.
 type PrepareResponse struct {
 	Acceptor NodeID
 	PN       uint64
 	Accepted []Proposal
+	Floor    int64
 }
 
 // Abandon tells a proposer its proposal number lost to a higher one, or
@@ -424,10 +432,16 @@ type MPPrepare struct {
 
 // MPPromise is the acceptor's reply to MPPrepare with everything it has
 // accepted at or after the requested instance.
+//
+// Floor mirrors PrepareResponse.Floor: instances below the responder's
+// log-compaction floor are decided but absent from Accepted, so a
+// winning proposer must not no-op-fill below the highest Floor among
+// its promises (the catch-up push delivers those values instead).
 type MPPromise struct {
 	PN       uint64
 	From     NodeID
 	Accepted []Proposal
+	Floor    int64
 }
 
 // MPAccept is Multi-Paxos phase 2 for one instance.
@@ -576,6 +590,55 @@ func (BPAccept) Kind() string   { return "bp_accept" }
 func (BPAccepted) Kind() string { return "bp_accepted" }
 func (BPNack) Kind() string     { return "bp_nack" }
 
+// ---------------------------------------------------------------------------
+// Snapshot catch-up & replica recovery (internal/snapshot)
+// ---------------------------------------------------------------------------
+
+// Decided is one decided (instance, value) pair streamed during
+// catch-up. Unlike Proposal it carries no proposal number: a decided
+// value's number is history, and the receiver learns it directly.
+type Decided struct {
+	Instance int64
+	Value    Value
+}
+
+// CatchupRequest asks a peer to stream everything this replica is
+// missing: decided log entries from From on when the peer still retains
+// them, or a snapshot (in SnapshotChunk frames) plus the retained
+// suffix when From has been compacted away. A restarted replica sends
+// it at boot; a lagging one sends it whenever its applied frontier
+// stalls behind its learned entries.
+type CatchupRequest struct {
+	From int64 // requester's next-to-apply instance (0 for a fresh log)
+}
+
+// SnapshotChunk carries one slice of a wire-encoded snapshot
+// (internal/snapshot's versioned image: state machine, session
+// frontiers, last applied instance). Chunks of one transfer arrive in
+// order on one connection; Seq restarts at 0 for a new transfer and
+// Last marks the final chunk, after which the receiver decodes and
+// installs the assembled snapshot.
+type SnapshotChunk struct {
+	Seq  int64 // chunk index within the transfer, from 0
+	Last bool
+	Data []byte
+}
+
+// CatchupEntries carries decided log entries above the requester's
+// frontier (or above the snapshot just shipped), oldest first, capped
+// per message so a long suffix never forms one giant frame. Done marks
+// the end of the serving peer's retained history — the transfer is
+// complete and anything newer will arrive through normal agreement
+// traffic.
+type CatchupEntries struct {
+	Entries []Decided
+	Done    bool
+}
+
+func (CatchupRequest) Kind() string { return "catchup_request" }
+func (SnapshotChunk) Kind() string  { return "snapshot_chunk" }
+func (CatchupEntries) Kind() string { return "catchup_entries" }
+
 // registerOnce makes Register idempotent: the gob registry is global
 // process state, and every layer that opens a gob-coded channel (each
 // KV shard, every test package) wants to be able to call Register
@@ -628,6 +691,9 @@ var gobTypes = []Message{
 	BPAccept{},
 	BPAccepted{},
 	BPNack{},
+	CatchupRequest{},
+	SnapshotChunk{},
+	CatchupEntries{},
 }
 
 func registerGob() {

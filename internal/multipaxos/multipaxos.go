@@ -17,9 +17,11 @@ import (
 	"time"
 
 	"consensusinside/internal/basicpaxos"
+	"consensusinside/internal/metrics"
 	"consensusinside/internal/msg"
 	"consensusinside/internal/rsm"
 	"consensusinside/internal/runtime"
+	"consensusinside/internal/snapshot"
 )
 
 // Timer kinds.
@@ -55,6 +57,19 @@ type Config struct {
 	// known leader (the Joint deployment of Section 7.4) instead of
 	// competing for leadership.
 	ForwardToLeader bool
+
+	// SnapshotInterval captures a durable-state snapshot every this many
+	// applied instances and compacts the log behind it (0 = off). See
+	// internal/snapshot.
+	SnapshotInterval int
+
+	// SnapshotChunkSize is the snapshot transfer chunk size (0 = the
+	// snapshot package default).
+	SnapshotChunkSize int
+
+	// Recover makes the replica stream a snapshot and log suffix from a
+	// live peer before serving clients — the restarted-replica mode.
+	Recover bool
 }
 
 // Replica is one collapsed Multi-Paxos node.
@@ -88,6 +103,12 @@ type Replica struct {
 	votes    map[int64]map[msg.NodeID]msg.Proposal
 	log      *rsm.Log
 	sessions *rsm.Sessions
+	snap     *snapshot.Manager
+	// noopFloor is the highest compaction floor carried by any promise:
+	// instances below it were decided and compacted at a peer, so a
+	// winning proposer must wait for the catch-up push rather than fill
+	// them with no-ops.
+	noopFloor int64
 
 	commits   int64
 	takeovers int64
@@ -143,6 +164,24 @@ func New(cfg Config) *Replica {
 	}
 	r.log = rsm.NewLog(rsm.Dedup{Sessions: r.sessions, Inner: applier})
 	r.log.OnApply(r.onApply)
+	r.snap = snapshot.New(snapshot.Config{
+		ID:           cfg.ID,
+		Replicas:     cfg.Replicas,
+		Interval:     int64(cfg.SnapshotInterval),
+		ChunkSize:    cfg.SnapshotChunkSize,
+		Recover:      cfg.Recover,
+		RetryTimeout: 2 * cfg.AcceptTimeout,
+	}, r.log, r.sessions, applier)
+	r.snap.OnRestore(func(last int64) {
+		// The snapshot's instances were decided while this replica was
+		// gone; never no-op fill or re-propose below its frontier.
+		if last+1 > r.noopFloor {
+			r.noopFloor = last + 1
+		}
+		if r.nextInst < last+1 {
+			r.nextInst = last + 1
+		}
+	})
 	return r
 }
 
@@ -158,6 +197,14 @@ func (r *Replica) Takeovers() int64 { return r.takeovers }
 // Log exposes the learner log for consistency checks in tests.
 func (r *Replica) Log() *rsm.Log { return r.log }
 
+// SnapshotStats reports the replica's recovery-subsystem counters.
+func (r *Replica) SnapshotStats() metrics.SnapshotStats { return r.snap.Stats() }
+
+// Recovered reports whether this replica has finished recovering (see
+// snapshot.Manager.Recovered); trivially true unless built in Recover
+// mode. Safe from any goroutine.
+func (r *Replica) Recovered() bool { return r.snap.Recovered() }
+
 // Start launches phase 1 on the initial leader; Multi-Paxos pays the
 // prepare round once and then leads every subsequent instance
 // (Section 2.3: "After a proposer p takes the leadership position for one
@@ -165,7 +212,10 @@ func (r *Replica) Log() *rsm.Log { return r.log }
 // next Paxos instance as well").
 func (r *Replica) Start(ctx runtime.Context) {
 	r.ctx = ctx
-	if r.me == r.replicas[0] {
+	r.snap.Start(ctx)
+	// A recovering replica rejoins as a follower: it must learn what the
+	// group decided before it may compete for leadership.
+	if r.me == r.replicas[0] && !r.cfg.Recover {
 		r.startPrepare()
 	}
 }
@@ -173,6 +223,9 @@ func (r *Replica) Start(ctx runtime.Context) {
 // Receive dispatches one message.
 func (r *Replica) Receive(ctx runtime.Context, from msg.NodeID, m msg.Message) {
 	r.ctx = ctx
+	if r.snap.Handle(ctx, from, m) {
+		return
+	}
 	switch mm := m.(type) {
 	case msg.ClientRequest:
 		r.onClientRequest(from, mm)
@@ -192,6 +245,9 @@ func (r *Replica) Receive(ctx runtime.Context, from msg.NodeID, m msg.Message) {
 // Timer dispatches one timer.
 func (r *Replica) Timer(ctx runtime.Context, tag runtime.TimerTag) {
 	r.ctx = ctx
+	if r.snap.HandleTimer(ctx, tag) {
+		return
+	}
 	switch tag.Kind {
 	case timerAcceptDeadline:
 		if r.iAmLeader && r.outstanding[tag.Arg] && !r.log.Learned(tag.Arg) {
@@ -208,6 +264,9 @@ func (r *Replica) Timer(ctx runtime.Context, tag runtime.TimerTag) {
 // --- Client path ---
 
 func (r *Replica) onClientRequest(from msg.NodeID, req msg.ClientRequest) {
+	if r.snap.CatchingUp() {
+		return // recovering: the client's retry lands after the transfer
+	}
 	// Committed entries (single command or batch alike) are answered
 	// from the session table; what remains still needs agreement.
 	fresh := r.sessions.Screen(req, func(rep msg.ClientReply) { r.ctx.Send(req.Client, rep) })
@@ -288,12 +347,21 @@ func (r *Replica) onPrepare(from msg.NodeID, m msg.MPPrepare) {
 				seen[in] = true
 			}
 		}
-		for _, e := range r.log.Since(m.FromInstance) {
+		r.log.Scan(m.FromInstance, func(e rsm.Entry) bool {
 			if !seen[e.Instance] {
 				tail = append(tail, msg.Proposal{Instance: e.Instance, PN: m.PN, Value: e.Value})
 			}
+			return true
+		})
+		if m.FromInstance < r.log.Floor() {
+			// The proposer lags below our compaction floor: the decided
+			// values it is missing live only in the snapshot. Push a
+			// catch-up transfer ahead of the promise (FIFO per peer) and
+			// flag the floor on the promise so the winner never no-op
+			// fills those instances.
+			r.snap.Serve(r.ctx, from, m.FromInstance)
 		}
-		r.ctx.Send(from, msg.MPPromise{PN: m.PN, From: r.me, Accepted: tail})
+		r.ctx.Send(from, msg.MPPromise{PN: m.PN, From: r.me, Accepted: tail, Floor: r.log.Floor()})
 	} else {
 		r.ctx.Send(from, msg.MPNack{PN: r.hpn})
 	}
@@ -302,6 +370,9 @@ func (r *Replica) onPrepare(from msg.NodeID, m msg.MPPrepare) {
 func (r *Replica) onPromise(from msg.NodeID, m msg.MPPromise) {
 	if !r.preparing || m.PN != r.myPN {
 		return
+	}
+	if m.Floor > r.noopFloor {
+		r.noopFloor = m.Floor
 	}
 	for _, p := range m.Accepted {
 		if prev, ok := r.carried[p.Instance]; !ok || p.PN > prev.PN {
@@ -328,7 +399,15 @@ func (r *Replica) onPromise(from msg.NodeID, m msg.MPPromise) {
 	if r.nextInst < r.log.NextToApply() {
 		r.nextInst = r.log.NextToApply()
 	}
+	if r.nextInst < r.noopFloor {
+		r.nextInst = r.noopFloor
+	}
 	for in := r.log.NextToApply(); in < r.nextInst; in++ {
+		if in < r.noopFloor {
+			// Decided at a peer and compacted there; the catch-up push
+			// delivers the value — filling with a no-op would diverge.
+			continue
+		}
 		if _, ok := r.proposed[in]; !ok && !r.log.Learned(in) {
 			r.proposed[in] = msg.Value{Client: msg.Nobody, Cmd: msg.Command{Op: msg.OpNoop}}
 		}
@@ -421,6 +500,7 @@ func (r *Replica) onApply(e rsm.Entry, results []string) {
 	r.commits++
 	delete(r.proposed, e.Instance)
 	delete(r.outstanding, e.Instance)
+	defer r.snap.AfterApply() // noops advance the snapshot cadence too
 	v := e.Value
 	if v.Client == msg.Nobody {
 		return

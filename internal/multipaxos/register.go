@@ -8,12 +8,15 @@ func init() {
 		MinReplicas: 3,
 		New: func(cfg protocol.Config) protocol.Engine {
 			return New(Config{
-				ID:              cfg.ID,
-				Replicas:        cfg.Replicas,
-				Applier:         cfg.Applier,
-				AcceptTimeout:   cfg.AcceptTimeout,
-				PrepareBackoff:  cfg.TakeoverBackoff,
-				ForwardToLeader: cfg.ForwardToLeader,
+				ID:                cfg.ID,
+				Replicas:          cfg.Replicas,
+				Applier:           cfg.Applier,
+				AcceptTimeout:     cfg.AcceptTimeout,
+				PrepareBackoff:    cfg.TakeoverBackoff,
+				ForwardToLeader:   cfg.ForwardToLeader,
+				SnapshotInterval:  cfg.SnapshotInterval,
+				SnapshotChunkSize: cfg.SnapshotChunkSize,
+				Recover:           cfg.Recover,
 			})
 		},
 	})

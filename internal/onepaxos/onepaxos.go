@@ -32,10 +32,12 @@ import (
 	"time"
 
 	"consensusinside/internal/basicpaxos"
+	"consensusinside/internal/metrics"
 	"consensusinside/internal/msg"
 	"consensusinside/internal/paxosutil"
 	"consensusinside/internal/rsm"
 	"consensusinside/internal/runtime"
+	"consensusinside/internal/snapshot"
 )
 
 // Timer kinds used by a Replica. PaxosUtility's reserved kinds are >= 100.
@@ -87,6 +89,19 @@ type Config struct {
 
 	// UtilRetryTimeout overrides PaxosUtility's retry timeout.
 	UtilRetryTimeout time.Duration
+
+	// SnapshotInterval captures a durable-state snapshot every this many
+	// applied instances and compacts the log behind it (0 = off, the
+	// paper's unbounded log). See internal/snapshot.
+	SnapshotInterval int
+
+	// SnapshotChunkSize is the snapshot transfer chunk size (0 = the
+	// snapshot package default).
+	SnapshotChunkSize int
+
+	// Recover makes the replica stream a snapshot and log suffix from a
+	// live peer before serving clients — the restarted-replica mode.
+	Recover bool
 }
 
 // Defaults for Config zero values.
@@ -154,6 +169,7 @@ type Replica struct {
 	log      *rsm.Log
 	kv       rsm.Applier
 	sessions *rsm.Sessions
+	snap     *snapshot.Manager
 
 	commits       int64
 	takeovers     int64
@@ -215,6 +231,26 @@ func New(cfg Config) *Replica {
 	r.util.OnCommit(r.onUtilCommit)
 	r.log = rsm.NewLog(rsm.Dedup{Sessions: r.sessions, Inner: applier})
 	r.log.OnApply(r.onApply)
+	r.snap = snapshot.New(snapshot.Config{
+		ID:           cfg.ID,
+		Replicas:     cfg.Replicas,
+		Interval:     int64(cfg.SnapshotInterval),
+		ChunkSize:    cfg.SnapshotChunkSize,
+		Recover:      cfg.Recover,
+		RetryTimeout: 2 * cfg.AcceptTimeout,
+	}, r.log, r.sessions, applier)
+	r.snap.OnRestore(func(last int64) {
+		// Every instance the snapshot covers was decided elsewhere while
+		// this replica was gone: treat the restored frontier exactly like
+		// an AcceptorChange frontier — never no-op fill or hand those
+		// instances to fresh proposals.
+		if last+1 > r.noopFloor {
+			r.noopFloor = last + 1
+		}
+		if r.nextInst < last+1 {
+			r.nextInst = last + 1
+		}
+	})
 	return r
 }
 
@@ -243,6 +279,14 @@ func (r *Replica) AcceptorSwaps() int64 { return r.acceptorSwaps }
 // Log exposes the learner's log for consistency checks in tests.
 func (r *Replica) Log() *rsm.Log { return r.log }
 
+// SnapshotStats reports the replica's recovery-subsystem counters.
+func (r *Replica) SnapshotStats() metrics.SnapshotStats { return r.snap.Stats() }
+
+// Recovered reports whether this replica has finished recovering (see
+// snapshot.Manager.Recovered); trivially true unless built in Recover
+// mode. Safe from any goroutine.
+func (r *Replica) Recovered() bool { return r.snap.Recovered() }
+
 // --- Handler implementation ---
 
 // Start bootstraps the static initial configuration: Replicas[0] adopts
@@ -251,7 +295,11 @@ func (r *Replica) Log() *rsm.Log { return r.log }
 // smallest-id node, with no actual role change).
 func (r *Replica) Start(ctx runtime.Context) {
 	r.ctx = ctx
-	if r.me == r.replicas[0] {
+	r.snap.Start(ctx)
+	// A recovering replica never runs the boot-leader convention, even
+	// as Replicas[0]: the group has moved on without it, and it must
+	// learn what was decided before it may compete for any role.
+	if r.me == r.replicas[0] && !r.cfg.Recover {
 		r.takingOver = true
 		r.aaVirgin = true // the boot acceptor is fresh by construction
 		r.myPN = r.nextPN()
@@ -264,6 +312,9 @@ func (r *Replica) Start(ctx runtime.Context) {
 func (r *Replica) Receive(ctx runtime.Context, from msg.NodeID, m msg.Message) {
 	r.ctx = ctx
 	if r.util.Handle(ctx, from, m) {
+		return
+	}
+	if r.snap.Handle(ctx, from, m) {
 		return
 	}
 	switch mm := m.(type) {
@@ -291,6 +342,9 @@ func (r *Replica) Timer(ctx runtime.Context, tag runtime.TimerTag) {
 	if r.util.HandleTimer(ctx, tag) {
 		return
 	}
+	if r.snap.HandleTimer(ctx, tag) {
+		return
+	}
 	switch tag.Kind {
 	case timerAcceptDeadline:
 		delete(r.acceptTimers, tag.Arg)
@@ -311,6 +365,12 @@ func (r *Replica) Timer(ctx runtime.Context, tag runtime.TimerTag) {
 // --- Client path ---
 
 func (r *Replica) onClientRequest(from msg.NodeID, req msg.ClientRequest) {
+	if r.snap.CatchingUp() {
+		// Still streaming state from a peer: serving (or queueing, or
+		// taking over for) this request now could propose against a
+		// stale view. Drop it; the client's retry lands after recovery.
+		return
+	}
 	// Committed entries (single command or batch alike) are answered
 	// from the session table; what remains still needs agreement.
 	fresh := r.sessions.Screen(req, func(rep msg.ClientReply) { r.ctx.Send(req.Client, rep) })
@@ -378,7 +438,16 @@ func (r *Replica) onPrepareRequest(from msg.NodeID, m msg.PrepareRequest) {
 		r.iAmFresh = false
 		r.hpn = m.PN
 		r.adopted = from
-		r.ctx.Send(from, msg.PrepareResponse{Acceptor: r.me, PN: m.PN, Accepted: r.proposalsSince(m.From)})
+		if m.From < r.log.Floor() {
+			// The proposer's frontier is below our compaction floor: the
+			// decided values it is missing live only in the snapshot.
+			// Push a catch-up transfer ahead of the response (FIFO per
+			// peer, so it installs before the response is processed) and
+			// flag the floor on the response itself so the new leader
+			// never no-op fills those instances even if the push is lost.
+			r.snap.Serve(r.ctx, from, m.From)
+		}
+		r.ctx.Send(from, msg.PrepareResponse{Acceptor: r.me, PN: m.PN, Accepted: r.proposalsSince(m.From), Floor: r.log.Floor()})
 	} else {
 		r.ctx.Send(from, msg.Abandon{HPN: r.hpn})
 	}
@@ -464,11 +533,12 @@ func (r *Replica) proposalsSince(from int64) []msg.Proposal {
 			seen[p.Instance] = true
 		}
 	}
-	for _, e := range r.log.Since(from) {
+	r.log.Scan(from, func(e rsm.Entry) bool {
 		if !seen[e.Instance] {
 			out = append(out, msg.Proposal{Instance: e.Instance, PN: r.hpn, Value: e.Value})
 		}
-	}
+		return true
+	})
 	return out
 }
 
@@ -491,6 +561,7 @@ func (r *Replica) onApply(e rsm.Entry, results []string) {
 	r.commits++
 	delete(r.proposed, e.Instance)
 	delete(r.outstanding, e.Instance)
+	defer r.snap.AfterApply() // noops advance the snapshot cadence too
 	v := e.Value
 	if v.Client == msg.Nobody {
 		return // gap-filling noop
@@ -525,6 +596,11 @@ func (r *Replica) onPrepareResponse(from msg.NodeID, m msg.PrepareResponse) {
 	r.takingOver = false
 	r.knownLeader = r.me
 	r.takeovers++
+	if m.Floor > r.noopFloor {
+		// Instances below the acceptor's compaction floor are decided;
+		// their values arrive via the catch-up push, not this response.
+		r.noopFloor = m.Floor
+	}
 	r.registerProposals(m.Accepted)
 	r.catchUpInstances()
 	// Re-propose everything uncommitted (getAny prefers registered values,

@@ -16,6 +16,9 @@ func init() {
 				UtilRetryTimeout:    cfg.UtilRetryTimeout,
 				ForwardToLeader:     cfg.ForwardToLeader,
 				EnableLearnBatching: cfg.LearnBatching,
+				SnapshotInterval:    cfg.SnapshotInterval,
+				SnapshotChunkSize:   cfg.SnapshotChunkSize,
+				Recover:             cfg.Recover,
 			})
 		},
 	})

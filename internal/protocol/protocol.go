@@ -12,6 +12,7 @@ import (
 	"sort"
 	"time"
 
+	"consensusinside/internal/metrics"
 	"consensusinside/internal/msg"
 	"consensusinside/internal/rsm"
 	"consensusinside/internal/runtime"
@@ -75,6 +76,28 @@ type Config struct {
 	// LocalReads serves reads from the local replica where the engine
 	// supports it (2PC joint-mode local reads, Section 7.5).
 	LocalReads bool
+
+	// SnapshotInterval makes the engine capture a snapshot of its
+	// durable state every this many applied instances (commands, for
+	// engines without an instance log) and compact its log behind it
+	// (internal/snapshot). Zero — the default — is the paper's
+	// unbounded-memory behavior.
+	SnapshotInterval int
+
+	// SnapshotChunkSize is the snapshot transfer chunk payload size
+	// (zero means snapshot.DefaultChunkSize).
+	SnapshotChunkSize int
+
+	// Recover makes the engine stream a snapshot and log suffix from a
+	// live peer before serving clients — the restarted-replica mode
+	// (KV.RestartReplica builds engines with this set).
+	Recover bool
+
+	// TxRetryTimeout enables coordinator-side retransmission of pending
+	// transaction phases in engines that have them (2PC), so a restarted
+	// participant can unblock a transaction stalled by its crash. Zero
+	// disables retransmission — the paper's strictly blocking 2PC.
+	TxRetryTimeout time.Duration
 }
 
 // Engine is the face a running protocol replica shows to a deployment:
@@ -91,6 +114,13 @@ type Engine interface {
 // implement it.
 type LogExposer interface {
 	Log() *rsm.Log
+}
+
+// SnapshotStatser is implemented by engines embedding the recovery
+// subsystem (internal/snapshot); deployments fold the per-replica
+// counters into service totals (KV.SnapshotStats).
+type SnapshotStatser interface {
+	SnapshotStats() metrics.SnapshotStats
 }
 
 // Info describes one registered protocol.

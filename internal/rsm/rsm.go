@@ -14,6 +14,7 @@ import (
 
 	"consensusinside/internal/msg"
 	"consensusinside/internal/shard"
+	"consensusinside/internal/wire"
 )
 
 // Applier consumes committed commands in log order and returns the
@@ -59,6 +60,43 @@ func (kv *KV) Get(key string) (string, bool) {
 // Len reports the number of keys.
 func (kv *KV) Len() int { return len(kv.data) }
 
+// SnapshotState encodes the whole map with the wire primitives, keys in
+// sorted order so equal states encode to equal bytes (snapshot tests and
+// dedupe rely on determinism). It implements snapshot.State.
+func (kv *KV) SnapshotState() []byte {
+	keys := make([]string, 0, len(kv.data))
+	for k := range kv.data {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	b := wire.AppendUvarint(nil, uint64(len(keys)))
+	for _, k := range keys {
+		b = wire.AppendString(b, k)
+		b = wire.AppendString(b, kv.data[k])
+	}
+	return b
+}
+
+// RestoreState replaces the map with a SnapshotState image. It implements
+// snapshot.State.
+func (kv *KV) RestoreState(data []byte) error {
+	d := wire.NewDecoder(data)
+	n := d.SliceLen()
+	m := make(map[string]string, n)
+	for i := 0; i < n; i++ {
+		k := d.String()
+		m[k] = d.String()
+	}
+	if err := d.Err(); err != nil {
+		return fmt.Errorf("rsm: kv state: %w", err)
+	}
+	if d.Remaining() != 0 {
+		return fmt.Errorf("rsm: kv state: %d trailing bytes", d.Remaining())
+	}
+	kv.data = m
+	return nil
+}
+
 // Entry is one learned (instance, value) pair.
 type Entry struct {
 	Instance int64
@@ -67,11 +105,20 @@ type Entry struct {
 
 // Log is the learner's memory: learned values by instance number, applied
 // to an Applier strictly in instance order with no gaps.
+//
+// The retained history can be bounded: CompactTo drops applied entries
+// below a compaction floor once a snapshot (internal/snapshot) has
+// captured the state they produced, and InstallSnapshot seeds a
+// recovering log directly at a snapshot's frontier. Instances below
+// Floor are decided but no longer individually retrievable — callers
+// that would have served them (prepare answers, catch-up) must fall
+// back to shipping the snapshot instead.
 type Log struct {
 	learned map[int64]msg.Value
 	applied int64 // next instance to apply
+	floor   int64 // lowest retained instance; below it only the snapshot remains
 	applier Applier
-	history []Entry // applied prefix, for audits and consistency checks
+	history []Entry // applied suffix [floor, applied), for audits and consistency checks
 	onApply func(e Entry, results []string)
 
 	// Scratch buffers for the dominant single-command case, so applying
@@ -106,6 +153,12 @@ func (l *Log) Learn(instance int64, value msg.Value) {
 		if !prev.Equal(value) {
 			panic(fmt.Sprintf("rsm: instance %d learned two values: %+v then %+v", instance, prev, value))
 		}
+		return
+	}
+	if instance < l.floor {
+		// Decided and compacted away: the value itself is gone, so the
+		// agreement check is no longer possible. The snapshot that moved
+		// the floor captured whatever this instance decided.
 		return
 	}
 	if instance < l.applied {
@@ -184,31 +237,112 @@ func (l *Log) Learned(instance int64) bool {
 	return ok
 }
 
-// Applied reports how many instances have been applied.
-func (l *Log) Applied() int { return len(l.history) }
+// Applied reports how many instances have been applied (instances are
+// dense from 0, so this counts compacted instances too).
+func (l *Log) Applied() int { return int(l.applied) }
 
-// History returns a copy of the applied prefix, in order.
+// Retained reports how many applied entries the log still holds — the
+// gauge compaction bounds (Applied minus everything below Floor).
+func (l *Log) Retained() int { return len(l.history) }
+
+// Floor reports the compaction floor: the lowest instance whose entry
+// is still retained. Everything below it is covered by a snapshot.
+func (l *Log) Floor() int64 { return l.floor }
+
+// History returns a copy of the retained applied suffix ([Floor,
+// NextToApply)), in order.
 func (l *Log) History() []Entry {
 	out := make([]Entry, len(l.history))
 	copy(out, l.history)
 	return out
 }
 
-// Since returns the applied entries with instance >= from, in order.
+// start locates the first retained entry with instance >= from. The
+// retained history is dense (instance = Floor + index), so this is
+// arithmetic, not a scan.
+func (l *Log) start(from int64) int {
+	if from <= l.floor {
+		return 0
+	}
+	if from >= l.applied {
+		return len(l.history)
+	}
+	return int(from - l.floor)
+}
+
+// Since returns the applied entries with instance >= from, in order
+// (clamped to the compaction floor — a caller asking below it must ship
+// the snapshot instead; compare from against Floor to detect that).
 // Acceptors use it to answer prepares from lagging proposers: an applied
 // value is decided, so handing it back as an accepted proposal is always
 // safe and prevents the new leader from proposing a conflicting value.
+//
+// Since copies the whole suffix. Hot paths and bounded consumers
+// (catch-up chunking) should use Scan, which iterates in place.
 func (l *Log) Since(from int64) []Entry {
-	start := len(l.history)
-	for i, e := range l.history {
-		if e.Instance >= from {
-			start = i
-			break
+	out := make([]Entry, len(l.history)-l.start(from))
+	copy(out, l.history[l.start(from):])
+	return out
+}
+
+// Scan visits the retained applied entries with instance >= from, in
+// order, without copying; it stops early when fn returns false. This is
+// the allocation-free form of Since for callers that cap how much they
+// consume (catch-up serving) or that merge entries into their own
+// buffers (prepare answers).
+func (l *Log) Scan(from int64, fn func(Entry) bool) {
+	for _, e := range l.history[l.start(from):] {
+		if !fn(e) {
+			return
 		}
 	}
-	out := make([]Entry, len(l.history)-start)
-	copy(out, l.history[start:])
-	return out
+}
+
+// CompactTo raises the compaction floor to floor (clamped to the
+// applied frontier; the floor never regresses) and discards the
+// retained entries below it, returning how many were dropped. Call it
+// only after a snapshot captured the state through floor-1: the dropped
+// values are unrecoverable from this log afterwards.
+func (l *Log) CompactTo(floor int64) int {
+	if floor > l.applied {
+		floor = l.applied
+	}
+	if floor <= l.floor {
+		return 0
+	}
+	n := l.start(floor)
+	// Move the suffix down rather than re-slicing, so the backing array
+	// does not pin the dropped entries' values alive.
+	kept := copy(l.history, l.history[n:])
+	for i := kept; i < len(l.history); i++ {
+		l.history[i] = Entry{}
+	}
+	l.history = l.history[:kept]
+	l.floor = floor
+	return n
+}
+
+// InstallSnapshot seeds a (recovering) log from a snapshot that covers
+// instances [0, lastApplied]: the applied frontier and compaction floor
+// jump to lastApplied+1 and any retained or learned entries below it are
+// discarded without (re-)application — the snapshot's state image
+// already reflects them. Entries learned above the frontier are applied
+// as usual. It is a no-op if the log has already applied past the
+// snapshot.
+func (l *Log) InstallSnapshot(lastApplied int64) {
+	next := lastApplied + 1
+	if next <= l.applied {
+		return
+	}
+	l.applied = next
+	l.floor = next
+	l.history = l.history[:0]
+	for in := range l.learned {
+		if in < next {
+			delete(l.learned, in)
+		}
+	}
+	l.advance()
 }
 
 // PendingInstances lists learned-but-unapplied instances in ascending
@@ -220,6 +354,19 @@ func (l *Log) PendingInstances() []int64 {
 	}
 	sort.Slice(out, func(a, b int) bool { return out[a] < out[b] })
 	return out
+}
+
+// ScanPending visits the learned-but-unapplied entries in ascending
+// instance order; it stops early when fn returns false. A learner only
+// records decided values, so these are safe to hand to a catching-up
+// peer even though this log has not applied them yet (a gap below is
+// what is holding them).
+func (l *Log) ScanPending(fn func(Entry) bool) {
+	for _, in := range l.PendingInstances() {
+		if !fn(Entry{Instance: in, Value: l.learned[in]}) {
+			return
+		}
+	}
 }
 
 // DefaultSessionWindow is how many committed results a session retains
@@ -435,6 +582,80 @@ func (s *Sessions) Unseen(client msg.NodeID, entries []msg.BatchEntry) []msg.Bat
 		}
 	}
 	return out
+}
+
+// LaneEntry is one retained committed result in a lane's export: the
+// lane-local sequence number, the instance that committed it, and the
+// stored result.
+type LaneEntry struct {
+	Seq      uint64
+	Instance int64
+	Result   string
+}
+
+// LaneState is the exported form of one client lane — everything a
+// snapshot must carry so a restored session table screens replayed
+// pre-snapshot requests exactly as the original would have: the
+// contiguous commit frontier (Floor), the prune and ack bookkeeping,
+// and the retained results themselves.
+type LaneState struct {
+	Client  msg.NodeID
+	Base    uint64 // shard tag base (shard.TagSeq(idx, 0)); 0 unsharded
+	Floor   uint64
+	Pruned  uint64
+	Ack     uint64
+	MaxSeq  uint64
+	Entries []LaneEntry // ascending lane-local seq
+}
+
+// Export captures every lane's state in a deterministic order (by
+// client, then shard-tag base; entries by ascending seq), for snapshot
+// encoding. The returned slices are copies.
+func (s *Sessions) Export() []LaneState {
+	out := make([]LaneState, 0, len(s.clients))
+	for key, cs := range s.clients {
+		lane := LaneState{
+			Client: key.client,
+			Base:   key.base,
+			Floor:  cs.floor,
+			Pruned: cs.pruned,
+			Ack:    cs.ack,
+			MaxSeq: cs.maxSeq,
+		}
+		lane.Entries = make([]LaneEntry, 0, len(cs.entries))
+		for seq, e := range cs.entries {
+			lane.Entries = append(lane.Entries, LaneEntry{Seq: seq, Instance: e.instance, Result: e.result})
+		}
+		sort.Slice(lane.Entries, func(a, b int) bool { return lane.Entries[a].Seq < lane.Entries[b].Seq })
+		out = append(out, lane)
+	}
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].Client != out[b].Client {
+			return out[a].Client < out[b].Client
+		}
+		return out[a].Base < out[b].Base
+	})
+	return out
+}
+
+// Restore replaces the table's state with an Export's lanes (the
+// snapshot-restore half of Export). The retention window is the
+// receiver's own — it is configuration, not replicated state.
+func (s *Sessions) Restore(lanes []LaneState) {
+	s.clients = make(map[laneKey]*clientSession, len(lanes))
+	for _, lane := range lanes {
+		cs := &clientSession{
+			entries: make(map[uint64]sessionEntry, len(lane.Entries)),
+			floor:   lane.Floor,
+			pruned:  lane.Pruned,
+			ack:     lane.Ack,
+			maxSeq:  lane.MaxSeq,
+		}
+		for _, e := range lane.Entries {
+			cs.entries[e.Seq] = sessionEntry{instance: e.Instance, result: e.Result}
+		}
+		s.clients[laneKey{client: lane.Client, base: lane.Base}] = cs
+	}
 }
 
 // Dedup wraps an Applier and suppresses re-execution of commands that

@@ -563,3 +563,200 @@ func TestSessionsShardLanesDedup(t *testing.T) {
 		t.Fatalf("retry re-executed: k = %q", val)
 	}
 }
+
+// --- Compaction, snapshot install and the Scan iterator ---
+
+// fillLog learns and applies n single-command instances 0..n-1.
+func fillLog(l *Log, n int64) {
+	for in := int64(0); in < n; in++ {
+		l.Learn(in, val(1, uint64(in+1), msg.OpPut, "k", "v"))
+	}
+}
+
+func TestLogCompactTo(t *testing.T) {
+	l := NewLog(NewKV())
+	fillLog(l, 10)
+	if got := l.CompactTo(4); got != 4 {
+		t.Fatalf("CompactTo(4) dropped %d entries, want 4", got)
+	}
+	if l.Floor() != 4 || l.Retained() != 6 || l.Applied() != 10 {
+		t.Fatalf("after compaction: floor=%d retained=%d applied=%d, want 4/6/10",
+			l.Floor(), l.Retained(), l.Applied())
+	}
+	// The floor never regresses and re-compaction is a no-op.
+	if got := l.CompactTo(2); got != 0 {
+		t.Errorf("CompactTo below the floor dropped %d entries", got)
+	}
+	// Since clamps to the floor; the retained suffix is intact.
+	if got := l.Since(0); len(got) != 6 || got[0].Instance != 4 {
+		t.Errorf("Since(0) = %d entries from %d, want 6 from 4", len(got), got[0].Instance)
+	}
+	// The floor clamps to the applied frontier.
+	if got := l.CompactTo(99); got != 6 {
+		t.Errorf("CompactTo(99) dropped %d, want the remaining 6", got)
+	}
+	if l.Retained() != 0 || l.Applied() != 10 {
+		t.Errorf("after full compaction: retained=%d applied=%d, want 0/10", l.Retained(), l.Applied())
+	}
+	// Learning a compacted instance is a tolerated no-op (the value is
+	// unrecoverable, so no agreement check is possible).
+	l.Learn(3, val(9, 99, msg.OpPut, "x", "y"))
+	if l.Retained() != 0 {
+		t.Errorf("learning below the floor resurrected %d entries", l.Retained())
+	}
+}
+
+func TestLogInstallSnapshot(t *testing.T) {
+	kv := NewKV()
+	l := NewLog(kv)
+	// Entries learned out of order around the snapshot frontier: 7 is
+	// above it and must apply after the install, 3 below it must not.
+	l.Learn(3, val(1, 4, msg.OpPut, "stale", "x"))
+	l.Learn(7, val(1, 8, msg.OpPut, "fresh", "y"))
+	l.InstallSnapshot(6) // covers instances 0..6
+	if l.NextToApply() != 8 {
+		t.Fatalf("NextToApply = %d, want 8 (snapshot to 6, then 7 applied)", l.NextToApply())
+	}
+	if l.Floor() != 7 || l.Retained() != 1 {
+		t.Errorf("floor=%d retained=%d, want 7/1", l.Floor(), l.Retained())
+	}
+	if v, _ := kv.Get("fresh"); v != "y" {
+		t.Errorf("instance above the snapshot did not apply: fresh=%q", v)
+	}
+	if _, ok := kv.Get("stale"); ok {
+		t.Errorf("instance below the snapshot applied after install")
+	}
+	// Installing an older snapshot is a no-op.
+	l.InstallSnapshot(2)
+	if l.NextToApply() != 8 {
+		t.Errorf("older snapshot regressed the log to %d", l.NextToApply())
+	}
+}
+
+func TestLogScanMatchesSince(t *testing.T) {
+	l := NewLog(nil)
+	fillLog(l, 20)
+	l.CompactTo(5)
+	for _, from := range []int64{-3, 0, 5, 11, 19, 20, 50} {
+		want := l.Since(from)
+		var got []Entry
+		l.Scan(from, func(e Entry) bool { got = append(got, e); return true })
+		if len(got) != len(want) {
+			t.Fatalf("Scan(%d) yielded %d entries, Since %d", from, len(got), len(want))
+		}
+		for i := range want {
+			if got[i].Instance != want[i].Instance {
+				t.Fatalf("Scan(%d)[%d] = instance %d, Since %d", from, i, got[i].Instance, want[i].Instance)
+			}
+		}
+	}
+	// Early stop.
+	n := 0
+	l.Scan(0, func(Entry) bool { n++; return n < 3 })
+	if n != 3 {
+		t.Errorf("Scan did not stop early: visited %d", n)
+	}
+}
+
+func TestKVSnapshotStateRoundTrip(t *testing.T) {
+	kv := NewKV()
+	kv.Apply(val(1, 1, msg.OpPut, "a", "1"))
+	kv.Apply(val(1, 2, msg.OpPut, "b", "2"))
+	img := kv.SnapshotState()
+	if !bytesEqual(img, kv.SnapshotState()) {
+		t.Fatalf("SnapshotState is not deterministic")
+	}
+	restored := NewKV()
+	restored.Apply(val(1, 9, msg.OpPut, "junk", "z"))
+	if err := restored.RestoreState(img); err != nil {
+		t.Fatalf("RestoreState: %v", err)
+	}
+	if v, _ := restored.Get("a"); v != "1" {
+		t.Errorf("restored a=%q, want 1", v)
+	}
+	if restored.Len() != 2 {
+		t.Errorf("restored %d keys, want 2 (junk must be gone)", restored.Len())
+	}
+	if err := restored.RestoreState(img[:len(img)-1]); err == nil {
+		t.Errorf("truncated state image restored without error")
+	}
+}
+
+func bytesEqual(a, b []byte) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestSessionsExportRestore(t *testing.T) {
+	s := NewSessionsWindow(8)
+	// Two lanes: untagged and shard-tagged, with a gap pinning one floor.
+	s.Done(1, 1, 10, "r1")
+	s.Done(1, 2, 11, "r2")
+	s.Done(1, 4, 12, "r4") // gap at 3 pins the floor at 2
+	tag := shard.TagSeq(3, 1)
+	s.Done(1, tag, 20, "t1")
+	s.ClientAck(1, 2)
+
+	lanes := s.Export()
+	if len(lanes) != 2 {
+		t.Fatalf("exported %d lanes, want 2", len(lanes))
+	}
+	restored := NewSessions()
+	restored.Restore(lanes)
+	for _, seq := range []uint64{1, 2, 4, tag} {
+		if !restored.Seen(1, seq) {
+			t.Errorf("restored table lost committed seq %d", seq)
+		}
+		if s.Seen(1, seq) != restored.Seen(1, seq) {
+			t.Errorf("Seen(%d) diverges after restore", seq)
+		}
+	}
+	if restored.Seen(1, 3) {
+		t.Errorf("restored table invented a commit for the gap seq 3")
+	}
+	if _, res, ok := restored.Lookup(1, 4); !ok || res != "r4" {
+		t.Errorf("restored Lookup(4) = %q/%v, want r4/true", res, ok)
+	}
+	// The restored frontier still advances exactly: filling the gap moves
+	// the floor over the already-committed 4.
+	restored.Done(1, 3, 13, "r3")
+	if !restored.Seen(1, 4) {
+		t.Errorf("frontier arithmetic broken after restore")
+	}
+}
+
+// BenchmarkLogSince and BenchmarkLogScan quantify the satellite fix:
+// Since copies the full retained suffix per call, Scan iterates in
+// place. Run with -benchmem.
+func BenchmarkLogSince(b *testing.B) {
+	l := NewLog(nil)
+	fillLog(l, 4096)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if got := l.Since(0); len(got) != 4096 {
+			b.Fatal("bad suffix")
+		}
+	}
+}
+
+func BenchmarkLogScan(b *testing.B) {
+	l := NewLog(nil)
+	fillLog(l, 4096)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n := 0
+		l.Scan(0, func(Entry) bool { n++; return true })
+		if n != 4096 {
+			b.Fatal("bad suffix")
+		}
+	}
+}

@@ -42,6 +42,10 @@ type InProcCluster struct {
 	start time.Time
 	stop  chan struct{}
 	wg    sync.WaitGroup
+
+	// lifeMu guards per-node crash/restart transitions (StopNode,
+	// RestartNode); the steady-state message path never takes it.
+	lifeMu sync.Mutex
 }
 
 type envelope struct {
@@ -61,6 +65,15 @@ type inprocNode struct {
 
 	mu      sync.Mutex // guards selfBox
 	selfBox []envelope // self-sends: no pair queue exists for from==to
+
+	// Crash/restart bookkeeping (guarded by cluster.lifeMu): halt stops
+	// this incarnation's goroutine, done reports it exited, drainStop
+	// retires the crash-time queue drainer.
+	halt      chan struct{}
+	done      chan struct{}
+	drainStop chan struct{}
+	drainDone chan struct{}
+	down      bool
 }
 
 // NewInProcCluster builds and starts a cluster running the given handlers.
@@ -85,6 +98,8 @@ func NewInProcCluster(handlers []Handler, opts ...InProcOption) *InProcCluster {
 			wake:    make(chan struct{}, 1),
 			timerCh: make(chan TimerTag, 64),
 			rng:     rand.New(rand.NewSource(cfg.seed + int64(i))),
+			halt:    make(chan struct{}),
+			done:    make(chan struct{}),
 		}
 	}
 	for i, node := range c.nodes {
@@ -96,9 +111,111 @@ func NewInProcCluster(handlers []Handler, opts ...InProcOption) *InProcCluster {
 	}
 	for _, node := range c.nodes {
 		c.wg.Add(1)
-		go node.run()
+		go node.run(node.halt, node.done)
 	}
 	return c
+}
+
+// StopNode crashes node id: its handler goroutine exits and a drainer
+// keeps consuming (and discarding) its inbound queues so senders —
+// whose bounded SPSC enqueues would otherwise spin on a full queue —
+// observe a lossy peer, exactly the TCP transport's crash semantics.
+// A stopped node's handler state is gone for good; RestartNode installs
+// a fresh handler. It fails on an unknown or already-stopped node.
+func (c *InProcCluster) StopNode(id msg.NodeID) error {
+	if int(id) < 0 || int(id) >= len(c.nodes) {
+		return fmt.Errorf("runtime: no node %d", id)
+	}
+	c.lifeMu.Lock()
+	defer c.lifeMu.Unlock()
+	n := c.nodes[id]
+	if n.down {
+		return fmt.Errorf("runtime: node %d is already stopped", id)
+	}
+	n.down = true
+	close(n.halt)
+	n.notify() // wake it if parked so it observes the halt
+	<-n.done   // the goroutine is gone: the drainer may own the queues now
+	n.drainStop = make(chan struct{})
+	n.drainDone = make(chan struct{})
+	c.wg.Add(1)
+	go n.drain(n.drainStop, n.drainDone)
+	return nil
+}
+
+// RestartNode boots a fresh incarnation of node id with handler — the
+// counterpart of StopNode. Messages that arrived while the node was
+// down were discarded; anything still queued when the drainer retires
+// is delivered to the new handler, which must tolerate stale protocol
+// traffic (all engines do). It fails on an unknown or running node.
+func (c *InProcCluster) RestartNode(id msg.NodeID, handler Handler) error {
+	if int(id) < 0 || int(id) >= len(c.nodes) {
+		return fmt.Errorf("runtime: no node %d", id)
+	}
+	c.lifeMu.Lock()
+	defer c.lifeMu.Unlock()
+	n := c.nodes[id]
+	if !n.down {
+		return fmt.Errorf("runtime: node %d is not stopped", id)
+	}
+	close(n.drainStop)
+	<-n.drainDone // the drainer has released the queues: one consumer at a time
+	n.drainStop, n.drainDone = nil, nil
+	n.down = false
+	n.handler = handler
+	n.halt = make(chan struct{})
+	n.done = make(chan struct{})
+	c.wg.Add(1)
+	go n.run(n.halt, n.done)
+	return nil
+}
+
+// drain consumes a stopped node's inbound queues, self-box and timer
+// channel, discarding everything, until the node restarts or the
+// cluster stops. Exactly one goroutine consumes the SPSC queues at any
+// time: StopNode waits for the node goroutine to exit before starting
+// the drainer, and RestartNode waits for done before booting the new
+// incarnation.
+func (n *inprocNode) drain(stop, done chan struct{}) {
+	defer n.cluster.wg.Done()
+	defer close(done)
+	for {
+		progress := false
+		for _, q := range n.in {
+			if q == nil {
+				continue
+			}
+			if _, ok := q.TryDequeue(); ok {
+				progress = true
+			}
+		}
+		n.mu.Lock()
+		if len(n.selfBox) > 0 {
+			n.selfBox = nil
+			progress = true
+		}
+		n.mu.Unlock()
+	timers:
+		for {
+			select {
+			case <-n.timerCh:
+				progress = true
+			default:
+				break timers
+			}
+		}
+		if progress {
+			continue
+		}
+		select {
+		case <-n.wake:
+		case <-n.timerCh:
+		case <-stop:
+			return
+		case <-n.cluster.stop:
+			return
+		}
+	}
 }
 
 // N reports the cluster size.
@@ -167,11 +284,17 @@ func (n *inprocNode) drainSelf(ctx Context) bool {
 	}
 }
 
-func (n *inprocNode) run() {
+func (n *inprocNode) run(halt, done chan struct{}) {
 	defer n.cluster.wg.Done()
+	defer close(done)
 	ctx := &inprocContext{node: n}
 	n.handler.Start(ctx)
 	for {
+		select {
+		case <-halt:
+			return
+		default:
+		}
 		progress := false
 		// Drain the per-peer queues round-robin, one message per queue per
 		// sweep, matching QC-libtask's scheduler fairness.
@@ -205,6 +328,8 @@ func (n *inprocNode) run() {
 		case <-n.wake:
 		case tag := <-n.timerCh:
 			n.handler.Timer(ctx, tag)
+		case <-halt:
+			return
 		case <-n.cluster.stop:
 			return
 		}

@@ -178,3 +178,62 @@ func TestFakeContext(t *testing.T) {
 		t.Fatal("TakeSent must drain")
 	}
 }
+
+// TestInProcStopRestartNode covers the crash/restart lifecycle: a
+// stopped node's traffic is discarded without blocking senders (the
+// drainer stands in for the crashed core), and a restarted node's fresh
+// handler receives traffic again.
+func TestInProcStopRestartNode(t *testing.T) {
+	var first, second atomic.Int64
+	mkReceiver := func(n *atomic.Int64) Handler {
+		return HandlerFunc{
+			OnReceive: func(ctx Context, from msg.NodeID, m msg.Message) { n.Add(1) },
+		}
+	}
+	c := NewInProcCluster([]Handler{HandlerFunc{}, mkReceiver(&first)})
+	defer c.Stop()
+
+	c.Inject(0, 1, echoMsg{N: 0})
+	waitFor(t, func() bool { return first.Load() == 1 })
+
+	if err := c.StopNode(1); err != nil {
+		t.Fatalf("StopNode: %v", err)
+	}
+	if err := c.StopNode(1); err == nil {
+		t.Fatal("double StopNode succeeded")
+	}
+	if err := c.StopNode(99); err == nil {
+		t.Fatal("StopNode(99) succeeded")
+	}
+	// Far more messages than the queue holds: the drainer must keep
+	// discarding so this loop cannot block.
+	for i := 0; i < 5000; i++ {
+		c.Inject(0, 1, echoMsg{N: i})
+	}
+	if err := c.RestartNode(99, HandlerFunc{}); err == nil {
+		t.Fatal("RestartNode(99) succeeded")
+	}
+	if err := c.RestartNode(1, mkReceiver(&second)); err != nil {
+		t.Fatalf("RestartNode: %v", err)
+	}
+	if err := c.RestartNode(1, HandlerFunc{}); err == nil {
+		t.Fatal("RestartNode of a running node succeeded")
+	}
+	c.Inject(0, 1, echoMsg{N: 1})
+	waitFor(t, func() bool { return second.Load() >= 1 })
+	if got := first.Load(); got != 1 {
+		t.Errorf("old handler received %d messages, want 1 (none after the stop)", got)
+	}
+}
+
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatal("condition never held")
+}

@@ -1,0 +1,510 @@
+package snapshot
+
+// Manager is the per-replica driver of the recovery subsystem. Engines
+// embed one and hand it four hooks:
+//
+//	Receive:  if r.snap.Handle(ctx, from, m) { return }
+//	Timer:    if r.snap.HandleTimer(ctx, tag) { return }
+//	Start:    r.snap.Start(ctx)
+//	onApply:  r.snap.AfterApply()      (per applied instance/command)
+//
+// plus a CatchingUp guard on the client-request path, so a recovering
+// replica does not propose (or lead) before it has learned what the
+// group decided without it. All methods run on the engine's own
+// goroutine — the Manager is single-threaded like the engine itself.
+
+import (
+	"sync/atomic"
+	"time"
+
+	"consensusinside/internal/metrics"
+	"consensusinside/internal/msg"
+	"consensusinside/internal/rsm"
+	"consensusinside/internal/runtime"
+)
+
+// Defaults for Config zero values.
+const (
+	// DefaultChunkSize is the snapshot chunk payload size: small enough
+	// that a chunk never strains the transport's frame limit, large
+	// enough that realistic state images travel in a handful of frames.
+	DefaultChunkSize = 64 << 10
+	// DefaultRetryTimeout paces the recovering side: how long to wait
+	// for transfer progress before asking another peer, and how often to
+	// re-check convergence after the first transfer completed.
+	DefaultRetryTimeout = 250 * time.Millisecond
+)
+
+// entriesPerMessage caps how many decided entries ride one
+// CatchupEntries message, so a long retained suffix streams as several
+// bounded frames instead of one giant allocation (see rsm.Log.Scan).
+const entriesPerMessage = 256
+
+// timerCatchup is the Manager's timer kind. Engine kinds stay single
+// digits and PaxosUtility reserves >= 100; the workload/bridge clients
+// own >= 900. 850 collides with nobody.
+const timerCatchup = 850
+
+// Config parameterizes a Manager.
+type Config struct {
+	// ID is this replica; Replicas is its whole agreement group in the
+	// shared order, this node included — the Manager excludes itself
+	// when rotating catch-up requests across the group.
+	ID       msg.NodeID
+	Replicas []msg.NodeID
+
+	// Interval captures a snapshot every this many applied instances
+	// (applied commands, for engines without an instance log) and
+	// compacts the log behind it. Zero or negative disables periodic
+	// capture — the paper's unbounded-memory behavior; catch-up then
+	// serves full log replay (or an on-demand snapshot where the log
+	// cannot cover the request).
+	Interval int64
+
+	// ChunkSize is the snapshot chunk payload size (default
+	// DefaultChunkSize).
+	ChunkSize int
+
+	// Recover makes Start stream state from a peer before the replica
+	// serves clients — the restarted-replica mode.
+	Recover bool
+
+	// RetryTimeout is the recovery pacing knob (default
+	// DefaultRetryTimeout).
+	RetryTimeout time.Duration
+}
+
+// Manager implements snapshotting, compaction and catch-up for one
+// replica. The zero value is not usable; build one with New.
+type Manager struct {
+	cfg      Config
+	peers    []msg.NodeID // the group without this node
+	log      *rsm.Log     // nil for engines without an instance log (2PC)
+	sessions *rsm.Sessions
+	state    State // nil when the applier is not snapshottable
+
+	onRestore  func(lastApplied int64)
+	onSnapshot func(lastApplied int64)
+
+	// Latest periodic snapshot, kept encoded so serving a catch-up is a
+	// chunked copy, not a re-encode.
+	encoded  []byte
+	snapLast int64
+	applies  int64 // applied commands since last capture (log-less engines)
+
+	// Recovering-side state.
+	catchingUp   bool
+	watching     bool  // post-transfer convergence watchdog (Recover mode)
+	watchGoal    int64 // learned frontier at transfer completion: applies past it = converged
+	lastSeen     int64
+	target       int
+	assembling   []byte
+	assembleFrom msg.NodeID
+	assembleNext int64
+	retryCancel  runtime.CancelFunc
+	recovered    atomic.Bool // recovery finished and converged (true from birth when not recovering)
+
+	stats snapCounters
+}
+
+// snapCounters is the live (atomic) form of metrics.SnapshotStats: the
+// Manager mutates it on the engine goroutine, but deployments read
+// Stats from arbitrary goroutines (KV.SnapshotStats during load).
+type snapCounters struct {
+	snapshots, snapshotBytes atomic.Int64
+	entriesTruncated         atomic.Int64
+	catchupsServed           atomic.Int64
+	chunksSent               atomic.Int64
+	entriesStreamed          atomic.Int64
+	catchupsRequested        atomic.Int64
+	restores                 atomic.Int64
+}
+
+func (c *snapCounters) snapshot() metrics.SnapshotStats {
+	return metrics.SnapshotStats{
+		Snapshots:         c.snapshots.Load(),
+		SnapshotBytes:     c.snapshotBytes.Load(),
+		EntriesTruncated:  c.entriesTruncated.Load(),
+		CatchupsServed:    c.catchupsServed.Load(),
+		ChunksSent:        c.chunksSent.Load(),
+		EntriesStreamed:   c.entriesStreamed.Load(),
+		CatchupsRequested: c.catchupsRequested.Load(),
+		Restores:          c.restores.Load(),
+	}
+}
+
+// New builds a Manager for one replica. log may be nil (engines without
+// an instance-indexed log); applier is the engine's inner state machine
+// — if it implements State the Manager can capture and install
+// snapshots, otherwise only log-suffix catch-up is available.
+func New(cfg Config, log *rsm.Log, sessions *rsm.Sessions, applier rsm.Applier) *Manager {
+	if cfg.ChunkSize <= 0 {
+		cfg.ChunkSize = DefaultChunkSize
+	}
+	if cfg.RetryTimeout <= 0 {
+		cfg.RetryTimeout = DefaultRetryTimeout
+	}
+	state, _ := applier.(State)
+	m := &Manager{
+		cfg:      cfg,
+		log:      log,
+		sessions: sessions,
+		state:    state,
+		snapLast: -1,
+	}
+	for _, id := range cfg.Replicas {
+		if id != cfg.ID {
+			m.peers = append(m.peers, id)
+		}
+	}
+	m.recovered.Store(!cfg.Recover)
+	return m
+}
+
+// Recovered reports whether the replica has finished recovering and
+// converged (trivially true for a replica not started in Recover mode).
+// Safe from any goroutine — experiment harnesses poll it to time a
+// restarted replica's rejoin.
+func (m *Manager) Recovered() bool { return m.recovered.Load() }
+
+// Stats snapshots the Manager's counters (safe from any goroutine).
+func (m *Manager) Stats() metrics.SnapshotStats { return m.stats.snapshot() }
+
+// CatchingUp reports whether the replica is still streaming state from
+// a peer and must not serve client requests yet (clients retry; by then
+// the transfer has completed).
+func (m *Manager) CatchingUp() bool { return m.catchingUp }
+
+// OnRestore registers a callback run after a peer snapshot is installed
+// — the hook engines use to realign engine-private frontiers (Mencius
+// instance ownership, 1Paxos's no-op floor) with the restored log.
+func (m *Manager) OnRestore(fn func(lastApplied int64)) { m.onRestore = fn }
+
+// OnSnapshot registers a callback run after each local capture — the
+// hook engines use to drop private state the snapshot now covers (2PC
+// truncates its apply history).
+func (m *Manager) OnSnapshot(fn func(lastApplied int64)) { m.onSnapshot = fn }
+
+// Start begins recovery when the Manager was configured with Recover.
+func (m *Manager) Start(ctx runtime.Context) {
+	if !m.cfg.Recover || len(m.peers) == 0 {
+		return
+	}
+	m.catchingUp = true
+	m.request(ctx)
+}
+
+// Handle intercepts the recovery subsystem's messages; it reports false
+// for everything else so engines can fall through to their own
+// dispatch.
+func (m *Manager) Handle(ctx runtime.Context, from msg.NodeID, message msg.Message) bool {
+	switch v := message.(type) {
+	case msg.CatchupRequest:
+		m.Serve(ctx, from, v.From)
+		return true
+	case msg.SnapshotChunk:
+		m.onChunk(from, v)
+		return true
+	case msg.CatchupEntries:
+		m.onEntries(ctx, v)
+		return true
+	}
+	return false
+}
+
+// HandleTimer intercepts the Manager's retry timer; false for any other
+// kind.
+func (m *Manager) HandleTimer(ctx runtime.Context, tag runtime.TimerTag) bool {
+	if tag.Kind != timerCatchup {
+		return false
+	}
+	m.retryCancel = nil
+	switch {
+	case m.catchingUp:
+		// No complete transfer within the timeout (slow, dead or
+		// compacting peer, or dropped chunks): ask the next peer.
+		m.resetAssembly()
+		m.request(ctx)
+	case m.watching:
+		// Post-transfer convergence watchdog: values decided while the
+		// replica was down can surface as holes only after live traffic
+		// resumes (their learn votes are long gone), and normal traffic
+		// cannot fill them. Every crash-era hole lies below the learned
+		// frontier recorded when the transfer completed (watchGoal) —
+		// once applies pass it, the downtime is fully healed and any
+		// later pending churn is just the normal pipeline. Ask again
+		// whenever progress stalls below the goal.
+		switch {
+		case m.log.NextToApply() >= m.watchGoal:
+			m.watching = false // converged
+			m.recovered.Store(true)
+		case m.log.NextToApply() == m.lastSeen:
+			m.request(ctx)
+		default:
+			m.lastSeen = m.log.NextToApply()
+			m.armRetry(ctx)
+		}
+	}
+	return true
+}
+
+// AfterApply is the engines' per-applied-instance hook: it captures a
+// snapshot and advances the compaction floor once Interval instances
+// have been applied since the last one. The floor trails the snapshot
+// by one interval (the newest interval's entries stay retained), so
+// only peers lagging more than an interval pay for a state transfer.
+func (m *Manager) AfterApply() {
+	if m.cfg.Interval <= 0 || m.state == nil {
+		return
+	}
+	if m.log == nil {
+		if m.applies++; m.applies >= m.cfg.Interval {
+			m.applies = 0
+			m.capture(-1)
+		}
+		return
+	}
+	if m.log.NextToApply()-(m.snapLast+1) >= m.cfg.Interval {
+		m.capture(m.log.NextToApply() - 1)
+	}
+}
+
+// capture encodes the current state as the retained snapshot and, for
+// log engines, compacts up to the previous snapshot's frontier.
+func (m *Manager) capture(lastApplied int64) {
+	prev := m.snapLast
+	m.encoded = Encode(Snapshot{
+		LastApplied: lastApplied,
+		State:       m.state.SnapshotState(),
+		Lanes:       m.sessions.Export(),
+	})
+	m.snapLast = lastApplied
+	m.stats.snapshots.Add(1)
+	m.stats.snapshotBytes.Add(int64(len(m.encoded)))
+	if m.log != nil && prev >= 0 {
+		m.stats.entriesTruncated.Add(int64(m.log.CompactTo(prev + 1)))
+	}
+	if m.onSnapshot != nil {
+		m.onSnapshot(lastApplied)
+	}
+}
+
+// --- Serving side ---
+
+// Serve answers one catch-up request from peer to, whose next-to-apply
+// instance is from: the retained log suffix when it still covers from,
+// otherwise a chunked snapshot plus the suffix above it. Engines also
+// call it directly when a prepare reveals a proposer below the
+// compaction floor — the push that keeps lagging peers convergent.
+func (m *Manager) Serve(ctx runtime.Context, to msg.NodeID, from int64) {
+	m.stats.catchupsServed.Add(1)
+	start := from
+	if m.log == nil || from < m.log.Floor() {
+		if enc, last, ok := m.servableSnapshot(); ok {
+			m.sendChunks(ctx, to, enc)
+			start = last + 1
+		} else if m.log != nil {
+			start = m.log.Floor() // nothing to ship below it; serve what remains
+		}
+	}
+	m.sendEntries(ctx, to, start)
+}
+
+// servableSnapshot returns the retained snapshot, or captures one on
+// demand (without compacting) when none exists yet — how a replica with
+// periodic snapshotting off, or a log-less engine, still serves a
+// restarted peer.
+func (m *Manager) servableSnapshot() ([]byte, int64, bool) {
+	if m.encoded != nil {
+		return m.encoded, m.snapLast, true
+	}
+	if m.state == nil {
+		return nil, 0, false
+	}
+	last := int64(-1)
+	if m.log != nil {
+		last = m.log.NextToApply() - 1
+	}
+	enc := Encode(Snapshot{
+		LastApplied: last,
+		State:       m.state.SnapshotState(),
+		Lanes:       m.sessions.Export(),
+	})
+	m.stats.snapshots.Add(1)
+	m.stats.snapshotBytes.Add(int64(len(enc)))
+	return enc, last, true
+}
+
+func (m *Manager) sendChunks(ctx runtime.Context, to msg.NodeID, enc []byte) {
+	size := m.cfg.ChunkSize
+	for off, seq := 0, int64(0); off < len(enc); off, seq = off+size, seq+1 {
+		end := min(off+size, len(enc))
+		m.stats.chunksSent.Add(1)
+		// The chunk aliases enc, which is replaced (never mutated) by
+		// later captures; receivers copy into their assembly buffer.
+		ctx.Send(to, msg.SnapshotChunk{Seq: seq, Last: end == len(enc), Data: enc[off:end]})
+	}
+}
+
+func (m *Manager) sendEntries(ctx runtime.Context, to msg.NodeID, from int64) {
+	if m.log == nil {
+		ctx.Send(to, msg.CatchupEntries{Done: true})
+		return
+	}
+	batch := make([]msg.Decided, 0, entriesPerMessage)
+	flush := func(e rsm.Entry) bool {
+		batch = append(batch, msg.Decided{Instance: e.Instance, Value: e.Value})
+		if len(batch) == entriesPerMessage {
+			m.stats.entriesStreamed.Add(int64(len(batch)))
+			ctx.Send(to, msg.CatchupEntries{Entries: batch})
+			batch = make([]msg.Decided, 0, entriesPerMessage)
+		}
+		return true
+	}
+	m.log.Scan(from, flush)
+	// Learned-but-unapplied entries are decided too (learners only
+	// record decided values) — without them a recovering replica cannot
+	// see past the gap that is stalling this server's own applies, which
+	// matters when the gap's instances belong to the recovering replica
+	// itself (a crashed Mencius owner must skip them).
+	m.log.ScanPending(func(e rsm.Entry) bool {
+		if e.Instance < from {
+			return true
+		}
+		return flush(e)
+	})
+	m.stats.entriesStreamed.Add(int64(len(batch)))
+	ctx.Send(to, msg.CatchupEntries{Entries: batch, Done: true})
+}
+
+// --- Recovering side ---
+
+func (m *Manager) request(ctx runtime.Context) {
+	if len(m.peers) == 0 {
+		return
+	}
+	to := m.peers[m.target%len(m.peers)]
+	m.target++
+	from := int64(0)
+	if m.log != nil {
+		from = m.log.NextToApply()
+	}
+	m.stats.catchupsRequested.Add(1)
+	ctx.Send(to, msg.CatchupRequest{From: from})
+	m.armRetry(ctx)
+}
+
+func (m *Manager) armRetry(ctx runtime.Context) {
+	if m.retryCancel != nil {
+		m.retryCancel()
+	}
+	m.retryCancel = ctx.After(m.cfg.RetryTimeout, runtime.TimerTag{Kind: timerCatchup})
+}
+
+func (m *Manager) resetAssembly() {
+	m.assembling = nil
+	m.assembleFrom = msg.Nobody
+	m.assembleNext = 0
+}
+
+// onChunk assembles one snapshot transfer. Chunks arrive in order per
+// sender (one connection, one writer); anything out of sequence —
+// an interleaved transfer from another peer, a dropped chunk — resets
+// the assembly and lets the retry timer re-request.
+func (m *Manager) onChunk(from msg.NodeID, c msg.SnapshotChunk) {
+	if c.Seq == 0 {
+		m.assembling = m.assembling[:0]
+		m.assembleFrom = from
+		m.assembleNext = 0
+	}
+	if from != m.assembleFrom || c.Seq != m.assembleNext {
+		m.resetAssembly()
+		return
+	}
+	m.assembling = append(m.assembling, c.Data...)
+	m.assembleNext++
+	if !c.Last {
+		return
+	}
+	snap, err := Decode(m.assembling)
+	m.resetAssembly()
+	if err != nil {
+		return // corrupt transfer; the retry timer re-requests
+	}
+	m.install(snap)
+}
+
+// install restores state, sessions and log from a decoded snapshot —
+// in that order, so the log's catch-up applies (instances above the
+// snapshot) run against the restored image. A snapshot at or behind
+// the local frontier is ignored; a log-less engine installs only while
+// it is itself recovering (an unsolicited stale transfer must never
+// overwrite newer state).
+func (m *Manager) install(snap Snapshot) {
+	if m.log != nil {
+		if snap.LastApplied+1 <= m.log.NextToApply() {
+			return
+		}
+	} else if !m.catchingUp {
+		return
+	}
+	if m.state != nil {
+		if err := m.state.RestoreState(snap.State); err != nil {
+			return
+		}
+	}
+	m.sessions.Restore(snap.Lanes)
+	if m.log != nil {
+		m.log.InstallSnapshot(snap.LastApplied)
+	}
+	m.stats.restores.Add(1)
+	if m.onRestore != nil {
+		m.onRestore(snap.LastApplied)
+	}
+}
+
+func (m *Manager) onEntries(ctx runtime.Context, e msg.CatchupEntries) {
+	if m.log != nil {
+		for _, de := range e.Entries {
+			m.log.Learn(de.Instance, de.Value)
+		}
+	}
+	if e.Done {
+		m.finishTransfer(ctx)
+	}
+}
+
+// finishTransfer ends the streaming phase. A replica recovering by
+// configuration keeps the convergence watchdog armed afterwards: holes
+// from its downtime may only surface once live traffic resumes (see
+// HandleTimer), so it must keep checking until a few ticks pass with no
+// gap. Transfers pushed at non-recovering replicas just end.
+func (m *Manager) finishTransfer(ctx runtime.Context) {
+	wasRecovering := m.catchingUp || m.watching
+	m.catchingUp = false
+	if !wasRecovering || !m.cfg.Recover || m.log == nil {
+		m.watching = false
+		if wasRecovering {
+			m.recovered.Store(true) // log-less recovery ends at the transfer
+		}
+		if m.retryCancel != nil {
+			m.retryCancel()
+			m.retryCancel = nil
+		}
+		return
+	}
+	m.watchGoal = m.log.LearnedFrontier()
+	if m.log.NextToApply() >= m.watchGoal {
+		// Nothing decided while we were down is still missing.
+		m.watching = false
+		m.recovered.Store(true)
+		if m.retryCancel != nil {
+			m.retryCancel()
+			m.retryCancel = nil
+		}
+		return
+	}
+	m.watching = true
+	m.lastSeen = m.log.NextToApply()
+	m.armRetry(ctx)
+}

@@ -1,0 +1,146 @@
+// Package snapshot is the recovery subsystem: it bounds a replica's
+// memory and lets crashed or lagging replicas rejoin their agreement
+// group.
+//
+// The paper's agreement service runs inside a machine for the lifetime
+// of the OS, so "the actual long-term memory of the system" (Section
+// 4.1, the learners) cannot be allowed to grow without bound — and a
+// replaced core must be able to learn what the group decided while it
+// was gone (the paper's acceptor/leader replacement assumes exactly
+// that). This package supplies both halves:
+//
+//   - A versioned, wire-encoded snapshot (Encode/Decode) capturing a
+//     replica's durable state: the applied state-machine image
+//     (State.SnapshotState), the client-session frontiers
+//     (rsm.Sessions.Export — so exactly-once dedupe survives recovery),
+//     and the last applied instance.
+//
+//   - A Manager every engine embeds. It captures a snapshot every
+//     SnapshotInterval applied instances and raises the log's
+//     compaction floor behind it (rsm.Log.CompactTo), answers peers'
+//     msg.CatchupRequest with either the retained log suffix or a
+//     chunked snapshot plus the suffix above it, and — on a replica
+//     started in Recover mode — streams that state from a live peer
+//     until the replica has converged.
+//
+// The snapshot always lags one interval behind the frontier: the most
+// recent interval's entries stay retained, so prepare answers and
+// catch-ups for mildly lagging peers are served from the log, and only
+// a peer below the floor pays for a full state transfer.
+package snapshot
+
+import (
+	"fmt"
+
+	"consensusinside/internal/msg"
+	"consensusinside/internal/rsm"
+	"consensusinside/internal/wire"
+)
+
+// Version is the snapshot encoding version, the first byte of every
+// encoded snapshot. Decode rejects anything else: a snapshot is
+// long-term state, so unlike a protocol message it must carry its
+// format's identity.
+const Version = 1
+
+// State is the face a state machine shows the recovery subsystem: an
+// opaque, deterministic image of everything Apply has built, and the
+// way to become that image. rsm.KV implements it; appliers that do not
+// cannot be snapshotted (their replicas serve catch-up from the log
+// only).
+type State interface {
+	// SnapshotState encodes the current state deterministically.
+	SnapshotState() []byte
+	// RestoreState replaces the state with a SnapshotState image.
+	RestoreState(data []byte) error
+}
+
+// Snapshot is a replica's durable state at one applied frontier.
+type Snapshot struct {
+	// LastApplied is the highest applied instance the snapshot covers;
+	// -1 for engines without an instance-indexed log (2PC), whose
+	// snapshot is pure state.
+	LastApplied int64
+	// State is the applier's SnapshotState image.
+	State []byte
+	// Lanes is the session table's exported per-lane dedupe state.
+	Lanes []rsm.LaneState
+}
+
+// Encode renders s in the wire format: the version byte, then the
+// frontier, state image and session lanes with internal/wire's
+// primitives. Equal snapshots encode to equal bytes (State images are
+// deterministic and rsm.Sessions.Export orders lanes).
+func Encode(s Snapshot) []byte {
+	b := []byte{Version}
+	b = wire.AppendVarint(b, s.LastApplied)
+	b = wire.AppendBytes(b, s.State)
+	b = wire.AppendUvarint(b, uint64(len(s.Lanes)))
+	for _, lane := range s.Lanes {
+		b = wire.AppendVarint(b, int64(lane.Client))
+		b = wire.AppendUvarint(b, lane.Base)
+		b = wire.AppendUvarint(b, lane.Floor)
+		b = wire.AppendUvarint(b, lane.Pruned)
+		b = wire.AppendUvarint(b, lane.Ack)
+		b = wire.AppendUvarint(b, lane.MaxSeq)
+		b = wire.AppendUvarint(b, uint64(len(lane.Entries)))
+		for _, e := range lane.Entries {
+			b = wire.AppendUvarint(b, e.Seq)
+			b = wire.AppendVarint(b, e.Instance)
+			b = wire.AppendString(b, e.Result)
+		}
+	}
+	return b
+}
+
+// maxDecodeCap bounds pre-allocation while decoding counts, mirroring
+// the message codec's guard: a hostile count never turns a small input
+// into a huge allocation.
+const maxDecodeCap = 4096
+
+// Decode parses an Encode image. It is strict, like the envelope
+// decoder: a version mismatch, truncation, a hostile count or trailing
+// bytes all fail — an undecodable snapshot must never be installed
+// half-read.
+func Decode(data []byte) (Snapshot, error) {
+	var s Snapshot
+	d := wire.NewDecoder(data)
+	if v := d.Byte(); d.Err() == nil && v != Version {
+		return s, fmt.Errorf("snapshot: unknown version %d", v)
+	}
+	s.LastApplied = d.Varint()
+	s.State = d.Bytes()
+	lanes := d.SliceLen()
+	if lanes > 0 {
+		s.Lanes = make([]rsm.LaneState, 0, min(lanes, maxDecodeCap))
+	}
+	for i := 0; i < lanes && d.Err() == nil; i++ {
+		lane := rsm.LaneState{
+			Client: msg.NodeID(d.Varint()),
+			Base:   d.Uvarint(),
+			Floor:  d.Uvarint(),
+			Pruned: d.Uvarint(),
+			Ack:    d.Uvarint(),
+			MaxSeq: d.Uvarint(),
+		}
+		entries := d.SliceLen()
+		if entries > 0 {
+			lane.Entries = make([]rsm.LaneEntry, 0, min(entries, maxDecodeCap))
+		}
+		for j := 0; j < entries && d.Err() == nil; j++ {
+			lane.Entries = append(lane.Entries, rsm.LaneEntry{
+				Seq:      d.Uvarint(),
+				Instance: d.Varint(),
+				Result:   d.String(),
+			})
+		}
+		s.Lanes = append(s.Lanes, lane)
+	}
+	if err := d.Err(); err != nil {
+		return Snapshot{}, fmt.Errorf("snapshot: decode: %w", err)
+	}
+	if d.Remaining() != 0 {
+		return Snapshot{}, fmt.Errorf("snapshot: %d trailing bytes", d.Remaining())
+	}
+	return s, nil
+}

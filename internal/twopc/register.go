@@ -8,10 +8,14 @@ func init() {
 		MinReplicas: 2,
 		New: func(cfg protocol.Config) protocol.Engine {
 			return New(Config{
-				ID:         cfg.ID,
-				Replicas:   cfg.Replicas,
-				Applier:    cfg.Applier,
-				LocalReads: cfg.LocalReads,
+				ID:                cfg.ID,
+				Replicas:          cfg.Replicas,
+				Applier:           cfg.Applier,
+				LocalReads:        cfg.LocalReads,
+				TxRetryTimeout:    cfg.TxRetryTimeout,
+				SnapshotInterval:  cfg.SnapshotInterval,
+				SnapshotChunkSize: cfg.SnapshotChunkSize,
+				Recover:           cfg.Recover,
 			})
 		},
 	})

@@ -22,11 +22,19 @@ package twopc
 
 import (
 	"fmt"
+	"time"
 
+	"consensusinside/internal/metrics"
 	"consensusinside/internal/msg"
 	"consensusinside/internal/rsm"
 	"consensusinside/internal/runtime"
+	"consensusinside/internal/snapshot"
 )
+
+// timerTxRetry re-drives a pending transaction's current phase
+// (Arg: the transaction id). Armed only when Config.TxRetryTimeout is
+// set — the paper's 2PC is strictly blocking and retransmits nothing.
+const timerTxRetry = 1
 
 // Config parameterizes a Replica.
 type Config struct {
@@ -41,6 +49,29 @@ type Config struct {
 
 	// LocalReads enables the Joint-mode read optimization.
 	LocalReads bool
+
+	// TxRetryTimeout makes the coordinator re-send the current phase of
+	// a transaction still pending after this long: prepares to replicas
+	// that have not acked, commits to replicas that have not confirmed.
+	// Both are idempotent on the participants, so the only behavioral
+	// change is that a transaction stalled by a crashed participant
+	// completes once that participant restarts (KV.RestartReplica).
+	// Zero — the default, and what the simulated experiments use —
+	// disables retransmission, the paper's strictly blocking 2PC.
+	TxRetryTimeout time.Duration
+
+	// SnapshotInterval captures a durable-state snapshot every this many
+	// applied commands (2PC has no instance log, so the snapshot is the
+	// whole recovery story; 0 = off). See internal/snapshot.
+	SnapshotInterval int
+
+	// SnapshotChunkSize is the snapshot transfer chunk size (0 = the
+	// snapshot package default).
+	SnapshotChunkSize int
+
+	// Recover makes the replica stream a state snapshot from a live peer
+	// before serving — the restarted-replica mode.
+	Recover bool
 }
 
 // Replica is one 2PC node (coordinator or participant).
@@ -51,9 +82,15 @@ type Replica struct {
 	coord    msg.NodeID
 	ctx      runtime.Context
 
-	// Coordinator state.
-	nextTx int64
-	txs    map[int64]*tx
+	// Coordinator state. inflight maps each command currently carried by
+	// a live transaction to that transaction, so a client retry (the
+	// bridge rotates targets on its retry timer) can never open a second
+	// transaction for the same command: two transactions locking the
+	// same key in different orders on different replicas deadlock — the
+	// exact cycle a crashed participant's stall would otherwise trigger.
+	nextTx   int64
+	txs      map[int64]*tx
+	inflight map[originKey]int64
 
 	// Participant state (the coordinator is also a participant for its
 	// own local copy).
@@ -64,7 +101,8 @@ type Replica struct {
 	kv       *rsm.KV
 	applier  rsm.Applier
 	sessions *rsm.Sessions
-	history  []msg.Value // local apply order, for tests
+	snap     *snapshot.Manager
+	history  []msg.Value // local apply order, for tests; truncated by snapshots
 
 	commits    int64
 	localReads int64
@@ -81,6 +119,23 @@ type tx struct {
 type pendingPrepare struct {
 	from msg.NodeID
 	m    msg.TPCPrepare
+}
+
+// originKey identifies one client command across retries.
+type originKey struct {
+	client msg.NodeID
+	seq    uint64
+}
+
+// clearInflight forgets t's commands' retry-dedupe records (call once
+// the transaction commits or rolls back).
+func (r *Replica) clearInflight(t *tx) {
+	for _, be := range t.value.Entries() {
+		key := originKey{t.value.Client, be.Seq}
+		if r.inflight[key] == t.id {
+			delete(r.inflight, key)
+		}
+	}
 }
 
 var _ runtime.Handler = (*Replica)(nil)
@@ -109,12 +164,13 @@ func New(cfg Config) *Replica {
 	} else if k, ok := applier.(*rsm.KV); ok {
 		kv = k
 	}
-	return &Replica{
+	r := &Replica{
 		cfg:      cfg,
 		me:       cfg.ID,
 		replicas: append([]msg.NodeID(nil), cfg.Replicas...),
 		coord:    cfg.Replicas[0],
 		txs:      make(map[int64]*tx),
+		inflight: make(map[originKey]int64),
 		locks:    make(map[string]int64),
 		prepared: make(map[int64]msg.Value),
 		waiting:  make(map[string][]pendingPrepare),
@@ -122,6 +178,23 @@ func New(cfg Config) *Replica {
 		applier:  applier,
 		sessions: rsm.NewSessions(),
 	}
+	// 2PC has no instance log: the snapshot (state image + session
+	// frontiers) is the entire recovery story, and Interval counts
+	// applied commands.
+	r.snap = snapshot.New(snapshot.Config{
+		ID:           cfg.ID,
+		Replicas:     cfg.Replicas,
+		Interval:     int64(cfg.SnapshotInterval),
+		ChunkSize:    cfg.SnapshotChunkSize,
+		Recover:      cfg.Recover,
+		RetryTimeout: 2 * cfg.TxRetryTimeout,
+	}, nil, r.sessions, applier)
+	r.snap.OnSnapshot(func(int64) {
+		// The apply history below the snapshot is captured by its state
+		// image; dropping it is what bounds this engine's memory.
+		r.history = r.history[:0]
+	})
+	return r
 }
 
 // Coordinator reports the fixed coordinator node.
@@ -140,16 +213,70 @@ func (r *Replica) History() []msg.Value {
 	return out
 }
 
-// Start implements runtime.Handler; 2PC needs no bootstrap round.
-func (r *Replica) Start(ctx runtime.Context) { r.ctx = ctx }
+// SnapshotStats reports the replica's recovery-subsystem counters.
+func (r *Replica) SnapshotStats() metrics.SnapshotStats { return r.snap.Stats() }
 
-// Timer implements runtime.Handler; 2PC sets no timers (it blocks, by
-// design).
-func (r *Replica) Timer(ctx runtime.Context, tag runtime.TimerTag) { r.ctx = ctx }
+// Recovered reports whether this replica has finished recovering (see
+// snapshot.Manager.Recovered); trivially true unless built in Recover
+// mode. Safe from any goroutine.
+func (r *Replica) Recovered() bool { return r.snap.Recovered() }
+
+// Start implements runtime.Handler; 2PC needs no bootstrap round, so
+// only a recovering replica's catch-up request leaves here.
+func (r *Replica) Start(ctx runtime.Context) {
+	r.ctx = ctx
+	r.snap.Start(ctx)
+}
+
+// Timer implements runtime.Handler: the protocol itself sets no timers
+// (it blocks, by design) — only the optional transaction retransmit and
+// the recovery subsystem land here.
+func (r *Replica) Timer(ctx runtime.Context, tag runtime.TimerTag) {
+	r.ctx = ctx
+	if r.snap.HandleTimer(ctx, tag) {
+		return
+	}
+	if tag.Kind == timerTxRetry {
+		r.onTxRetry(tag.Arg)
+	}
+}
+
+// onTxRetry re-drives a transaction still pending after TxRetryTimeout:
+// the current phase's message goes again to every replica that has not
+// answered it (participants treat duplicates idempotently). This is how
+// a transaction stalled by a crashed participant completes once the
+// participant restarts and re-locks.
+func (r *Replica) onTxRetry(txID int64) {
+	t, ok := r.txs[txID]
+	if !ok {
+		return
+	}
+	for _, id := range r.replicas {
+		if id == r.me {
+			continue
+		}
+		if !t.committed && !t.acks[id] {
+			r.ctx.Send(id, msg.TPCPrepare{TxID: t.id, Value: t.value})
+		}
+		if t.committed && !t.commitAcks[id] {
+			r.ctx.Send(id, msg.TPCCommit{TxID: t.id, Value: t.value})
+		}
+	}
+	r.armTxRetry(t.id)
+}
+
+func (r *Replica) armTxRetry(txID int64) {
+	if r.cfg.TxRetryTimeout > 0 {
+		r.ctx.After(r.cfg.TxRetryTimeout, runtime.TimerTag{Kind: timerTxRetry, Arg: txID})
+	}
+}
 
 // Receive dispatches one message.
 func (r *Replica) Receive(ctx runtime.Context, from msg.NodeID, m msg.Message) {
 	r.ctx = ctx
+	if r.snap.Handle(ctx, from, m) {
+		return
+	}
 	switch mm := m.(type) {
 	case msg.ClientRequest:
 		r.onClientRequest(from, mm)
@@ -169,6 +296,9 @@ func (r *Replica) Receive(ctx runtime.Context, from msg.NodeID, m msg.Message) {
 // --- Client path ---
 
 func (r *Replica) onClientRequest(from msg.NodeID, req msg.ClientRequest) {
+	if r.snap.CatchingUp() {
+		return // recovering: serve nothing until the state transfer lands
+	}
 	// Committed entries (single command or batch alike) are answered
 	// from the session table; what remains still needs a transaction.
 	fresh := r.sessions.Screen(req, func(rep msg.ClientReply) { r.ctx.Send(req.Client, rep) })
@@ -206,7 +336,24 @@ func (r *Replica) onClientRequest(from msg.NodeID, req msg.ClientRequest) {
 		r.ctx.Send(r.coord, req)
 		return
 	}
-	r.beginTx(msg.NewValue(req.Client, req.Ack, fresh))
+	// Drop entries a live transaction already carries (a client retry):
+	// that transaction's commit will answer them. Opening a second
+	// transaction for the same command would lock its keys in a
+	// different order on different replicas — a deadlock, not a retry.
+	entries := fresh[:0:0]
+	for _, be := range fresh {
+		if txID, live := r.inflight[originKey{req.Client, be.Seq}]; live {
+			if _, ok := r.txs[txID]; ok {
+				continue
+			}
+			delete(r.inflight, originKey{req.Client, be.Seq})
+		}
+		entries = append(entries, be)
+	}
+	if len(entries) == 0 {
+		return
+	}
+	r.beginTx(msg.NewValue(req.Client, req.Ack, entries))
 }
 
 // --- Coordinator ---
@@ -221,6 +368,9 @@ func (r *Replica) beginTx(v msg.Value) {
 		commitAcks: make(map[msg.NodeID]bool),
 	}
 	r.txs[id] = t
+	for _, be := range v.Entries() {
+		r.inflight[originKey{v.Client, be.Seq}] = id
+	}
 	// Phase 1: lock everywhere, including our own copy.
 	for _, id2 := range r.replicas {
 		if id2 == r.me {
@@ -228,6 +378,7 @@ func (r *Replica) beginTx(v msg.Value) {
 		}
 		r.ctx.Send(id2, msg.TPCPrepare{TxID: id, Value: v})
 	}
+	r.armTxRetry(id)
 	r.localPrepare(t)
 }
 
@@ -299,6 +450,7 @@ func (r *Replica) onAck(m msg.TPCAck) {
 		}
 		r.releaseLocks(t.id, t.value)
 		delete(r.txs, t.id)
+		r.clearInflight(t)
 		delete(r.prepared, t.id)
 		var replies []msg.ClientReply
 		for _, be := range t.value.Entries() {
@@ -317,6 +469,7 @@ func (r *Replica) onAck(m msg.TPCAck) {
 	// as the commit orders are out; the commit acks that follow only
 	// retire the transaction record and release coordination state.
 	t.committed = true
+	r.clearInflight(t) // committed: session screening owns retries from here
 	for _, id := range r.replicas {
 		if id == r.me {
 			continue
@@ -396,6 +549,7 @@ func (r *Replica) applyCommit(txID int64, v msg.Value) {
 			r.sessions.Done(sub.Client, sub.Seq, txID, result)
 			r.history = append(r.history, sub)
 			r.commits++
+			r.snap.AfterApply()
 		}
 	}
 	r.releaseLocks(txID, v)

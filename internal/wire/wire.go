@@ -70,6 +70,13 @@ func AppendString(b []byte, s string) []byte {
 	return append(b, s...)
 }
 
+// AppendBytes appends p as a uvarint byte count followed by the bytes
+// (the []byte twin of AppendString; snapshot chunks use it).
+func AppendBytes(b, p []byte) []byte {
+	b = binary.AppendUvarint(b, uint64(len(p)))
+	return append(b, p...)
+}
+
 // AppendBool appends v as one byte (0 or 1).
 func AppendBool(b []byte, v bool) []byte {
 	if v {
@@ -168,6 +175,26 @@ func (d *Decoder) String() string {
 	s := string(d.data[d.off : d.off+int(n)])
 	d.off += int(n)
 	return s
+}
+
+// Bytes reads an AppendBytes value as a copy (nil when empty, matching
+// gob's nil/empty folding so both codecs decode to equal structs).
+func (d *Decoder) Bytes() []byte {
+	n := d.Uvarint()
+	if d.err != nil {
+		return nil
+	}
+	if n > uint64(d.Remaining()) {
+		d.fail(fmt.Errorf("bytes of %d with %d left: %w", n, d.Remaining(), ErrBadCount))
+		return nil
+	}
+	if n == 0 {
+		return nil
+	}
+	out := make([]byte, n)
+	copy(out, d.data[d.off:d.off+int(n)])
+	d.off += int(n)
+	return out
 }
 
 // SliceLen reads a uvarint element count and validates it against the

@@ -24,6 +24,16 @@ if ! go vet ./...; then
     fail=1
 fi
 
+# staticcheck, when available (CI installs it; locally it is optional so
+# a bare container can still run the gate).
+if command -v staticcheck >/dev/null 2>&1; then
+    if ! staticcheck ./...; then
+        fail=1
+    fi
+else
+    echo "docscheck: staticcheck not installed; skipping (CI runs it)" >&2
+fi
+
 # Every library package must carry a "// Package <name> ..." comment in
 # some non-test file; every main package must open with a header
 # comment in at least one file.
