@@ -3,6 +3,7 @@ package consensusinside
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
 	"time"
 
@@ -11,6 +12,7 @@ import (
 	"consensusinside/internal/msg"
 	"consensusinside/internal/protocol"
 	_ "consensusinside/internal/protocol/all" // register every engine
+	"consensusinside/internal/readpath"
 	"consensusinside/internal/rsm"
 	"consensusinside/internal/runtime"
 	"consensusinside/internal/shard"
@@ -118,6 +120,43 @@ const (
 // String implements fmt.Stringer for sweep tables.
 func (c CodecKind) String() string { return msg.Codec(c).String() }
 
+// ReadMode selects how Get is served. The default, ReadConsensus, is
+// the paper's strong-consistency mode: every read is a consensus
+// command ordered in the replicated log like a write. The other modes
+// trade consensus work on the read path for leases, quorum
+// confirmation rounds, or bounded staleness — see DESIGN.md, "The read
+// path".
+type ReadMode int
+
+// Read modes for StartKV (and cluster.Spec). The values are defined by
+// conversion from the internal enum, so the public knob can never
+// silently diverge from what the engines run.
+const (
+	// ReadConsensus orders every read through the replicated log (the
+	// default, and the only mode the paper measures).
+	ReadConsensus = ReadMode(readpath.Consensus)
+	// ReadLease lets a stable leader serve reads from its local state
+	// machine under a time-bound lease granted by the protocol's
+	// serialization point (the active acceptor for 1Paxos, a quorum of
+	// promise-withholding peers for Multi-Paxos). Linearizable while
+	// clocks drift less than a quarter of the lease duration. Leaderless
+	// engines degrade to ReadIndex.
+	ReadLease = ReadMode(readpath.Lease)
+	// ReadIndex serves linearizable reads without leases or clocks: the
+	// serving replica captures its commit frontier, confirms it is still
+	// current with one lightweight quorum round, waits for its state
+	// machine to apply past the frontier, then reads locally. All reads
+	// arriving during the round share it.
+	ReadIndex = ReadMode(readpath.Index)
+	// ReadFollower serves reads from any caught-up replica's local state
+	// machine with no confirmation at all — monotonic per replica but
+	// stale-bounded, not linearizable.
+	ReadFollower = ReadMode(readpath.Follower)
+)
+
+// String implements fmt.Stringer for sweep tables.
+func (m ReadMode) String() string { return readpath.Mode(m).String() }
+
 // DefaultPipeline is the bridge's default window of in-flight commands.
 // Concurrent Put/Get callers beyond this depth queue behind the window.
 const DefaultPipeline = 16
@@ -172,6 +211,17 @@ type KVConfig struct {
 	// chunk during catch-up (default 64 KiB; capped well under the
 	// transport's frame limit).
 	SnapshotChunkSize int
+	// ReadMode selects how Get is served (default ReadConsensus, the
+	// paper's read-through-the-log behavior). ReadLease, ReadIndex and
+	// ReadFollower serve reads from a replica's local state machine,
+	// bypassing the proposer-side batcher entirely; see the ReadMode
+	// constants and DESIGN.md, "The read path". Validated like
+	// Shards/BatchSize.
+	ReadMode ReadMode
+	// LeaseDuration is the read-lease lifetime under ReadLease (default
+	// 5ms). The leader treats the lease as expired a quarter-duration
+	// early, which is the clock-drift margin the safety argument assumes.
+	LeaseDuration time.Duration
 	// RequestTimeout bounds each Put/Get round trip (default 5s).
 	RequestTimeout time.Duration
 	// AcceptTimeout tunes the protocol's failure detector; the default
@@ -231,6 +281,7 @@ func (s *kvShard) close() {
 	for _, n := range nodes {
 		n.Close()
 	}
+	s.bridge.closeReads()
 }
 
 // StartKV launches a replicated KV service with embedded replicas:
@@ -311,6 +362,12 @@ func StartKV(cfg KVConfig) (*KV, error) {
 		return nil, fmt.Errorf("consensusinside: snapshot chunk size %d exceeds the maximum %d",
 			cfg.SnapshotChunkSize, MaxSnapshotChunk)
 	}
+	if !readpath.Mode(cfg.ReadMode).Valid() {
+		return nil, fmt.Errorf("consensusinside: unknown read mode %d", int(cfg.ReadMode))
+	}
+	if cfg.LeaseDuration < 0 {
+		return nil, fmt.Errorf("consensusinside: negative lease duration %v", cfg.LeaseDuration)
+	}
 	if cfg.RequestTimeout == 0 {
 		cfg.RequestTimeout = 5 * time.Second
 	}
@@ -353,6 +410,8 @@ func startKVShard(cfg KVConfig, shardIdx int) (*kvShard, error) {
 			SnapshotChunkSize: cfg.SnapshotChunkSize,
 			TxRetryTimeout:    cfg.AcceptTimeout,
 			Recover:           recover,
+			ReadMode:          readpath.Mode(cfg.ReadMode),
+			LeaseDuration:     cfg.LeaseDuration,
 		})
 	}
 	handlers := make([]runtime.Handler, 0, cfg.Replicas+1)
@@ -367,7 +426,7 @@ func startKVShard(cfg KVConfig, shardIdx int) (*kvShard, error) {
 	// Clients should suspect a server a little after the servers' own
 	// failure detector would, so takeovers settle before the retry lands.
 	sh.bridge = newKVBridge(clientID, ids, 2*cfg.AcceptTimeout, cfg.Pipeline, shardIdx,
-		cfg.BatchSize, cfg.BatchDelay)
+		cfg.BatchSize, cfg.BatchDelay, readpath.Mode(cfg.ReadMode))
 	handlers = append(handlers, sh.bridge)
 
 	switch cfg.Transport {
@@ -407,10 +466,18 @@ func (kv *KV) Put(key, value string) error {
 	return err
 }
 
-// Get reads key through consensus in the key's group (linearizable;
-// Section 7.5's strongly-consistent read path).
+// Get reads key in the key's group. Under the default ReadConsensus
+// mode the read is a consensus command ordered in the log (Section
+// 7.5's strongly-consistent read path); under the other modes it takes
+// the read fast path — a separate queue on the bridge that coalesces
+// reads into ReadRequest messages and lets a replica answer from its
+// local state machine (see KVConfig.ReadMode).
 func (kv *KV) Get(key string) (string, error) {
-	return kv.shardFor(key).bridge.do(msg.Command{Op: msg.OpGet, Key: key}, kv.cfg.RequestTimeout)
+	sh := kv.shardFor(key)
+	if kv.cfg.ReadMode != ReadConsensus {
+		return sh.bridge.doRead(msg.Command{Op: msg.OpGet, Key: key}, kv.cfg.RequestTimeout)
+	}
+	return sh.bridge.do(msg.Command{Op: msg.OpGet, Key: key}, kv.cfg.RequestTimeout)
 }
 
 // Shards reports how many independent agreement groups serve the
@@ -575,6 +642,26 @@ func (kv *KV) SnapshotStats() metrics.SnapshotStats {
 	return stats
 }
 
+// ReadStats reports the read fast path's counters folded across every
+// replica of every shard: reads served locally (and how many of those
+// were follower reads), read-index rounds and the reads they carried,
+// lease renewals and expiries, fallbacks to a confirmation round, and
+// redirects. All zeros under ReadConsensus, where reads travel the
+// write path.
+func (kv *KV) ReadStats() metrics.ReadStats {
+	var stats metrics.ReadStats
+	for _, sh := range kv.shards {
+		sh.mu.Lock()
+		for _, eng := range sh.engines {
+			if s, ok := eng.(protocol.ReadStatser); ok {
+				stats.Merge(s.ReadStats())
+			}
+		}
+		sh.mu.Unlock()
+	}
+	return stats
+}
+
 // Close shuts the service down.
 func (kv *KV) Close() {
 	kv.closeOnce.Do(func() {
@@ -598,6 +685,13 @@ type kvOp struct {
 	// cancel stops the pending retry timer; only touched on the bridge
 	// node's own goroutine (pump/Timer/Receive callbacks).
 	cancel runtime.CancelFunc
+	// timeout/deadline drive the read lane's bridge-side deadline (the
+	// scan timer fails overdue reads, so doRead callers wait on a bare
+	// channel receive with no timer of their own). timeout is set by
+	// doRead; the pump converts it to a deadline on the runtime clock.
+	// A redirect requeue carries the original deadline forward.
+	timeout  time.Duration
+	deadline time.Duration
 }
 
 type kvResult struct {
@@ -605,11 +699,47 @@ type kvResult struct {
 	err   error
 }
 
+// kvReadOp is one in-flight fast-path read; its batch links it to the
+// coalesced ReadRequest it travelled in, and its deadline is when the
+// scan timer gives up on it.
+type kvReadOp struct {
+	cmd      msg.Command
+	done     chan kvResult
+	batch    *kvReadBatch
+	deadline time.Duration // 0 = no deadline
+}
+
+// kvReadBatch is the retry unit of the read path: one coalesced
+// ReadRequest's worth of reads. No timer is armed per batch — a single
+// self-rearming scan timer (kvTimerReadRetry) sweeps all outstanding
+// batches and resends the overdue ones, so the per-read hot path does
+// zero runtime-timer operations.
+type kvReadBatch struct {
+	id     uint64
+	seqs   []uint64
+	live   int           // reads of this batch still in flight
+	sentAt time.Duration // last transmission (ctx.Now); the scan timer retries stale ones
+}
+
 // Bridge timer kinds (the workload package's client kinds live at 900+
 // too; the bridge is never co-located with one, so reuse is safe).
 const (
-	kvTimerRetry = 900 // Arg: the tagged seq the retry guards
-	kvTimerFlush = 901 // a held-back partial batch is due
+	kvTimerRetry     = 900 // Arg: the tagged seq the retry guards
+	kvTimerFlush     = 901 // a held-back partial batch is due
+	kvTimerReadRetry = 902 // the read lane's scan timer: resend overdue batches
+)
+
+// maxReadCoalesce caps how many queued reads one ReadRequest carries;
+// maxReadRequests caps how many ReadRequests are outstanding at once.
+// Reads never occupy a consensus instance, so the window is not for
+// correctness — it creates backpressure: while the window is full,
+// arriving reads pool in the queue and leave as a few large requests
+// instead of a stream of tiny ones, amortizing the per-message cost on
+// both the bridge and the serving replica (the same mechanism that
+// batches writes, where the pipeline window does the pooling).
+const (
+	maxReadCoalesce = 128
+	maxReadRequests = 2
 )
 
 // kvBridge is a Handler that converts synchronous Put/Get calls into
@@ -638,7 +768,16 @@ type kvBridge struct {
 	seqBase uint64 // shard tag: every seq is seqBase + local count
 	inject  func(msg.Message)
 
+	// readMode is the service's KVConfig.ReadMode; when it is not
+	// Consensus, Get calls flow through doRead into the read queue — a
+	// lane of their own, bypassing the proposer-side batcher. Reads
+	// never enter the replicated log, so they get their own sequence
+	// space, in-flight map and retry timers; the write lane's session
+	// tracking never sees them.
+	readMode readpath.Mode
+
 	mu          sync.Mutex
+	wakePending bool // a submitMsg is already in flight toward the bridge node
 	queue       []kvOp
 	seq         uint64
 	inflight    map[uint64]*kvOp
@@ -646,11 +785,20 @@ type kvBridge struct {
 	target      int
 	delayArmed  bool // a flush timer guards a held-back partial batch
 	occ         metrics.BatchOccupancy
+
+	readQueue     []kvOp
+	readSeq       uint64
+	readInflight  map[uint64]*kvReadOp
+	readBatches   map[uint64]*kvReadBatch
+	readBatchID   uint64
+	readTarget    int
+	readScanArmed bool // the read lane's scan timer is ticking
+	readClosed    bool // closeReads ran; new fast-path reads fail fast
 }
 
 var _ runtime.Handler = (*kvBridge)(nil)
 
-func newKVBridge(id msg.NodeID, servers []msg.NodeID, retry time.Duration, window, shardIdx, batch int, delay time.Duration) *kvBridge {
+func newKVBridge(id msg.NodeID, servers []msg.NodeID, retry time.Duration, window, shardIdx, batch int, delay time.Duration, readMode readpath.Mode) *kvBridge {
 	if retry <= 0 {
 		retry = 250 * time.Millisecond
 	}
@@ -665,15 +813,19 @@ func newKVBridge(id msg.NodeID, servers []msg.NodeID, retry time.Duration, windo
 	}
 	base := shard.TagSeq(shardIdx, 0)
 	return &kvBridge{
-		id:       id,
-		servers:  append([]msg.NodeID(nil), servers...),
-		retry:    retry,
-		window:   window,
-		batch:    batch,
-		delay:    delay,
-		seqBase:  base,
-		seq:      base,
-		inflight: make(map[uint64]*kvOp),
+		id:           id,
+		servers:      append([]msg.NodeID(nil), servers...),
+		retry:        retry,
+		window:       window,
+		batch:        batch,
+		delay:        delay,
+		readMode:     readMode,
+		seqBase:      base,
+		seq:          base,
+		inflight:     make(map[uint64]*kvOp),
+		readSeq:      base,
+		readInflight: make(map[uint64]*kvReadOp),
+		readBatches:  make(map[uint64]*kvReadBatch),
 	}
 }
 
@@ -681,8 +833,12 @@ func (b *kvBridge) do(cmd msg.Command, timeout time.Duration) (string, error) {
 	op := kvOp{cmd: cmd, done: make(chan kvResult, 1)}
 	b.mu.Lock()
 	b.queue = append(b.queue, op)
+	wake := !b.wakePending
+	b.wakePending = true
 	b.mu.Unlock()
-	b.inject(submitMsg{})
+	if wake {
+		b.inject(submitMsg{})
+	}
 	timer := time.NewTimer(timeout)
 	defer timer.Stop()
 	select {
@@ -690,6 +846,56 @@ func (b *kvBridge) do(cmd msg.Command, timeout time.Duration) (string, error) {
 		return res.value, res.err
 	case <-timer.C:
 		return "", fmt.Errorf("consensusinside: %s %q timed out after %v", cmd.Op, cmd.Key, timeout)
+	}
+}
+
+// doRead enqueues a fast-path read (any ReadMode but Consensus) and
+// blocks until a replica answers from its local state machine. Reads
+// ride their own queue — they never touch the write batcher or the
+// pipeline window. Unlike do, the wait is a bare channel receive: the
+// bridge's scan timer enforces the deadline (and closeReads drains
+// stragglers at shutdown), so the hottest path in the read-heavy
+// mixes never allocates or arms a caller-side timer.
+func (b *kvBridge) doRead(cmd msg.Command, timeout time.Duration) (string, error) {
+	op := kvOp{cmd: cmd, done: make(chan kvResult, 1), timeout: timeout}
+	b.mu.Lock()
+	if b.readClosed {
+		b.mu.Unlock()
+		return "", errors.New("consensusinside: service closed")
+	}
+	b.readQueue = append(b.readQueue, op)
+	wake := !b.wakePending
+	b.wakePending = true
+	b.mu.Unlock()
+	if wake {
+		b.inject(submitMsg{})
+	}
+	res := <-op.done
+	return res.value, res.err
+}
+
+// closeReads fails every pending fast-path read and every later one.
+// The shard calls it after stopping its runtime: with the bridge node
+// gone nothing else would ever deliver, and doRead callers hold no
+// timer of their own.
+func (b *kvBridge) closeReads() {
+	b.mu.Lock()
+	b.readClosed = true
+	pending := make([]chan kvResult, 0, len(b.readQueue)+len(b.readInflight))
+	for _, op := range b.readQueue {
+		pending = append(pending, op.done)
+	}
+	b.readQueue = nil
+	for seq, op := range b.readInflight {
+		pending = append(pending, op.done)
+		delete(b.readInflight, seq)
+	}
+	for id := range b.readBatches {
+		delete(b.readBatches, id)
+	}
+	b.mu.Unlock()
+	for _, done := range pending {
+		done <- kvResult{err: errors.New("consensusinside: service closed")}
 	}
 }
 
@@ -702,6 +908,12 @@ func (b *kvBridge) Start(runtime.Context) {}
 func (b *kvBridge) Receive(ctx runtime.Context, from msg.NodeID, m msg.Message) {
 	switch mm := m.(type) {
 	case submitMsg:
+		// One wakeup drains everything enqueued since it was sent;
+		// callers arriving after this point inject a fresh one.
+		b.mu.Lock()
+		b.wakePending = false
+		b.mu.Unlock()
+		b.pumpReads(ctx)
 		b.pump(ctx, false)
 	case msg.ClientReply:
 		b.finish(mm)
@@ -711,6 +923,12 @@ func (b *kvBridge) Receive(ctx runtime.Context, from msg.NodeID, m msg.Message) 
 			b.finish(reply)
 		}
 		b.pump(ctx, false)
+	case msg.ReadReply:
+		b.finishReads([]msg.ReadReply{mm})
+		b.pumpReads(ctx)
+	case msg.ReadReplyBatch:
+		b.finishReads(mm.Replies)
+		b.pumpReads(ctx)
 	}
 }
 
@@ -732,6 +950,55 @@ func (b *kvBridge) finish(reply msg.ClientReply) {
 		op.done <- kvResult{value: reply.Result}
 	} else {
 		op.done <- kvResult{err: errors.New("consensusinside: request rejected")}
+	}
+}
+
+// finishReads retires a batch of fast-path read replies under one
+// lock. A redirect (the serving replica is not the leader, or is still
+// recovering) re-queues the read at the front of the read queue aimed
+// at the replica the reply named; the caller's pumpReads resends it.
+// Redirect chases are bounded by the caller's own timeout in doRead.
+func (b *kvBridge) finishReads(replies []msg.ReadReply) {
+	type delivery struct {
+		done chan kvResult
+		res  kvResult
+	}
+	var deliveries []delivery
+	var requeued []kvOp
+	b.mu.Lock()
+	for _, reply := range replies {
+		op, ok := b.readInflight[reply.Seq]
+		if !ok {
+			continue // stale reply from a retried read
+		}
+		delete(b.readInflight, reply.Seq)
+		if batch := op.batch; batch != nil {
+			batch.live--
+			if batch.live == 0 {
+				delete(b.readBatches, batch.id)
+			}
+		}
+		switch {
+		case reply.OK:
+			deliveries = append(deliveries, delivery{op.done, kvResult{value: reply.Result}})
+		case reply.Redirect != msg.Nobody:
+			for i, id := range b.servers {
+				if id == reply.Redirect {
+					b.readTarget = i
+					break
+				}
+			}
+			requeued = append(requeued, kvOp{cmd: op.cmd, done: op.done, deadline: op.deadline})
+		default:
+			deliveries = append(deliveries, delivery{op.done, kvResult{err: errors.New("consensusinside: read rejected")}})
+		}
+	}
+	if len(requeued) > 0 {
+		b.readQueue = append(requeued, b.readQueue...)
+	}
+	b.mu.Unlock()
+	for _, d := range deliveries {
+		d.done <- d.res
 	}
 }
 
@@ -764,6 +1031,118 @@ func (b *kvBridge) Timer(ctx runtime.Context, tag runtime.TimerTag) {
 		b.delayArmed = false
 		b.mu.Unlock()
 		b.pump(ctx, true)
+	case kvTimerReadRetry:
+		// The read lane's scan tick: sweep outstanding batches, fail
+		// reads past their deadline, resend the overdue rest — suspect
+		// their server, rotate. One ticker serves every batch, so the
+		// per-read hot path never touches a runtime timer. Ids are
+		// swept in order so the sim runtime replays resends
+		// deterministically.
+		type resend struct {
+			batch   *kvReadBatch
+			entries []msg.BatchEntry
+		}
+		now := ctx.Now()
+		var resends []resend
+		var expired []chan kvResult
+		b.mu.Lock()
+		ids := make([]uint64, 0, len(b.readBatches))
+		for id := range b.readBatches {
+			ids = append(ids, id)
+		}
+		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+		for _, id := range ids {
+			batch := b.readBatches[id]
+			if now-batch.sentAt < b.retry {
+				continue
+			}
+			entries := make([]msg.BatchEntry, 0, batch.live)
+			for _, seq := range batch.seqs {
+				op, still := b.readInflight[seq]
+				if !still || op.batch != batch {
+					continue
+				}
+				if op.deadline > 0 && now >= op.deadline {
+					delete(b.readInflight, seq)
+					batch.live--
+					expired = append(expired, op.done)
+					continue
+				}
+				entries = append(entries, msg.BatchEntry{Seq: seq, Cmd: op.cmd})
+			}
+			if len(entries) == 0 {
+				delete(b.readBatches, id)
+				continue
+			}
+			batch.sentAt = now
+			resends = append(resends, resend{batch, entries})
+		}
+		if len(resends) > 0 {
+			b.readTarget = (b.readTarget + 1) % len(b.servers)
+		}
+		target := b.servers[b.readTarget]
+		rearm := len(b.readBatches) > 0
+		b.readScanArmed = rearm
+		b.mu.Unlock()
+		for _, done := range expired {
+			done <- kvResult{err: errors.New("consensusinside: read timed out")}
+		}
+		for _, r := range resends {
+			ctx.Send(target, msg.ReadRequest{Client: b.id, Mode: int(b.readMode), Entries: r.entries})
+		}
+		if rearm {
+			ctx.After(b.retry, runtime.TimerTag{Kind: kvTimerReadRetry})
+		}
+		// Expired batches may have freed read-window slots.
+		b.pumpReads(ctx)
+	}
+}
+
+// pumpReads drains the read queue: each pass coalesces every queued
+// read (up to maxReadCoalesce) into one ReadRequest guarded by one
+// batch retry timer. Under ReadFollower the target rotates per
+// request, spreading reads across all replicas — that load spread is
+// the mode's whole point; the confirmed modes stay sticky on the
+// replica that last answered (redirects re-aim them).
+func (b *kvBridge) pumpReads(ctx runtime.Context) {
+	now := ctx.Now()
+	for {
+		b.mu.Lock()
+		if len(b.readQueue) == 0 || len(b.readBatches) >= maxReadRequests {
+			b.mu.Unlock()
+			return
+		}
+		n := len(b.readQueue)
+		if n > maxReadCoalesce {
+			n = maxReadCoalesce
+		}
+		b.readBatchID++
+		batch := &kvReadBatch{id: b.readBatchID, seqs: make([]uint64, n), live: n, sentAt: now}
+		b.readBatches[batch.id] = batch
+		entries := make([]msg.BatchEntry, n)
+		for i := 0; i < n; i++ {
+			op := b.readQueue[i]
+			dl := op.deadline
+			if dl == 0 && op.timeout > 0 {
+				dl = now + op.timeout
+			}
+			b.readSeq++
+			b.readInflight[b.readSeq] = &kvReadOp{cmd: op.cmd, done: op.done, batch: batch, deadline: dl}
+			batch.seqs[i] = b.readSeq
+			entries[i] = msg.BatchEntry{Seq: b.readSeq, Cmd: op.cmd}
+		}
+		b.readQueue = b.readQueue[n:]
+		if b.readMode == readpath.Follower {
+			b.readTarget = (b.readTarget + 1) % len(b.servers)
+		}
+		target := b.servers[b.readTarget]
+		arm := !b.readScanArmed
+		b.readScanArmed = true
+		b.mu.Unlock()
+		ctx.Send(target, msg.ReadRequest{Client: b.id, Mode: int(b.readMode), Entries: entries})
+		if arm {
+			ctx.After(b.retry, runtime.TimerTag{Kind: kvTimerReadRetry})
+		}
 	}
 }
 

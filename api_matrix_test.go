@@ -101,26 +101,46 @@ func oracle() []string {
 // transports, and agreement with the sequential oracle.
 func TestKVProtocolTransportMatrix(t *testing.T) {
 	want := oracle()
+	check := func(t *testing.T, inproc, tcp []string) {
+		t.Helper()
+		if len(inproc) != len(want) || len(tcp) != len(want) {
+			t.Fatalf("result lengths diverge: inproc %d, tcp %d, want %d",
+				len(inproc), len(tcp), len(want))
+		}
+		for i := range want {
+			if inproc[i] != want[i] {
+				t.Errorf("op %d over InProc: got %q, want %q", i, inproc[i], want[i])
+			}
+			if tcp[i] != inproc[i] {
+				t.Errorf("op %d: TCP result %q != InProc result %q", i, tcp[i], inproc[i])
+			}
+		}
+	}
 	for _, p := range Protocols() {
 		for _, batch := range []int{1, 4} {
 			p, batch := p, batch
 			t.Run(fmt.Sprintf("%v/batch%d", p, batch), func(t *testing.T) {
-				inproc := runMatrix(t, p, InProc, 1, batch)
-				tcp := runMatrix(t, p, TCP, 1, batch)
-				if len(inproc) != len(want) || len(tcp) != len(want) {
-					t.Fatalf("result lengths diverge: inproc %d, tcp %d, want %d",
-						len(inproc), len(tcp), len(want))
-				}
-				for i := range want {
-					if inproc[i] != want[i] {
-						t.Errorf("op %d over InProc: got %q, want %q", i, inproc[i], want[i])
-					}
-					if tcp[i] != inproc[i] {
-						t.Errorf("op %d: TCP result %q != InProc result %q", i, tcp[i], inproc[i])
-					}
-				}
+				check(t, runMatrix(t, p, InProc, 1, batch),
+					runMatrix(t, p, TCP, 1, batch))
 			})
 		}
+		// The read fast path's linearizable quorum-confirmed mode must
+		// serve the same sequential history as read-through-consensus on
+		// every engine and both transports (the leaderless engines take
+		// their accepted-evidence frontier path here; the leader-based
+		// ones their commit-frontier path).
+		p := p
+		t.Run(fmt.Sprintf("%v/readindex", p), func(t *testing.T) {
+			cfg := func(tr TransportKind) KVConfig {
+				return KVConfig{
+					Protocol:       p,
+					Transport:      tr,
+					ReadMode:       ReadIndex,
+					RequestTimeout: 30 * time.Second,
+				}
+			}
+			check(t, runMatrixCfg(t, cfg(InProc)), runMatrixCfg(t, cfg(TCP)))
+		})
 	}
 }
 

@@ -142,6 +142,12 @@ func TestKVConfigValidation(t *testing.T) {
 	if _, err := StartKV(KVConfig{Pipeline: 1 << 20}); err == nil {
 		t.Fatal("a pipeline deeper than the session window must be rejected")
 	}
+	if _, err := StartKV(KVConfig{ReadMode: ReadMode(99)}); err == nil {
+		t.Fatal("unknown read mode must be rejected")
+	}
+	if _, err := StartKV(KVConfig{LeaseDuration: -time.Second}); err == nil {
+		t.Fatal("negative lease duration must be rejected")
+	}
 }
 
 func TestSimFacade(t *testing.T) {

@@ -12,7 +12,8 @@
 // Experiment ids mirror DESIGN.md's per-experiment index: netchar, fig2,
 // sec2.2, latency, fig8, fig9, fig10, fig11, acceptor-switch, lan,
 // ablation-batching, ablation-pipelining, ablation-cmdbatch,
-// batch-sweep, shard-sweep, shard-sim, mencius.
+// batch-sweep, codec-sweep, recovery-sweep, read-sweep, shard-sweep,
+// shard-sim, mencius.
 //
 // With -json the run also writes a machine-readable BENCH_*.json file:
 // one object per executed experiment with its headline metrics, so
@@ -323,6 +324,60 @@ var all = []experiment{
 				m[key+"_snapshots"] = float64(p.Snap.Snapshots)
 				m[key+"_entries_truncated"] = float64(p.Snap.EntriesTruncated)
 				m[key+"_restores"] = float64(p.Snap.Restores)
+			}
+			return m
+		},
+	},
+	{
+		id:    "read-sweep",
+		about: "read fast path: mode (consensus/lease/read-index/follower) x read% (50/90/99), both transports",
+		run: func(w io.Writer, opts experiments.Opts) map[string]float64 {
+			m := map[string]float64{}
+			for _, tr := range []struct {
+				name string
+				kind consensusinside.TransportKind
+			}{
+				{"inproc", consensusinside.InProc},
+				{"tcp", consensusinside.TCP},
+			} {
+				sweep := consensusinside.ReadSweepOptions{Transport: tr.kind}
+				if opts.Quick {
+					sweep.Ops = 3000
+					sweep.ReadPercents = []int{90}
+				}
+				pts, err := consensusinside.ReadSweep(sweep)
+				if err != nil {
+					fmt.Fprintf(w, "read sweep over %s failed: %v\n", tr.name, err)
+					continue
+				}
+				fmt.Fprintf(w, "Read sweep — 1Paxos over %s, window %d, same ops per configuration\n",
+					tr.name, consensusinside.DefaultPipeline)
+				fmt.Fprintf(w, "%-12s %6s %8s %14s %10s %10s %10s %10s %12s\n",
+					"mode", "read%", "ops", "throughput", "read_p50", "read_p99", "write_p50", "write_p99", "local_reads")
+				baseline := map[int]float64{} // consensus throughput per read%
+				for _, p := range pts {
+					key := fmt.Sprintf("%s_%v_read%d", tr.name, p.Mode, p.ReadPercent)
+					fmt.Fprintf(w, "%-12v %6d %8d %12.0f/s %10v %10v %10v %10v %12d\n",
+						p.Mode, p.ReadPercent, p.Ops, p.Throughput,
+						p.ReadP50.Round(time.Microsecond), p.ReadP99.Round(time.Microsecond),
+						p.WriteP50.Round(time.Microsecond), p.WriteP99.Round(time.Microsecond),
+						p.Reads.LocalReads)
+					m[key+"_ops"] = p.Throughput
+					m[key+"_read_p50_us"] = float64(p.ReadP50) / 1e3
+					m[key+"_read_p99_us"] = float64(p.ReadP99) / 1e3
+					m[key+"_write_p50_us"] = float64(p.WriteP50) / 1e3
+					m[key+"_write_p99_us"] = float64(p.WriteP99) / 1e3
+					m[key+"_local_reads"] = float64(p.Reads.LocalReads)
+					m[key+"_index_rounds"] = float64(p.Reads.IndexRounds)
+					m[key+"_reads_per_round"] = p.Reads.ReadsPerRound()
+					if p.Mode == consensusinside.ReadConsensus {
+						baseline[p.ReadPercent] = p.Throughput
+					} else if base := baseline[p.ReadPercent]; base > 0 {
+						gain := p.Throughput / base
+						fmt.Fprintf(w, "gain at %v %d%% reads: %.2fx consensus\n", p.Mode, p.ReadPercent, gain)
+						m[key+"_speedup_v_consensus"] = gain
+					}
+				}
 			}
 			return m
 		},

@@ -18,15 +18,21 @@
 //     Replicas can crash and rejoin: CrashReplica / RestartReplica on
 //     either transport, with recovery (and bounded replica memory,
 //     KVConfig.SnapshotInterval) provided by internal/snapshot's
-//     durable-state snapshots, log compaction and catch-up protocol;
+//     durable-state snapshots, log compaction and catch-up protocol.
+//     Reads can leave the consensus path (KVConfig.ReadMode): leader
+//     leases (ReadLease, KVConfig.LeaseDuration), batched quorum-
+//     confirmed read-index rounds (ReadIndex) or stale-bounded
+//     follower reads (ReadFollower), all served from a replica's
+//     local state machine by internal/readpath;
 //   - the deterministic many-core simulator and cluster harness
 //     (NewSimCluster) used to reproduce every figure of the paper's
 //     evaluation, sweeping the same engines, client window, batch cap
 //     and shard count (SimSpec.Shards/BatchSize); and
 //   - the experiment runners themselves (the experiments re-exported
 //     through cmd/consensusbench, which can emit BENCH_*.json; the
-//     wall-clock shard, batch, codec and recovery sweeps are exported
-//     here as ShardSweep, BatchSweep, CodecSweep and RecoverySweep).
+//     wall-clock shard, batch, codec, recovery and read sweeps are
+//     exported here as ShardSweep, BatchSweep, CodecSweep,
+//     RecoverySweep and ReadSweep).
 //
 // Protocols are written once against the message-passing contract
 // (internal/runtime.Handler) and registered in internal/protocol; every

@@ -6,6 +6,7 @@ import (
 
 	"consensusinside/internal/metrics"
 	"consensusinside/internal/msg"
+	"consensusinside/internal/readpath"
 	"consensusinside/internal/rsm"
 	"consensusinside/internal/runtime"
 	"consensusinside/internal/snapshot"
@@ -64,6 +65,17 @@ type ReplicaConfig struct {
 	// Recover makes the replica stream a snapshot and log suffix from a
 	// live peer before serving clients — the restarted-replica mode.
 	Recover bool
+
+	// ReadMode selects the read fast path (internal/readpath). Basic
+	// Paxos is leaderless, so any replica serves read-index rounds: a
+	// quorum of peers reports the highest instance each has accepted,
+	// and quorum intersection covers every committed write. Lease mode
+	// degrades to read-index — there is no leader for a lease to bind.
+	ReadMode readpath.Mode
+
+	// LeaseDuration overrides readpath.DefaultLeaseDuration (only
+	// relevant after the lease-to-index degradation's round timeout).
+	LeaseDuration time.Duration
 }
 
 type originKey struct {
@@ -99,6 +111,15 @@ type Replica struct {
 	log      *rsm.Log
 	sessions *rsm.Sessions
 	snap     *snapshot.Manager
+	read     *readpath.Server
+
+	// seen is one past the highest instance this node has accepted or
+	// seen accepted — the frontier a read-index ack reports. It must
+	// track *accepted* instances, not just learned ones: a committed
+	// write has crossed a quorum of acceptors, but may not have
+	// gathered this node's learn majority yet.
+	seen int64
+
 	commits  int64
 	restarts int64
 }
@@ -167,7 +188,55 @@ func NewReplica(cfg ReplicaConfig) *Replica {
 			}
 		}
 	})
+	mode := cfg.ReadMode
+	store, _ := applier.(*rsm.KV)
+	if store == nil {
+		mode = readpath.Consensus // no local KV to serve from
+	}
+	r.read = readpath.New(readpath.Config{
+		ID:            cfg.ID,
+		Replicas:      cfg.Replicas,
+		Mode:          mode,
+		LeaseDuration: cfg.LeaseDuration,
+		Confirmers:    func() []msg.NodeID { return r.peers() },
+		NeedAcks:      r.quorum - 1,
+		Frontier:      func() int64 { return r.frontier() },
+		Applied:       func() int64 { return r.log.NextToApply() },
+		Ready:         func() bool { return r.snap.Recovered() && !r.snap.CatchingUp() },
+		Read: func(key string) (string, bool) {
+			if store == nil {
+				return "", false
+			}
+			return store.Get(key)
+		},
+	})
 	return r
+}
+
+// peers lists every replica but this one.
+func (r *Replica) peers() []msg.NodeID {
+	out := make([]msg.NodeID, 0, len(r.replicas)-1)
+	for _, id := range r.replicas {
+		if id != r.me {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// frontier is the read-index frontier this node vouches for.
+func (r *Replica) frontier() int64 {
+	if lf := r.log.LearnedFrontier(); lf > r.seen {
+		return lf
+	}
+	return r.seen
+}
+
+// observe advances the seen frontier past instance in.
+func (r *Replica) observe(in int64) {
+	if in+1 > r.seen {
+		r.seen = in + 1
+	}
 }
 
 // Commits reports applied instances.
@@ -183,6 +252,9 @@ func (r *Replica) Log() *rsm.Log { return r.log }
 // SnapshotStats reports the replica's recovery-subsystem counters.
 func (r *Replica) SnapshotStats() metrics.SnapshotStats { return r.snap.Stats() }
 
+// ReadStats reports the replica's read-fast-path counters.
+func (r *Replica) ReadStats() metrics.ReadStats { return r.read.Stats() }
+
 // Recovered reports whether this replica has finished recovering (see
 // snapshot.Manager.Recovered); trivially true unless built in Recover
 // mode. Safe from any goroutine.
@@ -192,12 +264,16 @@ func (r *Replica) Recovered() bool { return r.snap.Recovered() }
 func (r *Replica) Start(ctx runtime.Context) {
 	r.ctx = ctx
 	r.snap.Start(ctx)
+	r.read.Start(ctx)
 }
 
 // Receive dispatches one message.
 func (r *Replica) Receive(ctx runtime.Context, from msg.NodeID, m msg.Message) {
 	r.ctx = ctx
 	if r.snap.Handle(ctx, from, m) {
+		return
+	}
+	if r.read.Handle(ctx, from, m) {
 		return
 	}
 	switch mm := m.(type) {
@@ -220,6 +296,9 @@ func (r *Replica) Receive(ctx runtime.Context, from msg.NodeID, m msg.Message) {
 func (r *Replica) Timer(ctx runtime.Context, tag runtime.TimerTag) {
 	r.ctx = ctx
 	if r.snap.HandleTimer(ctx, tag) {
+		return
+	}
+	if r.read.HandleTimer(ctx, tag) {
 		return
 	}
 	switch tag.Kind {
@@ -385,6 +464,7 @@ func (r *Replica) onAccept(from msg.NodeID, m msg.BPAccept) {
 		r.ctx.Send(from, msg.BPNack{Instance: m.Instance, PN: a.Promised})
 		return
 	}
+	r.observe(m.Instance)
 	for _, id := range r.replicas {
 		r.ctx.Send(id, msg.BPAccepted{Instance: m.Instance, PN: m.PN, Value: m.Value, From: r.me})
 	}
@@ -393,6 +473,7 @@ func (r *Replica) onAccept(from msg.NodeID, m msg.BPAccept) {
 // --- Learner ---
 
 func (r *Replica) onAccepted(m msg.BPAccepted) {
+	r.observe(m.Instance)
 	if r.log.Learned(m.Instance) {
 		return
 	}
@@ -423,6 +504,7 @@ func (r *Replica) onApply(e rsm.Entry, results []string) {
 		d.cancel()
 	}
 	defer r.snap.AfterApply()
+	defer r.read.AfterApply() // confirmed reads may now be serveable
 	v := e.Value
 	if v.Client != msg.Nobody {
 		var replies []msg.ClientReply

@@ -19,6 +19,7 @@ import (
 	"consensusinside/internal/msg"
 	"consensusinside/internal/protocol"
 	_ "consensusinside/internal/protocol/all" // register every engine
+	"consensusinside/internal/readpath"
 	"consensusinside/internal/rsm"
 	"consensusinside/internal/runtime"
 	"consensusinside/internal/shard"
@@ -75,10 +76,25 @@ type Spec struct {
 	// Workload shape.
 	ThinkTime         time.Duration
 	RetryTimeout      time.Duration
-	ReadFraction      float64
 	RequestsPerClient int
 	Warmup            time.Duration
 	SeriesBucket      time.Duration
+
+	// ReadPercent in [0,100] is the percentage of client commands that
+	// are reads (Section 7.5's read workloads; Figure 10 uses 0/10/75).
+	// Validated like Shards/BatchSize.
+	ReadPercent int
+
+	// ReadMode selects the read path (readpath.Consensus by default —
+	// the paper's read-through-the-log behavior). Any other mode makes
+	// clients send reads as ReadRequest messages served from a replica's
+	// local state machine; see internal/readpath and DESIGN.md, "The
+	// read path". Validated like Shards/BatchSize.
+	ReadMode readpath.Mode
+
+	// LeaseDuration is the read-lease lifetime under readpath.Lease
+	// (0 = the readpath default).
+	LeaseDuration time.Duration
 
 	// Window is each client's pipeline depth: how many commands it keeps
 	// in flight at once. 0 or 1 is the paper's closed loop.
@@ -111,6 +127,14 @@ type Spec struct {
 	// snapshot package default); validated against the transport frame
 	// budget a real deployment of the same shape would enforce.
 	SnapshotChunkSize int
+
+	// RecoverNodes lists replica indices (within each group) that boot
+	// in recovery mode: empty state, streaming a snapshot and log
+	// suffix from their peers before serving (internal/snapshot). The
+	// sim-runtime analogue of a restarted replica rejoining — until
+	// caught up such a replica refuses every fast-path read. Indices
+	// are validated against Replicas.
+	RecoverNodes []int
 
 	// Codec names the wire encoding for the spec, mirroring
 	// KVConfig.Codec (msg.CodecWire by default; msg.CodecGob is the
@@ -183,6 +207,20 @@ func Build(spec Spec) (*Cluster, error) {
 		return nil, fmt.Errorf("cluster: snapshot chunk size %d exceeds the maximum %d",
 			spec.SnapshotChunkSize, MaxSnapshotChunk)
 	}
+	if spec.ReadPercent < 0 || spec.ReadPercent > 100 {
+		return nil, fmt.Errorf("cluster: read percent %d outside [0,100]", spec.ReadPercent)
+	}
+	for _, i := range spec.RecoverNodes {
+		if i < 0 || i >= spec.Replicas {
+			return nil, fmt.Errorf("cluster: recover node %d outside the group [0,%d)", i, spec.Replicas)
+		}
+	}
+	if !spec.ReadMode.Valid() {
+		return nil, fmt.Errorf("cluster: unknown read mode %d", int(spec.ReadMode))
+	}
+	if spec.LeaseDuration < 0 {
+		return nil, fmt.Errorf("cluster: negative lease duration %v", spec.LeaseDuration)
+	}
 	if spec.Codec == 0 {
 		spec.Codec = msg.CodecWire
 	}
@@ -225,7 +263,7 @@ func Build(spec Spec) (*Cluster, error) {
 		serverIDs := c.Groups[0]
 		for i := 0; i < spec.Replicas; i++ {
 			id := msg.NodeID(i)
-			server, err := c.newServer(id, serverIDs, true)
+			server, err := c.newServer(id, serverIDs, true, recoverIndex(spec.RecoverNodes, i))
 			if err != nil {
 				return nil, err
 			}
@@ -239,8 +277,8 @@ func Build(spec Spec) (*Cluster, error) {
 	}
 
 	for _, group := range c.Groups {
-		for _, id := range group {
-			server, err := c.newServer(id, group, false)
+		for gi, id := range group {
+			server, err := c.newServer(id, group, false, recoverIndex(spec.RecoverNodes, gi))
 			if err != nil {
 				return nil, err
 			}
@@ -279,7 +317,8 @@ func (c *Cluster) clientConfig(id msg.NodeID, i int) workload.Config {
 		Requests:     spec.RequestsPerClient,
 		ThinkTime:    spec.ThinkTime,
 		RetryTimeout: spec.RetryTimeout,
-		ReadFraction: spec.ReadFraction,
+		ReadPercent:  spec.ReadPercent,
+		ReadMode:     spec.ReadMode,
 		Window:       spec.Window,
 		BatchSize:    spec.BatchSize,
 		BatchDelay:   spec.BatchDelay,
@@ -295,7 +334,7 @@ func (c *Cluster) clientConfig(id msg.NodeID, i int) workload.Config {
 	return cfg
 }
 
-func (c *Cluster) newServer(id msg.NodeID, serverIDs []msg.NodeID, joint bool) (Server, error) {
+func (c *Cluster) newServer(id msg.NodeID, serverIDs []msg.NodeID, joint, recover bool) (Server, error) {
 	spec := c.Spec
 	return protocol.Build(spec.Protocol, protocol.Config{
 		ID:                id,
@@ -307,7 +346,20 @@ func (c *Cluster) newServer(id msg.NodeID, serverIDs []msg.NodeID, joint bool) (
 		LocalReads:        spec.LocalReads,
 		SnapshotInterval:  spec.SnapshotInterval,
 		SnapshotChunkSize: spec.SnapshotChunkSize,
+		Recover:           recover,
+		ReadMode:          spec.ReadMode,
+		LeaseDuration:     spec.LeaseDuration,
 	})
+}
+
+// recoverIndex reports whether group index gi is listed in recover.
+func recoverIndex(recover []int, gi int) bool {
+	for _, i := range recover {
+		if i == gi {
+			return true
+		}
+	}
+	return false
 }
 
 // Start launches all nodes.
@@ -349,24 +401,45 @@ type RunStats struct {
 	Measured   int // completions after warmup
 	Throughput float64
 	Latency    metrics.Summary
-	Retries    int
+	// ReadLatency and WriteLatency split Latency per op kind; a run with
+	// no reads (or no writes) leaves the corresponding summary zero.
+	ReadLatency  metrics.Summary
+	WriteLatency metrics.Summary
+	Retries      int
 }
 
 // ClientStats folds all clients' post-warmup measurements; throughput is
 // measured ops over the [warmup, now] window.
 func (c *Cluster) ClientStats() RunStats {
 	var stats RunStats
-	var hist metrics.Histogram
+	var hist, readHist, writeHist metrics.Histogram
 	for _, cl := range c.Clients {
 		stats.Completed += cl.Completed()
 		stats.Retries += cl.Retries()
 		n, _, _ := cl.MeasuredOps()
 		stats.Measured += n
 		hist.Merge(cl.Latencies())
+		readHist.Merge(cl.ReadLatencies())
+		writeHist.Merge(cl.WriteLatencies())
 	}
 	window := c.Net.Now() - c.Spec.Warmup
 	stats.Throughput = metrics.Throughput(stats.Measured, window)
 	stats.Latency = hist.Summarize()
+	stats.ReadLatency = readHist.Summarize()
+	stats.WriteLatency = writeHist.Summarize()
+	return stats
+}
+
+// ReadStats folds the read fast path's counters across every replica —
+// all zeros under readpath.Consensus, where reads travel the write
+// path.
+func (c *Cluster) ReadStats() metrics.ReadStats {
+	var stats metrics.ReadStats
+	for _, s := range c.Servers {
+		if rs, ok := s.(protocol.ReadStatser); ok {
+			stats.Merge(rs.ReadStats())
+		}
+	}
 	return stats
 }
 
@@ -473,7 +546,7 @@ func (j *jointHandler) Start(ctx runtime.Context) {
 
 func (j *jointHandler) Receive(ctx runtime.Context, from msg.NodeID, m msg.Message) {
 	switch m.(type) {
-	case msg.ClientReply, msg.ClientReplyBatch:
+	case msg.ClientReply, msg.ClientReplyBatch, msg.ReadReply, msg.ReadReplyBatch:
 		j.client.Receive(ctx, from, m)
 	default:
 		j.server.Receive(ctx, from, m)

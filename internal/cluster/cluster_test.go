@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"consensusinside/internal/msg"
+	"consensusinside/internal/readpath"
 	"consensusinside/internal/rsm"
 	"consensusinside/internal/shard"
 	"consensusinside/internal/simnet"
@@ -238,6 +239,18 @@ func TestBuildValidation(t *testing.T) {
 	}
 	if _, err := Build(Spec{Protocol: OnePaxos, Machine: topology.Opteron48(), Replicas: 3, Codec: msg.Codec(99)}); err == nil {
 		t.Error("unknown codec must be rejected")
+	}
+	if _, err := Build(Spec{Protocol: OnePaxos, Machine: topology.Opteron48(), Replicas: 3, ReadMode: readpath.Mode(99)}); err == nil {
+		t.Error("unknown read mode must be rejected")
+	}
+	if _, err := Build(Spec{Protocol: OnePaxos, Machine: topology.Opteron48(), Replicas: 3, ReadPercent: 101}); err == nil {
+		t.Error("read percent beyond 100 must be rejected")
+	}
+	if _, err := Build(Spec{Protocol: OnePaxos, Machine: topology.Opteron48(), Replicas: 3, LeaseDuration: -time.Second}); err == nil {
+		t.Error("negative lease duration must be rejected")
+	}
+	if _, err := Build(Spec{Protocol: OnePaxos, Machine: topology.Opteron48(), Replicas: 3, RecoverNodes: []int{3}}); err == nil {
+		t.Error("recover index outside the group must be rejected")
 	}
 	for _, codec := range []msg.Codec{0, msg.CodecWire, msg.CodecGob} {
 		if _, err := Build(Spec{Protocol: OnePaxos, Machine: topology.Opteron48(), Replicas: 3, Clients: 1, Codec: codec}); err != nil {

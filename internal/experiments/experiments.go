@@ -369,6 +369,11 @@ func PrintFig9(w io.Writer, series map[string][]Fig9Point) {
 // Figure 10: read workloads (2PC-Joint local reads vs 1Paxos)
 // ---------------------------------------------------------------------------
 
+// Fig10ReadPercents are the read-traffic mixes Figure 10 sweeps; the
+// read-sweep benchmark shares the same workload knob
+// (workload.Config.ReadPercent).
+var Fig10ReadPercents = []int{0, 10, 75}
+
 // Fig10Row is one bar of Figure 10.
 type Fig10Row struct {
 	Label      string
@@ -402,22 +407,22 @@ func Fig10(opts Opts) []Fig10Row {
 			Clients:    clients,
 			Throughput: onep.ClientStats().Throughput,
 		})
-		for _, read := range []float64{0, 0.10, 0.75} {
+		for _, read := range Fig10ReadPercents {
 			c := cluster.MustBuild(cluster.Spec{
-				Protocol:     cluster.TwoPC,
-				Machine:      topology.Opteron48(),
-				Cost:         simnet.ManyCore(),
-				Seed:         opts.Seed,
-				Replicas:     clients,
-				Joint:        true,
-				ReadFraction: read,
-				LocalReads:   true,
-				Warmup:       opts.Warmup,
+				Protocol:    cluster.TwoPC,
+				Machine:     topology.Opteron48(),
+				Cost:        simnet.ManyCore(),
+				Seed:        opts.Seed,
+				Replicas:    clients,
+				Joint:       true,
+				ReadPercent: read,
+				LocalReads:  true,
+				Warmup:      opts.Warmup,
 			})
 			c.Start()
 			c.RunFor(opts.Warmup + opts.Duration)
 			out = append(out, Fig10Row{
-				Label:      fmt.Sprintf("2PC-Joint - %d%% read", int(read*100)),
+				Label:      fmt.Sprintf("2PC-Joint - %d%% read", read),
 				Clients:    clients,
 				Throughput: c.ClientStats().Throughput,
 			})

@@ -21,6 +21,7 @@ import (
 
 	"consensusinside/internal/metrics"
 	"consensusinside/internal/msg"
+	"consensusinside/internal/readpath"
 	"consensusinside/internal/rsm"
 	"consensusinside/internal/runtime"
 	"consensusinside/internal/snapshot"
@@ -52,6 +53,17 @@ type Config struct {
 	// Recover makes the replica stream a snapshot and log suffix from a
 	// live peer before serving clients — the restarted-replica mode.
 	Recover bool
+
+	// ReadMode selects the read fast path (internal/readpath). Mencius
+	// is leaderless, so any replica serves read-index rounds: a quorum
+	// of peers reports the highest instance each has seen accepted, and
+	// quorum intersection covers every committed write. Lease mode
+	// degrades to read-index — there is no leader for a lease to bind.
+	ReadMode readpath.Mode
+
+	// LeaseDuration overrides readpath.DefaultLeaseDuration (only
+	// relevant after the lease-to-index degradation's round timeout).
+	LeaseDuration time.Duration
 }
 
 // Replica is one Mencius node: owner-proposer for its instance share,
@@ -72,6 +84,14 @@ type Replica struct {
 	log      *rsm.Log
 	sessions *rsm.Sessions
 	snap     *snapshot.Manager
+	read     *readpath.Server
+
+	// seen is one past the highest instance this node has observed an
+	// accept, learn or skip for — the frontier a read-index ack reports.
+	// It must track *accepted* instances, not just learned ones: a
+	// committed write has crossed a quorum of acceptors, but may not
+	// have gathered this node's learn majority yet.
+	seen int64
 
 	commits int64
 	skips   int64
@@ -138,7 +158,55 @@ func New(cfg Config) *Replica {
 			r.nextOwned = next
 		}
 	})
+	mode := cfg.ReadMode
+	store, _ := applier.(*rsm.KV)
+	if store == nil {
+		mode = readpath.Consensus // no local KV to serve from
+	}
+	r.read = readpath.New(readpath.Config{
+		ID:            cfg.ID,
+		Replicas:      cfg.Replicas,
+		Mode:          mode,
+		LeaseDuration: cfg.LeaseDuration,
+		Confirmers:    func() []msg.NodeID { return r.peers() },
+		NeedAcks:      r.quorum - 1,
+		Frontier:      func() int64 { return r.frontier() },
+		Applied:       func() int64 { return r.log.NextToApply() },
+		Ready:         func() bool { return r.snap.Recovered() && !r.snap.CatchingUp() },
+		Read: func(key string) (string, bool) {
+			if store == nil {
+				return "", false
+			}
+			return store.Get(key)
+		},
+	})
 	return r
+}
+
+// peers lists every replica but this one.
+func (r *Replica) peers() []msg.NodeID {
+	out := make([]msg.NodeID, 0, len(r.replicas)-1)
+	for _, id := range r.replicas {
+		if id != r.me {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// frontier is the read-index frontier this node vouches for.
+func (r *Replica) frontier() int64 {
+	if lf := r.log.LearnedFrontier(); lf > r.seen {
+		return lf
+	}
+	return r.seen
+}
+
+// observe advances the seen frontier past instance in.
+func (r *Replica) observe(in int64) {
+	if in+1 > r.seen {
+		r.seen = in + 1
+	}
 }
 
 // Commits reports applied instances (skips included).
@@ -153,6 +221,9 @@ func (r *Replica) Log() *rsm.Log { return r.log }
 // SnapshotStats reports the replica's recovery-subsystem counters.
 func (r *Replica) SnapshotStats() metrics.SnapshotStats { return r.snap.Stats() }
 
+// ReadStats reports the replica's read-fast-path counters.
+func (r *Replica) ReadStats() metrics.ReadStats { return r.read.Stats() }
+
 // Recovered reports whether this replica has finished recovering (see
 // snapshot.Manager.Recovered); trivially true unless built in Recover
 // mode. Safe from any goroutine.
@@ -162,13 +233,18 @@ func (r *Replica) Recovered() bool { return r.snap.Recovered() }
 func (r *Replica) Start(ctx runtime.Context) {
 	r.ctx = ctx
 	r.snap.Start(ctx)
+	r.read.Start(ctx)
 }
 
 // Timer implements runtime.Handler; the common-case protocol is
-// timer-free, so only the recovery subsystem's timers land here.
+// timer-free, so only the recovery subsystem's and read path's timers
+// land here.
 func (r *Replica) Timer(ctx runtime.Context, tag runtime.TimerTag) {
 	r.ctx = ctx
-	r.snap.HandleTimer(ctx, tag)
+	if r.snap.HandleTimer(ctx, tag) {
+		return
+	}
+	r.read.HandleTimer(ctx, tag)
 }
 
 // Receive dispatches one message.
@@ -183,6 +259,9 @@ func (r *Replica) Receive(ctx runtime.Context, from msg.NodeID, m msg.Message) {
 			// up now rather than waiting for a fresh foreign accept.
 			r.skipBelow(r.log.LearnedFrontier())
 		}
+		return
+	}
+	if r.read.Handle(ctx, from, m) {
 		return
 	}
 	switch mm := m.(type) {
@@ -218,6 +297,7 @@ func (r *Replica) onClientRequest(req msg.ClientRequest) {
 	}
 	in := r.nextOwned
 	r.nextOwned += int64(len(r.replicas))
+	r.observe(in)
 	v := msg.NewValue(req.Client, req.Ack, entries)
 	r.proposed[in] = v
 	for _, be := range entries {
@@ -232,6 +312,7 @@ func (r *Replica) onClientRequest(req msg.ClientRequest) {
 // numbers (only the owner may propose its instances), so the accept is
 // taken directly and echoed to all learners.
 func (r *Replica) onAccept(from msg.NodeID, m msg.MencAccept) {
+	r.observe(m.Instance)
 	r.skipBelow(m.Instance)
 	for _, id := range r.replicas {
 		r.ctx.Send(id, msg.MencLearn{Instance: m.Instance, Value: m.Value, From: r.me})
@@ -241,6 +322,7 @@ func (r *Replica) onAccept(from msg.NodeID, m msg.MencAccept) {
 
 // onLearn is the learner role: majority acceptance decides.
 func (r *Replica) onLearn(m msg.MencLearn) {
+	r.observe(m.Instance)
 	if r.log.Learned(m.Instance) {
 		return
 	}
@@ -259,6 +341,7 @@ func (r *Replica) onLearn(m msg.MencLearn) {
 // onSkip applies an owner's authoritative no-op fill for its own unused
 // instances: only the owner may propose there, so its skip decides.
 func (r *Replica) onSkip(m msg.MencSkip) {
+	r.observe(m.ToInstance - 1)
 	n := int64(len(r.replicas))
 	for in := m.FromInstance; in < m.ToInstance; in += n {
 		if !r.log.Learned(in) {
@@ -290,6 +373,7 @@ func (r *Replica) skipBelow(observed int64) {
 func (r *Replica) onApply(e rsm.Entry, results []string) {
 	r.commits++
 	defer r.snap.AfterApply() // skip noops advance the snapshot cadence too
+	defer r.read.AfterApply() // confirmed reads may now be serveable
 	v := e.Value
 	if v.Client == msg.Nobody {
 		return

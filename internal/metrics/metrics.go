@@ -338,6 +338,49 @@ func (s *SnapshotStats) Merge(other SnapshotStats) {
 	s.Restores += other.Restores
 }
 
+// ReadStats is a snapshot of one replica's read-path counters
+// (internal/readpath): how many reads it served without consensus, how
+// the read-index rounds batched, and how the lease machinery behaved.
+// KV.ReadStats and cluster deployments fold per-replica snapshots into
+// service totals.
+type ReadStats struct {
+	LocalReads    int64 // reads served from the local state machine with no quorum round
+	FollowerReads int64 // subset of LocalReads served in follower (stale-bounded) mode
+	IndexRounds   int64 // read-index confirmation rounds completed
+	IndexReads    int64 // reads served through read-index rounds
+	LeaseRenewals int64 // lease rounds completed by an already-holding leader
+	LeaseExpiries int64 // leases that lapsed before a renewal landed
+	Fallbacks     int64 // lease-path reads demoted to a quorum round (no valid lease)
+	Redirects     int64 // reads bounced to another replica (not leader, or catching up)
+
+	// Rounds is the reads-per-round occupancy histogram: one sample per
+	// read-index round, counting the reads it served (renewal rounds
+	// carrying no reads are not recorded).
+	Rounds BatchOccupancy
+}
+
+// Merge folds other's counts into s.
+func (s *ReadStats) Merge(other ReadStats) {
+	s.LocalReads += other.LocalReads
+	s.FollowerReads += other.FollowerReads
+	s.IndexRounds += other.IndexRounds
+	s.IndexReads += other.IndexReads
+	s.LeaseRenewals += other.LeaseRenewals
+	s.LeaseExpiries += other.LeaseExpiries
+	s.Fallbacks += other.Fallbacks
+	s.Redirects += other.Redirects
+	s.Rounds.Merge(&other.Rounds)
+}
+
+// ReadsPerRound reports the average reads served per read-index round
+// (0 with no rounds) — the read-path coalescing win.
+func (s ReadStats) ReadsPerRound() float64 {
+	if s.IndexRounds == 0 {
+		return 0
+	}
+	return float64(s.IndexReads) / float64(s.IndexRounds)
+}
+
 // Counter is a labeled monotonic counter set, used for per-node message
 // accounting (e.g. messages sent/received by the leader).
 type Counter struct {

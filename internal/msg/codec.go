@@ -82,6 +82,11 @@ const (
 	tagCatchupRequest
 	tagSnapshotChunk
 	tagCatchupEntries
+	tagReadRequest
+	tagReadReply
+	tagReadReplyBatch
+	tagReadIndexRequest
+	tagReadIndexAck
 )
 
 // HelloTag is the reserved frame tag for the transport's connection
@@ -129,6 +134,11 @@ var wireTypes = []struct {
 	{tagCatchupRequest, func(d *wire.Decoder) Message { var m CatchupRequest; m.UnmarshalWire(d); return m }},
 	{tagSnapshotChunk, func(d *wire.Decoder) Message { var m SnapshotChunk; m.UnmarshalWire(d); return m }},
 	{tagCatchupEntries, func(d *wire.Decoder) Message { var m CatchupEntries; m.UnmarshalWire(d); return m }},
+	{tagReadRequest, func(d *wire.Decoder) Message { var m ReadRequest; m.UnmarshalWire(d); return m }},
+	{tagReadReply, func(d *wire.Decoder) Message { var m ReadReply; m.UnmarshalWire(d); return m }},
+	{tagReadReplyBatch, func(d *wire.Decoder) Message { var m ReadReplyBatch; m.UnmarshalWire(d); return m }},
+	{tagReadIndexRequest, func(d *wire.Decoder) Message { var m ReadIndexRequest; m.UnmarshalWire(d); return m }},
+	{tagReadIndexAck, func(d *wire.Decoder) Message { var m ReadIndexAck; m.UnmarshalWire(d); return m }},
 }
 
 // wireDec indexes wireTypes by tag for the decode hot path.
@@ -218,6 +228,16 @@ func wireTagOf(m Message) (byte, bool) {
 		return tagSnapshotChunk, true
 	case CatchupEntries:
 		return tagCatchupEntries, true
+	case ReadRequest:
+		return tagReadRequest, true
+	case ReadReply:
+		return tagReadReply, true
+	case ReadReplyBatch:
+		return tagReadReplyBatch, true
+	case ReadIndexRequest:
+		return tagReadIndexRequest, true
+	case ReadIndexAck:
+		return tagReadIndexAck, true
 	default:
 		return 0, false
 	}
@@ -916,4 +936,94 @@ func (m *CatchupEntries) UnmarshalWire(d *wire.Decoder) {
 		}
 	}
 	m.Done = d.Bool()
+}
+
+// ---------------------------------------------------------------------------
+// Read fast path
+// ---------------------------------------------------------------------------
+
+// MarshalWire appends the message body (no tag); see AppendEnvelope.
+func (m ReadRequest) MarshalWire(b []byte) []byte {
+	b = wire.AppendVarint(b, int64(m.Client))
+	b = wire.AppendVarint(b, int64(m.Mode))
+	return appendBatch(b, m.Entries)
+}
+
+// UnmarshalWire decodes the MarshalWire body; errors stick to d.
+func (m *ReadRequest) UnmarshalWire(d *wire.Decoder) {
+	m.Client = NodeID(d.Varint())
+	m.Mode = int(d.Varint())
+	m.Entries = decodeBatch(d)
+}
+
+// MarshalWire appends the message body (no tag); see AppendEnvelope.
+func (m ReadReply) MarshalWire(b []byte) []byte {
+	b = wire.AppendUvarint(b, m.Seq)
+	b = wire.AppendBool(b, m.OK)
+	b = wire.AppendString(b, m.Result)
+	return wire.AppendVarint(b, int64(m.Redirect))
+}
+
+// UnmarshalWire decodes the MarshalWire body; errors stick to d.
+func (m *ReadReply) UnmarshalWire(d *wire.Decoder) {
+	m.Seq = d.Uvarint()
+	m.OK = d.Bool()
+	m.Result = d.String()
+	m.Redirect = NodeID(d.Varint())
+}
+
+// MarshalWire appends the message body (no tag); see AppendEnvelope.
+func (m ReadReplyBatch) MarshalWire(b []byte) []byte {
+	b = wire.AppendUvarint(b, uint64(len(m.Replies)))
+	for _, r := range m.Replies {
+		b = r.MarshalWire(b)
+	}
+	return b
+}
+
+// UnmarshalWire decodes the MarshalWire body; errors stick to d.
+func (m *ReadReplyBatch) UnmarshalWire(d *wire.Decoder) {
+	n := d.SliceLen()
+	if n == 0 {
+		m.Replies = nil
+		return
+	}
+	m.Replies = make([]ReadReply, 0, min(n, decodeSliceCap))
+	for i := 0; i < n; i++ {
+		var r ReadReply
+		r.UnmarshalWire(d)
+		if d.Err() != nil {
+			m.Replies = nil
+			return
+		}
+		m.Replies = append(m.Replies, r)
+	}
+}
+
+// MarshalWire appends the message body (no tag); see AppendEnvelope.
+func (m ReadIndexRequest) MarshalWire(b []byte) []byte {
+	b = wire.AppendUvarint(b, m.Round)
+	return wire.AppendBool(b, m.Lease)
+}
+
+// UnmarshalWire decodes the MarshalWire body; errors stick to d.
+func (m *ReadIndexRequest) UnmarshalWire(d *wire.Decoder) {
+	m.Round = d.Uvarint()
+	m.Lease = d.Bool()
+}
+
+// MarshalWire appends the message body (no tag); see AppendEnvelope.
+func (m ReadIndexAck) MarshalWire(b []byte) []byte {
+	b = wire.AppendUvarint(b, m.Round)
+	b = wire.AppendBool(b, m.OK)
+	b = wire.AppendVarint(b, m.Frontier)
+	return wire.AppendVarint(b, m.Hold)
+}
+
+// UnmarshalWire decodes the MarshalWire body; errors stick to d.
+func (m *ReadIndexAck) UnmarshalWire(d *wire.Decoder) {
+	m.Round = d.Uvarint()
+	m.OK = d.Bool()
+	m.Frontier = d.Varint()
+	m.Hold = d.Varint()
 }

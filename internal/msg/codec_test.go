@@ -99,6 +99,19 @@ func wireSamples() []Message {
 		CatchupEntries{},
 		CatchupEntries{Done: true},
 		CatchupEntries{Entries: []Decided{{Instance: -1, Value: Value{}}, {Instance: 7, Value: batched}}, Done: true},
+		// Read fast path.
+		ReadRequest{},
+		ReadRequest{Client: Nobody, Mode: 3, Entries: []BatchEntry{}},
+		ReadRequest{Client: 2, Mode: 1, Entries: bigBatch},
+		ReadReply{},
+		ReadReply{Seq: math.MaxUint64, OK: true, Result: bigString, Redirect: Nobody},
+		ReadReplyBatch{},
+		ReadReplyBatch{Replies: []ReadReply{}},
+		ReadReplyBatch{Replies: []ReadReply{{Seq: 1, OK: true, Result: "v"}, {Seq: 2, Redirect: 2}}},
+		ReadIndexRequest{},
+		ReadIndexRequest{Round: math.MaxUint64, Lease: true},
+		ReadIndexAck{},
+		ReadIndexAck{Round: 9, OK: true, Frontier: -1, Hold: 1 << 40},
 	}
 }
 

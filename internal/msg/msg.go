@@ -639,6 +639,90 @@ func (CatchupRequest) Kind() string { return "catchup_request" }
 func (SnapshotChunk) Kind() string  { return "snapshot_chunk" }
 func (CatchupEntries) Kind() string { return "catchup_entries" }
 
+// ---------------------------------------------------------------------------
+// Read fast path (internal/readpath)
+// ---------------------------------------------------------------------------
+
+// ReadRequest carries a coalesced batch of read-only commands from a
+// client to a replica's read path (internal/readpath), bypassing
+// agreement entirely. Read sequence numbers live in their own per-client
+// space, disjoint from the write path's: a read never occupies a log
+// instance or a session slot, so it must not consume the dense sequence
+// numbers the replicas' session tables screen. Mode echoes the client's
+// configured read mode (readpath.Mode) for diagnostics; replicas serve
+// according to their own configuration.
+type ReadRequest struct {
+	Client  NodeID
+	Mode    int
+	Entries []BatchEntry
+}
+
+// ReadReply answers one entry of a ReadRequest. Result carries the
+// read value exactly as a committed OpGet would have produced it.
+// Redirect (valid when !OK) names the replica the client should retry
+// at — the current leader, or any recovered peer when the serving
+// replica is still catching up.
+type ReadReply struct {
+	Seq      uint64
+	OK       bool
+	Result   string
+	Redirect NodeID
+}
+
+// ReadReplyBatch answers several reads of one client in a single
+// message — the reply half of read coalescing, mirroring
+// ClientReplyBatch for writes.
+type ReadReplyBatch struct {
+	Replies []ReadReply
+}
+
+// ReadIndexRequest is the read path's one-round quorum confirmation:
+// the serving replica captures its commit frontier, then asks its
+// confirmers (the active acceptor for 1Paxos, a peer quorum otherwise)
+// to vouch that it may serve — that they still recognize it as leader,
+// or simply to report their own frontiers on leaderless engines. With
+// Lease set the granted confirmation doubles as a time-bound lease:
+// the granter promises not to help depose the holder until the lease
+// expires, so the holder may serve reads locally without further
+// rounds.
+type ReadIndexRequest struct {
+	Round uint64
+	Lease bool
+}
+
+// ReadIndexAck answers a ReadIndexRequest. Frontier is the granter's
+// commit frontier (valid when OK); the serving replica waits until its
+// applied state covers the highest frontier of the round before
+// serving. Hold (valid when !OK on a lease request) is how long a
+// conflicting unexpired lease still runs, so the refused holder knows
+// when to retry.
+type ReadIndexAck struct {
+	Round    uint64
+	OK       bool
+	Frontier int64
+	Hold     int64
+}
+
+func (ReadRequest) Kind() string      { return "read_request" }
+func (ReadReply) Kind() string        { return "read_reply" }
+func (ReadReplyBatch) Kind() string   { return "read_reply_batch" }
+func (ReadIndexRequest) Kind() string { return "read_index_request" }
+func (ReadIndexAck) Kind() string     { return "read_index_ack" }
+
+// WrapReadReplies packs one client's read replies into a single
+// message, mirroring WrapReplies: the bare reply for exactly one, a
+// ReadReplyBatch otherwise, nil for none.
+func WrapReadReplies(replies []ReadReply) Message {
+	switch len(replies) {
+	case 0:
+		return nil
+	case 1:
+		return replies[0]
+	default:
+		return ReadReplyBatch{Replies: replies}
+	}
+}
+
 // registerOnce makes Register idempotent: the gob registry is global
 // process state, and every layer that opens a gob-coded channel (each
 // KV shard, every test package) wants to be able to call Register
@@ -694,6 +778,11 @@ var gobTypes = []Message{
 	CatchupRequest{},
 	SnapshotChunk{},
 	CatchupEntries{},
+	ReadRequest{},
+	ReadReply{},
+	ReadReplyBatch{},
+	ReadIndexRequest{},
+	ReadIndexAck{},
 }
 
 func registerGob() {

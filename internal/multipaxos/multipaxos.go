@@ -19,6 +19,7 @@ import (
 	"consensusinside/internal/basicpaxos"
 	"consensusinside/internal/metrics"
 	"consensusinside/internal/msg"
+	"consensusinside/internal/readpath"
 	"consensusinside/internal/rsm"
 	"consensusinside/internal/runtime"
 	"consensusinside/internal/snapshot"
@@ -70,6 +71,16 @@ type Config struct {
 	// Recover makes the replica stream a snapshot and log suffix from a
 	// live peer before serving clients — the restarted-replica mode.
 	Recover bool
+
+	// ReadMode selects the read fast path (internal/readpath).
+	// Multi-Paxos confirms read rounds with a quorum of peers: any
+	// committed write crossed a majority of acceptors, each of which
+	// recorded its leader, so quorum intersection guarantees a refusal
+	// if a newer leader has committed anything.
+	ReadMode readpath.Mode
+
+	// LeaseDuration overrides readpath.DefaultLeaseDuration.
+	LeaseDuration time.Duration
 }
 
 // Replica is one collapsed Multi-Paxos node.
@@ -104,6 +115,7 @@ type Replica struct {
 	log      *rsm.Log
 	sessions *rsm.Sessions
 	snap     *snapshot.Manager
+	read     *readpath.Server
 	// noopFloor is the highest compaction floor carried by any promise:
 	// instances below it were decided and compacted at a peer, so a
 	// winning proposer must wait for the catch-up push rather than fill
@@ -182,11 +194,70 @@ func New(cfg Config) *Replica {
 			r.nextInst = last + 1
 		}
 	})
+	mode := cfg.ReadMode
+	store, _ := applier.(*rsm.KV)
+	if store == nil {
+		mode = readpath.Consensus // no local KV to serve from
+	}
+	r.read = readpath.New(readpath.Config{
+		ID:            cfg.ID,
+		Replicas:      cfg.Replicas,
+		Mode:          mode,
+		LeaseDuration: cfg.LeaseDuration,
+		HasLeader:     true,
+		LeaseCapable:  true,
+		IsLeader:      func() bool { return r.iAmLeader },
+		Leader:        func() msg.NodeID { return r.knownLeader },
+		Confirmers:    func() []msg.NodeID { return r.peers() },
+		// Majority minus this node: together with the reader itself the
+		// round covers a quorum, which intersects every committed
+		// write's accept quorum.
+		NeedAcks: r.quorum - 1,
+		Grant:    func(from msg.NodeID) bool { return r.knownLeader == from },
+		// A freshly-won leadership is invisible to peers until an accept
+		// reaches them; committing a no-op makes the next round confirm.
+		Establish: func() {
+			if r.iAmLeader {
+				r.proposeValue(msg.Value{Client: msg.Nobody, Cmd: msg.Command{Op: msg.OpNoop}})
+			}
+		},
+		// nextInst covers everything this leader may commit, including
+		// carried-over proposals from a takeover not yet re-learned.
+		Frontier: func() int64 {
+			f := r.nextInst
+			if lf := r.log.LearnedFrontier(); lf > f {
+				f = lf
+			}
+			return f
+		},
+		Applied: func() int64 { return r.log.NextToApply() },
+		Ready:   func() bool { return r.snap.Recovered() && !r.snap.CatchingUp() },
+		Read: func(key string) (string, bool) {
+			if store == nil {
+				return "", false
+			}
+			return store.Get(key)
+		},
+	})
 	return r
+}
+
+// peers lists every replica but this one.
+func (r *Replica) peers() []msg.NodeID {
+	out := make([]msg.NodeID, 0, len(r.replicas)-1)
+	for _, id := range r.replicas {
+		if id != r.me {
+			out = append(out, id)
+		}
+	}
+	return out
 }
 
 // IsLeader reports whether this node currently leads.
 func (r *Replica) IsLeader() bool { return r.iAmLeader }
+
+// KnownLeader reports this node's view of the current leader.
+func (r *Replica) KnownLeader() msg.NodeID { return r.knownLeader }
 
 // Commits reports how many instances this node has applied.
 func (r *Replica) Commits() int64 { return r.commits }
@@ -199,6 +270,12 @@ func (r *Replica) Log() *rsm.Log { return r.log }
 
 // SnapshotStats reports the replica's recovery-subsystem counters.
 func (r *Replica) SnapshotStats() metrics.SnapshotStats { return r.snap.Stats() }
+
+// ReadStats reports the replica's read-fast-path counters.
+func (r *Replica) ReadStats() metrics.ReadStats { return r.read.Stats() }
+
+// ReadPath exposes the read-path server for tests (clock-skew hooks).
+func (r *Replica) ReadPath() *readpath.Server { return r.read }
 
 // Recovered reports whether this replica has finished recovering (see
 // snapshot.Manager.Recovered); trivially true unless built in Recover
@@ -213,6 +290,7 @@ func (r *Replica) Recovered() bool { return r.snap.Recovered() }
 func (r *Replica) Start(ctx runtime.Context) {
 	r.ctx = ctx
 	r.snap.Start(ctx)
+	r.read.Start(ctx)
 	// A recovering replica rejoins as a follower: it must learn what the
 	// group decided before it may compete for leadership.
 	if r.me == r.replicas[0] && !r.cfg.Recover {
@@ -224,6 +302,9 @@ func (r *Replica) Start(ctx runtime.Context) {
 func (r *Replica) Receive(ctx runtime.Context, from msg.NodeID, m msg.Message) {
 	r.ctx = ctx
 	if r.snap.Handle(ctx, from, m) {
+		return
+	}
+	if r.read.Handle(ctx, from, m) {
 		return
 	}
 	switch mm := m.(type) {
@@ -246,6 +327,9 @@ func (r *Replica) Receive(ctx runtime.Context, from msg.NodeID, m msg.Message) {
 func (r *Replica) Timer(ctx runtime.Context, tag runtime.TimerTag) {
 	r.ctx = ctx
 	if r.snap.HandleTimer(ctx, tag) {
+		return
+	}
+	if r.read.HandleTimer(ctx, tag) {
 		return
 	}
 	switch tag.Kind {
@@ -332,6 +416,15 @@ func (r *Replica) startPrepare() {
 func (r *Replica) onPrepare(from msg.NodeID, m msg.MPPrepare) {
 	if m.PN > r.maxPNSeen {
 		r.maxPNSeen = m.PN
+	}
+	if r.read.PrepareHold(from) > 0 {
+		// An unexpired read lease binds this acceptor to another leader:
+		// promising from now would let a new leader commit writes the
+		// lease holder never sees while still serving local reads. The
+		// nack sends the challenger into its jittered retry loop, which
+		// outlives any lease.
+		r.ctx.Send(from, msg.MPNack{PN: r.hpn})
+		return
 	}
 	if m.PN > r.hpn {
 		r.hpn = m.PN
@@ -501,6 +594,7 @@ func (r *Replica) onApply(e rsm.Entry, results []string) {
 	delete(r.proposed, e.Instance)
 	delete(r.outstanding, e.Instance)
 	defer r.snap.AfterApply() // noops advance the snapshot cadence too
+	defer r.read.AfterApply() // confirmed reads may now be serveable
 	v := e.Value
 	if v.Client == msg.Nobody {
 		return

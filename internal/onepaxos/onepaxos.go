@@ -35,6 +35,7 @@ import (
 	"consensusinside/internal/metrics"
 	"consensusinside/internal/msg"
 	"consensusinside/internal/paxosutil"
+	"consensusinside/internal/readpath"
 	"consensusinside/internal/rsm"
 	"consensusinside/internal/runtime"
 	"consensusinside/internal/snapshot"
@@ -102,6 +103,16 @@ type Config struct {
 	// Recover makes the replica stream a snapshot and log suffix from a
 	// live peer before serving clients — the restarted-replica mode.
 	Recover bool
+
+	// ReadMode selects the read fast path (internal/readpath). 1Paxos
+	// confirms read rounds — and anchors leases — at its single active
+	// acceptor: the acceptor is the serialization point every would-be
+	// leader must adopt, so its word alone is sound where a peer quorum
+	// would not be (writes never cross a quorum here).
+	ReadMode readpath.Mode
+
+	// LeaseDuration overrides readpath.DefaultLeaseDuration.
+	LeaseDuration time.Duration
 }
 
 // Defaults for Config zero values.
@@ -170,6 +181,7 @@ type Replica struct {
 	kv       rsm.Applier
 	sessions *rsm.Sessions
 	snap     *snapshot.Manager
+	read     *readpath.Server
 
 	commits       int64
 	takeovers     int64
@@ -251,6 +263,45 @@ func New(cfg Config) *Replica {
 			r.nextInst = last + 1
 		}
 	})
+	mode := cfg.ReadMode
+	store, _ := applier.(*rsm.KV)
+	if store == nil {
+		mode = readpath.Consensus // no local KV to serve from
+	}
+	r.read = readpath.New(readpath.Config{
+		ID:            cfg.ID,
+		Replicas:      cfg.Replicas,
+		Mode:          mode,
+		LeaseDuration: cfg.LeaseDuration,
+		HasLeader:     true,
+		LeaseCapable:  true,
+		IsLeader:      func() bool { return r.iAmLeader },
+		Leader:        func() msg.NodeID { return r.knownLeader },
+		// The active acceptor is the round's sole confirmer: every
+		// leader change must adopt it (flipping its `adopted` record),
+		// so its acknowledgement proves no newer leader has committed.
+		Confirmers: func() []msg.NodeID { return []msg.NodeID{r.aa} },
+		NeedAcks:   1,
+		Grant:      func(from msg.NodeID) bool { return r.adopted == from },
+		// nextInst covers everything this leader may commit — including
+		// proposals carried over from a takeover that are not yet
+		// re-learned locally — so waiting it out is always safe.
+		Frontier: func() int64 {
+			f := r.nextInst
+			if lf := r.log.LearnedFrontier(); lf > f {
+				f = lf
+			}
+			return f
+		},
+		Applied: func() int64 { return r.log.NextToApply() },
+		Ready:   func() bool { return r.snap.Recovered() && !r.snap.CatchingUp() },
+		Read: func(key string) (string, bool) {
+			if store == nil {
+				return "", false
+			}
+			return store.Get(key)
+		},
+	})
 	return r
 }
 
@@ -282,6 +333,12 @@ func (r *Replica) Log() *rsm.Log { return r.log }
 // SnapshotStats reports the replica's recovery-subsystem counters.
 func (r *Replica) SnapshotStats() metrics.SnapshotStats { return r.snap.Stats() }
 
+// ReadStats reports the replica's read-fast-path counters.
+func (r *Replica) ReadStats() metrics.ReadStats { return r.read.Stats() }
+
+// ReadPath exposes the read-path server for tests (clock-skew hooks).
+func (r *Replica) ReadPath() *readpath.Server { return r.read }
+
 // Recovered reports whether this replica has finished recovering (see
 // snapshot.Manager.Recovered); trivially true unless built in Recover
 // mode. Safe from any goroutine.
@@ -296,6 +353,7 @@ func (r *Replica) Recovered() bool { return r.snap.Recovered() }
 func (r *Replica) Start(ctx runtime.Context) {
 	r.ctx = ctx
 	r.snap.Start(ctx)
+	r.read.Start(ctx)
 	// A recovering replica never runs the boot-leader convention, even
 	// as Replicas[0]: the group has moved on without it, and it must
 	// learn what was decided before it may compete for any role.
@@ -315,6 +373,9 @@ func (r *Replica) Receive(ctx runtime.Context, from msg.NodeID, m msg.Message) {
 		return
 	}
 	if r.snap.Handle(ctx, from, m) {
+		return
+	}
+	if r.read.Handle(ctx, from, m) {
 		return
 	}
 	switch mm := m.(type) {
@@ -343,6 +404,9 @@ func (r *Replica) Timer(ctx runtime.Context, tag runtime.TimerTag) {
 		return
 	}
 	if r.snap.HandleTimer(ctx, tag) {
+		return
+	}
+	if r.read.HandleTimer(ctx, tag) {
 		return
 	}
 	switch tag.Kind {
@@ -428,6 +492,13 @@ func (r *Replica) sendAccept(in int64) {
 // --- Acceptor role (Appendix A lines 45-61) ---
 
 func (r *Replica) onPrepareRequest(from msg.NodeID, m msg.PrepareRequest) {
+	if r.read.PrepareHold(from) > 0 {
+		// An unexpired read lease binds this acceptor to another leader:
+		// adopting from now could let it commit writes the lease holder
+		// never sees while still serving local reads. Drop the prepare;
+		// the prepare-deadline retry lands after the lease runs out.
+		return
+	}
 	if m.PN > r.hpn {
 		if r.iAmFresh != m.MustBeFresh {
 			// Freshness mismatch: a silently-reset acceptor must not serve
@@ -562,6 +633,7 @@ func (r *Replica) onApply(e rsm.Entry, results []string) {
 	delete(r.proposed, e.Instance)
 	delete(r.outstanding, e.Instance)
 	defer r.snap.AfterApply() // noops advance the snapshot cadence too
+	defer r.read.AfterApply() // confirmed reads may now be serveable
 	v := e.Value
 	if v.Client == msg.Nobody {
 		return // gap-filling noop

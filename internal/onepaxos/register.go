@@ -19,6 +19,8 @@ func init() {
 				SnapshotInterval:    cfg.SnapshotInterval,
 				SnapshotChunkSize:   cfg.SnapshotChunkSize,
 				Recover:             cfg.Recover,
+				ReadMode:            cfg.ReadMode,
+				LeaseDuration:       cfg.LeaseDuration,
 			})
 		},
 	})

@@ -14,6 +14,7 @@ import (
 
 	"consensusinside/internal/metrics"
 	"consensusinside/internal/msg"
+	"consensusinside/internal/readpath"
 	"consensusinside/internal/rsm"
 	"consensusinside/internal/runtime"
 )
@@ -98,6 +99,18 @@ type Config struct {
 	// participant can unblock a transaction stalled by its crash. Zero
 	// disables retransmission — the paper's strictly blocking 2PC.
 	TxRetryTimeout time.Duration
+
+	// ReadMode selects the read fast path (internal/readpath): reads
+	// served without an agreement instance under a leader lease, a
+	// read-index quorum round, or from any caught-up follower. The zero
+	// value is the paper's read-through-consensus behavior. Engines
+	// whose structure cannot support a mode degrade it as documented in
+	// DESIGN.md (leases degrade to read-index on leaderless engines).
+	ReadMode readpath.Mode
+
+	// LeaseDuration overrides readpath.DefaultLeaseDuration for
+	// ReadMode == readpath.Lease.
+	LeaseDuration time.Duration
 }
 
 // Engine is the face a running protocol replica shows to a deployment:
@@ -121,6 +134,13 @@ type LogExposer interface {
 // counters into service totals (KV.SnapshotStats).
 type SnapshotStatser interface {
 	SnapshotStats() metrics.SnapshotStats
+}
+
+// ReadStatser is implemented by engines embedding the read fast path
+// (internal/readpath); deployments fold the per-replica counters into
+// service totals (KV.ReadStats).
+type ReadStatser interface {
+	ReadStats() metrics.ReadStats
 }
 
 // Info describes one registered protocol.

@@ -26,6 +26,7 @@ import (
 
 	"consensusinside/internal/metrics"
 	"consensusinside/internal/msg"
+	"consensusinside/internal/readpath"
 	"consensusinside/internal/rsm"
 	"consensusinside/internal/runtime"
 	"consensusinside/internal/snapshot"
@@ -72,6 +73,20 @@ type Config struct {
 	// Recover makes the replica stream a state snapshot from a live peer
 	// before serving — the restarted-replica mode.
 	Recover bool
+
+	// ReadMode selects the read fast path (internal/readpath). The
+	// fixed coordinator is 2PC's serialization point — no other node
+	// ever commits independently, and the coordinator answers a client
+	// only after applying locally — so read-index reads are served at
+	// the coordinator with no confirmation round at all. Lease mode
+	// degrades to read-index (a lease adds nothing to a node that can
+	// never be deposed); follower mode serves stale-bounded reads from
+	// any participant.
+	ReadMode readpath.Mode
+
+	// LeaseDuration overrides readpath.DefaultLeaseDuration (only
+	// relevant after the lease-to-index degradation's round timeout).
+	LeaseDuration time.Duration
 }
 
 // Replica is one 2PC node (coordinator or participant).
@@ -102,6 +117,7 @@ type Replica struct {
 	applier  rsm.Applier
 	sessions *rsm.Sessions
 	snap     *snapshot.Manager
+	read     *readpath.Server
 	history  []msg.Value // local apply order, for tests; truncated by snapshots
 
 	commits    int64
@@ -194,6 +210,34 @@ func New(cfg Config) *Replica {
 		// image; dropping it is what bounds this engine's memory.
 		r.history = r.history[:0]
 	})
+	mode := cfg.ReadMode
+	if kv == nil {
+		mode = readpath.Consensus // no local KV to serve from
+	}
+	r.read = readpath.New(readpath.Config{
+		ID:            cfg.ID,
+		Replicas:      cfg.Replicas,
+		Mode:          mode,
+		LeaseDuration: cfg.LeaseDuration,
+		HasLeader:     true,
+		IsLeader:      func() bool { return r.me == r.coord },
+		Leader:        func() msg.NodeID { return r.coord },
+		// The coordinator needs no confirmation: it is the only node
+		// that ever commits, and it applies locally before answering
+		// the client, so its state machine covers every acknowledged
+		// write by construction.
+		Confirmers: func() []msg.NodeID { return nil },
+		NeedAcks:   0,
+		Frontier:   func() int64 { return r.commits },
+		Applied:    func() int64 { return r.commits },
+		Ready:      func() bool { return r.snap.Recovered() && !r.snap.CatchingUp() },
+		Read: func(key string) (string, bool) {
+			if kv == nil {
+				return "", false
+			}
+			return kv.Get(key)
+		},
+	})
 	return r
 }
 
@@ -226,7 +270,11 @@ func (r *Replica) Recovered() bool { return r.snap.Recovered() }
 func (r *Replica) Start(ctx runtime.Context) {
 	r.ctx = ctx
 	r.snap.Start(ctx)
+	r.read.Start(ctx)
 }
+
+// ReadStats reports the replica's read-fast-path counters.
+func (r *Replica) ReadStats() metrics.ReadStats { return r.read.Stats() }
 
 // Timer implements runtime.Handler: the protocol itself sets no timers
 // (it blocks, by design) — only the optional transaction retransmit and
@@ -234,6 +282,9 @@ func (r *Replica) Start(ctx runtime.Context) {
 func (r *Replica) Timer(ctx runtime.Context, tag runtime.TimerTag) {
 	r.ctx = ctx
 	if r.snap.HandleTimer(ctx, tag) {
+		return
+	}
+	if r.read.HandleTimer(ctx, tag) {
 		return
 	}
 	if tag.Kind == timerTxRetry {
@@ -275,6 +326,9 @@ func (r *Replica) armTxRetry(txID int64) {
 func (r *Replica) Receive(ctx runtime.Context, from msg.NodeID, m msg.Message) {
 	r.ctx = ctx
 	if r.snap.Handle(ctx, from, m) {
+		return
+	}
+	if r.read.Handle(ctx, from, m) {
 		return
 	}
 	switch mm := m.(type) {

@@ -31,6 +31,7 @@ import (
 
 	"consensusinside/internal/metrics"
 	"consensusinside/internal/msg"
+	"consensusinside/internal/readpath"
 	"consensusinside/internal/runtime"
 	"consensusinside/internal/shard"
 )
@@ -41,6 +42,7 @@ const (
 	TimerSend       = 900 // think time elapsed: fill the window
 	TimerRetry      = 901 // Arg: the (tagged) request seq the retry guards
 	TimerBatchFlush = 902 // Arg: the lane index whose partial batch is due
+	TimerReadRetry  = 903 // Arg: the (tagged) read seq the retry guards
 )
 
 // Defaults for Config zero values.
@@ -97,9 +99,21 @@ type Config struct {
 	// and resending. Zero means DefaultRetryTimeout.
 	RetryTimeout time.Duration
 
-	// ReadFraction in [0,1] is the share of OpGet commands (Section 7.5's
-	// read workloads); the rest are OpPut.
-	ReadFraction float64
+	// ReadPercent in [0,100] is the percentage of OpGet commands
+	// (Section 7.5's read workloads); the rest are OpPut. The knob is
+	// shared by the Figure 10 reproduction and the read-sweep benchmark.
+	ReadPercent int
+
+	// ReadMode selects how this client's reads travel. The default
+	// (readpath.Consensus) sends every read as an ordinary consensus
+	// command, the paper's behavior. Any other mode sends reads as
+	// ReadRequest messages on a read lane of their own: a separate
+	// sequence space (reads never enter the replicated log, so they must
+	// not consume the dense write sequences the replicas' session tables
+	// track), a separate in-flight map, their own retry timers, and a
+	// separate target cursor that redirects re-aim. Reads still occupy
+	// window slots, so the offered load is comparable across modes.
+	ReadMode readpath.Mode
 
 	// Key fixes the key this client operates on; empty derives a
 	// per-client key (distinct clients then never contend on 2PC locks).
@@ -130,8 +144,16 @@ type lane struct {
 	key      string
 	target   int
 	seq      uint64 // lane-local issued count; tagged via shard.TagSeq
-	inflight int    // outstanding commands in this lane
+	inflight int    // outstanding commands in this lane (reads included)
 	deferred bool   // a partial batch is holding for the flush timer
+
+	// Read-lane state (fast-path modes only): reads get their own
+	// sequence counter — they never commit, so they must not punch holes
+	// in the dense write sequence space the session tables track — and
+	// their own target cursor, so follower reads can spread across
+	// replicas while writes stay aimed at the leader.
+	rseq       uint64
+	readTarget int
 }
 
 // flight is one in-flight command.
@@ -140,6 +162,13 @@ type flight struct {
 	op     msg.Op // stable across resends
 	sentAt time.Duration
 	cancel runtime.CancelFunc // pending retry timer for this seq
+}
+
+// readFlight is one in-flight fast-path read.
+type readFlight struct {
+	lane   *lane
+	sentAt time.Duration
+	cancel runtime.CancelFunc
 }
 
 // Client is a workload generator node: a closed loop by default, a
@@ -153,14 +182,17 @@ type Client struct {
 	next   int // lane round-robin cursor for paced issue
 	issued int // total commands issued across lanes
 
-	inflight    map[uint64]*flight // keyed by tagged seq
+	inflight    map[uint64]*flight     // keyed by tagged seq
+	reads       map[uint64]*readFlight // fast-path reads, keyed by tagged read seq
 	maxInflight int
 	completed   int
 	retries     int
 	batchOcc    metrics.BatchOccupancy
 
-	hist   metrics.Histogram
-	series *metrics.TimeSeries
+	hist      metrics.Histogram
+	readHist  metrics.Histogram // per-op-kind split of hist
+	writeHist metrics.Histogram
+	series    *metrics.TimeSeries
 
 	firstDone time.Duration
 	lastDone  time.Duration
@@ -174,6 +206,12 @@ var _ runtime.Handler = (*Client)(nil)
 func NewClient(cfg Config) *Client {
 	if cfg.RetryTimeout == 0 {
 		cfg.RetryTimeout = DefaultRetryTimeout
+	}
+	if cfg.ReadPercent < 0 || cfg.ReadPercent > 100 {
+		panic(fmt.Sprintf("workload: ReadPercent %d outside [0,100]", cfg.ReadPercent))
+	}
+	if !cfg.ReadMode.Valid() {
+		panic(fmt.Sprintf("workload: unknown read mode %d", int(cfg.ReadMode)))
 	}
 	if cfg.Key == "" {
 		cfg.Key = fmt.Sprintf("c%d", cfg.ID)
@@ -189,7 +227,8 @@ func NewClient(cfg Config) *Client {
 	if batch > window {
 		batch = window // a batch is drawn from the lane's window slots
 	}
-	c := &Client{cfg: cfg, window: window, batch: batch, inflight: make(map[uint64]*flight)}
+	c := &Client{cfg: cfg, window: window, batch: batch,
+		inflight: make(map[uint64]*flight), reads: make(map[uint64]*readFlight)}
 	if len(cfg.Groups) > 0 {
 		for g, servers := range cfg.Groups {
 			if len(servers) == 0 {
@@ -246,6 +285,14 @@ func (c *Client) BatchStats() *metrics.BatchOccupancy { return &c.batchOcc }
 // Latencies exposes the recorded latency histogram (post-warmup ops).
 func (c *Client) Latencies() *metrics.Histogram { return &c.hist }
 
+// ReadLatencies exposes the read-only slice of the latency histogram
+// (post-warmup OpGet completions, whichever path they travelled).
+func (c *Client) ReadLatencies() *metrics.Histogram { return &c.readHist }
+
+// WriteLatencies exposes the write slice of the latency histogram
+// (post-warmup OpPut completions).
+func (c *Client) WriteLatencies() *metrics.Histogram { return &c.writeHist }
+
 // Series exposes the completion time series (nil unless configured).
 func (c *Client) Series() *metrics.TimeSeries { return c.series }
 
@@ -280,6 +327,20 @@ func (c *Client) Receive(ctx runtime.Context, from msg.NodeID, m msg.Message) {
 		if refill {
 			c.fill(ctx)
 		}
+	case msg.ReadReply:
+		if c.onReadReply(ctx, mm) {
+			c.fill(ctx)
+		}
+	case msg.ReadReplyBatch:
+		refill := false
+		for _, reply := range mm.Replies {
+			if c.onReadReply(ctx, reply) {
+				refill = true
+			}
+		}
+		if refill {
+			c.fill(ctx)
+		}
 	}
 }
 
@@ -304,10 +365,46 @@ func (c *Client) onReply(ctx runtime.Context, reply msg.ClientReply) bool {
 	if f.cancel != nil {
 		f.cancel() // retire the pending retry timer with the command
 	}
+	return c.complete(ctx, f.sentAt, f.op)
+}
+
+// onReadReply retires one fast-path read's reply. A redirect (the
+// serving replica is not the leader, or is still catching up) re-aims
+// the lane's read cursor and resends at once.
+func (c *Client) onReadReply(ctx runtime.Context, reply msg.ReadReply) bool {
+	f, ok := c.reads[reply.Seq]
+	if !ok {
+		return false // stale reply for an already-answered (retried) read
+	}
+	if !reply.OK {
+		if reply.Redirect != msg.Nobody {
+			f.lane.retargetRead(reply.Redirect)
+		}
+		c.resendRead(ctx, reply.Seq, f)
+		return false
+	}
+	delete(c.reads, reply.Seq)
+	f.lane.inflight--
+	if f.cancel != nil {
+		f.cancel()
+	}
+	return c.complete(ctx, f.sentAt, msg.OpGet)
+}
+
+// complete records one finished command and reports whether a freed
+// window slot awaits an immediate refill (paced completions and the
+// request cap report false).
+func (c *Client) complete(ctx runtime.Context, sentAt time.Duration, op msg.Op) bool {
 	now := ctx.Now()
 	c.completed++
 	if now >= c.cfg.Warmup {
-		c.hist.Record(now - f.sentAt)
+		d := now - sentAt
+		c.hist.Record(d)
+		if op == msg.OpGet {
+			c.readHist.Record(d)
+		} else {
+			c.writeHist.Record(d)
+		}
 		c.measured++
 		if c.firstDone == 0 {
 			c.firstDone = now
@@ -346,6 +443,14 @@ func (c *Client) Timer(ctx runtime.Context, tag runtime.TimerTag) {
 			c.retries++
 			f.lane.target = (f.lane.target + 1) % len(f.lane.servers)
 			c.resend(ctx, seq, f)
+		}
+	case TimerReadRetry:
+		seq := uint64(tag.Arg)
+		if f, ok := c.reads[seq]; ok {
+			// No reply in time: rotate the lane's read cursor and resend.
+			c.retries++
+			f.lane.readTarget = (f.lane.readTarget + 1) % len(f.lane.servers)
+			c.resendRead(ctx, seq, f)
 		}
 	case TimerBatchFlush:
 		// The lane's held-back partial batch is due: issue whatever the
@@ -451,38 +556,68 @@ func (c *Client) fill(ctx runtime.Context) {
 }
 
 // issueBatch assigns the lane's next n tagged sequence numbers and
-// sends them as one request.
+// sends them as one request. Under a fast-path read mode the batch's
+// OpGet commands peel off onto the read lane instead: they travel as
+// one ReadRequest with read-lane sequence numbers, leaving the write
+// sequence space dense for the session tables.
 func (c *Client) issueBatch(ctx runtime.Context, ln *lane, n int) {
 	ln.deferred = false
-	entries := make([]msg.BatchEntry, n)
-	flights := make([]*flight, n)
+	fastReads := c.cfg.ReadMode != readpath.Consensus
+	entries := make([]msg.BatchEntry, 0, n)
+	flights := make([]*flight, 0, n)
+	var readEntries []msg.BatchEntry
+	var readFlights []*readFlight
 	for i := 0; i < n; i++ {
 		c.issued++
-		ln.seq++
-		seq := shard.TagSeq(ln.shard, ln.seq)
 		op := msg.OpPut
-		if c.cfg.ReadFraction > 0 && ctx.Rand().Float64() < c.cfg.ReadFraction {
+		if c.cfg.ReadPercent > 0 && ctx.Rand().Float64()*100 < float64(c.cfg.ReadPercent) {
 			op = msg.OpGet
 		}
+		if op == msg.OpGet && fastReads {
+			ln.rseq++
+			seq := shard.TagSeq(ln.shard, ln.rseq)
+			rf := &readFlight{lane: ln}
+			c.reads[seq] = rf
+			ln.inflight++
+			readEntries = append(readEntries, msg.BatchEntry{Seq: seq, Cmd: msg.Command{Op: op, Key: ln.key}})
+			readFlights = append(readFlights, rf)
+			continue
+		}
+		ln.seq++
+		seq := shard.TagSeq(ln.shard, ln.seq)
 		f := &flight{lane: ln, op: op}
 		c.inflight[seq] = f
 		ln.inflight++
-		entries[i] = msg.BatchEntry{Seq: seq, Cmd: msg.Command{Op: op, Key: ln.key, Val: "v"}}
-		flights[i] = f
+		entries = append(entries, msg.BatchEntry{Seq: seq, Cmd: msg.Command{Op: op, Key: ln.key, Val: "v"}})
+		flights = append(flights, f)
 	}
-	if len(c.inflight) > c.maxInflight {
-		c.maxInflight = len(c.inflight)
+	if len(c.inflight)+len(c.reads) > c.maxInflight {
+		c.maxInflight = len(c.inflight) + len(c.reads)
 	}
 	now := ctx.Now()
-	req := msg.NewRequest(c.cfg.ID, c.laneAck(ln), entries)
-	ctx.Send(ln.servers[ln.target], req)
-	c.batchOcc.Record(n)
-	for i, f := range flights {
-		f.sentAt = now
-		if f.cancel != nil {
-			f.cancel()
+	if len(entries) > 0 {
+		req := msg.NewRequest(c.cfg.ID, c.laneAck(ln), entries)
+		ctx.Send(ln.servers[ln.target], req)
+		c.batchOcc.Record(len(entries))
+		for i, f := range flights {
+			f.sentAt = now
+			if f.cancel != nil {
+				f.cancel()
+			}
+			f.cancel = ctx.After(c.cfg.RetryTimeout, runtime.TimerTag{Kind: TimerRetry, Arg: int64(entries[i].Seq)})
 		}
-		f.cancel = ctx.After(c.cfg.RetryTimeout, runtime.TimerTag{Kind: TimerRetry, Arg: int64(entries[i].Seq)})
+	}
+	if len(readEntries) > 0 {
+		if c.cfg.ReadMode == readpath.Follower {
+			// Spreading reads across replicas is the mode's whole point.
+			ln.readTarget = (ln.readTarget + 1) % len(ln.servers)
+		}
+		ctx.Send(ln.servers[ln.readTarget],
+			msg.ReadRequest{Client: c.cfg.ID, Mode: int(c.cfg.ReadMode), Entries: readEntries})
+		for i, rf := range readFlights {
+			rf.sentAt = now
+			rf.cancel = ctx.After(c.cfg.RetryTimeout, runtime.TimerTag{Kind: TimerReadRetry, Arg: int64(readEntries[i].Seq)})
+		}
 	}
 }
 
@@ -520,12 +655,38 @@ func (c *Client) resend(ctx runtime.Context, seq uint64, f *flight) {
 	f.cancel = ctx.After(c.cfg.RetryTimeout, runtime.TimerTag{Kind: TimerRetry, Arg: int64(seq)})
 }
 
+// resendRead transmits f's read under its tagged read seq to the
+// lane's current read target and re-arms the per-seq retry timer.
+func (c *Client) resendRead(ctx runtime.Context, seq uint64, f *readFlight) {
+	f.sentAt = ctx.Now()
+	ctx.Send(f.lane.servers[f.lane.readTarget], msg.ReadRequest{
+		Client:  c.cfg.ID,
+		Mode:    int(c.cfg.ReadMode),
+		Entries: []msg.BatchEntry{{Seq: seq, Cmd: msg.Command{Op: msg.OpGet, Key: f.lane.key}}},
+	})
+	if f.cancel != nil {
+		f.cancel()
+	}
+	f.cancel = ctx.After(c.cfg.RetryTimeout, runtime.TimerTag{Kind: TimerReadRetry, Arg: int64(seq)})
+}
+
 // retarget points the lane at server if it is one of the lane's
 // replicas (a redirect naming a node outside the group is ignored).
 func (ln *lane) retarget(server msg.NodeID) {
 	for i, s := range ln.servers {
 		if s == server {
 			ln.target = i
+			return
+		}
+	}
+}
+
+// retargetRead points the lane's read cursor at server if it is one of
+// the lane's replicas.
+func (ln *lane) retargetRead(server msg.NodeID) {
+	for i, s := range ln.servers {
+		if s == server {
+			ln.readTarget = i
 			return
 		}
 	}

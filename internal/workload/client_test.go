@@ -186,20 +186,20 @@ func TestClientWarmupExclusion(t *testing.T) {
 	}
 }
 
-func TestClientReadFraction(t *testing.T) {
-	c, ctx := newClient(func(cfg *Config) { cfg.ReadFraction = 1.0 })
+func TestClientReadPercent(t *testing.T) {
+	c, ctx := newClient(func(cfg *Config) { cfg.ReadPercent = 100 })
 	c.Start(ctx)
 	c.Timer(ctx, runtime.TimerTag{Kind: TimerSend})
 	_, req := lastRequest(t, ctx)
 	if req.Cmd.Op != msg.OpGet {
-		t.Fatalf("op = %v, want get with ReadFraction=1", req.Cmd.Op)
+		t.Fatalf("op = %v, want get with ReadPercent=100", req.Cmd.Op)
 	}
 	c2, ctx2 := newClient(nil)
 	c2.Start(ctx2)
 	c2.Timer(ctx2, runtime.TimerTag{Kind: TimerSend})
 	_, req2 := lastRequest(t, ctx2)
 	if req2.Cmd.Op != msg.OpPut {
-		t.Fatalf("op = %v, want put with ReadFraction=0", req2.Cmd.Op)
+		t.Fatalf("op = %v, want put with ReadPercent=0", req2.Cmd.Op)
 	}
 }
 
