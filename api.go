@@ -686,10 +686,12 @@ type kvOp struct {
 	// node's own goroutine (pump/Timer/Receive callbacks).
 	cancel runtime.CancelFunc
 	// timeout/deadline drive the read lane's bridge-side deadline (the
-	// scan timer fails overdue reads, so doRead callers wait on a bare
-	// channel receive with no timer of their own). timeout is set by
-	// doRead; the pump converts it to a deadline on the runtime clock.
-	// A redirect requeue carries the original deadline forward.
+	// scan timer fails overdue reads — queued and in flight alike — so
+	// doRead callers wait on a bare channel receive with no timer of
+	// their own). timeout is set by doRead; pumpReads converts it to a
+	// deadline on the runtime clock as soon as it first sees the op,
+	// whether or not the read window has room. A redirect requeue
+	// carries the original deadline forward.
 	timeout  time.Duration
 	deadline time.Duration
 }
@@ -1077,11 +1079,26 @@ func (b *kvBridge) Timer(ctx runtime.Context, tag runtime.TimerTag) {
 			batch.sentAt = now
 			resends = append(resends, resend{batch, entries})
 		}
+		// Queued reads the saturated window has not admitted yet carry
+		// deadlines too (stamped by pumpReads): expire them here, so a
+		// caller's total wait is bounded by its own timeout no matter
+		// how long earlier batches sit against an unresponsive cluster.
+		if len(b.readQueue) > 0 {
+			kept := b.readQueue[:0]
+			for _, op := range b.readQueue {
+				if op.deadline > 0 && now >= op.deadline {
+					expired = append(expired, op.done)
+					continue
+				}
+				kept = append(kept, op)
+			}
+			b.readQueue = kept
+		}
 		if len(resends) > 0 {
 			b.readTarget = (b.readTarget + 1) % len(b.servers)
 		}
 		target := b.servers[b.readTarget]
-		rearm := len(b.readBatches) > 0
+		rearm := len(b.readBatches) > 0 || len(b.readQueue) > 0
 		b.readScanArmed = rearm
 		b.mu.Unlock()
 		for _, done := range expired {
@@ -1106,6 +1123,17 @@ func (b *kvBridge) Timer(ctx runtime.Context, tag runtime.TimerTag) {
 // replica that last answered (redirects re-aim them).
 func (b *kvBridge) pumpReads(ctx runtime.Context) {
 	now := ctx.Now()
+	// Stamp deadlines on entry, before the window check: a read's
+	// timeout runs from when the bridge first sees it, not from when a
+	// window slot frees up, so a saturated read window cannot leave
+	// queued Gets deadline-less (the scan timer sweeps the queue too).
+	b.mu.Lock()
+	for i := range b.readQueue {
+		if op := &b.readQueue[i]; op.deadline == 0 && op.timeout > 0 {
+			op.deadline = now + op.timeout
+		}
+	}
+	b.mu.Unlock()
 	for {
 		b.mu.Lock()
 		if len(b.readQueue) == 0 || len(b.readBatches) >= maxReadRequests {

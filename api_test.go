@@ -49,6 +49,72 @@ func TestKVSequentialOps(t *testing.T) {
 	}
 }
 
+// TestKVReadTimeoutBoundsQueuedReads pins the read lane's deadline
+// semantics: a fast-path Get's timeout runs from when the bridge first
+// sees it, even while the 2-deep read window is saturated against an
+// unresponsive cluster. A first wave of Gets fills the window (all
+// replicas are crashed, so its batches never retire); a second wave
+// then pools in the read queue, where pre-stamping it would wait
+// deadline-less until the first wave expires and only then start its
+// own timeout — roughly doubling the caller's wait. Every second-wave
+// Get must fail within its own RequestTimeout plus scan-tick slack.
+func TestKVReadTimeoutBoundsQueuedReads(t *testing.T) {
+	const timeout = 400 * time.Millisecond
+	kv, err := StartKV(KVConfig{
+		Replicas:       3,
+		ReadMode:       ReadIndex,
+		RequestTimeout: timeout,
+		AcceptTimeout:  10 * time.Millisecond, // read scan tick = 2x this
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer kv.Close()
+	if err := kv.Put("k", "v"); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := kv.CrashReplica(i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			kv.Get("k") // first wave: saturates the read window, expires at ~timeout
+		}()
+	}
+	time.Sleep(timeout / 2) // the second wave arrives mid-flight of the first
+	type res struct {
+		err     error
+		elapsed time.Duration
+	}
+	results := make(chan res, 32)
+	for i := 0; i < 32; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			start := time.Now()
+			_, err := kv.Get("k")
+			results <- res{err, time.Since(start)}
+		}()
+	}
+	wg.Wait()
+	close(results)
+	limit := timeout + 150*time.Millisecond
+	for r := range results {
+		if r.err == nil {
+			t.Error("Get against a fully-crashed cluster succeeded")
+		}
+		if r.elapsed > limit {
+			t.Fatalf("queued Get took %v to fail, want <= %v (its deadline must run from enqueue, not from window admission)",
+				r.elapsed, limit)
+		}
+	}
+}
+
 func TestKVConcurrentClients(t *testing.T) {
 	kv, err := StartKV(KVConfig{})
 	if err != nil {

@@ -329,6 +329,117 @@ func TestLeaseLeaderCrashNoStaleRead(t *testing.T) {
 	}
 }
 
+// TestLeasePartitionedLeaderNoStaleRead stages the partition variant
+// of the succession race — the case crashing the leader cannot reach:
+// the old leader keeps RUNNING with a lease carried by a single
+// confirmer's grant (NeedAcks is a quorum minus the holder itself, so
+// one grant can be enough), and that very granter then runs for
+// leadership while its own grant is unexpired. Candidates vote for
+// themselves through the same prepare handlers peers use, so a granter
+// whose PrepareHold exempted its own candidacy would complete a
+// majority — its self-vote plus the never-asked third replica — commit
+// a write behind the isolated holder's back, and leave the holder
+// serving stale reads under a still-valid lease. Only replica links
+// are cut: the probe (a client) reaches the old leader throughout,
+// which is exactly what makes the stale window observable.
+func TestLeasePartitionedLeaderNoStaleRead(t *testing.T) {
+	const lease = 40 * time.Millisecond
+	cases := []struct {
+		proto Protocol
+		// granter is the replica whose grant alone carries the
+		// leader's lease — and the challenger whose self-vote the
+		// deposition block must hold. 1Paxos confirms at the active
+		// acceptor, statically the last replica; Multi-Paxos confirms
+		// at a peer quorum, so the test cuts the leader off from
+		// replica 2 before the lease round (earlyCut), leaving
+		// replica 1 the sole granter.
+		granter  int
+		earlyCut bool
+	}{
+		{OnePaxos, 2, false},
+		{MultiPaxos, 1, true},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.proto.String(), func(t *testing.T) {
+			c := MustBuild(leaseSpec(tc.proto, lease))
+			probe := newReadProbe(readpath.Lease)
+			probe.id = c.Net.AddNode(probe)
+			net := c.Net
+			leader := c.ServerIDs[0]
+			granter := c.ServerIDs[tc.granter]
+
+			net.At(1*time.Millisecond, func() { probe.sendWrite(net, leader, 1, "k", "v1") })
+			if tc.earlyCut {
+				net.At(2*time.Millisecond, func() { net.Partition(leader, c.ServerIDs[2]) })
+			}
+			// This read's round acquires the lease — confirmed by the
+			// granter alone.
+			net.At(5*time.Millisecond, func() { probe.sendRead(net, leader, 401, "k") })
+			// Isolate the leader from every peer, lease still valid.
+			net.At(8*time.Millisecond, func() {
+				if leaderIdx(c) != 0 {
+					t.Error("replica 0 lost leadership before the partition")
+				}
+				for _, id := range c.ServerIDs[1:] {
+					net.Partition(leader, id)
+				}
+			})
+			// Drive the granter to run for leadership while its own
+			// grant is unexpired: retry v2 at it until committed.
+			for ms := 10; ms < 150; ms += 6 {
+				ms := ms
+				net.At(time.Duration(ms)*time.Millisecond, func() {
+					if !probe.acked(2) {
+						probe.sendWrite(net, granter, 2, "k", "v2")
+					}
+				})
+			}
+			// Probe reads: the isolated old leader every tick (the
+			// stale window), the challenger in between.
+			seq := uint64(402)
+			for ms := 10; ms < 200; ms += 4 {
+				ms, s1, s2 := ms, seq, seq+1
+				seq += 2
+				net.At(time.Duration(ms)*time.Millisecond, func() { probe.sendRead(net, leader, s1, "k") })
+				net.At(time.Duration(ms+2)*time.Millisecond, func() { probe.sendRead(net, granter, s2, "k") })
+			}
+			c.Start()
+			c.RunFor(300 * time.Millisecond)
+
+			if !probe.acked(2) {
+				t.Fatal("write v2 never committed past the partitioned leader's lease")
+			}
+			var afterAck, completed int
+			for s, r := range probe.reads {
+				if !r.done || r.rejected {
+					continue // stuck at the isolated leader at cutoff — no verdict
+				}
+				completed++
+				if r.value != "v1" && r.value != "v2" {
+					t.Errorf("read %d observed impossible value %q", s, r.value)
+				}
+				if r.afterWrite >= 2 {
+					afterAck++
+					if r.value != "v2" {
+						t.Errorf("STALE READ: read %d issued after v2's ack returned %q (served by node %d)",
+							s, r.value, r.from)
+					}
+				}
+			}
+			if afterAck == 0 {
+				t.Fatal("no read completed after v2's ack — the probe never tested the new leader")
+			}
+			if completed < 5 {
+				t.Fatalf("only %d probe reads completed — the succession never let reads through", completed)
+			}
+			if err := c.CheckConsistency(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
 // TestRecoveringReplicaRefusesReads boots one replica in recovery mode
 // (Spec.RecoverNodes — the PR 5 rejoin path) under ReadFollower, the
 // laxest mode, and probes it before it can have caught up: the replica

@@ -10,8 +10,9 @@
 //     confirmers (the active acceptor for 1Paxos — the single
 //     serialization point every would-be leader must adopt — or a peer
 //     quorum for Multi-Paxos) and doubles as a deposition block: until
-//     the grant expires, a granter refuses to help any OTHER node
-//     become leader (engines gate their prepare handlers on
+//     the grant expires, a granter refuses to help any node — itself
+//     included — depose the holder (engines gate their prepare
+//     handlers, self-prepares too, on
 //     Server.PrepareHold). No new leader ⟹ no write can commit that
 //     the holder has not applied ⟹ local reads are linearizable. The
 //     holder expires its lease a margin early (a quarter of the
@@ -198,7 +199,9 @@ type Server struct {
 	isLease    bool
 	frontier   int64 // running max frontier of the active round
 	need       int
+	nconfirm   int // confirmers the active round was sent to
 	acks       map[msg.NodeID]bool
+	refused    map[msg.NodeID]bool // confirmers that answered !OK (disjoint from acks)
 	roundStart time.Duration
 
 	waiters []waiter
@@ -378,15 +381,34 @@ func (s *Server) startRound() {
 	s.queue = nil
 	s.frontier = s.cfg.Frontier()
 	s.acks = make(map[msg.NodeID]bool)
+	s.refused = make(map[msg.NodeID]bool)
 	s.roundStart = s.now()
 	confirmers := s.cfg.Confirmers()
+	s.nconfirm = 0
+	selfConfirm := false
+	for _, id := range confirmers {
+		if id == s.cfg.ID {
+			selfConfirm = true
+		} else {
+			s.nconfirm++
+		}
+	}
 	s.need = s.cfg.NeedAcks
-	if s.need > len(confirmers) {
-		s.need = len(confirmers)
+	if selfConfirm {
+		// This node is one of its own confirmers — a 1Paxos leader that
+		// is also the active acceptor after a takeover. It IS the
+		// serialization point then (every commit and every adoption
+		// passes through it), so its acknowledgement is implicit; a
+		// round that waited for it on the wire would stall forever.
+		s.need--
+	}
+	if s.need > s.nconfirm {
+		s.need = s.nconfirm
 	}
 	if s.need <= 0 {
-		// No external confirmation required (2PC's coordinator is its
-		// own serialization point): the captured frontier serves as is.
+		// No external confirmation required (2PC's coordinator, or a
+		// leader that is its own serialization point): the captured
+		// frontier serves as is.
 		s.completeRound()
 		return
 	}
@@ -447,8 +469,19 @@ func (s *Server) onConfirm(from msg.NodeID, m msg.ReadIndexRequest) {
 // entire safety mechanism: a new leader cannot assemble the promises it
 // needs before every lease the old leader could still be serving under
 // has expired.
+//
+// The granter-side clause applies to this node's own prepares too
+// (from == cfg.ID): candidates promise to themselves and adopt
+// themselves through the same handlers, so a granter exempting itself
+// could count its own vote toward deposing the very holder its grant
+// still protects — with NeedAcks below a full majority, that vote can
+// be the one that completes a challenger majority while the old
+// leader's lease is still valid elsewhere
+// (TestLeasePartitionedLeaderNoStaleRead stages exactly this). Only the
+// holder-side blockUntil clause exempts self: the holder has applied
+// everything it ever served, so re-electing *itself* is always safe.
 func (s *Server) PrepareHold(from msg.NodeID) time.Duration {
-	if s.cfg.Mode != Lease || !s.cfg.LeaseCapable || from == s.cfg.ID {
+	if s.cfg.Mode != Lease || !s.cfg.LeaseCapable {
 		return 0
 	}
 	now := s.now()
@@ -456,7 +489,7 @@ func (s *Server) PrepareHold(from msg.NodeID) time.Duration {
 	if s.grantHolder != msg.Nobody && s.grantHolder != from && s.grantUntil > now {
 		hold = s.grantUntil - now
 	}
-	if s.blockUntil > now {
+	if from != s.cfg.ID && s.blockUntil > now {
 		// We hold (or held, within the granter-side window) the lease
 		// ourselves: block our own promise too, so a challenger cannot
 		// count this node toward its majority early.
@@ -476,26 +509,22 @@ func (s *Server) onAck(from msg.NodeID, m msg.ReadIndexAck) {
 	if !m.OK {
 		if s.isLease && m.Hold > 0 {
 			// Still leader, but an older lease must run out first: hold
-			// the reads and retry when it has.
+			// the reads and retry when it has. Decisive regardless of
+			// other acks — racing a competing lease is never worth it.
 			s.retryAfter(time.Duration(m.Hold))
 			return
 		}
-		if s.cfg.Establish != nil && s.cfg.IsLeader != nil && s.cfg.IsLeader() {
-			// Confirmers have not observed this node's leadership yet:
-			// commit a no-op to establish it and retry. If the node was
-			// in fact deposed, the no-op's rejection clears IsLeader and
-			// the retried round redirects below.
-			s.cfg.Establish()
-			s.retryAfter(s.cfg.RoundTimeout)
+		if s.acks[from] || s.refused[from] {
 			return
 		}
-		// The confirmer no longer recognizes us: bounce the reads to
-		// whoever it should be.
-		reads := s.current
-		s.current = nil
-		s.active = false
-		s.leaseUntil = 0
-		s.redirect(reads)
+		s.refused[from] = true
+		if s.nconfirm-len(s.refused) >= s.need {
+			// Enough other confirmers can still answer OK: wait for
+			// them rather than abort the round — one peer with a stale
+			// leader view must not force a fallback on every round.
+			return
+		}
+		s.failRound()
 		return
 	}
 	if m.Frontier > s.frontier {
@@ -505,9 +534,31 @@ func (s *Server) onAck(from msg.NodeID, m msg.ReadIndexAck) {
 		return
 	}
 	s.acks[from] = true
+	delete(s.refused, from) // a resend may flip an earlier refusal
 	if len(s.acks) >= s.need {
 		s.completeRound()
 	}
+}
+
+// failRound handles a round that can no longer gather NeedAcks
+// confirmations: re-establish leadership and retry, or redirect.
+func (s *Server) failRound() {
+	if s.cfg.Establish != nil && s.cfg.IsLeader != nil && s.cfg.IsLeader() {
+		// Confirmers have not observed this node's leadership yet:
+		// commit a no-op to establish it and retry. If the node was
+		// in fact deposed, the no-op's rejection clears IsLeader and
+		// the retried round redirects below.
+		s.cfg.Establish()
+		s.retryAfter(s.cfg.RoundTimeout)
+		return
+	}
+	// The confirmers no longer recognize us: bounce the reads to
+	// whoever it should be.
+	reads := s.current
+	s.current = nil
+	s.active = false
+	s.leaseUntil = 0
+	s.redirect(reads)
 }
 
 func (s *Server) retryAfter(hold time.Duration) {

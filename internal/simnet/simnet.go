@@ -94,7 +94,7 @@ type CoreStats struct {
 	Received int64
 	SelfMsgs int64
 	Timers   int64
-	Dropped  int64 // messages discarded because the core was crashed
+	Dropped  int64 // messages discarded: receiver crashed, or link severed (counted at the sender)
 	BusyTime time.Duration
 	ByKind   map[string]int64
 }
@@ -105,6 +105,7 @@ type Network struct {
 	machine *topology.Machine
 	cost    CostModel
 	cores   []*core
+	cut     map[[2]msg.NodeID]bool // severed links (normalized pairs)
 }
 
 type inboxItem struct {
@@ -221,6 +222,30 @@ func (n *Network) Recover(id msg.NodeID) { n.cores[id].crashed = false }
 // Crashed reports whether core id is crashed.
 func (n *Network) Crashed(id msg.NodeID) bool { return n.cores[id].crashed }
 
+// Partition severs the link between a and b in both directions: every
+// message sent across it after the cut is dropped at the sender
+// (counted in its Dropped stat); messages already in flight still
+// arrive. Both nodes keep running — unlike Crash, which silences a node
+// toward everyone — so tests can stage asymmetric connectivity (an old
+// leader that its clients still reach but its peers do not).
+func (n *Network) Partition(a, b msg.NodeID) {
+	if n.cut == nil {
+		n.cut = make(map[[2]msg.NodeID]bool)
+	}
+	n.cut[linkKey(a, b)] = true
+}
+
+// Heal restores a link severed by Partition.
+func (n *Network) Heal(a, b msg.NodeID) { delete(n.cut, linkKey(a, b)) }
+
+// linkKey normalizes an unordered node pair.
+func linkKey(a, b msg.NodeID) [2]msg.NodeID {
+	if a > b {
+		a, b = b, a
+	}
+	return [2]msg.NodeID{a, b}
+}
+
 // Stats returns a snapshot of core id's counters.
 func (n *Network) Stats(id msg.NodeID) CoreStats {
 	s := n.cores[id].stats
@@ -258,6 +283,10 @@ func (n *Network) send(from *core, to msg.NodeID, m msg.Message) {
 		// Collapsed-role self delivery: no node boundary crossed.
 		from.stats.SelfMsgs++
 		from.enqueue(inboxItem{from: from.id, m: m}, from.cursor)
+		return
+	}
+	if n.cut[linkKey(from.id, to)] {
+		from.stats.Dropped++
 		return
 	}
 	sendCost := scale(n.cost.Send, from.slow)
