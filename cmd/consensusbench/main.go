@@ -13,7 +13,7 @@
 // sec2.2, latency, fig8, fig9, fig10, fig11, acceptor-switch, lan,
 // ablation-batching, ablation-pipelining, ablation-cmdbatch,
 // batch-sweep, codec-sweep, recovery-sweep, read-sweep, shard-sweep,
-// shard-sim, mencius.
+// shard-sim, mencius, scenario-fuzz.
 //
 // With -json the run also writes a machine-readable BENCH_*.json file:
 // one object per executed experiment with its headline metrics, so
@@ -434,6 +434,67 @@ var all = []experiment{
 			if len(rows) > 1 && rows[0].Throughput > 0 {
 				last := rows[len(rows)-1]
 				m[fmt.Sprintf("speedup_%dv1", last.Shards)] = last.Throughput / rows[0].Throughput
+			}
+			return m
+		},
+	},
+	{
+		id:    "scenario-fuzz",
+		about: "seeded fault-schedule fuzzing + linearizability check, every engine",
+		run: func(w io.Writer, opts experiments.Opts) map[string]float64 {
+			perCell := 10
+			if opts.Quick {
+				perCell = 3
+			}
+			cells := []struct {
+				shards, snap int
+				read         consensusinside.ReadMode
+			}{
+				{1, 0, consensusinside.ReadConsensus},
+				{1, 0, consensusinside.ReadLease},
+				{1, 16, consensusinside.ReadIndex},
+				{2, 16, consensusinside.ReadFollower},
+			}
+			m := map[string]float64{}
+			fmt.Fprintf(w, "Scenario fuzz — %d seeded fault schedules per engine (crashes, cuts, isolation, slowdowns, loss, skew), per-key linearizability checked\n",
+				perCell*len(cells))
+			fmt.Fprintf(w, "%-12s %8s %8s %10s %10s %12s\n",
+				"protocol", "runs", "ops", "completed", "faults", "violations")
+			for _, proto := range consensusinside.ScenarioFuzzProtocols() {
+				name := consensusinside.ScenarioFuzzProtoFlag(proto)
+				var runs, ops, completed, faults, violations int
+				for ci, cell := range cells {
+					for i := 0; i < perCell; i++ {
+						cfg := consensusinside.ScenarioFuzzConfig{
+							Protocol:         proto,
+							Seed:             opts.Seed*1_000_000 + int64(ci)*1000 + int64(i),
+							Shards:           cell.shards,
+							SnapshotInterval: cell.snap,
+							ReadMode:         cell.read,
+						}
+						res, err := consensusinside.ScenarioFuzz(cfg)
+						if err != nil {
+							fmt.Fprintf(w, "scenario fuzz %s: %v\n", name, err)
+							continue
+						}
+						runs++
+						ops += res.Ops
+						completed += res.Completed
+						faults += res.Events
+						if res.Violation != nil {
+							violations++
+							fmt.Fprintf(w, "VIOLATION (%s): %v\n  reproduce: %s\n",
+								name, res.Violation, consensusinside.ScenarioFuzzRepro(cfg))
+						}
+					}
+				}
+				fmt.Fprintf(w, "%-12s %8d %8d %10d %10d %12d\n",
+					name, runs, ops, completed, faults, violations)
+				m[name+"_runs"] = float64(runs)
+				m[name+"_ops"] = float64(ops)
+				m[name+"_completed"] = float64(completed)
+				m[name+"_fault_events"] = float64(faults)
+				m[name+"_violations"] = float64(violations)
 			}
 			return m
 		},

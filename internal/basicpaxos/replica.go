@@ -492,6 +492,9 @@ func (r *Replica) onAccepted(m msg.BPAccepted) {
 	if n >= r.quorum {
 		delete(r.votes, m.Instance)
 		r.log.Learn(m.Instance, m.Value)
+		// A hole below this learn may be a dropped-learn gap that live
+		// traffic will never refill; arm the stall watchdog.
+		r.snap.WatchGap(r.ctx)
 	}
 }
 

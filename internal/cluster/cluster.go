@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"time"
 
+	"consensusinside/internal/linearize"
 	"consensusinside/internal/metrics"
 	"consensusinside/internal/msg"
 	"consensusinside/internal/protocol"
@@ -79,6 +80,24 @@ type Spec struct {
 	RequestsPerClient int
 	Warmup            time.Duration
 	SeriesBucket      time.Duration
+
+	// SharedKey, when non-empty, puts every client on the same key (or,
+	// sharded, the same per-lane key prefix) instead of the default
+	// per-client keys. Contention is what makes linearizability checks
+	// bite: distinct keys give each client a private register nothing
+	// else ever observes.
+	SharedKey string
+
+	// Record, when set, captures every client command's invoke/return
+	// pair for linearizability checking (see workload.Config.Record;
+	// recording switches Puts to per-client-unique values).
+	Record *linearize.Recorder
+
+	// TxRetryTimeout makes 2PC participants re-propose an undecided
+	// transaction after this long — the retry that lets a transaction
+	// blocked by a crashed coordinator finish after recovery. 0 keeps
+	// the engine default (no retry); other engines ignore it.
+	TxRetryTimeout time.Duration
 
 	// ReadPercent in [0,100] is the percentage of client commands that
 	// are reads (Section 7.5's read workloads; Figure 10 uses 0/10/75).
@@ -221,6 +240,9 @@ func Build(spec Spec) (*Cluster, error) {
 	if spec.LeaseDuration < 0 {
 		return nil, fmt.Errorf("cluster: negative lease duration %v", spec.LeaseDuration)
 	}
+	if spec.TxRetryTimeout < 0 {
+		return nil, fmt.Errorf("cluster: negative transaction retry timeout %v", spec.TxRetryTimeout)
+	}
 	if spec.Codec == 0 {
 		spec.Codec = msg.CodecWire
 	}
@@ -325,6 +347,8 @@ func (c *Cluster) clientConfig(id msg.NodeID, i int) workload.Config {
 		StartDelay:   time.Duration(i) * time.Microsecond,
 		Warmup:       spec.Warmup,
 		SeriesBucket: spec.SeriesBucket,
+		Key:          spec.SharedKey,
+		Record:       spec.Record,
 	}
 	if len(c.Groups) > 1 {
 		cfg.Groups = c.Groups
@@ -349,6 +373,7 @@ func (c *Cluster) newServer(id msg.NodeID, serverIDs []msg.NodeID, joint, recove
 		Recover:           recover,
 		ReadMode:          spec.ReadMode,
 		LeaseDuration:     spec.LeaseDuration,
+		TxRetryTimeout:    spec.TxRetryTimeout,
 	})
 }
 

@@ -1,0 +1,248 @@
+package faultsched
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+	"time"
+
+	"consensusinside/internal/msg"
+	"consensusinside/internal/runtime"
+	"consensusinside/internal/simnet"
+	"consensusinside/internal/topology"
+)
+
+func stormOpts() Options {
+	return Options{
+		Nodes:  []msg.NodeID{0, 1, 2, 3, 4},
+		Start:  2 * time.Millisecond,
+		Window: 20 * time.Millisecond,
+		Profile: Profile{
+			CrashWeight: 3, CutWeight: 3, IsolateWeight: 1, SlowWeight: 2, SkewWeight: 1,
+			Episodes: 8, MaxSlow: 10, MaxSkew: 500 * time.Microsecond,
+			DropPermille: 50, MaxExtraDelay: 300 * time.Microsecond,
+		},
+	}
+}
+
+func TestGenerateIsDeterministic(t *testing.T) {
+	a := Generate(42, stormOpts())
+	b := Generate(42, stormOpts())
+	if !reflect.DeepEqual(a.Events, b.Events) {
+		t.Fatalf("same seed, different schedules:\n%s\nvs\n%s", a, b)
+	}
+	c := Generate(43, stormOpts())
+	if reflect.DeepEqual(a.Events, c.Events) {
+		t.Fatalf("seeds 42 and 43 generated identical non-trivial schedules")
+	}
+}
+
+func TestEveryEpisodeUndoneInsideWindow(t *testing.T) {
+	for seed := int64(0); seed < 50; seed++ {
+		s := Generate(seed, stormOpts())
+		end := s.opts.Start + s.opts.Window
+		crashed := map[msg.NodeID]int{}
+		cut := map[[2]msg.NodeID]int{}
+		slowed := map[msg.NodeID]int{}
+		skewed := map[msg.NodeID]time.Duration{}
+		for _, e := range s.Events {
+			if e.At < s.opts.Start || e.At > end {
+				t.Fatalf("seed %d: event outside window: %s", seed, e)
+			}
+			switch e.Kind {
+			case Crash:
+				crashed[e.Node]++
+			case Recover:
+				crashed[e.Node]--
+			case Cut:
+				cut[[2]msg.NodeID{e.Node, e.Peer}]++
+			case Heal:
+				cut[[2]msg.NodeID{e.Node, e.Peer}]--
+			case Slow:
+				slowed[e.Node]++
+			case Restore:
+				slowed[e.Node]--
+			case Skew:
+				skewed[e.Node] = e.Offset
+			}
+		}
+		for n, c := range crashed {
+			if c != 0 {
+				t.Fatalf("seed %d: node %d left crashed", seed, n)
+			}
+		}
+		for l, c := range cut {
+			if c != 0 {
+				t.Fatalf("seed %d: link %v left cut", seed, l)
+			}
+		}
+		for n, c := range slowed {
+			if c != 0 {
+				t.Fatalf("seed %d: node %d left slowed", seed, n)
+			}
+		}
+		for n, off := range skewed {
+			if off != 0 {
+				t.Fatalf("seed %d: node %d left skewed by %v", seed, n, off)
+			}
+		}
+	}
+}
+
+func TestImpairedMinorityCap(t *testing.T) {
+	// Replay each schedule's impairment intervals and assert that no
+	// instant has more than a minority (2 of 5) of nodes impaired.
+	// Skew is a running condition, not an impairment.
+	for seed := int64(0); seed < 50; seed++ {
+		s := Generate(seed, stormOpts())
+		type span struct {
+			node       msg.NodeID
+			start, end time.Duration
+		}
+		var spans []span
+		depth := map[msg.NodeID]int{}
+		open := map[msg.NodeID]time.Duration{}
+		mark := func(n msg.NodeID, at time.Duration, begin bool) {
+			if begin {
+				if depth[n] == 0 {
+					open[n] = at
+				}
+				depth[n]++
+				return
+			}
+			depth[n]--
+			if depth[n] == 0 {
+				spans = append(spans, span{n, open[n], at})
+			}
+		}
+		// An isolate episode emits one Cut per peer, all with the
+		// isolated node as Node; its peers keep a connected majority
+		// among themselves, so only Node counts as impaired. For a
+		// single-link cut this under-counts by one endpoint relative to
+		// the generator's own (stricter) accounting, which is fine: the
+		// invariant under test is "a quorum always exists".
+		for _, e := range s.Events {
+			switch e.Kind {
+			case Crash, Slow, Cut:
+				mark(e.Node, e.At, true)
+			case Recover, Restore, Heal:
+				mark(e.Node, e.At, false)
+			}
+		}
+		for _, a := range spans {
+			nodes := map[msg.NodeID]bool{a.node: true}
+			mid := a.start + (a.end-a.start)/2
+			for _, b := range spans {
+				if b.start <= mid && mid < b.end {
+					nodes[b.node] = true
+				}
+			}
+			if len(nodes) > 2 {
+				t.Fatalf("seed %d: %d nodes impaired at %v:\n%s", seed, len(nodes), mid, s)
+			}
+		}
+	}
+}
+
+// chatter wires n nodes that all ping each other on a steady timer, as
+// deterministic traffic to perturb.
+type chatter struct {
+	n   int
+	log []string
+}
+
+func (c *chatter) build(net *simnet.Network) {
+	for i := 0; i < c.n; i++ {
+		id := msg.NodeID(i)
+		net.AddNode(runtime.HandlerFunc{
+			OnStart: func(ctx runtime.Context) {
+				ctx.After(time.Millisecond, runtime.TimerTag{Kind: 1})
+			},
+			OnTimer: func(ctx runtime.Context, _ runtime.TimerTag) {
+				for p := 0; p < c.n; p++ {
+					if msg.NodeID(p) != id {
+						ctx.Send(msg.NodeID(p), ping{})
+					}
+				}
+				ctx.After(time.Millisecond, runtime.TimerTag{Kind: 1})
+			},
+			OnReceive: func(ctx runtime.Context, from msg.NodeID, _ msg.Message) {
+				c.log = append(c.log, fmt.Sprintf("%v %d<-%d", ctx.Now(), id, from))
+			},
+		})
+	}
+}
+
+type ping struct{}
+
+func (ping) Kind() string { return "faultsched.ping" }
+
+func TestApplyReplaysByteForByte(t *testing.T) {
+	run := func() []string {
+		m := topology.Uniform(5, 10*time.Microsecond)
+		net := simnet.New(m, simnet.ManyCore(), 99)
+		c := &chatter{n: 5}
+		c.build(net)
+		sched := Generate(7, stormOpts())
+		sched.Apply(net, nil)
+		net.Start()
+		net.RunFor(40 * time.Millisecond)
+		return c.log
+	}
+	a, b := run(), run()
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("two applications of the same schedule diverged: %d vs %d receipts", len(a), len(b))
+	}
+	if len(a) == 0 {
+		t.Fatal("no traffic flowed at all")
+	}
+	// And the perturbation really does something: a different seed's
+	// schedule must change the delivery log.
+	runSeed := func(seed int64) []string {
+		m := topology.Uniform(5, 10*time.Microsecond)
+		net := simnet.New(m, simnet.ManyCore(), 99)
+		c := &chatter{n: 5}
+		c.build(net)
+		Generate(seed, stormOpts()).Apply(net, nil)
+		net.Start()
+		net.RunFor(40 * time.Millisecond)
+		return c.log
+	}
+	if reflect.DeepEqual(a, runSeed(8)) {
+		t.Fatal("seeds 7 and 8 produced identical runs; schedule has no effect")
+	}
+}
+
+func TestSkewEventsReachCallback(t *testing.T) {
+	opt := stormOpts()
+	opt.Profile = Profile{SkewWeight: 1, MaxSkew: time.Millisecond, Episodes: 4}
+	var seed int64
+	var s *Schedule
+	for seed = 0; seed < 20; seed++ {
+		s = Generate(seed, opt)
+		if len(s.Events) > 0 {
+			break
+		}
+	}
+	if len(s.Events) == 0 {
+		t.Fatal("no skew events generated across 20 seeds")
+	}
+	m := topology.Uniform(5, 10*time.Microsecond)
+	net := simnet.New(m, simnet.ManyCore(), 1)
+	c := &chatter{n: 5}
+	c.build(net)
+	got := map[msg.NodeID][]time.Duration{}
+	s.Apply(net, func(n msg.NodeID, off time.Duration) {
+		got[n] = append(got[n], off)
+	})
+	net.Start()
+	net.RunFor(40 * time.Millisecond)
+	if len(got) == 0 {
+		t.Fatal("skew callback never fired")
+	}
+	for n, offs := range got {
+		if offs[len(offs)-1] != 0 {
+			t.Fatalf("node %d left with nonzero skew %v", n, offs)
+		}
+	}
+}

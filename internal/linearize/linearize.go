@@ -1,0 +1,458 @@
+// Package linearize records invoke/return histories of key-value
+// operations and checks them for linearizability — the machine-checked
+// form of the paper's safety claim that every operation (reads
+// included) appears to take effect atomically between its invocation
+// and its response.
+//
+// The checker is the Wing–Gong search in its modern form (the WGL
+// algorithm, as in Lowe's and porcupine's implementations): pick any
+// operation that is minimal — invoked before every unlinearized
+// operation has returned — apply it to a model state, recurse, and
+// memoize on the (linearized-set, state) pair so the search never
+// revisits an equivalent frontier. For a register per key this is fast
+// in practice whenever written values are unique (each read then pins
+// down exactly one write), which is how the workload layer records
+// histories.
+//
+// Two model granularities:
+//
+//   - Per-key (the default): linearizability is compositional, so a
+//     history whose operations each touch one key is linearizable iff
+//     each key's sub-history is. Checking per key keeps the search
+//     frontiers tiny.
+//   - Whole-history (Options.WholeHistory): one multi-register store
+//     checked as a single history. 2PC runs use it: a blocked or
+//     half-committed transaction's effects must still be consistent
+//     with ONE total order across the whole store, which the per-key
+//     split cannot see.
+//
+// Incomplete operations (an invoke with no return — the run ended or
+// the client never heard back) are handled the standard way: a pending
+// write MAY have taken effect, so the search may linearize it anywhere
+// after its invoke or omit it entirely; a pending read constrains
+// nothing and is dropped.
+package linearize
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Kind is an operation kind.
+type Kind int
+
+// Operation kinds.
+const (
+	Write Kind = iota // Put: Value is what was written
+	Read              // Get: Value is what was observed
+)
+
+// String implements fmt.Stringer for violation reports.
+func (k Kind) String() string {
+	if k == Write {
+		return "put"
+	}
+	return "get"
+}
+
+// KV is one key/value pair of a multi-key atomic write.
+type KV struct{ Key, Value string }
+
+// Op is one recorded operation: a client's Put or Get with its
+// invocation and return times on the shared (virtual) clock. The
+// linearization point the checker looks for lies inside [Invoke,
+// Return]. Done is false for operations still in flight when the run
+// ended; their Return is meaningless.
+//
+// A Write with a non-empty Batch is a multi-key atomic write (a 2PC
+// transaction): all pairs apply at one linearization point, and Key/
+// Value are ignored. Histories containing batch ops are always checked
+// whole-history — the per-key split cannot see atomicity across keys.
+type Op struct {
+	Client int
+	Kind   Kind
+	Key    string
+	Value  string // written value (Write) or observed result (Read)
+	Batch  []KV   // multi-key atomic write; nil for single-key ops
+	Invoke time.Duration
+	Return time.Duration
+	Done   bool
+}
+
+// String renders one op for failure reports.
+func (o Op) String() string {
+	ret := "pending"
+	if o.Done {
+		ret = fmt.Sprintf("%v", o.Return)
+	}
+	if len(o.Batch) > 0 {
+		var b strings.Builder
+		for i, kv := range o.Batch {
+			if i > 0 {
+				b.WriteByte(' ')
+			}
+			fmt.Fprintf(&b, "%q=%q", kv.Key, kv.Value)
+		}
+		return fmt.Sprintf("c%d txn{%s} [%v, %s]", o.Client, b.String(), o.Invoke, ret)
+	}
+	return fmt.Sprintf("c%d %s(%q)=%q [%v, %s]", o.Client, o.Kind, o.Key, o.Value, o.Invoke, ret)
+}
+
+// Recorder accumulates a history. The workload layer calls Invoke when
+// a command is first transmitted and Return when its reply lands; the
+// returned id ties the two. Safe for concurrent use (real-runtime
+// bridges record from many goroutines; the sim runtime is sequential
+// and pays one uncontended lock).
+type Recorder struct {
+	mu  sync.Mutex
+	ops []Op
+}
+
+// NewRecorder builds an empty recorder.
+func NewRecorder() *Recorder { return &Recorder{} }
+
+// Invoke records an operation's invocation and returns its id.
+func (r *Recorder) Invoke(client int, kind Kind, key, value string, at time.Duration) int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.ops = append(r.ops, Op{Client: client, Kind: kind, Key: key, Value: value, Invoke: at})
+	return len(r.ops) - 1
+}
+
+// InvokeTxn records a multi-key atomic write's invocation (a 2PC
+// batch) and returns its id.
+func (r *Recorder) InvokeTxn(client int, batch []KV, at time.Duration) int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.ops = append(r.ops, Op{Client: client, Kind: Write, Batch: append([]KV(nil), batch...), Invoke: at})
+	return len(r.ops) - 1
+}
+
+// Return records operation id's response. For reads, result is the
+// observed value; writes ignore it.
+func (r *Recorder) Return(id int, result string, at time.Duration) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	op := &r.ops[id]
+	if op.Done {
+		return // duplicate reply for an already-returned op
+	}
+	op.Done = true
+	op.Return = at
+	if op.Kind == Read {
+		op.Value = result
+	}
+}
+
+// Ops snapshots the recorded history.
+func (r *Recorder) Ops() []Op {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]Op(nil), r.ops...)
+}
+
+// Len reports how many operations have been recorded.
+func (r *Recorder) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.ops)
+}
+
+// DefaultMaxStates bounds the checker's memoized search frontier. With
+// unique written values the search is near-linear and never approaches
+// it; hitting the bound returns ErrBound rather than a silent pass.
+const DefaultMaxStates = 1 << 21
+
+// ErrBound reports a search that exceeded Options.MaxStates before
+// reaching a verdict. It is deliberately distinct from a violation: the
+// history was not proven non-linearizable, the checker ran out of
+// budget — loosen the bound or shrink the run.
+var ErrBound = fmt.Errorf("linearize: state budget exhausted before a verdict")
+
+// Options tunes Check.
+type Options struct {
+	// WholeHistory checks all keys against one multi-register store in
+	// a single search instead of per key. Needed when atomicity spans
+	// keys (2PC); much more expensive, so per-key stays the default.
+	WholeHistory bool
+
+	// WeakReads excludes reads from the linearizability search and
+	// instead checks only read validity: every completed read must
+	// observe "" or a value some write (to the same key) had invoked by
+	// the read's return. This is the contract of follower reads —
+	// stale-bounded, monotonic per replica, NOT linearizable — so a
+	// strict check would report false violations by design. Writes are
+	// still checked for linearizability among themselves.
+	WeakReads bool
+
+	// MaxStates bounds the memoized search (0 = DefaultMaxStates).
+	MaxStates int
+}
+
+// Violation describes a non-linearizable history.
+type Violation struct {
+	Key string // offending key ("" in whole-history mode)
+	Msg string
+	Ops []Op // the sub-history that has no witness ordering
+}
+
+// Error implements error.
+func (v *Violation) Error() string {
+	var b strings.Builder
+	where := "history"
+	if v.Key != "" {
+		where = fmt.Sprintf("key %q", v.Key)
+	}
+	fmt.Fprintf(&b, "linearize: %s: %s (%d ops)", where, v.Msg, len(v.Ops))
+	show := v.Ops
+	if len(show) > 12 {
+		show = show[:12]
+	}
+	for _, op := range show {
+		fmt.Fprintf(&b, "\n  %s", op)
+	}
+	if len(show) < len(v.Ops) {
+		fmt.Fprintf(&b, "\n  … %d more", len(v.Ops)-len(show))
+	}
+	return b.String()
+}
+
+// Check searches for a witness ordering of the history: nil means
+// linearizable (a witness exists), a *Violation means none exists, and
+// ErrBound means the search budget ran out first.
+func Check(ops []Op, opt Options) error {
+	if opt.MaxStates <= 0 {
+		opt.MaxStates = DefaultMaxStates
+	}
+	if opt.WeakReads {
+		if err := checkWeakReads(ops); err != nil {
+			return err
+		}
+		// Writes still form a (per-key) linearizable register history.
+		var writes []Op
+		for _, op := range ops {
+			if op.Kind == Write {
+				writes = append(writes, op)
+			}
+		}
+		ops = writes
+	}
+	if !opt.WholeHistory {
+		// Batch ops are atomic across keys; the per-key split would
+		// silently accept torn transactions. Upgrade rather than miss.
+		for _, op := range ops {
+			if len(op.Batch) > 0 {
+				opt.WholeHistory = true
+				break
+			}
+		}
+	}
+	if opt.WholeHistory {
+		return checkHistory(ops, "", opt.MaxStates)
+	}
+	byKey := make(map[string][]Op)
+	keys := make([]string, 0, 8)
+	for _, op := range ops {
+		if _, seen := byKey[op.Key]; !seen {
+			keys = append(keys, op.Key)
+		}
+		byKey[op.Key] = append(byKey[op.Key], op)
+	}
+	sort.Strings(keys) // deterministic key order for reports
+	for _, k := range keys {
+		if err := checkHistory(byKey[k], k, opt.MaxStates); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// checkWeakReads verifies follower-read validity: a completed read may
+// observe "" (the initial value) or any value that some write to its
+// key had invoked before the read returned. Values from the future —
+// or never written at all — are corruption no staleness bound excuses.
+func checkWeakReads(ops []Op) error {
+	invokes := make(map[string]map[string]time.Duration) // key -> value -> earliest write invoke
+	note := func(key, val string, at time.Duration) {
+		m := invokes[key]
+		if m == nil {
+			m = make(map[string]time.Duration)
+			invokes[key] = m
+		}
+		if prev, seen := m[val]; !seen || at < prev {
+			m[val] = at
+		}
+	}
+	for _, op := range ops {
+		if op.Kind != Write {
+			continue
+		}
+		if len(op.Batch) > 0 {
+			for _, kv := range op.Batch {
+				note(kv.Key, kv.Value, op.Invoke)
+			}
+			continue
+		}
+		note(op.Key, op.Value, op.Invoke)
+	}
+	for _, op := range ops {
+		if op.Kind != Read || !op.Done || op.Value == "" {
+			continue
+		}
+		at, written := invokes[op.Key][op.Value]
+		if !written || at > op.Return {
+			return &Violation{
+				Key: op.Key,
+				Msg: fmt.Sprintf("read observed %q, never written to this key before the read returned", op.Value),
+				Ops: []Op{op},
+			}
+		}
+	}
+	return nil
+}
+
+// entry is one op prepared for the search.
+type entry struct {
+	op       Op
+	ret      time.Duration // +inf (maxDuration) for pending ops
+	optional bool          // pending write: may be skipped
+}
+
+const maxDuration = time.Duration(1<<63 - 1)
+
+// checkHistory runs the WGL search over one sub-history modeled as a
+// store of string registers (a single register when every op shares a
+// key). key is only for reporting.
+func checkHistory(ops []Op, key string, maxStates int) error {
+	entries := make([]entry, 0, len(ops))
+	for _, op := range ops {
+		e := entry{op: op, ret: op.Return}
+		if !op.Done {
+			if op.Kind == Read {
+				continue // a pending read constrains nothing
+			}
+			e.ret = maxDuration
+			e.optional = true
+		}
+		entries = append(entries, e)
+	}
+	if len(entries) == 0 {
+		return nil
+	}
+	// Stable order: by invoke, then return, so the search (and any
+	// report) is deterministic regardless of recording order.
+	sort.SliceStable(entries, func(i, j int) bool {
+		if entries[i].op.Invoke != entries[j].op.Invoke {
+			return entries[i].op.Invoke < entries[j].op.Invoke
+		}
+		return entries[i].ret < entries[j].ret
+	})
+
+	n := len(entries)
+	words := (n + 63) / 64
+	required := 0
+	for _, e := range entries {
+		if !e.optional {
+			required++
+		}
+	}
+	if required == 0 {
+		return nil // only pending writes: vacuously linearizable
+	}
+
+	type frame struct {
+		linearized []uint64          // bitset over entries
+		state      map[string]string // register values (nil = all initial "")
+		count      int               // required ops linearized so far
+	}
+	stateKey := func(f *frame) string {
+		var b strings.Builder
+		for _, w := range f.linearized {
+			fmt.Fprintf(&b, "%x.", w)
+		}
+		ks := make([]string, 0, len(f.state))
+		for k := range f.state {
+			ks = append(ks, k)
+		}
+		sort.Strings(ks)
+		for _, k := range ks {
+			fmt.Fprintf(&b, "%s=%s;", k, f.state[k])
+		}
+		return b.String()
+	}
+
+	seen := make(map[string]bool)
+	stack := []*frame{{linearized: make([]uint64, words)}}
+	for len(stack) > 0 {
+		f := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if f.count == required {
+			return nil // witness found
+		}
+		// minRet: every candidate must have invoked before the earliest
+		// return among unlinearized required ops — otherwise some other
+		// op finished strictly before it started and must come first.
+		minRet := maxDuration
+		for i, e := range entries {
+			if f.linearized[i/64]&(1<<(i%64)) != 0 || e.optional {
+				continue
+			}
+			if e.ret < minRet {
+				minRet = e.ret
+			}
+		}
+		for i, e := range entries {
+			if f.linearized[i/64]&(1<<(i%64)) != 0 {
+				continue
+			}
+			if e.op.Invoke > minRet {
+				break // entries are invoke-sorted: no later candidate either
+			}
+			if e.op.Kind == Read {
+				if cur := f.state[e.op.Key]; cur != e.op.Value {
+					continue // this read cannot take effect now
+				}
+			}
+			next := &frame{
+				linearized: append([]uint64(nil), f.linearized...),
+				count:      f.count,
+			}
+			next.linearized[i/64] |= 1 << (i % 64)
+			if !e.optional {
+				next.count++
+			}
+			if e.op.Kind == Write {
+				next.state = make(map[string]string, len(f.state)+1)
+				for k, v := range f.state {
+					next.state[k] = v
+				}
+				if len(e.op.Batch) > 0 {
+					for _, kv := range e.op.Batch {
+						next.state[kv.Key] = kv.Value
+					}
+				} else {
+					next.state[e.op.Key] = e.op.Value
+				}
+			} else {
+				next.state = f.state
+			}
+			k := stateKey(next)
+			if seen[k] {
+				continue
+			}
+			seen[k] = true
+			if len(seen) > maxStates {
+				return ErrBound
+			}
+			stack = append(stack, next)
+		}
+	}
+	viol := make([]Op, 0, len(entries))
+	for _, e := range entries {
+		viol = append(viol, e.op)
+	}
+	return &Violation{Key: key, Msg: "no witness ordering exists", Ops: viol}
+}

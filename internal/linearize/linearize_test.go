@@ -1,0 +1,318 @@
+package linearize
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func ms(n int) time.Duration { return time.Duration(n) * time.Millisecond }
+
+func w(c int, key, val string, inv, ret int) Op {
+	return Op{Client: c, Kind: Write, Key: key, Value: val, Invoke: ms(inv), Return: ms(ret), Done: true}
+}
+
+func r(c int, key, val string, inv, ret int) Op {
+	return Op{Client: c, Kind: Read, Key: key, Value: val, Invoke: ms(inv), Return: ms(ret), Done: true}
+}
+
+func pendingW(c int, key, val string, inv int) Op {
+	return Op{Client: c, Kind: Write, Key: key, Value: val, Invoke: ms(inv)}
+}
+
+func pendingR(c int, key string, inv int) Op {
+	return Op{Client: c, Kind: Read, Key: key, Invoke: ms(inv)}
+}
+
+func TestSequentialHistoryLinearizable(t *testing.T) {
+	ops := []Op{
+		w(0, "k", "a", 0, 1),
+		r(1, "k", "a", 2, 3),
+		w(0, "k", "b", 4, 5),
+		r(1, "k", "b", 6, 7),
+	}
+	if err := Check(ops, Options{}); err != nil {
+		t.Fatalf("sequential history rejected: %v", err)
+	}
+}
+
+func TestInitialValueRead(t *testing.T) {
+	// A read before any write observes the zero value "".
+	ops := []Op{
+		r(0, "k", "", 0, 1),
+		w(1, "k", "a", 2, 3),
+	}
+	if err := Check(ops, Options{}); err != nil {
+		t.Fatalf("initial-value read rejected: %v", err)
+	}
+}
+
+func TestStaleReadRejected(t *testing.T) {
+	// The write of "b" completes strictly before the read starts, yet
+	// the read observes the overwritten "a": the PR 6 lease bug shape.
+	ops := []Op{
+		w(0, "k", "a", 0, 1),
+		w(0, "k", "b", 2, 3),
+		r(1, "k", "a", 4, 5),
+	}
+	err := Check(ops, Options{})
+	var v *Violation
+	if !errors.As(err, &v) {
+		t.Fatalf("stale read accepted (err = %v)", err)
+	}
+	if v.Key != "k" {
+		t.Errorf("violation key = %q, want \"k\"", v.Key)
+	}
+}
+
+func TestNeverWrittenValueRejected(t *testing.T) {
+	ops := []Op{
+		w(0, "k", "a", 0, 1),
+		r(1, "k", "ghost", 2, 3),
+	}
+	if err := Check(ops, Options{}); err == nil {
+		t.Fatal("read of a never-written value accepted")
+	}
+}
+
+func TestConcurrentReadMayObserveEitherSide(t *testing.T) {
+	// A read concurrent with a write may land before or after it.
+	for _, seen := range []string{"", "a"} {
+		ops := []Op{
+			w(0, "k", "a", 0, 10),
+			r(1, "k", seen, 2, 8),
+		}
+		if err := Check(ops, Options{}); err != nil {
+			t.Fatalf("concurrent read observing %q rejected: %v", seen, err)
+		}
+	}
+}
+
+func TestConcurrentWritesBothOrders(t *testing.T) {
+	// Two overlapping writes: later reads fix the order, and both
+	// resolutions must be accepted.
+	for _, last := range []string{"a", "b"} {
+		ops := []Op{
+			w(0, "k", "a", 0, 10),
+			w(1, "k", "b", 2, 8),
+			r(2, "k", last, 11, 12),
+		}
+		if err := Check(ops, Options{}); err != nil {
+			t.Fatalf("order with %q last rejected: %v", last, err)
+		}
+	}
+}
+
+func TestReadsDisagreeOnOrderRejected(t *testing.T) {
+	// Two sequential reads observing values in the order opposite to
+	// the (sequential) writes: no witness exists.
+	ops := []Op{
+		w(0, "k", "a", 0, 1),
+		w(0, "k", "b", 2, 3),
+		r(1, "k", "b", 4, 5),
+		r(1, "k", "a", 6, 7),
+	}
+	if err := Check(ops, Options{}); err == nil {
+		t.Fatal("reads observing writes in reverse order accepted")
+	}
+}
+
+func TestPendingWriteMayHaveTakenEffect(t *testing.T) {
+	// The client never heard back, but the write may have applied: a
+	// later read observing it is fine...
+	ops := []Op{
+		pendingW(0, "k", "a", 0),
+		r(1, "k", "a", 5, 6),
+	}
+	if err := Check(ops, Options{}); err != nil {
+		t.Fatalf("pending write's effect rejected: %v", err)
+	}
+	// ...and so is a later read never observing it.
+	ops = []Op{
+		pendingW(0, "k", "a", 0),
+		r(1, "k", "", 5, 6),
+	}
+	if err := Check(ops, Options{}); err != nil {
+		t.Fatalf("pending write's omission rejected: %v", err)
+	}
+}
+
+func TestPendingWriteCannotTimeTravel(t *testing.T) {
+	// A pending write invoked at t=10 cannot explain a read that
+	// returned at t=6.
+	ops := []Op{
+		r(0, "k", "a", 5, 6),
+		pendingW(1, "k", "a", 10),
+	}
+	if err := Check(ops, Options{}); err == nil {
+		t.Fatal("read observed a write invoked after the read returned")
+	}
+}
+
+func TestPendingReadDropped(t *testing.T) {
+	ops := []Op{
+		w(0, "k", "a", 0, 1),
+		pendingR(1, "k", 2),
+	}
+	if err := Check(ops, Options{}); err != nil {
+		t.Fatalf("pending read should constrain nothing: %v", err)
+	}
+}
+
+func TestPerKeyIndependence(t *testing.T) {
+	// A violation on one key is found even when other keys are clean.
+	ops := []Op{
+		w(0, "x", "a", 0, 1),
+		r(1, "x", "a", 2, 3),
+		w(0, "y", "p", 0, 1),
+		w(0, "y", "q", 2, 3),
+		r(1, "y", "p", 4, 5), // stale
+	}
+	err := Check(ops, Options{})
+	var v *Violation
+	if !errors.As(err, &v) {
+		t.Fatalf("cross-key history with one bad key accepted (err = %v)", err)
+	}
+	if v.Key != "y" {
+		t.Errorf("violation key = %q, want \"y\"", v.Key)
+	}
+}
+
+func TestBatchWriteAtomicity(t *testing.T) {
+	// A 2PC batch {x=a, y=b} concurrent with a reader who sees x=a and
+	// then — strictly later — y="". The batch must linearize before the
+	// first read and after the second: no witness, a torn transaction.
+	// (Each per-key projection alone is clean; Batch forces the
+	// whole-history search that sees the tear.)
+	txn := Op{Client: 0, Kind: Write, Batch: []KV{{"x", "a"}, {"y", "b"}},
+		Invoke: ms(0), Return: ms(10), Done: true}
+	torn := []Op{
+		txn,
+		r(1, "x", "a", 2, 3),
+		r(1, "y", "", 4, 5),
+	}
+	if err := Check(torn, Options{}); err == nil {
+		t.Fatal("torn transaction accepted")
+	}
+	// The same shape with the second read seeing y=b is fine.
+	atomic := []Op{
+		txn,
+		r(1, "x", "a", 2, 3),
+		r(1, "y", "b", 4, 5),
+	}
+	if err := Check(atomic, Options{}); err != nil {
+		t.Fatalf("atomic transaction rejected: %v", err)
+	}
+}
+
+func TestRecorderTxn(t *testing.T) {
+	rec := NewRecorder()
+	id := rec.InvokeTxn(0, []KV{{"x", "a"}, {"y", "b"}}, ms(0))
+	rec.Return(id, "", ms(1))
+	ops := rec.Ops()
+	if len(ops) != 1 || len(ops[0].Batch) != 2 || !ops[0].Done {
+		t.Fatalf("txn not recorded: %+v", ops)
+	}
+	if err := Check(ops, Options{}); err != nil {
+		t.Fatalf("lone txn rejected: %v", err)
+	}
+}
+
+func TestWeakReadsAllowStaleButNotFabricated(t *testing.T) {
+	stale := []Op{
+		w(0, "k", "a", 0, 1),
+		w(0, "k", "b", 2, 3),
+		r(1, "k", "a", 4, 5), // stale: fine under WeakReads
+	}
+	if err := Check(stale, Options{WeakReads: true}); err != nil {
+		t.Fatalf("weak mode rejected a merely stale read: %v", err)
+	}
+	if err := Check(stale, Options{}); err == nil {
+		t.Fatal("strict mode accepted the stale read")
+	}
+	fabricated := []Op{
+		w(0, "k", "a", 0, 1),
+		r(1, "k", "ghost", 2, 3),
+	}
+	if err := Check(fabricated, Options{WeakReads: true}); err == nil {
+		t.Fatal("weak mode accepted a never-written value")
+	}
+	future := []Op{
+		r(1, "k", "a", 0, 1),
+		w(0, "k", "a", 5, 6),
+	}
+	if err := Check(future, Options{WeakReads: true}); err == nil {
+		t.Fatal("weak mode accepted a read from the future")
+	}
+}
+
+func TestWeakReadsStillCheckWrites(t *testing.T) {
+	// Writes alone must stay linearizable under WeakReads. Two writes
+	// cannot both be "last" for two sequential strict reads, but with
+	// reads excluded the write-only residue here is fine — so instead
+	// exercise a genuinely broken write history: a completed write
+	// observed... actually writes alone on a register are always
+	// linearizable (any interleaving works), so verify the mode runs
+	// the write check path without error.
+	ops := []Op{
+		w(0, "k", "a", 0, 10),
+		w(1, "k", "b", 2, 8),
+		r(2, "k", "a", 20, 21),
+	}
+	if err := Check(ops, Options{WeakReads: true}); err != nil {
+		t.Fatalf("weak mode write residue rejected: %v", err)
+	}
+}
+
+func TestRecorderRoundTrip(t *testing.T) {
+	rec := NewRecorder()
+	id0 := rec.Invoke(0, Write, "k", "a", ms(0))
+	id1 := rec.Invoke(1, Read, "k", "", ms(2))
+	rec.Return(id0, "", ms(1))
+	rec.Return(id1, "a", ms(3))
+	rec.Invoke(2, Write, "k", "b", ms(4)) // left pending
+	ops := rec.Ops()
+	if len(ops) != 3 || rec.Len() != 3 {
+		t.Fatalf("recorded %d ops, want 3", len(ops))
+	}
+	if !ops[0].Done || !ops[1].Done || ops[2].Done {
+		t.Fatalf("Done flags wrong: %+v", ops)
+	}
+	if ops[1].Value != "a" {
+		t.Fatalf("read result not captured: %+v", ops[1])
+	}
+	if err := Check(ops, Options{}); err != nil {
+		t.Fatalf("recorded history rejected: %v", err)
+	}
+	// Duplicate replies must not clobber the first return.
+	rec.Return(id1, "zzz", ms(9))
+	if got := rec.Ops()[1].Value; got != "a" {
+		t.Fatalf("duplicate reply clobbered result: %q", got)
+	}
+}
+
+func TestStateBudget(t *testing.T) {
+	// Many concurrent writes of distinct values with no reads blow up
+	// the frontier; a tiny budget must yield ErrBound, not a pass.
+	var ops []Op
+	for i := 0; i < 12; i++ {
+		ops = append(ops, Op{Client: i, Kind: Write, Key: "k",
+			Value: string(rune('a' + i)), Invoke: 0, Return: ms(100), Done: true})
+	}
+	// A contradictory read forces the search to exhaust orderings.
+	ops = append(ops, r(99, "k", "ghost", 200, 201))
+	err := Check(ops, Options{MaxStates: 16})
+	if !errors.Is(err, ErrBound) {
+		t.Fatalf("err = %v, want ErrBound", err)
+	}
+}
+
+func TestEmptyAndWriteOnlyHistories(t *testing.T) {
+	if err := Check(nil, Options{}); err != nil {
+		t.Fatalf("empty history rejected: %v", err)
+	}
+	ops := []Op{w(0, "k", "a", 0, 1), w(1, "k", "b", 0, 1), pendingW(2, "k", "c", 0)}
+	if err := Check(ops, Options{}); err != nil {
+		t.Fatalf("write-only history rejected: %v", err)
+	}
+}

@@ -335,6 +335,9 @@ func (r *Replica) onLearn(m msg.MencLearn) {
 	if len(byNode) >= r.quorum {
 		delete(r.votes, m.Instance)
 		r.log.Learn(m.Instance, m.Value)
+		// A hole below this learn may be a dropped-learn gap that live
+		// traffic will never refill; arm the stall watchdog.
+		r.snap.WatchGap(r.ctx)
 	}
 }
 

@@ -112,6 +112,20 @@ func wireSamples() []Message {
 		ReadIndexRequest{Round: math.MaxUint64, Lease: true},
 		ReadIndexAck{},
 		ReadIndexAck{Round: 9, OK: true, Frontier: -1, Hold: 1 << 40},
+		// Fault-era traffic: the shapes scenario fuzzing puts on the wire
+		// mid-storm. A snapshot transfer cut by a partition leaves
+		// mid-stream chunks (nonzero Seq, not Last) and restarts at Seq 0;
+		// catch-up pushes arrive partial (entries without Done); lease
+		// rounds come back as refusals carrying the conflicting hold;
+		// reads bounce off catching-up replicas as redirects; and the
+		// utility backfills regime-log gaps with zero no-op entries.
+		SnapshotChunk{Seq: 17, Data: []byte(bigString[:512])},
+		SnapshotChunk{Seq: 0, Data: []byte{0xff}},
+		CatchupEntries{Entries: []Decided{{Instance: 40, Value: val}}},
+		ReadIndexAck{Round: 12, OK: false, Frontier: 88, Hold: int64(6 * 1000 * 1000)},
+		ReadReply{Seq: 31, OK: false, Redirect: 2},
+		UtilAccept{Slot: 8, PN: 3, Entry: UtilEntry{}},
+		UtilAccepted{Slot: 8, PN: 3, Entry: UtilEntry{}, From: 2},
 	}
 }
 

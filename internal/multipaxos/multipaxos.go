@@ -567,6 +567,9 @@ func (r *Replica) onLearn(m msg.MPLearn) {
 		delete(r.votes, m.Instance)
 		delete(r.outstanding, m.Instance)
 		r.log.Learn(m.Instance, m.Value)
+		// A hole below this learn may be a dropped-learn gap that live
+		// traffic will never refill; arm the stall watchdog.
+		r.snap.WatchGap(r.ctx)
 	}
 }
 

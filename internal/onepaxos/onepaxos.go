@@ -448,6 +448,17 @@ func (r *Replica) onClientRequest(from msg.NodeID, req msg.ClientRequest) {
 		return
 	}
 	switch {
+	case r.iAmLeader && r.switchingAa:
+		// Mid acceptor switch: a new proposal sent to the outgoing
+		// acceptor could be decided there *above* the frontier the
+		// in-flight AcceptorChange carries — invisible to both its
+		// Uncommitted set and the next regime's noop floor, so a later
+		// leader would noop-fill the instance over a decided value.
+		// Queue; adoption of the fresh acceptor flushes pending.
+		for _, be := range entries {
+			r.origin[originKey{req.Client, be.Seq}] = true
+		}
+		r.pending = append(r.pending, msg.NewRequest(req.Client, req.Ack, entries))
 	case r.iAmLeader:
 		for _, be := range entries {
 			r.origin[originKey{req.Client, be.Seq}] = true
@@ -492,6 +503,20 @@ func (r *Replica) sendAccept(in int64) {
 // --- Acceptor role (Appendix A lines 45-61) ---
 
 func (r *Replica) onPrepareRequest(from msg.NodeID, m msg.PrepareRequest) {
+	if r.aa != r.me {
+		// This node is not the active acceptor in the newest regime it
+		// has observed, so the proposer's view is staler than ours. The
+		// paper's fail-stop assumption does not hold under partitions: a
+		// falsely-suspected acceptor keeps running, and honoring this
+		// prepare would let a deposed leader commit against short-term
+		// memory the regime has already moved past. Refuse; the
+		// proposer's utility backfill will refresh its view. (A freshly
+		// promoted acceptor that has not yet applied its own
+		// AcceptorChange also lands here — the proposer's prepare
+		// deadline retries until the commit reaches us.)
+		r.ctx.Send(from, msg.Abandon{HPN: r.hpn})
+		return
+	}
 	if r.read.PrepareHold(from) > 0 {
 		// An unexpired read lease binds this acceptor to another leader:
 		// adopting from now could let it commit writes the lease holder
@@ -525,6 +550,13 @@ func (r *Replica) onPrepareRequest(from msg.NodeID, m msg.PrepareRequest) {
 }
 
 func (r *Replica) onAcceptRequest(from msg.NodeID, m msg.AcceptRequest) {
+	if r.aa != r.me {
+		// Retired acceptor (see the matching check in onPrepareRequest):
+		// accepting from a staler-view leader would decide an instance a
+		// newer regime may have decided differently elsewhere.
+		r.ctx.Send(from, msg.Abandon{HPN: r.hpn})
+		return
+	}
 	// Prune accepted proposals below the applied frontier: they are
 	// learner state now (the acceptor is only short-term memory,
 	// Section 4.1).
@@ -591,10 +623,12 @@ func (r *Replica) apSlice() []msg.Proposal {
 }
 
 // proposalsSince merges the acceptor's live accepted proposals with the
-// already-applied suffix of its log from the given instance on. The
-// applied values are decided, so returning them as accepted proposals is
-// always safe; without them a proposer lagging behind this node's applied
-// frontier could propose a fresh value for a decided instance.
+// decided suffix of its log from the given instance on — both the
+// applied entries and the learned-but-unapplied ones (a catch-up
+// transfer can install learns this acceptor never accepted, so they are
+// in neither ap nor the applied history). Decided values are always safe
+// to return as accepted proposals; without them a proposer lagging
+// behind this node could propose a fresh value for a decided instance.
 func (r *Replica) proposalsSince(from int64) []msg.Proposal {
 	seen := make(map[int64]bool, len(r.ap))
 	out := make([]msg.Proposal, 0, len(r.ap))
@@ -606,6 +640,13 @@ func (r *Replica) proposalsSince(from int64) []msg.Proposal {
 	}
 	r.log.Scan(from, func(e rsm.Entry) bool {
 		if !seen[e.Instance] {
+			seen[e.Instance] = true
+			out = append(out, msg.Proposal{Instance: e.Instance, PN: r.hpn, Value: e.Value})
+		}
+		return true
+	})
+	r.log.ScanPending(func(e rsm.Entry) bool {
+		if e.Instance >= from && !seen[e.Instance] {
 			out = append(out, msg.Proposal{Instance: e.Instance, PN: r.hpn, Value: e.Value})
 		}
 		return true
@@ -624,6 +665,10 @@ func (r *Replica) onLearn(m msg.Learn) {
 		}
 		r.log.Learn(p.Instance, p.Value)
 	}
+	// A hole below these learns may be permanent — its own learn could
+	// have been dropped by a partition, and instances below the noop
+	// floor are never gap-filled. Arm the stall watchdog.
+	r.snap.WatchGap(r.ctx)
 }
 
 // onApply fires for every instance applied in order; a batched value
@@ -673,6 +718,11 @@ func (r *Replica) onPrepareResponse(from msg.NodeID, m msg.PrepareResponse) {
 		// their values arrive via the catch-up push, not this response.
 		r.noopFloor = m.Floor
 	}
+	// Compacted instances are invisible to the response's Accepted set
+	// (the acceptor's retained log starts at its floor), so a stale local
+	// proposal below it would survive registerProposals — drop it instead
+	// of re-proposing it over a decided instance.
+	r.dropProposalsBelow(m.Floor)
 	r.registerProposals(m.Accepted)
 	r.catchUpInstances()
 	// Re-propose everything uncommitted (getAny prefers registered values,
@@ -688,6 +738,24 @@ func (r *Replica) onPrepareResponse(from msg.NodeID, m msg.PrepareResponse) {
 			continue
 		}
 		r.proposeValue(msg.NewValue(req.Client, req.Ack, keep))
+	}
+}
+
+// dropProposalsBelow forgets local proposals for instances below floor.
+// A proposal registered during an earlier, since-deposed leadership can
+// linger in r.proposed with a value that lost: the instance was decided
+// under a regime this node never witnessed (its learn was cut off), and
+// re-proposing the loser to a fresh acceptor — which has no memory of
+// the decided value — would decide the instance twice. Both floors this
+// is called with attest every instance below them decided: an
+// AcceptorChange frontier (whose Uncommitted carries the only proposals
+// allowed to live below it, re-registered right after the drop) and an
+// acceptor's snapshot-compaction floor.
+func (r *Replica) dropProposalsBelow(floor int64) {
+	for in := range r.proposed {
+		if in < floor {
+			delete(r.proposed, in)
+		}
 	}
 }
 
@@ -773,6 +841,20 @@ func (r *Replica) startTakeover() {
 	slot := r.util.Frontier()
 	entry := msg.UtilEntry{Type: msg.EntryLeaderChange, Leader: r.me, Acceptor: r.aa}
 	r.util.Propose(r.ctx, slot, entry, func(success bool, chosen msg.UtilEntry) {
+		if success && r.util.Superseded(slot) {
+			// Our LeaderChange committed, but its discovery arrived so
+			// late (crash window, partition) that later slots have
+			// already replaced the regime it installed. Adopting now
+			// would promote ancient authority — a stale self-leader
+			// deciding instances in parallel with the live regime.
+			// Re-run the takeover against the current frontier instead.
+			r.takingOver = false
+			r.aa = msg.Nobody
+			if len(r.pending) > 0 {
+				r.ctx.After(r.cfg.TakeoverBackoff, runtime.TimerTag{Kind: timerRetryTakeover})
+			}
+			return
+		}
 		if !success {
 			// Another entry won the slot; onUtilCommit already updated our
 			// view. Forward to the new leader or retry after a backoff.
@@ -895,6 +977,14 @@ func (r *Replica) onAcceptorFailure(virginSwitch bool) {
 			// re-trigger the switch if the acceptor is still silent.
 			return
 		}
+		if r.util.Superseded(slot) {
+			// The switch committed but later slots already replaced the
+			// regime it installed (late commit discovery): adopting the
+			// backup now would run a stale leadership in parallel with
+			// the live one. Our uncommitted proposals travelled in the
+			// entry; the live regime re-proposes them.
+			return
+		}
 		r.acceptorSwaps++
 		r.aa = next
 		r.iAmLeader = false // must re-adopt the fresh acceptor (line 13)
@@ -967,6 +1057,11 @@ func (r *Replica) onUtilCommit(_ int64, e msg.UtilEntry) {
 			// acceptor; never hand them to fresh proposals.
 			r.nextInst = r.noopFloor
 		}
+		// The entry's Uncommitted set is the complete list of proposals
+		// still live below the frontier; anything else this node holds
+		// there is a deposed leftover that must not reach the fresh
+		// acceptor.
+		r.dropProposalsBelow(r.noopFloor)
 		r.registerProposals(e.Uncommitted)
 		if e.Acceptor == r.me {
 			// We are the promoted fresh backup: reset short-term memory.
@@ -975,6 +1070,9 @@ func (r *Replica) onUtilCommit(_ int64, e msg.UtilEntry) {
 			r.ap = make(map[int64]msg.Proposal)
 			r.iAmFresh = true
 			r.learnBuf = nil
+			// The old acceptor's lease grants are invisible here; hold
+			// every adoption until the longest one could have lapsed.
+			r.read.AssumeForeignLease()
 		}
 		if e.Leader != r.me && r.iAmLeader {
 			r.iAmLeader = false

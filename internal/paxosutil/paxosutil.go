@@ -50,6 +50,8 @@ type Util struct {
 
 	committed map[int64]msg.UtilEntry
 	frontier  int64 // first slot with no committed entry (contiguous prefix)
+	delivered int64 // next slot to hand to onCommit (never above frontier)
+	maxSlot   int64 // one past the highest committed slot (backfill target)
 
 	accs    map[int64]*basicpaxos.Acceptor[msg.UtilEntry]
 	props   map[int64]*proposal
@@ -66,6 +68,13 @@ type proposal struct {
 	synod       *basicpaxos.Proposer[msg.UtilEntry]
 	done        DoneFunc
 	cancelTimer runtime.CancelFunc
+	armedAt     time.Duration // when the retry timer was last armed
+	// internal marks a backfill no-op proposal. The engine may pick the
+	// same slot for a real entry before the backfill resolves; a real
+	// Propose displaces an internal one (abandoning a proposer is always
+	// safe — the replacement's higher-PN prepare adopts any value the
+	// abandoned round got accepted).
+	internal bool
 }
 
 // New builds a utility over the given member set (which must include me).
@@ -98,13 +107,25 @@ func New(me msg.NodeID, members []msg.NodeID) *Util {
 // deployments where round trips are far longer).
 func (u *Util) SetRetryTimeout(d time.Duration) { u.retry = d }
 
-// OnCommit registers the callback invoked once per slot, in commit order
-// discovery (not necessarily slot order), when an entry becomes chosen.
+// OnCommit registers the callback invoked once per slot, in slot order.
+// A commit discovered above a gap (its acceptance broadcasts raced a
+// partition) is held back until the gap fills, so observers may treat
+// each delivery as the latest regime: applying a LeaderChange or
+// AcceptorChange out of order would roll a node's view back to a
+// deposed configuration.
 func (u *Util) OnCommit(fn func(slot int64, e msg.UtilEntry)) { u.onCommit = fn }
 
 // Frontier reports the first slot this node has no committed entry for —
 // the slot Propose should target.
 func (u *Util) Frontier() int64 { return u.frontier }
+
+// Superseded reports whether any slot above the given one is already
+// known committed locally: a decision at slot is then history, not the
+// current regime. A proposer whose entry commits superseded must not
+// act on the authority it grants — commit discovery can arrive
+// arbitrarily late (crash windows, partitions), long after later slots
+// replaced the regime the entry installed.
+func (u *Util) Superseded(slot int64) bool { return u.maxSlot > slot+1 }
 
 // Committed reports the chosen entry at slot, if known locally.
 func (u *Util) Committed(slot int64) (msg.UtilEntry, bool) {
@@ -154,8 +175,15 @@ func (u *Util) Propose(ctx runtime.Context, slot int64, entry msg.UtilEntry, don
 		done(entryEqual(e, entry), e)
 		return
 	}
-	if _, busy := u.props[slot]; busy {
-		panic(fmt.Sprintf("paxosutil: node %d already proposing at slot %d", u.me, slot))
+	if p, busy := u.props[slot]; busy {
+		if !p.internal {
+			panic(fmt.Sprintf("paxosutil: node %d already proposing at slot %d", u.me, slot))
+		}
+		// Displace an in-flight backfill no-op with the real entry.
+		if p.cancelTimer != nil {
+			p.cancelTimer()
+		}
+		delete(u.props, slot)
 	}
 	pn := basicpaxos.NextPN(u.me, u.maxPNSeen)
 	u.maxPNSeen = pn
@@ -176,7 +204,44 @@ func (u *Util) armRetry(ctx runtime.Context, p *proposal) {
 	}
 	// Jitter the retry so duelling proposers desynchronize.
 	jitter := time.Duration(ctx.Rand().Int63n(int64(u.retry)/2 + 1))
+	p.armedAt = ctx.Now()
 	p.cancelTimer = ctx.After(u.retry+jitter, runtime.TimerTag{Kind: TimerRetry, Arg: p.slot})
+}
+
+// reviveStalled restarts in-flight proposals whose retry timer never
+// fired: a timer that expires while its node is crashed is dropped, not
+// deferred, so a proposal armed before the crash would otherwise hang
+// forever. Any utility message is evidence the node is back; a proposal
+// long past its retry deadline gets a fresh round.
+func (u *Util) reviveStalled(ctx runtime.Context) {
+	for _, p := range u.props {
+		if ctx.Now() < p.armedAt+2*u.retry {
+			continue
+		}
+		pn := basicpaxos.NextPN(u.me, u.maxPNSeen)
+		u.maxPNSeen = pn
+		p.synod.Restart(pn)
+		u.armRetry(ctx, p)
+		u.broadcast(ctx, msg.UtilPrepare{Slot: p.slot, PN: pn})
+	}
+}
+
+// backfill drives consensus at the lowest gap slot when a commit is
+// known to exist above it. A node cut off from the acceptance
+// broadcasts has no other way to learn the missed decisions (nothing
+// re-broadcasts them), and slot-ordered observer delivery holds every
+// later regime change hostage to the gap. Proposing a no-op entry at
+// the gap adopts whatever was decided there (synod safety); a genuinely
+// undecided slot commits the no-op, which every reader skips.
+func (u *Util) backfill(ctx runtime.Context) {
+	if u.frontier >= u.maxSlot {
+		return
+	}
+	if _, busy := u.props[u.frontier]; busy {
+		return
+	}
+	u.Propose(ctx, u.frontier, msg.UtilEntry{}, func(bool, msg.UtilEntry) {})
+	u.props[u.frontier].internal = true
 }
 
 // HandleTimer processes a utility timer. It reports whether the tag was
@@ -215,6 +280,8 @@ func (u *Util) Handle(ctx runtime.Context, from msg.NodeID, m msg.Message) bool 
 	default:
 		return false
 	}
+	u.reviveStalled(ctx)
+	u.backfill(ctx)
 	return true
 }
 
@@ -301,6 +368,9 @@ func (u *Util) commit(slot int64, e msg.UtilEntry) {
 		return
 	}
 	u.committed[slot] = e
+	if slot+1 > u.maxSlot {
+		u.maxSlot = slot + 1
+	}
 	for {
 		if _, ok := u.committed[u.frontier]; !ok {
 			break
@@ -315,8 +385,13 @@ func (u *Util) commit(slot int64, e msg.UtilEntry) {
 		}
 		p.done(entryEqual(e, p.entry), e)
 	}
-	if u.onCommit != nil {
-		u.onCommit(slot, e)
+	// Observer delivery stays in slot order: a commit above a gap waits
+	// for the gap to fill (see OnCommit). Re-read the frontier each step —
+	// a handler could feed a message that commits further slots.
+	for u.onCommit != nil && u.delivered < u.frontier {
+		s := u.delivered
+		u.delivered++
+		u.onCommit(s, u.committed[s])
 	}
 }
 

@@ -216,10 +216,19 @@ type Server struct {
 	// Granter-side lease state.
 	grantHolder msg.NodeID
 	grantUntil  time.Duration
+	// foreignUntil covers leases this node cannot see: a freshly
+	// promoted 1Paxos acceptor inherits none of its predecessor's grant
+	// state, so it assumes an unknown holder was granted a full-duration
+	// lease at promotion and refuses every prepare until it lapses.
+	foreignUntil time.Duration
 
 	mu    sync.Mutex
 	skew  time.Duration // test hook: added to every clock read
 	stats metrics.ReadStats
+
+	// legacySelfExempt re-enables a fixed bug for the fuzzer's
+	// revert-guard test; see SetLegacyGranterSelfExemption.
+	legacySelfExempt bool
 }
 
 // New builds a Server. Engines construct one unconditionally; with
@@ -256,6 +265,29 @@ func (s *Server) SkewClock(d time.Duration) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.skew = d
+}
+
+// SetLegacyGranterSelfExemption re-enables a historical bug, for tests
+// only: with it on, PrepareHold's granter-side clause exempts this
+// node's own prepares — so a granter can count its own vote toward
+// deposing the very holder its grant still protects — and lease serving
+// skips the applied-frontier gate, as the code of that era did. Together
+// they restore the stale-read hole the lease adversarial test originally
+// caught (an isolated holder serving local reads while a challenger
+// commits writes behind it). The scenario fuzzer's revert-guard flips it
+// on to prove the linearizability checker finds the resulting stale
+// reads from a seeded fault schedule alone. Never set outside a test.
+// Safe from any goroutine.
+func (s *Server) SetLegacyGranterSelfExemption(on bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.legacySelfExempt = on
+}
+
+func (s *Server) legacyExempt() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.legacySelfExempt
 }
 
 func (s *Server) now() time.Duration {
@@ -341,7 +373,7 @@ func (s *Server) onRead(m msg.ReadRequest) {
 		}
 		now := s.now()
 		if s.leaseUntil > 0 && now < s.leaseUntil {
-			s.serveLocal(reads, false)
+			s.leaseServe(reads)
 			return
 		}
 		if s.leaseUntil > 0 {
@@ -414,7 +446,12 @@ func (s *Server) startRound() {
 	}
 	req := msg.ReadIndexRequest{Round: s.round, Lease: s.isLease}
 	for _, id := range confirmers {
-		if id != s.cfg.ID {
+		// Nobody marks a confirmer the engine cannot name right now
+		// (1Paxos mid-takeover, before the acceptor view settles). It
+		// still counts toward need above, so the round waits for the
+		// resend timer to re-evaluate Confirmers instead of confirming
+		// without the serialization point's word.
+		if id != s.cfg.ID && id != msg.Nobody {
 			s.ctx.Send(id, req)
 		}
 	}
@@ -427,7 +464,7 @@ func (s *Server) startRound() {
 func (s *Server) resendRound() {
 	req := msg.ReadIndexRequest{Round: s.round, Lease: s.isLease}
 	for _, id := range s.cfg.Confirmers() {
-		if id != s.cfg.ID && !s.acks[id] {
+		if id != s.cfg.ID && id != msg.Nobody && !s.acks[id] {
 			s.ctx.Send(id, req)
 		}
 	}
@@ -486,7 +523,8 @@ func (s *Server) PrepareHold(from msg.NodeID) time.Duration {
 	}
 	now := s.now()
 	var hold time.Duration
-	if s.grantHolder != msg.Nobody && s.grantHolder != from && s.grantUntil > now {
+	if s.grantHolder != msg.Nobody && s.grantHolder != from && s.grantUntil > now &&
+		!(from == s.cfg.ID && s.legacyExempt()) {
 		hold = s.grantUntil - now
 	}
 	if from != s.cfg.ID && s.blockUntil > now {
@@ -497,7 +535,34 @@ func (s *Server) PrepareHold(from msg.NodeID) time.Duration {
 			hold = h
 		}
 	}
+	if s.foreignUntil > now {
+		// A lease granted by a predecessor acceptor may still be live
+		// and we cannot name its holder: hold everyone, self included.
+		if h := s.foreignUntil - now; h > hold {
+			hold = h
+		}
+	}
 	return hold
+}
+
+// AssumeForeignLease makes this node refuse every prepare for one full
+// lease duration, as if an unknown peer had just been granted a lease.
+// A 1Paxos engine calls it when this node is promoted to active
+// acceptor: leases granted by the previous acceptor are invisible here,
+// and adopting a leader before they lapse would let it commit writes a
+// still-serving holder never applies. Any such lease was granted before
+// the promotion committed (the old holder stops renewing there once it
+// switches, and a partition that keeps the old holder-granter pair
+// intact also blocks the promotion), so now+duration outlives it — the
+// holder's quarter-duration early serving cutoff absorbs both clock
+// skew and grant acks that were already in flight.
+func (s *Server) AssumeForeignLease() {
+	if s.cfg.Mode != Lease || !s.cfg.LeaseCapable {
+		return
+	}
+	if u := s.now() + s.cfg.LeaseDuration; u > s.foreignUntil {
+		s.foreignUntil = u
+	}
 }
 
 // --- Round completion ---
@@ -605,13 +670,31 @@ func (s *Server) completeRound() {
 	}
 	if s.isLease && s.leaseUntil > s.now() && s.cfg.IsLeader() {
 		// The round just (re)established the lease: reads that arrived
-		// during it are served locally, no further round needed.
+		// during it are served under it, no further round needed.
 		local := s.queue
 		s.queue = nil
-		s.serveLocal(local, false)
+		s.leaseServe(local)
 		return
 	}
 	s.startRound()
+}
+
+// leaseServe serves reads under a valid lease. The lease guarantees no
+// other node can commit a write the holder did not propose, so the
+// current frontier bounds every instance that could hold a completed
+// write — but it says nothing about the holder's own applies: a crash
+// or partition can drop the holder's learns while followers apply and
+// answer the very same writes. Serve from local state only once applies
+// cover the frontier; otherwise wait for them (a local wait — the lease
+// is exactly what makes a quorum confirmation round unnecessary).
+func (s *Server) leaseServe(reads []pending) {
+	f := s.cfg.Frontier()
+	if s.cfg.Applied() >= f || s.legacyExempt() {
+		s.serveLocal(reads, false)
+		return
+	}
+	s.count(func(st *metrics.ReadStats) { st.Fallbacks += int64(len(reads)) })
+	s.waiters = append(s.waiters, waiter{frontier: f, reads: reads})
 }
 
 // onLeaseTick drives lease renewal (and post-hold retries): while the

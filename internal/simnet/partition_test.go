@@ -1,0 +1,210 @@
+package simnet
+
+// Partition/Heal semantics tests. The lease adversarial tests exercise
+// partitions only indirectly (through a whole protocol stack); these
+// pin the simulator's own contract directly: cuts are symmetric and
+// argument-order-independent, messages already in flight at cut time
+// still arrive, a cut is independent of the endpoints' crash state, and
+// healing restores delivery in both directions. Plus the delivery
+// perturbation hook's contract: drops charge the sender, extra delay
+// shifts (and can reorder) arrivals, and a seeded perturbation replays
+// byte-for-byte.
+
+import (
+	"testing"
+	"time"
+
+	"consensusinside/internal/msg"
+	"consensusinside/internal/runtime"
+	"consensusinside/internal/topology"
+)
+
+// echoPair wires two nodes that send to each other on a timer, so both
+// directions of the 0-1 link see traffic.
+func echoPair(net *Network, at time.Duration) (a, b *collector) {
+	a, b = &collector{}, &collector{}
+	mk := func(sink *collector, peer msg.NodeID) runtime.Handler {
+		return runtime.HandlerFunc{
+			OnStart: func(ctx runtime.Context) {
+				ctx.After(at, runtime.TimerTag{Kind: 1})
+			},
+			OnTimer: func(ctx runtime.Context, _ runtime.TimerTag) {
+				ctx.Send(peer, ping{})
+			},
+			OnReceive: func(ctx runtime.Context, from msg.NodeID, m msg.Message) {
+				sink.got = append(sink.got, receipt{from: from, m: m, at: ctx.Now()})
+			},
+		}
+	}
+	net.AddNode(mk(a, 1))
+	net.AddNode(mk(b, 0))
+	return a, b
+}
+
+func TestPartitionCutsBothDirections(t *testing.T) {
+	m := topology.Uniform(2, time.Microsecond)
+	net := New(m, flatCost(), 1)
+	a, b := echoPair(net, 10*time.Microsecond)
+	net.Partition(0, 1)
+	net.Start()
+	net.RunFor(time.Millisecond)
+	if len(a.got) != 0 || len(b.got) != 0 {
+		t.Fatalf("messages crossed a cut link: %d and %d receipts", len(a.got), len(b.got))
+	}
+	// Both senders drop at their own end.
+	if d := net.Stats(0).Dropped; d != 1 {
+		t.Errorf("node 0 Dropped = %d, want 1", d)
+	}
+	if d := net.Stats(1).Dropped; d != 1 {
+		t.Errorf("node 1 Dropped = %d, want 1", d)
+	}
+}
+
+func TestHealIsArgumentOrderIndependent(t *testing.T) {
+	m := topology.Uniform(2, time.Microsecond)
+	net := New(m, flatCost(), 1)
+	a, b := echoPair(net, 10*time.Microsecond)
+	// Cut as (0,1), heal as (1,0): the link key is an unordered pair.
+	net.Partition(0, 1)
+	net.At(5*time.Microsecond, func() { net.Heal(1, 0) })
+	net.Start()
+	net.RunFor(time.Millisecond)
+	if len(a.got) != 1 || len(b.got) != 1 {
+		t.Fatalf("healed link must deliver both directions: %d and %d receipts", len(a.got), len(b.got))
+	}
+}
+
+func TestPartitionLeavesInFlightMessages(t *testing.T) {
+	m := topology.Uniform(2, 100*time.Microsecond) // long propagation: a wide in-flight window
+	net := New(m, flatCost(), 1)
+	sink := &collector{}
+	net.AddNode(runtime.HandlerFunc{
+		OnStart: func(ctx runtime.Context) { ctx.Send(1, ping{}) },
+	})
+	net.AddNode(sink)
+	// The message departs ~1.5µs in and arrives ~101.5µs in; cut the link
+	// while it is mid-flight.
+	net.At(50*time.Microsecond, func() { net.Partition(0, 1) })
+	net.Start()
+	net.RunFor(time.Millisecond)
+	if len(sink.got) != 1 {
+		t.Fatalf("in-flight message at cut time must still arrive, got %d receipts", len(sink.got))
+	}
+	if d := net.Stats(0).Dropped; d != 0 {
+		t.Errorf("sender Dropped = %d, want 0 (the send preceded the cut)", d)
+	}
+}
+
+func TestPartitionDuringCrashDropsAtSender(t *testing.T) {
+	// A cut link dominates a crashed receiver: the drop happens at the
+	// sender (its Dropped counter), and the crashed node's counter stays
+	// untouched because nothing ever reaches it.
+	m := topology.Uniform(2, time.Microsecond)
+	net := New(m, flatCost(), 1)
+	sink := &collector{}
+	net.AddNode(runtime.HandlerFunc{
+		OnStart: func(ctx runtime.Context) { ctx.Send(1, ping{}) },
+	})
+	net.AddNode(sink)
+	net.Crash(1)
+	net.Partition(0, 1)
+	net.Start()
+	net.RunFor(time.Millisecond)
+	if len(sink.got) != 0 {
+		t.Fatalf("crashed + partitioned node received %d messages", len(sink.got))
+	}
+	if d := net.Stats(0).Dropped; d != 1 {
+		t.Errorf("sender Dropped = %d, want 1 (cut link drops at the sender)", d)
+	}
+	if d := net.Stats(1).Dropped; d != 0 {
+		t.Errorf("receiver Dropped = %d, want 0 (the cut intercepted it first)", d)
+	}
+}
+
+func TestHealAfterRecoverRestoresDelivery(t *testing.T) {
+	// Crash + cut, then recover + heal (in that order): traffic sent
+	// after both must flow again, and only the pre-heal send is lost.
+	m := topology.Uniform(2, time.Microsecond)
+	net := New(m, flatCost(), 1)
+	sink := &collector{}
+	net.AddNode(runtime.HandlerFunc{
+		OnStart: func(ctx runtime.Context) {
+			ctx.After(10*time.Microsecond, runtime.TimerTag{Kind: 1})
+			ctx.After(100*time.Microsecond, runtime.TimerTag{Kind: 2})
+		},
+		OnTimer: func(ctx runtime.Context, _ runtime.TimerTag) {
+			ctx.Send(1, ping{})
+		},
+	})
+	net.AddNode(sink)
+	net.Crash(1)
+	net.Partition(0, 1)
+	net.At(40*time.Microsecond, func() { net.Recover(1) })
+	net.At(60*time.Microsecond, func() { net.Heal(0, 1) })
+	net.Start()
+	net.RunFor(time.Millisecond)
+	if len(sink.got) != 1 {
+		t.Fatalf("post-heal send: got %d receipts, want 1", len(sink.got))
+	}
+	if got := sink.got[0].at; got < 100*time.Microsecond {
+		t.Fatalf("delivery at %v predates the post-heal send", got)
+	}
+	if d := net.Stats(0).Dropped; d != 1 {
+		t.Errorf("sender Dropped = %d, want 1 (only the pre-heal send)", d)
+	}
+}
+
+func TestPerturbDropChargesSender(t *testing.T) {
+	m := topology.Uniform(2, time.Microsecond)
+	net := New(m, flatCost(), 1)
+	sink := &collector{}
+	net.AddNode(runtime.HandlerFunc{
+		OnStart: func(ctx runtime.Context) {
+			ctx.Send(1, ping{Hop: 0})
+			ctx.Send(1, ping{Hop: 1})
+		},
+	})
+	net.AddNode(sink)
+	net.SetPerturb(func(from, to msg.NodeID, m msg.Message) (time.Duration, bool) {
+		return 0, m.(ping).Hop == 0
+	})
+	net.Start()
+	net.RunFor(time.Millisecond)
+	if len(sink.got) != 1 || sink.got[0].m.(ping).Hop != 1 {
+		t.Fatalf("perturb drop: receipts %+v, want only hop 1", sink.got)
+	}
+	st := net.Stats(0)
+	if st.Dropped != 1 {
+		t.Errorf("sender Dropped = %d, want 1", st.Dropped)
+	}
+	if st.Sent != 2 {
+		t.Errorf("sender Sent = %d, want 2 (the dropped message still paid its send)", st.Sent)
+	}
+}
+
+func TestPerturbDelayReorders(t *testing.T) {
+	m := topology.Uniform(2, time.Microsecond)
+	net := New(m, flatCost(), 1)
+	sink := &collector{}
+	net.AddNode(runtime.HandlerFunc{
+		OnStart: func(ctx runtime.Context) {
+			ctx.Send(1, ping{Hop: 0})
+			ctx.Send(1, ping{Hop: 1})
+		},
+	})
+	net.AddNode(sink)
+	net.SetPerturb(func(from, to msg.NodeID, m msg.Message) (time.Duration, bool) {
+		if m.(ping).Hop == 0 {
+			return 50 * time.Microsecond, false // hold the first back past the second
+		}
+		return 0, false
+	})
+	net.Start()
+	net.RunFor(time.Millisecond)
+	if len(sink.got) != 2 {
+		t.Fatalf("received %d, want 2", len(sink.got))
+	}
+	if sink.got[0].m.(ping).Hop != 1 || sink.got[1].m.(ping).Hop != 0 {
+		t.Fatalf("delayed message was not reordered: %+v", sink.got)
+	}
+}

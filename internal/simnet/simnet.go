@@ -99,6 +99,15 @@ type CoreStats struct {
 	ByKind   map[string]int64
 }
 
+// PerturbFunc decides per-message network faults for a message about to
+// leave a sender: extra propagation delay (message delay, and — because
+// per-pair ordering is by arrival time — reordering) and outright loss.
+// It runs after the partition check, inside the deterministic event
+// loop, so a fixed function of its inputs plus a seeded RNG replays
+// byte-for-byte. Dropped messages still charge the sender's send cost
+// (the loss is in flight, not at the NIC) and count in its Dropped stat.
+type PerturbFunc func(from, to msg.NodeID, m msg.Message) (extraDelay time.Duration, drop bool)
+
 // Network is one simulated machine running a set of Handler nodes.
 type Network struct {
 	eng     *simtime.Engine
@@ -106,6 +115,7 @@ type Network struct {
 	cost    CostModel
 	cores   []*core
 	cut     map[[2]msg.NodeID]bool // severed links (normalized pairs)
+	perturb PerturbFunc
 }
 
 type inboxItem struct {
@@ -238,6 +248,12 @@ func (n *Network) Partition(a, b msg.NodeID) {
 // Heal restores a link severed by Partition.
 func (n *Network) Heal(a, b msg.NodeID) { delete(n.cut, linkKey(a, b)) }
 
+// SetPerturb installs (or, with nil, removes) the per-message delivery
+// perturbation — the hook fault schedules use for message delay,
+// reordering and loss (internal/faultsched). Self-deliveries and timers
+// are never perturbed: they model a core talking to itself.
+func (n *Network) SetPerturb(fn PerturbFunc) { n.perturb = fn }
+
 // linkKey normalizes an unordered node pair.
 func linkKey(a, b msg.NodeID) [2]msg.NodeID {
 	if a > b {
@@ -294,7 +310,16 @@ func (n *Network) send(from *core, to msg.NodeID, m msg.Message) {
 	from.stats.Sent++
 	from.stats.ByKind["sent:"+m.Kind()]++
 	from.stats.BusyTime += sendCost
-	arrival := from.cursor + n.machine.Propagation(topology.CoreID(from.id), topology.CoreID(to))
+	var extra time.Duration
+	if n.perturb != nil {
+		var drop bool
+		if extra, drop = n.perturb(from.id, to, m); drop {
+			// Lost in flight: the sender already paid its send cost.
+			from.stats.Dropped++
+			return
+		}
+	}
+	arrival := from.cursor + extra + n.machine.Propagation(topology.CoreID(from.id), topology.CoreID(to))
 	n.eng.Schedule(arrival, func() {
 		if dst.crashed {
 			dst.stats.Dropped++

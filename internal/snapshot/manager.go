@@ -97,6 +97,9 @@ type Manager struct {
 	watching     bool  // post-transfer convergence watchdog (Recover mode)
 	watchGoal    int64 // learned frontier at transfer completion: applies past it = converged
 	lastSeen     int64
+	gapWatch     bool          // standing stall watchdog (WatchGap): applies stuck below learns
+	gapSeen      int64         // next-to-apply when the gap watchdog last checked
+	gapArmed     time.Duration // when its timer was last armed (re-arm if a crash swallowed it)
 	target       int
 	assembling   []byte
 	assembleFrom msg.NodeID
@@ -244,8 +247,57 @@ func (m *Manager) HandleTimer(ctx runtime.Context, tag runtime.TimerTag) bool {
 			m.lastSeen = m.log.NextToApply()
 			m.armRetry(ctx)
 		}
+	case m.gapWatch:
+		// Standing gap watchdog (WatchGap): applies stalled below the
+		// learned frontier for a full timeout. A hole that persists that
+		// long is not a late learn, it is a lost one — fetch the decided
+		// range from a peer (request rotates targets, so a peer sharing
+		// the hole does not wedge us). Stay armed until the gap closes;
+		// partial progress just resets the stall clock.
+		m.gapArmed = ctx.Now()
+		switch {
+		case m.log.NextToApply() >= m.log.LearnedFrontier():
+			m.gapWatch = false // healed
+		case m.log.NextToApply() == m.gapSeen:
+			m.request(ctx)
+		default:
+			m.gapSeen = m.log.NextToApply()
+			m.armRetry(ctx)
+		}
 	}
 	return true
+}
+
+// WatchGap arms a stall watchdog when the applied frontier sits below
+// the learned frontier. A hole under live traffic normally fills within
+// a message delay; one whose learn was dropped by a partition never
+// does — the acceptor's re-multicast covers retried accepts only, and
+// instances below a noopFloor are never no-op filled (they were
+// decided; the value exists at peers). Engines call this from their
+// learn path; it is cheap and a no-op while any transfer or watchdog is
+// already active, or when there is no gap.
+func (m *Manager) WatchGap(ctx runtime.Context) {
+	if m.log == nil || m.catchingUp || m.watching {
+		return
+	}
+	if m.gapWatch {
+		// A timer that fires while the core is crashed is dropped, not
+		// deferred — an armed watchdog can outlive its timer. If it is
+		// long overdue, re-arm it.
+		if ctx.Now() >= m.gapArmed+2*m.cfg.RetryTimeout {
+			m.gapArmed = ctx.Now()
+			m.armRetry(ctx)
+		}
+		return
+	}
+	next := m.log.NextToApply()
+	if next >= m.log.LearnedFrontier() {
+		return
+	}
+	m.gapWatch = true
+	m.gapSeen = next
+	m.gapArmed = ctx.Now()
+	m.armRetry(ctx)
 }
 
 // AfterApply is the engines' per-applied-instance hook: it captures a
@@ -487,6 +539,17 @@ func (m *Manager) finishTransfer(ctx runtime.Context) {
 		if wasRecovering {
 			m.recovered.Store(true) // log-less recovery ends at the transfer
 		}
+		if m.gapWatch && m.log != nil && m.log.NextToApply() < m.log.LearnedFrontier() {
+			// This transfer answered the gap watchdog but did not close
+			// the gap (partial entries, or a new hole formed since the
+			// request): keep the watchdog's timer running rather than
+			// leaving it armed with no timer.
+			m.gapSeen = m.log.NextToApply()
+			m.gapArmed = ctx.Now()
+			m.armRetry(ctx)
+			return
+		}
+		m.gapWatch = false
 		if m.retryCancel != nil {
 			m.retryCancel()
 			m.retryCancel = nil

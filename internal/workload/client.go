@@ -29,6 +29,7 @@ import (
 	"fmt"
 	"time"
 
+	"consensusinside/internal/linearize"
 	"consensusinside/internal/metrics"
 	"consensusinside/internal/msg"
 	"consensusinside/internal/readpath"
@@ -133,6 +134,16 @@ type Config struct {
 	// SeriesBucket, when non-zero, records completions into a time series
 	// with this bucket width (Figure 11 uses 10 ms buckets).
 	SeriesBucket time.Duration
+
+	// Record, when set, captures every command's invoke/return pair for
+	// linearizability checking. Recording changes the written values:
+	// instead of the constant "v", each Put writes a value unique to
+	// this client and sequence number, so the checker can tie every
+	// observed read to exactly one write. Retries resend the original
+	// value under the original seq; the invoke time is the first
+	// transmission, the return time is the accepted reply — the widest
+	// honest window for the operation's linearization point.
+	Record *linearize.Recorder
 }
 
 // lane is the client's per-group state: one shard's servers, the key
@@ -160,6 +171,8 @@ type lane struct {
 type flight struct {
 	lane   *lane
 	op     msg.Op // stable across resends
+	val    string // written value, stable across resends
+	rec    int    // recorder op id (-1 when not recording)
 	sentAt time.Duration
 	cancel runtime.CancelFunc // pending retry timer for this seq
 }
@@ -167,6 +180,7 @@ type flight struct {
 // readFlight is one in-flight fast-path read.
 type readFlight struct {
 	lane   *lane
+	rec    int // recorder op id (-1 when not recording)
 	sentAt time.Duration
 	cancel runtime.CancelFunc
 }
@@ -365,6 +379,9 @@ func (c *Client) onReply(ctx runtime.Context, reply msg.ClientReply) bool {
 	if f.cancel != nil {
 		f.cancel() // retire the pending retry timer with the command
 	}
+	if f.rec >= 0 {
+		c.cfg.Record.Return(f.rec, reply.Result, ctx.Now())
+	}
 	return c.complete(ctx, f.sentAt, f.op)
 }
 
@@ -387,6 +404,9 @@ func (c *Client) onReadReply(ctx runtime.Context, reply msg.ReadReply) bool {
 	f.lane.inflight--
 	if f.cancel != nil {
 		f.cancel()
+	}
+	if f.rec >= 0 {
+		c.cfg.Record.Return(f.rec, reply.Result, ctx.Now())
 	}
 	return c.complete(ctx, f.sentAt, msg.OpGet)
 }
@@ -576,7 +596,10 @@ func (c *Client) issueBatch(ctx runtime.Context, ln *lane, n int) {
 		if op == msg.OpGet && fastReads {
 			ln.rseq++
 			seq := shard.TagSeq(ln.shard, ln.rseq)
-			rf := &readFlight{lane: ln}
+			rf := &readFlight{lane: ln, rec: -1}
+			if c.cfg.Record != nil {
+				rf.rec = c.cfg.Record.Invoke(int(c.cfg.ID), linearize.Read, ln.key, "", ctx.Now())
+			}
 			c.reads[seq] = rf
 			ln.inflight++
 			readEntries = append(readEntries, msg.BatchEntry{Seq: seq, Cmd: msg.Command{Op: op, Key: ln.key}})
@@ -585,10 +608,20 @@ func (c *Client) issueBatch(ctx runtime.Context, ln *lane, n int) {
 		}
 		ln.seq++
 		seq := shard.TagSeq(ln.shard, ln.seq)
-		f := &flight{lane: ln, op: op}
+		f := &flight{lane: ln, op: op, val: "v", rec: -1}
+		if c.cfg.Record != nil {
+			kind := linearize.Write
+			if op == msg.OpGet {
+				kind = linearize.Read
+				f.val = ""
+			} else {
+				f.val = fmt.Sprintf("c%d.%d", c.cfg.ID, seq)
+			}
+			f.rec = c.cfg.Record.Invoke(int(c.cfg.ID), kind, ln.key, f.val, ctx.Now())
+		}
 		c.inflight[seq] = f
 		ln.inflight++
-		entries = append(entries, msg.BatchEntry{Seq: seq, Cmd: msg.Command{Op: op, Key: ln.key, Val: "v"}})
+		entries = append(entries, msg.BatchEntry{Seq: seq, Cmd: msg.Command{Op: op, Key: ln.key, Val: f.val}})
 		flights = append(flights, f)
 	}
 	if len(c.inflight)+len(c.reads) > c.maxInflight {
@@ -645,7 +678,7 @@ func (c *Client) resend(ctx runtime.Context, seq uint64, f *flight) {
 	req := msg.ClientRequest{
 		Client: c.cfg.ID,
 		Seq:    seq,
-		Cmd:    msg.Command{Op: f.op, Key: f.lane.key, Val: "v"},
+		Cmd:    msg.Command{Op: f.op, Key: f.lane.key, Val: f.val},
 		Ack:    c.laneAck(f.lane),
 	}
 	ctx.Send(f.lane.servers[f.lane.target], req)
