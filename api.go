@@ -200,6 +200,17 @@ type KVConfig struct {
 	// batches immediately; replicas answer a batch in one message, so
 	// freed window slots refill as full batches under load either way.
 	BatchDelay time.Duration
+	// BatchAdaptive replaces the static batcher with an adaptive
+	// controller (default off — the paper's static-knob behavior): each
+	// pump proposes everything the pipeline window admits, so batches
+	// grow with queue depth — single commands at low load (no added
+	// latency), full-window batches under saturation (maximum
+	// amortization) — with no BatchSize/BatchDelay tuning. It needs a
+	// Pipeline of at least 2 (a window of 1 has nothing to adapt) and
+	// excludes the static knobs: BatchSize above 1 or a positive
+	// BatchDelay is a configuration conflict (validated like
+	// Shards/BatchSize).
+	BatchAdaptive bool
 	// SnapshotInterval makes every replica capture a snapshot of its
 	// durable state (state-machine image, session frontiers, applied
 	// frontier) every this many applied instances and compact its log
@@ -282,6 +293,7 @@ func (s *kvShard) close() {
 		n.Close()
 	}
 	s.bridge.closeReads()
+	s.bridge.closeWrites()
 }
 
 // StartKV launches a replicated KV service with embedded replicas:
@@ -351,6 +363,17 @@ func StartKV(cfg KVConfig) (*KV, error) {
 	}
 	if cfg.BatchDelay < 0 {
 		return nil, fmt.Errorf("consensusinside: negative batch delay %v", cfg.BatchDelay)
+	}
+	if cfg.BatchAdaptive {
+		if cfg.Pipeline < 2 {
+			return nil, fmt.Errorf("consensusinside: BatchAdaptive needs Pipeline >= 2, got %d", cfg.Pipeline)
+		}
+		if cfg.BatchSize > 1 {
+			return nil, fmt.Errorf("consensusinside: BatchAdaptive conflicts with BatchSize %d; leave BatchSize unset", cfg.BatchSize)
+		}
+		if cfg.BatchDelay > 0 {
+			return nil, fmt.Errorf("consensusinside: BatchAdaptive conflicts with BatchDelay %v; leave BatchDelay unset", cfg.BatchDelay)
+		}
 	}
 	if cfg.SnapshotInterval < 0 {
 		return nil, fmt.Errorf("consensusinside: negative snapshot interval %d", cfg.SnapshotInterval)
@@ -426,7 +449,7 @@ func startKVShard(cfg KVConfig, shardIdx int) (*kvShard, error) {
 	// Clients should suspect a server a little after the servers' own
 	// failure detector would, so takeovers settle before the retry lands.
 	sh.bridge = newKVBridge(clientID, ids, 2*cfg.AcceptTimeout, cfg.Pipeline, shardIdx,
-		cfg.BatchSize, cfg.BatchDelay, readpath.Mode(cfg.ReadMode))
+		cfg.BatchSize, cfg.BatchDelay, cfg.BatchAdaptive, readpath.Mode(cfg.ReadMode))
 	handlers = append(handlers, sh.bridge)
 
 	switch cfg.Transport {
@@ -682,19 +705,38 @@ func (submitMsg) Kind() string { return "kv_submit" }
 type kvOp struct {
 	cmd  msg.Command
 	done chan kvResult
-	// cancel stops the pending retry timer; only touched on the bridge
-	// node's own goroutine (pump/Timer/Receive callbacks).
-	cancel runtime.CancelFunc
-	// timeout/deadline drive the read lane's bridge-side deadline (the
-	// scan timer fails overdue reads — queued and in flight alike — so
-	// doRead callers wait on a bare channel receive with no timer of
-	// their own). timeout is set by doRead; pumpReads converts it to a
-	// deadline on the runtime clock as soon as it first sees the op,
-	// whether or not the read window has room. A redirect requeue
-	// carries the original deadline forward.
+	// timeout/deadline drive the bridge-side deadline on both lanes
+	// (the lanes' scan timers fail overdue ops — queued and in flight
+	// alike — so do/doRead callers wait on a bare channel receive with
+	// no timer of their own). timeout is set by do/doRead; the pumps
+	// convert it to a deadline on the runtime clock as soon as they
+	// first see the op, whether or not the window has room. A redirect
+	// requeue carries the original deadline forward.
 	timeout  time.Duration
 	deadline time.Duration
 }
+
+// kvFlight is one in-flight write command — the value the window map
+// holds. It is a plain value (no per-op pointer, no per-op timer): the
+// write lane's scan timer sweeps the whole window, resending overdue
+// flights and failing those past their deadline, so admitting a
+// command to the window allocates nothing.
+type kvFlight struct {
+	cmd      msg.Command
+	done     chan kvResult
+	timeout  time.Duration
+	deadline time.Duration // 0 = no deadline
+	sentAt   time.Duration // last transmission (ctx.Now); the scan timer retries stale ones
+}
+
+// kvDonePool recycles the one-shot result channels do/doRead block on.
+// Every op's channel receives exactly one send (the owning map or
+// queue entry is removed before sending, on every path), so after the
+// caller's receive the channel is empty and safe to reuse.
+var kvDonePool = sync.Pool{New: func() any { return make(chan kvResult, 1) }}
+
+func getKVDone() chan kvResult   { return kvDonePool.Get().(chan kvResult) }
+func putKVDone(ch chan kvResult) { kvDonePool.Put(ch) }
 
 type kvResult struct {
 	value string
@@ -761,14 +803,15 @@ const (
 // (client, seq) pair can ever alias across groups and the groups'
 // session tables each see a dense per-lane sequence space.
 type kvBridge struct {
-	id      msg.NodeID
-	servers []msg.NodeID
-	retry   time.Duration
-	window  int
-	batch   int
-	delay   time.Duration
-	seqBase uint64 // shard tag: every seq is seqBase + local count
-	inject  func(msg.Message)
+	id       msg.NodeID
+	servers  []msg.NodeID
+	retry    time.Duration
+	window   int
+	batch    int
+	delay    time.Duration
+	adaptive bool   // KVConfig.BatchAdaptive: the pump sizes batches from load
+	seqBase  uint64 // shard tag: every seq is seqBase + local count
+	inject   func(msg.Message)
 
 	// readMode is the service's KVConfig.ReadMode; when it is not
 	// Consensus, Get calls flow through doRead into the read queue — a
@@ -778,15 +821,17 @@ type kvBridge struct {
 	// tracking never sees them.
 	readMode readpath.Mode
 
-	mu          sync.Mutex
-	wakePending bool // a submitMsg is already in flight toward the bridge node
-	queue       []kvOp
-	seq         uint64
-	inflight    map[uint64]*kvOp
-	maxInflight int
-	target      int
-	delayArmed  bool // a flush timer guards a held-back partial batch
-	occ         metrics.BatchOccupancy
+	mu             sync.Mutex
+	wakePending    bool // a submitMsg is already in flight toward the bridge node
+	queue          []kvOp
+	seq            uint64
+	inflight       map[uint64]kvFlight
+	maxInflight    int
+	target         int
+	delayArmed     bool // a flush timer guards a held-back partial batch
+	writeScanArmed bool // the write lane's scan timer is ticking
+	writeClosed    bool // closeWrites ran; new writes fail fast
+	occ            metrics.BatchOccupancy
 
 	readQueue     []kvOp
 	readSeq       uint64
@@ -796,11 +841,17 @@ type kvBridge struct {
 	readTarget    int
 	readScanArmed bool // the read lane's scan timer is ticking
 	readClosed    bool // closeReads ran; new fast-path reads fail fast
+
+	// Scratch for adapting bare single replies to the batch finish
+	// paths without allocating; only touched on the bridge node's own
+	// goroutine (Receive).
+	oneReply [1]msg.ClientReply
+	oneRead  [1]msg.ReadReply
 }
 
 var _ runtime.Handler = (*kvBridge)(nil)
 
-func newKVBridge(id msg.NodeID, servers []msg.NodeID, retry time.Duration, window, shardIdx, batch int, delay time.Duration, readMode readpath.Mode) *kvBridge {
+func newKVBridge(id msg.NodeID, servers []msg.NodeID, retry time.Duration, window, shardIdx, batch int, delay time.Duration, adaptive bool, readMode readpath.Mode) *kvBridge {
 	if retry <= 0 {
 		retry = 250 * time.Millisecond
 	}
@@ -821,19 +872,31 @@ func newKVBridge(id msg.NodeID, servers []msg.NodeID, retry time.Duration, windo
 		window:       window,
 		batch:        batch,
 		delay:        delay,
+		adaptive:     adaptive,
 		readMode:     readMode,
 		seqBase:      base,
 		seq:          base,
-		inflight:     make(map[uint64]*kvOp),
+		inflight:     make(map[uint64]kvFlight),
 		readSeq:      base,
 		readInflight: make(map[uint64]*kvReadOp),
 		readBatches:  make(map[uint64]*kvReadBatch),
 	}
 }
 
+// do enqueues a write-lane command and blocks until a replica answers
+// (or the bridge's scan timer fails it at its deadline). The wait is a
+// bare receive on a pooled one-shot channel: no caller-side timer, no
+// allocation — the hottest per-op caller path does nothing but
+// queue-append, channel receive, and channel recycle.
 func (b *kvBridge) do(cmd msg.Command, timeout time.Duration) (string, error) {
-	op := kvOp{cmd: cmd, done: make(chan kvResult, 1)}
+	done := getKVDone()
+	op := kvOp{cmd: cmd, done: done, timeout: timeout}
 	b.mu.Lock()
+	if b.writeClosed {
+		b.mu.Unlock()
+		putKVDone(done)
+		return "", errors.New("consensusinside: service closed")
+	}
 	b.queue = append(b.queue, op)
 	wake := !b.wakePending
 	b.wakePending = true
@@ -841,14 +904,9 @@ func (b *kvBridge) do(cmd msg.Command, timeout time.Duration) (string, error) {
 	if wake {
 		b.inject(submitMsg{})
 	}
-	timer := time.NewTimer(timeout)
-	defer timer.Stop()
-	select {
-	case res := <-op.done:
-		return res.value, res.err
-	case <-timer.C:
-		return "", fmt.Errorf("consensusinside: %s %q timed out after %v", cmd.Op, cmd.Key, timeout)
-	}
+	res := <-done
+	putKVDone(done)
+	return res.value, res.err
 }
 
 // doRead enqueues a fast-path read (any ReadMode but Consensus) and
@@ -859,10 +917,12 @@ func (b *kvBridge) do(cmd msg.Command, timeout time.Duration) (string, error) {
 // stragglers at shutdown), so the hottest path in the read-heavy
 // mixes never allocates or arms a caller-side timer.
 func (b *kvBridge) doRead(cmd msg.Command, timeout time.Duration) (string, error) {
-	op := kvOp{cmd: cmd, done: make(chan kvResult, 1), timeout: timeout}
+	done := getKVDone()
+	op := kvOp{cmd: cmd, done: done, timeout: timeout}
 	b.mu.Lock()
 	if b.readClosed {
 		b.mu.Unlock()
+		putKVDone(done)
 		return "", errors.New("consensusinside: service closed")
 	}
 	b.readQueue = append(b.readQueue, op)
@@ -872,7 +932,8 @@ func (b *kvBridge) doRead(cmd msg.Command, timeout time.Duration) (string, error
 	if wake {
 		b.inject(submitMsg{})
 	}
-	res := <-op.done
+	res := <-done
+	putKVDone(done)
 	return res.value, res.err
 }
 
@@ -901,6 +962,27 @@ func (b *kvBridge) closeReads() {
 	}
 }
 
+// closeWrites fails every pending write and every later one, mirroring
+// closeReads: do callers hold no timer of their own, so with the
+// runtime stopped nothing else would ever unblock them.
+func (b *kvBridge) closeWrites() {
+	b.mu.Lock()
+	b.writeClosed = true
+	pending := make([]chan kvResult, 0, len(b.queue)+len(b.inflight))
+	for _, op := range b.queue {
+		pending = append(pending, op.done)
+	}
+	b.queue = nil
+	for seq, fl := range b.inflight {
+		pending = append(pending, fl.done)
+		delete(b.inflight, seq)
+	}
+	b.mu.Unlock()
+	for _, done := range pending {
+		done <- kvResult{err: errors.New("consensusinside: service closed")}
+	}
+}
+
 // Start implements runtime.Handler.
 func (b *kvBridge) Start(runtime.Context) {}
 
@@ -918,41 +1000,47 @@ func (b *kvBridge) Receive(ctx runtime.Context, from msg.NodeID, m msg.Message) 
 		b.pumpReads(ctx)
 		b.pump(ctx, false)
 	case msg.ClientReply:
-		b.finish(mm)
+		b.oneReply[0] = mm
+		b.finishBatch(b.oneReply[:])
 		b.pump(ctx, false)
 	case msg.ClientReplyBatch:
-		for _, reply := range mm.Replies {
-			b.finish(reply)
-		}
+		b.finishBatch(mm.Replies)
+		// The batch's backing array came from the engine's reply pool
+		// (transports deliver exactly once, and the bridge is the sole
+		// receiver); hand it back now that every reply is consumed.
+		msg.RecycleReplies(m)
 		b.pump(ctx, false)
 	case msg.ReadReply:
-		b.finishReads([]msg.ReadReply{mm})
+		b.oneRead[0] = mm
+		b.finishReads(b.oneRead[:])
 		b.pumpReads(ctx)
 	case msg.ReadReplyBatch:
 		b.finishReads(mm.Replies)
+		msg.RecycleReadReplies(m)
 		b.pumpReads(ctx)
 	}
 }
 
-// finish retires one command's reply, delivering the result to the
-// blocked caller.
-func (b *kvBridge) finish(reply msg.ClientReply) {
+// finishBatch retires a batch of write replies under one lock,
+// delivering each result to its blocked caller. The sends cannot
+// block: every done channel has capacity 1 and receives exactly one
+// send (the inflight entry is deleted first, so a duplicate or stale
+// reply is ignored).
+func (b *kvBridge) finishBatch(replies []msg.ClientReply) {
 	b.mu.Lock()
-	op, ok := b.inflight[reply.Seq]
-	if !ok {
-		b.mu.Unlock()
-		return // stale reply from a retried request
+	for _, reply := range replies {
+		fl, ok := b.inflight[reply.Seq]
+		if !ok {
+			continue // stale reply from a retried request
+		}
+		delete(b.inflight, reply.Seq)
+		if reply.OK {
+			fl.done <- kvResult{value: reply.Result}
+		} else {
+			fl.done <- kvResult{err: errors.New("consensusinside: request rejected")}
+		}
 	}
-	delete(b.inflight, reply.Seq)
 	b.mu.Unlock()
-	if op.cancel != nil {
-		op.cancel()
-	}
-	if reply.OK {
-		op.done <- kvResult{value: reply.Result}
-	} else {
-		op.done <- kvResult{err: errors.New("consensusinside: request rejected")}
-	}
 }
 
 // finishReads retires a batch of fast-path read replies under one
@@ -1004,29 +1092,82 @@ func (b *kvBridge) finishReads(replies []msg.ReadReply) {
 	}
 }
 
-// Timer implements runtime.Handler: per-seq retry with server rotation
-// (the paper's client failover behaviour — "once the clients detect the
-// slow leader, they send their requests to other nodes"), plus the
-// batch flush deadline.
+// Timer implements runtime.Handler: the two lanes' scan timers (retry
+// with server rotation — the paper's client failover behaviour: "once
+// the clients detect the slow leader, they send their requests to
+// other nodes") plus the batch flush deadline.
 func (b *kvBridge) Timer(ctx runtime.Context, tag runtime.TimerTag) {
 	switch tag.Kind {
 	case kvTimerRetry:
-		seq := uint64(tag.Arg)
+		// The write lane's scan tick, mirroring the read lane's: one
+		// self-rearming timer sweeps the whole window, so admitting a
+		// command costs no runtime-timer traffic. Overdue flights are
+		// resent together as ONE batched request (their original seqs
+		// ride along; the replicas' session dedupe reconciles them with
+		// any still-live copy of the batches they first travelled in),
+		// and flights or queued writes past their deadline fail with
+		// the caller's timeout error. Seqs are swept in order so the
+		// sim runtime replays resends deterministically.
+		now := ctx.Now()
+		var expired []kvFlight
+		var entries []msg.BatchEntry
 		b.mu.Lock()
-		op, ok := b.inflight[seq]
-		if ok {
+		seqs := make([]uint64, 0, len(b.inflight))
+		for seq := range b.inflight {
+			seqs = append(seqs, seq)
+		}
+		sort.Slice(seqs, func(i, j int) bool { return seqs[i] < seqs[j] })
+		for _, seq := range seqs {
+			fl := b.inflight[seq]
+			if fl.deadline > 0 && now >= fl.deadline {
+				delete(b.inflight, seq)
+				expired = append(expired, fl)
+				continue
+			}
+			if now-fl.sentAt < b.retry {
+				continue
+			}
+			fl.sentAt = now
+			b.inflight[seq] = fl
+			entries = append(entries, msg.BatchEntry{Seq: seq, Cmd: fl.cmd})
+		}
+		// Queued writes the saturated window has not admitted yet
+		// carry deadlines too (stamped by pump): expire them here, so
+		// a caller's total wait is bounded by its own timeout no
+		// matter how long the window sits against an unresponsive
+		// cluster.
+		if len(b.queue) > 0 {
+			kept := b.queue[:0]
+			for _, op := range b.queue {
+				if op.deadline > 0 && now >= op.deadline {
+					expired = append(expired, kvFlight{cmd: op.cmd, done: op.done, timeout: op.timeout})
+					continue
+				}
+				kept = append(kept, op)
+			}
+			b.queue = kept
+		}
+		var target msg.NodeID
+		var ack uint64
+		if len(entries) > 0 {
 			b.target = (b.target + 1) % len(b.servers)
+			target = b.servers[b.target]
+			ack = b.ackFloorLocked(entries[0].Seq)
 		}
-		target := b.servers[b.target]
+		rearm := len(b.inflight) > 0 || len(b.queue) > 0
+		b.writeScanArmed = rearm
 		b.mu.Unlock()
-		if !ok {
-			return
+		for _, fl := range expired {
+			fl.done <- kvResult{err: fmt.Errorf("consensusinside: %s %q timed out after %v", fl.cmd.Op, fl.cmd.Key, fl.timeout)}
 		}
-		// The resend keeps the command's original seq — it rejoins the
-		// batch machinery as a batch of one, and the replicas' session
-		// dedupe reconciles it with any still-live copy of the batch it
-		// first travelled in.
-		b.sendOp(ctx, seq, op, target)
+		if len(entries) > 0 {
+			ctx.Send(target, msg.NewRequest(b.id, ack, entries))
+		}
+		if rearm {
+			ctx.After(b.retry, runtime.TimerTag{Kind: kvTimerRetry})
+		}
+		// Expired flights may have freed window slots.
+		b.pump(ctx, false)
 	case kvTimerFlush:
 		// The held-back partial batch is due: propose what is queued.
 		b.mu.Lock()
@@ -1174,22 +1315,6 @@ func (b *kvBridge) pumpReads(ctx runtime.Context) {
 	}
 }
 
-// sendOp transmits op's command under seq to target and arms its retry
-// timer, attaching the cancel handle to the op while it is still the
-// in-flight owner of the seq.
-func (b *kvBridge) sendOp(ctx runtime.Context, seq uint64, op *kvOp, target msg.NodeID) {
-	b.mu.Lock()
-	ack := b.ackFloorLocked(seq)
-	b.mu.Unlock()
-	ctx.Send(target, msg.ClientRequest{Client: b.id, Seq: seq, Cmd: op.cmd, Ack: ack})
-	cancel := ctx.After(b.retry, runtime.TimerTag{Kind: kvTimerRetry, Arg: int64(seq)})
-	b.mu.Lock()
-	if cur, still := b.inflight[seq]; still && cur == op {
-		cur.cancel = cancel
-	}
-	b.mu.Unlock()
-}
-
 // ackFloorLocked reports the lowest outstanding seq (at most from),
 // which requests carry so replicas can discard older stored results.
 func (b *kvBridge) ackFloorLocked(from uint64) uint64 {
@@ -1205,8 +1330,24 @@ func (b *kvBridge) ackFloorLocked(from uint64) uint64 {
 // pump moves queued commands into the pipeline window, up to batch of
 // them per request — one consensus instance each. With a positive
 // delay, a batch that cannot fill (too few queued commands or free
-// slots) is held back until the flush timer forces it out.
+// slots) is held back until the flush timer forces it out. Under
+// BatchAdaptive the static knobs are ignored entirely: each pass takes
+// everything the window admits, so the effective batch size follows
+// the offered load (the queue depth) with no holds and no flush timer.
 func (b *kvBridge) pump(ctx runtime.Context, force bool) {
+	now := ctx.Now()
+	// Stamp deadlines on entry, before the window check (mirroring
+	// pumpReads): a write's timeout runs from when the bridge first
+	// sees it, not from when a window slot frees up, so a saturated
+	// window cannot leave queued Puts deadline-less (the scan timer
+	// sweeps the queue too).
+	b.mu.Lock()
+	for i := range b.queue {
+		if op := &b.queue[i]; op.deadline == 0 && op.timeout > 0 {
+			op.deadline = now + op.timeout
+		}
+	}
+	b.mu.Unlock()
 	for {
 		b.mu.Lock()
 		free := b.window - len(b.inflight)
@@ -1215,43 +1356,70 @@ func (b *kvBridge) pump(ctx runtime.Context, force bool) {
 			return
 		}
 		n := free
-		if n > b.batch {
-			n = b.batch
-		}
 		if n > len(b.queue) {
 			n = len(b.queue)
 		}
-		if n < b.batch && len(b.queue) >= b.batch {
-			// A full batch is queued but the window lacks the slots:
-			// wait for completions instead of fragmenting instances.
-			// Replies arrive batched, so the slots free together and the
-			// very next pump proposes a full batch — without this hold,
-			// one single-command instance begets one freed slot begets
-			// the next single, and the batcher never recovers from a
-			// single-command cold start.
-			b.mu.Unlock()
-			return
-		}
-		if b.delay > 0 && !force && n < b.batch {
-			// The queue itself is short of a batch: hold it back for
-			// stragglers, at most delay.
-			armed := b.delayArmed
-			b.delayArmed = true
-			b.mu.Unlock()
-			if !armed {
-				ctx.After(b.delay, runtime.TimerTag{Kind: kvTimerFlush})
+		if b.adaptive {
+			// The adaptive controller sizes each batch from the queue
+			// depth (the offered load) and the window occupancy, under
+			// two rules. First: never the whole window in one instance —
+			// capping a batch at half the window keeps at least two
+			// instances pipelined under saturation, so one batch is in
+			// the accept phase while the previous applies and replies
+			// (greedy whole-window batches serialize those round trips
+			// and throughput collapses to batch/RTT). Second: when more
+			// load is queued than the free slots admit, wait for
+			// completions instead of fragmenting instances — replies
+			// arrive batched, so held slots free together and the next
+			// pass proposes a full half-window. Without this hold one
+			// single-command instance begets one freed slot begets the
+			// next single, and the controller never escapes
+			// single-command batches. Light load (queue no deeper than
+			// the free window) always goes out immediately, whole — the
+			// batch-1 latency profile.
+			limit := (b.window + 1) / 2
+			if n > limit {
+				n = limit
 			}
-			return
+			if n < limit && len(b.queue) > n {
+				b.mu.Unlock()
+				return
+			}
+		} else {
+			if n > b.batch {
+				n = b.batch
+			}
+			if n < b.batch && len(b.queue) >= b.batch {
+				// A full batch is queued but the window lacks the slots:
+				// wait for completions instead of fragmenting instances.
+				// Replies arrive batched, so the slots free together and the
+				// very next pump proposes a full batch — without this hold,
+				// one single-command instance begets one freed slot begets
+				// the next single, and the batcher never recovers from a
+				// single-command cold start.
+				b.mu.Unlock()
+				return
+			}
+			if b.delay > 0 && !force && n < b.batch {
+				// The queue itself is short of a batch: hold it back for
+				// stragglers, at most delay.
+				armed := b.delayArmed
+				b.delayArmed = true
+				b.mu.Unlock()
+				if !armed {
+					ctx.After(b.delay, runtime.TimerTag{Kind: kvTimerFlush})
+				}
+				return
+			}
 		}
-		ops := make([]*kvOp, n)
+		// The entries slice is the one per-batch allocation left on this
+		// path; it cannot be pooled — it becomes Value.Batch and is
+		// retained in every replica's log history.
 		entries := make([]msg.BatchEntry, n)
 		for i := 0; i < n; i++ {
 			op := b.queue[i]
 			b.seq++
-			p := new(kvOp)
-			*p = op
-			b.inflight[b.seq] = p
-			ops[i] = p
+			b.inflight[b.seq] = kvFlight{cmd: op.cmd, done: op.done, timeout: op.timeout, deadline: op.deadline, sentAt: now}
 			entries[i] = msg.BatchEntry{Seq: b.seq, Cmd: op.cmd}
 		}
 		b.queue = b.queue[n:]
@@ -1261,19 +1429,13 @@ func (b *kvBridge) pump(ctx runtime.Context, force bool) {
 		target := b.servers[b.target]
 		ack := b.ackFloorLocked(entries[0].Seq)
 		b.occ.Record(n)
+		arm := !b.writeScanArmed
+		b.writeScanArmed = true
 		b.mu.Unlock()
 
 		ctx.Send(target, msg.NewRequest(b.id, ack, entries))
-		cancels := make([]runtime.CancelFunc, n)
-		for i := range ops {
-			cancels[i] = ctx.After(b.retry, runtime.TimerTag{Kind: kvTimerRetry, Arg: int64(entries[i].Seq)})
+		if arm {
+			ctx.After(b.retry, runtime.TimerTag{Kind: kvTimerRetry})
 		}
-		b.mu.Lock()
-		for i, op := range ops {
-			if cur, still := b.inflight[entries[i].Seq]; still && cur == op {
-				cur.cancel = cancels[i]
-			}
-		}
-		b.mu.Unlock()
 	}
 }

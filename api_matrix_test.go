@@ -124,6 +124,21 @@ func TestKVProtocolTransportMatrix(t *testing.T) {
 					runMatrix(t, p, TCP, 1, batch))
 			})
 		}
+		// The adaptive batcher must be invisible to clients: same
+		// results, same history, both transports (the controller only
+		// re-times when queued commands turn into proposals).
+		t.Run(fmt.Sprintf("%v/adaptive", p), func(t *testing.T) {
+			cfg := func(tr TransportKind) KVConfig {
+				return KVConfig{
+					Protocol:       p,
+					Transport:      tr,
+					Pipeline:       4,
+					BatchAdaptive:  true,
+					RequestTimeout: 30 * time.Second,
+				}
+			}
+			check(t, runMatrixCfg(t, cfg(InProc)), runMatrixCfg(t, cfg(TCP)))
+		})
 		// The read fast path's linearizable quorum-confirmed mode must
 		// serve the same sequential history as read-through-consensus on
 		// every engine and both transports (the leaderless engines take

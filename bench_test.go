@@ -540,6 +540,63 @@ func benchKVConcurrentPut(b *testing.B, pipeline int) {
 	b.ReportMetric(float64(kv.MaxInFlight()), "max-inflight")
 }
 
+// BenchmarkKVInProcSteadyState is the hot-path allocation gate: the
+// full propose→decide→apply→reply cycle on the InProc runtime at the
+// headline batch-16 configuration, with every pool pre-warmed, must
+// report 0 allocs/op under -benchmem. The service's remaining
+// allocations are per-batch (the decided value's entry slice, which the
+// log retains, plus envelope boxing per instance), so at occupancy ~16
+// they amortize below one allocation per operation; anything reporting
+// >= 1 alloc/op means a per-command allocation crept back into the
+// cycle.
+func BenchmarkKVInProcSteadyState(b *testing.B) {
+	kv, err := StartKV(KVConfig{Pipeline: 16, BatchSize: 16})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer kv.Close()
+	const workers = 64
+	ops := make(chan struct{})
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			failed := false
+			for range ops {
+				if failed {
+					continue // drain so the feeder never blocks
+				}
+				// A constant key: the driver must not allocate either, or
+				// its formatting would drown the signal being gated.
+				if err := kv.Put("bench", "v"); err != nil {
+					errs <- err
+					failed = true
+				}
+			}
+		}()
+	}
+	// Warm the reply pools, session lanes, queue buffers and done-chan
+	// pool outside the measured window.
+	for i := 0; i < 4096; i++ {
+		ops <- struct{}{}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ops <- struct{}{}
+	}
+	close(ops)
+	wg.Wait()
+	b.StopTimer()
+	select {
+	case err := <-errs:
+		b.Fatal(err)
+	default:
+	}
+}
+
 // BenchmarkKVInProcPutClosedLoop is the pipelining baseline: 16 callers
 // serialized behind a single-command window.
 func BenchmarkKVInProcPutClosedLoop(b *testing.B) { benchKVConcurrentPut(b, 1) }

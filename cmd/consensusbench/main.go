@@ -12,12 +12,19 @@
 // Experiment ids mirror DESIGN.md's per-experiment index: netchar, fig2,
 // sec2.2, latency, fig8, fig9, fig10, fig11, acceptor-switch, lan,
 // ablation-batching, ablation-pipelining, ablation-cmdbatch,
-// batch-sweep, codec-sweep, recovery-sweep, read-sweep, shard-sweep,
-// shard-sim, mencius, scenario-fuzz.
+// batch-sweep, codec-sweep, hotpath-sweep, recovery-sweep, read-sweep,
+// shard-sweep, shard-sim, mencius, scenario-fuzz.
 //
 // With -json the run also writes a machine-readable BENCH_*.json file:
 // one object per executed experiment with its headline metrics, so
 // successive commits can be compared without parsing the tables.
+//
+// The -cpuprofile, -memprofile and -mutexprofile flags capture pprof
+// profiles spanning whatever experiments the invocation runs — the
+// usual way to find a hot path's next bottleneck is
+//
+//	consensusbench -run hotpath-sweep -cpuprofile cpu.out
+//	go tool pprof -top cpu.out
 package main
 
 import (
@@ -26,6 +33,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"sort"
 	"time"
 
@@ -235,6 +244,75 @@ var all = []experiment{
 						fmt.Fprintf(w, "gain at batch %d: %.2fx\n", p.Batch, gain)
 						m[fmt.Sprintf("%s_speedup_%dv1", tr.name, p.Batch)] = gain
 					}
+				}
+			}
+			return m
+		},
+	},
+	{
+		id:    "hotpath-sweep",
+		about: "InProc hot-path overhaul: {1,4} shards x {static 1, static 8, adaptive} batching, sim + InProc",
+		run: func(w io.Writer, opts experiments.Opts) map[string]float64 {
+			sweep := consensusinside.HotpathSweepOptions{Seed: opts.Seed}
+			if opts.Quick {
+				// The CI smoke: InProc cells only (the gate reads them),
+				// fewer ops, two passes.
+				sweep.Ops = 6000
+				sweep.Repeats = 2
+				sweep.SkipSim = true
+			}
+			pts, err := consensusinside.HotpathSweep(sweep)
+			if err != nil {
+				fmt.Fprintf(w, "hotpath sweep failed: %v\n", err)
+				return map[string]float64{}
+			}
+			m := map[string]float64{}
+			fmt.Fprintf(w, "Hotpath sweep — 1Paxos, 3 replicas per group, window %d, same ops per cell\n",
+				consensusinside.DefaultPipeline)
+			fmt.Fprintf(w, "%-8s %7s %-10s %8s %14s %12s %12s\n",
+				"runtime", "shards", "config", "ops", "throughput", "instances", "cmds/inst")
+			type group struct {
+				transport string
+				shards    int
+			}
+			bestStatic := map[group]float64{}
+			adaptive := map[group]float64{}
+			for _, p := range pts {
+				fmt.Fprintf(w, "%-8s %7d %-10s %8d %12.0f/s %12d %12.2f\n",
+					p.Transport, p.Shards, p.Config, p.Ops, p.Throughput, p.Batches, p.CommandsPerInst)
+				key := fmt.Sprintf("%s_shards%d_%s", p.Transport, p.Shards, p.Config)
+				m[key+"_ops"] = p.Throughput
+				m[key+"_instances"] = float64(p.Batches)
+				m[key+"_cmds_per_instance"] = p.CommandsPerInst
+				g := group{p.Transport, p.Shards}
+				if p.Config == "adaptive" {
+					adaptive[g] = p.Throughput
+				} else if p.Throughput > bestStatic[g] {
+					bestStatic[g] = p.Throughput
+				}
+			}
+			// Gate 1: the best InProc 1-shard cell against PR 3's recorded
+			// batch-8 baseline. Gate 2: adaptive within 5% of the best
+			// static cell at every (runtime, shards) load level.
+			bestInproc1 := 0.0
+			for _, p := range pts {
+				if p.Transport == "inproc" && p.Shards == 1 && p.Throughput > bestInproc1 {
+					bestInproc1 = p.Throughput
+				}
+			}
+			if bestInproc1 > 0 {
+				vs := bestInproc1 / consensusinside.PR3InProcBatch8Baseline
+				fmt.Fprintf(w, "best inproc 1-shard cell vs PR 3 baseline (%.0f op/s): %.2fx\n",
+					consensusinside.PR3InProcBatch8Baseline, vs)
+				m["inproc_shards1_best_ops"] = bestInproc1
+				m["inproc_shards1_best_vs_pr3_baseline"] = vs
+			}
+			for g, ad := range adaptive {
+				if base := bestStatic[g]; base > 0 {
+					ratio := ad / base
+					fmt.Fprintf(w, "adaptive vs best static (%s, %d shards): %.2fx\n",
+						g.transport, g.shards, ratio)
+					m[fmt.Sprintf("%s_shards%d_adaptive_vs_best_static", g.transport, g.shards)] = ratio
 				}
 			}
 			return m
@@ -551,7 +629,54 @@ func main() {
 	seed := flag.Int64("seed", 1, "simulation seed")
 	quick := flag.Bool("quick", false, "shorter runs (CI-friendly)")
 	jsonPath := flag.String("json", "", "write machine-readable results to this BENCH_*.json file")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file (go tool pprof)")
+	memProfile := flag.String("memprofile", "", "write an end-of-run heap profile to this file")
+	mutexProfile := flag.String("mutexprofile", "", "write an end-of-run mutex-contention profile to this file")
 	flag.Parse()
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "create %s: %v\n", *cpuProfile, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "start cpu profile: %v\n", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *mutexProfile != "" {
+		// Sample every contention event: the experiments are short and
+		// the point is finding hot locks, not minimizing overhead.
+		runtime.SetMutexProfileFraction(1)
+		defer func() {
+			f, err := os.Create(*mutexProfile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "create %s: %v\n", *mutexProfile, err)
+				return
+			}
+			defer f.Close()
+			if err := pprof.Lookup("mutex").WriteTo(f, 0); err != nil {
+				fmt.Fprintf(os.Stderr, "write mutex profile: %v\n", err)
+			}
+		}()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "create %s: %v\n", *memProfile, err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle the heap so the profile shows live objects
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "write heap profile: %v\n", err)
+			}
+		}()
+	}
 
 	if *list || *runID == "" {
 		ids := make([]string, 0, len(all))

@@ -33,6 +33,26 @@ func main() {
 	fmt.Printf("transmission delay (send into draining %d-slot queue): %8.1f ns/msg\n",
 		queue.DefaultSlots, trans)
 
+	// Batched vs single-slot transfer at the InProc runtime's shape
+	// (1024-slot inter-core queues, drained up to 64 messages per
+	// sweep): the same FixedMsg stream through the same queue, moved
+	// one slot per atomic round trip vs whole runs per
+	// TryEnqueueBatch/DequeueInto call (one head/tail publication per
+	// run). The ratio is the isolated win of the batched SPSC
+	// operations the runtime's sweep is built on — the paper-shaped
+	// 7-slot queue above stays per-slot, since at depth 7 scheduling
+	// hand-offs, not atomics, set the floor.
+	single := measureTransfer(*msgs, *pin, false)
+	batched := measureTransfer(*msgs, *pin, true)
+	fmt.Printf("\nsingle-slot transfer (Enqueue/Dequeue per message):  %8.1f ns/msg  %12.0f msgs/sec\n",
+		single, 1e9/single)
+	fmt.Printf("batched transfer (TryEnqueueBatch/DequeueInto):      %8.1f ns/msg  %12.0f msgs/sec\n",
+		batched, 1e9/batched)
+	if batched > 0 {
+		fmt.Printf("batched/single speedup:                              %8.2fx\n", single/batched)
+	}
+	fmt.Println()
+
 	rtt := measurePingPong(*rounds, *pin)
 	// The paper's formula for its single-slot experiment:
 	// latency ≈ 2·trans + 2·prop  =>  prop ≈ (latency - 2·trans) / 2.
@@ -69,6 +89,72 @@ func measureTransmission(msgs int, pin bool) float64 {
 	start := time.Now()
 	for i := 0; i < msgs; i++ {
 		q.Enqueue(m)
+	}
+	elapsed := time.Since(start)
+	wg.Wait()
+	return float64(elapsed.Nanoseconds()) / float64(msgs)
+}
+
+// transferQueueCap and transferBatch mirror the InProc runtime's queue
+// shape: 1024-slot inter-core queues, drained up to 64 per sweep.
+const (
+	transferQueueCap = 1024
+	transferBatch    = 64
+)
+
+// measureTransfer streams msgs FixedMsg payloads through one
+// runtime-shaped queue between two goroutines and reports ns/msg.
+// Single-slot mode pays the full atomic handshake per message; batched
+// mode moves whole runs of slots per TryEnqueueBatch/DequeueInto call,
+// amortizing the head/tail traffic across each run.
+func measureTransfer(msgs int, pin, batched bool) float64 {
+	q := queue.NewSPSC[queue.FixedMsg](transferQueueCap)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		if pin {
+			runtime.LockOSThread()
+			defer runtime.UnlockOSThread()
+		}
+		if batched {
+			buf := make([]queue.FixedMsg, transferBatch)
+			for got := 0; got < msgs; {
+				k := q.DequeueInto(buf)
+				if k == 0 {
+					runtime.Gosched() // cooperative spin, like Dequeue
+				}
+				got += k
+			}
+			return
+		}
+		for i := 0; i < msgs; i++ {
+			q.Dequeue()
+		}
+	}()
+	if pin {
+		runtime.LockOSThread()
+		defer runtime.UnlockOSThread()
+	}
+	start := time.Now()
+	if batched {
+		src := make([]queue.FixedMsg, transferBatch)
+		for sent := 0; sent < msgs; {
+			n := msgs - sent
+			if n > len(src) {
+				n = len(src)
+			}
+			k := q.TryEnqueueBatch(src[:n])
+			if k == 0 {
+				runtime.Gosched() // cooperative spin, like Enqueue
+			}
+			sent += k
+		}
+	} else {
+		var m queue.FixedMsg
+		for i := 0; i < msgs; i++ {
+			q.Enqueue(m)
+		}
 	}
 	elapsed := time.Since(start)
 	wg.Wait()

@@ -12,7 +12,8 @@
 //     in-process QC-libtask-style runtime or real TCP sockets, with a
 //     pipelined window of in-flight commands (KVConfig.Pipeline),
 //     command batching that packs several of them into one consensus
-//     instance (KVConfig.BatchSize/BatchDelay), and optional keyspace
+//     instance (KVConfig.BatchSize/BatchDelay, or load-driven via
+//     KVConfig.BatchAdaptive), and optional keyspace
 //     sharding across independent consensus groups (KVConfig.Shards;
 //     each key hash-routes to one group's log) — the "adopt this" API.
 //     Replicas can crash and rejoin: CrashReplica / RestartReplica on
@@ -29,10 +30,11 @@
 //     evaluation, sweeping the same engines, client window, batch cap
 //     and shard count (SimSpec.Shards/BatchSize); and
 //   - the experiment runners themselves (the experiments re-exported
-//     through cmd/consensusbench, which can emit BENCH_*.json; the
-//     wall-clock shard, batch, codec, recovery and read sweeps are
-//     exported here as ShardSweep, BatchSweep, CodecSweep,
-//     RecoverySweep and ReadSweep).
+//     through cmd/consensusbench, which can emit BENCH_*.json and
+//     capture pprof profiles; the wall-clock shard, batch, codec,
+//     recovery, read and hot-path sweeps are exported here as
+//     ShardSweep, BatchSweep, CodecSweep, RecoverySweep, ReadSweep
+//     and HotpathSweep).
 //
 // Protocols are written once against the message-passing contract
 // (internal/runtime.Handler) and registered in internal/protocol; every

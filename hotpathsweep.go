@@ -1,0 +1,302 @@
+package consensusinside
+
+// The hot-path sweep: the acceptance harness for the InProc runtime
+// overhaul (batched SPSC drains, spin-then-park scheduling, the
+// allocation-free apply/reply cycle) and for the adaptive batching
+// controller. It measures committed-Put throughput over a
+// {1, 4} shards x {static batch 1, static batch 8, adaptive} x
+// {sim, InProc} grid:
+//
+//   - the InProc cells exercise the real core-to-core runtime on wall
+//     clock — the paper's Section 6.1 substrate, where the queue and
+//     scheduling changes live;
+//   - the sim cells run the same grid on the deterministic many-core
+//     simulator through workload clients, so the adaptive controller's
+//     policy is checked in a noise-free environment too.
+//
+// Two gates read the results: the best InProc 1-shard cell must beat
+// PR 3's recorded batch-8 baseline (PR3InProcBatch8Baseline) by >= 1.4x,
+// and the adaptive cell must stay within 5% of the best static cell of
+// its (transport, shards) group — adaptivity must not regress a load
+// level that a hand-tuned static knob handles well.
+//
+// Wall-clock InProc cells are noisy on a shared machine, so the sweep
+// interleaves Repeats passes over the whole grid and keeps each cell's
+// best pass: alternating cells inside one pass means a slow scheduling
+// window hurts every configuration alike instead of biasing one.
+//
+// cmd/consensusbench exposes this as the hotpath-sweep experiment;
+// docs/BENCHMARKS.md is the runbook.
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"consensusinside/internal/cluster"
+	"consensusinside/internal/shard"
+	"consensusinside/internal/simnet"
+	"consensusinside/internal/topology"
+)
+
+// PR3InProcBatch8Baseline is the inproc_batch8_ops cell recorded by
+// PR 3's batch sweep (EXPERIMENTS.md: "InProc 114k -> 177k at batch 8"),
+// the committed baseline the hot-path overhaul is measured against.
+const PR3InProcBatch8Baseline = 177000.0
+
+// HotpathConfigs names the batching configurations the sweep compares.
+// Static cells pin BatchSize; the adaptive cell turns BatchAdaptive on.
+var HotpathConfigs = []HotpathConfig{
+	{Name: "static1", Batch: 1},
+	{Name: "static8", Batch: 8},
+	{Name: "adaptive", Adaptive: true},
+}
+
+// HotpathConfig is one batching configuration of the grid.
+type HotpathConfig struct {
+	Name     string
+	Batch    int  // static commands-per-instance cap (ignored when Adaptive)
+	Adaptive bool // load-driven batcher instead of a static cap
+}
+
+// HotpathSweepOptions parameterizes HotpathSweep. Zero values select the
+// defaults noted on each field.
+type HotpathSweepOptions struct {
+	// ShardCounts are the group counts to sweep (default 1, 4); each
+	// InProc group gets 3 replicas of its own.
+	ShardCounts []int
+	// Ops is the total number of committed Puts measured per InProc cell
+	// (default 24000), spread evenly across shards on disjoint keys.
+	Ops int
+	// Workers is the number of concurrent callers per shard (default
+	// 4x the pipeline window, so every bridge queue always holds at
+	// least a full batch of demand).
+	Workers int
+	// Pipeline is the per-shard bridge window and the sim clients'
+	// pipeline depth every configuration shares (default
+	// DefaultPipeline); batches are drawn from it.
+	Pipeline int
+	// Repeats is how many interleaved passes each InProc cell is
+	// measured for, keeping the best (default 3). Sim cells are
+	// deterministic and always run once.
+	Repeats int
+	// Seed, SimClients, SimDuration and SimWarmup shape the simulated
+	// cells (defaults 1, 4 clients, 60ms measured after 10ms warmup).
+	Seed        int64
+	SimClients  int
+	SimDuration time.Duration
+	SimWarmup   time.Duration
+	// SkipSim / SkipInProc drop half the grid — the CI smoke keeps only
+	// the InProc cells its regression gate reads.
+	SkipSim    bool
+	SkipInProc bool
+}
+
+func (o HotpathSweepOptions) withDefaults() HotpathSweepOptions {
+	if len(o.ShardCounts) == 0 {
+		o.ShardCounts = []int{1, 4}
+	}
+	if o.Ops == 0 {
+		o.Ops = 24000
+	}
+	if o.Pipeline == 0 {
+		o.Pipeline = DefaultPipeline
+	}
+	if o.Workers == 0 {
+		o.Workers = 4 * o.Pipeline
+	}
+	if o.Repeats == 0 {
+		o.Repeats = 3
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	if o.SimClients == 0 {
+		o.SimClients = 4
+	}
+	if o.SimDuration == 0 {
+		o.SimDuration = 60 * time.Millisecond
+	}
+	if o.SimWarmup == 0 {
+		o.SimWarmup = 10 * time.Millisecond
+	}
+	return o
+}
+
+// HotpathSweepPoint is one grid cell's result.
+type HotpathSweepPoint struct {
+	Transport       string  // "inproc" (wall clock) or "sim" (virtual time)
+	Shards          int     // independent agreement groups
+	Config          string  // HotpathConfig name
+	Ops             int     // committed commands measured
+	Throughput      float64 // committed ops per (wall-clock or virtual) second
+	Batches         int64   // consensus instances proposed for them
+	CommandsPerInst float64 // mean batch occupancy actually achieved
+}
+
+// HotpathSweep measures the full grid and returns its cells: sim cells
+// first (shards-major, HotpathConfigs order), then the InProc cells in
+// the same order, each the best of Repeats interleaved passes.
+func HotpathSweep(opts HotpathSweepOptions) ([]HotpathSweepPoint, error) {
+	opts = opts.withDefaults()
+	var out []HotpathSweepPoint
+	if !opts.SkipSim {
+		for _, shards := range opts.ShardCounts {
+			for _, cfg := range HotpathConfigs {
+				out = append(out, hotpathCellSim(opts, shards, cfg))
+			}
+		}
+	}
+	if !opts.SkipInProc {
+		best := make(map[string]HotpathSweepPoint)
+		var order []string
+		for r := 0; r < opts.Repeats; r++ {
+			for _, shards := range opts.ShardCounts {
+				for _, cfg := range HotpathConfigs {
+					pt, err := hotpathCellInProc(opts, shards, cfg)
+					if err != nil {
+						return nil, err
+					}
+					key := fmt.Sprintf("%d/%s", shards, cfg.Name)
+					if prev, ok := best[key]; !ok {
+						best[key] = pt
+						order = append(order, key)
+					} else if pt.Throughput > prev.Throughput {
+						best[key] = pt
+					}
+				}
+			}
+		}
+		for _, key := range order {
+			out = append(out, best[key])
+		}
+	}
+	return out, nil
+}
+
+// hotpathCellSim runs one simulated cell: 1Paxos groups of 3 on the
+// 48-core machine, driven by pipelined workload clients on disjoint
+// per-shard keys for a fixed virtual duration.
+func hotpathCellSim(opts HotpathSweepOptions, shards int, cfg HotpathConfig) HotpathSweepPoint {
+	spec := cluster.Spec{
+		Protocol:     cluster.OnePaxos,
+		Machine:      topology.Opteron48(),
+		Cost:         simnet.ManyCore(),
+		Seed:         opts.Seed,
+		Replicas:     3,
+		Shards:       shards,
+		Clients:      opts.SimClients,
+		Window:       opts.Pipeline,
+		Warmup:       opts.SimWarmup,
+		RetryTimeout: 50 * time.Millisecond,
+	}
+	if cfg.Adaptive {
+		spec.BatchAdaptive = true
+	} else {
+		spec.BatchSize = cfg.Batch
+		if cfg.Batch > 1 {
+			// The static ablation's partial-batch hold (see
+			// AblationCommandBatching); adaptive subsumes it.
+			spec.BatchDelay = 5 * time.Microsecond
+		}
+	}
+	c := cluster.MustBuild(spec)
+	c.Start()
+	c.RunFor(opts.SimWarmup + opts.SimDuration)
+	st := c.ClientStats()
+	occ := c.BatchStats()
+	return HotpathSweepPoint{
+		Transport:       "sim",
+		Shards:          shards,
+		Config:          cfg.Name,
+		Ops:             st.Measured,
+		Throughput:      st.Throughput,
+		Batches:         occ.Batches(),
+		CommandsPerInst: occ.Mean(),
+	}
+}
+
+// hotpathCellInProc runs one real-runtime cell: Ops committed Puts from
+// Workers concurrent callers per shard, wall clock. Keys are generated
+// before the measured window (one per worker, pinned to its shard) so
+// the driver itself allocates nothing per operation — a formatting
+// call per Put would dominate the allocation profile this sweep exists
+// to shrink.
+func hotpathCellInProc(opts HotpathSweepOptions, shards int, cfg HotpathConfig) (HotpathSweepPoint, error) {
+	kvcfg := KVConfig{
+		Replicas:       3,
+		Shards:         shards,
+		Transport:      InProc,
+		Pipeline:       opts.Pipeline,
+		RequestTimeout: 60 * time.Second,
+	}
+	if cfg.Adaptive {
+		kvcfg.BatchAdaptive = true
+	} else {
+		kvcfg.BatchSize = cfg.Batch
+	}
+	kv, err := StartKV(kvcfg)
+	if err != nil {
+		return HotpathSweepPoint{}, err
+	}
+	defer kv.Close()
+
+	// Warm every group (leader paths) and pre-generate the per-worker
+	// keys outside the measured window.
+	keys := make([][]string, shards)
+	for s := 0; s < shards; s++ {
+		if err := kv.Put(shard.KeyFor("warm", s, shards), "v"); err != nil {
+			return HotpathSweepPoint{}, fmt.Errorf("consensusinside: warmup shard %d: %w", s, err)
+		}
+		keys[s] = make([]string, opts.Workers)
+		for w := 0; w < opts.Workers; w++ {
+			keys[s][w] = shard.KeyFor(fmt.Sprintf("w%d", w), s, shards)
+		}
+	}
+	warmed := kv.BatchStats()
+
+	perWorker := opts.Ops / (shards * opts.Workers)
+	if perWorker < 1 {
+		perWorker = 1
+	}
+	total := perWorker * shards * opts.Workers
+	errs := make(chan error, shards*opts.Workers)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for s := 0; s < shards; s++ {
+		for w := 0; w < opts.Workers; w++ {
+			wg.Add(1)
+			go func(key string, s, w int) {
+				defer wg.Done()
+				for i := 0; i < perWorker; i++ {
+					if err := kv.Put(key, "v"); err != nil {
+						errs <- fmt.Errorf("consensusinside: shard %d worker %d: %w", s, w, err)
+						return
+					}
+				}
+			}(keys[s][w], s, w)
+		}
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	select {
+	case err := <-errs:
+		return HotpathSweepPoint{}, err
+	default:
+	}
+	occ := kv.BatchStats()
+	batches := occ.Batches() - warmed.Batches()
+	mean := 0.0
+	if batches > 0 {
+		mean = float64(occ.Commands()-warmed.Commands()) / float64(batches)
+	}
+	return HotpathSweepPoint{
+		Transport:       "inproc",
+		Shards:          shards,
+		Config:          cfg.Name,
+		Ops:             total,
+		Throughput:      float64(total) / elapsed.Seconds(),
+		Batches:         batches,
+		CommandsPerInst: mean,
+	}, nil
+}

@@ -130,6 +130,12 @@ type Spec struct {
 	// workload.Config.BatchDelay).
 	BatchDelay time.Duration
 
+	// BatchAdaptive replaces the fixed BatchSize with each client's
+	// load-driven batcher (see workload.Config.BatchAdaptive): batches
+	// grow with accumulated demand up to half the window. Requires
+	// Window >= 2; conflicts with BatchSize > 1 and BatchDelay > 0.
+	BatchAdaptive bool
+
 	// Protocol tuning.
 	AcceptTimeout time.Duration // paxos-family failure detection
 	LearnBatching bool          // 1Paxos acceptor-broadcast batching
@@ -215,6 +221,17 @@ func Build(spec Spec) (*Cluster, error) {
 	}
 	if spec.BatchDelay < 0 {
 		return nil, fmt.Errorf("cluster: negative batch delay %v", spec.BatchDelay)
+	}
+	if spec.BatchAdaptive {
+		if spec.Window < 2 {
+			return nil, fmt.Errorf("cluster: BatchAdaptive needs a client window of at least 2, got %d", spec.Window)
+		}
+		if spec.BatchSize > 1 {
+			return nil, fmt.Errorf("cluster: BatchAdaptive conflicts with batch size %d", spec.BatchSize)
+		}
+		if spec.BatchDelay > 0 {
+			return nil, fmt.Errorf("cluster: BatchAdaptive conflicts with batch delay %v", spec.BatchDelay)
+		}
 	}
 	if spec.SnapshotInterval < 0 {
 		return nil, fmt.Errorf("cluster: negative snapshot interval %d", spec.SnapshotInterval)
@@ -335,20 +352,21 @@ func MustBuild(spec Spec) *Cluster {
 func (c *Cluster) clientConfig(id msg.NodeID, i int) workload.Config {
 	spec := c.Spec
 	cfg := workload.Config{
-		ID:           id,
-		Requests:     spec.RequestsPerClient,
-		ThinkTime:    spec.ThinkTime,
-		RetryTimeout: spec.RetryTimeout,
-		ReadPercent:  spec.ReadPercent,
-		ReadMode:     spec.ReadMode,
-		Window:       spec.Window,
-		BatchSize:    spec.BatchSize,
-		BatchDelay:   spec.BatchDelay,
-		StartDelay:   time.Duration(i) * time.Microsecond,
-		Warmup:       spec.Warmup,
-		SeriesBucket: spec.SeriesBucket,
-		Key:          spec.SharedKey,
-		Record:       spec.Record,
+		ID:            id,
+		Requests:      spec.RequestsPerClient,
+		ThinkTime:     spec.ThinkTime,
+		RetryTimeout:  spec.RetryTimeout,
+		ReadPercent:   spec.ReadPercent,
+		ReadMode:      spec.ReadMode,
+		Window:        spec.Window,
+		BatchSize:     spec.BatchSize,
+		BatchDelay:    spec.BatchDelay,
+		BatchAdaptive: spec.BatchAdaptive,
+		StartDelay:    time.Duration(i) * time.Microsecond,
+		Warmup:        spec.Warmup,
+		SeriesBucket:  spec.SeriesBucket,
+		Key:           spec.SharedKey,
+		Record:        spec.Record,
 	}
 	if len(c.Groups) > 1 {
 		cfg.Groups = c.Groups

@@ -16,38 +16,75 @@ import (
 	"time"
 )
 
+// HistogramCap bounds how many samples a Histogram keeps. Up to the cap
+// every sample is retained and percentiles are exact; past it the
+// histogram switches to reservoir sampling (Algorithm R): each new
+// sample replaces a uniformly-chosen kept one with probability cap/n,
+// so the kept set stays a uniform sample of everything recorded and
+// percentile queries become unbiased estimates whose error shrinks with
+// the cap, not with the record count. Count, Mean, Min and Max stay
+// exact at any volume. The cap keeps a week-long sweep's histogram at a
+// fixed 64 KiB instead of growing (and GC-scanning) one append per op —
+// allocation on the measurement path skews the latencies it measures.
+const HistogramCap = 1 << 13 // 8192 samples, 64 KiB of durations
+
 // Histogram records duration samples and answers percentile queries.
 // The zero value is ready to use.
 type Histogram struct {
 	samples []time.Duration
 	sorted  bool
-	sum     time.Duration
-	min     time.Duration
-	max     time.Duration
+	n       int64         // total recorded, exact
+	sum     time.Duration // exact
+	min     time.Duration // exact
+	max     time.Duration // exact
+	rng     uint64        // xorshift64* state for the reservoir, lazily seeded
 }
 
 // Record adds one sample.
 func (h *Histogram) Record(d time.Duration) {
-	if len(h.samples) == 0 || d < h.min {
+	if h.n == 0 || d < h.min {
 		h.min = d
 	}
-	if d > h.max {
+	if h.n == 0 || d > h.max {
 		h.max = d
 	}
-	h.samples = append(h.samples, d)
+	h.n++
 	h.sum += d
-	h.sorted = false
+	if len(h.samples) < HistogramCap {
+		h.samples = append(h.samples, d)
+		h.sorted = false
+		return
+	}
+	if j := h.randN(h.n); j < HistogramCap {
+		h.samples[j] = d
+		h.sorted = false
+	}
 }
 
-// Count reports the number of recorded samples.
-func (h *Histogram) Count() int { return len(h.samples) }
+// randN draws a deterministic pseudo-random integer in [0, n). The
+// generator is self-seeded with a fixed constant so identical record
+// sequences keep identical reservoirs — runs reproduce exactly.
+func (h *Histogram) randN(n int64) int64 {
+	if h.rng == 0 {
+		h.rng = 0x9E3779B97F4A7C15
+	}
+	h.rng ^= h.rng >> 12
+	h.rng ^= h.rng << 25
+	h.rng ^= h.rng >> 27
+	return int64((h.rng * 2685821657736338717) % uint64(n))
+}
 
-// Mean reports the arithmetic mean of the samples, or 0 with no samples.
+// Count reports the number of recorded samples (all of them, not just
+// the reservoir's kept subset).
+func (h *Histogram) Count() int { return int(h.n) }
+
+// Mean reports the arithmetic mean of the samples, or 0 with no
+// samples. The mean is exact regardless of reservoir truncation.
 func (h *Histogram) Mean() time.Duration {
-	if len(h.samples) == 0 {
+	if h.n == 0 {
 		return 0
 	}
-	return h.sum / time.Duration(len(h.samples))
+	return h.sum / time.Duration(h.n)
 }
 
 // Min reports the smallest sample, or 0 with no samples.
@@ -57,7 +94,8 @@ func (h *Histogram) Min() time.Duration { return h.min }
 func (h *Histogram) Max() time.Duration { return h.max }
 
 // Percentile reports the p-th percentile (0 < p <= 100) using
-// nearest-rank on the sorted samples. It reports 0 with no samples.
+// nearest-rank on the sorted kept samples — exact below HistogramCap,
+// a uniform-reservoir estimate above it. It reports 0 with no samples.
 func (h *Histogram) Percentile(p float64) time.Duration {
 	if len(h.samples) == 0 {
 		return 0
@@ -82,18 +120,40 @@ func (h *Histogram) Percentile(p float64) time.Duration {
 // Median reports the 50th percentile.
 func (h *Histogram) Median() time.Duration { return h.Percentile(50) }
 
-// Reset discards all samples.
+// Reset discards all samples (and the reservoir's generator state, so a
+// reset histogram replays identically).
 func (h *Histogram) Reset() {
 	h.samples = h.samples[:0]
-	h.sum, h.min, h.max = 0, 0, 0
+	h.n, h.sum, h.min, h.max = 0, 0, 0, 0
 	h.sorted = false
+	h.rng = 0
 }
 
-// Merge folds the samples of other into h.
+// Merge folds other into h. Count, sum, min and max merge exactly.
+// Kept samples append exactly while both sides fit the cap; past it the
+// merge treats each of other's kept samples as one reservoir candidate,
+// which keeps percentiles representative but is an approximation (each
+// kept sample may stand for many recorded ones).
 func (h *Histogram) Merge(other *Histogram) {
-	for _, s := range other.samples {
-		h.Record(s)
+	if other.n == 0 {
+		return
 	}
+	if h.n == 0 || other.min < h.min {
+		h.min = other.min
+	}
+	if h.n == 0 || other.max > h.max {
+		h.max = other.max
+	}
+	for _, s := range other.samples {
+		if len(h.samples) < HistogramCap {
+			h.samples = append(h.samples, s)
+		} else if j := h.randN(h.n + 1); j < HistogramCap {
+			h.samples[j] = s
+		}
+	}
+	h.sorted = false
+	h.n += other.n
+	h.sum += other.sum
 }
 
 // Summary is an immutable snapshot of a histogram, convenient for tables.

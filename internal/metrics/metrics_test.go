@@ -100,6 +100,64 @@ func TestHistogramMergeAndReset(t *testing.T) {
 	}
 }
 
+func TestHistogramReservoirStability(t *testing.T) {
+	// A million records drawn uniformly from [1µs, 1000µs]. The true
+	// p50 and p99 sit at ~500µs and ~990µs; the reservoir's kept set is
+	// a uniform sample of HistogramCap durations, so both estimates
+	// must hold within a few percent at every checkpoint — and the
+	// histogram's memory must stop growing at the cap.
+	var h Histogram
+	rng := rand.New(rand.NewSource(42))
+	const n = 1_000_000
+	var sum time.Duration
+	for i := 1; i <= n; i++ {
+		d := time.Duration(rng.Intn(1000)+1) * time.Microsecond
+		h.Record(d)
+		sum += d
+		if i%100_000 != 0 {
+			continue
+		}
+		const tol = 30 * time.Microsecond // 3% of the value range
+		if p50 := h.Percentile(50); p50 < 500*time.Microsecond-tol || p50 > 500*time.Microsecond+tol {
+			t.Fatalf("after %d records: p50 = %v, want 500µs ± %v", i, p50, tol)
+		}
+		if p99 := h.Percentile(99); p99 < 990*time.Microsecond-tol || p99 > 990*time.Microsecond+tol {
+			t.Fatalf("after %d records: p99 = %v, want 990µs ± %v", i, p99, tol)
+		}
+	}
+	if got := len(h.samples); got != HistogramCap {
+		t.Errorf("kept samples = %d, want exactly the cap %d", got, HistogramCap)
+	}
+	if got := cap(h.samples); got > 2*HistogramCap {
+		t.Errorf("sample capacity = %d — the reservoir should stop growing at the cap", got)
+	}
+	// The scalar statistics stay exact at any volume.
+	if h.Count() != n {
+		t.Errorf("Count = %d, want %d", h.Count(), n)
+	}
+	if got := h.Mean(); got != sum/n {
+		t.Errorf("Mean = %v, want exact %v", got, sum/n)
+	}
+	if h.Min() != 1*time.Microsecond || h.Max() != 1000*time.Microsecond {
+		t.Errorf("Min/Max = %v/%v, want exact 1µs/1000µs", h.Min(), h.Max())
+	}
+}
+
+func TestHistogramReservoirDeterministic(t *testing.T) {
+	// Identical record sequences must keep identical reservoirs — the
+	// generator is self-seeded, never wall-clock-seeded.
+	run := func() Summary {
+		var h Histogram
+		for i := 0; i < 3*HistogramCap; i++ {
+			h.Record(time.Duration(i%997) * time.Microsecond)
+		}
+		return h.Summarize()
+	}
+	if a, b := run(), run(); a != b {
+		t.Fatalf("two identical runs disagree: %v vs %v", a, b)
+	}
+}
+
 func TestSummary(t *testing.T) {
 	var h Histogram
 	for i := 1; i <= 10; i++ {

@@ -1,0 +1,109 @@
+package msg
+
+import "sync"
+
+// Reply-slice pooling for the steady-state hot path.
+//
+// Every committed batch makes the applying replica build a
+// []ClientReply (and the read path a []ReadReply) just long enough to
+// wrap into one message; at six-figure op rates those short-lived
+// slices dominate the allocation profile. The pools below recycle the
+// backing arrays under a strict ownership discipline:
+//
+//   - The producer obtains a slice with GetReplies/GetReadReplies,
+//     appends into it, and wraps it with WrapReplies/WrapReadReplies.
+//   - If the wrapped message is a *batch*, the message now owns the
+//     backing array: the producer must forget the slice (set it nil)
+//     and the CONSUMER recycles it with RecycleReplies/RecycleReadReplies
+//     once it has copied what it needs out.
+//   - If the wrap produced nil (no replies) or a bare single reply
+//     (copied by value into the message), the producer still owns the
+//     array and returns it with PutReplies/PutReadReplies.
+//
+// Consumers may only recycle batches they are the sole receiver of.
+// The in-proc runtime and the TCP transport both deliver each message
+// exactly once, so the KV bridge recycles; the simulated runtime can
+// duplicate messages under fault schedules, so sim-side consumers
+// (workload clients, scenario harnesses) must NOT recycle — there the
+// arrays simply fall to the garbage collector, which is the pre-pool
+// behavior.
+//
+// Put zeroes the in-use prefix so pooled arrays never pin result
+// strings against the GC; Get hands out a zeroed, length-0 slice.
+
+// slicePool recycles slices of T. Two sync.Pools cooperate so the
+// steady state allocates nothing at all: `full` holds pointers to
+// usable backing arrays, `empty` holds the pointer cells themselves
+// between uses (a bare sync.Pool.Put of a slice value would box the
+// header on every call).
+type slicePool[T any] struct {
+	full  sync.Pool // *[]T with a usable backing array
+	empty sync.Pool // *[]T spare holders (slice is nil)
+}
+
+func (p *slicePool[T]) get(n int) []T {
+	if sp, _ := p.full.Get().(*[]T); sp != nil {
+		s := *sp
+		*sp = nil
+		p.empty.Put(sp)
+		if cap(s) >= n {
+			return s[:0]
+		}
+	}
+	if n < 16 {
+		n = 16
+	}
+	return make([]T, 0, n)
+}
+
+func (p *slicePool[T]) put(s []T) {
+	if cap(s) == 0 {
+		return
+	}
+	var zero T
+	for i := range s {
+		s[i] = zero
+	}
+	sp, _ := p.empty.Get().(*[]T)
+	if sp == nil {
+		sp = new([]T)
+	}
+	*sp = s[:0]
+	p.full.Put(sp)
+}
+
+var (
+	clientReplies slicePool[ClientReply]
+	readReplies   slicePool[ReadReply]
+)
+
+// GetReplies returns a zeroed, length-0 reply slice with capacity for
+// at least n replies, drawn from the pool when possible.
+func GetReplies(n int) []ClientReply { return clientReplies.get(n) }
+
+// PutReplies returns a reply slice to the pool. Safe on nil. Callers
+// must not retain any view of s afterwards.
+func PutReplies(s []ClientReply) { clientReplies.put(s) }
+
+// RecycleReplies recycles the backing array of a received
+// ClientReplyBatch once the consumer is done with it. Any other
+// message kind is a no-op, so receivers can call it unconditionally on
+// the reply-path messages they have fully consumed.
+func RecycleReplies(m Message) {
+	if b, ok := m.(ClientReplyBatch); ok {
+		clientReplies.put(b.Replies)
+	}
+}
+
+// GetReadReplies mirrors GetReplies for the read path.
+func GetReadReplies(n int) []ReadReply { return readReplies.get(n) }
+
+// PutReadReplies mirrors PutReplies for the read path.
+func PutReadReplies(s []ReadReply) { readReplies.put(s) }
+
+// RecycleReadReplies mirrors RecycleReplies for ReadReplyBatch.
+func RecycleReadReplies(m Message) {
+	if b, ok := m.(ReadReplyBatch); ok {
+		readReplies.put(b.Replies)
+	}
+}

@@ -683,7 +683,7 @@ func (r *Replica) onApply(e rsm.Entry, results []string) {
 	if v.Client == msg.Nobody {
 		return // gap-filling noop
 	}
-	var replies []msg.ClientReply
+	replies := msg.GetReplies(v.Len())
 	for i, n := 0, v.Len(); i < n; i++ {
 		be := v.EntryAt(i)
 		result := results[i]
@@ -697,10 +697,16 @@ func (r *Replica) onApply(e rsm.Entry, results []string) {
 		}
 	}
 	// One message answers the whole batch, so the client can retire it
-	// in one step and refill its window with a full batch.
+	// in one step and refill its window with a full batch. A batch
+	// message takes over the pooled array (the receiver recycles it);
+	// otherwise it goes straight back to the pool.
 	if m := msg.WrapReplies(replies); m != nil {
 		r.ctx.Send(v.Client, m)
+		if _, batched := m.(msg.ClientReplyBatch); batched {
+			replies = nil
+		}
 	}
+	msg.PutReplies(replies)
 }
 
 // --- Proposer: becoming leader (Appendix A propose()/prepare_response) ---

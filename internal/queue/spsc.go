@@ -33,6 +33,12 @@ type FixedMsg [SlotBytes]byte
 //
 // Head and tail are free-running counters: size = tail - head; the queue
 // is full when size == capacity and empty when the counters are equal.
+// The backing array is sized to the next power of two (the logical
+// capacity stays exactly what the caller asked for), so slot indexing is
+// a mask rather than a division and stays contiguous even when the
+// counters wrap at the uint64 boundary — a non-power-of-two array would
+// tear the ring the moment tail overflows, since 2^64 is not a multiple
+// of its length.
 type SPSC[T any] struct {
 	_    [64]byte // keep head away from whatever precedes the struct
 	head atomic.Uint64
@@ -40,6 +46,8 @@ type SPSC[T any] struct {
 	tail atomic.Uint64
 	_    [56]byte
 	buf  []T
+	mask uint64 // len(buf) - 1; len(buf) is a power of two
+	capa uint64 // logical capacity (<= len(buf))
 }
 
 // NewSPSC returns a queue with the given number of slots.
@@ -49,11 +57,15 @@ func NewSPSC[T any](capacity int) *SPSC[T] {
 	if capacity <= 0 {
 		panic("queue: capacity must be positive")
 	}
-	return &SPSC[T]{buf: make([]T, capacity)}
+	n := 1
+	for n < capacity {
+		n <<= 1
+	}
+	return &SPSC[T]{buf: make([]T, n), mask: uint64(n - 1), capa: uint64(capacity)}
 }
 
 // Cap reports the number of slots.
-func (q *SPSC[T]) Cap() int { return len(q.buf) }
+func (q *SPSC[T]) Cap() int { return int(q.capa) }
 
 // Len reports the number of queued messages. Because producer and
 // consumer race with this read, the value is a point-in-time snapshot.
@@ -65,10 +77,10 @@ func (q *SPSC[T]) Len() int {
 // queue is full. Only the producer goroutine may call it.
 func (q *SPSC[T]) TryEnqueue(v T) bool {
 	tail := q.tail.Load()
-	if tail-q.head.Load() == uint64(len(q.buf)) {
+	if tail-q.head.Load() == q.capa {
 		return false
 	}
-	q.buf[tail%uint64(len(q.buf))] = v
+	q.buf[tail&q.mask] = v
 	q.tail.Store(tail + 1)
 	return true
 }
@@ -89,8 +101,8 @@ func (q *SPSC[T]) TryDequeue() (T, bool) {
 	if head == q.tail.Load() {
 		return zero, false
 	}
-	v := q.buf[head%uint64(len(q.buf))]
-	q.buf[head%uint64(len(q.buf))] = zero // release references for GC
+	v := q.buf[head&q.mask]
+	q.buf[head&q.mask] = zero // release references for GC
 	q.head.Store(head + 1)
 	return v, true
 }
@@ -104,4 +116,58 @@ func (q *SPSC[T]) Dequeue() T {
 		}
 		runtime.Gosched()
 	}
+}
+
+// TryEnqueueBatch appends as many of vs as fit and reports how many it
+// took (0 when the queue is full). The slots are claimed with ONE tail
+// publication, so a batch costs the same two atomic operations as a
+// single TryEnqueue no matter its length. Only the producer goroutine
+// may call it.
+func (q *SPSC[T]) TryEnqueueBatch(vs []T) int {
+	if len(vs) == 0 {
+		return 0
+	}
+	tail := q.tail.Load()
+	free := q.capa - (tail - q.head.Load())
+	n := uint64(len(vs))
+	if n > free {
+		n = free
+	}
+	if n == 0 {
+		return 0
+	}
+	for i := uint64(0); i < n; i++ {
+		q.buf[(tail+i)&q.mask] = vs[i]
+	}
+	q.tail.Store(tail + n)
+	return int(n)
+}
+
+// DequeueInto moves up to len(buf) of the oldest messages into buf and
+// reports how many it moved (0 when the queue is empty). The drained
+// slots are zeroed (releasing their references for GC) and the head is
+// published ONCE for the whole batch, amortizing the atomic head/tail
+// traffic that TryDequeue pays per message. Only the consumer goroutine
+// may call it.
+func (q *SPSC[T]) DequeueInto(buf []T) int {
+	if len(buf) == 0 {
+		return 0
+	}
+	var zero T
+	head := q.head.Load()
+	avail := q.tail.Load() - head
+	n := uint64(len(buf))
+	if n > avail {
+		n = avail
+	}
+	if n == 0 {
+		return 0
+	}
+	for i := uint64(0); i < n; i++ {
+		slot := (head + i) & q.mask
+		buf[i] = q.buf[slot]
+		q.buf[slot] = zero // release references for GC
+	}
+	q.head.Store(head + n)
+	return int(n)
 }

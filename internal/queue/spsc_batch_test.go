@@ -1,0 +1,269 @@
+package queue
+
+import (
+	"math"
+	"runtime"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestBatchFIFOSingleThread(t *testing.T) {
+	q := NewSPSC[int](8)
+	if n := q.TryEnqueueBatch([]int{0, 1, 2, 3, 4}); n != 5 {
+		t.Fatalf("TryEnqueueBatch = %d, want 5", n)
+	}
+	buf := make([]int, 3)
+	if n := q.DequeueInto(buf); n != 3 {
+		t.Fatalf("DequeueInto = %d, want 3", n)
+	}
+	for i, v := range buf {
+		if v != i {
+			t.Fatalf("buf[%d] = %d, want %d", i, v, i)
+		}
+	}
+	// The batch stops at capacity: 2 queued, 6 free.
+	if n := q.TryEnqueueBatch([]int{5, 6, 7, 8, 9, 10, 11, 12}); n != 6 {
+		t.Fatalf("TryEnqueueBatch into 6 free slots = %d, want 6", n)
+	}
+	if n := q.DequeueInto(make([]int, 16)); n != 8 {
+		t.Fatalf("DequeueInto = %d, want 8", n)
+	}
+	if n := q.DequeueInto(buf); n != 0 {
+		t.Fatalf("DequeueInto on empty queue = %d, want 0", n)
+	}
+	if n := q.TryEnqueueBatch(nil); n != 0 {
+		t.Fatalf("TryEnqueueBatch(nil) = %d, want 0", n)
+	}
+	if n := q.DequeueInto(nil); n != 0 {
+		t.Fatalf("DequeueInto(nil) = %d, want 0", n)
+	}
+}
+
+// TestBatchQuickAgainstModel drives a mixed single/batched op sequence
+// against the bounded-FIFO reference model: every interleaving of
+// TryEnqueue, TryEnqueueBatch, TryDequeue and DequeueInto must agree
+// with the model on both values and counts.
+func TestBatchQuickAgainstModel(t *testing.T) {
+	f := func(ops []uint8, capRaw uint8) bool {
+		capacity := int(capRaw%8) + 1
+		q := NewSPSC[int](capacity)
+		model := &queueModel{cap: capacity}
+		next := 0
+		for _, op := range ops {
+			switch op % 4 {
+			case 0: // single enqueue
+				got := q.TryEnqueue(next)
+				want := model.enqueue(next)
+				if got != want {
+					return false
+				}
+				next++
+			case 1: // batched enqueue of 1..4
+				k := int(op/4)%4 + 1
+				vs := make([]int, k)
+				for i := range vs {
+					vs[i] = next + i
+				}
+				n := q.TryEnqueueBatch(vs)
+				wantN := 0
+				for _, v := range vs {
+					if !model.enqueue(v) {
+						break
+					}
+					wantN++
+				}
+				if n != wantN {
+					return false
+				}
+				next += n
+				// Un-enqueue the model's extras: none — the model stopped
+				// at the same point by construction.
+			case 2: // single dequeue
+				gv, gok := q.TryDequeue()
+				wv, wok := model.dequeue()
+				if gok != wok || (gok && gv != wv) {
+					return false
+				}
+			case 3: // batched dequeue of 1..4
+				k := int(op/4)%4 + 1
+				buf := make([]int, k)
+				n := q.DequeueInto(buf)
+				for i := 0; i < n; i++ {
+					wv, wok := model.dequeue()
+					if !wok || buf[i] != wv {
+						return false
+					}
+				}
+				// The drain must be maximal: if the queue had more than it
+				// returned, buf must have been full.
+				if n < k {
+					if _, wok := model.dequeue(); wok {
+						return false
+					}
+				}
+			}
+			if q.Len() != len(model.items) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestBatchConcurrentInterleaved runs a producer mixing single and
+// batched enqueues against a consumer mixing single and batched drains;
+// under -race this doubles as the memory-model check for the
+// single-store head/tail publications.
+func TestBatchConcurrentInterleaved(t *testing.T) {
+	const n = 100000
+	q := NewSPSC[int](DefaultSlots)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		batch := make([]int, 5)
+		sent := 0
+		for sent < n {
+			if sent%3 == 0 {
+				q.Enqueue(sent)
+				sent++
+				continue
+			}
+			k := sent % 5
+			if k == 0 {
+				k = 1
+			}
+			if sent+k > n {
+				k = n - sent
+			}
+			for i := 0; i < k; i++ {
+				batch[i] = sent + i
+			}
+			off := 0
+			for off < k {
+				m := q.TryEnqueueBatch(batch[off:k])
+				if m == 0 {
+					runtime.Gosched()
+				}
+				off += m
+			}
+			sent += k
+		}
+	}()
+	buf := make([]int, 4)
+	got := 0
+	for got < n {
+		if got%2 == 0 {
+			v, ok := q.TryDequeue()
+			if !ok {
+				runtime.Gosched()
+				continue
+			}
+			if v != got {
+				t.Fatalf("out of order: got %d, want %d", v, got)
+			}
+			got++
+			continue
+		}
+		m := q.DequeueInto(buf)
+		if m == 0 {
+			runtime.Gosched()
+			continue
+		}
+		for i := 0; i < m; i++ {
+			if buf[i] != got {
+				t.Fatalf("out of order: got %d, want %d", buf[i], got)
+			}
+			got++
+		}
+	}
+	wg.Wait()
+	if q.Len() != 0 {
+		t.Fatalf("queue not drained: %d", q.Len())
+	}
+}
+
+// TestBatchCounterBoundaryWraparound pins the free-running counters at
+// the uint64 boundary: head and tail are advanced to within a few ops
+// of overflow, and the batched operations must stay FIFO straight
+// through the wrap (size and slot arithmetic are all modular).
+func TestBatchCounterBoundaryWraparound(t *testing.T) {
+	q := NewSPSC[int](DefaultSlots)
+	// Both counters equal => empty queue; park them just below overflow.
+	start := uint64(math.MaxUint64) - 3
+	q.head.Store(start)
+	q.tail.Store(start)
+	next := 0
+	buf := make([]int, DefaultSlots)
+	for round := 0; round < 4; round++ { // crosses the boundary mid-loop
+		vs := []int{next, next + 1, next + 2}
+		if n := q.TryEnqueueBatch(vs); n != 3 {
+			t.Fatalf("round %d: TryEnqueueBatch = %d, want 3", round, n)
+		}
+		if n := q.DequeueInto(buf); n != 3 {
+			t.Fatalf("round %d: DequeueInto = %d, want 3", round, n)
+		}
+		for i := 0; i < 3; i++ {
+			if buf[i] != next+i {
+				t.Fatalf("round %d: buf[%d] = %d, want %d", round, i, buf[i], next+i)
+			}
+		}
+		next += 3
+	}
+	if q.Len() != 0 {
+		t.Fatalf("Len = %d, want 0 after the wrap", q.Len())
+	}
+}
+
+// TestDequeueIntoReleasesReferences mirrors TestDequeueReleasesReferences
+// for the batched drain: every drained slot must be zeroed so the queue
+// does not pin dead objects against the GC.
+func TestDequeueIntoReleasesReferences(t *testing.T) {
+	q := NewSPSC[*int](4)
+	vs := []*int{new(int), new(int), new(int)}
+	if n := q.TryEnqueueBatch(vs); n != 3 {
+		t.Fatalf("TryEnqueueBatch = %d, want 3", n)
+	}
+	buf := make([]*int, 3)
+	if n := q.DequeueInto(buf); n != 3 {
+		t.Fatalf("DequeueInto = %d, want 3", n)
+	}
+	for i := range q.buf {
+		if q.buf[i] != nil {
+			t.Fatalf("slot %d still holds a reference after DequeueInto", i)
+		}
+	}
+}
+
+// BenchmarkBatchedEnqueueDrain gates the hot-path contract: moving a
+// batch through the queue allocates nothing.
+func BenchmarkBatchedEnqueueDrain(b *testing.B) {
+	q := NewSPSC[int](64)
+	in := make([]int, 16)
+	out := make([]int, 16)
+	for i := range in {
+		in[i] = i
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q.TryEnqueueBatch(in)
+		q.DequeueInto(out)
+	}
+}
+
+// BenchmarkSingleEnqueueDequeue is the per-message baseline the batched
+// pair amortizes against.
+func BenchmarkSingleEnqueueDequeue(b *testing.B) {
+	q := NewSPSC[int](64)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q.TryEnqueue(i)
+		q.TryDequeue()
+	}
+}

@@ -794,13 +794,21 @@ func (s *Server) reply(reads []pending, build func(pending) msg.ReadReply) {
 		}
 	}
 	if single {
-		replies := make([]msg.ReadReply, len(reads))
-		for i, p := range reads {
-			replies[i] = build(p)
+		// The dominant case: every pending read belongs to one client.
+		// The reply array comes from the pool; a batch message takes it
+		// over (the receiver recycles it), a bare single reply returns
+		// it here.
+		replies := msg.GetReadReplies(len(reads))
+		for _, p := range reads {
+			replies = append(replies, build(p))
 		}
 		if m := msg.WrapReadReplies(replies); m != nil {
 			s.ctx.Send(reads[0].client, m)
+			if _, batched := m.(msg.ReadReplyBatch); batched {
+				replies = nil
+			}
 		}
+		msg.PutReadReplies(replies)
 		return
 	}
 	byClient := make(map[msg.NodeID][]msg.ReadReply, 1)

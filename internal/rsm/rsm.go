@@ -121,11 +121,12 @@ type Log struct {
 	history []Entry // applied suffix [floor, applied), for audits and consistency checks
 	onApply func(e Entry, results []string)
 
-	// Scratch buffers for the dominant single-command case, so applying
-	// an unbatched instance allocates nothing (see OnApply's contract:
-	// results is only valid for the duration of the callback).
-	oneSub [1]msg.Value
-	oneRes [1]string
+	// Scratch buffers reused across applications, so applying an
+	// instance — batched or not — allocates nothing in steady state (see
+	// OnApply's contract: results is only valid for the duration of the
+	// callback). They grow to the largest batch ever applied.
+	subScratch []msg.Value
+	resScratch []string
 }
 
 // NewLog builds a log applying into applier (which may be nil for
@@ -186,17 +187,24 @@ func (l *Log) advance() {
 		// back to back, before the instance counter moves — nothing from
 		// another instance can interleave, and each command still gets
 		// its own result and (via the engine's OnApply hook) its own
-		// session record. The single-command case reuses the log's
-		// scratch buffers instead of allocating per instance.
-		var subs []msg.Value
-		var results []string
+		// session record. Both cases reuse the log's scratch buffers
+		// (grown to the largest batch seen) instead of allocating a
+		// Split plus a result slice per instance.
+		n := v.Len()
+		if cap(l.subScratch) < n {
+			l.subScratch = make([]msg.Value, n)
+			l.resScratch = make([]string, n)
+		}
+		subs, results := l.subScratch[:n], l.resScratch[:n]
 		if len(v.Batch) == 0 {
-			l.oneSub[0] = v
-			l.oneRes[0] = ""
-			subs, results = l.oneSub[:], l.oneRes[:]
+			subs[0] = v
 		} else {
-			subs = v.Split()
-			results = make([]string, len(subs))
+			for i, be := range v.Batch {
+				subs[i] = msg.Value{Client: v.Client, Seq: be.Seq, Cmd: be.Cmd, Ack: v.Ack}
+			}
+		}
+		for i := range results {
+			results[i] = ""
 		}
 		if l.applier != nil {
 			for i, sub := range subs {
@@ -400,6 +408,17 @@ const DefaultSessionWindow = 1024
 type Sessions struct {
 	window  uint64
 	clients map[laneKey]*clientSession
+
+	// One-entry lane cache. The apply path resolves the same (client,
+	// tag) lane several times per command (ack recording, dedupe,
+	// completion recording) and whole batches share one lane, so the
+	// last lane resolved is overwhelmingly the next one asked for;
+	// caching it turns all but the first resolution of a batch into a
+	// pointer compare instead of a map lookup. Lanes are never removed
+	// (only Restore rebuilds the map, and it invalidates the cache), so
+	// the cached pointer cannot dangle.
+	lastKey laneKey
+	lastCS  *clientSession
 }
 
 // laneKey identifies one client lane: the client node plus the shard
@@ -443,10 +462,16 @@ func NewSessionsWindow(window int) *Sessions {
 func (s *Sessions) lane(client msg.NodeID, seq uint64, create bool) (*clientSession, uint64) {
 	base := shard.SeqBase(seq)
 	key := laneKey{client: client, base: base}
+	if s.lastCS != nil && s.lastKey == key {
+		return s.lastCS, seq - base
+	}
 	cs, ok := s.clients[key]
 	if !ok && create {
 		cs = &clientSession{entries: make(map[uint64]sessionEntry)}
 		s.clients[key] = cs
+	}
+	if cs != nil {
+		s.lastKey, s.lastCS = key, cs
 	}
 	return cs, seq - base
 }
@@ -535,6 +560,25 @@ func (s *Sessions) Lookup(client msg.NodeID, seq uint64) (instance int64, result
 	return e.instance, e.result, true
 }
 
+// Committed combines Lookup and Seen in one lane resolution, for the
+// apply hot path: ok reports whether client's command seq is known to
+// have committed, and result carries its stored result when still
+// retained (a command committed but pruned reports ok with an empty
+// result, exactly as Seen-without-Lookup would have been handled).
+func (s *Sessions) Committed(client msg.NodeID, seq uint64) (result string, ok bool) {
+	cs, seq := s.lane(client, seq, false)
+	if cs == nil {
+		return "", false
+	}
+	if e, ok := cs.entries[seq]; ok {
+		return e.result, true
+	}
+	if seq > 0 && seq <= cs.floor {
+		return "", true
+	}
+	return "", false
+}
+
 // Seen reports whether client's command seq is known to have committed:
 // either its result is still retained, or it is at or below its lane's
 // contiguous commit frontier (committed, result possibly discarded).
@@ -558,15 +602,39 @@ func (s *Sessions) Seen(client msg.NodeID, seq uint64) bool {
 // and returns the entries that still need agreement, in order. Engines
 // call it first thing in their client-request path; a nil return means
 // the whole request was served from the table.
+// In the dominant case — a batched request none of whose entries have
+// committed before — Screen returns the request's own batch slice
+// without allocating; the client handed that slice over with the
+// request and nothing mutates it afterwards, so sharing it with the
+// proposal is safe.
 func (s *Sessions) Screen(req msg.ClientRequest, reply func(msg.ClientReply)) []msg.BatchEntry {
 	s.ClientAck(req.Client, req.Ack)
+	if len(req.Batch) == 0 {
+		if inst, result, ok := s.Lookup(req.Client, req.Seq); ok {
+			reply(msg.ClientReply{Seq: req.Seq, Instance: inst, OK: true, Result: result})
+			return nil
+		}
+		return req.Entries()
+	}
 	var fresh []msg.BatchEntry
-	for _, be := range req.Entries() {
+	served := false
+	for i, be := range req.Batch {
 		if inst, result, ok := s.Lookup(req.Client, be.Seq); ok {
 			reply(msg.ClientReply{Seq: be.Seq, Instance: inst, OK: true, Result: result})
+			if !served {
+				served = true
+				if i > 0 {
+					fresh = append(make([]msg.BatchEntry, 0, len(req.Batch)-1), req.Batch[:i]...)
+				}
+			}
 			continue
 		}
-		fresh = append(fresh, be)
+		if served {
+			fresh = append(fresh, be)
+		}
+	}
+	if !served {
+		return req.Batch
 	}
 	return fresh
 }
@@ -643,6 +711,7 @@ func (s *Sessions) Export() []LaneState {
 // receiver's own — it is configuration, not replicated state.
 func (s *Sessions) Restore(lanes []LaneState) {
 	s.clients = make(map[laneKey]*clientSession, len(lanes))
+	s.lastKey, s.lastCS = laneKey{}, nil // the cached lane no longer exists
 	for _, lane := range lanes {
 		cs := &clientSession{
 			entries: make(map[uint64]sessionEntry, len(lane.Entries)),
@@ -676,11 +745,8 @@ func (d Dedup) Apply(v msg.Value) string {
 	// learner; recording it here keeps session retention aligned on
 	// replicas the client never contacted directly.
 	d.Sessions.ClientAck(v.Client, v.Ack)
-	if _, result, ok := d.Sessions.Lookup(v.Client, v.Seq); ok {
-		return result
-	}
-	if d.Sessions.Seen(v.Client, v.Seq) {
-		return ""
+	if result, ok := d.Sessions.Committed(v.Client, v.Seq); ok {
+		return result // retained result, or "" when committed-but-pruned
 	}
 	return d.Inner.Apply(v)
 }

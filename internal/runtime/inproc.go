@@ -3,7 +3,9 @@ package runtime
 import (
 	"fmt"
 	"math/rand"
+	goruntime "runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"consensusinside/internal/msg"
@@ -31,6 +33,32 @@ func WithSeed(seed int64) InProcOption {
 	return func(c *inprocConfig) { c.seed = seed }
 }
 
+// sweepBatch is how many messages one sweep drains from each inbound
+// queue into the node's reusable delivery buffer: enough to amortize the
+// atomic head/tail traffic across a realistic burst, small enough that
+// round-robin fairness across peers is preserved (no queue can occupy
+// the node for more than sweepBatch deliveries before the sweep moves
+// on).
+const sweepBatch = 64
+
+// spinSweeps is how many consecutive empty sweeps a node tolerates —
+// yielding the processor between them — before parking on its wake
+// channel. This is the paper's busy-poll made Go-friendly: a short spin
+// catches the common case where a peer's reply is already in flight
+// (saving both sides a channel wakeup), while the park keeps idle nodes
+// from burning a core the way a hardware busy-poll would ("preventing
+// threads from spinning unnecessarily when waiting for messages",
+// Section 8). The paper's model gives every node its own core; when the
+// host cannot (GOMAXPROCS below the node count is the single-core
+// extreme), spinning only steals cycles from the peer whose reply is
+// being awaited, so nodes park immediately instead.
+var spinSweeps = func() int {
+	if goruntime.GOMAXPROCS(0) > 1 {
+		return 8
+	}
+	return 0
+}()
+
 // InProcCluster runs n Handlers on goroutines connected by per-pair SPSC
 // queues — QC-libtask's topology (Figure 6 of the paper): two directed
 // queues between every pair of nodes, head moved by the reader, tail by
@@ -42,6 +70,10 @@ type InProcCluster struct {
 	start time.Time
 	stop  chan struct{}
 	wg    sync.WaitGroup
+
+	// timerOverflows counts timer deliveries that found timerCh full and
+	// took the overflow list instead (see inprocContext.After).
+	timerOverflows atomic.Uint64
 
 	// lifeMu guards per-node crash/restart transitions (StopNode,
 	// RestartNode); the steady-state message path never takes it.
@@ -57,14 +89,46 @@ type inprocNode struct {
 	cluster *InProcCluster
 	id      msg.NodeID
 	handler Handler
-	// in[i] is the queue carrying messages from node i to this node.
-	in      []*queue.SPSC[envelope]
+	// in[i] is the queue carrying messages from node i to this node. The
+	// sender identity is the queue index, so the slots carry the bare
+	// message.
+	in      []*queue.SPSC[msg.Message]
 	wake    chan struct{}
 	timerCh chan TimerTag
 	rng     *rand.Rand
 
-	mu      sync.Mutex // guards selfBox
-	selfBox []envelope // self-sends: no pair queue exists for from==to
+	// parked is set while the node goroutine is blocked on wake; senders
+	// only touch the wake channel when it is, so the steady-state message
+	// path costs no channel operations.
+	parked atomic.Bool
+
+	// self is the self-send ring: ctx.Send(own id) is produced and
+	// consumed on the node's own goroutine (collapsed roles looping a
+	// message to themselves), so the SPSC invariant holds trivially and
+	// no lock or wakeup is needed. selfOver takes the (rare) overflow —
+	// the producer IS the consumer, so it cannot spin on a full ring.
+	// Both are owned by the node goroutine; crash handoff to the drainer
+	// is ordered by the done channel.
+	self     *queue.SPSC[msg.Message]
+	selfOver []msg.Message
+
+	// inbox carries external Inject traffic (driver goroutines that are
+	// not nodes); inboxPending makes the empty check lock-free.
+	// inboxSpare is the previously-drained buffer, swapped back in on
+	// the next drain so the ping-pong steady state (inject, drain,
+	// inject, ...) reuses two backing arrays instead of allocating one
+	// per drain cycle. Only the node goroutine touches inboxSpare.
+	mu           sync.Mutex
+	inbox        []envelope
+	inboxSpare   []envelope
+	inboxPending atomic.Bool
+
+	// timerOver takes timer fires that found timerCh full; the AfterFunc
+	// goroutine must never block on a stalled node (it would pile up
+	// goroutines cluster-wide), and dropping the tag would lose a timer.
+	tmu          sync.Mutex
+	timerOver    []TimerTag
+	timerPending atomic.Bool
 
 	// Crash/restart bookkeeping (guarded by cluster.lifeMu): halt stops
 	// this incarnation's goroutine, done reports it exited, drainStop
@@ -94,9 +158,10 @@ func NewInProcCluster(handlers []Handler, opts ...InProcOption) *InProcCluster {
 			cluster: c,
 			id:      msg.NodeID(i),
 			handler: handlers[i],
-			in:      make([]*queue.SPSC[envelope], n),
+			in:      make([]*queue.SPSC[msg.Message], n),
 			wake:    make(chan struct{}, 1),
 			timerCh: make(chan TimerTag, 64),
+			self:    queue.NewSPSC[msg.Message](cfg.queueCap),
 			rng:     rand.New(rand.NewSource(cfg.seed + int64(i))),
 			halt:    make(chan struct{}),
 			done:    make(chan struct{}),
@@ -105,7 +170,7 @@ func NewInProcCluster(handlers []Handler, opts ...InProcOption) *InProcCluster {
 	for i, node := range c.nodes {
 		for j := range node.in {
 			if j != i {
-				node.in[j] = queue.NewSPSC[envelope](cfg.queueCap)
+				node.in[j] = queue.NewSPSC[msg.Message](cfg.queueCap)
 			}
 		}
 	}
@@ -170,31 +235,49 @@ func (c *InProcCluster) RestartNode(id msg.NodeID, handler Handler) error {
 	return nil
 }
 
-// drain consumes a stopped node's inbound queues, self-box and timer
-// channel, discarding everything, until the node restarts or the
-// cluster stops. Exactly one goroutine consumes the SPSC queues at any
-// time: StopNode waits for the node goroutine to exit before starting
-// the drainer, and RestartNode waits for done before booting the new
-// incarnation.
+// TimerOverflows reports how many timer fires found the node's timer
+// channel full and were diverted to the overflow list (still delivered,
+// just late). A steadily growing count means timers are being armed far
+// faster than their node can service them.
+func (c *InProcCluster) TimerOverflows() uint64 {
+	return c.timerOverflows.Load()
+}
+
+// drain consumes a stopped node's inbound queues, self-send ring, inject
+// inbox and timer channel, discarding everything, until the node
+// restarts or the cluster stops. Exactly one goroutine consumes the SPSC
+// queues at any time: StopNode waits for the node goroutine to exit
+// before starting the drainer, and RestartNode waits for done before
+// booting the new incarnation.
 func (n *inprocNode) drain(stop, done chan struct{}) {
 	defer n.cluster.wg.Done()
 	defer close(done)
+	buf := make([]msg.Message, sweepBatch)
 	for {
 		progress := false
 		for _, q := range n.in {
 			if q == nil {
 				continue
 			}
-			if _, ok := q.TryDequeue(); ok {
+			if q.DequeueInto(buf) > 0 {
 				progress = true
 			}
 		}
-		n.mu.Lock()
-		if len(n.selfBox) > 0 {
-			n.selfBox = nil
+		if n.self.DequeueInto(buf) > 0 {
 			progress = true
 		}
-		n.mu.Unlock()
+		if len(n.selfOver) > 0 {
+			// The dead incarnation's overflow: ours now (ordered by done).
+			n.selfOver = nil
+			progress = true
+		}
+		if n.inboxPending.Load() {
+			n.mu.Lock()
+			n.inbox = nil
+			n.inboxPending.Store(false)
+			n.mu.Unlock()
+			progress = true
+		}
 	timers:
 		for {
 			select {
@@ -204,15 +287,31 @@ func (n *inprocNode) drain(stop, done chan struct{}) {
 				break timers
 			}
 		}
+		if n.timerPending.Load() {
+			n.tmu.Lock()
+			n.timerOver = nil
+			n.timerPending.Store(false)
+			n.tmu.Unlock()
+			progress = true
+		}
 		if progress {
+			continue
+		}
+		n.parked.Store(true)
+		if n.someInput() {
+			n.parked.Store(false)
 			continue
 		}
 		select {
 		case <-n.wake:
+			n.parked.Store(false)
 		case <-n.timerCh:
+			n.parked.Store(false)
 		case <-stop:
+			n.parked.Store(false)
 			return
 		case <-n.cluster.stop:
+			n.parked.Store(false)
 			return
 		}
 	}
@@ -232,7 +331,8 @@ func (c *InProcCluster) Inject(from, to msg.NodeID, m msg.Message) {
 	}
 	dst := c.nodes[to]
 	dst.mu.Lock()
-	dst.selfBox = append(dst.selfBox, envelope{from: from, m: m})
+	dst.inbox = append(dst.inbox, envelope{from: from, m: m})
+	dst.inboxPending.Store(true)
 	dst.mu.Unlock()
 	dst.notify()
 }
@@ -240,6 +340,9 @@ func (c *InProcCluster) Inject(from, to msg.NodeID, m msg.Message) {
 // Stop shuts down all node goroutines and waits for them to exit.
 func (c *InProcCluster) Stop() {
 	close(c.stop)
+	for _, n := range c.nodes {
+		n.notify()
+	}
 	c.wg.Wait()
 }
 
@@ -249,16 +352,22 @@ func (c *InProcCluster) send(from, to msg.NodeID, m msg.Message) {
 	}
 	dst := c.nodes[to]
 	if from == to {
-		// Self-sends do not cross the node boundary (collapsed roles); the
-		// pair queue from==to does not exist, so loop through the mailbox.
-		dst.mu.Lock()
-		dst.selfBox = append(dst.selfBox, envelope{from: from, m: m})
-		dst.mu.Unlock()
-		dst.notify()
+		// A self-send runs on the node's own goroutine (collapsed roles);
+		// it goes through the self ring — same cost as a peer send — and
+		// needs no wakeup: the node is by definition awake, and the ring
+		// is swept before any park decision. The ring's producer is its
+		// consumer, so a full ring spills to the overflow slice instead of
+		// spinning (which would deadlock); the spill also keeps FIFO order
+		// by routing everything through it until it drains.
+		if len(dst.selfOver) > 0 || !dst.self.TryEnqueue(m) {
+			dst.selfOver = append(dst.selfOver, m)
+		}
 		return
 	}
-	dst.in[from].Enqueue(envelope{from: from, m: m})
-	dst.notify()
+	dst.in[from].Enqueue(m)
+	if dst.parked.Load() {
+		dst.notify()
+	}
 }
 
 func (n *inprocNode) notify() {
@@ -268,18 +377,77 @@ func (n *inprocNode) notify() {
 	}
 }
 
-func (n *inprocNode) drainSelf(ctx Context) bool {
+// someInput reports whether any input source has work — the final
+// recheck between publishing parked=true and blocking on wake, closing
+// the race where a sender checks parked just before the node sets it.
+func (n *inprocNode) someInput() bool {
+	for _, q := range n.in {
+		if q != nil && q.Len() > 0 {
+			return true
+		}
+	}
+	if n.self.Len() > 0 || len(n.selfOver) > 0 {
+		return true
+	}
+	return n.inboxPending.Load() || n.timerPending.Load()
+}
+
+// drainInbox delivers external Inject traffic; the pending flag keeps
+// the steady-state sweep from touching the mutex. Each pass takes the
+// whole pending slice in one lock hold and swaps the spare buffer in,
+// so producers keep appending into reused capacity while the batch is
+// delivered lock-free.
+func (n *inprocNode) drainInbox(ctx Context) bool {
+	if !n.inboxPending.Load() {
+		return false
+	}
 	progress := false
 	for {
 		n.mu.Lock()
-		if len(n.selfBox) == 0 {
+		if len(n.inbox) == 0 {
+			n.inboxPending.Store(false)
 			n.mu.Unlock()
 			return progress
 		}
-		env := n.selfBox[0]
-		n.selfBox = n.selfBox[1:]
+		batch := n.inbox
+		n.inbox = n.inboxSpare[:0]
 		n.mu.Unlock()
-		n.handler.Receive(ctx, env.from, env.m)
+		for i := range batch {
+			env := batch[i]
+			batch[i] = envelope{} // release the message reference
+			n.handler.Receive(ctx, env.from, env.m)
+		}
+		n.inboxSpare = batch[:0]
+		progress = true
+	}
+}
+
+// drainSelfRing empties the self ring (and its overflow spill), looping
+// because delivered handlers commonly push more self-sends. Exhausting
+// it before peer queues get their next turn matches the old selfBox
+// semantics.
+func (n *inprocNode) drainSelfRing(ctx Context, buf []msg.Message) bool {
+	progress := false
+	for {
+		k := n.self.DequeueInto(buf)
+		if k == 0 {
+			if len(n.selfOver) == 0 {
+				return progress
+			}
+			// Take the spill, then go around again: deliveries may both
+			// refill the ring and spill anew.
+			over := n.selfOver
+			n.selfOver = nil
+			for _, m := range over {
+				n.handler.Receive(ctx, n.id, m)
+			}
+			progress = true
+			continue
+		}
+		for j := 0; j < k; j++ {
+			n.handler.Receive(ctx, n.id, buf[j])
+			buf[j] = nil
+		}
 		progress = true
 	}
 }
@@ -289,6 +457,11 @@ func (n *inprocNode) run(halt, done chan struct{}) {
 	defer close(done)
 	ctx := &inprocContext{node: n}
 	n.handler.Start(ctx)
+	// The reusable delivery buffer: one batched drain per queue per
+	// sweep amortizes the atomic head/tail traffic that a
+	// message-at-a-time sweep pays per delivery.
+	buf := make([]msg.Message, sweepBatch)
+	idle := 0
 	for {
 		select {
 		case <-halt:
@@ -296,18 +469,26 @@ func (n *inprocNode) run(halt, done chan struct{}) {
 		default:
 		}
 		progress := false
-		// Drain the per-peer queues round-robin, one message per queue per
-		// sweep, matching QC-libtask's scheduler fairness.
+		// Drain the per-peer queues round-robin, up to sweepBatch
+		// messages per queue per sweep, matching QC-libtask's scheduler
+		// fairness.
 		for i, q := range n.in {
 			if q == nil {
 				continue
 			}
-			if env, ok := q.TryDequeue(); ok {
-				n.handler.Receive(ctx, msg.NodeID(i), env.m)
+			k := q.DequeueInto(buf)
+			for j := 0; j < k; j++ {
+				n.handler.Receive(ctx, msg.NodeID(i), buf[j])
+				buf[j] = nil // release the reference once delivered
+			}
+			if k > 0 {
 				progress = true
 			}
 		}
-		if n.drainSelf(ctx) {
+		if n.drainSelfRing(ctx, buf) {
+			progress = true
+		}
+		if n.drainInbox(ctx) {
 			progress = true
 		}
 		// Deliver expired timers without blocking.
@@ -321,16 +502,52 @@ func (n *inprocNode) run(halt, done chan struct{}) {
 				break timers
 			}
 		}
+		if n.timerPending.Load() {
+			n.tmu.Lock()
+			over := n.timerOver
+			n.timerOver = nil
+			n.timerPending.Store(false)
+			n.tmu.Unlock()
+			for _, tag := range over {
+				n.handler.Timer(ctx, tag)
+			}
+			if len(over) > 0 {
+				progress = true
+			}
+		}
 		if progress {
+			idle = 0
+			continue
+		}
+		// Spin-then-park: tolerate a few empty sweeps (yielding between
+		// them) before paying for a park/wake round trip — under load the
+		// next message is usually already in flight.
+		if idle < spinSweeps {
+			idle++
+			goruntime.Gosched()
+			continue
+		}
+		idle = 0
+		// Publish the parked flag, then recheck every input: a sender
+		// that missed the flag must have enqueued before the recheck, so
+		// either we see its message now or it sees parked=true and
+		// notifies.
+		n.parked.Store(true)
+		if n.someInput() {
+			n.parked.Store(false)
 			continue
 		}
 		select {
 		case <-n.wake:
+			n.parked.Store(false)
 		case tag := <-n.timerCh:
+			n.parked.Store(false)
 			n.handler.Timer(ctx, tag)
 		case <-halt:
+			n.parked.Store(false)
 			return
 		case <-n.cluster.stop:
+			n.parked.Store(false)
 			return
 		}
 	}
@@ -353,12 +570,21 @@ func (c *inprocContext) Send(to msg.NodeID, m msg.Message) {
 
 func (c *inprocContext) After(d time.Duration, tag TimerTag) CancelFunc {
 	node := c.node
-	stop := node.cluster.stop
 	t := time.AfterFunc(d, func() {
 		select {
 		case node.timerCh <- tag:
 			node.notify()
-		case <-stop:
+		default:
+			// The channel is full (a stalled or flooded node): divert to
+			// the overflow list rather than blocking this callback
+			// goroutine — timer fires must never pile up goroutines, and
+			// must never be lost.
+			node.tmu.Lock()
+			node.timerOver = append(node.timerOver, tag)
+			node.timerPending.Store(true)
+			node.tmu.Unlock()
+			node.cluster.timerOverflows.Add(1)
+			node.notify()
 		}
 	})
 	return func() { t.Stop() }

@@ -1,0 +1,141 @@
+package runtime
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"consensusinside/internal/msg"
+)
+
+// TestInProcTimerFloodOnStalledNode is the regression test for the
+// timer-channel overflow hazard: 1000 zero-delay timers fire against a
+// node whose handler is wedged inside Receive, far exceeding the timer
+// channel's capacity. Every fire must be preserved (the overflow list,
+// not a blocked AfterFunc goroutine, absorbs the excess) and the
+// overflow events must be counted.
+func TestInProcTimerFloodOnStalledNode(t *testing.T) {
+	const floods = 1000
+	var fired atomic.Int64
+	allFired := make(chan struct{})
+	stall := make(chan struct{})
+	stalled := make(chan struct{}, 1)
+	ctxCh := make(chan Context, 1)
+	h := HandlerFunc{
+		OnStart: func(ctx Context) { ctxCh <- ctx },
+		OnReceive: func(ctx Context, from msg.NodeID, m msg.Message) {
+			stalled <- struct{}{}
+			<-stall // wedge the node goroutine mid-callback
+		},
+		OnTimer: func(ctx Context, tag TimerTag) {
+			if fired.Add(1) == floods {
+				close(allFired)
+			}
+		},
+	}
+	c := NewInProcCluster([]Handler{h})
+	defer c.Stop()
+	ctx := <-ctxCh
+
+	c.Inject(msg.Nobody, 0, echoMsg{})
+	<-stalled // the node is now wedged; its timer channel cannot drain
+
+	for i := 0; i < floods; i++ {
+		ctx.After(0, TimerTag{Kind: 1, Arg: int64(i)})
+	}
+	// Give every AfterFunc callback time to run against the stalled
+	// node; with the old blocking fallback this is where 900+ callback
+	// goroutines would pile up.
+	deadline := time.After(5 * time.Second)
+	for c.TimerOverflows() == 0 {
+		select {
+		case <-deadline:
+			t.Fatal("no timer overflow recorded while the node was stalled")
+		default:
+			time.Sleep(time.Millisecond)
+		}
+	}
+
+	close(stall) // un-wedge; every flooded timer must now be delivered
+	select {
+	case <-allFired:
+	case <-time.After(10 * time.Second):
+		t.Fatalf("only %d of %d flooded timers delivered (overflow must be non-lossy)", fired.Load(), floods)
+	}
+	if got := c.TimerOverflows(); got == 0 {
+		t.Fatal("TimerOverflows = 0 after a flood that exceeded the channel capacity")
+	}
+}
+
+// TestInProcSelfRingOverflowKeepsFIFO exercises the self-send ring past
+// its capacity in one callback: the overflow spill must preserve FIFO
+// order relative to the ring (a burst larger than the ring is exactly
+// when ordering bugs would surface).
+func TestInProcSelfRingOverflowKeepsFIFO(t *testing.T) {
+	const burst = 3000 // well past the default 1024-slot ring
+	var next atomic.Int64
+	done := make(chan struct{})
+	h := HandlerFunc{
+		OnStart: func(ctx Context) {
+			for i := 0; i < burst; i++ {
+				ctx.Send(ctx.ID(), echoMsg{N: i})
+			}
+		},
+		OnReceive: func(ctx Context, from msg.NodeID, m msg.Message) {
+			n := int64(m.(echoMsg).N)
+			if next.Load() != n {
+				t.Errorf("self-send order: got %d, want %d", n, next.Load())
+			}
+			if next.Add(1) == burst {
+				close(done)
+			}
+		},
+	}
+	c := NewInProcCluster([]Handler{h})
+	defer c.Stop()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatalf("delivered %d of %d self-sends", next.Load(), burst)
+	}
+}
+
+// TestInProcBatchBurstFairness pushes bursts from two senders at one
+// receiver: batched sweeps must deliver everything, and per-pair FIFO
+// must hold through the batch path.
+func TestInProcBatchBurstFairness(t *testing.T) {
+	const perSender = 5000
+	type rec struct {
+		from msg.NodeID
+		n    int
+	}
+	recCh := make(chan rec, 2*perSender)
+	receiver := HandlerFunc{
+		OnReceive: func(ctx Context, from msg.NodeID, m msg.Message) {
+			recCh <- rec{from: from, n: m.(echoMsg).N}
+		},
+	}
+	mkSender := func() Handler {
+		return HandlerFunc{
+			OnStart: func(ctx Context) {
+				for i := 0; i < perSender; i++ {
+					ctx.Send(2, echoMsg{N: i})
+				}
+			},
+		}
+	}
+	c := NewInProcCluster([]Handler{mkSender(), mkSender(), receiver})
+	defer c.Stop()
+	lastByFrom := map[msg.NodeID]int{0: -1, 1: -1}
+	for i := 0; i < 2*perSender; i++ {
+		select {
+		case r := <-recCh:
+			if r.n != lastByFrom[r.from]+1 {
+				t.Fatalf("from %d: got %d after %d (FIFO broken in batched sweep)", r.from, r.n, lastByFrom[r.from])
+			}
+			lastByFrom[r.from] = r.n
+		case <-time.After(10 * time.Second):
+			t.Fatalf("timed out after %d messages", i)
+		}
+	}
+}

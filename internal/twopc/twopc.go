@@ -532,14 +532,22 @@ func (r *Replica) onAck(m msg.TPCAck) {
 	}
 	r.applyCommit(t.id, t.value)
 	t.commitAcks[r.me] = true
-	var replies []msg.ClientReply
-	for _, be := range t.value.Entries() {
+	replies := msg.GetReplies(t.value.Len())
+	for i, n := 0, t.value.Len(); i < n; i++ {
+		be := t.value.EntryAt(i)
 		_, result, _ := r.sessions.Lookup(t.value.Client, be.Seq)
 		replies = append(replies, msg.ClientReply{Seq: be.Seq, Instance: t.id, OK: true, Result: result})
 	}
 	// One message answers the whole transaction, so the client can
-	// retire the batch in one step and refill its window with a full one.
-	r.ctx.Send(t.value.Client, msg.WrapReplies(replies))
+	// retire the batch in one step and refill its window with a full
+	// one. A batch message takes over the pooled array (the receiver
+	// recycles it); a bare single reply returns it to the pool here.
+	m2 := msg.WrapReplies(replies)
+	r.ctx.Send(t.value.Client, m2)
+	if _, batched := m2.(msg.ClientReplyBatch); batched {
+		replies = nil
+	}
+	msg.PutReplies(replies)
 	r.finishTx(t)
 }
 

@@ -92,6 +92,16 @@ type Config struct {
 	// again.
 	BatchDelay time.Duration
 
+	// BatchAdaptive, when set, replaces the fixed BatchSize with a
+	// load-driven batcher: each lane issues whatever demand has
+	// accumulated, capped at half the window so at least two instances
+	// stay pipelined, and holds a sub-cap batch while slots are scarce
+	// so single-command batches cannot self-perpetuate. It requires
+	// Window >= 2 and conflicts with BatchSize > 1 and BatchDelay > 0
+	// (the adaptive hold subsumes the flush timer). With a think time
+	// configured, pacing still wins and batches never form.
+	BatchAdaptive bool
+
 	// ThinkTime is the pause between receiving a reply and sending the
 	// next request (Section 7.4 uses 2 ms; 0 = tight loop).
 	ThinkTime time.Duration
@@ -240,6 +250,21 @@ func NewClient(cfg Config) *Client {
 	}
 	if batch > window {
 		batch = window // a batch is drawn from the lane's window slots
+	}
+	if cfg.BatchAdaptive {
+		if window < 2 {
+			panic("workload: BatchAdaptive needs Window >= 2 (nothing to adapt within a closed loop)")
+		}
+		if cfg.BatchSize > 1 {
+			panic("workload: BatchAdaptive conflicts with a fixed BatchSize")
+		}
+		if cfg.BatchDelay > 0 {
+			panic("workload: BatchAdaptive conflicts with BatchDelay (the adaptive hold subsumes it)")
+		}
+		// The adaptive cap: half the window, so at least two instances
+		// stay pipelined instead of one whole-window batch serializing
+		// round trips.
+		batch = (window + 1) / 2
 	}
 	c := &Client{cfg: cfg, window: window, batch: batch,
 		inflight: make(map[uint64]*flight), reads: make(map[uint64]*readFlight)}
@@ -553,6 +578,19 @@ func (c *Client) fill(ctx runtime.Context) {
 			// A paced lane never bursts and never defers: batching (and
 			// its delay) stays off under think time, one command per tick.
 			n = 1
+		} else if c.cfg.BatchAdaptive && n < c.fullBatch() {
+			// Adaptive hold: free slots, not the request budget, are what
+			// is short of the half-window cap. Issuing now would burn an
+			// instance on a sub-cap batch whose replies free slots one at
+			// a time — the batch-of-one spiral — so wait instead for the
+			// in-flight batch's replies to free a cap's worth together.
+			// No timer is needed: slots are short, so a reply is coming,
+			// and every reply re-enters fill.
+			if held == nil {
+				held = make(map[*lane]bool, len(c.lanes))
+			}
+			held[ln] = true
+			continue
 		} else if c.cfg.BatchDelay > 0 && n < c.fullBatch() {
 			// Free slots, not the request budget, are what is short of a
 			// full batch: hold the lane back up to BatchDelay for more

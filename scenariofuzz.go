@@ -42,6 +42,12 @@ type ScenarioFuzzConfig struct {
 	SnapshotInterval int
 	ReadMode         ReadMode
 
+	// BatchAdaptive turns the clients' adaptive batcher on (default off,
+	// the static paper behavior) — the matrix fuzzes it because batch
+	// re-timing changes which commands share an instance, and instance
+	// composition under faults is exactly what the checker audits.
+	BatchAdaptive bool
+
 	// Clients and RequestsPerClient bound the recorded history (defaults
 	// 2 and 40). All clients share keys — contention is what gives the
 	// checker something to disprove.
@@ -157,6 +163,7 @@ func ScenarioFuzz(cfg ScenarioFuzzConfig) (ScenarioFuzzResult, error) {
 		ReadMode:          readpath.Mode(cfg.ReadMode),
 		ReadPercent:       50,
 		Window:            2,
+		BatchAdaptive:     cfg.BatchAdaptive,
 		RequestsPerClient: cfg.RequestsPerClient,
 		ThinkTime:         scenarioFuzzThink,
 		RetryTimeout:      1500 * time.Microsecond,
@@ -245,8 +252,12 @@ func ScenarioFuzzProtocols() []cluster.Protocol { return cluster.Protocols() }
 // failing (seed, config) pair.
 func ScenarioFuzzRepro(cfg ScenarioFuzzConfig) string {
 	cfg = cfg.withDefaults()
-	return fmt.Sprintf("go test -run 'TestScenarioFuzzSeed$' -seed=%d -proto=%s -shards=%d -snap=%d -readmode=%v .",
+	repro := fmt.Sprintf("go test -run 'TestScenarioFuzzSeed$' -seed=%d -proto=%s -shards=%d -snap=%d -readmode=%v",
 		cfg.Seed, ScenarioFuzzProtoFlag(cfg.Protocol), cfg.Shards, cfg.SnapshotInterval, readpath.Mode(cfg.ReadMode))
+	if cfg.BatchAdaptive {
+		repro += " -batchadaptive"
+	}
+	return repro + " ."
 }
 
 // ScenarioFuzzProtoFlag maps a protocol to its -proto flag value, the

@@ -4,7 +4,7 @@ package consensusinside
 // the recorded history checked for linearizability (internal/linearize).
 //
 // TestScenarioFuzzMatrix sweeps engines × deployment knobs × seeds —
-// over 200 distinct fault schedules — and demands zero violations. A
+// over 250 distinct fault schedules — and demands zero violations. A
 // failure prints a one-line reproduction driving TestScenarioFuzzSeed,
 // which replays exactly one (seed, config) cell from flags.
 //
@@ -29,27 +29,32 @@ var (
 	fuzzShards   = flag.Int("shards", 1, "shard count for -seed replay")
 	fuzzSnap     = flag.Int("snap", 0, "snapshot interval for -seed replay")
 	fuzzReadMode = flag.String("readmode", "consensus", "read mode for -seed replay: consensus, lease, read-index, follower")
+	fuzzAdaptive = flag.Bool("batchadaptive", false, "adaptive client batching for -seed replay")
 )
 
 // fuzzCell is one deployment configuration the matrix sweeps per engine.
 type fuzzCell struct {
-	shards int
-	snap   int
-	read   ReadMode
+	shards   int
+	snap     int
+	read     ReadMode
+	adaptive bool
 }
 
-// fuzzCells exercises every read mode, sharding, and snapshotting — not
-// the full cross product, but every knob both alone and combined with
-// another, which is where the interesting interleavings live.
+// fuzzCells exercises every read mode, sharding, snapshotting, and
+// adaptive batching — not the full cross product, but every knob both
+// alone and combined with another, which is where the interesting
+// interleavings live.
 var fuzzCells = []fuzzCell{
-	{1, 0, ReadConsensus},
-	{1, 0, ReadLease},
-	{1, 0, ReadIndex},
-	{1, 0, ReadFollower},
-	{1, 16, ReadConsensus},
-	{1, 16, ReadIndex},
-	{2, 0, ReadConsensus},
-	{2, 16, ReadLease},
+	{1, 0, ReadConsensus, false},
+	{1, 0, ReadLease, false},
+	{1, 0, ReadIndex, false},
+	{1, 0, ReadFollower, false},
+	{1, 16, ReadConsensus, false},
+	{1, 16, ReadIndex, false},
+	{2, 0, ReadConsensus, false},
+	{2, 16, ReadLease, false},
+	{1, 0, ReadConsensus, true},
+	{2, 16, ReadIndex, true},
 }
 
 func fuzzRun(t *testing.T, cfg ScenarioFuzzConfig) ScenarioFuzzResult {
@@ -65,14 +70,15 @@ func fuzzRun(t *testing.T, cfg ScenarioFuzzConfig) ScenarioFuzzResult {
 }
 
 // TestScenarioFuzzMatrix is the main sweep: every engine, every cell,
-// several distinct seeds each — at least 200 seeded schedules in total.
+// several distinct seeds each — at least 250 seeded schedules in total.
 // Every run must be violation-free; a failure reports the one-line
 // reproduction.
 func TestScenarioFuzzMatrix(t *testing.T) {
 	seedsPerCell := int64(5)
 	if testing.Short() {
 		// CI smoke: one seed per cell still covers all engines and all
-		// knobs (40 schedules) inside the required-path time budget.
+		// knobs, adaptive batching included (50 schedules), inside the
+		// required-path time budget.
 		seedsPerCell = 1
 	}
 	protos := ScenarioFuzzProtocols()
@@ -84,6 +90,9 @@ func TestScenarioFuzzMatrix(t *testing.T) {
 			base := seed
 			seed += seedsPerCell
 			name := fmt.Sprintf("%s/shards=%d/snap=%d/%v", ScenarioFuzzProtoFlag(p), cell.shards, cell.snap, cell.read)
+			if cell.adaptive {
+				name += "/adaptive"
+			}
 			t.Run(name, func(t *testing.T) {
 				t.Parallel()
 				for s := base; s < base+seedsPerCell; s++ {
@@ -93,6 +102,7 @@ func TestScenarioFuzzMatrix(t *testing.T) {
 						Shards:           cell.shards,
 						SnapshotInterval: cell.snap,
 						ReadMode:         cell.read,
+						BatchAdaptive:    cell.adaptive,
 					}
 					res := fuzzRun(t, cfg)
 					if res.Violation != nil {
@@ -125,6 +135,7 @@ func TestScenarioFuzzSeed(t *testing.T) {
 		Shards:           *fuzzShards,
 		SnapshotInterval: *fuzzSnap,
 		ReadMode:         mode,
+		BatchAdaptive:    *fuzzAdaptive,
 	}
 	res := fuzzRun(t, cfg)
 	t.Logf("ops=%d completed=%d pending=%d faults=%d\nschedule:\n%s",

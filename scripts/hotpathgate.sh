@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# Regression gate for the hotpath-sweep CI smoke: at every swept shard
+# count, the InProc adaptive cell must hold at least 0.9x the static
+# batch-8 cell's throughput. The sweep already keeps the best of its
+# interleaved passes, so a miss here means the adaptive controller is
+# holding batches it should release, not that the runner had a slow
+# minute — the 10% margin absorbs what best-of-passes cannot.
+#
+#   ./scripts/hotpathgate.sh BENCH_ci_hotpath.json
+set -euo pipefail
+
+json="${1:-BENCH_ci_hotpath.json}"
+fail=0
+for shards in 1 4; do
+  ad=$(jq -r ".experiments[\"hotpath-sweep\"][\"inproc_shards${shards}_adaptive_ops\"] // empty" "$json")
+  st=$(jq -r ".experiments[\"hotpath-sweep\"][\"inproc_shards${shards}_static8_ops\"] // empty" "$json")
+  if [[ -z "$ad" || -z "$st" ]]; then
+    echo "hotpath gate: shards=$shards cells missing from $json" >&2
+    fail=1
+    continue
+  fi
+  if awk -v a="$ad" -v s="$st" 'BEGIN { exit !(a >= 0.9 * s) }'; then
+    awk -v sh="$shards" -v a="$ad" -v s="$st" \
+      'BEGIN { printf "hotpath gate: shards=%s adaptive %.0f op/s vs static8 %.0f op/s ok\n", sh, a, s }'
+  else
+    awk -v sh="$shards" -v a="$ad" -v s="$st" \
+      'BEGIN { printf "hotpath gate: shards=%s adaptive %.0f op/s < 0.9x static8 %.0f op/s\n", sh, a, s }' >&2
+    fail=1
+  fi
+done
+exit $fail
