@@ -10,6 +10,7 @@ import (
 	"consensusinside/internal/cluster"
 	"consensusinside/internal/metrics"
 	"consensusinside/internal/msg"
+	"consensusinside/internal/obs"
 	"consensusinside/internal/protocol"
 	_ "consensusinside/internal/protocol/all" // register every engine
 	"consensusinside/internal/readpath"
@@ -18,6 +19,7 @@ import (
 	"consensusinside/internal/shard"
 	"consensusinside/internal/simnet"
 	"consensusinside/internal/topology"
+	"consensusinside/internal/trace"
 	"consensusinside/internal/transport"
 )
 
@@ -238,6 +240,20 @@ type KVConfig struct {
 	// AcceptTimeout tunes the protocol's failure detector; the default
 	// suits wall-clock deployments (200ms).
 	AcceptTimeout time.Duration
+	// TraceInterval samples one write command in every this many through
+	// the end-to-end lifecycle tracer (internal/trace): enqueue at the
+	// bridge, batch admission, wire send, decide, apply, reply. Zero —
+	// the default — leaves tracing off; the hooks stay compiled in at
+	// the cost of one atomic load per site, so the steady-state path
+	// still allocates nothing. KV.Tracer().SetInterval toggles it live.
+	TraceInterval int
+	// DebugAddr, when non-empty, starts the debug HTTP listener on that
+	// address at StartKV ("127.0.0.1:0" picks a free port; KV.DebugAddr
+	// reports it). The surface serves /debug/metrics (the unified
+	// registry as JSON), /debug/trace (recent trace samples and stage
+	// breakdowns), /debug/events (the rare-event timeline) and
+	// /debug/pprof (net/http/pprof). See KV.ServeDebug.
+	DebugAddr string
 }
 
 // MaxSnapshotChunk bounds KVConfig.SnapshotChunkSize: chunks must stay
@@ -258,6 +274,12 @@ type KV struct {
 	cfg    KVConfig
 	shards []*kvShard
 
+	// tracer and registry are shared by every shard: one clock, one
+	// sample ring, one metric namespace for the whole service.
+	tracer   *trace.Tracer
+	registry *obs.Registry
+	debug    *debugServer
+
 	closeOnce sync.Once
 }
 
@@ -269,9 +291,10 @@ type kvShard struct {
 	bridge *kvBridge
 	inproc *runtime.InProcCluster
 
-	build func(id msg.NodeID, recover bool) (protocol.Engine, error)
-	addrs map[msg.NodeID]string // TCP listen addresses, stable across restarts
-	codec msg.Codec
+	build  func(id msg.NodeID, recover bool) (protocol.Engine, error)
+	addrs  map[msg.NodeID]string // TCP listen addresses, stable across restarts
+	codec  msg.Codec
+	tracer *trace.Tracer // installed on restarted TCP nodes before they serve
 
 	// mu guards the per-replica slots RestartReplica swaps out while
 	// stats readers (SnapshotStats, WireStats) iterate them from other
@@ -397,15 +420,34 @@ func StartKV(cfg KVConfig) (*KV, error) {
 	if cfg.AcceptTimeout == 0 {
 		cfg.AcceptTimeout = 200 * time.Millisecond
 	}
+	if cfg.TraceInterval < 0 {
+		return nil, fmt.Errorf("consensusinside: negative trace interval %d", cfg.TraceInterval)
+	}
 
-	kv := &KV{cfg: cfg}
+	kv := &KV{cfg: cfg, tracer: trace.New(cfg.TraceInterval), registry: obs.NewRegistry()}
 	for s := 0; s < cfg.Shards; s++ {
-		sh, err := startKVShard(cfg, s)
+		sh, err := startKVShard(cfg, s, kv.tracer, kv.registry.Events())
 		if err != nil {
 			kv.Close()
 			return nil, err
 		}
 		kv.shards = append(kv.shards, sh)
+	}
+	// The registry does not own the hot counters (see internal/obs):
+	// each subsystem's totals fold in at Snapshot time only.
+	kv.registry.AddSource(func(s *obs.Snapshot) { s.AddWireStats(kv.WireStats()) })
+	kv.registry.AddSource(func(s *obs.Snapshot) { s.AddReadStats(kv.ReadStats()) })
+	kv.registry.AddSource(func(s *obs.Snapshot) { s.AddSnapshotStats(kv.SnapshotStats()) })
+	kv.registry.AddSource(func(s *obs.Snapshot) {
+		occ := kv.BatchStats()
+		s.AddBatchOccupancy("batch", &occ)
+	})
+	kv.registry.AddSource(func(s *obs.Snapshot) { s.AddTracer(kv.tracer) })
+	if cfg.DebugAddr != "" {
+		if err := kv.ServeDebug(cfg.DebugAddr); err != nil {
+			kv.Close()
+			return nil, err
+		}
 	}
 	return kv, nil
 }
@@ -414,14 +456,14 @@ func StartKV(cfg KVConfig) (*KV, error) {
 // group's node ids run 0..Replicas-1 with the bridge at Replicas —
 // groups never exchange messages, so their id spaces are independent;
 // the bridge's sequence numbers carry the shard tag instead.
-func startKVShard(cfg KVConfig, shardIdx int) (*kvShard, error) {
+func startKVShard(cfg KVConfig, shardIdx int, tracer *trace.Tracer, events *obs.EventLog) (*kvShard, error) {
 	ids := make([]msg.NodeID, cfg.Replicas)
 	for i := range ids {
 		ids[i] = msg.NodeID(i)
 	}
 	clientID := msg.NodeID(cfg.Replicas)
 
-	sh := &kvShard{crashed: make([]bool, cfg.Replicas), codec: msg.Codec(cfg.Codec)}
+	sh := &kvShard{crashed: make([]bool, cfg.Replicas), codec: msg.Codec(cfg.Codec), tracer: tracer}
 	sh.build = func(id msg.NodeID, recover bool) (protocol.Engine, error) {
 		return protocol.Build(cfg.Protocol, protocol.Config{
 			ID:                id,
@@ -435,6 +477,8 @@ func startKVShard(cfg KVConfig, shardIdx int) (*kvShard, error) {
 			Recover:           recover,
 			ReadMode:          readpath.Mode(cfg.ReadMode),
 			LeaseDuration:     cfg.LeaseDuration,
+			Tracer:            tracer,
+			Events:            events,
 		})
 	}
 	handlers := make([]runtime.Handler, 0, cfg.Replicas+1)
@@ -450,16 +494,17 @@ func startKVShard(cfg KVConfig, shardIdx int) (*kvShard, error) {
 	// failure detector would, so takeovers settle before the retry lands.
 	sh.bridge = newKVBridge(clientID, ids, 2*cfg.AcceptTimeout, cfg.Pipeline, shardIdx,
 		cfg.BatchSize, cfg.BatchDelay, cfg.BatchAdaptive, readpath.Mode(cfg.ReadMode))
+	sh.bridge.tracer = tracer
 	handlers = append(handlers, sh.bridge)
 
 	switch cfg.Transport {
 	case InProc:
-		sh.inproc = runtime.NewInProcCluster(handlers)
+		sh.inproc = runtime.NewInProcCluster(handlers, runtime.WithTracer(tracer))
 		sh.bridge.inject = func(m msg.Message) {
 			sh.inproc.Inject(clientID, clientID, m)
 		}
 	case TCP:
-		nodes, err := transport.BuildLocalClusterCodec(handlers, msg.Codec(cfg.Codec))
+		nodes, err := transport.BuildLocalClusterTraced(handlers, msg.Codec(cfg.Codec), tracer)
 		if err != nil {
 			return nil, fmt.Errorf("consensusinside: start shard %d tcp cluster: %w", shardIdx, err)
 		}
@@ -625,6 +670,7 @@ func (kv *KV) RestartReplica(id int) error {
 			return fmt.Errorf("consensusinside: relisten replica %d: %w", id, err)
 		}
 		node.SetCodec(sh.codec)
+		node.SetTracer(sh.tracer)
 		if err := node.Start(); err != nil {
 			node.Close()
 			return fmt.Errorf("consensusinside: restart replica %d: %w", id, err)
@@ -685,9 +731,31 @@ func (kv *KV) ReadStats() metrics.ReadStats {
 	return stats
 }
 
+// Obs captures the service's unified metrics snapshot: every named
+// counter, gauge and histogram the registry knows (wire, read-path,
+// snapshot, batch-occupancy and trace families), plus the rare-event
+// tail. Snapshots from several services (or the workload clients'
+// registries) Merge into fleet totals.
+func (kv *KV) Obs() obs.Snapshot { return kv.registry.Snapshot() }
+
+// Tracer exposes the service's command lifecycle tracer; its interval
+// can be retuned live (SetInterval; 0 switches tracing off).
+func (kv *KV) Tracer() *trace.Tracer { return kv.tracer }
+
+// Trace reports the tracer's snapshot: per-stage latency breakdowns
+// and the ring of recently completed command lifecycles.
+func (kv *KV) Trace() trace.Snapshot { return kv.tracer.Snapshot() }
+
+// Events exposes the service's rare-event timeline: leader changes,
+// lease grants and expiries, recovery episodes, across all shards.
+func (kv *KV) Events() *obs.EventLog { return kv.registry.Events() }
+
 // Close shuts the service down.
 func (kv *KV) Close() {
 	kv.closeOnce.Do(func() {
+		if kv.debug != nil {
+			kv.debug.close()
+		}
 		for _, sh := range kv.shards {
 			sh.close()
 		}
@@ -714,6 +782,10 @@ type kvOp struct {
 	// requeue carries the original deadline forward.
 	timeout  time.Duration
 	deadline time.Duration
+	// enqWall is the tracer's wall clock at queue entry (zero with
+	// tracing off); pump hands it to trace.Begin at admission, when the
+	// command's sequence number — and so its sampling fate — is known.
+	enqWall time.Duration
 }
 
 // kvFlight is one in-flight write command — the value the window map
@@ -812,6 +884,7 @@ type kvBridge struct {
 	adaptive bool   // KVConfig.BatchAdaptive: the pump sizes batches from load
 	seqBase  uint64 // shard tag: every seq is seqBase + local count
 	inject   func(msg.Message)
+	tracer   *trace.Tracer // shared command tracer; nil or interval 0 = off
 
 	// readMode is the service's KVConfig.ReadMode; when it is not
 	// Consensus, Get calls flow through doRead into the read queue — a
@@ -896,6 +969,16 @@ func (b *kvBridge) do(cmd msg.Command, timeout time.Duration) (string, error) {
 		b.mu.Unlock()
 		putKVDone(done)
 		return "", errors.New("consensusinside: service closed")
+	}
+	// Stamp the queue-entry clock only for ops the tracer will sample.
+	// Seqs are handed out FIFO from this queue, so under the lock the
+	// op's future seq is b.seq + queue length + 1 — exactly, unless a
+	// queued op ahead of it expires first (then the span just loses its
+	// enqueue stamp and Begin substitutes propose time). The predicate
+	// is an atomic load and a modulo; the clock read it guards is a
+	// nanotime call per op, which is real money on the hot path.
+	if b.tracer.Sampled(b.seq + uint64(len(b.queue)) + 1) {
+		op.enqWall = b.tracer.Clock()
 	}
 	b.queue = append(b.queue, op)
 	wake := !b.wakePending
@@ -1001,10 +1084,10 @@ func (b *kvBridge) Receive(ctx runtime.Context, from msg.NodeID, m msg.Message) 
 		b.pump(ctx, false)
 	case msg.ClientReply:
 		b.oneReply[0] = mm
-		b.finishBatch(b.oneReply[:])
+		b.finishBatch(ctx, b.oneReply[:])
 		b.pump(ctx, false)
 	case msg.ClientReplyBatch:
-		b.finishBatch(mm.Replies)
+		b.finishBatch(ctx, mm.Replies)
 		// The batch's backing array came from the engine's reply pool
 		// (transports deliver exactly once, and the bridge is the sole
 		// receiver); hand it back now that every reply is consumed.
@@ -1026,7 +1109,12 @@ func (b *kvBridge) Receive(ctx runtime.Context, from msg.NodeID, m msg.Message) 
 // block: every done channel has capacity 1 and receives exactly one
 // send (the inflight entry is deleted first, so a duplicate or stale
 // reply is ignored).
-func (b *kvBridge) finishBatch(replies []msg.ClientReply) {
+func (b *kvBridge) finishBatch(ctx runtime.Context, replies []msg.ClientReply) {
+	traceOn := b.tracer.Enabled()
+	var traceNow time.Duration
+	if traceOn {
+		traceNow = ctx.Now()
+	}
 	b.mu.Lock()
 	for _, reply := range replies {
 		fl, ok := b.inflight[reply.Seq]
@@ -1034,6 +1122,9 @@ func (b *kvBridge) finishBatch(replies []msg.ClientReply) {
 			continue // stale reply from a retried request
 		}
 		delete(b.inflight, reply.Seq)
+		if traceOn {
+			b.tracer.Finish(b.id, reply.Seq, traceNow)
+		}
 		if reply.OK {
 			fl.done <- kvResult{value: reply.Result}
 		} else {
@@ -1415,12 +1506,16 @@ func (b *kvBridge) pump(ctx runtime.Context, force bool) {
 		// The entries slice is the one per-batch allocation left on this
 		// path; it cannot be pooled — it becomes Value.Batch and is
 		// retained in every replica's log history.
+		traceOn := b.tracer.Enabled()
 		entries := make([]msg.BatchEntry, n)
 		for i := 0; i < n; i++ {
 			op := b.queue[i]
 			b.seq++
 			b.inflight[b.seq] = kvFlight{cmd: op.cmd, done: op.done, timeout: op.timeout, deadline: op.deadline, sentAt: now}
 			entries[i] = msg.BatchEntry{Seq: b.seq, Cmd: op.cmd}
+			if traceOn {
+				b.tracer.Begin(b.id, b.seq, now, op.enqWall, now)
+			}
 		}
 		b.queue = b.queue[n:]
 		if len(b.inflight) > b.maxInflight {

@@ -24,7 +24,14 @@
 //     leases (ReadLease, KVConfig.LeaseDuration), batched quorum-
 //     confirmed read-index rounds (ReadIndex) or stale-bounded
 //     follower reads (ReadFollower), all served from a replica's
-//     local state machine by internal/readpath;
+//     local state machine by internal/readpath. Every deployment is
+//     observable: KVConfig.TraceInterval samples commands through a
+//     per-stage lifecycle tracer (internal/trace), KV.Obs snapshots
+//     the unified metrics registry absorbing the wire, read, snapshot
+//     and batching counters plus a rare-event timeline
+//     (internal/obs), and KVConfig.DebugAddr attaches a /debug HTTP
+//     surface (metrics JSON, trace samples, event tail,
+//     net/http/pprof);
 //   - the deterministic many-core simulator and cluster harness
 //     (NewSimCluster) used to reproduce every figure of the paper's
 //     evaluation, sweeping the same engines, client window, batch cap
@@ -32,9 +39,9 @@
 //   - the experiment runners themselves (the experiments re-exported
 //     through cmd/consensusbench, which can emit BENCH_*.json and
 //     capture pprof profiles; the wall-clock shard, batch, codec,
-//     recovery, read and hot-path sweeps are exported here as
-//     ShardSweep, BatchSweep, CodecSweep, RecoverySweep, ReadSweep
-//     and HotpathSweep).
+//     recovery, read, hot-path and trace sweeps are exported here as
+//     ShardSweep, BatchSweep, CodecSweep, RecoverySweep, ReadSweep,
+//     HotpathSweep and TraceSweep).
 //
 // Protocols are written once against the message-passing contract
 // (internal/runtime.Handler) and registered in internal/protocol; every

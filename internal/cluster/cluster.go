@@ -18,6 +18,7 @@ import (
 	"consensusinside/internal/linearize"
 	"consensusinside/internal/metrics"
 	"consensusinside/internal/msg"
+	"consensusinside/internal/obs"
 	"consensusinside/internal/protocol"
 	_ "consensusinside/internal/protocol/all" // register every engine
 	"consensusinside/internal/readpath"
@@ -26,6 +27,7 @@ import (
 	"consensusinside/internal/shard"
 	"consensusinside/internal/simnet"
 	"consensusinside/internal/topology"
+	"consensusinside/internal/trace"
 	"consensusinside/internal/workload"
 )
 
@@ -168,6 +170,15 @@ type Spec struct {
 	// field's only current effect is failing fast on a codec a real
 	// TCP deployment of the same shape would reject.
 	Codec msg.Codec
+
+	// TraceInterval samples one write command in every this many through
+	// the end-to-end lifecycle tracer (internal/trace), shared by every
+	// node of the deployment. The simulator has one global virtual
+	// clock, so the tracer runs in virtual-clock mode and its stage
+	// breakdowns are deterministic. The simulator passes messages by
+	// value with no transport send path, so the wire stage is never
+	// stamped (the decide delta absorbs it). 0 — the default — is off.
+	TraceInterval int
 }
 
 // Cluster is a built deployment, ready to run.
@@ -179,6 +190,12 @@ type Cluster struct {
 	Groups    [][]msg.NodeID // per-shard replica sets (one entry when unsharded)
 	Clients   []*workload.Client
 	ClientIDs []msg.NodeID
+
+	// Tracer is the deployment-wide command tracer (virtual-clock mode;
+	// off unless Spec.TraceInterval is set). Events is the rare-event
+	// timeline every replica emits into.
+	Tracer *trace.Tracer
+	Events *obs.EventLog
 }
 
 // Build constructs the deployment described by spec. It returns an error
@@ -276,6 +293,9 @@ func Build(spec Spec) (*Cluster, error) {
 		return nil, fmt.Errorf("cluster: %d shards exceeds the maximum %d (sequence-tag width)",
 			spec.Shards, shard.MaxShards)
 	}
+	if spec.TraceInterval < 0 {
+		return nil, fmt.Errorf("cluster: negative trace interval %d", spec.TraceInterval)
+	}
 	if spec.Joint && spec.Shards > 1 {
 		return nil, fmt.Errorf("cluster: Joint mode supports a single group, got %d shards", spec.Shards)
 	}
@@ -290,7 +310,12 @@ func Build(spec Spec) (*Cluster, error) {
 			spec.Shards, spec.Replicas, spec.Clients, need, spec.Machine.Name(), spec.Machine.Cores())
 	}
 	net := simnet.New(spec.Machine, spec.Cost, spec.Seed)
-	c := &Cluster{Spec: spec, Net: net}
+	c := &Cluster{
+		Spec:   spec,
+		Net:    net,
+		Tracer: trace.New(spec.TraceInterval, trace.VirtualClock()),
+		Events: obs.NewEventLog(0),
+	}
 
 	c.Groups = shard.Groups(0, spec.Shards, spec.Replicas)
 	for _, g := range c.Groups {
@@ -367,6 +392,7 @@ func (c *Cluster) clientConfig(id msg.NodeID, i int) workload.Config {
 		SeriesBucket:  spec.SeriesBucket,
 		Key:           spec.SharedKey,
 		Record:        spec.Record,
+		Tracer:        c.Tracer,
 	}
 	if len(c.Groups) > 1 {
 		cfg.Groups = c.Groups
@@ -392,6 +418,8 @@ func (c *Cluster) newServer(id msg.NodeID, serverIDs []msg.NodeID, joint, recove
 		ReadMode:          spec.ReadMode,
 		LeaseDuration:     spec.LeaseDuration,
 		TxRetryTimeout:    spec.TxRetryTimeout,
+		Tracer:            c.Tracer,
+		Events:            c.Events,
 	})
 }
 
@@ -494,6 +522,26 @@ func (c *Cluster) BatchStats() metrics.BatchOccupancy {
 		occ.Merge(cl.BatchStats())
 	}
 	return occ
+}
+
+// Obs captures the deployment's unified metrics snapshot: read-path
+// and batch-occupancy counters, recovery-subsystem counters, the trace
+// families, and the rare-event tail — the same namespace a real KV
+// deployment's registry reports, so per-run snapshots Merge across
+// runtimes.
+func (c *Cluster) Obs() obs.Snapshot {
+	s := obs.NewSnapshot()
+	s.AddReadStats(c.ReadStats())
+	occ := c.BatchStats()
+	s.AddBatchOccupancy("batch", &occ)
+	for _, srv := range c.Servers {
+		if ss, ok := srv.(protocol.SnapshotStatser); ok {
+			s.AddSnapshotStats(ss.SnapshotStats())
+		}
+	}
+	s.AddTracer(c.Tracer)
+	s.Events = c.Events.Tail(0)
+	return s
 }
 
 // SeriesSum sums all clients' completion time series into one bucket

@@ -305,8 +305,20 @@ func Generate(seed int64, opt Options) *Schedule {
 // can be applied to any number of identical simulations and perturb
 // identically in each.
 func (s *Schedule) Apply(net *simnet.Network, skewClock func(msg.NodeID, time.Duration)) {
+	s.ApplyObserved(net, skewClock, nil)
+}
+
+// ApplyObserved is Apply with an observer: observe (when non-nil) fires
+// at each event's virtual time, just before the fault lands, so the
+// run's own event log can interleave fault episodes with the protocol
+// events they provoke. The observer runs on the simulator's scheduling
+// goroutine; it must not block.
+func (s *Schedule) ApplyObserved(net *simnet.Network, skewClock func(msg.NodeID, time.Duration), observe func(Event)) {
 	for _, e := range s.Events {
 		ev := e
+		if observe != nil {
+			net.At(ev.At, func() { observe(ev) })
+		}
 		switch ev.Kind {
 		case Crash:
 			net.At(ev.At, func() { net.Crash(ev.Node) })

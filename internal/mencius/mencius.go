@@ -21,10 +21,12 @@ import (
 
 	"consensusinside/internal/metrics"
 	"consensusinside/internal/msg"
+	"consensusinside/internal/obs"
 	"consensusinside/internal/readpath"
 	"consensusinside/internal/rsm"
 	"consensusinside/internal/runtime"
 	"consensusinside/internal/snapshot"
+	"consensusinside/internal/trace"
 )
 
 // Config parameterizes a Replica.
@@ -64,6 +66,14 @@ type Config struct {
 	// LeaseDuration overrides readpath.DefaultLeaseDuration (only
 	// relevant after the lease-to-index degradation's round timeout).
 	LeaseDuration time.Duration
+
+	// Tracer, when non-nil, receives decide/apply stage stamps for
+	// sampled commands (internal/trace).
+	Tracer *trace.Tracer
+
+	// Events, when non-nil, receives rare-event timeline entries
+	// (internal/obs).
+	Events *obs.EventLog
 }
 
 // Replica is one Mencius node: owner-proposer for its instance share,
@@ -137,12 +147,14 @@ func New(cfg Config) *Replica {
 	}
 	r.log = rsm.NewLog(rsm.Dedup{Sessions: r.sessions, Inner: applier})
 	r.log.OnApply(r.onApply)
+	r.log.SetTracer(cfg.Tracer, func() time.Duration { return r.ctx.Now() })
 	r.snap = snapshot.New(snapshot.Config{
 		ID:           cfg.ID,
 		Replicas:     cfg.Replicas,
 		Interval:     int64(cfg.SnapshotInterval),
 		ChunkSize:    cfg.SnapshotChunkSize,
 		Recover:      cfg.Recover,
+		Events:       cfg.Events,
 		RetryTimeout: 2 * cfg.AcceptTimeout,
 	}, r.log, r.sessions, applier)
 	r.snap.OnRestore(func(last int64) {
@@ -168,6 +180,7 @@ func New(cfg Config) *Replica {
 		Replicas:      cfg.Replicas,
 		Mode:          mode,
 		LeaseDuration: cfg.LeaseDuration,
+		Events:        cfg.Events,
 		Confirmers:    func() []msg.NodeID { return r.peers() },
 		NeedAcks:      r.quorum - 1,
 		Frontier:      func() int64 { return r.frontier() },

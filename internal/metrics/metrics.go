@@ -129,6 +129,16 @@ func (h *Histogram) Reset() {
 	h.rng = 0
 }
 
+// Clone returns an independent copy of h: same exact aggregates, same
+// kept samples, same reservoir generator state (so a clone's future
+// records replay like the original's would). Snapshot/Merge aggregation
+// clones histograms so merging never mutates a live recorder.
+func (h *Histogram) Clone() *Histogram {
+	out := *h
+	out.samples = append([]time.Duration(nil), h.samples...)
+	return &out
+}
+
 // Merge folds other into h. Count, sum, min and max merge exactly.
 // Kept samples append exactly while both sides fit the cap; past it the
 // merge treats each of other's kept samples as one reservoir candidate,

@@ -19,10 +19,12 @@ import (
 	"consensusinside/internal/basicpaxos"
 	"consensusinside/internal/metrics"
 	"consensusinside/internal/msg"
+	"consensusinside/internal/obs"
 	"consensusinside/internal/readpath"
 	"consensusinside/internal/rsm"
 	"consensusinside/internal/runtime"
 	"consensusinside/internal/snapshot"
+	"consensusinside/internal/trace"
 )
 
 // Timer kinds.
@@ -81,6 +83,14 @@ type Config struct {
 
 	// LeaseDuration overrides readpath.DefaultLeaseDuration.
 	LeaseDuration time.Duration
+
+	// Tracer, when non-nil, stamps the decide/apply stages of sampled
+	// commands (internal/trace).
+	Tracer *trace.Tracer
+
+	// Events, when non-nil, receives rare-event timeline entries:
+	// leader elections, lease and recovery episodes.
+	Events *obs.EventLog
 }
 
 // Replica is one collapsed Multi-Paxos node.
@@ -176,6 +186,7 @@ func New(cfg Config) *Replica {
 	}
 	r.log = rsm.NewLog(rsm.Dedup{Sessions: r.sessions, Inner: applier})
 	r.log.OnApply(r.onApply)
+	r.log.SetTracer(cfg.Tracer, func() time.Duration { return r.ctx.Now() })
 	r.snap = snapshot.New(snapshot.Config{
 		ID:           cfg.ID,
 		Replicas:     cfg.Replicas,
@@ -183,6 +194,7 @@ func New(cfg Config) *Replica {
 		ChunkSize:    cfg.SnapshotChunkSize,
 		Recover:      cfg.Recover,
 		RetryTimeout: 2 * cfg.AcceptTimeout,
+		Events:       cfg.Events,
 	}, r.log, r.sessions, applier)
 	r.snap.OnRestore(func(last int64) {
 		// The snapshot's instances were decided while this replica was
@@ -204,6 +216,7 @@ func New(cfg Config) *Replica {
 		Replicas:      cfg.Replicas,
 		Mode:          mode,
 		LeaseDuration: cfg.LeaseDuration,
+		Events:        cfg.Events,
 		HasLeader:     true,
 		LeaseCapable:  true,
 		IsLeader:      func() bool { return r.iAmLeader },
@@ -481,6 +494,8 @@ func (r *Replica) onPromise(from msg.NodeID, m msg.MPPromise) {
 	r.iAmLeader = true
 	r.knownLeader = r.me
 	r.takeovers++
+	r.cfg.Events.Emitf(r.ctx.Now(), r.me, "leader-change",
+		"election %d won (pn %d)", r.takeovers, r.myPN)
 	for in, p := range r.carried {
 		if !r.log.Learned(in) {
 			r.proposed[in] = p.Value

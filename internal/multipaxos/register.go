@@ -19,6 +19,8 @@ func init() {
 				Recover:           cfg.Recover,
 				ReadMode:          cfg.ReadMode,
 				LeaseDuration:     cfg.LeaseDuration,
+				Tracer:            cfg.Tracer,
+				Events:            cfg.Events,
 			})
 		},
 	})

@@ -1,0 +1,437 @@
+// Package obs is the unified observability registry: named counters,
+// gauges and histograms behind one Snapshot/Merge API, plus a bounded
+// event log for rare events (leader changes, lease grants and
+// expiries, recovery episodes, injected faults).
+//
+// The registry deliberately does not own the hot counters. Subsystems
+// keep recording into whatever structure their hot path wants (the
+// transport's atomics, the read path's mutex-guarded struct, a
+// client's histogram) and register a source — a function that folds
+// the subsystem's current values into a Snapshot at capture time. That
+// keeps registration off the hot path entirely: taking a snapshot is
+// the only moment the registry touches a subsystem.
+//
+// Names are dot-separated, subsystem first: "wire.frames_out",
+// "read.local_reads", "snap.restores", "batch.commands",
+// "trace.stage.decide". Merging snapshots (per-shard, per-client, or
+// per-process) adds counters, adds gauges, reservoir-merges histograms
+// and concatenates event tails — so a fleet of registries aggregates
+// to the same totals one global registry would have recorded.
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"consensusinside/internal/metrics"
+	"consensusinside/internal/msg"
+	"consensusinside/internal/trace"
+)
+
+// DefaultEventCap bounds an EventLog's ring.
+const DefaultEventCap = 256
+
+// Event is one rare, discrete occurrence worth a timeline entry.
+type Event struct {
+	// Virtual is the emitting node's Context.Now reading: global
+	// virtual time on the simulator, time since node start on the real
+	// runtimes.
+	Virtual time.Duration `json:"virtual_ns"`
+	// Wall is the host clock at emission (zero on the simulator if the
+	// emitter chose to suppress it; kept for real deployments).
+	Wall time.Time `json:"wall"`
+	// Node is the emitting node.
+	Node msg.NodeID `json:"node"`
+	// Kind classifies the event ("leader-change", "lease-grant",
+	// "lease-expiry", "recovery", "fault", ...).
+	Kind string `json:"kind"`
+	// Detail is a one-line human-readable elaboration.
+	Detail string `json:"detail"`
+}
+
+// String renders the event as one timeline line.
+func (e Event) String() string {
+	return fmt.Sprintf("%12s node=%d %-12s %s", e.Virtual, e.Node, e.Kind, e.Detail)
+}
+
+// EventLog is a bounded, concurrency-safe ring of Events. The zero
+// value is not ready; use NewEventLog. A nil *EventLog swallows emits,
+// so emitters never need nil checks.
+type EventLog struct {
+	mu    sync.Mutex
+	ring  []Event
+	pos   int
+	count int64 // total emitted, including overwritten
+}
+
+// NewEventLog builds a log keeping the last cap events (cap <= 0 means
+// DefaultEventCap).
+func NewEventLog(cap int) *EventLog {
+	if cap <= 0 {
+		cap = DefaultEventCap
+	}
+	return &EventLog{ring: make([]Event, 0, cap)}
+}
+
+// Emit appends one event, stamping the wall clock here.
+func (l *EventLog) Emit(virtual time.Duration, node msg.NodeID, kind, detail string) {
+	if l == nil {
+		return
+	}
+	e := Event{Virtual: virtual, Wall: time.Now(), Node: node, Kind: kind, Detail: detail}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if len(l.ring) < cap(l.ring) {
+		l.ring = append(l.ring, e)
+	} else {
+		l.ring[l.pos] = e
+		l.pos = (l.pos + 1) % cap(l.ring)
+	}
+	l.count++
+}
+
+// Emitf is Emit with a formatted detail line.
+func (l *EventLog) Emitf(virtual time.Duration, node msg.NodeID, kind, format string, args ...any) {
+	if l == nil {
+		return
+	}
+	l.Emit(virtual, node, kind, fmt.Sprintf(format, args...))
+}
+
+// Total reports how many events were ever emitted (the ring may hold
+// fewer).
+func (l *EventLog) Total() int64 {
+	if l == nil {
+		return 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.count
+}
+
+// Tail returns up to n of the most recent events, oldest first. n <= 0
+// returns everything retained.
+func (l *EventLog) Tail(n int) []Event {
+	if l == nil {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	kept := len(l.ring)
+	if n <= 0 || n > kept {
+		n = kept
+	}
+	out := make([]Event, 0, n)
+	for i := kept - n; i < kept; i++ {
+		out = append(out, l.ring[(l.pos+i)%kept])
+	}
+	return out
+}
+
+// Registry is a named-metric registry. Counters are owned by the
+// registry (atomic, safe to Add from any goroutine); gauges and
+// sources are callbacks sampled at Snapshot time.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]func() float64
+	sources  []func(*Snapshot)
+	events   *EventLog
+}
+
+// NewRegistry builds an empty registry with an event log of
+// DefaultEventCap.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]func() float64),
+		events:   NewEventLog(0),
+	}
+}
+
+// Counter is a registry-owned monotonic counter.
+type Counter struct{ v atomic.Int64 }
+
+// Add increments the counter by d.
+func (c *Counter) Add(d int64) { c.v.Add(d) }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Value reports the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Counter returns the counter registered under name, creating it on
+// first use.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c := r.counters[name]
+	if c == nil {
+		c = new(Counter)
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge registers a callback sampled at Snapshot time. Re-registering
+// a name replaces the callback.
+func (r *Registry) Gauge(name string, fn func() float64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.gauges[name] = fn
+}
+
+// AddSource registers a collector that folds a subsystem's current
+// values into the snapshot being captured. Sources run outside the
+// registry lock, in registration order.
+func (r *Registry) AddSource(fn func(*Snapshot)) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.sources = append(r.sources, fn)
+}
+
+// Events exposes the registry's event log.
+func (r *Registry) Events() *EventLog {
+	if r == nil {
+		return nil
+	}
+	return r.events
+}
+
+// Snapshot captures the registry's current state: counter values,
+// gauge readings, every source's contribution, and the event tail.
+func (r *Registry) Snapshot() Snapshot {
+	s := NewSnapshot()
+	r.mu.Lock()
+	for name, c := range r.counters {
+		s.Counters[name] = c.Value()
+	}
+	gauges := make(map[string]func() float64, len(r.gauges))
+	for name, fn := range r.gauges {
+		gauges[name] = fn
+	}
+	sources := make([]func(*Snapshot), len(r.sources))
+	copy(sources, r.sources)
+	r.mu.Unlock()
+	for name, fn := range gauges {
+		s.Gauges[name] = fn()
+	}
+	for _, fn := range sources {
+		fn(&s)
+	}
+	s.Events = r.events.Tail(0)
+	return s
+}
+
+// Snapshot is a point-in-time capture of a registry (or a merge of
+// several). It is plain data: safe to marshal, safe to Merge without
+// touching any live recorder.
+type Snapshot struct {
+	Counters map[string]int64              `json:"counters"`
+	Gauges   map[string]float64            `json:"gauges"`
+	Hists    map[string]*metrics.Histogram `json:"-"`
+	Events   []Event                       `json:"events,omitempty"`
+}
+
+// NewSnapshot builds an empty snapshot ready for Add/SetGauge/AddHist.
+func NewSnapshot() Snapshot {
+	return Snapshot{
+		Counters: make(map[string]int64),
+		Gauges:   make(map[string]float64),
+		Hists:    make(map[string]*metrics.Histogram),
+	}
+}
+
+// Add adds d to the named counter.
+func (s *Snapshot) Add(name string, d int64) { s.Counters[name] += d }
+
+// SetGauge records a gauge reading (merging adds gauge values, so
+// per-shard gauges aggregate like totals).
+func (s *Snapshot) SetGauge(name string, v float64) { s.Gauges[name] += v }
+
+// AddHist folds h into the named histogram. The snapshot clones on
+// first contact, so the caller's histogram is never retained or
+// mutated.
+func (s *Snapshot) AddHist(name string, h *metrics.Histogram) {
+	if h == nil || h.Count() == 0 {
+		return
+	}
+	if have := s.Hists[name]; have != nil {
+		have.Merge(h)
+	} else {
+		s.Hists[name] = h.Clone()
+	}
+}
+
+// Merge folds other into s: counters and gauges add, histograms
+// reservoir-merge, events concatenate (ordered by virtual time).
+func (s *Snapshot) Merge(other Snapshot) {
+	for name, v := range other.Counters {
+		s.Counters[name] += v
+	}
+	for name, v := range other.Gauges {
+		s.Gauges[name] += v
+	}
+	for name, h := range other.Hists {
+		s.AddHist(name, h)
+	}
+	if len(other.Events) > 0 {
+		s.Events = append(s.Events, other.Events...)
+		sort.SliceStable(s.Events, func(i, j int) bool {
+			return s.Events[i].Virtual < s.Events[j].Virtual
+		})
+	}
+}
+
+// HistStat summarizes one named histogram for the flat dump.
+type HistStat struct {
+	Count int           `json:"count"`
+	Mean  time.Duration `json:"mean_ns"`
+	P50   time.Duration `json:"p50_ns"`
+	P90   time.Duration `json:"p90_ns"`
+	P99   time.Duration `json:"p99_ns"`
+	Min   time.Duration `json:"min_ns"`
+	Max   time.Duration `json:"max_ns"`
+}
+
+// HistStats summarizes every histogram in the snapshot (histograms
+// hold raw reservoirs and are excluded from direct JSON marshalling;
+// this is their serializable face).
+func (s Snapshot) HistStats() map[string]HistStat {
+	out := make(map[string]HistStat, len(s.Hists))
+	for name, h := range s.Hists {
+		out[name] = HistStat{
+			Count: h.Count(),
+			Mean:  h.Mean(),
+			P50:   h.Percentile(50),
+			P90:   h.Percentile(90),
+			P99:   h.Percentile(99),
+			Min:   h.Min(),
+			Max:   h.Max(),
+		}
+	}
+	return out
+}
+
+// Flatten renders the snapshot as one flat name → value map — the
+// uniform shape every -json dump shares. Counters keep their names;
+// gauges keep theirs; each histogram contributes <name>.count and
+// <name>.{mean,p50,p90,p99,max}_us in microseconds.
+func (s Snapshot) Flatten() map[string]float64 {
+	out := make(map[string]float64, len(s.Counters)+len(s.Gauges)+7*len(s.Hists))
+	for name, v := range s.Counters {
+		out[name] = float64(v)
+	}
+	for name, v := range s.Gauges {
+		out[name] = v
+	}
+	for name, st := range s.HistStats() {
+		out[name+".count"] = float64(st.Count)
+		out[name+".mean_us"] = us(st.Mean)
+		out[name+".p50_us"] = us(st.P50)
+		out[name+".p90_us"] = us(st.P90)
+		out[name+".p99_us"] = us(st.P99)
+		out[name+".max_us"] = us(st.Max)
+	}
+	return out
+}
+
+// Names reports the sorted union of counter, gauge and histogram names
+// — the registry naming scheme's directory listing.
+func (s Snapshot) Names() []string {
+	seen := make(map[string]bool, len(s.Counters)+len(s.Gauges)+len(s.Hists))
+	for name := range s.Counters {
+		seen[name] = true
+	}
+	for name := range s.Gauges {
+		seen[name] = true
+	}
+	for name := range s.Hists {
+		seen[name] = true
+	}
+	out := make([]string, 0, len(seen))
+	for name := range seen {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func us(d time.Duration) float64 { return float64(d) / float64(time.Microsecond) }
+
+// --- Adapters for the pre-registry stats types ---
+//
+// These fold the existing ad-hoc snapshot structs into a Snapshot
+// under the canonical names, so every deployment surfaces the same
+// field set no matter which subsystem produced it.
+
+// AddWireStats contributes a transport endpoint's wire counters.
+func (s *Snapshot) AddWireStats(w metrics.WireStats) {
+	s.Add("wire.bytes_out", w.BytesOut)
+	s.Add("wire.bytes_in", w.BytesIn)
+	s.Add("wire.frames_out", w.FramesOut)
+	s.Add("wire.frames_in", w.FramesIn)
+	s.Add("wire.flushes", w.Flushes)
+	s.Add("wire.dials", w.Dials)
+	s.Add("wire.reconnects", w.Reconnects)
+	s.Add("wire.dropped", w.Dropped)
+}
+
+// AddReadStats contributes a replica's read-path counters.
+func (s *Snapshot) AddReadStats(r metrics.ReadStats) {
+	s.Add("read.local_reads", r.LocalReads)
+	s.Add("read.follower_reads", r.FollowerReads)
+	s.Add("read.index_rounds", r.IndexRounds)
+	s.Add("read.index_reads", r.IndexReads)
+	s.Add("read.lease_renewals", r.LeaseRenewals)
+	s.Add("read.lease_expiries", r.LeaseExpiries)
+	s.Add("read.fallbacks", r.Fallbacks)
+	s.Add("read.redirects", r.Redirects)
+	s.AddBatchOccupancy("read.rounds", &r.Rounds)
+}
+
+// AddSnapshotStats contributes a replica's recovery-subsystem counters.
+func (s *Snapshot) AddSnapshotStats(ss metrics.SnapshotStats) {
+	s.Add("snap.snapshots", ss.Snapshots)
+	s.Add("snap.snapshot_bytes", ss.SnapshotBytes)
+	s.Add("snap.entries_truncated", ss.EntriesTruncated)
+	s.Add("snap.catchups_served", ss.CatchupsServed)
+	s.Add("snap.chunks_sent", ss.ChunksSent)
+	s.Add("snap.entries_streamed", ss.EntriesStreamed)
+	s.Add("snap.catchups_requested", ss.CatchupsRequested)
+	s.Add("snap.restores", ss.Restores)
+}
+
+// AddBatchOccupancy contributes a batch-occupancy histogram under the
+// given prefix: <prefix>.batches, <prefix>.commands, and one
+// <prefix>.le_N (or .gt_N overflow) counter per bucket.
+func (s *Snapshot) AddBatchOccupancy(prefix string, b *metrics.BatchOccupancy) {
+	s.Add(prefix+".batches", b.Batches())
+	s.Add(prefix+".commands", b.Commands())
+	for i, bound := range metrics.BatchOccupancyBuckets {
+		s.Add(fmt.Sprintf("%s.le_%d", prefix, bound), b.Bucket(i))
+	}
+	last := metrics.BatchOccupancyBuckets[len(metrics.BatchOccupancyBuckets)-1]
+	s.Add(fmt.Sprintf("%s.gt_%d", prefix, last), b.Bucket(len(metrics.BatchOccupancyBuckets)))
+}
+
+// AddTracer contributes a command tracer's span accounting and
+// per-stage latency histograms under the "trace." prefix. Nil-safe.
+func (s *Snapshot) AddTracer(t *trace.Tracer) {
+	if t == nil {
+		return
+	}
+	snap := t.Snapshot()
+	s.Add("trace.started", snap.Started)
+	s.Add("trace.finished", snap.Finished)
+	s.Add("trace.dropped", snap.Dropped)
+	stages, total := t.Histograms()
+	for st := trace.StageEnqueue; st < trace.NumStages; st++ {
+		s.AddHist("trace.stage."+st.String(), stages[st])
+	}
+	s.AddHist("trace.total", total)
+}

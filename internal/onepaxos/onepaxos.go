@@ -34,11 +34,13 @@ import (
 	"consensusinside/internal/basicpaxos"
 	"consensusinside/internal/metrics"
 	"consensusinside/internal/msg"
+	"consensusinside/internal/obs"
 	"consensusinside/internal/paxosutil"
 	"consensusinside/internal/readpath"
 	"consensusinside/internal/rsm"
 	"consensusinside/internal/runtime"
 	"consensusinside/internal/snapshot"
+	"consensusinside/internal/trace"
 )
 
 // Timer kinds used by a Replica. PaxosUtility's reserved kinds are >= 100.
@@ -113,6 +115,14 @@ type Config struct {
 
 	// LeaseDuration overrides readpath.DefaultLeaseDuration.
 	LeaseDuration time.Duration
+
+	// Tracer, when non-nil, stamps the decide/apply stages of sampled
+	// commands (internal/trace).
+	Tracer *trace.Tracer
+
+	// Events, when non-nil, receives rare-event timeline entries:
+	// leader takeovers, acceptor switches, lease and recovery episodes.
+	Events *obs.EventLog
 }
 
 // Defaults for Config zero values.
@@ -243,6 +253,7 @@ func New(cfg Config) *Replica {
 	r.util.OnCommit(r.onUtilCommit)
 	r.log = rsm.NewLog(rsm.Dedup{Sessions: r.sessions, Inner: applier})
 	r.log.OnApply(r.onApply)
+	r.log.SetTracer(cfg.Tracer, func() time.Duration { return r.ctx.Now() })
 	r.snap = snapshot.New(snapshot.Config{
 		ID:           cfg.ID,
 		Replicas:     cfg.Replicas,
@@ -250,6 +261,7 @@ func New(cfg Config) *Replica {
 		ChunkSize:    cfg.SnapshotChunkSize,
 		Recover:      cfg.Recover,
 		RetryTimeout: 2 * cfg.AcceptTimeout,
+		Events:       cfg.Events,
 	}, r.log, r.sessions, applier)
 	r.snap.OnRestore(func(last int64) {
 		// Every instance the snapshot covers was decided elsewhere while
@@ -273,6 +285,7 @@ func New(cfg Config) *Replica {
 		Replicas:      cfg.Replicas,
 		Mode:          mode,
 		LeaseDuration: cfg.LeaseDuration,
+		Events:        cfg.Events,
 		HasLeader:     true,
 		LeaseCapable:  true,
 		IsLeader:      func() bool { return r.iAmLeader },
@@ -719,6 +732,8 @@ func (r *Replica) onPrepareResponse(from msg.NodeID, m msg.PrepareResponse) {
 	r.takingOver = false
 	r.knownLeader = r.me
 	r.takeovers++
+	r.cfg.Events.Emitf(r.ctx.Now(), r.me, "leader-change",
+		"takeover %d complete (pn %d, acceptor %d)", r.takeovers, r.myPN, r.aa)
 	if m.Floor > r.noopFloor {
 		// Instances below the acceptor's compaction floor are decided;
 		// their values arrive via the catch-up push, not this response.
@@ -992,6 +1007,8 @@ func (r *Replica) onAcceptorFailure(virginSwitch bool) {
 			return
 		}
 		r.acceptorSwaps++
+		r.cfg.Events.Emitf(r.ctx.Now(), r.me, "acceptor-change",
+			"active acceptor %d -> %d", r.aa, next)
 		r.aa = next
 		r.iAmLeader = false // must re-adopt the fresh acceptor (line 13)
 		r.takingOver = true

@@ -14,9 +14,11 @@ import (
 
 	"consensusinside/internal/metrics"
 	"consensusinside/internal/msg"
+	"consensusinside/internal/obs"
 	"consensusinside/internal/readpath"
 	"consensusinside/internal/rsm"
 	"consensusinside/internal/runtime"
+	"consensusinside/internal/trace"
 )
 
 // ID selects an agreement protocol.
@@ -111,6 +113,16 @@ type Config struct {
 	// LeaseDuration overrides readpath.DefaultLeaseDuration for
 	// ReadMode == readpath.Lease.
 	LeaseDuration time.Duration
+
+	// Tracer, when non-nil, receives decide/apply stage stamps for
+	// sampled commands (internal/trace). Engines wire it into their
+	// learner log (or, for engines without one, their commit path).
+	Tracer *trace.Tracer
+
+	// Events, when non-nil, receives rare-event timeline entries
+	// (internal/obs): leader changes, lease grants and expiries,
+	// recovery episodes.
+	Events *obs.EventLog
 }
 
 // Engine is the face a running protocol replica shows to a deployment:

@@ -42,6 +42,7 @@ import (
 
 	"consensusinside/internal/metrics"
 	"consensusinside/internal/msg"
+	"consensusinside/internal/obs"
 	"consensusinside/internal/runtime"
 )
 
@@ -168,6 +169,12 @@ type Config struct {
 
 	// Read resolves a key against the local state machine.
 	Read func(key string) (string, bool)
+
+	// Events, when non-nil, receives rare-event timeline entries
+	// (internal/obs): lease acquisitions, grants to new holders, and
+	// expiries. Renewals are deliberately not logged — at a
+	// quarter-duration cadence they would flood the bounded ring.
+	Events *obs.EventLog
 }
 
 // pending is one queued read.
@@ -380,6 +387,7 @@ func (s *Server) onRead(m msg.ReadRequest) {
 			// Held a lease but renewals did not land in time.
 			s.leaseUntil = 0
 			s.count(func(st *metrics.ReadStats) { st.LeaseExpiries++ })
+			s.cfg.Events.Emit(now, s.cfg.ID, "lease-expiry", "held lease lapsed before renewal")
 		}
 		// No valid lease: the reads ride a lease(-acquiring) round —
 		// the integrated fallback to a quorum confirmation.
@@ -486,6 +494,9 @@ func (s *Server) onConfirm(from msg.NodeID, m msg.ReadIndexRequest) {
 	case !ok:
 		// Not the leader we know: no grant, no hold to wait out.
 	case s.grantHolder == from || s.grantHolder == msg.Nobody || now >= s.grantUntil:
+		if s.grantHolder != from {
+			s.cfg.Events.Emitf(now, s.cfg.ID, "lease-grant", "granted to node %d", from)
+		}
 		s.grantHolder = from
 		s.grantUntil = now + s.cfg.LeaseDuration
 		ack.OK = true
@@ -645,6 +656,9 @@ func (s *Server) completeRound() {
 		s.blockUntil = s.roundStart + s.cfg.LeaseDuration
 		if renewed {
 			s.count(func(st *metrics.ReadStats) { st.LeaseRenewals++ })
+		} else {
+			s.cfg.Events.Emitf(s.now(), s.cfg.ID, "lease-acquire",
+				"lease held until %s", s.leaseUntil)
 		}
 		if !s.renewing {
 			s.renewing = true

@@ -11,9 +11,11 @@ package rsm
 import (
 	"fmt"
 	"sort"
+	"time"
 
 	"consensusinside/internal/msg"
 	"consensusinside/internal/shard"
+	"consensusinside/internal/trace"
 	"consensusinside/internal/wire"
 )
 
@@ -127,6 +129,14 @@ type Log struct {
 	// callback). They grow to the largest batch ever applied.
 	subScratch []msg.Value
 	resScratch []string
+
+	// Lifecycle tracing (internal/trace): Learn stamps the decide stage
+	// and advance stamps the apply stage of sampled commands. tracer is
+	// nil (permanently off) unless SetTracer attached one; traceNow
+	// supplies the owning node's virtual clock lazily, because the log
+	// is built before the node's runtime context exists.
+	tracer   *trace.Tracer
+	traceNow func() time.Duration
 }
 
 // NewLog builds a log applying into applier (which may be nil for
@@ -135,6 +145,31 @@ func NewLog(applier Applier) *Log {
 	return &Log{
 		learned: make(map[int64]msg.Value),
 		applier: applier,
+	}
+}
+
+// SetTracer attaches a command-lifecycle tracer: Learn stamps the
+// decide stage and in-order application stamps the apply stage of
+// sampled commands. now supplies the owning node's virtual clock at
+// mark time (engines pass a closure over their stored context). A nil
+// tracer keeps tracing off.
+func (l *Log) SetTracer(t *trace.Tracer, now func() time.Duration) {
+	l.tracer, l.traceNow = t, now
+}
+
+// traceMark stamps stage for every command of v (first stamp wins; the
+// tracer drops unsampled seqs after one modulo).
+func (l *Log) traceMark(stage trace.Stage, v msg.Value) {
+	if v.Client == msg.Nobody {
+		return // gap-filling noop
+	}
+	now := l.traceNow()
+	if len(v.Batch) == 0 {
+		l.tracer.Mark(v.Client, v.Seq, stage, now)
+		return
+	}
+	for _, be := range v.Batch {
+		l.tracer.Mark(v.Client, be.Seq, stage, now)
 	}
 }
 
@@ -170,6 +205,9 @@ func (l *Log) Learn(instance int64, value msg.Value) {
 			}
 		}
 		return
+	}
+	if l.tracer.Enabled() {
+		l.traceMark(trace.StageDecide, value)
 	}
 	l.learned[instance] = value
 	l.advance()
@@ -210,6 +248,9 @@ func (l *Log) advance() {
 			for i, sub := range subs {
 				results[i] = l.applier.Apply(sub)
 			}
+		}
+		if l.tracer.Enabled() {
+			l.traceMark(trace.StageApply, v)
 		}
 		l.history = append(l.history, e)
 		l.applied++

@@ -10,6 +10,7 @@ import (
 
 	"consensusinside/internal/msg"
 	"consensusinside/internal/queue"
+	"consensusinside/internal/trace"
 )
 
 // InProcOption configures an in-process cluster.
@@ -18,6 +19,7 @@ type InProcOption func(*inprocConfig)
 type inprocConfig struct {
 	queueCap int
 	seed     int64
+	tracer   *trace.Tracer
 }
 
 // WithQueueCapacity sets the per-pair SPSC queue depth. The paper uses 7
@@ -31,6 +33,14 @@ func WithQueueCapacity(n int) InProcOption {
 // WithSeed seeds the per-node random sources.
 func WithSeed(seed int64) InProcOption {
 	return func(c *inprocConfig) { c.seed = seed }
+}
+
+// WithTracer installs a command tracer: client requests crossing the
+// in-process wire get their wire-send stage stamped (internal/trace).
+// The tracer must be wired at construction — node goroutines start
+// inside NewInProcCluster and read it unsynchronized from then on.
+func WithTracer(tr *trace.Tracer) InProcOption {
+	return func(c *inprocConfig) { c.tracer = tr }
 }
 
 // sweepBatch is how many messages one sweep drains from each inbound
@@ -66,10 +76,11 @@ var spinSweeps = func() int {
 // spinning ("preventing threads from spinning unnecessarily when waiting
 // for messages", Section 8).
 type InProcCluster struct {
-	nodes []*inprocNode
-	start time.Time
-	stop  chan struct{}
-	wg    sync.WaitGroup
+	nodes  []*inprocNode
+	start  time.Time
+	tracer *trace.Tracer
+	stop   chan struct{}
+	wg     sync.WaitGroup
 
 	// timerOverflows counts timer deliveries that found timerCh full and
 	// took the overflow list instead (see inprocContext.After).
@@ -149,8 +160,9 @@ func NewInProcCluster(handlers []Handler, opts ...InProcOption) *InProcCluster {
 	}
 	n := len(handlers)
 	c := &InProcCluster{
-		start: time.Now(),
-		stop:  make(chan struct{}),
+		start:  time.Now(),
+		stop:   make(chan struct{}),
+		tracer: cfg.tracer,
 	}
 	c.nodes = make([]*inprocNode, n)
 	for i := range c.nodes {
@@ -346,7 +358,25 @@ func (c *InProcCluster) Stop() {
 	c.wg.Wait()
 }
 
+// traceWire stamps the wire-send stage for every sampled command the
+// outgoing request carries.
+func (c *InProcCluster) traceWire(req msg.ClientRequest) {
+	now := time.Since(c.start)
+	if len(req.Batch) == 0 {
+		c.tracer.Mark(req.Client, req.Seq, trace.StageWire, now)
+		return
+	}
+	for _, be := range req.Batch {
+		c.tracer.Mark(req.Client, be.Seq, trace.StageWire, now)
+	}
+}
+
 func (c *InProcCluster) send(from, to msg.NodeID, m msg.Message) {
+	if c.tracer.Enabled() {
+		if req, ok := m.(msg.ClientRequest); ok {
+			c.traceWire(req)
+		}
+	}
 	if int(to) < 0 || int(to) >= len(c.nodes) {
 		panic(fmt.Sprintf("runtime: send to unknown node %d", to))
 	}

@@ -19,6 +19,7 @@ import (
 
 	"consensusinside/internal/metrics"
 	"consensusinside/internal/msg"
+	"consensusinside/internal/obs"
 	"consensusinside/internal/rsm"
 	"consensusinside/internal/runtime"
 )
@@ -72,6 +73,10 @@ type Config struct {
 	// RetryTimeout is the recovery pacing knob (default
 	// DefaultRetryTimeout).
 	RetryTimeout time.Duration
+
+	// Events, when non-nil, receives rare-event timeline entries
+	// (internal/obs): recovery start and completion.
+	Events *obs.EventLog
 }
 
 // Manager implements snapshotting, compaction and catch-up for one
@@ -194,6 +199,7 @@ func (m *Manager) Start(ctx runtime.Context) {
 		return
 	}
 	m.catchingUp = true
+	m.cfg.Events.Emit(ctx.Now(), m.cfg.ID, "recovery", "recovery started: requesting state from peers")
 	m.request(ctx)
 }
 
@@ -241,6 +247,8 @@ func (m *Manager) HandleTimer(ctx runtime.Context, tag runtime.TimerTag) bool {
 		case m.log.NextToApply() >= m.watchGoal:
 			m.watching = false // converged
 			m.recovered.Store(true)
+			m.cfg.Events.Emitf(ctx.Now(), m.cfg.ID, "recovery",
+				"recovery converged at instance %d", m.watchGoal)
 		case m.log.NextToApply() == m.lastSeen:
 			m.request(ctx)
 		default:
@@ -538,6 +546,7 @@ func (m *Manager) finishTransfer(ctx runtime.Context) {
 		m.watching = false
 		if wasRecovering {
 			m.recovered.Store(true) // log-less recovery ends at the transfer
+			m.cfg.Events.Emit(ctx.Now(), m.cfg.ID, "recovery", "recovery complete (transfer finished)")
 		}
 		if m.gapWatch && m.log != nil && m.log.NextToApply() < m.log.LearnedFrontier() {
 			// This transfer answered the gap watchdog but did not close
@@ -561,6 +570,8 @@ func (m *Manager) finishTransfer(ctx runtime.Context) {
 		// Nothing decided while we were down is still missing.
 		m.watching = false
 		m.recovered.Store(true)
+		m.cfg.Events.Emitf(ctx.Now(), m.cfg.ID, "recovery",
+			"recovery complete at instance %d", m.watchGoal)
 		if m.retryCancel != nil {
 			m.retryCancel()
 			m.retryCancel = nil

@@ -1,0 +1,190 @@
+package trace
+
+import (
+	"testing"
+	"time"
+
+	"consensusinside/internal/msg"
+)
+
+// TestSampledPredicate pins the sampling rule every hook relies on:
+// seq % interval == 0, interval 0 means off, and the nil tracer is
+// permanently off. Every layer decides independently with this
+// predicate, so any drift here desynchronizes the bridge's enqueue
+// stamps from the pump's Begin calls.
+func TestSampledPredicate(t *testing.T) {
+	tr := New(4)
+	if !tr.Enabled() {
+		t.Fatal("interval 4 should be enabled")
+	}
+	for seq := uint64(0); seq < 32; seq++ {
+		want := seq%4 == 0
+		if got := tr.Sampled(seq); got != want {
+			t.Errorf("Sampled(%d) = %v, want %v", seq, got, want)
+		}
+	}
+
+	tr.SetInterval(0)
+	if tr.Enabled() || tr.Sampled(8) {
+		t.Error("interval 0 should disable sampling")
+	}
+	tr.SetInterval(1)
+	if !tr.Sampled(7) {
+		t.Error("interval 1 should sample everything")
+	}
+
+	var nilT *Tracer
+	if nilT.Enabled() || nilT.Sampled(0) || nilT.Interval() != 0 {
+		t.Error("nil tracer must read as off")
+	}
+	// And the nil mutators/observers must not panic.
+	nilT.SetInterval(8)
+	nilT.Begin(1, 8, 0, 0, 0)
+	nilT.Mark(1, 8, StageDecide, 0)
+	nilT.Finish(1, 8, 0)
+	_ = nilT.Clock()
+	if snap := nilT.Snapshot(); snap.Started != 0 {
+		t.Error("nil tracer snapshot should be zero")
+	}
+}
+
+// TestSpanLifecycle drives one sampled command through every stage and
+// checks the accounting: started/finished counts, the ring sample's
+// stamps, and the stage-delta histograms (virtual clock, so deltas are
+// exact).
+func TestSpanLifecycle(t *testing.T) {
+	tr := New(2, VirtualClock())
+	const client, seq = msg.NodeID(3), uint64(4)
+
+	tr.Begin(client, seq, 10, 1, 30) // enqueue at v=10, propose at v=30
+	tr.Mark(client, seq, StageWire, 50)
+	tr.Mark(client, seq, StageDecide, 90)
+	tr.Mark(client, seq, StageApply, 100)
+	tr.Finish(client, seq, 160)
+
+	snap := tr.Snapshot()
+	if snap.Started != 1 || snap.Finished != 1 || snap.Dropped != 0 || snap.Active != 0 {
+		t.Fatalf("accounting: started=%d finished=%d dropped=%d active=%d",
+			snap.Started, snap.Finished, snap.Dropped, snap.Active)
+	}
+	if len(snap.Samples) != 1 {
+		t.Fatalf("ring holds %d samples, want 1", len(snap.Samples))
+	}
+	s := snap.Samples[0]
+	if s.Client != client || s.Seq != seq {
+		t.Fatalf("sample identity %d/%d", s.Client, s.Seq)
+	}
+	wantVirtual := [NumStages]time.Duration{10, 30, 50, 90, 100, 160}
+	if s.Virtual != wantVirtual {
+		t.Fatalf("virtual stamps %v, want %v", s.Virtual, wantVirtual)
+	}
+
+	// Per-stage deltas against the previous observed stage.
+	wantDelta := map[string]time.Duration{
+		"propose": 20, "wire": 20, "decide": 40, "apply": 10, "reply": 60,
+	}
+	for _, st := range snap.Stages {
+		want, ok := wantDelta[st.Stage]
+		if !ok {
+			if st.Count != 0 {
+				t.Errorf("stage %s: unexpected %d samples", st.Stage, st.Count)
+			}
+			continue
+		}
+		if st.Count != 1 || st.P50 != want {
+			t.Errorf("stage %s: count=%d p50=%v, want 1 sample at %v", st.Stage, st.Count, st.P50, want)
+		}
+	}
+	if snap.Total.Count != 1 || snap.Total.P50 != 150 {
+		t.Errorf("total: count=%d p50=%v, want 1 sample at 150ns", snap.Total.Count, snap.Total.P50)
+	}
+}
+
+// TestFirstStampWins pins the replicated-group contract: several nodes
+// reach decide/apply for the same command, and the earliest stamp is
+// the one kept.
+func TestFirstStampWins(t *testing.T) {
+	tr := New(1, VirtualClock())
+	tr.Begin(1, 1, 0, 1, 5)
+	tr.Mark(1, 1, StageDecide, 40) // first replica
+	tr.Mark(1, 1, StageDecide, 70) // straggler — must lose
+	tr.Finish(1, 1, 90)
+
+	s := tr.Snapshot().Samples[0]
+	if s.Virtual[StageDecide] != 40 {
+		t.Fatalf("decide stamp %v, want first-wins 40", s.Virtual[StageDecide])
+	}
+}
+
+// TestUnobservedStageSkipped: a deployment with no wire hook must
+// attribute the propose→decide gap to the decide stage, not record a
+// zero-count wire delta that shifts the others.
+func TestUnobservedStageSkipped(t *testing.T) {
+	tr := New(1, VirtualClock())
+	tr.Begin(1, 1, 0, 1, 10)
+	tr.Mark(1, 1, StageDecide, 60) // no wire mark
+	tr.Finish(1, 1, 80)
+
+	snap := tr.Snapshot()
+	for _, st := range snap.Stages {
+		switch st.Stage {
+		case "wire":
+			if st.Count != 0 {
+				t.Errorf("wire recorded %d deltas with no wire hook", st.Count)
+			}
+		case "decide":
+			if st.Count != 1 || st.P50 != 50 {
+				t.Errorf("decide: count=%d p50=%v, want the full propose→decide gap of 50", st.Count, st.P50)
+			}
+		}
+	}
+}
+
+// TestActiveCapDrops: spans beyond ActiveCap are refused and counted,
+// never silently absorbed — the bound is what keeps a stalled pipeline
+// from growing the tracer without limit.
+func TestActiveCapDrops(t *testing.T) {
+	tr := New(1)
+	for seq := uint64(1); seq <= ActiveCap+10; seq++ {
+		tr.Begin(msg.NodeID(seq), 1, 0, 0, 0) // distinct clients, all in flight
+	}
+	snap := tr.Snapshot()
+	if snap.Started != ActiveCap {
+		t.Errorf("started %d, want ActiveCap %d", snap.Started, ActiveCap)
+	}
+	if snap.Dropped != 10 {
+		t.Errorf("dropped %d, want 10", snap.Dropped)
+	}
+}
+
+// TestRingRetainsRecent: the completed ring keeps the newest RingCap
+// samples, oldest first in the snapshot.
+func TestRingRetainsRecent(t *testing.T) {
+	tr := New(1)
+	total := RingCap + 16
+	for i := 1; i <= total; i++ {
+		seq := uint64(i)
+		tr.Begin(1, seq, 0, 0, 0)
+		tr.Finish(1, seq, 1)
+	}
+	snap := tr.Snapshot()
+	if len(snap.Samples) != RingCap {
+		t.Fatalf("ring holds %d, want %d", len(snap.Samples), RingCap)
+	}
+	if first, last := snap.Samples[0].Seq, snap.Samples[RingCap-1].Seq; first != uint64(total-RingCap+1) || last != uint64(total) {
+		t.Fatalf("ring spans seqs [%d,%d], want [%d,%d]", first, last, total-RingCap+1, total)
+	}
+}
+
+// TestEnqueueWallFallback: a caller with no wall stamp at queue entry
+// passes enqWall 0 and Begin substitutes its own clock — the enqueue
+// stage must still register as observed (non-zero wall stamp).
+func TestEnqueueWallFallback(t *testing.T) {
+	tr := New(1)
+	tr.Begin(1, 1, 0, 0, 0)
+	tr.Finish(1, 1, 0)
+	s := tr.Snapshot().Samples[0]
+	if s.Wall[StageEnqueue] == 0 {
+		t.Fatal("enqueue wall stamp not substituted")
+	}
+}

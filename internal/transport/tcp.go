@@ -41,6 +41,7 @@ import (
 	"consensusinside/internal/metrics"
 	"consensusinside/internal/msg"
 	"consensusinside/internal/runtime"
+	"consensusinside/internal/trace"
 	"consensusinside/internal/wire"
 )
 
@@ -111,7 +112,8 @@ type TCPNode struct {
 	dialFailed map[msg.NodeID]time.Time
 	inbound    []net.Conn
 
-	stats wireCounters
+	stats  wireCounters
+	tracer *trace.Tracer
 
 	closeOnce sync.Once
 }
@@ -438,7 +440,30 @@ func (t *TCPNode) mainLoop() {
 // never blocks the actor: an unreachable peer or a full queue drops the
 // message — exactly the non-blocking assumption the protocols are
 // designed for, with the drop surfaced in Stats.
+// SetTracer installs a command tracer: client requests leaving this
+// node get their wire-send stage stamped (internal/trace). Call before
+// Start.
+func (t *TCPNode) SetTracer(tr *trace.Tracer) { t.tracer = tr }
+
+// traceWire stamps the wire-send stage for every sampled command the
+// outgoing request carries.
+func (t *TCPNode) traceWire(req msg.ClientRequest) {
+	now := time.Since(t.start)
+	if len(req.Batch) == 0 {
+		t.tracer.Mark(req.Client, req.Seq, trace.StageWire, now)
+		return
+	}
+	for _, be := range req.Batch {
+		t.tracer.Mark(req.Client, be.Seq, trace.StageWire, now)
+	}
+}
+
 func (t *TCPNode) send(to msg.NodeID, m msg.Message) {
+	if t.tracer.Enabled() {
+		if req, ok := m.(msg.ClientRequest); ok {
+			t.traceWire(req)
+		}
+	}
 	if to == t.id {
 		select {
 		case t.inbox <- envelope{From: t.id, M: m}:
@@ -712,6 +737,13 @@ func BuildLocalCluster(handlers []runtime.Handler) ([]*TCPNode, error) {
 // BuildLocalClusterCodec is BuildLocalCluster with an explicit codec
 // (the Codec knob on cluster.Spec and KVConfig lands here).
 func BuildLocalClusterCodec(handlers []runtime.Handler, codec msg.Codec) ([]*TCPNode, error) {
+	return BuildLocalClusterTraced(handlers, codec, nil)
+}
+
+// BuildLocalClusterTraced is BuildLocalClusterCodec with a command
+// tracer installed on every node before it starts (see SetTracer); nil
+// means no tracing.
+func BuildLocalClusterTraced(handlers []runtime.Handler, codec msg.Codec, tracer *trace.Tracer) ([]*TCPNode, error) {
 	nodes := make([]*TCPNode, 0, len(handlers))
 	addrs := make(map[msg.NodeID]string, len(handlers))
 	for i, h := range handlers {
@@ -723,6 +755,7 @@ func BuildLocalClusterCodec(handlers []runtime.Handler, codec msg.Codec) ([]*TCP
 			return nil, err
 		}
 		node.SetCodec(codec)
+		node.SetTracer(tracer)
 		nodes = append(nodes, node)
 		addrs[msg.NodeID(i)] = node.Addr()
 	}

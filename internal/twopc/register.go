@@ -18,6 +18,8 @@ func init() {
 				Recover:           cfg.Recover,
 				ReadMode:          cfg.ReadMode,
 				LeaseDuration:     cfg.LeaseDuration,
+				Tracer:            cfg.Tracer,
+				Events:            cfg.Events,
 			})
 		},
 	})

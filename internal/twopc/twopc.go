@@ -26,10 +26,12 @@ import (
 
 	"consensusinside/internal/metrics"
 	"consensusinside/internal/msg"
+	"consensusinside/internal/obs"
 	"consensusinside/internal/readpath"
 	"consensusinside/internal/rsm"
 	"consensusinside/internal/runtime"
 	"consensusinside/internal/snapshot"
+	"consensusinside/internal/trace"
 )
 
 // timerTxRetry re-drives a pending transaction's current phase
@@ -87,6 +89,16 @@ type Config struct {
 	// LeaseDuration overrides readpath.DefaultLeaseDuration (only
 	// relevant after the lease-to-index degradation's round timeout).
 	LeaseDuration time.Duration
+
+	// Tracer, when non-nil, receives decide/apply stage stamps for
+	// sampled commands (internal/trace). 2PC has no learner log, so the
+	// decide stamp is the coordinator's all-acks moment and the apply
+	// stamp is the local commit.
+	Tracer *trace.Tracer
+
+	// Events, when non-nil, receives rare-event timeline entries
+	// (internal/obs).
+	Events *obs.EventLog
 }
 
 // Replica is one 2PC node (coordinator or participant).
@@ -203,6 +215,7 @@ func New(cfg Config) *Replica {
 		Interval:     int64(cfg.SnapshotInterval),
 		ChunkSize:    cfg.SnapshotChunkSize,
 		Recover:      cfg.Recover,
+		Events:       cfg.Events,
 		RetryTimeout: 2 * cfg.TxRetryTimeout,
 	}, nil, r.sessions, applier)
 	r.snap.OnSnapshot(func(int64) {
@@ -219,6 +232,7 @@ func New(cfg Config) *Replica {
 		Replicas:      cfg.Replicas,
 		Mode:          mode,
 		LeaseDuration: cfg.LeaseDuration,
+		Events:        cfg.Events,
 		HasLeader:     true,
 		IsLeader:      func() bool { return r.me == r.coord },
 		Leader:        func() msg.NodeID { return r.coord },
@@ -523,6 +537,9 @@ func (r *Replica) onAck(m msg.TPCAck) {
 	// as the commit orders are out; the commit acks that follow only
 	// retire the transaction record and release coordination state.
 	t.committed = true
+	if r.cfg.Tracer.Enabled() {
+		r.traceMark(trace.StageDecide, t.value)
+	}
 	r.clearInflight(t) // committed: session screening owns retries from here
 	for _, id := range r.replicas {
 		if id == r.me {
@@ -614,7 +631,22 @@ func (r *Replica) applyCommit(txID int64, v msg.Value) {
 			r.snap.AfterApply()
 		}
 	}
+	if r.cfg.Tracer.Enabled() {
+		r.traceMark(trace.StageApply, v)
+	}
 	r.releaseLocks(txID, v)
+}
+
+// traceMark stamps one lifecycle stage for every command v carries
+// (internal/trace; only sampled commands record anything).
+func (r *Replica) traceMark(stage trace.Stage, v msg.Value) {
+	if v.Client == msg.Nobody {
+		return
+	}
+	now := r.ctx.Now()
+	for _, be := range v.Entries() {
+		r.cfg.Tracer.Mark(v.Client, be.Seq, stage, now)
+	}
 }
 
 // releaseLocks frees v's whole lock set and serves waiting prepares.

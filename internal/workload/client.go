@@ -35,6 +35,7 @@ import (
 	"consensusinside/internal/readpath"
 	"consensusinside/internal/runtime"
 	"consensusinside/internal/shard"
+	"consensusinside/internal/trace"
 )
 
 // Timer kinds. These are namespaced high so a composite (joint) node can
@@ -154,6 +155,13 @@ type Config struct {
 	// transmission, the return time is the accepted reply — the widest
 	// honest window for the operation's linearization point.
 	Record *linearize.Recorder
+
+	// Tracer, when non-nil, traces sampled write commands end to end
+	// (internal/trace). The client issues straight from its window — no
+	// pre-issue queue — so the enqueue and propose stages coincide at
+	// issue time; the reply stamp lands when the accepted reply retires
+	// the flight.
+	Tracer *trace.Tracer
 }
 
 // lane is the client's per-group state: one shard's servers, the key
@@ -400,6 +408,9 @@ func (c *Client) onReply(ctx runtime.Context, reply msg.ClientReply) bool {
 		return false
 	}
 	delete(c.inflight, reply.Seq)
+	if c.cfg.Tracer.Enabled() {
+		c.cfg.Tracer.Finish(c.cfg.ID, reply.Seq, ctx.Now())
+	}
 	f.lane.inflight--
 	if f.cancel != nil {
 		f.cancel() // retire the pending retry timer with the command
@@ -646,6 +657,10 @@ func (c *Client) issueBatch(ctx runtime.Context, ln *lane, n int) {
 		}
 		ln.seq++
 		seq := shard.TagSeq(ln.shard, ln.seq)
+		if c.cfg.Tracer.Enabled() {
+			tnow := ctx.Now()
+			c.cfg.Tracer.Begin(c.cfg.ID, seq, tnow, 0, tnow)
+		}
 		f := &flight{lane: ln, op: op, val: "v", rec: -1}
 		if c.cfg.Record != nil {
 			kind := linearize.Write

@@ -17,12 +17,14 @@ package consensusinside
 
 import (
 	"fmt"
+	"strings"
 	"time"
 
 	"consensusinside/internal/cluster"
 	"consensusinside/internal/faultsched"
 	"consensusinside/internal/linearize"
 	"consensusinside/internal/msg"
+	"consensusinside/internal/obs"
 	"consensusinside/internal/readpath"
 	"consensusinside/internal/simnet"
 	"consensusinside/internal/topology"
@@ -108,6 +110,26 @@ type ScenarioFuzzResult struct {
 	Events    int // fault events in the applied schedule
 	Schedule  string
 	Violation error
+	// EventTail is the cluster event-log ring at run end — fault
+	// episodes interleaved with the protocol events (leader changes,
+	// lease grants/expiries, recoveries) they provoked, in virtual-time
+	// order. Failure reports dump it alongside the history verdict via
+	// EventDump.
+	EventTail []obs.Event
+}
+
+// EventDump renders the event-log tail one line per event, for failure
+// reports. Empty tail renders a one-line placeholder so a dump is
+// never silently absent.
+func (r ScenarioFuzzResult) EventDump() string {
+	if len(r.EventTail) == 0 {
+		return "  (event log empty)"
+	}
+	var b strings.Builder
+	for _, e := range r.EventTail {
+		fmt.Fprintf(&b, "  %s\n", e)
+	}
+	return strings.TrimRight(b.String(), "\n")
 }
 
 // scenarioFuzzLease is the lease duration fuzz runs use under
@@ -207,18 +229,24 @@ func ScenarioFuzz(cfg ScenarioFuzzConfig) (ScenarioFuzzResult, error) {
 			byID[c.ServerIDs[i]] = rp.ReadPath()
 		}
 	}
-	sched.Apply(c.Net, func(id msg.NodeID, off time.Duration) {
+	// Faults land in the cluster's event log as they fire, so the ring
+	// interleaves each episode with the leader changes, lease expiries
+	// and recoveries it provokes — the timeline a violation dump needs.
+	sched.ApplyObserved(c.Net, func(id msg.NodeID, off time.Duration) {
 		if rp := byID[id]; rp != nil {
 			rp.SkewClock(off)
 		}
+	}, func(ev faultsched.Event) {
+		c.Events.Emitf(ev.At, ev.Node, "fault", "%s", ev)
 	})
 
 	c.Start()
 	c.RunFor(cfg.Total)
 
 	res := ScenarioFuzzResult{
-		Events:   len(sched.Events),
-		Schedule: sched.String(),
+		Events:    len(sched.Events),
+		Schedule:  sched.String(),
+		EventTail: c.Events.Tail(0),
 	}
 	ops := rec.Ops()
 	res.Ops = len(ops)

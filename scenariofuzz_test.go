@@ -106,8 +106,8 @@ func TestScenarioFuzzMatrix(t *testing.T) {
 					}
 					res := fuzzRun(t, cfg)
 					if res.Violation != nil {
-						t.Errorf("seed %d: %v\nreproduce: %s\nschedule:\n%s",
-							s, res.Violation, ScenarioFuzzRepro(cfg), res.Schedule)
+						t.Errorf("seed %d: %v\nreproduce: %s\nschedule:\n%s\nevent log:\n%s",
+							s, res.Violation, ScenarioFuzzRepro(cfg), res.Schedule, res.EventDump())
 					}
 				}
 			})
@@ -141,7 +141,36 @@ func TestScenarioFuzzSeed(t *testing.T) {
 	t.Logf("ops=%d completed=%d pending=%d faults=%d\nschedule:\n%s",
 		res.Ops, res.Completed, res.Pending, res.Events, res.Schedule)
 	if res.Violation != nil {
-		t.Errorf("violation: %v", res.Violation)
+		t.Errorf("violation: %v\nevent log:\n%s", res.Violation, res.EventDump())
+	}
+}
+
+// TestScenarioFuzzEventDump pins the failure-dump plumbing: every run
+// carries the cluster event-log tail, the applied fault episodes land
+// in it (kind "fault", one per schedule event still inside the ring),
+// and EventDump renders a non-empty timeline. Without this, a
+// violation report would silently lose its fault/protocol interleaving
+// — the dump only gets read when something is already wrong.
+func TestScenarioFuzzEventDump(t *testing.T) {
+	res := fuzzRun(t, ScenarioFuzzConfig{Protocol: cluster.OnePaxos, Seed: 7})
+	if res.Violation != nil {
+		t.Fatalf("seed 7 should run clean: %v", res.Violation)
+	}
+	faults := 0
+	for _, e := range res.EventTail {
+		if e.Kind == "fault" {
+			faults++
+		}
+	}
+	if faults == 0 {
+		t.Fatalf("no fault events in the tail (%d events, %d scheduled faults)",
+			len(res.EventTail), res.Events)
+	}
+	if len(res.EventTail) <= res.Events && res.Events > 0 && faults == len(res.EventTail) {
+		t.Errorf("event tail holds only fault episodes — protocol events missing (%d events)", len(res.EventTail))
+	}
+	if res.EventDump() == "" {
+		t.Error("EventDump rendered empty")
 	}
 }
 
@@ -196,7 +225,7 @@ func TestScenarioFuzzRevertGuard(t *testing.T) {
 	}
 	res := fuzzRun(t, revertGuardConfig(caught, false))
 	if res.Violation != nil {
-		t.Errorf("seed %d violates even without the legacy bug: %v\nschedule:\n%s",
-			caught, res.Violation, res.Schedule)
+		t.Errorf("seed %d violates even without the legacy bug: %v\nschedule:\n%s\nevent log:\n%s",
+			caught, res.Violation, res.Schedule, res.EventDump())
 	}
 }

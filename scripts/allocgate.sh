@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Zero-allocation gate for the InProc hot path with tracing compiled in
+# but disabled: the steady-state benchmark must report 0 allocs/op, or
+# an observability hook has put an allocation back on the per-op path
+# (the tracing-off cost contract is one atomic load per hook).
+#
+#   ./scripts/allocgate.sh
+set -euo pipefail
+
+out=$(go test -run '^$' -bench 'BenchmarkKVInProcSteadyState$' -benchtime 20000x -count 1 .)
+echo "$out"
+
+line=$(grep 'BenchmarkKVInProcSteadyState' <<<"$out" || true)
+if [[ -z "$line" ]]; then
+  echo "alloc gate: benchmark did not run" >&2
+  exit 1
+fi
+if ! grep -q ' 0 allocs/op' <<<"$line"; then
+  echo "alloc gate: hot path allocates with tracing disabled" >&2
+  exit 1
+fi
+echo "alloc gate: 0 allocs/op with tracing compiled in, disabled"

@@ -1,0 +1,61 @@
+#!/usr/bin/env bash
+# CI smoke for the /debug introspection surface: start the example
+# debug server against a live workload, curl the metrics endpoint and
+# a 1-second CPU profile, and assert both are well-formed — JSON with
+# the trace counters present, and a non-empty binary pprof protobuf.
+#
+#   ./scripts/debugsmoke.sh [addr]
+set -euo pipefail
+
+addr="${1:-127.0.0.1:7070}"
+
+go run ./examples/debugserver -addr "$addr" -for 30s &
+server=$!
+trap 'kill "$server" 2>/dev/null || true' EXIT
+
+# Wait for the listener (the server prints its address once bound).
+for _ in $(seq 1 50); do
+  if curl -sf "http://$addr/" >/dev/null 2>&1; then break; fi
+  sleep 0.2
+done
+
+fail=0
+
+metrics=$(curl -sf "http://$addr/debug/metrics")
+if ! jq -e '.counters' <<<"$metrics" >/dev/null; then
+  echo "debug smoke: /debug/metrics is not the registry JSON shape" >&2
+  fail=1
+fi
+if ! jq -e '.counters["trace.started"] > 0' <<<"$metrics" >/dev/null; then
+  echo "debug smoke: tracer idle under live workload (trace.started missing or 0)" >&2
+  fail=1
+fi
+if ! jq -e '.names | length > 0' <<<"$metrics" >/dev/null; then
+  echo "debug smoke: metric name directory empty" >&2
+  fail=1
+fi
+
+if ! curl -sf "http://$addr/debug/trace" | jq -e '.interval > 0 and (.samples | length > 0)' >/dev/null; then
+  echo "debug smoke: /debug/trace has no samples" >&2
+  fail=1
+fi
+
+if ! curl -sf "http://$addr/debug/events" | jq -e '.events' >/dev/null; then
+  echo "debug smoke: /debug/events malformed" >&2
+  fail=1
+fi
+
+# A live 1s CPU profile: pprof streams a gzipped protobuf; assert it
+# arrives non-empty with the gzip magic rather than an error page.
+curl -sf "http://$addr/debug/pprof/profile?seconds=1" -o /tmp/debugsmoke.prof
+size=$(wc -c </tmp/debugsmoke.prof)
+magic=$(head -c2 /tmp/debugsmoke.prof | od -An -tx1 | tr -d ' ')
+if [[ "$size" -lt 64 || "$magic" != "1f8b" ]]; then
+  echo "debug smoke: CPU profile malformed (size=$size magic=$magic)" >&2
+  fail=1
+fi
+
+if [[ "$fail" == 0 ]]; then
+  echo "debug smoke: metrics, trace, events and 1s CPU profile all well-formed"
+fi
+exit "$fail"

@@ -1,0 +1,54 @@
+#!/usr/bin/env bash
+# Regression gate for the trace-sweep results: 1-in-64 command sampling
+# must hold at least BAR x the tracing-off InProc throughput, and every
+# traced InProc cell must carry a per-stage breakdown — the
+# decide/apply/reply hooks reporting from every engine is the point of
+# the sweep. The gated statistic is the geometric mean across engines:
+# the sampling cost mechanism is the same hooks on the same hot path in
+# every engine, so the per-engine ratios are five measurements of one
+# quantity and pooling them divides the single-cell wall-clock noise.
+#
+# BAR defaults to 0.95 — the tentpole's <5% budget, which the recorded
+# BENCH_trace_sweep.json must clear. The CI smoke passes 0.90: pooling
+# divides independent per-cell noise, but a shared-runner scheduling
+# stall hits every cell of a run at once and that component does not
+# divide (observed quick-run geomeans range 0.93-0.99 on an otherwise
+# healthy tree), so the smoke bar is set to catch a gross regression —
+# sampling suddenly costing 2x its budget — without flaking on a slow
+# runner. The 0.95 claim itself is gated on the recorded artifact.
+#
+#   ./scripts/tracegate.sh BENCH_ci_trace.json [bar]
+set -euo pipefail
+
+json="${1:-BENCH_ci_trace.json}"
+bar="${2:-0.95}"
+fail=0
+
+geo=$(jq -r '.experiments["trace-sweep"]["inproc_geomean_traced_over_off"] // empty' "$json")
+if [[ -z "$geo" ]]; then
+  echo "trace gate: inproc geomean missing from $json" >&2
+  fail=1
+elif awk -v g="$geo" -v b="$bar" 'BEGIN { exit !(g >= b) }'; then
+  worst=$(jq -r '.experiments["trace-sweep"]["inproc_worst_traced_over_off"] // 0' "$json")
+  awk -v g="$geo" -v w="$worst" -v b="$bar" \
+    'BEGIN { printf "trace gate: traced/off geomean %.3f >= %.2f (worst cell %.3f) ok\n", g, b, w }'
+else
+  awk -v g="$geo" -v b="$bar" \
+    'BEGIN { printf "trace gate: traced/off geomean %.3f < %.2f — sampling costs over budget\n", g, b }' >&2
+  fail=1
+fi
+
+for proto in 1paxos multipaxos 2pc mencius basicpaxos; do
+  for stage in decide apply reply; do
+    v=$(jq -r ".experiments[\"trace-sweep\"][\"${proto}_inproc_stage_${stage}_p50_us\"] // empty" "$json")
+    if [[ -z "$v" ]]; then
+      echo "trace gate: ${proto} inproc missing ${stage} stage breakdown" >&2
+      fail=1
+    fi
+  done
+done
+if [[ "$fail" == 0 ]]; then
+  echo "trace gate: stage breakdowns present for all engines"
+fi
+
+exit "$fail"
